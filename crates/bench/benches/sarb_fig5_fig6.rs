@@ -1,0 +1,38 @@
+//! The Figure 5 / Figure 6 measurement kernels under criterion: each
+//! Table 2 variant's simulated run (wall-clock here measures our stack;
+//! the *simulated* speed-ups are printed by `repro_fig5`/`repro_fig6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sarb::variants::{run_simulated, SarbVariant};
+use simcpu::MachineModel;
+
+fn bench_fig5_variants(c: &mut Criterion) {
+    let m = MachineModel::i5_2400_like();
+    let mut g = c.benchmark_group("fig5_variants");
+    g.sample_size(10);
+    for v in [
+        SarbVariant::OriginalSerial,
+        SarbVariant::GlafSerial,
+        SarbVariant::GlafParallel(0),
+        SarbVariant::GlafParallel(3),
+        SarbVariant::GlafCostModel,
+    ] {
+        g.bench_function(v.name(), |b| b.iter(|| run_simulated(v, 2, 4, &m)));
+    }
+    g.finish();
+}
+
+fn bench_fig6_threads(c: &mut Criterion) {
+    let m = MachineModel::i5_2400_like();
+    let mut g = c.benchmark_group("fig6_thread_sweep");
+    g.sample_size(10);
+    for t in [1usize, 2, 4, 8] {
+        g.bench_function(format!("v3_{t}T"), |b| {
+            b.iter(|| run_simulated(SarbVariant::GlafParallel(3), 2, t, &m))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5_variants, bench_fig6_threads);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6: "Speed-up of fastest GLAF-generated version (GLAF-parallel
+//! v3) with varying number of threads (T) versus GLAF serial
+//! implementation" — 1/2/4/8 threads on the 4-core i5-2400-class model,
+//! where 8 threads oversubscribe and collapse (the paper's
+//! diminishing-returns observation).
+//!
+//! Usage: `repro_fig6 [ncolumns]` (default 8).
+
+use glaf_bench::{ordering_agreement, print_bars, Bar};
+use sarb::variants::{run_simulated, SarbVariant};
+use simcpu::MachineModel;
+
+fn main() {
+    let ncol: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let machine = MachineModel::i5_2400_like();
+    println!("machine: {}   columns: {ncol}", machine.name);
+
+    let glaf_serial = run_simulated(SarbVariant::GlafSerial, ncol, 1, &machine);
+    let paper = [(1usize, 0.92), (2, 1.24), (4, 1.59), (8, 0.70)];
+    let bars: Vec<Bar> = paper
+        .iter()
+        .map(|&(t, p)| {
+            let run = run_simulated(SarbVariant::GlafParallel(3), ncol, t, &machine);
+            Bar {
+                label: format!("GLAF-parallel v3 ({t}T)"),
+                paper: Some(p),
+                measured: glaf_serial.report.total_cycles / run.report.total_cycles,
+            }
+        })
+        .collect();
+    print_bars("Figure 6: v3 speed-up vs GLAF serial across threads", &bars);
+    println!(
+        "\npairwise ordering agreement with the paper: {:.0}%",
+        ordering_agreement(&bars) * 100.0
+    );
+}

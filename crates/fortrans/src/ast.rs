@@ -1,0 +1,202 @@
+//! The parsed (name-based) AST. Resolution to slot-based form happens in
+//! [`crate::sema`].
+
+use crate::error::Span;
+
+/// Scalar types the engine evaluates. `Real` and `Real8` both evaluate in
+//  f64; the distinction is kept for declarations and byte accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeSpec {
+    Integer,
+    Real,
+    Real8,
+    Logical,
+    Character,
+    Derived(String),
+}
+
+/// One dimension declarator: `lo:hi`, `n` (meaning `1:n`), or `:`
+/// (deferred — allocatable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimDecl {
+    pub lo: Option<Expr>,
+    pub hi: Option<Expr>,
+    pub deferred: bool,
+}
+
+/// Attributes on a declaration line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attrs {
+    pub dims: Option<Vec<DimDecl>>,
+    pub allocatable: bool,
+    pub save: bool,
+    pub parameter: bool,
+}
+
+/// One declared entity: `name(dims) = init`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    pub name: String,
+    pub dims: Option<Vec<DimDecl>>,
+    pub init: Option<Expr>,
+}
+
+/// A declaration line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    pub spec: TypeSpec,
+    pub attrs: Attrs,
+    pub entities: Vec<Entity>,
+    pub span: Span,
+}
+
+/// A derived-TYPE definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    pub name: String,
+    pub fields: Vec<Decl>,
+    pub span: Span,
+}
+
+/// One `part` of a designator path: `name` or `name(subscripts)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    pub name: String,
+    pub subs: Vec<Expr>,
+}
+
+/// A designator: `a`, `a(i,j)`, `fi%vd(i)`, `atoms(i)%x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Desig {
+    pub parts: Vec<Part>,
+    pub span: Span,
+}
+
+impl Desig {
+    /// The base variable name.
+    pub fn base(&self) -> &str {
+        &self.parts[0].name
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Expressions. `Name(Desig)` covers variable reads, array elements,
+/// function calls and intrinsic calls — disambiguated during resolution,
+/// exactly as a Fortran compiler must.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Real(f64),
+    Logical(bool),
+    Str(String),
+    Name(Desig),
+    Bin(Bin, Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    Not(Box<Expr>),
+}
+
+/// Reduction operators accepted in `REDUCTION(op: list)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    Add,
+    Mul,
+    Max,
+    Min,
+}
+
+/// Clauses of `!$OMP PARALLEL DO`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OmpDo {
+    pub private: Vec<String>,
+    pub firstprivate: Vec<String>,
+    pub reductions: Vec<(RedOp, Vec<String>)>,
+    pub collapse: usize,
+    pub num_threads: Option<Expr>,
+    pub schedule_chunk: Option<usize>,
+}
+
+/// Statements. (The `Do` variant is bigger than the rest; this is a
+/// parse-time structure that is immediately lowered, so clarity beats
+/// boxing.)
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Stmt {
+    Assign { target: Desig, value: Expr, atomic: bool, span: Span },
+    If { arms: Vec<(Expr, Vec<Stmt>)>, else_body: Vec<Stmt>, span: Span },
+    Do {
+        var: String,
+        start: Expr,
+        end: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        omp: Option<OmpDo>,
+        span: Span,
+    },
+    DoWhile { cond: Expr, body: Vec<Stmt>, span: Span },
+    Call { name: String, args: Vec<Expr>, span: Span },
+    Allocate { items: Vec<(Desig, Vec<DimDecl>)>, span: Span },
+    Deallocate { names: Vec<Desig>, span: Span },
+    Critical { name: Option<String>, body: Vec<Stmt>, span: Span },
+    Return(Span),
+    Exit(Span),
+    Cycle(Span),
+    Continue(Span),
+    Stop { message: Option<String>, span: Span },
+    Print { args: Vec<Expr>, span: Span },
+}
+
+/// Subprogram kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitKind {
+    Subroutine,
+    Function(TypeSpec),
+}
+
+/// A SUBROUTINE or FUNCTION.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    pub kind: UnitKind,
+    pub name: String,
+    pub params: Vec<String>,
+    pub uses: Vec<String>,
+    pub decls: Vec<Decl>,
+    /// `COMMON /block/ v1, v2` lines.
+    pub commons: Vec<(String, Vec<String>)>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// A MODULE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub uses: Vec<String>,
+    pub typedefs: Vec<TypeDef>,
+    pub decls: Vec<Decl>,
+    pub threadprivate: Vec<String>,
+    pub units: Vec<Unit>,
+    pub span: Span,
+}
+
+/// A parsed compilation: one or more modules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    pub modules: Vec<Module>,
+}

@@ -1,0 +1,203 @@
+//! Cost accounting for the simulated execution mode.
+//!
+//! While interpreting, the engine tallies abstract operation counts. The
+//! counts are split into a **scalar** and a **vector** bucket: work inside
+//! a serial loop the (modeled) compiler could vectorize lands in the
+//! vector bucket; everything else is scalar. The `simcpu` crate turns a
+//! [`CostTrace`] into simulated time on a machine model.
+
+/// Raw operation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounts {
+    /// f64 add/sub/mul and comparisons.
+    pub flop: u64,
+    /// f64 divisions.
+    pub fdiv: u64,
+    /// Transcendentals (exp, log, sqrt, pow, trig).
+    pub fspecial: u64,
+    /// Integer ALU ops.
+    pub iop: u64,
+    /// Memory reads of array elements / shared scalars.
+    pub load: u64,
+    /// Memory writes.
+    pub store: u64,
+}
+
+impl OpCounts {
+    pub fn add(&mut self, o: &OpCounts) {
+        self.flop += o.flop;
+        self.fdiv += o.fdiv;
+        self.fspecial += o.fspecial;
+        self.iop += o.iop;
+        self.load += o.load;
+        self.store += o.store;
+    }
+
+    /// Total memory traffic in bytes (8 bytes per access in our model).
+    pub fn mem_bytes(&self) -> u64 {
+        (self.load + self.store) * 8
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == OpCounts::default()
+    }
+}
+
+/// Counters for a stretch of execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostCounters {
+    pub scalar: OpCounts,
+    /// Work attributable to compiler-vectorizable serial loops.
+    pub vector: OpCounts,
+    /// Work attributable to memset-recognizable zero-initialization loops.
+    pub memset_bytes: u64,
+    pub branches: u64,
+    pub calls: u64,
+    pub alloc_calls: u64,
+    pub alloc_bytes: u64,
+    /// `!$OMP ATOMIC` updates executed.
+    pub atomics: u64,
+    /// Fork costs of *nested* parallel regions encountered while already
+    /// inside a region (executed with a team of one).
+    pub nested_forks: u64,
+}
+
+impl CostCounters {
+    pub fn add(&mut self, o: &CostCounters) {
+        self.scalar.add(&o.scalar);
+        self.vector.add(&o.vector);
+        self.memset_bytes += o.memset_bytes;
+        self.branches += o.branches;
+        self.calls += o.calls;
+        self.alloc_calls += o.alloc_calls;
+        self.alloc_bytes += o.alloc_bytes;
+        self.atomics += o.atomics;
+        self.nested_forks += o.nested_forks;
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == CostCounters::default()
+    }
+}
+
+/// A parallel region observed during simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEvent {
+    /// Team size the region forked with.
+    pub threads: usize,
+    /// Per-thread work under the static schedule.
+    pub per_thread: Vec<CostCounters>,
+    /// Work executed inside `!$OMP CRITICAL` sections (serializes).
+    pub critical: CostCounters,
+    /// Number of `REDUCTION` variables combined at the join.
+    pub reductions: usize,
+    /// Total iterations of the (collapsed) parallel loop.
+    pub trip: u64,
+}
+
+/// The trace: serial stretches interleaved with parallel regions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    Serial(CostCounters),
+    Region(RegionEvent),
+}
+
+/// A full simulated-execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostTrace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl CostTrace {
+    /// Appends accumulated serial counters (if non-empty).
+    pub fn push_serial(&mut self, c: CostCounters) {
+        if !c.is_zero() {
+            self.events.push(TraceEvent::Serial(c));
+        }
+    }
+
+    pub fn push_region(&mut self, r: RegionEvent) {
+        self.events.push(TraceEvent::Region(r));
+    }
+
+    /// Number of parallel regions in the trace.
+    pub fn region_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Region(_)))
+            .count()
+    }
+
+    /// Sum of all counters (flattened over threads) — a coarse "total
+    /// work" metric used in tests.
+    pub fn total(&self) -> CostCounters {
+        let mut t = CostCounters::default();
+        for e in &self.events {
+            match e {
+                TraceEvent::Serial(c) => t.add(c),
+                TraceEvent::Region(r) => {
+                    for p in &r.per_thread {
+                        t.add(p);
+                    }
+                    t.add(&r.critical);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = CostCounters::default();
+        a.scalar.flop = 3;
+        a.atomics = 1;
+        let mut b = CostCounters::default();
+        b.scalar.flop = 2;
+        b.vector.load = 5;
+        a.add(&b);
+        assert_eq!(a.scalar.flop, 5);
+        assert_eq!(a.vector.load, 5);
+        assert_eq!(a.atomics, 1);
+    }
+
+    #[test]
+    fn empty_serial_not_pushed() {
+        let mut t = CostTrace::default();
+        t.push_serial(CostCounters::default());
+        assert!(t.events.is_empty());
+        t.push_serial(CostCounters { branches: 1, ..Default::default() });
+        assert_eq!(t.events.len(), 1);
+    }
+
+    #[test]
+    fn totals_flatten_regions() {
+        let mut t = CostTrace::default();
+        let mut s = CostCounters::default();
+        s.scalar.flop = 1;
+        t.push_serial(s);
+        let mut p0 = CostCounters::default();
+        p0.scalar.flop = 10;
+        let mut p1 = CostCounters::default();
+        p1.scalar.flop = 20;
+        t.push_region(RegionEvent {
+            threads: 2,
+            per_thread: vec![p0, p1],
+            critical: CostCounters::default(),
+            reductions: 1,
+            trip: 30,
+        });
+        assert_eq!(t.total().scalar.flop, 31);
+        assert_eq!(t.region_count(), 1);
+    }
+
+    #[test]
+    fn mem_bytes() {
+        let o = OpCounts { load: 3, store: 2, ..Default::default() };
+        assert_eq!(o.mem_bytes(), 40);
+    }
+}

@@ -1,0 +1,240 @@
+//! The public engine facade: compile sources, run subprograms, inspect
+//! globals.
+
+use std::sync::Arc;
+
+use omprt::{CriticalRegistry, ThreadPool};
+use parking_lot::Mutex;
+
+use crate::cost::CostTrace;
+use crate::error::{CompileError, RunError};
+use crate::interp::{Exec, ExecMode, Task, Val};
+use crate::parse::parse;
+use crate::rir::{RProgram, ScalarTy};
+use crate::sema::resolve;
+use crate::storage::{ArrayObj, GlobalCell, Globals};
+
+/// An argument for [`Engine::run`].
+#[derive(Debug, Clone)]
+pub enum ArgVal {
+    I(i64),
+    F(f64),
+    B(bool),
+    /// Shared array handle: the callee sees and mutates the same cells, so
+    /// results can be read back from the handle after the run.
+    Arr(Arc<ArrayObj>),
+}
+
+impl ArgVal {
+    /// Builds a 1-D f64 array argument from a slice.
+    pub fn array_f(data: &[f64], lo: i64) -> ArgVal {
+        let obj = ArrayObj::new(ScalarTy::F, vec![(lo, lo + data.len() as i64 - 1)]);
+        for (i, v) in data.iter().enumerate() {
+            obj.set_f(i, *v);
+        }
+        ArgVal::Arr(Arc::new(obj))
+    }
+
+    /// Builds an n-D f64 array argument.
+    pub fn array_f_dims(data: &[f64], dims: Vec<(i64, i64)>) -> ArgVal {
+        let obj = ArrayObj::new(ScalarTy::F, dims);
+        assert_eq!(obj.len(), data.len(), "data length must match dims");
+        for (i, v) in data.iter().enumerate() {
+            obj.set_f(i, *v);
+        }
+        ArgVal::Arr(Arc::new(obj))
+    }
+
+    /// Builds a 1-D i64 array argument.
+    pub fn array_i(data: &[i64], lo: i64) -> ArgVal {
+        let obj = ArrayObj::new(ScalarTy::I, vec![(lo, lo + data.len() as i64 - 1)]);
+        for (i, v) in data.iter().enumerate() {
+            obj.set_i(i, *v);
+        }
+        ArgVal::Arr(Arc::new(obj))
+    }
+
+    /// The underlying handle, if this is an array argument.
+    pub fn handle(&self) -> Option<&Arc<ArrayObj>> {
+        match self {
+            ArgVal::Arr(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Function result (None for subroutines).
+    pub result: Option<Val>,
+    /// Cost trace (Simulated mode only; empty otherwise).
+    pub trace: CostTrace,
+    /// Everything PRINTed.
+    pub printed: String,
+}
+
+/// A compiled FORTRAN program with live global storage.
+///
+/// Global state (module variables, COMMON blocks, SAVE arrays) persists
+/// across `run` calls, exactly like a linked FORTRAN process image; use
+/// [`Engine::reset_globals`] to reinitialize.
+pub struct Engine {
+    prog: Arc<RProgram>,
+    globals: Arc<Globals>,
+    pools: Mutex<Vec<(usize, Arc<ThreadPool>)>>,
+    critical: Arc<CriticalRegistry>,
+}
+
+impl Engine {
+    /// Parses and resolves one or more source files (order-independent for
+    /// modules; later sources may USE earlier ones and vice versa).
+    pub fn compile(sources: &[&str]) -> Result<Engine, CompileError> {
+        let mut ast = crate::ast::Ast::default();
+        for s in sources {
+            let mut part = parse(s)?;
+            ast.modules.append(&mut part.modules);
+        }
+        let prog = resolve(&ast)?;
+        let globals = Arc::new(build_globals(&prog));
+        Ok(Engine {
+            prog: Arc::new(prog),
+            globals,
+            pools: Mutex::new(Vec::new()),
+            critical: Arc::new(CriticalRegistry::new()),
+        })
+    }
+
+    /// The resolved program (introspection for tests and tooling).
+    pub fn program(&self) -> &RProgram {
+        &self.prog
+    }
+
+    /// Reinitializes all global storage.
+    pub fn reset_globals(&mut self) {
+        self.globals = Arc::new(build_globals(&self.prog));
+    }
+
+    fn pool_for(&self, threads: usize) -> Arc<ThreadPool> {
+        let mut pools = self.pools.lock();
+        if let Some((_, p)) = pools.iter().find(|(t, _)| *t == threads) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(ThreadPool::new(threads));
+        pools.push((threads, Arc::clone(&p)));
+        p
+    }
+
+    /// Runs subprogram `name` with `args` under `mode`.
+    pub fn run(&self, name: &str, args: &[ArgVal], mode: ExecMode) -> Result<RunOutcome, RunError> {
+        let unit_id = self
+            .prog
+            .unit_id(name)
+            .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
+        let pool = match mode {
+            ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
+            _ => None,
+        };
+        let exec = Exec {
+            prog: Arc::clone(&self.prog),
+            globals: Arc::clone(&self.globals),
+            mode,
+            pool,
+            critical: Arc::clone(&self.critical),
+            printed: Mutex::new(String::new()),
+        };
+        let collect = matches!(mode, ExecMode::Simulated { .. });
+        let mut task = Task::new(&exec, 0, collect);
+        let frame = task.entry_frame(unit_id, args)?;
+        let (result, trace, printed) = task.run_entry(unit_id, frame)?;
+        Ok(RunOutcome { result, trace, printed })
+    }
+
+    /// Reads a global scalar by diagnostic name (`module::var`,
+    /// `module::var%field`, `common block::var`, `unit::savevar`).
+    pub fn global_scalar(&self, name: &str) -> Option<Val> {
+        let id = self.prog.global_id(name)?;
+        let decl = &self.prog.globals[id];
+        if decl.rank != 0 {
+            return None;
+        }
+        let bits = self.globals.cells[id].load_bits(0);
+        Some(match decl.ty {
+            ScalarTy::I => Val::I(bits as i64),
+            ScalarTy::F => Val::F(f64::from_bits(bits)),
+            ScalarTy::B => Val::B(bits != 0),
+        })
+    }
+
+    /// Writes a global scalar.
+    pub fn set_global_scalar(&self, name: &str, v: Val) -> bool {
+        let Some(id) = self.prog.global_id(name) else { return false };
+        let decl = &self.prog.globals[id];
+        if decl.rank != 0 {
+            return false;
+        }
+        let bits = match decl.ty {
+            ScalarTy::I => v.as_i() as u64,
+            ScalarTy::F => v.as_f().to_bits(),
+            ScalarTy::B => u64::from(v.as_b()),
+        };
+        self.globals.cells[id].store_bits(0, bits);
+        true
+    }
+
+    /// Array handle of a global (thread 0 instance for per-thread cells).
+    pub fn global_array(&self, name: &str) -> Option<Arc<ArrayObj>> {
+        let id = self.prog.global_id(name)?;
+        self.globals.cells[id].array_handle(0)
+    }
+
+    /// Lists global diagnostic names (tooling).
+    pub fn global_names(&self) -> Vec<String> {
+        self.prog.globals.iter().map(|g| g.name.clone()).collect()
+    }
+}
+
+fn build_globals(prog: &RProgram) -> Globals {
+    let cells = prog
+        .globals
+        .iter()
+        .map(|decl| {
+            if decl.rank == 0 && !decl.allocatable && decl.dims.is_empty() {
+                let cell = if decl.per_thread {
+                    GlobalCell::new_per_thread_scalar()
+                } else {
+                    GlobalCell::new_scalar()
+                };
+                if let Some(bits) = decl.init_bits {
+                    match &cell {
+                        GlobalCell::Scalar(c) => {
+                            c.store(bits, std::sync::atomic::Ordering::Relaxed)
+                        }
+                        GlobalCell::PerThreadScalar(v) => {
+                            for c in v.iter() {
+                                c.store(bits, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                cell
+            } else if decl.per_thread {
+                let cell = GlobalCell::new_per_thread_array();
+                if !decl.allocatable && !decl.dims.is_empty() {
+                    for t in 0..crate::storage::MAX_THREADS {
+                        cell.set_array(t, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
+                    }
+                }
+                cell
+            } else {
+                let cell = GlobalCell::new_array();
+                if !decl.allocatable && !decl.dims.is_empty() {
+                    cell.set_array(0, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
+                }
+                cell
+            }
+        })
+        .collect();
+    Globals { cells }
+}

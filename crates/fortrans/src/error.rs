@@ -1,0 +1,89 @@
+//! Compile-time and run-time error types.
+
+/// A source position (line-granular; the lexer joins continuations so a
+/// logical line's first physical line is reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// Errors raised while lexing, parsing or resolving a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    Lex { msg: String, span: Span },
+    Parse { msg: String, span: Span },
+    Sema { msg: String, span: Span },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Lex { msg, span } => write!(f, "lex error at {span}: {msg}"),
+            CompileError::Parse { msg, span } => write!(f, "parse error at {span}: {msg}"),
+            CompileError::Sema { msg, span } => write!(f, "semantic error at {span}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Array index outside declared bounds.
+    OutOfBounds { var: String, dim: usize, index: i64, lo: i64, hi: i64 },
+    /// Use of an unallocated allocatable array.
+    Unallocated { var: String },
+    /// ALLOCATE of an already-allocated array (without SAVE-guard).
+    AlreadyAllocated { var: String },
+    /// Call of an unknown unit, or argument count mismatch.
+    BadCall { name: String, msg: String },
+    /// Arithmetic fault surfaced deliberately (e.g. integer division by
+    /// zero; float ops follow IEEE and do not fault).
+    Arith { msg: String },
+    /// Type confusion that slipped past static checking.
+    Type { msg: String },
+    /// User-visible STOP with a message.
+    Stop { msg: String },
+    /// Iteration/recursion safety valve tripped.
+    Limit { msg: String },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::OutOfBounds { var, dim, index, lo, hi } => write!(
+                f,
+                "index {index} out of bounds {lo}:{hi} in dimension {dim} of `{var}`"
+            ),
+            RunError::Unallocated { var } => write!(f, "array `{var}` used before ALLOCATE"),
+            RunError::AlreadyAllocated { var } => write!(f, "array `{var}` is already allocated"),
+            RunError::BadCall { name, msg } => write!(f, "bad call to `{name}`: {msg}"),
+            RunError::Arith { msg } => write!(f, "arithmetic error: {msg}"),
+            RunError::Type { msg } => write!(f, "type error: {msg}"),
+            RunError::Stop { msg } => write!(f, "STOP: {msg}"),
+            RunError::Limit { msg } => write!(f, "limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CompileError::Parse { msg: "x".into(), span: Span { line: 3 } };
+        assert_eq!(e.to_string(), "parse error at line 3: x");
+        let r = RunError::OutOfBounds { var: "a".into(), dim: 0, index: 9, lo: 1, hi: 4 };
+        assert!(r.to_string().contains("out of bounds"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Intrinsic functions — the FORTRAN library surface GLAF's extended
+//! library back-end targets (§3.6: ABS, ALOG, SUM "and other functions").
+
+use crate::rir::ScalarTy;
+
+/// Scalar intrinsics (whole-array SUM/MAXVAL/MINVAL/SIZE/ALLOCATED are
+/// handled separately in the resolver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intr {
+    Abs,
+    /// `ALOG` — FORTRAN 77 single-precision natural log name; evaluates
+    /// identically to LOG in our f64 model.
+    Alog,
+    Log,
+    Log10,
+    Exp,
+    Sqrt,
+    Sin,
+    Cos,
+    Tan,
+    Atan,
+    Max,
+    Min,
+    Mod,
+    Int,
+    Nint,
+    Real,
+    Dble,
+    Sign,
+    Huge,
+    Tiny,
+}
+
+impl Intr {
+    /// Resolves a lowercase name.
+    pub fn from_name(name: &str) -> Option<Intr> {
+        Some(match name {
+            "abs" | "dabs" => Intr::Abs,
+            "alog" => Intr::Alog,
+            "log" | "dlog" => Intr::Log,
+            "log10" | "alog10" => Intr::Log10,
+            "exp" | "dexp" => Intr::Exp,
+            "sqrt" | "dsqrt" => Intr::Sqrt,
+            "sin" => Intr::Sin,
+            "cos" => Intr::Cos,
+            "tan" => Intr::Tan,
+            "atan" => Intr::Atan,
+            "max" | "amax1" | "dmax1" | "max0" => Intr::Max,
+            "min" | "amin1" | "dmin1" | "min0" => Intr::Min,
+            "mod" => Intr::Mod,
+            "int" | "ifix" => Intr::Int,
+            "nint" => Intr::Nint,
+            "real" | "float" => Intr::Real,
+            "dble" => Intr::Dble,
+            "sign" => Intr::Sign,
+            "huge" => Intr::Huge,
+            "tiny" => Intr::Tiny,
+            _ => return None,
+        })
+    }
+
+    /// Accepted argument count range.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            Intr::Max | Intr::Min => (2, 8),
+            Intr::Mod | Intr::Sign => (2, 2),
+            _ => (1, 1),
+        }
+    }
+
+    /// Result type given the (promoted) argument type.
+    pub fn result_ty(self, arg: ScalarTy) -> ScalarTy {
+        match self {
+            Intr::Int | Intr::Nint => ScalarTy::I,
+            Intr::Real | Intr::Dble => ScalarTy::F,
+            Intr::Abs | Intr::Max | Intr::Min | Intr::Mod | Intr::Sign | Intr::Huge | Intr::Tiny => arg,
+            _ => ScalarTy::F,
+        }
+    }
+
+    /// True for transcendental-cost operations (the cost model charges
+    /// these as `fspecial`).
+    pub fn is_special(self) -> bool {
+        matches!(
+            self,
+            Intr::Alog
+                | Intr::Log
+                | Intr::Log10
+                | Intr::Exp
+                | Intr::Sqrt
+                | Intr::Sin
+                | Intr::Cos
+                | Intr::Tan
+                | Intr::Atan
+        )
+    }
+
+    /// Evaluates with f64 arguments.
+    pub fn eval_f(self, args: &[f64]) -> f64 {
+        match self {
+            Intr::Abs => args[0].abs(),
+            Intr::Alog | Intr::Log => args[0].ln(),
+            Intr::Log10 => args[0].log10(),
+            Intr::Exp => args[0].exp(),
+            Intr::Sqrt => args[0].sqrt(),
+            Intr::Sin => args[0].sin(),
+            Intr::Cos => args[0].cos(),
+            Intr::Tan => args[0].tan(),
+            Intr::Atan => args[0].atan(),
+            Intr::Max => args.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Intr::Min => args.iter().copied().fold(f64::INFINITY, f64::min),
+            // FORTRAN MOD(a, p) = a - INT(a/p)*p (truncated).
+            Intr::Mod => {
+                let (a, p) = (args[0], args[1]);
+                a - (a / p).trunc() * p
+            }
+            Intr::Int => args[0].trunc(),
+            Intr::Nint => args[0].round(),
+            Intr::Real | Intr::Dble => args[0],
+            Intr::Sign => {
+                if args[1] >= 0.0 {
+                    args[0].abs()
+                } else {
+                    -args[0].abs()
+                }
+            }
+            Intr::Huge => f64::MAX,
+            Intr::Tiny => f64::MIN_POSITIVE,
+        }
+    }
+
+    /// Evaluates with i64 arguments (for integer-typed results).
+    pub fn eval_i(self, args: &[i64]) -> i64 {
+        match self {
+            Intr::Abs => args[0].wrapping_abs(),
+            Intr::Max => args.iter().copied().max().unwrap_or(i64::MIN),
+            Intr::Min => args.iter().copied().min().unwrap_or(i64::MAX),
+            Intr::Mod => {
+                if args[1] == 0 {
+                    0
+                } else {
+                    args[0] % args[1]
+                }
+            }
+            Intr::Sign => {
+                if args[1] >= 0 {
+                    args[0].wrapping_abs()
+                } else {
+                    -args[0].wrapping_abs()
+                }
+            }
+            Intr::Huge => i64::MAX,
+            Intr::Tiny => 1,
+            _ => unreachable!("{self:?} has no integer evaluation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_resolution_incl_f77_aliases() {
+        assert_eq!(Intr::from_name("alog"), Some(Intr::Alog));
+        assert_eq!(Intr::from_name("dsqrt"), Some(Intr::Sqrt));
+        assert_eq!(Intr::from_name("amax1"), Some(Intr::Max));
+        assert_eq!(Intr::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn float_semantics() {
+        assert_eq!(Intr::Abs.eval_f(&[-2.0]), 2.0);
+        assert!((Intr::Alog.eval_f(&[std::f64::consts::E]) - 1.0).abs() < 1e-12);
+        assert_eq!(Intr::Max.eval_f(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(Intr::Sign.eval_f(&[-5.0, 2.0]), 5.0);
+        assert_eq!(Intr::Sign.eval_f(&[5.0, -2.0]), -5.0);
+    }
+
+    #[test]
+    fn fortran_mod_truncates_toward_zero() {
+        assert_eq!(Intr::Mod.eval_f(&[7.5, 2.0]), 1.5);
+        assert_eq!(Intr::Mod.eval_f(&[-7.5, 2.0]), -1.5);
+        assert_eq!(Intr::Mod.eval_i(&[-7, 2]), -1);
+        assert_eq!(Intr::Mod.eval_i(&[5, 0]), 0, "div-by-zero guarded");
+    }
+
+    #[test]
+    fn integer_semantics() {
+        assert_eq!(Intr::Abs.eval_i(&[-9]), 9);
+        assert_eq!(Intr::Max.eval_i(&[1, 7, 3]), 7);
+        assert_eq!(Intr::Min.eval_i(&[1, 7, 3]), 1);
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(Intr::Int.result_ty(ScalarTy::F), ScalarTy::I);
+        assert_eq!(Intr::Abs.result_ty(ScalarTy::I), ScalarTy::I);
+        assert_eq!(Intr::Exp.result_ty(ScalarTy::I), ScalarTy::F);
+    }
+
+    #[test]
+    fn special_classification() {
+        assert!(Intr::Exp.is_special());
+        assert!(!Intr::Abs.is_special());
+    }
+
+    #[test]
+    fn rounding() {
+        assert_eq!(Intr::Int.eval_f(&[2.9]), 2.0);
+        assert_eq!(Intr::Int.eval_f(&[-2.9]), -2.0);
+        assert_eq!(Intr::Nint.eval_f(&[2.5]), 3.0);
+    }
+}

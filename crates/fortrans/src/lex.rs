@@ -1,0 +1,515 @@
+//! The lexer: raw source → logical lines of tokens.
+//!
+//! Free-form FORTRAN with the conventions the GLAF code generator (and our
+//! hand-written "legacy" sources) use:
+//!
+//! * `!` starts a comment — except the OpenMP sentinel `!$OMP`, which makes
+//!   the line a *directive line*;
+//! * `&` at end of line continues onto the next line (an optional leading
+//!   `&` on the continuation is consumed);
+//! * keywords and identifiers are case-insensitive — identifiers are
+//!   normalized to lowercase;
+//! * numeric literals accept `D`/`E` exponents (`1.5D0`, `2E-3`);
+//! * dot-operators (`.AND.`, `.LT.`, `.TRUE.`, ...) are recognized as
+//!   single tokens.
+
+use crate::error::{CompileError, Span};
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Lowercased identifier or keyword.
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Percent,
+    DoubleColon,
+    Colon,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+}
+
+impl Tok {
+    /// True when this token is the identifier `kw` (already lowercase).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+/// A logical line: continuations joined, comments stripped.
+#[derive(Debug, Clone)]
+pub struct Line {
+    pub toks: Vec<Tok>,
+    /// 1-based physical line number where the logical line starts.
+    pub lineno: u32,
+    /// True when the line came from a `!$OMP` sentinel.
+    pub omp: bool,
+}
+
+/// Lexes a whole source file into logical lines.
+pub fn lex(source: &str) -> Result<Vec<Line>, CompileError> {
+    // Pass 1: join physical lines into logical lines, tracking OMP
+    // sentinels. A directive line can itself be continued with `&`.
+    let mut logical: Vec<(String, u32, bool)> = Vec::new();
+    let mut pending: Option<(String, u32, bool)> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let trimmed = raw.trim_start();
+        let (content, omp) = if let Some(rest) = strip_omp_sentinel(trimmed) {
+            (rest.to_string(), true)
+        } else {
+            (strip_comment(raw).to_string(), false)
+        };
+        let content_trim_end = content.trim_end();
+        let (content, continued) = match content_trim_end.strip_suffix('&') {
+            Some(head) => (head.to_string(), true),
+            None => (content_trim_end.to_string(), false),
+        };
+        match pending.take() {
+            Some((mut acc, start, acc_omp)) => {
+                let piece = content.trim_start().strip_prefix('&').unwrap_or(content.trim_start());
+                acc.push(' ');
+                acc.push_str(piece);
+                if continued {
+                    pending = Some((acc, start, acc_omp));
+                } else {
+                    logical.push((acc, start, acc_omp));
+                }
+            }
+            None => {
+                if content.trim().is_empty() && !continued {
+                    continue;
+                }
+                if continued {
+                    pending = Some((content, lineno, omp));
+                } else {
+                    logical.push((content, lineno, omp));
+                }
+            }
+        }
+    }
+    if let Some((acc, start, omp)) = pending {
+        logical.push((acc, start, omp));
+    }
+
+    // Pass 2: tokenize each logical line.
+    let mut out = Vec::with_capacity(logical.len());
+    for (text, lineno, omp) in logical {
+        let toks = lex_line(&text, lineno)?;
+        if !toks.is_empty() {
+            out.push(Line { toks, lineno, omp });
+        }
+    }
+    Ok(out)
+}
+
+/// Strips the OMP sentinel, returning the directive text if present.
+fn strip_omp_sentinel(line: &str) -> Option<&str> {
+    let upper_prefix = line.get(..5)?.to_ascii_uppercase();
+    if upper_prefix == "!$OMP" {
+        Some(&line[5..])
+    } else {
+        None
+    }
+}
+
+/// Removes a trailing `!` comment (respecting string literals).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' => in_str = !in_str,
+            b'!' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn lex_line(text: &str, lineno: u32) -> Result<Vec<Tok>, CompileError> {
+    let mut toks = Vec::new();
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let err = |msg: String| CompileError::Lex { msg, span: Span { line: lineno } };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            b',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            b'%' => {
+                toks.push(Tok::Percent);
+                i += 1;
+            }
+            b'+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            b'*' => {
+                if b.get(i + 1) == Some(&b'*') {
+                    toks.push(Tok::StarStar);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Star);
+                    i += 1;
+                }
+            }
+            b'/' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'/') {
+                    // String concatenation — unsupported, but lex it so the
+                    // parser can report a sensible error.
+                    return Err(err("string concatenation `//` is not supported".into()));
+                } else {
+                    toks.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Eq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b':' => {
+                if b.get(i + 1) == Some(&b':') {
+                    toks.push(Tok::DoubleColon);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Colon);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(err("unterminated string literal".into()));
+                }
+                toks.push(Tok::Str(text[start..j].to_string()));
+                i = j + 1;
+            }
+            b'.' => {
+                // Dot-operator or dot-led real literal.
+                if i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    let (tok, ni) = lex_number(text, i, lineno)?;
+                    toks.push(tok);
+                    i = ni;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && b[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if j >= b.len() || b[j] != b'.' {
+                        return Err(err(format!(
+                            "malformed dot-operator near `{}`",
+                            &text[i..(i + 6).min(text.len())]
+                        )));
+                    }
+                    let word = text[i + 1..j].to_ascii_uppercase();
+                    let tok = match word.as_str() {
+                        "AND" => Tok::And,
+                        "OR" => Tok::Or,
+                        "NOT" => Tok::Not,
+                        "TRUE" => Tok::True,
+                        "FALSE" => Tok::False,
+                        "EQ" => Tok::Eq,
+                        "NE" => Tok::Ne,
+                        "LT" => Tok::Lt,
+                        "LE" => Tok::Le,
+                        "GT" => Tok::Gt,
+                        "GE" => Tok::Ge,
+                        other => return Err(err(format!("unknown dot-operator `.{other}.`"))),
+                    };
+                    toks.push(tok);
+                    i = j + 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, ni) = lex_number(text, i, lineno)?;
+                toks.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Tok::Ident(text[start..j].to_ascii_lowercase()));
+                i = j;
+            }
+            other => {
+                return Err(err(format!("unexpected character `{}`", other as char)));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Lexes a numeric literal starting at `i`. Handles `123`, `1.5`, `.5`,
+/// `1.5D0`, `2E-3`, `1D-3`. A trailing `.` followed by a dot-operator
+/// letter (e.g. `1.AND.`) is left for the dot-operator path.
+fn lex_number(text: &str, i: usize, lineno: u32) -> Result<(Tok, usize), CompileError> {
+    let b = text.as_bytes();
+    let mut j = i;
+    let mut is_real = false;
+    while j < b.len() && b[j].is_ascii_digit() {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'.' {
+        // `1.AND.` must not eat the dot; a dot is part of the number only
+        // if followed by a digit, exponent, or end/non-letter.
+        let next = b.get(j + 1).copied();
+        let is_dotop = matches!(next, Some(c) if c.is_ascii_alphabetic()) && {
+            // find matching closing dot to confirm a dot-op like .and.
+            let mut k = j + 1;
+            while k < b.len() && b[k].is_ascii_alphabetic() {
+                k += 1;
+            }
+            k < b.len() && b[k] == b'.'
+        };
+        if !is_dotop {
+            is_real = true;
+            j += 1;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    // Exponent: D or E.
+    if j < b.len() && matches!(b[j], b'd' | b'D' | b'e' | b'E') {
+        let mut k = j + 1;
+        if k < b.len() && matches!(b[k], b'+' | b'-') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_real = true;
+            j = k;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    let lit = &text[i..j];
+    if is_real {
+        let norm = lit.replace(['d', 'D'], "e");
+        let v: f64 = norm.parse().map_err(|_| CompileError::Lex {
+            msg: format!("bad real literal `{lit}`"),
+            span: Span { line: lineno },
+        })?;
+        Ok((Tok::Real(v), j))
+    } else {
+        let v: i64 = lit.parse().map_err(|_| CompileError::Lex {
+            msg: format!("bad integer literal `{lit}`"),
+            span: Span { line: lineno },
+        })?;
+        Ok((Tok::Int(v), j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        lines[0].toks.clone()
+    }
+
+    #[test]
+    fn idents_lowercased() {
+        assert_eq!(
+            toks("Module SARB_Kernels"),
+            vec![Tok::Ident("module".into()), Tok::Ident("sarb_kernels".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("1.5"), vec![Tok::Real(1.5)]);
+        assert_eq!(toks("1.5D0"), vec![Tok::Real(1.5)]);
+        assert_eq!(toks("2E-3"), vec![Tok::Real(0.002)]);
+        assert_eq!(toks("1D-3"), vec![Tok::Real(0.001)]);
+        assert_eq!(toks(".5"), vec![Tok::Real(0.5)]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a = b ** 2 / c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::StarStar,
+                Tok::Int(2),
+                Tok::Slash,
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_operators_and_modern_comparisons() {
+        assert_eq!(toks(".TRUE. .AND. .false."), vec![Tok::True, Tok::And, Tok::False]);
+        assert_eq!(toks("a .LT. b"), vec![Tok::Ident("a".into()), Tok::Lt, Tok::Ident("b".into())]);
+        assert_eq!(toks("a /= b"), vec![Tok::Ident("a".into()), Tok::Ne, Tok::Ident("b".into())]);
+        assert_eq!(toks("a <= b"), vec![Tok::Ident("a".into()), Tok::Le, Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn number_followed_by_dotop() {
+        assert_eq!(
+            toks("i == 1 .AND. ok"),
+            vec![Tok::Ident("i".into()), Tok::Eq, Tok::Int(1), Tok::And, Tok::Ident("ok".into())]
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let lines = lex("x = 1 ! set x\n! whole line\ny = 2").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].toks.len(), 3);
+        assert!(!lines[0].omp);
+    }
+
+    #[test]
+    fn omp_sentinel_detected() {
+        let lines = lex("!$OMP PARALLEL DO PRIVATE(t)\nx = 1").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].omp);
+        assert!(lines[0].toks[0].is_kw("parallel"));
+        assert!(!lines[1].omp);
+    }
+
+    #[test]
+    fn continuations_joined() {
+        let lines = lex("x = 1 + &\n    & 2 + &\n    3").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].toks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(2),
+                Tok::Plus,
+                Tok::Int(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_percent() {
+        assert_eq!(
+            toks("fi%vd"),
+            vec![Tok::Ident("fi".into()), Tok::Percent, Tok::Ident("vd".into())]
+        );
+        assert_eq!(toks("'hello world'"), vec![Tok::Str("hello world".into())]);
+    }
+
+    #[test]
+    fn comment_bang_inside_string_kept() {
+        assert_eq!(toks("'a!b'"), vec![Tok::Str("a!b".into())]);
+    }
+
+    #[test]
+    fn double_colon_vs_colon() {
+        assert_eq!(
+            toks("REAL(8) :: a(1:60)"),
+            vec![
+                Tok::Ident("real".into()),
+                Tok::LParen,
+                Tok::Int(8),
+                Tok::RParen,
+                Tok::DoubleColon,
+                Tok::Ident("a".into()),
+                Tok::LParen,
+                Tok::Int(1),
+                Tok::Colon,
+                Tok::Int(60),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors_reported() {
+        assert!(lex("x = 'unterminated").is_err());
+        assert!(lex("x = @").is_err());
+        assert!(lex("x = .bogus.").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let lines = lex("\n\nx = 1\n\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].lineno, 3);
+    }
+}

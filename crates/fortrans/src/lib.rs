@@ -1,0 +1,70 @@
+//! # fortrans — a FORTRAN-subset compiler and interpreter with OpenMP
+//!
+//! The execution substrate of the GLAF reproduction. The paper compiles
+//! GLAF-generated FORTRAN with gfortran/ifort and runs it on real
+//! hardware; this crate provides the equivalent stack from scratch:
+//!
+//! * [`lex`] / [`parse`] — free-form FORTRAN 90 subset: modules with
+//!   `CONTAINS`, `USE`, derived `TYPE`s and `%` access, `COMMON` blocks,
+//!   `SUBROUTINE`/`FUNCTION`, allocatables, `SAVE`, `DO`/`DO WHILE`/`IF`,
+//!   the F77/F90 intrinsics GLAF's library back-end emits, and the OpenMP
+//!   directives GLAF generates (`!$OMP PARALLEL DO` with
+//!   PRIVATE/FIRSTPRIVATE/REDUCTION/COLLAPSE/NUM_THREADS/SCHEDULE,
+//!   `ATOMIC`, `CRITICAL`, `THREADPRIVATE`).
+//! * [`sema`] — name/slot resolution, storage association for COMMON,
+//!   flattening of derived-type variables, type checking with FORTRAN
+//!   promotion rules.
+//! * [`interp`] — execution in three modes: `Serial`, `Parallel` (real
+//!   fork-join threads on the [`omprt`] runtime) and `Simulated`
+//!   (serial-order execution emitting a [`cost::CostTrace`] for the
+//!   `simcpu` machine model — the substitute for the paper's testbeds on
+//!   a single-core host, see DESIGN.md).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fortrans::{ArgVal, Engine, ExecMode};
+//!
+//! let src = r#"
+//! MODULE demo
+//! CONTAINS
+//!   SUBROUTINE scale(a, n, f)
+//!     REAL(8), DIMENSION(1:8) :: a
+//!     INTEGER :: n
+//!     REAL(8) :: f
+//!     INTEGER :: i
+//!     !$OMP PARALLEL DO DEFAULT(SHARED)
+//!     DO i = 1, n
+//!       a(i) = a(i) * f
+//!     END DO
+//!     !$OMP END PARALLEL DO
+//!   END SUBROUTINE scale
+//! END MODULE demo
+//! "#;
+//! let engine = Engine::compile(&[src]).unwrap();
+//! let a = ArgVal::array_f(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], 1);
+//! engine
+//!     .run("scale", &[a.clone(), ArgVal::I(8), ArgVal::F(2.0)], ExecMode::Parallel { threads: 2 })
+//!     .unwrap();
+//! assert_eq!(a.handle().unwrap().get_f(0), 2.0);
+//! assert_eq!(a.handle().unwrap().get_f(7), 16.0);
+//! ```
+
+pub mod ast;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod interp;
+pub mod intrinsics;
+pub mod lex;
+pub mod parse;
+pub mod rir;
+pub mod sema;
+pub mod storage;
+
+pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
+pub use engine::{ArgVal, Engine, RunOutcome};
+pub use error::{CompileError, RunError};
+pub use interp::{ExecMode, Val};
+pub use rir::ScalarTy;
+pub use storage::ArrayObj;

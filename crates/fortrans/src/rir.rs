@@ -1,0 +1,211 @@
+//! The resolved IR: names replaced by slots, types settled, intrinsics
+//! identified. Produced by [`crate::sema`], consumed by [`crate::interp`].
+
+use crate::ast::{Bin, RedOp};
+use crate::intrinsics::Intr;
+
+/// Scalar evaluation types. `REAL` and `REAL(8)` both evaluate as `F`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    I,
+    F,
+    B,
+}
+
+/// Where a variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// Slot in the current call frame.
+    Frame(usize),
+    /// Index into [`crate::storage::Globals`].
+    Global(usize),
+}
+
+/// Resolved variable metadata (one table per unit; index = `VarIdx`).
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    pub name: String,
+    pub ty: ScalarTy,
+    pub place: Place,
+    /// Rank 0 = scalar.
+    pub rank: usize,
+    /// Static dims for non-allocatable arrays (lo, hi).
+    pub dims: Vec<(i64, i64)>,
+    pub allocatable: bool,
+    /// True for parameters (scalars use value-result; arrays share cells).
+    pub is_param: bool,
+}
+
+pub type VarIdx = usize;
+pub type UnitId = usize;
+
+/// Resolved expressions.
+#[derive(Debug, Clone)]
+pub enum RExpr {
+    ConstI(i64),
+    ConstF(f64),
+    ConstB(bool),
+    LoadScalar(VarIdx),
+    LoadElem { v: VarIdx, subs: Vec<RExpr> },
+    Bin { op: Bin, ty: ScalarTy, l: Box<RExpr>, r: Box<RExpr> },
+    Neg(Box<RExpr>),
+    Not(Box<RExpr>),
+    /// Numeric conversion inserted by sema.
+    ToF(Box<RExpr>),
+    ToI(Box<RExpr>),
+    Intrinsic { f: Intr, args: Vec<RExpr> },
+    /// Whole-array reduction intrinsics.
+    ArrReduce { f: ArrRed, v: VarIdx },
+    /// `ALLOCATED(x)`.
+    AllocatedQ(VarIdx),
+    /// User function call.
+    CallFn { unit: UnitId, args: Vec<RArg>, ret: ScalarTy },
+}
+
+/// Whole-array reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrRed {
+    Sum,
+    Maxval,
+    Minval,
+    Size,
+}
+
+/// A resolved call argument.
+#[derive(Debug, Clone)]
+pub enum RArg {
+    /// Scalar variable: copy-in / copy-out (value-result).
+    ByRefScalar(VarIdx),
+    /// Array element: copy-in / copy-out.
+    ByRefElem { v: VarIdx, subs: Vec<RExpr> },
+    /// Whole array: handle shared with the callee.
+    Array(VarIdx),
+    /// Arbitrary expression: by value.
+    Value(RExpr),
+}
+
+/// Resolved OMP PARALLEL DO clauses.
+#[derive(Debug, Clone)]
+pub struct ROmp {
+    /// PRIVATE + FIRSTPRIVATE variables (per-thread copies; firstprivate
+    /// initialization is what frame cloning gives us anyway).
+    pub private: Vec<VarIdx>,
+    /// `(op, var)` reductions; scalars only.
+    pub reductions: Vec<(RedOp, VarIdx)>,
+    pub collapse: usize,
+    pub num_threads: Option<Box<RExpr>>,
+    pub chunk: Option<usize>,
+}
+
+/// Compiler-model classification of a serial DO loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecClass {
+    /// Not vectorizable (calls, control flow, inner loops).
+    None,
+    /// Straight-line elementwise body: SIMD bucket.
+    Simd,
+    /// Single zero-store body: memset bucket.
+    Memset,
+}
+
+/// Resolved statements.
+#[derive(Debug, Clone)]
+pub enum RStmt {
+    AssignScalar { v: VarIdx, e: RExpr },
+    AssignElem { v: VarIdx, subs: Vec<RExpr>, e: RExpr },
+    /// Whole-array assignment from a scalar (broadcast).
+    Broadcast { v: VarIdx, e: RExpr },
+    /// Whole-array copy `dst = src` (shapes checked at runtime).
+    CopyArray { dst: VarIdx, src: VarIdx },
+    /// `!$OMP ATOMIC`-protected update `v[subs] = v[subs] op e`.
+    AtomicUpdate { v: VarIdx, subs: Vec<RExpr>, op: RedOp, e: RExpr },
+    If { arms: Vec<(RExpr, Vec<RStmt>)>, else_body: Vec<RStmt> },
+    Do {
+        var: VarIdx,
+        start: RExpr,
+        end: RExpr,
+        step: Option<RExpr>,
+        body: Vec<RStmt>,
+        omp: Option<ROmp>,
+        vec: VecClass,
+        /// For COLLAPSE(n): the next n-1 perfectly-nested inner loops.
+        /// (Filled by sema when the loop carries an OMP collapse clause.)
+        collapse_with: Vec<CollapseDim>,
+    },
+    DoWhile { cond: RExpr, body: Vec<RStmt> },
+    CallSub { unit: UnitId, args: Vec<RArg> },
+    Allocate { v: VarIdx, dims: Vec<(RExpr, RExpr)> },
+    Deallocate { v: VarIdx },
+    Critical { name: String, body: Vec<RStmt> },
+    Return,
+    Exit,
+    Cycle,
+    Print(Vec<PrintItem>),
+    Stop(Option<String>),
+    Nop,
+}
+
+/// One item of a PRINT list.
+#[derive(Debug, Clone)]
+pub enum PrintItem {
+    Str(String),
+    Val(RExpr),
+}
+
+/// One collapsed inner dimension: its loop variable and bounds.
+#[derive(Debug, Clone)]
+pub struct CollapseDim {
+    pub var: VarIdx,
+    pub start: RExpr,
+    pub end: RExpr,
+}
+
+/// A resolved subprogram.
+#[derive(Debug, Clone)]
+pub struct RUnit {
+    pub name: String,
+    /// Parameter var indices, in order.
+    pub params: Vec<VarIdx>,
+    /// All variables of the unit.
+    pub vars: Vec<VarInfo>,
+    /// Frame size (slots).
+    pub frame_size: usize,
+    /// Result slot for functions.
+    pub result: Option<(VarIdx, ScalarTy)>,
+    pub body: Vec<RStmt>,
+}
+
+/// Metadata for one global cell (allocation + reset + introspection).
+#[derive(Debug, Clone)]
+pub struct GlobalDecl {
+    /// Diagnostic name, e.g. `fuliou_mod::fi%vd` or `common rad::cc`.
+    pub name: String,
+    pub ty: ScalarTy,
+    pub rank: usize,
+    /// Static dims; empty for scalars and allocatables.
+    pub dims: Vec<(i64, i64)>,
+    pub allocatable: bool,
+    /// Per-thread storage (THREADPRIVATE, or SAVE used in parallel).
+    pub per_thread: bool,
+    /// Scalar initializer bits.
+    pub init_bits: Option<u64>,
+}
+
+/// The resolved program.
+#[derive(Debug, Clone, Default)]
+pub struct RProgram {
+    pub units: Vec<RUnit>,
+    pub globals: Vec<GlobalDecl>,
+}
+
+impl RProgram {
+    pub fn unit_id(&self, name: &str) -> Option<UnitId> {
+        let lower = name.to_ascii_lowercase();
+        self.units.iter().position(|u| u.name == lower)
+    }
+
+    /// Finds a global cell index by its diagnostic name.
+    pub fn global_id(&self, name: &str) -> Option<usize> {
+        self.globals.iter().position(|g| g.name == name)
+    }
+}

@@ -1,0 +1,405 @@
+//! Runtime storage: arrays of atomic cells, global cells, frames.
+//!
+//! Every array element and every shared scalar lives in an `AtomicU64`
+//! holding either IEEE-754 bits (reals), two's-complement (integers) or
+//! 0/1 (logicals). Relaxed atomic loads/stores cost the same as plain
+//! ones on x86 and make the parallel execution mode data-race-free at the
+//! language level: a FORTRAN program with genuinely conflicting
+//! unsynchronized writes gets *unspecified values* (as real OpenMP would)
+//! instead of undefined behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::RunError;
+use crate::rir::ScalarTy;
+
+/// Maximum logical threads the engine supports (sizing for per-thread
+/// storage — SAVE/THREADPRIVATE cells).
+pub const MAX_THREADS: usize = 64;
+
+/// A runtime array: dims + typed atomic cells, column-major.
+#[derive(Debug)]
+pub struct ArrayObj {
+    pub ty: ScalarTy,
+    /// `(lo, hi)` inclusive per dimension.
+    pub dims: Vec<(i64, i64)>,
+    pub cells: Box<[AtomicU64]>,
+}
+
+impl ArrayObj {
+    /// Creates a zero-initialized array (FORTRAN setups in the workloads
+    /// initialize explicitly; zero matches `-finit-local-zero`-style
+    /// deterministic behaviour).
+    pub fn new(ty: ScalarTy, dims: Vec<(i64, i64)>) -> Self {
+        let n: usize = dims
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(0) as usize)
+            .product();
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        ArrayObj { ty, dims, cells: v.into_boxed_slice() }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Linear, bounds-checked offset of `subs` (column-major).
+    pub fn offset(&self, name: &str, subs: &[i64]) -> Result<usize, RunError> {
+        if subs.len() != self.dims.len() {
+            return Err(RunError::Type {
+                msg: format!(
+                    "`{name}`: rank {} referenced with {} subscripts",
+                    self.dims.len(),
+                    subs.len()
+                ),
+            });
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, (&ix, &(lo, hi))) in subs.iter().zip(self.dims.iter()).enumerate() {
+            if ix < lo || ix > hi {
+                return Err(RunError::OutOfBounds { var: name.to_string(), dim: d, index: ix, lo, hi });
+            }
+            off += (ix - lo) as usize * stride;
+            stride *= (hi - lo + 1) as usize;
+        }
+        Ok(off)
+    }
+
+    #[inline]
+    pub fn get_f(&self, off: usize) -> f64 {
+        f64::from_bits(self.cells[off].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn set_f(&self, off: usize, v: f64) {
+        self.cells[off].store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn get_i(&self, off: usize) -> i64 {
+        self.cells[off].load(Ordering::Relaxed) as i64
+    }
+
+    #[inline]
+    pub fn set_i(&self, off: usize, v: i64) {
+        self.cells[off].store(v as u64, Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn get_b(&self, off: usize) -> bool {
+        self.cells[off].load(Ordering::Relaxed) != 0
+    }
+
+    #[inline]
+    pub fn set_b(&self, off: usize, v: bool) {
+        self.cells[off].store(u64::from(v), Ordering::Relaxed)
+    }
+
+    /// Raw bits accessors for generic copies.
+    #[inline]
+    pub fn get_bits(&self, off: usize) -> u64 {
+        self.cells[off].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn set_bits(&self, off: usize, v: u64) {
+        self.cells[off].store(v, Ordering::Relaxed)
+    }
+
+    /// CAS update for `!$OMP ATOMIC` on a float cell.
+    pub fn atomic_update_f(&self, off: usize, f: impl Fn(f64) -> f64) {
+        let cell = &self.cells[off];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// CAS update for `!$OMP ATOMIC` on an integer cell.
+    pub fn atomic_update_i(&self, off: usize, f: impl Fn(i64) -> i64) {
+        let cell = &self.cells[off];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = f(cur as i64) as u64;
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Deep copy (used for PRIVATE arrays in parallel regions).
+    pub fn deep_clone(&self) -> ArrayObj {
+        let mut v = Vec::with_capacity(self.cells.len());
+        for c in self.cells.iter() {
+            v.push(AtomicU64::new(c.load(Ordering::Relaxed)));
+        }
+        ArrayObj { ty: self.ty, dims: self.dims.clone(), cells: v.into_boxed_slice() }
+    }
+
+    /// Snapshot as f64s (test/bench convenience; integers are converted).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| match self.ty {
+                ScalarTy::F => self.get_f(i),
+                ScalarTy::I => self.get_i(i) as f64,
+                ScalarTy::B => f64::from(u8::from(self.get_b(i))),
+            })
+            .collect()
+    }
+}
+
+/// One global storage cell.
+#[derive(Debug)]
+pub enum GlobalCell {
+    Scalar(AtomicU64),
+    Array(RwLock<Option<Arc<ArrayObj>>>),
+    /// SAVE / THREADPRIVATE array: one instance per logical thread.
+    PerThreadArray(Box<[RwLock<Option<Arc<ArrayObj>>>]>),
+    /// THREADPRIVATE scalar.
+    PerThreadScalar(Box<[AtomicU64]>),
+}
+
+impl GlobalCell {
+    pub fn new_scalar() -> Self {
+        GlobalCell::Scalar(AtomicU64::new(0))
+    }
+
+    pub fn new_array() -> Self {
+        GlobalCell::Array(RwLock::new(None))
+    }
+
+    pub fn new_per_thread_array() -> Self {
+        let mut v = Vec::with_capacity(MAX_THREADS);
+        v.resize_with(MAX_THREADS, || RwLock::new(None));
+        GlobalCell::PerThreadArray(v.into_boxed_slice())
+    }
+
+    pub fn new_per_thread_scalar() -> Self {
+        let mut v = Vec::with_capacity(MAX_THREADS);
+        v.resize_with(MAX_THREADS, || AtomicU64::new(0));
+        GlobalCell::PerThreadScalar(v.into_boxed_slice())
+    }
+
+    /// Scalar bits access (thread-aware).
+    pub fn load_bits(&self, tid: usize) -> u64 {
+        match self {
+            GlobalCell::Scalar(c) => c.load(Ordering::Relaxed),
+            GlobalCell::PerThreadScalar(v) => v[tid].load(Ordering::Relaxed),
+            _ => panic!("scalar access to array cell"),
+        }
+    }
+
+    pub fn store_bits(&self, tid: usize, bits: u64) {
+        match self {
+            GlobalCell::Scalar(c) => c.store(bits, Ordering::Relaxed),
+            GlobalCell::PerThreadScalar(v) => v[tid].store(bits, Ordering::Relaxed),
+            _ => panic!("scalar access to array cell"),
+        }
+    }
+
+    /// The scalar atomic itself (for ATOMIC updates).
+    pub fn scalar_atomic(&self, tid: usize) -> &AtomicU64 {
+        match self {
+            GlobalCell::Scalar(c) => c,
+            GlobalCell::PerThreadScalar(v) => &v[tid],
+            _ => panic!("scalar access to array cell"),
+        }
+    }
+
+    /// Current array handle (thread-aware).
+    pub fn array_handle(&self, tid: usize) -> Option<Arc<ArrayObj>> {
+        match self {
+            GlobalCell::Array(l) => l.read().clone(),
+            GlobalCell::PerThreadArray(v) => v[tid].read().clone(),
+            _ => panic!("array access to scalar cell"),
+        }
+    }
+
+    /// Replaces the array handle; returns the previous one.
+    pub fn set_array(&self, tid: usize, a: Option<Arc<ArrayObj>>) -> Option<Arc<ArrayObj>> {
+        match self {
+            GlobalCell::Array(l) => std::mem::replace(&mut *l.write(), a),
+            GlobalCell::PerThreadArray(v) => std::mem::replace(&mut *v[tid].write(), a),
+            _ => panic!("array access to scalar cell"),
+        }
+    }
+
+    /// True for SAVE/THREADPRIVATE per-thread cells.
+    pub fn is_per_thread(&self) -> bool {
+        matches!(self, GlobalCell::PerThreadArray(_) | GlobalCell::PerThreadScalar(_))
+    }
+
+    /// ALLOCATE semantics for per-thread arrays: provision *every*
+    /// thread's instance (each a fresh zeroed array), so inner parallel
+    /// regions forked by any thread find their instance allocated —
+    /// FORTRAN SAVE-allocate-once semantics lifted to the per-thread
+    /// model. Returns the previous handle of `tid` (for the
+    /// already-allocated check).
+    pub fn set_array_all_threads(
+        &self,
+        tid: usize,
+        mk: impl Fn() -> Arc<ArrayObj>,
+    ) -> Option<Arc<ArrayObj>> {
+        match self {
+            GlobalCell::PerThreadArray(v) => {
+                let prev = v[tid].read().clone();
+                for slot in v.iter() {
+                    let mut w = slot.write();
+                    if w.is_none() {
+                        *w = Some(mk());
+                    }
+                }
+                prev
+            }
+            _ => self.set_array(tid, Some(mk())),
+        }
+    }
+
+    /// DEALLOCATE counterpart: clears every thread's instance.
+    pub fn clear_array_all_threads(&self, tid: usize) -> Option<Arc<ArrayObj>> {
+        match self {
+            GlobalCell::PerThreadArray(v) => {
+                let prev = v[tid].read().clone();
+                for slot in v.iter() {
+                    *slot.write() = None;
+                }
+                prev
+            }
+            _ => self.set_array(tid, None),
+        }
+    }
+}
+
+/// All global storage of a compiled program (module variables, COMMON
+/// members, SAVE/THREADPRIVATE cells).
+#[derive(Debug)]
+pub struct Globals {
+    pub cells: Vec<GlobalCell>,
+}
+
+/// A frame slot value.
+#[derive(Debug, Clone)]
+pub enum FrameVal {
+    I(i64),
+    F(f64),
+    B(bool),
+    Arr(Option<Arc<ArrayObj>>),
+    Uninit,
+}
+
+/// A call frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub slots: Vec<FrameVal>,
+}
+
+impl Frame {
+    pub fn new(size: usize) -> Self {
+        Frame { slots: vec![FrameVal::Uninit; size] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_offsets() {
+        let a = ArrayObj::new(ScalarTy::F, vec![(1, 4), (1, 3)]);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.offset("a", &[1, 1]).unwrap(), 0);
+        assert_eq!(a.offset("a", &[2, 1]).unwrap(), 1);
+        assert_eq!(a.offset("a", &[1, 2]).unwrap(), 4);
+        assert_eq!(a.offset("a", &[4, 3]).unwrap(), 11);
+    }
+
+    #[test]
+    fn custom_lower_bounds() {
+        let a = ArrayObj::new(ScalarTy::I, vec![(0, 3)]);
+        assert_eq!(a.offset("a", &[0]).unwrap(), 0);
+        assert!(matches!(
+            a.offset("a", &[4]),
+            Err(RunError::OutOfBounds { index: 4, lo: 0, hi: 3, .. })
+        ));
+        assert!(a.offset("a", &[-1]).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_is_type_error() {
+        let a = ArrayObj::new(ScalarTy::F, vec![(1, 4)]);
+        assert!(matches!(a.offset("a", &[1, 2]), Err(RunError::Type { .. })));
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let a = ArrayObj::new(ScalarTy::F, vec![(1, 2)]);
+        a.set_f(0, -3.25);
+        assert_eq!(a.get_f(0), -3.25);
+        let b = ArrayObj::new(ScalarTy::I, vec![(1, 2)]);
+        b.set_i(1, -77);
+        assert_eq!(b.get_i(1), -77);
+        let c = ArrayObj::new(ScalarTy::B, vec![(1, 2)]);
+        c.set_b(0, true);
+        assert!(c.get_b(0));
+        assert!(!c.get_b(1));
+    }
+
+    #[test]
+    fn atomic_updates() {
+        let a = ArrayObj::new(ScalarTy::F, vec![(1, 1)]);
+        a.set_f(0, 10.0);
+        a.atomic_update_f(0, |x| x + 2.5);
+        assert_eq!(a.get_f(0), 12.5);
+        let b = ArrayObj::new(ScalarTy::I, vec![(1, 1)]);
+        b.atomic_update_i(0, |x| x + 7);
+        assert_eq!(b.get_i(0), 7);
+    }
+
+    #[test]
+    fn deep_clone_detaches() {
+        let a = ArrayObj::new(ScalarTy::F, vec![(1, 2)]);
+        a.set_f(0, 1.0);
+        let b = a.deep_clone();
+        a.set_f(0, 2.0);
+        assert_eq!(b.get_f(0), 1.0);
+    }
+
+    #[test]
+    fn per_thread_cells_isolated() {
+        let c = GlobalCell::new_per_thread_scalar();
+        c.store_bits(0, 42);
+        c.store_bits(1, 99);
+        assert_eq!(c.load_bits(0), 42);
+        assert_eq!(c.load_bits(1), 99);
+
+        let arr = GlobalCell::new_per_thread_array();
+        arr.set_array(2, Some(Arc::new(ArrayObj::new(ScalarTy::F, vec![(1, 4)]))));
+        assert!(arr.array_handle(2).is_some());
+        assert!(arr.array_handle(3).is_none());
+    }
+
+    #[test]
+    fn global_array_replace() {
+        let c = GlobalCell::new_array();
+        assert!(c.array_handle(0).is_none());
+        let prev = c.set_array(0, Some(Arc::new(ArrayObj::new(ScalarTy::F, vec![(1, 2)]))));
+        assert!(prev.is_none());
+        let prev = c.set_array(0, None);
+        assert!(prev.is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests at the token level: every literal the code generator
+//! can emit must survive the lexer exactly.
+
+use fortrans::lex::{lex, Tok};
+use proptest::prelude::*;
+
+/// The code generator's double-precision literal form (mirrors
+/// `glaf_codegen::fortran::real_literal`).
+fn fortran_real_literal(v: f64) -> String {
+    format!("{v:e}").replacen('e', "D", 1)
+}
+
+fn lex_single(src: &str) -> Vec<Tok> {
+    let lines = lex(src).unwrap_or_else(|e| panic!("{e} for {src:?}"));
+    assert_eq!(lines.len(), 1, "{src:?} -> {lines:?}");
+    lines[0].toks.clone()
+}
+
+proptest! {
+    /// Positive reals round-trip bit-exactly through emit + lex.
+    #[test]
+    fn real_literals_roundtrip(v in prop::num::f64::POSITIVE) {
+        let lit = fortran_real_literal(v);
+        let toks = lex_single(&format!("x = {lit}"));
+        prop_assert_eq!(toks.len(), 3);
+        match &toks[2] {
+            Tok::Real(got) => prop_assert_eq!(*got, v, "{}", lit),
+            other => prop_assert!(false, "expected real, got {:?} from {}", other, lit),
+        }
+    }
+
+    /// Integers round-trip.
+    #[test]
+    fn int_literals_roundtrip(v in 0i64..=i64::MAX) {
+        let toks = lex_single(&format!("x = {v}"));
+        match &toks[2] {
+            Tok::Int(got) => prop_assert_eq!(*got, v),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Identifiers fold to lowercase regardless of input case.
+    #[test]
+    fn identifiers_case_fold(name in "[A-Za-z][A-Za-z0-9_]{0,12}") {
+        let toks = lex_single(&name);
+        match &toks[0] {
+            Tok::Ident(s) => prop_assert_eq!(s, &name.to_ascii_lowercase()),
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Splitting a statement across continuations never changes tokens.
+    #[test]
+    fn continuations_token_equivalent(a in 1i64..1000, b in 1i64..1000, c in 1i64..1000) {
+        let one = lex_single(&format!("x = {a} + {b} * {c}"));
+        let lines = lex(&format!("x = {a} + &\n  {b} * &\n  {c}")).unwrap();
+        prop_assert_eq!(lines.len(), 1);
+        prop_assert_eq!(&lines[0].toks, &one);
+    }
+}
+
+#[test]
+fn subnormal_and_extreme_reals() {
+    for v in [f64::MIN_POSITIVE, 1e-300, 1e300, 4.9e-324] {
+        let lit = fortran_real_literal(v);
+        let toks = lex_single(&format!("x = {lit}"));
+        match &toks[2] {
+            Tok::Real(got) => assert_eq!(*got, v, "{lit}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

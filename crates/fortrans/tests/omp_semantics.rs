@@ -1,0 +1,225 @@
+//! Focused OpenMP-semantics tests: scheduling clauses, NUM_THREADS,
+//! firstprivate behaviour through frame cloning, product/min reductions,
+//! negative-step parallel loops, and printing from parallel regions.
+
+use fortrans::{ArgVal, Engine, ExecMode, Val};
+
+fn engine(src: &str) -> Engine {
+    Engine::compile(&[src]).unwrap_or_else(|e| panic!("{e}\n{src}"))
+}
+
+const ALL: [ExecMode; 3] = [
+    ExecMode::Serial,
+    ExecMode::Parallel { threads: 3 },
+    ExecMode::Simulated { threads: 3 },
+];
+
+#[test]
+fn schedule_static_chunk_covers_iterations() {
+    let src = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE mark(a, n)
+    REAL(8), DIMENSION(1:97) :: a
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO SCHEDULE(STATIC, 5)
+    DO i = 1, n
+      a(i) = a(i) + i * 1.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE mark
+END MODULE m
+"#;
+    let e = engine(src);
+    for mode in ALL {
+        let a = ArgVal::array_f(&vec![0.0; 97], 1);
+        e.run("mark", &[a.clone(), ArgVal::I(97)], mode).unwrap();
+        let got = a.handle().unwrap().to_f64_vec();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, (i + 1) as f64, "{mode:?} i={i}");
+        }
+    }
+}
+
+#[test]
+fn num_threads_clause_caps_team() {
+    let src = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE work(a)
+    REAL(8), DIMENSION(1:64) :: a
+    INTEGER :: i
+    !$OMP PARALLEL DO NUM_THREADS(2)
+    DO i = 1, 64
+      a(i) = i * 1.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE work
+END MODULE m
+"#;
+    let e = engine(src);
+    let a = ArgVal::array_f(&vec![0.0; 64], 1);
+    let out = e
+        .run("work", &[a.clone()], ExecMode::Simulated { threads: 8 })
+        .unwrap();
+    // The trace must show a 2-thread region despite the 8-thread mode.
+    let region = out
+        .trace
+        .events
+        .iter()
+        .find_map(|ev| match ev {
+            fortrans::TraceEvent::Region(r) => Some(r),
+            _ => None,
+        })
+        .expect("one region");
+    assert_eq!(region.threads, 2);
+    assert_eq!(a.handle().unwrap().get_f(63), 64.0);
+}
+
+#[test]
+fn firstprivate_semantics_via_frame_cloning() {
+    // `scale` is set before the region and read inside: every thread must
+    // see the pre-region value.
+    let src = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE scaleit(a, n)
+    REAL(8), DIMENSION(1:40) :: a
+    INTEGER :: n
+    REAL(8) :: scale
+    INTEGER :: i
+    scale = 2.5D0
+    !$OMP PARALLEL DO FIRSTPRIVATE(scale)
+    DO i = 1, n
+      a(i) = a(i) * scale
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE scaleit
+END MODULE m
+"#;
+    let e = engine(src);
+    for mode in ALL {
+        let a = ArgVal::array_f(&vec![2.0; 40], 1);
+        e.run("scaleit", &[a.clone(), ArgVal::I(40)], mode).unwrap();
+        assert_eq!(a.handle().unwrap().get_f(17), 5.0, "{mode:?}");
+    }
+}
+
+#[test]
+fn product_and_min_reductions() {
+    let src = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE stats(a, n, p, mn)
+    REAL(8), DIMENSION(1:12) :: a
+    INTEGER :: n
+    REAL(8) :: p, mn
+    INTEGER :: i
+    p = 1.0D0
+    mn = 1.0D30
+    !$OMP PARALLEL DO REDUCTION(*:p) REDUCTION(MIN:mn)
+    DO i = 1, n
+      p = p * a(i)
+      mn = MIN(mn, a(i))
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE stats
+  SUBROUTINE driver(a, n, res)
+    REAL(8), DIMENSION(1:12) :: a
+    INTEGER :: n
+    REAL(8), DIMENSION(1:2) :: res
+    REAL(8) :: p, mn
+    CALL stats(a, n, p, mn)
+    res(1) = p
+    res(2) = mn
+  END SUBROUTINE driver
+END MODULE m
+"#;
+    let e = engine(src);
+    let data: Vec<f64> = (1..=12).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+    let expect_p: f64 = data.iter().product();
+    let expect_mn: f64 = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    for mode in ALL {
+        let a = ArgVal::array_f(&data, 1);
+        let res = ArgVal::array_f(&[0.0, 0.0], 1);
+        e.run("driver", &[a, ArgVal::I(12), res.clone()], mode).unwrap();
+        let h = res.handle().unwrap();
+        assert!((h.get_f(0) - expect_p).abs() < 1e-12, "{mode:?}: {}", h.get_f(0));
+        assert_eq!(h.get_f(1), expect_mn, "{mode:?}");
+    }
+}
+
+#[test]
+fn parallel_loop_with_negative_step() {
+    let src = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE rev(a, n)
+    REAL(8), DIMENSION(1:30) :: a
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO
+    DO i = n, 1, -1
+      a(i) = i * 10.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE rev
+END MODULE m
+"#;
+    let e = engine(src);
+    for mode in ALL {
+        let a = ArgVal::array_f(&vec![0.0; 30], 1);
+        e.run("rev", &[a.clone(), ArgVal::I(30)], mode).unwrap();
+        assert_eq!(a.handle().unwrap().get_f(0), 10.0, "{mode:?}");
+        assert_eq!(a.handle().unwrap().get_f(29), 300.0, "{mode:?}");
+    }
+}
+
+#[test]
+fn prints_from_parallel_regions_are_collected() {
+    let src = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE noisy(n)
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO
+    DO i = 1, n
+      PRINT *, 'iter', i
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE noisy
+END MODULE m
+"#;
+    let e = engine(src);
+    let out = e
+        .run("noisy", &[ArgVal::I(8)], ExecMode::Parallel { threads: 4 })
+        .unwrap();
+    assert_eq!(out.printed.matches("iter").count(), 8, "{}", out.printed);
+}
+
+#[test]
+fn integer_parallel_reduction() {
+    let src = r#"
+MODULE m
+CONTAINS
+  INTEGER FUNCTION countup(n)
+    INTEGER :: n
+    INTEGER :: i, acc
+    acc = 0
+    !$OMP PARALLEL DO REDUCTION(+:acc)
+    DO i = 1, n
+      acc = acc + i
+    END DO
+    !$OMP END PARALLEL DO
+    countup = acc
+  END FUNCTION countup
+END MODULE m
+"#;
+    let e = engine(src);
+    for mode in ALL {
+        let out = e.run("countup", &[ArgVal::I(100)], mode).unwrap();
+        assert_eq!(out.result, Some(Val::I(5050)), "{mode:?}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Figure 7's configuration space: "all combinations of parallelization
+//! and no-reallocation options" plus the manually parallelized comparison
+//! version (§4.2.2).
+
+use std::collections::BTreeSet;
+
+use fortrans::{ArgVal, Engine, ExecMode};
+use glaf::Glaf;
+use glaf_codegen::{CodegenOptions, DirectivePolicy};
+use simcpu::{time_trace, MachineModel, SimReport};
+
+use crate::glaf_model::build_fun3d_program;
+use crate::mesh::MESH_MOD_SRC;
+use crate::original::{MANUAL_JACOBIAN_SRC, ORIGINAL_JACOBIAN_SRC};
+
+/// One GLAF configuration: which of the four nesting levels carry
+/// directives, and whether the reallocation of edge_loop's temporaries is
+/// eliminated (FORTRAN SAVE — the §4.2.1 adaptation, automated per the
+/// §4.2.2 future-work suggestion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fun3dConfig {
+    pub par_edgejp: bool,
+    pub par_cell_loop: bool,
+    pub par_edge_loop: bool,
+    pub par_ioff_search: bool,
+    pub no_realloc: bool,
+}
+
+impl Fun3dConfig {
+    pub fn any_parallel(self) -> bool {
+        self.par_edgejp || self.par_cell_loop || self.par_edge_loop || self.par_ioff_search
+    }
+
+    /// Short tag like "EJP+CELL/noRA" for tables.
+    pub fn tag(self) -> String {
+        let mut parts = Vec::new();
+        if self.par_edgejp {
+            parts.push("EdgeJP");
+        }
+        if self.par_cell_loop {
+            parts.push("Cell");
+        }
+        if self.par_edge_loop {
+            parts.push("Edge");
+        }
+        if self.par_ioff_search {
+            parts.push("IOff");
+        }
+        let levels = if parts.is_empty() { "serial".to_string() } else { parts.join("+") };
+        format!("{levels}{}", if self.no_realloc { " noRealloc" } else { "" })
+    }
+
+    /// The 32 combinations of Fig. 7's option matrix.
+    pub fn all() -> Vec<Fun3dConfig> {
+        let mut out = Vec::new();
+        for bits in 0u8..32 {
+            out.push(Fun3dConfig {
+                par_edgejp: bits & 1 != 0,
+                par_cell_loop: bits & 2 != 0,
+                par_edge_loop: bits & 4 != 0,
+                par_ioff_search: bits & 8 != 0,
+                no_realloc: bits & 16 != 0,
+            });
+        }
+        out
+    }
+
+    /// The best-performing GLAF configuration per the paper: coarsest
+    /// granularity + no reallocation.
+    pub fn best() -> Fun3dConfig {
+        Fun3dConfig { par_edgejp: true, no_realloc: true, ..Default::default() }
+    }
+
+    /// Maps the options onto codegen: forced directives per function name
+    /// plus the §4.2.1 adaptations (THREADPRIVATE on the shared cell
+    /// buffers when cells run concurrently; ATOMIC on the Jacobian).
+    pub fn codegen_options(self) -> CodegenOptions {
+        let mut force_parallel = BTreeSet::new();
+        if self.par_edgejp {
+            force_parallel.insert("edgejp".to_string());
+        }
+        if self.par_cell_loop {
+            force_parallel.insert("cell_loop".to_string());
+        }
+        if self.par_edge_loop {
+            force_parallel.insert("edge_loop".to_string());
+        }
+        if self.par_ioff_search {
+            force_parallel.insert("ioff_search".to_string());
+        }
+        let mut threadprivate = BTreeSet::new();
+        if self.par_edgejp {
+            threadprivate.insert("qavg".to_string());
+            threadprivate.insert("grad".to_string());
+        }
+        let mut force_atomic = BTreeSet::new();
+        if self.any_parallel() {
+            force_atomic.insert("jac".to_string());
+        }
+        CodegenOptions {
+            policy: DirectivePolicy::Serial,
+            force_parallel,
+            threadprivate,
+            force_atomic,
+            auto_save_arrays: self.no_realloc,
+            atomic_updates: self.any_parallel(),
+            ..CodegenOptions::serial()
+        }
+    }
+}
+
+/// A Figure 7 implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fun3dVariant {
+    OriginalSerial,
+    /// The paper's hand-parallelized comparison version.
+    ManualParallel,
+    Glaf(Fun3dConfig),
+}
+
+impl Fun3dVariant {
+    pub fn name(self) -> String {
+        match self {
+            Fun3dVariant::OriginalSerial => "original serial".into(),
+            Fun3dVariant::ManualParallel => "manual parallel".into(),
+            Fun3dVariant::Glaf(c) => format!("GLAF {}", c.tag()),
+        }
+    }
+}
+
+/// Builds the engine for a variant.
+pub fn build_engine(variant: Fun3dVariant) -> Engine {
+    match variant {
+        Fun3dVariant::OriginalSerial => {
+            Engine::compile(&[MESH_MOD_SRC, ORIGINAL_JACOBIAN_SRC]).expect("original compiles")
+        }
+        Fun3dVariant::ManualParallel => {
+            Engine::compile(&[MESH_MOD_SRC, MANUAL_JACOBIAN_SRC]).expect("manual compiles")
+        }
+        Fun3dVariant::Glaf(cfg) => {
+            let g = Glaf::new(build_fun3d_program()).expect("GLAF FUN3D program is valid");
+            let generated = g.generate(glaf::Lang::Fortran, &cfg.codegen_options());
+            Engine::compile(&[MESH_MOD_SRC, &generated.source])
+                .unwrap_or_else(|e| panic!("generated code compiles: {e}\n{}", generated.source))
+        }
+    }
+}
+
+fn entry(variant: Fun3dVariant) -> &'static str {
+    match variant {
+        Fun3dVariant::Glaf(_) => "edgejp",
+        _ => "jacobian_recon",
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Fun3dRun {
+    pub variant_name: String,
+    pub jac: Vec<f64>,
+    pub report: SimReport,
+}
+
+/// Simulated run on `machine` with `threads`, over a fresh `ncell` mesh.
+pub fn run_simulated(
+    variant: Fun3dVariant,
+    ncell: i64,
+    threads: usize,
+    machine: &MachineModel,
+) -> Fun3dRun {
+    let engine = build_engine(variant);
+    engine
+        .run("build_mesh", &[ArgVal::I(ncell)], ExecMode::Serial)
+        .expect("mesh builds");
+    let out = engine
+        .run(entry(variant), &[], ExecMode::Simulated { threads })
+        .expect("variant runs");
+    Fun3dRun {
+        variant_name: variant.name(),
+        jac: engine.global_array("mesh_mod::jac").unwrap().to_f64_vec(),
+        report: time_trace(&out.trace, machine),
+    }
+}
+
+/// Real-thread run (correctness validation).
+pub fn run_real(variant: Fun3dVariant, ncell: i64, threads: usize) -> Vec<f64> {
+    let engine = build_engine(variant);
+    engine
+        .run("build_mesh", &[ArgVal::I(ncell)], ExecMode::Serial)
+        .expect("mesh builds");
+    let mode = if threads <= 1 { ExecMode::Serial } else { ExecMode::Parallel { threads } };
+    engine.run(entry(variant), &[], mode).expect("variant runs");
+    engine.global_array("mesh_mod::jac").unwrap().to_f64_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf::compare_slices;
+
+    const NC: i64 = 200;
+
+    #[test]
+    fn glaf_serial_matches_original_bitwise() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        let glaf = run_real(Fun3dVariant::Glaf(Fun3dConfig::default()), NC, 1);
+        let r = compare_slices(&base, &glaf);
+        assert_eq!(r.max_abs_diff, 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn no_realloc_does_not_change_results() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        let cfg = Fun3dConfig { no_realloc: true, ..Default::default() };
+        let glaf = run_real(Fun3dVariant::Glaf(cfg), NC, 1);
+        assert_eq!(compare_slices(&base, &glaf).max_abs_diff, 0.0);
+    }
+
+    /// The §4.2.1 acceptance test across every parallelization combo: "a
+    /// reference root mean square of the output arrays that is
+    /// automatically checked at a 1e-7 (absolute) tolerance ... critical
+    /// when performing parallel summation".
+    #[test]
+    fn all_combos_pass_rms_check_with_threads() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        for cfg in Fun3dConfig::all() {
+            let jac = run_real(Fun3dVariant::Glaf(cfg), NC, 4);
+            let r = compare_slices(&base, &jac);
+            assert!(r.passes_rms(1e-7), "{}: {r:?}", cfg.tag());
+        }
+    }
+
+    #[test]
+    fn manual_parallel_passes_rms() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        let jac = run_real(Fun3dVariant::ManualParallel, NC, 4);
+        assert!(compare_slices(&base, &jac).passes_rms(1e-7));
+    }
+
+    #[test]
+    fn simulated_combos_bit_identical_to_serial() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        for cfg in [Fun3dConfig::default(), Fun3dConfig::best()] {
+            let m = simcpu::MachineModel::xeon_e5_2637v4_dual_like();
+            let run = run_simulated(Fun3dVariant::Glaf(cfg), NC, 16, &m);
+            assert_eq!(compare_slices(&base, &run.jac).max_abs_diff, 0.0, "{}", cfg.tag());
+        }
+    }
+
+    #[test]
+    fn config_enumeration_and_tags() {
+        let all = Fun3dConfig::all();
+        assert_eq!(all.len(), 32);
+        assert_eq!(Fun3dConfig::default().tag(), "serial");
+        assert_eq!(Fun3dConfig::best().tag(), "EdgeJP noRealloc");
+        let full = Fun3dConfig {
+            par_edgejp: true,
+            par_cell_loop: true,
+            par_edge_loop: true,
+            par_ioff_search: true,
+            no_realloc: false,
+        };
+        assert_eq!(full.tag(), "EdgeJP+Cell+Edge+IOff");
+    }
+
+    #[test]
+    fn realloc_costs_show_up_in_simulation() {
+        let m = simcpu::MachineModel::xeon_e5_2637v4_dual_like();
+        let with = run_simulated(Fun3dVariant::Glaf(Fun3dConfig::default()), NC, 16, &m);
+        let cfg = Fun3dConfig { no_realloc: true, ..Default::default() };
+        let without = run_simulated(Fun3dVariant::Glaf(cfg), NC, 16, &m);
+        assert!(
+            with.report.alloc_cycles > 10.0 * without.report.alloc_cycles.max(1.0),
+            "realloc {} vs no-realloc {}",
+            with.report.alloc_cycles,
+            without.report.alloc_cycles
+        );
+    }
+}

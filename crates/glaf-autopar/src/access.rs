@@ -1,0 +1,244 @@
+//! Access collection: every grid read/write in a loop body, with
+//! canonicalized subscripts.
+
+use glaf_ir::{Callee, Expr, LoopNest, Stmt};
+
+use crate::affine::{to_affine, SubscriptForm};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// One access to a grid inside a loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    pub grid: String,
+    pub field: Option<String>,
+    pub kind: AccessKind,
+    /// Canonicalized subscripts (empty for scalars).
+    pub subscripts: Vec<SubscriptForm>,
+    /// Position in a statement-order walk of the body; lets the
+    /// privatization pass reason about write-before-read.
+    pub order: usize,
+    /// True when the access sits under an `If` (including the step-level
+    /// condition) — writes under conditions can't be proven
+    /// every-iteration, which blocks privatization.
+    pub conditional: bool,
+    /// True when the access occurs inside a called user function's argument
+    /// list (we treat call arguments as reads; the callee's own effects are
+    /// handled by the interprocedural summary in `plan`).
+    pub in_call: bool,
+}
+
+/// Collects all accesses in the loop nest `nest`. `indices` are the nest's
+/// loop variables (outer→inner).
+pub fn collect_accesses(nest: &LoopNest) -> Vec<Access> {
+    let indices: Vec<String> = nest.ranges.iter().map(|r| r.var.clone()).collect();
+    let mut out = Vec::new();
+    let mut order = 0usize;
+    let base_cond = nest.condition.is_some();
+    if let Some(c) = &nest.condition {
+        collect_expr(c, &indices, &mut out, &mut order, false, false);
+    }
+    for s in &nest.body {
+        collect_stmt(s, &indices, &mut out, &mut order, base_cond);
+    }
+    out
+}
+
+fn collect_stmt(
+    stmt: &Stmt,
+    indices: &[String],
+    out: &mut Vec<Access>,
+    order: &mut usize,
+    conditional: bool,
+) {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            // Subscript expressions of the target are reads.
+            for ix in &target.indices {
+                collect_expr(ix, indices, out, order, conditional, false);
+            }
+            collect_expr(value, indices, out, order, conditional, false);
+            out.push(Access {
+                grid: target.grid.clone(),
+                field: target.field.clone(),
+                kind: AccessKind::Write,
+                subscripts: target.indices.iter().map(|e| to_affine(e, indices)).collect(),
+                order: *order,
+                conditional,
+                in_call: false,
+            });
+            *order += 1;
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            collect_expr(cond, indices, out, order, conditional, false);
+            for s in then_body.iter().chain(else_body.iter()) {
+                collect_stmt(s, indices, out, order, true);
+            }
+        }
+        Stmt::CallSub { args, .. } => {
+            for a in args {
+                collect_expr(a, indices, out, order, conditional, true);
+            }
+            *order += 1;
+        }
+        Stmt::Return(Some(e)) => {
+            collect_expr(e, indices, out, order, conditional, false);
+            *order += 1;
+        }
+        _ => {}
+    }
+}
+
+fn collect_expr(
+    expr: &Expr,
+    indices: &[String],
+    out: &mut Vec<Access>,
+    order: &mut usize,
+    conditional: bool,
+    in_call: bool,
+) {
+    match expr {
+        Expr::GridRef { grid, indices: ix, field } => {
+            for sub in ix {
+                collect_expr(sub, indices, out, order, conditional, in_call);
+            }
+            out.push(Access {
+                grid: grid.clone(),
+                field: field.clone(),
+                kind: AccessKind::Read,
+                subscripts: ix.iter().map(|e| to_affine(e, indices)).collect(),
+                order: *order,
+                conditional,
+                in_call,
+            });
+            *order += 1;
+        }
+        Expr::WholeGrid(g) => {
+            out.push(Access {
+                grid: g.clone(),
+                field: None,
+                kind: AccessKind::Read,
+                subscripts: vec![SubscriptForm::NonAffine],
+                order: *order,
+                conditional,
+                in_call,
+            });
+            *order += 1;
+        }
+        Expr::Unary { operand, .. } => {
+            collect_expr(operand, indices, out, order, conditional, in_call)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, indices, out, order, conditional, in_call);
+            collect_expr(rhs, indices, out, order, conditional, in_call);
+        }
+        Expr::Call { callee, args } => {
+            let nested_call = in_call || matches!(callee, Callee::User(_));
+            for a in args {
+                collect_expr(a, indices, out, order, conditional, nested_call);
+            }
+            *order += 1;
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_ir::{Expr, IndexRange, LValue, LoopNest, Stmt};
+
+    fn simple_nest() -> LoopNest {
+        // foreach i: a(i) = b(i) + s
+        LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::scalar("n"))],
+            condition: None,
+            body: vec![Stmt::assign(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("b", vec![Expr::idx("i")]) + Expr::scalar("s"),
+            )],
+        }
+    }
+
+    #[test]
+    fn reads_and_writes_collected() {
+        let acc = collect_accesses(&simple_nest());
+        let writes: Vec<_> = acc.iter().filter(|a| a.kind == AccessKind::Write).collect();
+        let reads: Vec<_> = acc.iter().filter(|a| a.kind == AccessKind::Read).collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].grid, "a");
+        // b(i), s and the subscript index of a(i) is not a grid read — so 2.
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().any(|r| r.grid == "b"));
+        assert!(reads.iter().any(|r| r.grid == "s"));
+    }
+
+    #[test]
+    fn write_order_after_rhs_reads() {
+        let acc = collect_accesses(&simple_nest());
+        let w = acc.iter().find(|a| a.kind == AccessKind::Write).unwrap();
+        let r = acc.iter().find(|a| a.grid == "b").unwrap();
+        assert!(r.order < w.order, "RHS reads must precede the write in order");
+    }
+
+    #[test]
+    fn conditional_marking() {
+        let nest = LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::int(8))],
+            condition: None,
+            body: vec![Stmt::If {
+                cond: Expr::idx("i").cmp(glaf_ir::BinOp::Gt, Expr::int(3)),
+                then_body: vec![Stmt::assign(LValue::scalar("t"), Expr::real(1.0))],
+                else_body: vec![],
+            }],
+        };
+        let acc = collect_accesses(&nest);
+        let w = acc.iter().find(|a| a.grid == "t").unwrap();
+        assert!(w.conditional);
+    }
+
+    #[test]
+    fn step_condition_marks_everything() {
+        let mut nest = simple_nest();
+        nest.condition = Some(Expr::idx("i").cmp(glaf_ir::BinOp::Lt, Expr::int(4)));
+        let acc = collect_accesses(&nest);
+        let w = acc.iter().find(|a| a.kind == AccessKind::Write).unwrap();
+        assert!(w.conditional);
+    }
+
+    #[test]
+    fn call_arguments_are_reads_in_call() {
+        let nest = LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::int(8))],
+            condition: None,
+            body: vec![Stmt::CallSub {
+                name: "edge_loop".into(),
+                args: vec![Expr::at("c", vec![Expr::idx("i")])],
+            }],
+        };
+        let acc = collect_accesses(&nest);
+        let r = acc.iter().find(|a| a.grid == "c").unwrap();
+        assert!(r.in_call);
+        assert_eq!(r.kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn whole_grid_read_is_nonaffine() {
+        let nest = LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::int(8))],
+            condition: None,
+            body: vec![Stmt::assign(
+                LValue::scalar("t"),
+                Expr::lib(glaf_ir::LibFunc::Sum, vec![Expr::WholeGrid("v".into())]),
+            )],
+        };
+        let acc = collect_accesses(&nest);
+        let r = acc.iter().find(|a| a.grid == "v").unwrap();
+        assert_eq!(r.subscripts, vec![SubscriptForm::NonAffine]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Loop taxonomy: the classes behind the paper's Table 2 policies and the
+//! machine model's compiler-optimization verdicts.
+//!
+//! §4.1.2 removes OpenMP directives incrementally from:
+//!   v1 — "initialization of arrays (grids) to zero value" and
+//!        "initialization of arrays with a single value loaded from
+//!        another array";
+//!   v2 — "all remaining single loops ... one-line assignments ... few
+//!        lines of similar assignments, as well as loops that contain
+//!        reductions";
+//!   v3 — "double-nested loops that contain one or a few statements
+//!        without including any control structure".
+//!
+//! The same structural features decide what the (modeled) compiler can do
+//! with a serial loop: zero-initializations become `memset`, simple affine
+//! loops vectorize, tiny trip counts unroll.
+
+use glaf_ir::{Expr, LoopNest, Stmt};
+
+/// Structural class of a loop nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopClass {
+    /// Single loop setting array elements to a constant zero.
+    ZeroInit,
+    /// Single loop copying a single (loop-invariant or streaming) value
+    /// into an array.
+    SingleValueInit,
+    /// Single loop of one-to-few straight assignments (incl. reductions),
+    /// no control flow, no calls.
+    SimpleSingle,
+    /// Double-nested loop of one-to-few straight assignments, no control
+    /// flow, no calls.
+    SimpleDouble,
+    /// Everything else: control flow, calls, deep nests, big bodies.
+    Complex,
+}
+
+impl LoopClass {
+    /// Human-readable tag used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopClass::ZeroInit => "zero-init",
+            LoopClass::SingleValueInit => "single-value-init",
+            LoopClass::SimpleSingle => "simple-single",
+            LoopClass::SimpleDouble => "simple-double",
+            LoopClass::Complex => "complex",
+        }
+    }
+}
+
+/// "Few" straight-line assignments, per the paper's description ("few
+/// lines (two to four) of similar assignments").
+const FEW_STATEMENTS: usize = 4;
+
+fn is_zero_literal(e: &Expr) -> bool {
+    matches!(e, Expr::IntLit(0)) || matches!(e, Expr::RealLit(v) if *v == 0.0)
+}
+
+fn body_is_straight_assigns(body: &[Stmt]) -> bool {
+    body.iter().all(|s| matches!(s, Stmt::Assign { .. }))
+}
+
+/// Classifies a loop nest.
+pub fn classify_loop(nest: &LoopNest) -> LoopClass {
+    let has_control = nest.condition.is_some() || nest.body.iter().any(Stmt::has_control);
+    let has_call = nest.body.iter().any(Stmt::has_call);
+    let straight = body_is_straight_assigns(&nest.body);
+    let small = nest.body.len() <= FEW_STATEMENTS;
+
+    if has_control || has_call || !straight || !small {
+        return LoopClass::Complex;
+    }
+
+    match nest.depth() {
+        1 => {
+            if nest.body.len() == 1 {
+                if let Stmt::Assign { target, value } = &nest.body[0] {
+                    if !target.indices.is_empty() && is_zero_literal(value) {
+                        return LoopClass::ZeroInit;
+                    }
+                    if !target.indices.is_empty() && is_single_value_load(value) {
+                        return LoopClass::SingleValueInit;
+                    }
+                }
+            }
+            LoopClass::SimpleSingle
+        }
+        2 => LoopClass::SimpleDouble,
+        _ => LoopClass::Complex,
+    }
+}
+
+/// A "single value loaded from another array": the RHS is one grid read or
+/// literal, with no arithmetic.
+fn is_single_value_load(e: &Expr) -> bool {
+    matches!(e, Expr::GridRef { .. } | Expr::IntLit(_) | Expr::RealLit(_))
+}
+
+/// Vectorizability verdict for the compiler model: an innermost loop with
+/// straight-line affine assignments, no calls and no control flow. This is
+/// intentionally the envelope of what `gfortran -O3`'s auto-vectorizer
+/// accepts for the kernel shapes in the paper.
+pub fn is_vectorizable(nest: &LoopNest) -> bool {
+    if nest.condition.is_some() {
+        return false;
+    }
+    if nest.body.iter().any(|s| s.has_control() || s.has_call()) {
+        return false;
+    }
+    body_is_straight_assigns(&nest.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_ir::{Expr, IndexRange, LValue, LoopNest, Stmt};
+
+    fn loop1(body: Vec<Stmt>) -> LoopNest {
+        LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::scalar("n"))],
+            condition: None,
+            body,
+        }
+    }
+
+    fn loop2(body: Vec<Stmt>) -> LoopNest {
+        LoopNest {
+            ranges: vec![
+                IndexRange::new("i", Expr::int(1), Expr::int(2)),
+                IndexRange::new("j", Expr::int(1), Expr::int(60)),
+            ],
+            condition: None,
+            body,
+        }
+    }
+
+    #[test]
+    fn zero_init_detected() {
+        let l = loop1(vec![Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::real(0.0),
+        )]);
+        assert_eq!(classify_loop(&l), LoopClass::ZeroInit);
+    }
+
+    #[test]
+    fn integer_zero_also_counts() {
+        let l = loop1(vec![Stmt::assign(
+            LValue::at("cnt", vec![Expr::idx("i")]),
+            Expr::int(0),
+        )]);
+        assert_eq!(classify_loop(&l), LoopClass::ZeroInit);
+    }
+
+    #[test]
+    fn single_value_load_detected() {
+        let l = loop1(vec![Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::at("b", vec![Expr::idx("i")]),
+        )]);
+        assert_eq!(classify_loop(&l), LoopClass::SingleValueInit);
+    }
+
+    #[test]
+    fn arithmetic_single_loop_is_simple_single() {
+        let l = loop1(vec![Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::at("b", vec![Expr::idx("i")]) * Expr::real(2.0) + Expr::real(1.0),
+        )]);
+        assert_eq!(classify_loop(&l), LoopClass::SimpleSingle);
+    }
+
+    #[test]
+    fn reduction_loop_is_simple_single() {
+        let l = loop1(vec![Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::scalar("acc") + Expr::at("b", vec![Expr::idx("i")]),
+        )]);
+        assert_eq!(classify_loop(&l), LoopClass::SimpleSingle);
+    }
+
+    #[test]
+    fn double_nest_simple() {
+        let l = loop2(vec![Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i"), Expr::idx("j")]),
+            Expr::at("b", vec![Expr::idx("i"), Expr::idx("j")]) + Expr::real(1.0),
+        )]);
+        assert_eq!(classify_loop(&l), LoopClass::SimpleDouble);
+    }
+
+    #[test]
+    fn control_flow_makes_complex() {
+        let l = loop2(vec![Stmt::If {
+            cond: Expr::idx("i").cmp(glaf_ir::BinOp::Gt, Expr::int(1)),
+            then_body: vec![Stmt::assign(LValue::scalar("x"), Expr::real(1.0))],
+            else_body: vec![],
+        }]);
+        assert_eq!(classify_loop(&l), LoopClass::Complex);
+        assert!(!is_vectorizable(&l));
+    }
+
+    #[test]
+    fn calls_make_complex() {
+        let l = loop1(vec![Stmt::CallSub { name: "edge_loop".into(), args: vec![] }]);
+        assert_eq!(classify_loop(&l), LoopClass::Complex);
+    }
+
+    #[test]
+    fn big_body_makes_complex() {
+        let body: Vec<Stmt> = (0..6)
+            .map(|k| {
+                Stmt::assign(
+                    LValue::at("a", vec![Expr::idx("i")]),
+                    Expr::real(k as f64),
+                )
+            })
+            .collect();
+        assert_eq!(classify_loop(&loop1(body)), LoopClass::Complex);
+    }
+
+    #[test]
+    fn vectorizable_envelope() {
+        let l = loop1(vec![Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::at("b", vec![Expr::idx("i")]) * Expr::real(2.0),
+        )]);
+        assert!(is_vectorizable(&l));
+        let guarded = LoopNest { condition: Some(Expr::BoolLit(true)), ..l };
+        assert!(!is_vectorizable(&guarded));
+    }
+}

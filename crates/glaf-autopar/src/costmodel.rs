@@ -1,0 +1,257 @@
+//! The performance-prediction back-end.
+//!
+//! §4.1.2 of the paper: "As future work, we suggest the incorporation of a
+//! performance prediction/modeling back-end that will guide the automatic
+//! code generation in a more intelligent way (e.g., selecting SIMD
+//! directives, instead of OpenMP, or neither)." This module implements
+//! that back-end. Given a loop's structure and plan, it estimates
+//!
+//! * serial execution time, letting the (modeled) compiler vectorize or
+//!   memset-optimize eligible loops, and
+//! * threaded execution time, paying a fork/join cost per parallel region
+//!   and any reduction-combine cost,
+//!
+//! then chooses whichever is cheaper. The estimates intentionally use the
+//! same first-order structure as the `simcpu` machine model, so the
+//! advisor's decisions line up with the simulated measurements the benches
+//! report (ablation: `bench/benches/ablation_costmodel.rs`).
+
+use glaf_ir::{Expr, LoopNest};
+
+use crate::classify::LoopClass;
+use crate::plan::LoopPlan;
+
+/// Tunable machine parameters for the advisor. Defaults mirror the
+/// `simcpu` "i5-2400-like" preset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Threads available to a parallel region.
+    pub threads: usize,
+    /// Cycles to fork + join a parallel region (OpenMP runtime overhead).
+    pub fork_join_cycles: f64,
+    /// Extra cycles per thread joining a reduction combine.
+    pub reduction_cycles_per_thread: f64,
+    /// Effective SIMD speedup for a vectorizable loop body.
+    pub simd_speedup: f64,
+    /// Effective speedup for a zero-initialization loop replaced by
+    /// memset.
+    pub memset_speedup: f64,
+    /// Cycles per expression node (crude per-operation cost).
+    pub cycles_per_node: f64,
+    /// Assumed trip count when a bound is not a literal.
+    pub default_trip: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            threads: 4,
+            fork_join_cycles: 1_650.0,
+            reduction_cycles_per_thread: 150.0,
+            simd_speedup: 4.0,
+            memset_speedup: 16.0,
+            cycles_per_node: 3.0,
+            default_trip: 64,
+        }
+    }
+}
+
+/// What the advisor recommends for one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Emit `!$OMP PARALLEL DO`.
+    Threads,
+    /// Leave serial; the compiler's SIMD/memset/unroll wins.
+    Simd,
+    /// Leave serial; too small for either to matter.
+    Serial,
+}
+
+/// The advisor.
+#[derive(Debug, Clone, Default)]
+pub struct CostAdvisor {
+    pub params: CostParams,
+}
+
+impl CostAdvisor {
+    pub fn new(params: CostParams) -> Self {
+        CostAdvisor { params }
+    }
+
+    /// Estimated trip count of the full nest (product of per-range trips).
+    pub fn trip_count(&self, nest: &LoopNest) -> u64 {
+        nest.ranges
+            .iter()
+            .map(|r| match (&r.start, &r.end) {
+                (Expr::IntLit(a), Expr::IntLit(b)) if b >= a => (b - a + 1) as u64,
+                _ => self.default_trip(),
+            })
+            .product::<u64>()
+            .max(1)
+    }
+
+    fn default_trip(&self) -> u64 {
+        self.params.default_trip
+    }
+
+    /// Crude per-iteration cost: expression nodes across the body times
+    /// `cycles_per_node`.
+    pub fn body_cycles(&self, nest: &LoopNest) -> f64 {
+        let mut nodes = 0usize;
+        for s in &nest.body {
+            s.walk_exprs(&mut |_| nodes += 1);
+            s.walk(&mut |_| nodes += 1);
+        }
+        if let Some(c) = &nest.condition {
+            nodes += c.node_count();
+        }
+        (nodes.max(1)) as f64 * self.params.cycles_per_node
+    }
+
+    /// Serial time with compiler optimizations applied.
+    pub fn serial_cycles(&self, nest: &LoopNest, plan: &LoopPlan) -> f64 {
+        let trip = self.trip_count(nest) as f64;
+        let body = self.body_cycles(nest);
+        let factor = match plan.class {
+            LoopClass::ZeroInit => self.params.memset_speedup,
+            _ if plan.vectorizable => self.params.simd_speedup,
+            _ => 1.0,
+        };
+        trip * body / factor
+    }
+
+    /// Threaded time: fork/join + ideally-divided body (no SIMD inside
+    /// OpenMP regions in the paper's observations) + reduction combine.
+    pub fn parallel_cycles(&self, nest: &LoopNest, plan: &LoopPlan) -> f64 {
+        let trip = self.trip_count(nest) as f64;
+        let body = self.body_cycles(nest);
+        let t = self.params.threads.max(1) as f64;
+        // With COLLAPSE the full nest trip divides across threads; without,
+        // only the outer range does — collapse ≥ 1 always here.
+        let chunk = (trip / t).ceil();
+        self.params.fork_join_cycles
+            + chunk * body
+            + plan.reductions.len() as f64 * self.params.reduction_cycles_per_thread * t
+    }
+
+    /// The recommendation for this loop.
+    pub fn decide(&self, nest: &LoopNest, plan: &LoopPlan) -> Decision {
+        if !plan.parallelizable {
+            return if plan.vectorizable { Decision::Simd } else { Decision::Serial };
+        }
+        let ser = self.serial_cycles(nest, plan);
+        let par = self.parallel_cycles(nest, plan);
+        if par < ser {
+            Decision::Threads
+        } else if plan.vectorizable || plan.class == LoopClass::ZeroInit {
+            Decision::Simd
+        } else {
+            Decision::Serial
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::analyze_program;
+    use glaf_grid::{DataType, Grid};
+    use glaf_ir::{IndexRange, LValue, ProgramBuilder, StepBody};
+
+    fn make(nest_end: i64, heavy: bool) -> (LoopNest, LoopPlan) {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(1_000_000).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(1_000_000).finish().unwrap();
+        let mut fb = ProgramBuilder::new()
+            .module("m")
+            .subroutine("f")
+            .param(a)
+            .param(b)
+            .loop_step("l")
+            .foreach("i", Expr::int(1), Expr::int(nest_end));
+        let mut rhs = Expr::at("b", vec![Expr::idx("i")]);
+        if heavy {
+            // A big body *with control flow*: the modeled compiler cannot
+            // vectorize it, so threading is the only speedup available —
+            // the exact situation where the paper's two longwave loops
+            // keep their OMP directives.
+            for _ in 0..40 {
+                rhs = Expr::lib(glaf_ir::LibFunc::Exp, vec![rhs]) * Expr::real(1.0001)
+                    + Expr::real(0.5);
+            }
+            fb = fb.stmt(glaf_ir::Stmt::If {
+                cond: Expr::at("b", vec![Expr::idx("i")]).cmp(glaf_ir::BinOp::Gt, Expr::real(0.0)),
+                then_body: vec![glaf_ir::Stmt::assign(
+                    LValue::at("a", vec![Expr::idx("i")]),
+                    rhs,
+                )],
+                else_body: vec![glaf_ir::Stmt::assign(
+                    LValue::at("a", vec![Expr::idx("i")]),
+                    Expr::real(0.0),
+                )],
+            });
+        } else {
+            fb = fb.formula(LValue::at("a", vec![Expr::idx("i")]), rhs);
+        }
+        let p = fb.done().done().done().finish();
+        let plan = analyze_program(&p);
+        let lp = plan.for_function("f").unwrap().loops[0].clone();
+        let (_, f) = p.find_function("f").unwrap();
+        let nest = match &f.steps[0].body {
+            StepBody::Loop(n) => n.clone(),
+            _ => unreachable!(),
+        };
+        (nest, lp)
+    }
+
+    #[test]
+    fn tiny_loop_stays_serial_or_simd() {
+        let (nest, plan) = make(8, false);
+        let adv = CostAdvisor::default();
+        assert_ne!(adv.decide(&nest, &plan), Decision::Threads);
+    }
+
+    #[test]
+    fn huge_heavy_loop_gets_threads() {
+        let (nest, plan) = make(1_000_000, true);
+        let adv = CostAdvisor::default();
+        assert_eq!(adv.decide(&nest, &plan), Decision::Threads);
+    }
+
+    #[test]
+    fn vectorizable_medium_loop_prefers_simd() {
+        // Medium trip count, trivially light body: SIMD serial beats
+        // threads because fork/join dominates.
+        let (nest, plan) = make(4_000, false);
+        let adv = CostAdvisor::default();
+        assert_eq!(adv.decide(&nest, &plan), Decision::Simd);
+    }
+
+    #[test]
+    fn non_parallelizable_never_threads() {
+        let (nest, mut plan) = make(1_000_000, true);
+        plan.parallelizable = false;
+        plan.vectorizable = false;
+        let adv = CostAdvisor::default();
+        assert_eq!(adv.decide(&nest, &plan), Decision::Serial);
+    }
+
+    #[test]
+    fn trip_count_products_and_defaults() {
+        let adv = CostAdvisor::default();
+        let nest = LoopNest {
+            ranges: vec![
+                IndexRange::new("i", Expr::int(1), Expr::int(2)),
+                IndexRange::new("j", Expr::int(1), Expr::int(60)),
+            ],
+            condition: None,
+            body: vec![],
+        };
+        assert_eq!(adv.trip_count(&nest), 120);
+        let sym = LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::scalar("n"))],
+            condition: None,
+            body: vec![],
+        };
+        assert_eq!(adv.trip_count(&sym), adv.params.default_trip);
+    }
+}

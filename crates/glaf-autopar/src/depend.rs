@@ -1,0 +1,409 @@
+//! Classical data-dependence tests over affine subscript pairs.
+//!
+//! For a candidate parallel loop index `v`, two accesses to the same grid
+//! conflict across iterations when their subscript systems admit a solution
+//! with `v ≠ v'`. Each subscript dimension contributes a *constraint on the
+//! iteration distance* `d = v − v'`:
+//!
+//! * **ZIV / other-index dimensions** (`v` absent on both sides): if the
+//!   equation is unsatisfiable (constant mismatch, no free variables) the
+//!   pair can never alias — `Impossible`; otherwise the dimension says
+//!   nothing about `d` — `Any`.
+//! * **Strong SIV** (`a·v + c1` vs `a·v + c2`, no other indices): the
+//!   distance is pinned to `d = (c2 − c1)/a` — `Exactly(d)`, or
+//!   `Impossible` when non-integral.
+//! * **Weak SIV / MIV**: the **GCD test** — `gcd(a1, a2) ∤ (c2 − c1)` means
+//!   `Impossible`; otherwise `Unknown`.
+//! * Symbolic constant parts compare only when syntactically identical;
+//!   otherwise `Unknown`.
+//!
+//! The dimensions' constraints intersect: any `Impossible` kills the
+//! dependence; contradicting `Exactly` values kill it; `Exactly(0)` proves
+//! the accesses only meet within one iteration (safe to parallelize);
+//! anything else is (conservatively) loop-carried.
+
+use crate::access::{Access, AccessKind};
+use crate::affine::{comparable, Affine, SubscriptForm};
+
+/// Verdict for a pair of accesses w.r.t. one loop index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepResult {
+    /// No two iterations (equal or distinct) touch the same element — or
+    /// only provably-distinct elements are touched.
+    Independent,
+    /// Same element only within one iteration (distance 0): safe to run
+    /// iterations in parallel.
+    LoopIndependent,
+    /// Different iterations touch the same element — forbids naive
+    /// parallelization of this index.
+    LoopCarried,
+    /// Analysis could not decide — treated as carried.
+    Unknown,
+}
+
+impl DepResult {
+    /// True when the verdict permits parallel execution of the loop.
+    pub fn allows_parallel(self) -> bool {
+        matches!(self, DepResult::Independent | DepResult::LoopIndependent)
+    }
+}
+
+/// Constraint one subscript dimension places on the iteration distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Constraint {
+    /// The dimension can never be satisfied: no dependence at all.
+    Impossible,
+    /// The distance is exactly this value.
+    Exactly(i64),
+    /// Satisfiable at every distance.
+    Any,
+    /// Could not analyze.
+    Unknown,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// True when any index other than `v` appears with a nonzero coefficient
+/// in either form.
+fn has_other_indices(a: &Affine, b: &Affine, v: &str) -> bool {
+    a.coeffs.keys().chain(b.coeffs.keys()).any(|k| k != v)
+}
+
+/// Constraint contributed by one subscript dimension for index `v`.
+/// Unprimed (`a`, iteration v) and primed (`b`, iteration v') instances of
+/// all *other* indices are independent free variables.
+fn test_dimension(a: &Affine, b: &Affine, v: &str) -> Constraint {
+    if !comparable(a, b) {
+        return Constraint::Unknown;
+    }
+    let ca = a.coeff(v);
+    let cb = b.coeff(v);
+    let others = has_other_indices(a, b, v);
+    let dc = b.konst - a.konst; // equation: ca·v − cb·v' = dc (+ other terms)
+
+    match (ca, cb) {
+        (0, 0) => {
+            if others {
+                // Free variables absorb anything.
+                Constraint::Any
+            } else if dc == 0 {
+                Constraint::Any
+            } else {
+                Constraint::Impossible
+            }
+        }
+        (x, y) if x == y => {
+            if others {
+                return Constraint::Unknown;
+            }
+            // x·(v − v') = dc.
+            if dc % x != 0 {
+                Constraint::Impossible
+            } else {
+                Constraint::Exactly(dc / x)
+            }
+        }
+        (x, y) => {
+            if others {
+                return Constraint::Unknown;
+            }
+            let g = gcd(x, y);
+            if g != 0 && dc % g != 0 {
+                Constraint::Impossible
+            } else {
+                Constraint::Unknown
+            }
+        }
+    }
+}
+
+/// Tests a pair of accesses to the same grid for dependence w.r.t. loop
+/// index `v`. Read/read pairs are trivially independent.
+pub fn test_dependence(a: &Access, b: &Access, v: &str) -> DepResult {
+    if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
+        return DepResult::Independent;
+    }
+    debug_assert_eq!(a.grid, b.grid);
+    if a.field != b.field {
+        // Different struct fields never alias.
+        return DepResult::Independent;
+    }
+    if a.subscripts.len() != b.subscripts.len() {
+        return DepResult::Unknown;
+    }
+    if a.subscripts.is_empty() {
+        // Scalar: every iteration touches the same cell.
+        return DepResult::LoopCarried;
+    }
+
+    let mut exact: Option<i64> = None;
+    let mut saw_unknown = false;
+    for (sa, sb) in a.subscripts.iter().zip(b.subscripts.iter()) {
+        let c = match (sa, sb) {
+            (SubscriptForm::Affine(fa), SubscriptForm::Affine(fb)) => test_dimension(fa, fb, v),
+            _ => Constraint::Unknown,
+        };
+        match c {
+            Constraint::Impossible => return DepResult::Independent,
+            Constraint::Exactly(d) => match exact {
+                Some(prev) if prev != d => return DepResult::Independent,
+                _ => exact = Some(d),
+            },
+            Constraint::Any => {}
+            Constraint::Unknown => saw_unknown = true,
+        }
+    }
+
+    match exact {
+        Some(0) => DepResult::LoopIndependent,
+        Some(_) => DepResult::LoopCarried,
+        None => {
+            if saw_unknown {
+                DepResult::Unknown
+            } else {
+                // All dimensions satisfiable at any distance.
+                DepResult::LoopCarried
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::to_affine;
+    use glaf_ir::Expr;
+    use proptest::prelude::*;
+
+    fn acc(grid: &str, kind: AccessKind, subs: Vec<Expr>) -> Access {
+        let ix = vec!["i".to_string(), "j".to_string()];
+        Access {
+            grid: grid.into(),
+            field: None,
+            kind,
+            subscripts: subs.iter().map(|e| to_affine(e, &ix)).collect(),
+            order: 0,
+            conditional: false,
+            in_call: false,
+        }
+    }
+
+    #[test]
+    fn same_subscript_is_loop_independent() {
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("i")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i")]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopIndependent);
+    }
+
+    #[test]
+    fn shifted_access_is_carried() {
+        // a(i) = a(i-1): classic recurrence.
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("i")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i") - Expr::int(1)]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopCarried);
+    }
+
+    #[test]
+    fn two_dim_identity_subscripts_parallel_on_both() {
+        // a(i,j) write vs a(i,j) read: LoopIndependent for both i and j.
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("i"), Expr::idx("j")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i"), Expr::idx("j")]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopIndependent);
+        assert_eq!(test_dependence(&w, &r, "j"), DepResult::LoopIndependent);
+    }
+
+    #[test]
+    fn contradicting_distances_independent() {
+        // a(i, i) vs a(i, i+1): dim1 forces d=0, dim2 forces d=-1.
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("i"), Expr::idx("i")]);
+        let r = acc(
+            "a",
+            AccessKind::Read,
+            vec![Expr::idx("i"), Expr::idx("i") + Expr::int(1)],
+        );
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+    }
+
+    #[test]
+    fn ziv_unequal_constants_independent() {
+        let w = acc("a", AccessKind::Write, vec![Expr::int(1)]);
+        let r = acc("a", AccessKind::Read, vec![Expr::int(2)]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+    }
+
+    #[test]
+    fn ziv_equal_constants_carried() {
+        let w = acc("a", AccessKind::Write, vec![Expr::int(1)]);
+        let r = acc("a", AccessKind::Read, vec![Expr::int(1)]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopCarried);
+    }
+
+    #[test]
+    fn stride_two_misses_odd_offset() {
+        // a(2i) vs a(2i+1): distance (1)/2 non-integral → independent.
+        let w = acc("a", AccessKind::Write, vec![Expr::int(2) * Expr::idx("i")]);
+        let r = acc(
+            "a",
+            AccessKind::Read,
+            vec![Expr::int(2) * Expr::idx("i") + Expr::int(1)],
+        );
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+    }
+
+    #[test]
+    fn gcd_rules_out_mixed_strides() {
+        // a(2i) vs a(4i+1): gcd(2,4)=2 ∤ 1 → independent.
+        let w = acc("a", AccessKind::Write, vec![Expr::int(2) * Expr::idx("i")]);
+        let r = acc(
+            "a",
+            AccessKind::Read,
+            vec![Expr::int(4) * Expr::idx("i") + Expr::int(1)],
+        );
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+        // gcd(2,4)=2 | 2 → unknown (conservative).
+        let r2 = acc(
+            "a",
+            AccessKind::Read,
+            vec![Expr::int(4) * Expr::idx("i") + Expr::int(2)],
+        );
+        assert_eq!(test_dependence(&w, &r2, "i"), DepResult::Unknown);
+    }
+
+    #[test]
+    fn scalar_write_is_carried() {
+        let w = acc("s", AccessKind::Write, vec![]);
+        let r = acc("s", AccessKind::Read, vec![]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopCarried);
+    }
+
+    #[test]
+    fn different_fields_never_alias() {
+        let mut w = acc("atoms", AccessKind::Write, vec![Expr::idx("i")]);
+        let mut r = acc("atoms", AccessKind::Read, vec![Expr::idx("i")]);
+        w.field = Some("x".into());
+        r.field = Some("q".into());
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+    }
+
+    #[test]
+    fn nonaffine_is_unknown() {
+        let w = acc("a", AccessKind::Write, vec![Expr::at("idx", vec![Expr::idx("i")])]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i")]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Unknown);
+    }
+
+    #[test]
+    fn symbolic_offsets_compare_when_identical() {
+        let w = acc("a", AccessKind::Write, vec![Expr::scalar("off") + Expr::idx("i")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::scalar("off") + Expr::idx("i")]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopIndependent);
+        let r2 = acc("a", AccessKind::Read, vec![Expr::scalar("off2") + Expr::idx("i")]);
+        assert_eq!(test_dependence(&w, &r2, "i"), DepResult::Unknown);
+    }
+
+    #[test]
+    fn other_index_only_dimension_is_any() {
+        // Parallelizing i over a(j) writes: every i-iteration sweeps the
+        // same j-range → carried on i.
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("j")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("j")]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::LoopCarried);
+        // ... but parallelizing j is fine.
+        assert_eq!(test_dependence(&w, &r, "j"), DepResult::LoopIndependent);
+    }
+
+    #[test]
+    fn read_read_pairs_trivially_independent() {
+        let r1 = acc("a", AccessKind::Read, vec![Expr::idx("i")]);
+        let r2 = acc("a", AccessKind::Read, vec![Expr::idx("i") - Expr::int(1)]);
+        assert_eq!(test_dependence(&r1, &r2, "i"), DepResult::Independent);
+    }
+
+    #[test]
+    fn any_independent_dimension_wins() {
+        // a(i, 1) vs a(i, 2): second dim is Impossible.
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("i"), Expr::int(1)]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i"), Expr::int(2)]);
+        assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+    }
+
+    proptest! {
+        /// The strong-SIV verdict agrees with brute-force enumeration of a
+        /// small iteration space: `a·i + c1 == a·i' + c2`.
+        #[test]
+        fn siv_matches_bruteforce(a in 1i64..5, c1 in -6i64..6, c2 in -6i64..6) {
+            let w = acc("g", AccessKind::Write,
+                vec![Expr::int(a) * Expr::idx("i") + Expr::int(c1)]);
+            let r = acc("g", AccessKind::Read,
+                vec![Expr::int(a) * Expr::idx("i") + Expr::int(c2)]);
+            let verdict = test_dependence(&w, &r, "i");
+
+            let mut cross_iteration = false;
+            let mut same_iteration = false;
+            for i in -20i64..20 {
+                for ip in -20i64..20 {
+                    if a * i + c1 == a * ip + c2 {
+                        if i == ip { same_iteration = true } else { cross_iteration = true }
+                    }
+                }
+            }
+            match verdict {
+                DepResult::Independent => prop_assert!(!cross_iteration && !same_iteration),
+                DepResult::LoopIndependent => prop_assert!(!cross_iteration && same_iteration),
+                DepResult::LoopCarried => prop_assert!(cross_iteration),
+                DepResult::Unknown => {}
+            }
+        }
+
+        /// The GCD path never reports Independent when a brute-force
+        /// solution with i != i' exists (soundness), and never reports a
+        /// parallel-safe verdict when a cross-iteration alias exists.
+        #[test]
+        fn gcd_is_sound(a1 in 1i64..6, a2 in 1i64..6, c in -10i64..10) {
+            let w = acc("g", AccessKind::Write,
+                vec![Expr::int(a1) * Expr::idx("i")]);
+            let r = acc("g", AccessKind::Read,
+                vec![Expr::int(a2) * Expr::idx("i") + Expr::int(c)]);
+            let verdict = test_dependence(&w, &r, "i");
+            let mut cross = false;
+            for i in -40i64..40 {
+                for ip in -40i64..40 {
+                    if i != ip && a1 * i == a2 * ip + c {
+                        cross = true;
+                    }
+                }
+            }
+            if cross {
+                prop_assert!(!verdict.allows_parallel());
+            }
+        }
+
+        /// Two-dimensional identity subscripts with arbitrary constant
+        /// shifts: the combined verdict matches brute force over both
+        /// loops.
+        #[test]
+        fn two_dim_shifts_match_bruteforce(s1 in -3i64..3, s2 in -3i64..3) {
+            let w = acc("g", AccessKind::Write,
+                vec![Expr::idx("i"), Expr::idx("j")]);
+            let r = acc("g", AccessKind::Read,
+                vec![Expr::idx("i") + Expr::int(s1), Expr::idx("j") + Expr::int(s2)]);
+            let verdict = test_dependence(&w, &r, "i");
+            // Write at (i, j) iteration (i, j); read covers element
+            // (i+s1, j+s2) at iteration (i, j). Cross-i alias exists iff
+            // s1 != 0 (pick j' = j + s2 freely).
+            if s1 == 0 {
+                prop_assert!(verdict.allows_parallel());
+            } else {
+                prop_assert!(!verdict.allows_parallel());
+            }
+        }
+    }
+}

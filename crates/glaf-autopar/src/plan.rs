@@ -1,0 +1,536 @@
+//! The parallel plan: one verdict per loop step, one plan per function.
+//!
+//! This is the information the auto-parallelization back-end hands to code
+//! generation: which loops get `!$OMP PARALLEL DO`, with which `PRIVATE`,
+//! `REDUCTION` and `COLLAPSE` clauses, and which shared updates need
+//! `ATOMIC` protection (paper §2.1, §4.1.2, §4.2.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use glaf_ir::{Function, GlafModule, LoopNest, Program, StepBody, Stmt};
+
+use crate::access::{collect_accesses, Access, AccessKind};
+use crate::classify::{classify_loop, is_vectorizable, LoopClass};
+use crate::depend::test_dependence;
+use crate::privatize::find_private_scalars;
+use crate::reduction::{find_reductions, Reduction};
+
+pub use crate::reduction::RedOpKind as RedOp;
+
+/// The plan for one loop step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopPlan {
+    /// Index of the step within its function.
+    pub step_index: usize,
+    pub class: LoopClass,
+    /// Compiler-model verdict: can the serial loop be SIMD-vectorized?
+    pub vectorizable: bool,
+    /// True when the outermost index can run its iterations concurrently.
+    pub parallelizable: bool,
+    /// Number of leading loop indices that can be collapsed into one
+    /// parallel iteration space (`COLLAPSE(n)` when ≥ 2; the paper's
+    /// longwave loops get `COLLAPSE(2)` over 2 × 60 iterations).
+    pub collapse: usize,
+    /// Scalars for the `PRIVATE` clause.
+    pub private: Vec<String>,
+    /// Recognized scalar reductions (`REDUCTION(op: name)` clauses).
+    pub reductions: Vec<Reduction>,
+    /// Grids whose parallel updates need `ATOMIC` protection: array
+    /// accumulations in the body plus module-scope grids written by called
+    /// functions (§4.2.1).
+    pub atomic: Vec<String>,
+    /// Human-readable reasons when `parallelizable == false`.
+    pub blockers: Vec<String>,
+}
+
+/// All loop plans of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionPlan {
+    pub function: String,
+    pub loops: Vec<LoopPlan>,
+}
+
+impl FunctionPlan {
+    /// The plan for step `step_index`, if that step is a loop.
+    pub fn for_step(&self, step_index: usize) -> Option<&LoopPlan> {
+        self.loops.iter().find(|l| l.step_index == step_index)
+    }
+}
+
+/// Loop plans for every function in a program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramPlan {
+    pub functions: BTreeMap<String, FunctionPlan>,
+}
+
+impl ProgramPlan {
+    pub fn for_function(&self, name: &str) -> Option<&FunctionPlan> {
+        self.functions.get(name)
+    }
+
+    /// Total number of parallelizable loops found — a headline number for
+    /// reports.
+    pub fn parallel_loop_count(&self) -> usize {
+        self.functions
+            .values()
+            .flat_map(|f| f.loops.iter())
+            .filter(|l| l.parallelizable)
+            .count()
+    }
+}
+
+/// Analyzes every function of every module.
+pub fn analyze_program(program: &Program) -> ProgramPlan {
+    let mut plan = ProgramPlan::default();
+    for module in &program.modules {
+        for func in &module.functions {
+            plan.functions
+                .insert(func.name.clone(), analyze_function(program, module, func));
+        }
+    }
+    plan
+}
+
+/// Analyzes one function.
+pub fn analyze_function(program: &Program, _module: &GlafModule, func: &Function) -> FunctionPlan {
+    let mut loops = Vec::new();
+    for (step_index, step) in func.steps.iter().enumerate() {
+        if let StepBody::Loop(nest) = &step.body {
+            loops.push(analyze_loop(program, step_index, nest));
+        }
+    }
+    FunctionPlan { function: func.name.clone(), loops }
+}
+
+fn analyze_loop(
+    program: &Program,
+    step_index: usize,
+    nest: &LoopNest,
+) -> LoopPlan {
+    let accesses = collect_accesses(nest);
+    let indices: Vec<String> = nest.ranges.iter().map(|r| r.var.clone()).collect();
+    let reductions = find_reductions(&nest.body, &indices);
+
+    // Names whose dependences are discharged specially. Index-dependent
+    // array accumulations (`a(i+1) = a(i+1) + e`) are *not* special: each
+    // iteration owns its element, so the ordinary dependence tests decide.
+    let mut handled: BTreeSet<String> = BTreeSet::new();
+    let mut atomic: BTreeSet<String> = BTreeSet::new();
+    let mut scalar_reds: Vec<Reduction> = Vec::new();
+    for r in &reductions {
+        if r.scalar {
+            handled.insert(r.grid.clone());
+            scalar_reds.push(r.clone());
+        } else if !r.index_dependent {
+            handled.insert(r.grid.clone());
+            atomic.insert(r.grid.clone());
+        }
+    }
+
+    let exclude: BTreeSet<String> =
+        handled.iter().cloned().chain(indices.iter().cloned()).collect();
+    let private = find_private_scalars(&accesses, &exclude);
+    for p in &private {
+        handled.insert(p.clone());
+    }
+
+    // Module-scope grids written (transitively) by called functions:
+    // pure accumulations (`g = g + e`) can be protected with `!$OMP
+    // ATOMIC` (§4.2.1); plain overwrites of shared state make the calling
+    // loop unsafe to parallelize (the paper handled those with
+    // threadprivate/copyprivate rewrites — here they conservatively block).
+    let mut callees: BTreeSet<String> = BTreeSet::new();
+    for s in &nest.body {
+        collect_callees(s, &mut callees);
+    }
+    let mut callee_plain_writes: BTreeSet<String> = BTreeSet::new();
+    for callee in &callees {
+        if let Some((cm, cf)) = program.find_function(callee) {
+            let mut visited = BTreeSet::new();
+            let w = transitive_global_writes(program, cm, cf, &mut visited);
+            for g in w.accumulated {
+                atomic.insert(g);
+            }
+            for g in w.plain {
+                callee_plain_writes.insert(g);
+            }
+        }
+    }
+    // A grid both accumulated and plainly overwritten is unsafe.
+    for g in &callee_plain_writes {
+        atomic.remove(g);
+    }
+
+    // Dependence testing per grid, per candidate index.
+    let mut blockers: Vec<String> = Vec::new();
+    let mut per_index_ok: Vec<bool> = vec![true; indices.len()];
+    if !callee_plain_writes.is_empty() {
+        for ok in per_index_ok.iter_mut() {
+            *ok = false;
+        }
+        for g in &callee_plain_writes {
+            blockers.push(format!(
+                "callee overwrites shared module-scope grid `{g}`"
+            ));
+        }
+    }
+
+    let mut by_grid: BTreeMap<(&str, Option<&str>), Vec<&Access>> = BTreeMap::new();
+    for a in &accesses {
+        by_grid
+            .entry((a.grid.as_str(), a.field.as_deref()))
+            .or_default()
+            .push(a);
+    }
+
+    for ((grid, _field), accs) in &by_grid {
+        if handled.contains(*grid) || atomic.contains(*grid) {
+            continue;
+        }
+        let writes: Vec<&&Access> = accs.iter().filter(|a| a.kind == AccessKind::Write).collect();
+        if writes.is_empty() {
+            continue;
+        }
+        // Loop-invariant scalar writes that are not private or reductions
+        // block everything.
+        for w in &writes {
+            for other in accs.iter() {
+                if std::ptr::eq(**w as *const Access, *other as *const Access)
+                    && writes.len() == 1
+                    && accs.len() == 1
+                {
+                    // A single write with no other access still conflicts
+                    // with itself across iterations when subscripts repeat;
+                    // test below covers it.
+                }
+                for (k, v) in indices.iter().enumerate() {
+                    if !per_index_ok[k] {
+                        continue;
+                    }
+                    let verdict = test_dependence(w, other, v);
+                    if !verdict.allows_parallel() {
+                        per_index_ok[k] = false;
+                        blockers.push(format!(
+                            "grid `{grid}`: {:?} dependence on index `{v}`",
+                            verdict
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    blockers.sort();
+    blockers.dedup();
+
+    // Collapse = longest prefix of indices that are all parallel-safe.
+    let collapse = per_index_ok.iter().take_while(|&&ok| ok).count();
+    let parallelizable = per_index_ok.first().copied().unwrap_or(false);
+
+    LoopPlan {
+        step_index,
+        class: classify_loop(nest),
+        vectorizable: is_vectorizable(nest),
+        parallelizable,
+        collapse: collapse.max(usize::from(parallelizable)),
+        private,
+        reductions: scalar_reds,
+        atomic: atomic.into_iter().collect(),
+        blockers: if parallelizable { Vec::new() } else { blockers },
+    }
+}
+
+fn collect_callees(stmt: &Stmt, out: &mut BTreeSet<String>) {
+    stmt.walk(&mut |s| {
+        if let Stmt::CallSub { name, .. } = s {
+            out.insert(name.clone());
+        }
+    });
+    stmt.walk_exprs(&mut |e| {
+        if let glaf_ir::Expr::Call { callee: glaf_ir::Callee::User(n), .. } = e {
+            out.insert(n.clone());
+        }
+    });
+}
+
+/// Classified module-scope write sets of a callee.
+#[derive(Debug, Default, Clone)]
+struct CalleeWrites {
+    /// Only ever updated with accumulation patterns (`g = g + e` etc.).
+    accumulated: BTreeSet<String>,
+    /// Overwritten (or mixed) — unsafe under concurrent callers.
+    plain: BTreeSet<String>,
+}
+
+impl CalleeWrites {
+    fn merge(&mut self, other: CalleeWrites) {
+        self.plain.extend(other.plain);
+        for g in other.accumulated {
+            if !self.plain.contains(&g) {
+                self.accumulated.insert(g);
+            }
+        }
+    }
+
+    fn normalize(mut self) -> Self {
+        self.accumulated.retain(|g| !self.plain.contains(g));
+        self
+    }
+}
+
+/// Module-scope grids written by `func` or anything it calls, classified
+/// by update pattern.
+fn transitive_global_writes(
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    visited: &mut BTreeSet<String>,
+) -> CalleeWrites {
+    let mut out = CalleeWrites::default();
+    if !visited.insert(func.name.clone()) {
+        return out;
+    }
+    for step in &func.steps {
+        let stmts: Vec<&Stmt> = match &step.body {
+            StepBody::Straight(v) => v.iter().collect(),
+            StepBody::Loop(nest) => nest.body.iter().collect(),
+        };
+        for s in stmts {
+            s.walk(&mut |s| {
+                if let Stmt::Assign { target, value } = s {
+                    // A write is module-scope if it resolves to a module
+                    // global (i.e. not declared in the function).
+                    if func.grid(&target.grid).is_none() && module.global(&target.grid).is_some() {
+                        let accum =
+                            crate::reduction::match_reduction(target, value).is_some();
+                        if accum && !out.plain.contains(&target.grid) {
+                            out.accumulated.insert(target.grid.clone());
+                        } else {
+                            out.accumulated.remove(&target.grid);
+                            out.plain.insert(target.grid.clone());
+                        }
+                    }
+                }
+            });
+            let mut callees = BTreeSet::new();
+            collect_callees(s, &mut callees);
+            for c in callees {
+                if let Some((cm, cf)) = program.find_function(&c) {
+                    out.merge(transitive_global_writes(program, cm, cf, visited));
+                }
+            }
+        }
+    }
+    out.normalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_grid::{DataType, Grid};
+    use glaf_ir::{Expr, LValue, ProgramBuilder};
+
+    fn axpy_program() -> Program {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(100).finish().unwrap();
+        ProgramBuilder::new()
+            .module("m")
+            .subroutine("axpy")
+            .param(n)
+            .param(a)
+            .param(b)
+            .loop_step("saxpy")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("a", vec![Expr::idx("i")])
+                    + Expr::at("b", vec![Expr::idx("i")]) * Expr::real(2.0),
+            )
+            .done()
+            .done()
+            .done()
+            .finish()
+    }
+
+    #[test]
+    fn axpy_is_parallel_and_vectorizable() {
+        let p = axpy_program();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("axpy").unwrap().loops[0];
+        assert!(lp.parallelizable, "blockers: {:?}", lp.blockers);
+        assert!(lp.vectorizable);
+        assert_eq!(lp.collapse, 1);
+        assert_eq!(lp.class, LoopClass::SimpleSingle);
+    }
+
+    #[test]
+    fn recurrence_blocks_parallelism() {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("scan")
+            .param(n)
+            .param(a)
+            .loop_step("prefix")
+            .foreach("i", Expr::int(2), Expr::scalar("n"))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("a", vec![Expr::idx("i") - Expr::int(1)])
+                    + Expr::at("a", vec![Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("scan").unwrap().loops[0];
+        assert!(!lp.parallelizable);
+        assert!(!lp.blockers.is_empty());
+    }
+
+    #[test]
+    fn reduction_loop_parallel_with_clause() {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let acc = Grid::build("acc").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .function("total", DataType::Real8)
+            .param(n)
+            .param(b)
+            .local(acc)
+            .loop_step("sum")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(
+                LValue::scalar("acc"),
+                Expr::scalar("acc") + Expr::at("b", vec![Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("total").unwrap().loops[0];
+        assert!(lp.parallelizable, "blockers: {:?}", lp.blockers);
+        assert_eq!(lp.reductions.len(), 1);
+        assert_eq!(lp.reductions[0].grid, "acc");
+    }
+
+    #[test]
+    fn private_scalar_detected() {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let t = Grid::build("t").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("f")
+            .param(n)
+            .param(a)
+            .param(b)
+            .local(t)
+            .loop_step("work")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(LValue::scalar("t"), Expr::at("b", vec![Expr::idx("i")]))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::scalar("t") * Expr::scalar("t"),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("f").unwrap().loops[0];
+        assert!(lp.parallelizable, "blockers: {:?}", lp.blockers);
+        assert_eq!(lp.private, vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn double_nest_collapses() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(2).dim1(60).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("f")
+            .param(a)
+            .loop_step("dbl")
+            .foreach("i", Expr::int(1), Expr::int(2))
+            .foreach("j", Expr::int(1), Expr::int(60))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i"), Expr::idx("j")]),
+                Expr::idx("i") * Expr::int(100) + Expr::idx("j"),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("f").unwrap().loops[0];
+        assert!(lp.parallelizable);
+        assert_eq!(lp.collapse, 2, "paper's COLLAPSE(2) case");
+        assert_eq!(lp.class, LoopClass::SimpleDouble);
+    }
+
+    #[test]
+    fn callee_global_writes_need_atomic() {
+        let nodes = Grid::build("jac")
+            .typed(DataType::Real8)
+            .dim1(100)
+            .module_scope()
+            .finish()
+            .unwrap();
+        let cell = Grid::build("cell").typed(DataType::Integer).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .global(nodes)
+            .subroutine("cell_loop")
+            .param(cell)
+            .straight_step(
+                "accumulate",
+                vec![Stmt::Assign {
+                    target: LValue::at("jac", vec![Expr::scalar("cell")]),
+                    value: Expr::at("jac", vec![Expr::scalar("cell")]) + Expr::real(1.0),
+                }],
+            )
+            .done()
+            .subroutine("edgejp")
+            .local(Grid::build("ncell").typed(DataType::Integer).finish().unwrap())
+            .loop_step("cells")
+            .foreach("c", Expr::int(1), Expr::scalar("ncell"))
+            .stmt(Stmt::CallSub { name: "cell_loop".into(), args: vec![Expr::idx("c")] })
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("edgejp").unwrap().loops[0];
+        assert!(lp.atomic.contains(&"jac".to_string()));
+    }
+
+    #[test]
+    fn unhandled_scalar_write_blocks() {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let s = Grid::build("s").typed(DataType::Real8).finish().unwrap();
+        // s = i * 2 read later in another iteration sense: s is written but
+        // also read by a subsequent statement's RHS first → not private,
+        // not a reduction.
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("f")
+            .param(n)
+            .local(s)
+            .local(Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap())
+            .loop_step("bad")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::scalar("s"))
+            .formula(LValue::scalar("s"), Expr::idx("i") * Expr::int(2))
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lp = &plan.for_function("f").unwrap().loops[0];
+        assert!(!lp.parallelizable);
+    }
+}

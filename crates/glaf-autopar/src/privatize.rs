@@ -1,0 +1,120 @@
+//! Scalar privatization analysis.
+//!
+//! A scalar written *unconditionally before any read* in the loop body
+//! carries no value between iterations: each thread can keep its own copy.
+//! These are exactly the variables the paper's FUN3D case study needed
+//! "declared as OpenMP private" — 219 of them in the manually parallelized
+//! version (§4.2.2), identified for the scientists by GLAF.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::access::{Access, AccessKind};
+
+/// Returns the names of scalar grids in `accesses` that are privatizable:
+/// their first access (in statement order) is an unconditional write, and
+/// they are scalars (no subscripts).
+///
+/// `exclude` removes names that are already handled another way (reduction
+/// accumulators, the loop indices themselves).
+pub fn find_private_scalars(accesses: &[Access], exclude: &BTreeSet<String>) -> Vec<String> {
+    // First access per scalar grid, by order.
+    let mut first: BTreeMap<&str, &Access> = BTreeMap::new();
+    let mut ever_nonscalar: BTreeSet<&str> = BTreeSet::new();
+    for a in accesses {
+        if !a.subscripts.is_empty() {
+            ever_nonscalar.insert(a.grid.as_str());
+            continue;
+        }
+        match first.get(a.grid.as_str()) {
+            Some(prev) if prev.order <= a.order => {}
+            _ => {
+                first.insert(a.grid.as_str(), a);
+            }
+        }
+    }
+    let mut out: Vec<String> = first
+        .into_iter()
+        .filter(|(name, acc)| {
+            !exclude.contains(*name)
+                && !ever_nonscalar.contains(name)
+                && acc.kind == AccessKind::Write
+                && !acc.conditional
+        })
+        .map(|(name, _)| name.to_string())
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::collect_accesses;
+    use glaf_ir::{Expr, IndexRange, LValue, LoopNest, Stmt};
+
+    fn nest(body: Vec<Stmt>) -> LoopNest {
+        LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::scalar("n"))],
+            condition: None,
+            body,
+        }
+    }
+
+    #[test]
+    fn write_before_read_is_private() {
+        // t = b(i); a(i) = t * 2  → t private.
+        let l = nest(vec![
+            Stmt::assign(LValue::scalar("t"), Expr::at("b", vec![Expr::idx("i")])),
+            Stmt::assign(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::scalar("t") * Expr::real(2.0),
+            ),
+        ]);
+        let acc = collect_accesses(&l);
+        let p = find_private_scalars(&acc, &BTreeSet::new());
+        assert_eq!(p, vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn read_before_write_not_private() {
+        // a(i) = t; t = b(i)  → t carries a value in.
+        let l = nest(vec![
+            Stmt::assign(LValue::at("a", vec![Expr::idx("i")]), Expr::scalar("t")),
+            Stmt::assign(LValue::scalar("t"), Expr::at("b", vec![Expr::idx("i")])),
+        ]);
+        let acc = collect_accesses(&l);
+        let p = find_private_scalars(&acc, &BTreeSet::new());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn conditional_write_not_private() {
+        let l = nest(vec![Stmt::If {
+            cond: Expr::idx("i").cmp(glaf_ir::BinOp::Gt, Expr::int(2)),
+            then_body: vec![Stmt::assign(LValue::scalar("t"), Expr::real(1.0))],
+            else_body: vec![],
+        }]);
+        let acc = collect_accesses(&l);
+        let p = find_private_scalars(&acc, &BTreeSet::new());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn excluded_names_skipped() {
+        let l = nest(vec![Stmt::assign(LValue::scalar("t"), Expr::real(1.0))]);
+        let acc = collect_accesses(&l);
+        let mut ex = BTreeSet::new();
+        ex.insert("t".to_string());
+        assert!(find_private_scalars(&acc, &ex).is_empty());
+    }
+
+    #[test]
+    fn arrays_never_private_here() {
+        let l = nest(vec![Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::real(0.0),
+        )]);
+        let acc = collect_accesses(&l);
+        assert!(find_private_scalars(&acc, &BTreeSet::new()).is_empty());
+    }
+}

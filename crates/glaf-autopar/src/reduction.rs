@@ -1,0 +1,330 @@
+//! Reduction recognition.
+//!
+//! The paper's back-end identifies loops "that contain reductions (and that
+//! have been identified as such by GLAF auto-parallelization back-end)"
+//! (§4.1.2), and the FUN3D adaptation extends "reduction clauses ... to
+//! specify multiple reduction variables when a loop has effectively more
+//! than one output" (§4.2.1). We recognize:
+//!
+//! * **Scalar reductions** — `s = s ⊕ e` where `s` is a scalar grid, `⊕` is
+//!   `+`, `*`, `MAX` or `MIN`, and `e` does not read `s`.
+//! * **Array accumulations** — `a(k) = a(k) + e` where the subscripts do
+//!   not involve the parallel index; these cannot use a REDUCTION clause
+//!   and are instead flagged for `ATOMIC` protection (§4.2.1's "atomic
+//!   update clauses are added to parallel updates to module-scope arrays").
+
+use glaf_ir::{BinOp, Callee, Expr, LibFunc, LValue, Stmt};
+
+/// A reduction operator expressible as an OpenMP clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedOpKind {
+    Sum,
+    Prod,
+    Max,
+    Min,
+}
+
+impl RedOpKind {
+    /// The OpenMP clause spelling.
+    pub fn omp_name(self) -> &'static str {
+        match self {
+            RedOpKind::Sum => "+",
+            RedOpKind::Prod => "*",
+            RedOpKind::Max => "MAX",
+            RedOpKind::Min => "MIN",
+        }
+    }
+}
+
+/// A recognized reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduction {
+    pub grid: String,
+    pub op: RedOpKind,
+    /// True when the accumulator is a scalar (REDUCTION clause eligible);
+    /// false for array accumulation (needs ATOMIC).
+    pub scalar: bool,
+    /// True when the accumulation target's subscripts involve a loop
+    /// index: each iteration touches its own element, so ordinary
+    /// dependence testing applies and no ATOMIC is needed.
+    pub index_dependent: bool,
+}
+
+/// Scans loop-body statements for reduction patterns.
+///
+/// A candidate is *disqualified* when any statement that is not itself a
+/// matching update of the same accumulator reads or writes it — e.g. the
+/// FUN3D/SW pattern `taucum = taucum + tau(i); f(i) = f(i) + g(taucum)`
+/// reads the running value mid-loop and is a true recurrence, not a
+/// reduction.
+pub fn find_reductions(body: &[Stmt], indices: &[String]) -> Vec<Reduction> {
+    let mut out: Vec<Reduction> = Vec::new();
+    for s in body {
+        scan_stmt(s, indices, &mut out);
+    }
+    // Disqualification pass.
+    out.retain(|r| {
+        let mut ok = true;
+        for s in body {
+            s.walk(&mut |st| match st {
+                Stmt::Assign { target, value } => {
+                    let is_own_update = matches!(
+                        match_reduction(target, value),
+                        Some(m) if m.grid == r.grid
+                    ) && target.grid == r.grid;
+                    if !is_own_update
+                        && (target.grid == r.grid
+                            || value.grids_read().contains(&r.grid)
+                            || target.indices.iter().any(|ix| {
+                                ix.grids_read().contains(&r.grid)
+                            }))
+                        {
+                            ok = false;
+                        }
+                }
+                Stmt::If { cond, .. }
+                    if cond.grids_read().contains(&r.grid) => {
+                        ok = false;
+                    }
+                Stmt::CallSub { args, .. } => {
+                    for a in args {
+                        if a.grids_read().contains(&r.grid) {
+                            ok = false;
+                        }
+                    }
+                }
+                Stmt::Return(Some(e))
+                    if e.grids_read().contains(&r.grid) => {
+                        ok = false;
+                    }
+                _ => {}
+            });
+        }
+        ok
+    });
+    out
+}
+
+fn scan_stmt(stmt: &Stmt, indices: &[String], out: &mut Vec<Reduction>) {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            if let Some(mut r) = match_reduction(target, value) {
+                r.index_dependent = target
+                    .indices
+                    .iter()
+                    .any(|e| indices.iter().any(|v| e.uses_index(v)));
+                if !out.iter().any(|x| x.grid == r.grid) {
+                    out.push(r);
+                }
+            }
+        }
+        Stmt::If { then_body, else_body, .. } => {
+            for s in then_body.iter().chain(else_body.iter()) {
+                scan_stmt(s, indices, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Matches `t = t ⊕ e`, `t = e ⊕ t` (commutative ⊕) and
+/// `t = MAX/MIN(t, e)` / `(e, t)`.
+pub fn match_reduction(target: &LValue, value: &Expr) -> Option<Reduction> {
+    let is_target = |e: &Expr| -> bool {
+        match e {
+            Expr::GridRef { grid, indices, field } => {
+                grid == &target.grid
+                    && field == &target.field
+                    && indices.len() == target.indices.len()
+                    && indices.iter().zip(target.indices.iter()).all(|(a, b)| a == b)
+            }
+            _ => false,
+        }
+    };
+    let reads_target = |e: &Expr| e.grids_read().iter().any(|g| g == &target.grid);
+
+    match value {
+        Expr::Binary { op, lhs, rhs } => {
+            let kind = match op {
+                BinOp::Add => RedOpKind::Sum,
+                BinOp::Mul => RedOpKind::Prod,
+                // `t = t - e` is still a sum reduction over `-e`.
+                BinOp::Sub => RedOpKind::Sum,
+                _ => return None,
+            };
+            let (acc_side, other) = if is_target(lhs) {
+                (true, rhs)
+            } else if is_target(rhs) && *op != BinOp::Sub {
+                (true, lhs)
+            } else {
+                (false, rhs)
+            };
+            if acc_side && !reads_target(other) {
+                Some(Reduction {
+                    grid: target.grid.clone(),
+                    op: kind,
+                    scalar: target.indices.is_empty(),
+                    index_dependent: false,
+                })
+            } else {
+                None
+            }
+        }
+        Expr::Call { callee: Callee::Lib(f), args } if args.len() == 2 => {
+            let kind = match f {
+                LibFunc::Max => RedOpKind::Max,
+                LibFunc::Min => RedOpKind::Min,
+                _ => return None,
+            };
+            let (a, b) = (&args[0], &args[1]);
+            let hit = (is_target(a) && !reads_target(b)) || (is_target(b) && !reads_target(a));
+            if hit {
+                Some(Reduction {
+                    grid: target.grid.clone(),
+                    op: kind,
+                    scalar: target.indices.is_empty(),
+                    index_dependent: false,
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_ir::{Expr, LValue, Stmt};
+
+    #[test]
+    fn sum_reduction_recognized() {
+        let s = Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::scalar("acc") + Expr::at("a", vec![Expr::idx("i")]),
+        );
+        let r = find_reductions(&[s], &["i".to_string()]);
+        assert_eq!(
+            r,
+            vec![Reduction {
+                grid: "acc".into(),
+                op: RedOpKind::Sum,
+                scalar: true,
+                index_dependent: false
+            }]
+        );
+    }
+
+    #[test]
+    fn commuted_sum_recognized() {
+        let s = Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::at("a", vec![Expr::idx("i")]) + Expr::scalar("acc"),
+        );
+        assert_eq!(find_reductions(&[s], &["i".to_string()]).len(), 1);
+    }
+
+    #[test]
+    fn subtraction_is_sum_reduction_only_on_lhs() {
+        let ok = Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::scalar("acc") - Expr::scalar("x"),
+        );
+        assert_eq!(find_reductions(&[ok], &["i".to_string()])[0].op, RedOpKind::Sum);
+        // x - acc is NOT a reduction.
+        let bad = Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::scalar("x") - Expr::scalar("acc"),
+        );
+        assert!(find_reductions(&[bad], &["i".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn max_reduction_recognized() {
+        let s = Stmt::assign(
+            LValue::scalar("m"),
+            Expr::lib(LibFunc::Max, vec![Expr::scalar("m"), Expr::scalar("x")]),
+        );
+        let r = find_reductions(&[s], &["i".to_string()]);
+        assert_eq!(r[0].op, RedOpKind::Max);
+    }
+
+    #[test]
+    fn accumulator_read_elsewhere_rejected() {
+        // acc = acc + acc * 2 — `acc` read on the non-accumulator side.
+        let s = Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::scalar("acc") + Expr::scalar("acc") * Expr::real(2.0),
+        );
+        assert!(find_reductions(&[s], &["i".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn array_accumulation_flagged_non_scalar() {
+        // jac(k) = jac(k) + e with k loop-invariant.
+        let s = Stmt::assign(
+            LValue::at("jac", vec![Expr::scalar("k")]),
+            Expr::at("jac", vec![Expr::scalar("k")]) + Expr::scalar("flux"),
+        );
+        let r = find_reductions(&[s], &["i".to_string()]);
+        assert_eq!(r.len(), 1);
+        assert!(!r[0].scalar);
+    }
+
+    #[test]
+    fn mismatched_subscripts_rejected() {
+        // a(i) = a(i-1) + e is a recurrence, not a reduction.
+        let s = Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::at("a", vec![Expr::idx("i") - Expr::int(1)]) + Expr::real(1.0),
+        );
+        assert!(find_reductions(&[s], &["i".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn reductions_inside_if_found() {
+        let s = Stmt::If {
+            cond: Expr::BoolLit(true),
+            then_body: vec![Stmt::assign(
+                LValue::scalar("acc"),
+                Expr::scalar("acc") + Expr::real(1.0),
+            )],
+            else_body: vec![],
+        };
+        assert_eq!(find_reductions(&[s], &["i".to_string()]).len(), 1);
+    }
+
+    #[test]
+    fn accumulator_read_by_other_statement_disqualified() {
+        // taucum = taucum + tau(i); f(i) = taucum * 2 — a recurrence.
+        let s1 = Stmt::assign(
+            LValue::scalar("taucum"),
+            Expr::scalar("taucum") + Expr::at("tau", vec![Expr::idx("i")]),
+        );
+        let s2 = Stmt::assign(
+            LValue::at("f", vec![Expr::idx("i")]),
+            Expr::scalar("taucum") * Expr::real(2.0),
+        );
+        assert!(find_reductions(&[s1, s2], &["i".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn accumulator_passed_to_call_disqualified() {
+        let s1 = Stmt::assign(
+            LValue::scalar("acc"),
+            Expr::scalar("acc") + Expr::real(1.0),
+        );
+        let s2 = Stmt::CallSub { name: "use_it".into(), args: vec![Expr::scalar("acc")] };
+        assert!(find_reductions(&[s1, s2], &["i".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn multiple_reductions_deduplicated() {
+        let s1 = Stmt::assign(LValue::scalar("a"), Expr::scalar("a") + Expr::real(1.0));
+        let s2 = Stmt::assign(LValue::scalar("a"), Expr::scalar("a") + Expr::real(2.0));
+        let s3 = Stmt::assign(LValue::scalar("b"), Expr::scalar("b") + Expr::real(3.0));
+        let r = find_reductions(&[s1, s2, s3], &["i".to_string()]);
+        assert_eq!(r.len(), 2, "multi-variable reductions kept, duplicates merged");
+    }
+}

@@ -1,0 +1,279 @@
+//! The code-optimization back-end's loop transformations.
+//!
+//! Paper §2.1: "Code optimization includes options for guiding the code
+//! generation by providing different data layout (array-of-structures vs.
+//! structure-of-arrays), loop collapsing, or loop interchange options."
+//! AoS/SoA lives on the grid ([`glaf_grid::Layout`]); collapsing is the
+//! plan's `collapse` field; this module provides **loop interchange**
+//! with a dependence-based legality check.
+//!
+//! Legality: we permit the swap of the two outermost indices of a perfect
+//! nest when the nest is *fully permutable* in the classical sense we can
+//! establish with the 1-D tests — every access pair must be parallel-safe
+//! (`Independent` / `LoopIndependent`) on **both** indices, i.e. no
+//! loop-carried dependence exists in either direction, so any
+//! interleaving of the iteration space is equivalent. Recognized
+//! reductions are order-insensitive and therefore also admissible.
+//! This is conservative (it rejects some legal interchanges, e.g. ones
+//! whose carried dependences keep positive direction after the swap) but
+//! never unsound.
+
+use glaf_ir::{Program, StepBody};
+
+use crate::access::{collect_accesses, AccessKind};
+use crate::depend::test_dependence;
+use crate::reduction::find_reductions;
+
+/// Why an interchange was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterchangeError {
+    NoSuchFunction(String),
+    NotALoopStep { function: String, step: usize },
+    /// The nest has fewer than two indices.
+    TooShallow { function: String, step: usize },
+    /// The legality check failed for this grid/index.
+    CarriedDependence { grid: String, index: String },
+    /// The loop bounds of the inner index depend on the outer index
+    /// (triangular nest) — the rectangle assumption breaks.
+    TriangularBounds { function: String, step: usize },
+}
+
+impl std::fmt::Display for InterchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterchangeError::NoSuchFunction(n) => write!(f, "no function `{n}`"),
+            InterchangeError::NotALoopStep { function, step } => {
+                write!(f, "{function} step {step} is not a loop")
+            }
+            InterchangeError::TooShallow { function, step } => {
+                write!(f, "{function} step {step}: nest depth < 2")
+            }
+            InterchangeError::CarriedDependence { grid, index } => {
+                write!(f, "carried dependence on `{grid}` over index `{index}`")
+            }
+            InterchangeError::TriangularBounds { function, step } => {
+                write!(f, "{function} step {step}: inner bounds use the outer index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterchangeError {}
+
+/// Checks whether the two outermost loops of `function`'s step
+/// `step_index` may be interchanged.
+pub fn interchange_legal(
+    program: &Program,
+    function: &str,
+    step_index: usize,
+) -> Result<(), InterchangeError> {
+    let (_, func) = program
+        .find_function(function)
+        .ok_or_else(|| InterchangeError::NoSuchFunction(function.to_string()))?;
+    let step = func
+        .steps
+        .get(step_index)
+        .ok_or(InterchangeError::NotALoopStep { function: function.to_string(), step: step_index })?;
+    let StepBody::Loop(nest) = &step.body else {
+        return Err(InterchangeError::NotALoopStep {
+            function: function.to_string(),
+            step: step_index,
+        });
+    };
+    if nest.ranges.len() < 2 {
+        return Err(InterchangeError::TooShallow {
+            function: function.to_string(),
+            step: step_index,
+        });
+    }
+    // Rectangular bounds only.
+    let outer = nest.ranges[0].var.clone();
+    let inner = &nest.ranges[1];
+    if inner.start.uses_index(&outer)
+        || inner.end.uses_index(&outer)
+        || inner.step.uses_index(&outer)
+    {
+        return Err(InterchangeError::TriangularBounds {
+            function: function.to_string(),
+            step: step_index,
+        });
+    }
+
+    let accesses = collect_accesses(nest);
+    let indices: Vec<String> = nest.ranges.iter().take(2).map(|r| r.var.clone()).collect();
+    let reductions = find_reductions(&nest.body, &indices);
+    for a in &accesses {
+        if a.kind != AccessKind::Write {
+            continue;
+        }
+        if reductions.iter().any(|r| r.grid == a.grid && !r.index_dependent) {
+            continue; // order-insensitive accumulation
+        }
+        for other in &accesses {
+            if other.grid != a.grid {
+                continue;
+            }
+            for v in &indices {
+                let verdict = test_dependence(a, other, v);
+                if !verdict.allows_parallel() {
+                    return Err(InterchangeError::CarriedDependence {
+                        grid: a.grid.clone(),
+                        index: v.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Performs the interchange (after a successful legality check), swapping
+/// the two outermost index ranges in place.
+pub fn interchange(
+    program: &mut Program,
+    function: &str,
+    step_index: usize,
+) -> Result<(), InterchangeError> {
+    interchange_legal(program, function, step_index)?;
+    for module in &mut program.modules {
+        if let Some(func) = module.functions.iter_mut().find(|f| f.name == function) {
+            if let StepBody::Loop(nest) = &mut func.steps[step_index].body {
+                nest.ranges.swap(0, 1);
+                return Ok(());
+            }
+        }
+    }
+    unreachable!("legality check resolved the function");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_grid::{DataType, Grid};
+    use glaf_ir::{Expr, LValue, ProgramBuilder};
+
+    fn transpose_like() -> Program {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(8).dim1(8).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(8).dim1(8).finish().unwrap();
+        ProgramBuilder::new()
+            .module("m")
+            .subroutine("copy2d")
+            .param(a)
+            .param(b)
+            .loop_step("copy")
+            .foreach("i", Expr::int(1), Expr::int(8))
+            .foreach("j", Expr::int(1), Expr::int(8))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i"), Expr::idx("j")]),
+                Expr::at("b", vec![Expr::idx("j"), Expr::idx("i")]) * Expr::real(2.0),
+            )
+            .done()
+            .done()
+            .done()
+            .finish()
+    }
+
+    #[test]
+    fn legal_interchange_swaps_ranges() {
+        let mut p = transpose_like();
+        interchange(&mut p, "copy2d", 0).unwrap();
+        let (_, f) = p.find_function("copy2d").unwrap();
+        let nest = f.steps[0].as_loop().unwrap();
+        assert_eq!(nest.ranges[0].var, "j");
+        assert_eq!(nest.ranges[1].var, "i");
+    }
+
+    #[test]
+    fn recurrence_blocks_interchange() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(8).dim1(8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("sweep")
+            .param(a)
+            .loop_step("wavefront")
+            .foreach("i", Expr::int(2), Expr::int(8))
+            .foreach("j", Expr::int(1), Expr::int(8))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i"), Expr::idx("j")]),
+                Expr::at("a", vec![Expr::idx("i") - Expr::int(1), Expr::idx("j")])
+                    + Expr::real(1.0),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let err = interchange_legal(&p, "sweep", 0).unwrap_err();
+        assert!(matches!(err, InterchangeError::CarriedDependence { .. }), "{err}");
+    }
+
+    #[test]
+    fn triangular_bounds_rejected() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(8).dim1(8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("tri")
+            .param(a)
+            .loop_step("triangle")
+            .foreach("i", Expr::int(1), Expr::int(8))
+            .foreach("j", Expr::int(1), Expr::idx("i"))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i"), Expr::idx("j")]),
+                Expr::real(1.0),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        assert!(matches!(
+            interchange_legal(&p, "tri", 0),
+            Err(InterchangeError::TriangularBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn shallow_and_missing_rejected() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("one")
+            .param(a)
+            .loop_step("single")
+            .foreach("i", Expr::int(1), Expr::int(8))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(0.0))
+            .done()
+            .done()
+            .done()
+            .finish();
+        assert!(matches!(
+            interchange_legal(&p, "one", 0),
+            Err(InterchangeError::TooShallow { .. })
+        ));
+        assert!(matches!(
+            interchange_legal(&p, "nosuch", 0),
+            Err(InterchangeError::NoSuchFunction(_))
+        ));
+    }
+
+    #[test]
+    fn reduction_nest_is_interchangeable() {
+        let b = Grid::build("b").typed(DataType::Real8).dim1(8).dim1(8).finish().unwrap();
+        let acc = Grid::build("acc").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .function("total", DataType::Real8)
+            .param(b)
+            .local(acc)
+            .loop_step("sum2d")
+            .foreach("i", Expr::int(1), Expr::int(8))
+            .foreach("j", Expr::int(1), Expr::int(8))
+            .formula(
+                LValue::scalar("acc"),
+                Expr::scalar("acc") + Expr::at("b", vec![Expr::idx("i"), Expr::idx("j")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        assert!(interchange_legal(&p, "total", 0).is_ok());
+    }
+}

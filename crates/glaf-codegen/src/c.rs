@@ -1,0 +1,645 @@
+//! The C code generator.
+//!
+//! GLAF "generates human-readable, compatible code for the selected
+//! language" — originally C and FORTRAN (paper §2.1, [15]). The C path
+//! matters for this reproduction mostly as evidence that the integration
+//! features generalize ("many of the solutions presented here can also be
+//! applied to code generation for other languages", §3): COMMON blocks map
+//! onto the classic `/`block`/_` struct interop convention, existing
+//! modules onto `extern` declarations behind a header include, TYPE
+//! elements onto struct member access.
+//!
+//! The output is tested as *golden text*; execution goes through the
+//! FORTRAN path and the `fortrans` engine.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+use glaf_autopar::{LoopPlan, ProgramPlan};
+use glaf_grid::{ElemType, Grid, GridOrigin, IntegrationAttr, Layout};
+use glaf_ir::{
+    BinOp, Callee, Expr, Function, GlafModule, LValue, LoopNest, Program, StepBody, Stmt, UnOp,
+};
+
+use crate::policy::CodegenOptions;
+
+/// Generates a single C translation unit for the program.
+pub fn generate_c(program: &Program, plan: &ProgramPlan, opts: &CodegenOptions) -> String {
+    let mut out = String::new();
+    out.push_str("#include <math.h>\n#include <stdlib.h>\n#include <string.h>\n");
+    out.push_str("#define GLAF_MAX(a, b) ((a) > (b) ? (a) : (b))\n");
+    out.push_str("#define GLAF_MIN(a, b) ((a) < (b) ? (a) : (b))\n");
+    out.push_str("#define GLAF_MOD(a, p) ((a) % (p))\n");
+    out.push_str("#define GLAF_SIGN(a, b) ((b) >= 0 ? fabs(a) : -fabs(a))\n\n");
+
+    for module in &program.modules {
+        emit_module(&mut out, program, module, plan, opts);
+    }
+    out
+}
+
+fn emit_module(
+    out: &mut String,
+    program: &Program,
+    module: &GlafModule,
+    plan: &ProgramPlan,
+    opts: &CodegenOptions,
+) {
+    let _ = writeln!(out, "/* GLAF module {} */", module.name);
+
+    // Existing modules become header includes with extern data (§3.1).
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for g in module
+        .globals
+        .iter()
+        .chain(module.functions.iter().flat_map(|f| f.grids.iter()))
+    {
+        if let Some(m) = g.origin.use_module() {
+            used.insert(m);
+        }
+    }
+    for m in used {
+        let _ = writeln!(out, "#include \"{m}.h\"");
+    }
+
+    // COMMON blocks: the f77 interop convention — one struct per block,
+    // symbol `<block>_`.
+    let mut commons: BTreeMap<&str, Vec<&Grid>> = BTreeMap::new();
+    for g in module
+        .globals
+        .iter()
+        .chain(module.functions.iter().flat_map(|f| f.grids.iter()))
+    {
+        if let GridOrigin::Existing(IntegrationAttr::CommonBlock { block }) = &g.origin {
+            commons.entry(block).or_default().push(g);
+        }
+    }
+    for (block, grids) in &commons {
+        let _ = writeln!(out, "extern struct {block}_common {{");
+        for g in grids {
+            let _ = writeln!(out, "  {};", c_declarator(g, &g.name));
+        }
+        let _ = writeln!(out, "}} {block}_;");
+    }
+
+    // Struct typedefs for AoS grids.
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    for g in module
+        .globals
+        .iter()
+        .chain(module.functions.iter().flat_map(|f| f.grids.iter()))
+    {
+        if let ElemType::Struct(fields) = &g.elem {
+            if g.layout == Layout::AoS && declared.insert(g.name.clone()) {
+                let _ = writeln!(out, "typedef struct {{");
+                for f in fields {
+                    let _ = writeln!(out, "  {} {};", f.ty.c_name(), f.name);
+                }
+                let _ = writeln!(out, "}} {}_t;", g.name);
+            }
+        }
+    }
+
+    // Module-scope grids: file-scope definitions (§3.3).
+    for g in &module.globals {
+        if g.origin == GridOrigin::ModuleScope {
+            if let Some(c) = &g.comment {
+                let _ = writeln!(out, "// {c}");
+            }
+            let _ = writeln!(out, "static {};", c_declarator(g, &g.name));
+        }
+    }
+    let _ = writeln!(out);
+
+    for f in &module.functions {
+        emit_function(out, program, module, f, plan, opts);
+        let _ = writeln!(out);
+    }
+}
+
+/// C declarator for a grid under its layout (arrays static-sized, C order).
+fn c_declarator(g: &Grid, name: &str) -> String {
+    let base = match &g.elem {
+        ElemType::Uniform(t) => t.c_name().to_string(),
+        ElemType::Struct(_) => format!("{}_t", g.name),
+    };
+    let mut s = format!("{base} {name}");
+    for d in &g.dims {
+        let _ = write!(s, "[{}]", d.extent());
+    }
+    s
+}
+
+fn emit_function(
+    out: &mut String,
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    plan: &ProgramPlan,
+    opts: &CodegenOptions,
+) {
+    let ctx = Ctx { program, module, func };
+    let ret = func.return_type.c_name();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(|p| {
+            let g = func.grid(p).expect("validated");
+            if g.dims.is_empty() {
+                format!("{} {}", scalar_c_type(g), p)
+            } else {
+                // Arrays decay to pointers; the body linearizes manually.
+                format!("{} *{}", scalar_c_type(g), p)
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "{ret} {}({}) {{", func.name, params.join(", "));
+
+    // Locals (COMMON and existing-module grids are file scope / extern).
+    for g in &func.grids {
+        if g.origin.is_externally_declared() || matches!(g.origin, GridOrigin::Parameter(_)) {
+            continue;
+        }
+        if let Some(c) = &g.comment {
+            let _ = writeln!(out, "  // {c}");
+        }
+        if g.allocatable {
+            let elems = g.cell_count();
+            let t = scalar_c_type(g);
+            let persist = if g.save || opts.auto_save_arrays { "static " } else { "" };
+            let _ = writeln!(out, "  {persist}{t} *{} = NULL;", g.name);
+            if persist.is_empty() {
+                let _ = writeln!(out, "  {} = ({t} *)malloc({elems} * sizeof({t}));", g.name);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  if ({} == NULL) {} = ({t} *)malloc({elems} * sizeof({t}));",
+                    g.name, g.name
+                );
+            }
+        } else {
+            let _ = writeln!(out, "  {};", c_declarator(g, &g.name));
+        }
+    }
+    // Loop indices.
+    let mut index_vars: BTreeSet<&str> = BTreeSet::new();
+    for step in &func.steps {
+        if let StepBody::Loop(nest) = &step.body {
+            for r in &nest.ranges {
+                index_vars.insert(&r.var);
+            }
+        }
+    }
+    if !index_vars.is_empty() {
+        let list = index_vars.into_iter().collect::<Vec<_>>().join(", ");
+        let _ = writeln!(out, "  long {list};");
+    }
+
+    let fplan = plan.for_function(&func.name);
+    for (step_index, step) in func.steps.iter().enumerate() {
+        if let Some(label) = &step.label {
+            let _ = writeln!(out, "  // {label}");
+        }
+        match &step.body {
+            StepBody::Straight(stmts) => {
+                for s in stmts {
+                    emit_stmt(out, &ctx, s, 1);
+                }
+            }
+            StepBody::Loop(nest) => {
+                let lp = fplan.and_then(|fp| fp.for_step(step_index));
+                emit_loop(out, &ctx, nest, lp, opts, 1);
+            }
+        }
+    }
+
+    for g in &func.grids {
+        if g.allocatable && !(g.save || opts.auto_save_arrays) && !g.origin.is_externally_declared()
+        {
+            let _ = writeln!(out, "  free({});", g.name);
+        }
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn scalar_c_type(g: &Grid) -> &'static str {
+    match &g.elem {
+        ElemType::Uniform(t) => t.c_name(),
+        ElemType::Struct(_) => "double",
+    }
+}
+
+fn emit_loop(
+    out: &mut String,
+    ctx: &Ctx,
+    nest: &LoopNest,
+    plan: Option<&LoopPlan>,
+    opts: &CodegenOptions,
+    indent: usize,
+) {
+    let pad = "  ".repeat(indent);
+    let directive = plan
+        .map(|lp| opts.directive_for(&ctx.func.name, nest, lp))
+        .unwrap_or(false);
+    if directive {
+        let lp = plan.unwrap();
+        let mut line = format!("{pad}#pragma omp parallel for default(shared)");
+        let collapse = lp.collapse.min(nest.ranges.len());
+        if collapse >= 2 {
+            let _ = write!(line, " collapse({collapse})");
+        }
+        if !lp.private.is_empty() {
+            let _ = write!(line, " private({})", lp.private.join(", "));
+        }
+        let mut by_op: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for r in &lp.reductions {
+            by_op.entry(r.op.omp_name()).or_default().push(&r.grid);
+        }
+        for (op, vars) in by_op {
+            let op = match op {
+                "MAX" => "max",
+                "MIN" => "min",
+                o => o,
+            };
+            let _ = write!(line, " reduction({op}:{})", vars.join(", "));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    for (depth, r) in nest.ranges.iter().enumerate() {
+        let p = "  ".repeat(indent + depth);
+        let _ = writeln!(
+            out,
+            "{p}for ({v} = {s}; {v} <= {e}; {v} += {st}) {{",
+            v = r.var,
+            s = cexpr(ctx, &r.start),
+            e = cexpr(ctx, &r.end),
+            st = cexpr(ctx, &r.step),
+        );
+    }
+    let body_indent = indent + nest.ranges.len();
+    let guarded = nest.condition.is_some();
+    if let Some(c) = &nest.condition {
+        let p = "  ".repeat(body_indent);
+        let _ = writeln!(out, "{p}if ({}) {{", cexpr(ctx, c));
+    }
+    for s in &nest.body {
+        emit_stmt(out, ctx, s, body_indent + usize::from(guarded));
+    }
+    if guarded {
+        let p = "  ".repeat(body_indent);
+        let _ = writeln!(out, "{p}}}");
+    }
+    for depth in (0..nest.ranges.len()).rev() {
+        let p = "  ".repeat(indent + depth);
+        let _ = writeln!(out, "{p}}}");
+    }
+}
+
+fn emit_stmt(out: &mut String, ctx: &Ctx, stmt: &Stmt, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match stmt {
+        Stmt::Assign { target, value } => {
+            let _ = writeln!(out, "{pad}{} = {};", clvalue(ctx, target), cexpr(ctx, value));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", cexpr(ctx, cond));
+            for s in then_body {
+                emit_stmt(out, ctx, s, indent + 1);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_body {
+                    emit_stmt(out, ctx, s, indent + 1);
+                }
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::CallSub { name, args } => {
+            let args: Vec<String> = args.iter().map(|a| cexpr(ctx, a)).collect();
+            let _ = writeln!(out, "{pad}{name}({});", args.join(", "));
+        }
+        Stmt::Return(v) => match v {
+            Some(e) => {
+                let _ = writeln!(out, "{pad}return {};", cexpr(ctx, e));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+        },
+        Stmt::Exit => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        Stmt::Cycle => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+    }
+}
+
+struct Ctx<'a> {
+    program: &'a Program,
+    module: &'a GlafModule,
+    func: &'a Function,
+}
+
+impl Ctx<'_> {
+    fn grid(&self, name: &str) -> Option<&Grid> {
+        self.program.resolve_grid(self.module, self.func, name)
+    }
+}
+
+fn clvalue(ctx: &Ctx, lv: &LValue) -> String {
+    render_ref(ctx, &lv.grid, &lv.indices, lv.field.as_deref())
+}
+
+/// Renders a grid reference: 0-based index shifting, parameter pointers
+/// linearized, COMMON members through `block_.name`, TYPE elements through
+/// `type_var.name`.
+fn render_ref(ctx: &Ctx, grid: &str, indices: &[Expr], field: Option<&str>) -> String {
+    let g = match ctx.grid(grid) {
+        Some(g) => g,
+        None => return grid.to_string(),
+    };
+    let mut base = match &g.origin {
+        GridOrigin::Existing(IntegrationAttr::CommonBlock { block }) => {
+            format!("{block}_.{grid}")
+        }
+        GridOrigin::Existing(IntegrationAttr::TypeElement { type_var, .. }) => {
+            format!("{type_var}.{grid}")
+        }
+        _ => grid.to_string(),
+    };
+    if let (ElemType::Struct(_), Some(f), Layout::SoA) = (&g.elem, field, g.layout) {
+        base = format!("{base}_{f}");
+    }
+    let mut s = base;
+    if !indices.is_empty() {
+        let is_param_ptr = matches!(g.origin, GridOrigin::Parameter(_));
+        if is_param_ptr {
+            // Linearized row-major access over the known extents.
+            let mut expr = String::new();
+            for (k, ix) in indices.iter().enumerate() {
+                if k > 0 {
+                    expr.push_str(" + ");
+                }
+                let stride: usize = g.dims[k + 1..].iter().map(|d| d.extent()).product();
+                let lo = g.dims[k].lo;
+                if stride == 1 {
+                    let _ = write!(expr, "(({}) - {lo})", cexpr(ctx, ix));
+                } else {
+                    let _ = write!(expr, "(({}) - {lo}) * {stride}", cexpr(ctx, ix));
+                }
+            }
+            let _ = write!(s, "[{expr}]");
+        } else {
+            for (k, ix) in indices.iter().enumerate() {
+                let lo = g.dims[k].lo;
+                let _ = write!(s, "[({}) - {lo}]", cexpr(ctx, ix));
+            }
+        }
+    }
+    if let (ElemType::Struct(_), Some(f), Layout::AoS) = (&g.elem, field, g.layout) {
+        let _ = write!(s, ".{f}");
+    }
+    s
+}
+
+fn cop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => unreachable!("pow lowered to a call"),
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn cprec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div => 6,
+        BinOp::Pow => 7,
+    }
+}
+
+fn cexpr(ctx: &Ctx, e: &Expr) -> String {
+    let mut s = String::new();
+    wexpr(&mut s, ctx, e, 0);
+    s
+}
+
+fn wexpr(out: &mut String, ctx: &Ctx, e: &Expr, parent: u8) {
+    match e {
+        Expr::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::RealLit(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+        Expr::BoolLit(b) => out.push_str(if *b { "1" } else { "0" }),
+        Expr::Index(v) => out.push_str(v),
+        Expr::GridRef { grid, indices, field } => {
+            out.push_str(&render_ref(ctx, grid, indices, field.as_deref()));
+        }
+        Expr::WholeGrid(g) => out.push_str(g),
+        Expr::Unary { op, operand } => {
+            match op {
+                UnOp::Neg => out.push_str("(-"),
+                UnOp::Not => out.push_str("(!"),
+            }
+            wexpr(out, ctx, operand, 8);
+            out.push(')');
+        }
+        Expr::Binary { op: BinOp::Pow, lhs, rhs } => {
+            out.push_str("pow(");
+            wexpr(out, ctx, lhs, 0);
+            out.push_str(", ");
+            wexpr(out, ctx, rhs, 0);
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let p = cprec(*op);
+            let need = p < parent;
+            if need {
+                out.push('(');
+            }
+            wexpr(out, ctx, lhs, p);
+            let _ = write!(out, " {} ", cop(*op));
+            wexpr(out, ctx, rhs, p + 1);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Call { callee, args } => {
+            match callee {
+                Callee::Lib(f) => out.push_str(f.c_name()),
+                Callee::User(n) => out.push_str(n),
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                wexpr(out, ctx, a, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_autopar::analyze_program;
+    use glaf_grid::DataType;
+    use glaf_ir::ProgramBuilder;
+
+    fn gen(p: &Program, opts: &CodegenOptions) -> String {
+        let plan = analyze_program(p);
+        generate_c(p, &plan, opts)
+    }
+
+    #[test]
+    fn void_function_and_pragma() {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("zero_a")
+            .param(n)
+            .param(a)
+            .loop_step("init")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(0.0))
+            .done()
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::parallel_version(0));
+        assert!(src.contains("void zero_a(long n, double *a)"), "{src}");
+        assert!(src.contains("#pragma omp parallel for"), "{src}");
+        assert!(src.contains("a[((i) - 1)] = 0.0;"), "{src}");
+    }
+
+    #[test]
+    fn common_block_interop_struct() {
+        let cc = Grid::build("cc").typed(DataType::Real8).in_common_block("rad").finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(cc)
+            .straight_step("w", vec![Stmt::assign(LValue::scalar("cc"), Expr::real(2.0))])
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("extern struct rad_common"), "{src}");
+        assert!(src.contains("rad_.cc = 2.0;"), "{src}");
+    }
+
+    #[test]
+    fn type_element_member_access() {
+        let q = Grid::build("charge")
+            .typed(DataType::Real8)
+            .type_element("atoms_mod", "atom1")
+            .finish()
+            .unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(q)
+            .straight_step("w", vec![Stmt::assign(LValue::scalar("charge"), Expr::real(1.0))])
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("#include \"atoms_mod.h\""), "{src}");
+        assert!(src.contains("atom1.charge = 1.0;"), "{src}");
+    }
+
+    #[test]
+    fn malloc_matches_figure1() {
+        // Fig. 1 of the paper: a 4x4 int grid generates a malloc.
+        let img = Grid::build("img_src")
+            .typed(DataType::Integer)
+            .dim(0, 3)
+            .dim(0, 3)
+            .comment("Image before filtering")
+            .allocatable()
+            .finish()
+            .unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(img)
+            .straight_step(
+                "w",
+                vec![Stmt::assign(
+                    LValue::at("img_src", vec![Expr::int(0), Expr::int(0)]),
+                    Expr::int(1),
+                )],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("// Image before filtering"), "{src}");
+        assert!(src.contains("malloc(16 * sizeof(long))"), "{src}");
+        assert!(src.contains("free(img_src);"), "{src}");
+    }
+
+    #[test]
+    fn pow_lowered_to_call() {
+        let x = Grid::build("x").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(x)
+            .straight_step(
+                "w",
+                vec![Stmt::assign(
+                    LValue::scalar("x"),
+                    Expr::scalar("x").pow(Expr::real(2.0)),
+                )],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("x = pow(x, 2.0);"), "{src}");
+    }
+
+    #[test]
+    fn exit_cycle_map_to_break_continue() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(10).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .param(a)
+            .loop_step("l")
+            .foreach("i", Expr::int(1), Expr::int(10))
+            .stmt(Stmt::If {
+                cond: Expr::idx("i").cmp(BinOp::Gt, Expr::int(5)),
+                then_body: vec![Stmt::Exit],
+                else_body: vec![Stmt::Cycle],
+            })
+            .done()
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("break;"), "{src}");
+        assert!(src.contains("continue;"), "{src}");
+    }
+}

@@ -1,0 +1,995 @@
+//! The FORTRAN code generator.
+//!
+//! Emits one free-form FORTRAN 90 `MODULE` per GLAF module, containing one
+//! `SUBROUTINE`/`FUNCTION` per GLAF function, with all the §3 integration
+//! features (USE, COMMON, TYPE elements, module-scope variables, SAVE) and
+//! OpenMP directives placed according to the auto-parallelization plan and
+//! the directive policy.
+//!
+//! The output is accepted verbatim by the `fortrans` execution substrate —
+//! the integration tests parse, run and compare it against the original
+//! legacy sources, mirroring the paper's §4.1.1 methodology.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+use glaf_autopar::{LoopPlan, ProgramPlan};
+use glaf_grid::{DataType, ElemType, Grid, GridOrigin, InitData, IntegrationAttr, Layout};
+use glaf_ir::{
+    BinOp, Callee, Expr, Function, GlafModule, LValue, LoopNest, Program, StepBody, Stmt, UnOp,
+};
+
+use crate::policy::CodegenOptions;
+
+/// Generates FORTRAN source for the whole program.
+pub fn generate_fortran(program: &Program, plan: &ProgramPlan, opts: &CodegenOptions) -> String {
+    let atomic_grids = union_atomic_grids(program, plan, opts);
+    let mut out = String::new();
+    for module in &program.modules {
+        emit_module(&mut out, program, module, plan, opts, &atomic_grids);
+    }
+    out
+}
+
+/// Generates just one function (useful for golden tests and SLOC counts).
+pub fn generate_fortran_function(
+    program: &Program,
+    module: &GlafModule,
+    function: &Function,
+    plan: &ProgramPlan,
+    opts: &CodegenOptions,
+) -> String {
+    let atomic_grids = union_atomic_grids(program, plan, opts);
+    let mut out = String::new();
+    emit_function(&mut out, program, module, function, plan, opts, &atomic_grids, 1);
+    out
+}
+
+/// Atomic-protected grids: union of the atomic sets of exactly the loops
+/// that *receive a directive* under the active policy. Any accumulation
+/// into one of these, anywhere, gets `!$OMP ATOMIC` — the update may live
+/// in a callee while the directive sits on the caller's loop (§4.2.1).
+fn union_atomic_grids(
+    program: &Program,
+    plan: &ProgramPlan,
+    opts: &CodegenOptions,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for module in &program.modules {
+        for func in &module.functions {
+            let Some(fplan) = plan.for_function(&func.name) else { continue };
+            for (step_index, step) in func.steps.iter().enumerate() {
+                let StepBody::Loop(nest) = &step.body else { continue };
+                let Some(lp) = fplan.for_step(step_index) else { continue };
+                if opts.directive_for(&func.name, nest, lp) {
+                    out.extend(lp.atomic.iter().cloned());
+                }
+            }
+        }
+    }
+    out.extend(opts.force_atomic.iter().cloned());
+    out
+}
+
+fn emit_module(
+    out: &mut String,
+    program: &Program,
+    module: &GlafModule,
+    plan: &ProgramPlan,
+    opts: &CodegenOptions,
+    atomic_grids: &BTreeSet<String>,
+) {
+    let _ = writeln!(out, "MODULE {}", module.name);
+
+    // USE statements for existing modules referenced by global grids.
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for g in &module.globals {
+        if let Some(m) = g.origin.use_module() {
+            used.insert(m);
+        }
+    }
+    for m in &used {
+        let _ = writeln!(out, "  USE {m}");
+    }
+    let _ = writeln!(out, "  IMPLICIT NONE");
+
+    // Derived TYPE definitions for AoS struct grids (module scope and
+    // local alike are declared here so subprograms can use them).
+    let mut declared_types: BTreeSet<String> = BTreeSet::new();
+    for g in module
+        .globals
+        .iter()
+        .chain(module.functions.iter().flat_map(|f| f.grids.iter()))
+    {
+        if let ElemType::Struct(fields) = &g.elem {
+            if g.layout == Layout::AoS && declared_types.insert(g.name.clone()) {
+                let _ = writeln!(out, "  TYPE {}_t", g.name);
+                for f in fields {
+                    let _ = writeln!(out, "    {} :: {}", f.ty.fortran_name(), f.name);
+                }
+                let _ = writeln!(out, "  END TYPE {}_t", g.name);
+            }
+        }
+    }
+
+    // Module-scope grids: declared and initialized by GLAF (§3.3).
+    for g in &module.globals {
+        if g.origin == GridOrigin::ModuleScope {
+            if let Some(c) = &g.comment {
+                let _ = writeln!(out, "  ! {c}");
+            }
+            for line in declaration_lines(g) {
+                let _ = writeln!(out, "  {line}");
+            }
+            if opts.threadprivate.contains(&g.name) {
+                let _ = writeln!(out, "  !$OMP THREADPRIVATE({})", g.name);
+            }
+        }
+    }
+
+    let _ = writeln!(out, "CONTAINS");
+    for f in &module.functions {
+        let _ = writeln!(out);
+        emit_function(out, program, module, f, plan, opts, atomic_grids, 1);
+    }
+    let _ = writeln!(out, "END MODULE {}", module.name);
+}
+
+/// All declaration lines for a grid (type line; possibly field arrays for
+/// SoA structs).
+fn declaration_lines(g: &Grid) -> Vec<String> {
+    let dims = dim_spec(g);
+    match &g.elem {
+        ElemType::Uniform(t) => vec![one_declaration(*t, &dims, g)],
+        ElemType::Struct(fields) => match g.layout {
+            Layout::AoS => {
+                let mut attrs = String::new();
+                if !g.dims.is_empty() {
+                    let _ = write!(attrs, ", DIMENSION({dims})");
+                }
+                if g.save {
+                    attrs.push_str(", SAVE");
+                }
+                vec![format!("TYPE({}_t){attrs} :: {}", g.name, g.name)]
+            }
+            Layout::SoA => fields
+                .iter()
+                .map(|f| {
+                    let mut line = f.ty.fortran_name().to_string();
+                    if !g.dims.is_empty() {
+                        let _ = write!(line, ", DIMENSION({dims})");
+                    }
+                    if g.save {
+                        line.push_str(", SAVE");
+                    }
+                    let _ = write!(line, " :: {}_{}", g.name, f.name);
+                    line
+                })
+                .collect(),
+        },
+    }
+}
+
+fn one_declaration(t: DataType, dims: &str, g: &Grid) -> String {
+    let mut line = t.fortran_name().to_string();
+    if !g.dims.is_empty() {
+        if g.allocatable {
+            let colons = vec![":"; g.dims.len()].join(",");
+            let _ = write!(line, ", DIMENSION({colons}), ALLOCATABLE");
+        } else {
+            let _ = write!(line, ", DIMENSION({dims})");
+        }
+    }
+    if g.save {
+        line.push_str(", SAVE");
+    }
+    let _ = write!(line, " :: {}", g.name);
+    if let (true, Some(init)) = (g.dims.is_empty(), &g.init) {
+        match init {
+            InitData::UniformInt(v) => {
+                let _ = write!(line, " = {v}");
+            }
+            InitData::UniformReal(v) => {
+                let _ = write!(line, " = {}", real_literal(*v));
+            }
+            InitData::Explicit(_) => {}
+        }
+    }
+    line
+}
+
+fn dim_spec(g: &Grid) -> String {
+    g.dims
+        .iter()
+        .map(|d| format!("{}:{}", d.lo, d.hi))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn real_literal(v: f64) -> String {
+    // 1.5 -> "1.5D0", 0.001 -> "1D-3": shortest round-trip mantissa with a
+    // FORTRAN double-precision exponent marker.
+    let s = format!("{v:e}");
+    s.replacen('e', "D", 1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_function(
+    out: &mut String,
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    plan: &ProgramPlan,
+    opts: &CodegenOptions,
+    atomic_grids: &BTreeSet<String>,
+    indent: usize,
+) {
+    let pad = "  ".repeat(indent);
+    let ctx = Ctx { program, module, func };
+
+    // Header (§3.4): Void return type -> SUBROUTINE.
+    if func.is_subroutine() {
+        let _ = writeln!(out, "{pad}SUBROUTINE {}({})", func.name, func.params.join(", "));
+    } else {
+        let _ = writeln!(
+            out,
+            "{pad}{} FUNCTION {}({})",
+            func.return_type.fortran_name(),
+            func.name,
+            func.params.join(", ")
+        );
+    }
+
+    // USE for existing modules referenced by grids used in this function
+    // (§3.1, §3.5).
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for g in func.grids.iter().chain(module.globals.iter()) {
+        if let Some(m) = g.origin.use_module() {
+            used.insert(m);
+        }
+    }
+    for m in used {
+        let _ = writeln!(out, "{pad}  USE {m}");
+    }
+
+    // Declarations: parameters then locals. Existing-module / TYPE-element
+    // grids are *not* redeclared (§3.1); COMMON grids are declared and then
+    // grouped (§3.2).
+    let mut common_blocks: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for g in &func.grids {
+        match &g.origin {
+            GridOrigin::Existing(IntegrationAttr::ExistingModule { .. })
+            | GridOrigin::Existing(IntegrationAttr::TypeElement { .. }) => {}
+            GridOrigin::Existing(IntegrationAttr::CommonBlock { block }) => {
+                if let Some(c) = &g.comment {
+                    let _ = writeln!(out, "{pad}  ! {c}");
+                }
+                for line in declaration_lines(g) {
+                    let _ = writeln!(out, "{pad}  {line}");
+                }
+                common_blocks.entry(block).or_default().push(&g.name);
+            }
+            _ => {
+                if let Some(c) = &g.comment {
+                    let _ = writeln!(out, "{pad}  ! {c}");
+                }
+                let mut g2 = g.clone();
+                if opts.auto_save_arrays && g.allocatable {
+                    g2.save = true;
+                }
+                for line in declaration_lines(&g2) {
+                    let _ = writeln!(out, "{pad}  {line}");
+                }
+            }
+        }
+    }
+    // COMMON grids declared at module scope too (globals).
+    for g in &module.globals {
+        if let GridOrigin::Existing(IntegrationAttr::CommonBlock { block }) = &g.origin {
+            for line in declaration_lines(g) {
+                let _ = writeln!(out, "{pad}  {line}");
+            }
+            common_blocks.entry(block).or_default().push(&g.name);
+        }
+    }
+    // Grouped COMMON statements (§3.2): "all the variables in a given
+    // program unit that ... belong to the same COMMON block are
+    // automatically grouped".
+    for (block, vars) in &common_blocks {
+        let _ = writeln!(out, "{pad}  COMMON /{block}/ {}", vars.join(", "));
+    }
+
+    // Loop-index variables.
+    let mut index_vars: BTreeSet<&str> = BTreeSet::new();
+    for step in &func.steps {
+        if let StepBody::Loop(nest) = &step.body {
+            for r in &nest.ranges {
+                index_vars.insert(&r.var);
+            }
+        }
+    }
+    if !index_vars.is_empty() {
+        let list = index_vars.into_iter().collect::<Vec<_>>().join(", ");
+        let _ = writeln!(out, "{pad}  INTEGER :: {list}");
+    }
+
+    // Allocations for allocatable locals. With SAVE (explicit or via the
+    // auto-save option) the array persists across calls: allocate once.
+    for g in &func.grids {
+        if g.allocatable && !g.origin.is_externally_declared() {
+            let spec = dim_spec(g);
+            let saved = g.save || opts.auto_save_arrays;
+            if saved {
+                let _ = writeln!(
+                    out,
+                    "{pad}  IF (.NOT. ALLOCATED({})) ALLOCATE({}({spec}))",
+                    g.name, g.name
+                );
+            } else {
+                let _ = writeln!(out, "{pad}  ALLOCATE({}({spec}))", g.name);
+            }
+        }
+    }
+
+    // Body.
+    let fplan = plan.for_function(&func.name);
+    for (step_index, step) in func.steps.iter().enumerate() {
+        if let Some(label) = &step.label {
+            let _ = writeln!(out, "{pad}  ! {label}");
+        }
+        let critical = opts.critical_steps.contains(&(func.name.clone(), step_index));
+        if critical {
+            let _ = writeln!(out, "{pad}  !$OMP CRITICAL");
+        }
+        match &step.body {
+            StepBody::Straight(stmts) => {
+                for s in stmts {
+                    emit_stmt(out, &ctx, s, atomic_grids, opts, indent + 1);
+                }
+            }
+            StepBody::Loop(nest) => {
+                let lp = fplan.and_then(|fp| fp.for_step(step_index));
+                emit_loop(out, &ctx, nest, lp, opts, atomic_grids, indent + 1);
+            }
+        }
+        if critical {
+            let _ = writeln!(out, "{pad}  !$OMP END CRITICAL");
+        }
+    }
+
+    // Deallocate non-persistent allocatables.
+    for g in &func.grids {
+        let saved = g.save || opts.auto_save_arrays;
+        if g.allocatable && !saved && !g.origin.is_externally_declared() {
+            let _ = writeln!(out, "{pad}  DEALLOCATE({})", g.name);
+        }
+    }
+
+    if func.is_subroutine() {
+        let _ = writeln!(out, "{pad}END SUBROUTINE {}", func.name);
+    } else {
+        let _ = writeln!(out, "{pad}END FUNCTION {}", func.name);
+    }
+}
+
+/// Expression-emission context: resolves grid origins for `%` prefixes and
+/// SoA renaming.
+struct Ctx<'a> {
+    program: &'a Program,
+    module: &'a GlafModule,
+    func: &'a Function,
+}
+
+impl Ctx<'_> {
+    fn grid(&self, name: &str) -> Option<&Grid> {
+        self.program.resolve_grid(self.module, self.func, name)
+    }
+
+    /// The generated base name for a reference to `grid` (+field).
+    /// Handles §3.5 TYPE-element prefixes and SoA field arrays.
+    fn base_name(&self, grid: &str, field: Option<&str>) -> String {
+        let g = match self.grid(grid) {
+            Some(g) => g,
+            None => return grid.to_string(),
+        };
+        let base = match &g.origin {
+            GridOrigin::Existing(IntegrationAttr::TypeElement { type_var, .. }) => {
+                format!("{type_var}%{grid}")
+            }
+            _ => grid.to_string(),
+        };
+        match (&g.elem, field) {
+            (ElemType::Struct(_), Some(f)) => match g.layout {
+                Layout::SoA => format!("{base}_{f}"),
+                Layout::AoS => base, // %field appended after indices
+            },
+            _ => base,
+        }
+    }
+}
+
+fn emit_loop(
+    out: &mut String,
+    ctx: &Ctx,
+    nest: &LoopNest,
+    plan: Option<&LoopPlan>,
+    opts: &CodegenOptions,
+    atomic_grids: &BTreeSet<String>,
+    indent: usize,
+) {
+    let pad = "  ".repeat(indent);
+    let directive = plan
+        .map(|lp| opts.directive_for(&ctx.func.name, nest, lp))
+        .unwrap_or(false);
+
+    if directive {
+        let lp = plan.unwrap();
+        let mut line = format!("{pad}!$OMP PARALLEL DO DEFAULT(SHARED)");
+        let collapse = lp.collapse.min(nest.ranges.len());
+        if collapse >= 2 {
+            let _ = write!(line, " COLLAPSE({collapse})");
+        }
+        // Private: analyzed scalars plus non-collapsed inner loop indices.
+        let mut private: Vec<String> = lp.private.clone();
+        for r in nest.ranges.iter().skip(collapse.max(1)) {
+            private.push(r.var.clone());
+        }
+        if !private.is_empty() {
+            let _ = write!(line, " PRIVATE({})", private.join(", "));
+        }
+        // Reductions grouped by operator — multiple reduction variables per
+        // clause, the §4.2.1 adaptation.
+        let mut by_op: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for r in &lp.reductions {
+            by_op.entry(r.op.omp_name()).or_default().push(&r.grid);
+        }
+        for (op, vars) in by_op {
+            let _ = write!(line, " REDUCTION({op}:{})", vars.join(", "));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+
+    // The DO nest.
+    for (depth, r) in nest.ranges.iter().enumerate() {
+        let p = "  ".repeat(indent + depth);
+        let _ = write!(out, "{p}DO {} = {}, {}", r.var, fexpr(ctx, &r.start), fexpr(ctx, &r.end));
+        if !matches!(r.step, Expr::IntLit(1)) {
+            let _ = write!(out, ", {}", fexpr(ctx, &r.step));
+        }
+        let _ = writeln!(out);
+    }
+    let body_indent = indent + nest.ranges.len();
+    let guarded = nest.condition.is_some();
+    if let Some(c) = &nest.condition {
+        let p = "  ".repeat(body_indent);
+        let _ = writeln!(out, "{p}IF ({}) THEN", fexpr(ctx, c));
+    }
+    for s in &nest.body {
+        emit_stmt(out, ctx, s, atomic_grids, opts, body_indent + usize::from(guarded));
+    }
+    if guarded {
+        let p = "  ".repeat(body_indent);
+        let _ = writeln!(out, "{p}END IF");
+    }
+    for depth in (0..nest.ranges.len()).rev() {
+        let p = "  ".repeat(indent + depth);
+        let _ = writeln!(out, "{p}END DO");
+    }
+    if directive {
+        let _ = writeln!(out, "{pad}!$OMP END PARALLEL DO");
+    }
+}
+
+fn emit_stmt(
+    out: &mut String,
+    ctx: &Ctx,
+    stmt: &Stmt,
+    atomic_grids: &BTreeSet<String>,
+    opts: &CodegenOptions,
+    indent: usize,
+) {
+    let pad = "  ".repeat(indent);
+    match stmt {
+        Stmt::Assign { target, value } => {
+            if opts.atomic_updates
+                && atomic_grids.contains(&target.grid)
+                && glaf_autopar::reduction::match_reduction(target, value).is_some()
+            {
+                let _ = writeln!(out, "{pad}!$OMP ATOMIC");
+            }
+            let _ = writeln!(out, "{pad}{} = {}", flvalue(ctx, target), fexpr(ctx, value));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}IF ({}) THEN", fexpr(ctx, cond));
+            for s in then_body {
+                emit_stmt(out, ctx, s, atomic_grids, opts, indent + 1);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}ELSE");
+                for s in else_body {
+                    emit_stmt(out, ctx, s, atomic_grids, opts, indent + 1);
+                }
+            }
+            let _ = writeln!(out, "{pad}END IF");
+        }
+        Stmt::CallSub { name, args } => {
+            let args: Vec<String> = args.iter().map(|a| fexpr(ctx, a)).collect();
+            let _ = writeln!(out, "{pad}CALL {name}({})", args.join(", "));
+        }
+        Stmt::Return(v) => {
+            if let Some(e) = v {
+                let _ = writeln!(out, "{pad}{} = {}", ctx.func.name, fexpr(ctx, e));
+            }
+            let _ = writeln!(out, "{pad}RETURN");
+        }
+        Stmt::Exit => {
+            let _ = writeln!(out, "{pad}EXIT");
+        }
+        Stmt::Cycle => {
+            let _ = writeln!(out, "{pad}CYCLE");
+        }
+    }
+}
+
+fn flvalue(ctx: &Ctx, lv: &LValue) -> String {
+    render_ref(ctx, &lv.grid, &lv.indices, lv.field.as_deref())
+}
+
+fn render_ref(ctx: &Ctx, grid: &str, indices: &[Expr], field: Option<&str>) -> String {
+    let base = ctx.base_name(grid, field);
+    let mut s = base;
+    if !indices.is_empty() {
+        let ix: Vec<String> = indices.iter().map(|e| fexpr(ctx, e)).collect();
+        let _ = write!(s, "({})", ix.join(", "));
+    }
+    // AoS field access comes after the element selection.
+    if let Some(f) = field {
+        if let Some(g) = ctx.grid(grid) {
+            if matches!(g.elem, ElemType::Struct(_)) && g.layout == Layout::AoS {
+                let _ = write!(s, "%{f}");
+            }
+        }
+    }
+    s
+}
+
+fn fprec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+        BinOp::Pow => 6,
+    }
+}
+
+fn fop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => "**",
+        BinOp::Eq => "==",
+        BinOp::Ne => "/=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => ".AND.",
+        BinOp::Or => ".OR.",
+    }
+}
+
+/// Renders an expression in FORTRAN syntax.
+fn fexpr(ctx: &Ctx, e: &Expr) -> String {
+    let mut s = String::new();
+    wexpr(&mut s, ctx, e, 0);
+    s
+}
+
+fn wexpr(out: &mut String, ctx: &Ctx, e: &Expr, parent: u8) {
+    match e {
+        Expr::IntLit(v) => {
+            if *v < 0 {
+                let _ = write!(out, "({v})");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::RealLit(v) => {
+            if *v < 0.0 {
+                let _ = write!(out, "({})", real_literal(*v));
+            } else {
+                out.push_str(&real_literal(*v));
+            }
+        }
+        Expr::BoolLit(b) => out.push_str(if *b { ".TRUE." } else { ".FALSE." }),
+        Expr::Index(v) => out.push_str(v),
+        Expr::GridRef { grid, indices, field } => {
+            out.push_str(&render_ref(ctx, grid, indices, field.as_deref()));
+        }
+        Expr::WholeGrid(g) => out.push_str(&ctx.base_name(g, None)),
+        Expr::Unary { op, operand } => {
+            match op {
+                UnOp::Neg => out.push_str("(-"),
+                UnOp::Not => out.push_str("(.NOT. "),
+            }
+            wexpr(out, ctx, operand, 7);
+            out.push(')');
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let p = fprec(*op);
+            let need = p < parent;
+            if need {
+                out.push('(');
+            }
+            wexpr(out, ctx, lhs, p);
+            let _ = write!(out, " {} ", fop(*op));
+            wexpr(out, ctx, rhs, p + 1);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Call { callee, args } => {
+            match callee {
+                Callee::Lib(f) => out.push_str(f.fortran_name()),
+                Callee::User(n) => out.push_str(n),
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                wexpr(out, ctx, a, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_autopar::analyze_program;
+    use glaf_grid::Field;
+    use glaf_ir::ProgramBuilder;
+
+    fn gen(p: &Program, opts: &CodegenOptions) -> String {
+        let plan = analyze_program(p);
+        generate_fortran(p, &plan, opts)
+    }
+
+    fn simple_program() -> Program {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        ProgramBuilder::new()
+            .module("kernels")
+            .subroutine("zero_a")
+            .param(n)
+            .param(a)
+            .loop_step("init")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(0.0))
+            .done()
+            .done()
+            .done()
+            .finish()
+    }
+
+    #[test]
+    fn subroutine_form_for_void() {
+        let src = gen(&simple_program(), &CodegenOptions::serial());
+        assert!(src.contains("SUBROUTINE zero_a(n, a)"), "{src}");
+        assert!(src.contains("END SUBROUTINE zero_a"));
+        assert!(!src.contains("FUNCTION zero_a"));
+    }
+
+    #[test]
+    fn v0_gets_directive_v1_does_not() {
+        let p = simple_program();
+        let v0 = gen(&p, &CodegenOptions::parallel_version(0));
+        assert!(v0.contains("!$OMP PARALLEL DO"), "{v0}");
+        assert!(v0.contains("!$OMP END PARALLEL DO"));
+        let v1 = gen(&p, &CodegenOptions::parallel_version(1));
+        assert!(!v1.contains("!$OMP"), "zero-init loses its directive in v1:\n{v1}");
+    }
+
+    #[test]
+    fn function_form_and_return_assignment() {
+        let b = Grid::build("b").typed(DataType::Real8).dim1(10).finish().unwrap();
+        let acc = Grid::build("acc").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .function("total", DataType::Real8)
+            .param(b)
+            .local(acc)
+            .loop_step("sum")
+            .foreach("i", Expr::int(1), Expr::int(10))
+            .formula(
+                LValue::scalar("acc"),
+                Expr::scalar("acc") + Expr::at("b", vec![Expr::idx("i")]),
+            )
+            .done()
+            .straight_step("ret", vec![Stmt::Return(Some(Expr::scalar("acc")))])
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("REAL(8) FUNCTION total(b)"), "{src}");
+        assert!(src.contains("total = acc"));
+        assert!(src.contains("RETURN"));
+    }
+
+    #[test]
+    fn reduction_clause_emitted() {
+        let b = Grid::build("b").typed(DataType::Real8).dim1(10).finish().unwrap();
+        let acc = Grid::build("acc").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .function("total", DataType::Real8)
+            .param(b)
+            .local(acc)
+            .loop_step("sum")
+            .foreach("i", Expr::int(1), Expr::int(10))
+            .formula(
+                LValue::scalar("acc"),
+                Expr::scalar("acc") + Expr::at("b", vec![Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::parallel_version(0));
+        assert!(src.contains("REDUCTION(+:acc)"), "{src}");
+    }
+
+    #[test]
+    fn existing_module_grid_uses_not_declares() {
+        let ext = Grid::build("fi_input")
+            .typed(DataType::Real8)
+            .dim1(60)
+            .in_existing_module("fuliou_mod")
+            .finish()
+            .unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(ext)
+            .straight_step(
+                "use it",
+                vec![Stmt::assign(
+                    LValue::at("fi_input", vec![Expr::int(1)]),
+                    Expr::real(1.0),
+                )],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("USE fuliou_mod"), "{src}");
+        assert!(
+            !src.contains(":: fi_input"),
+            "existing-module variables must not be redeclared:\n{src}"
+        );
+    }
+
+    #[test]
+    fn common_block_grouped_and_declared() {
+        let cc = Grid::build("cc").typed(DataType::Real8).in_common_block("rad").finish().unwrap();
+        let dd = Grid::build("dd")
+            .typed(DataType::Real8)
+            .dim1(60)
+            .in_common_block("rad")
+            .finish()
+            .unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(cc)
+            .local(dd)
+            .straight_step(
+                "touch",
+                vec![Stmt::assign(LValue::scalar("cc"), Expr::real(2.0))],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("COMMON /rad/ cc, dd"), "{src}");
+        assert!(src.contains("REAL(8) :: cc"));
+        assert!(src.contains("REAL(8), DIMENSION(1:60) :: dd"));
+    }
+
+    #[test]
+    fn type_element_prefixed() {
+        let q = Grid::build("charge")
+            .typed(DataType::Real8)
+            .type_element("atoms_mod", "atom1")
+            .finish()
+            .unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(q)
+            .straight_step(
+                "set",
+                vec![Stmt::assign(LValue::scalar("charge"), Expr::real(1.6e-19))],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("atom1%charge ="), "paper §3.5 example:\n{src}");
+        assert!(src.contains("USE atoms_mod"));
+    }
+
+    #[test]
+    fn module_scope_grid_declared_in_module() {
+        let g = Grid::build("shared_buf")
+            .typed(DataType::Real8)
+            .dim1(50)
+            .module_scope()
+            .finish()
+            .unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .global(g)
+            .subroutine("s")
+            .straight_step(
+                "touch",
+                vec![Stmt::assign(
+                    LValue::at("shared_buf", vec![Expr::int(1)]),
+                    Expr::real(0.0),
+                )],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        let module_part = &src[..src.find("CONTAINS").unwrap()];
+        assert!(
+            module_part.contains("REAL(8), DIMENSION(1:50) :: shared_buf"),
+            "{src}"
+        );
+    }
+
+    #[test]
+    fn collapse_clause_for_double_nest() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(2).dim1(60).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .param(a)
+            .loop_step("dbl")
+            .foreach("i", Expr::int(1), Expr::int(2))
+            .foreach("j", Expr::int(1), Expr::int(60))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i"), Expr::idx("j")]),
+                Expr::idx("i") + Expr::idx("j"),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::parallel_version(0));
+        assert!(src.contains("COLLAPSE(2)"), "{src}");
+    }
+
+    #[test]
+    fn allocatable_save_and_auto_save() {
+        let tmp = Grid::build("tmp").typed(DataType::Real8).dim1(50).allocatable().finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("edge_loop")
+            .local(tmp)
+            .straight_step(
+                "touch",
+                vec![Stmt::assign(LValue::at("tmp", vec![Expr::int(1)]), Expr::real(0.0))],
+            )
+            .done()
+            .done()
+            .finish();
+        let plain = gen(&p, &CodegenOptions::serial());
+        assert!(plain.contains("ALLOCATE(tmp(1:50))"), "{plain}");
+        assert!(plain.contains("DEALLOCATE(tmp)"));
+        let mut opts = CodegenOptions::serial();
+        opts.auto_save_arrays = true;
+        let saved = gen(&p, &opts);
+        assert!(saved.contains("IF (.NOT. ALLOCATED(tmp)) ALLOCATE(tmp(1:50))"), "{saved}");
+        assert!(!saved.contains("DEALLOCATE"));
+        assert!(saved.contains(", SAVE :: tmp"));
+    }
+
+    #[test]
+    fn soa_and_aos_layouts() {
+        let fields = vec![
+            Field { name: "x".into(), ty: DataType::Real8 },
+            Field { name: "q".into(), ty: DataType::Real8 },
+        ];
+        let aos = Grid::build("atoms").struct_of(fields.clone()).dim1(8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(aos)
+            .straight_step(
+                "w",
+                vec![Stmt::assign(
+                    LValue::at_field("atoms", vec![Expr::int(1)], "x"),
+                    Expr::real(1.0),
+                )],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("TYPE atoms_t"), "{src}");
+        assert!(src.contains("atoms(1)%x ="), "{src}");
+
+        let mut p2 = p.clone();
+        p2.modules[0].functions[0].grids[0].layout = Layout::SoA;
+        let src2 = gen(&p2, &CodegenOptions::serial());
+        assert!(src2.contains("REAL(8), DIMENSION(1:8) :: atoms_x"), "{src2}");
+        assert!(src2.contains("atoms_x(1) ="), "{src2}");
+    }
+
+    #[test]
+    fn critical_step_wrapped() {
+        let p = simple_program();
+        let mut opts = CodegenOptions::parallel_version(0);
+        opts.critical_steps.insert(("zero_a".into(), 0));
+        let src = gen(&p, &opts);
+        assert!(src.contains("!$OMP CRITICAL"), "{src}");
+        assert!(src.contains("!$OMP END CRITICAL"));
+    }
+
+    #[test]
+    fn real_literals_double_precision() {
+        assert_eq!(real_literal(1.5), "1.5D0");
+        assert_eq!(real_literal(0.001), "1D-3");
+        assert_eq!(real_literal(2.0), "2D0");
+    }
+
+    #[test]
+    fn condition_becomes_if_guard() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(10).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .param(a)
+            .loop_step("guarded")
+            .foreach("i", Expr::int(1), Expr::int(10))
+            .condition(Expr::idx("i").cmp(BinOp::Gt, Expr::int(5)))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(1.0))
+            .done()
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("IF (i > 5) THEN"), "{src}");
+        assert!(src.contains("END IF"));
+    }
+
+    #[test]
+    fn intrinsics_render_fortran_names() {
+        let x = Grid::build("x").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .local(x)
+            .straight_step(
+                "w",
+                vec![Stmt::assign(
+                    LValue::scalar("x"),
+                    Expr::lib(glaf_ir::LibFunc::Alog, vec![Expr::scalar("x")])
+                        + Expr::lib(glaf_ir::LibFunc::Abs, vec![Expr::scalar("x")]),
+                )],
+            )
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::serial());
+        assert!(src.contains("ALOG(x) + ABS(x)"), "{src}");
+    }
+}

@@ -1,0 +1,246 @@
+//! OpenMP directive policies: the paper's Table 2 ladder and the
+//! cost-model policy.
+
+use std::collections::BTreeSet;
+
+use glaf_autopar::{CostAdvisor, CostParams, Decision, LoopClass, LoopPlan};
+use glaf_ir::LoopNest;
+
+/// Which parallelizable loops receive `!$OMP PARALLEL DO` directives.
+///
+/// Mirrors Table 2 of the paper:
+///
+/// | Variant | Policy |
+/// |---|---|
+/// | GLAF serial | [`DirectivePolicy::Serial`] |
+/// | GLAF-parallel v0 | [`DirectivePolicy::AllParallel`] — "OMP directives in all applicable loops" |
+/// | GLAF-parallel v1 | [`DirectivePolicy::NoInitLoops`] — v0 minus initializations to zero / single-value loads |
+/// | GLAF-parallel v2 | [`DirectivePolicy::NoSimpleSingle`] — v1 minus simple single loops |
+/// | GLAF-parallel v3 | [`DirectivePolicy::NoSimpleDouble`] — v2 minus simple double loops |
+/// | (future work) | [`DirectivePolicy::CostModel`] — §4.1.2's performance-prediction back-end decides |
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirectivePolicy {
+    Serial,
+    AllParallel,
+    NoInitLoops,
+    NoSimpleSingle,
+    NoSimpleDouble,
+    CostModel(CostParams),
+}
+
+impl DirectivePolicy {
+    /// The paper's name for this variant, for reports.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            DirectivePolicy::Serial => "GLAF serial",
+            DirectivePolicy::AllParallel => "GLAF-parallel v0",
+            DirectivePolicy::NoInitLoops => "GLAF-parallel v1",
+            DirectivePolicy::NoSimpleSingle => "GLAF-parallel v2",
+            DirectivePolicy::NoSimpleDouble => "GLAF-parallel v3",
+            DirectivePolicy::CostModel(_) => "GLAF-parallel cost-model",
+        }
+    }
+
+    /// Decides whether a parallelizable loop keeps its directive.
+    pub fn keep_directive(&self, nest: &LoopNest, plan: &LoopPlan) -> bool {
+        if !plan.parallelizable {
+            return false;
+        }
+        match self {
+            DirectivePolicy::Serial => false,
+            DirectivePolicy::AllParallel => true,
+            DirectivePolicy::NoInitLoops => {
+                !matches!(plan.class, LoopClass::ZeroInit | LoopClass::SingleValueInit)
+            }
+            DirectivePolicy::NoSimpleSingle => !matches!(
+                plan.class,
+                LoopClass::ZeroInit | LoopClass::SingleValueInit | LoopClass::SimpleSingle
+            ),
+            DirectivePolicy::NoSimpleDouble => matches!(plan.class, LoopClass::Complex),
+            DirectivePolicy::CostModel(params) => {
+                CostAdvisor::new(params.clone()).decide(nest, plan) == Decision::Threads
+            }
+        }
+    }
+}
+
+/// Everything configurable about one code-generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenOptions {
+    pub policy: DirectivePolicy,
+    /// Functions whose loops must be generated *serial* regardless of the
+    /// policy — the FUN3D experiment's per-level "off" switches.
+    pub suppress_parallel: BTreeSet<String>,
+    /// Functions whose outermost parallelizable loop keeps its directive
+    /// regardless of the class-based policy — the per-level "on" switches.
+    pub force_parallel: BTreeSet<String>,
+    /// Steps (function name, step index) to wrap in `!$OMP CRITICAL` —
+    /// the §4.2.1 manual tweak for `ioff_search`'s early-return section.
+    pub critical_steps: BTreeSet<(String, usize)>,
+    /// Module-scope grids declared `!$OMP THREADPRIVATE` (§4.2.1's
+    /// "declared as private or thread-private as appropriate").
+    pub threadprivate: BTreeSet<String>,
+    /// Grids whose accumulations always get `!$OMP ATOMIC` protection,
+    /// regardless of the plan (§4.2.1: "Atomic update clauses are added
+    /// to parallel updates to module-scope arrays").
+    pub force_atomic: BTreeSet<String>,
+    /// Apply the FORTRAN `SAVE` attribute to every allocatable local —
+    /// the automatic no-reallocation option the paper proposes as future
+    /// work ("an option to GLAF could be added to limit such excessive
+    /// reallocation automatically", §4.2.2).
+    pub auto_save_arrays: bool,
+    /// Emit `!$OMP ATOMIC` before accumulations into grids flagged by the
+    /// parallel plan (on by default; the §4.2.1 adaptation).
+    pub atomic_updates: bool,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            policy: DirectivePolicy::AllParallel,
+            suppress_parallel: BTreeSet::new(),
+            force_parallel: BTreeSet::new(),
+            critical_steps: BTreeSet::new(),
+            threadprivate: BTreeSet::new(),
+            force_atomic: BTreeSet::new(),
+            auto_save_arrays: false,
+            atomic_updates: true,
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// A serial-code configuration.
+    pub fn serial() -> Self {
+        CodegenOptions { policy: DirectivePolicy::Serial, ..Default::default() }
+    }
+
+    /// The Table 2 variant ladder by version number (0..=3).
+    pub fn parallel_version(v: u8) -> Self {
+        let policy = match v {
+            0 => DirectivePolicy::AllParallel,
+            1 => DirectivePolicy::NoInitLoops,
+            2 => DirectivePolicy::NoSimpleSingle,
+            _ => DirectivePolicy::NoSimpleDouble,
+        };
+        CodegenOptions { policy, ..Default::default() }
+    }
+
+    /// Final verdict for one loop of one function.
+    ///
+    /// `force_parallel` overrides even a negative parallelizability
+    /// verdict: this is how the FUN3D experiment generates "all possible
+    /// levels of parallelization ... to ease the search of the
+    /// optimization space" (§4.2.2) — correctness at forced levels is the
+    /// job of the accompanying THREADPRIVATE / ATOMIC / CRITICAL
+    /// adaptations, exactly as in the paper.
+    pub fn directive_for(&self, function: &str, nest: &LoopNest, plan: &LoopPlan) -> bool {
+        if self.suppress_parallel.contains(function) {
+            return false;
+        }
+        if self.force_parallel.contains(function) {
+            return true;
+        }
+        self.policy.keep_directive(nest, plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glaf_autopar::plan::LoopPlan;
+    use glaf_ir::{Expr, IndexRange};
+
+    fn plan(class: LoopClass) -> LoopPlan {
+        LoopPlan {
+            step_index: 0,
+            class,
+            vectorizable: true,
+            parallelizable: true,
+            collapse: 1,
+            private: vec![],
+            reductions: vec![],
+            atomic: vec![],
+            blockers: vec![],
+        }
+    }
+
+    fn nest() -> LoopNest {
+        LoopNest {
+            ranges: vec![IndexRange::new("i", Expr::int(1), Expr::int(100))],
+            condition: None,
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn ladder_removes_classes_incrementally() {
+        let n = nest();
+        use LoopClass::*;
+        let cases = [ZeroInit, SingleValueInit, SimpleSingle, SimpleDouble, Complex];
+        let keep = |p: &DirectivePolicy| -> Vec<bool> {
+            cases.iter().map(|c| p.keep_directive(&n, &plan(*c))).collect()
+        };
+        assert_eq!(keep(&DirectivePolicy::Serial), vec![false; 5]);
+        assert_eq!(keep(&DirectivePolicy::AllParallel), vec![true; 5]);
+        assert_eq!(
+            keep(&DirectivePolicy::NoInitLoops),
+            vec![false, false, true, true, true]
+        );
+        assert_eq!(
+            keep(&DirectivePolicy::NoSimpleSingle),
+            vec![false, false, false, true, true]
+        );
+        assert_eq!(
+            keep(&DirectivePolicy::NoSimpleDouble),
+            vec![false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn non_parallelizable_never_kept() {
+        let n = nest();
+        let mut p = plan(LoopClass::Complex);
+        p.parallelizable = false;
+        assert!(!DirectivePolicy::AllParallel.keep_directive(&n, &p));
+    }
+
+    #[test]
+    fn overrides_beat_policy() {
+        let n = nest();
+        let p = plan(LoopClass::ZeroInit);
+        let mut opt = CodegenOptions::parallel_version(3);
+        assert!(!opt.directive_for("f", &n, &p));
+        opt.force_parallel.insert("f".into());
+        assert!(opt.directive_for("f", &n, &p));
+        opt.suppress_parallel.insert("f".into());
+        assert!(!opt.directive_for("f", &n, &p), "suppress wins over force");
+    }
+
+    #[test]
+    fn force_overrides_negative_verdict() {
+        let n = nest();
+        let mut p = plan(LoopClass::Complex);
+        p.parallelizable = false;
+        let mut opt = CodegenOptions::serial();
+        assert!(!opt.directive_for("f", &n, &p));
+        opt.force_parallel.insert("f".into());
+        assert!(
+            opt.directive_for("f", &n, &p),
+            "§4.2.2: forced levels generate directives for investigation"
+        );
+    }
+
+    #[test]
+    fn version_ladder_constructor() {
+        assert_eq!(
+            CodegenOptions::parallel_version(0).policy,
+            DirectivePolicy::AllParallel
+        );
+        assert_eq!(
+            CodegenOptions::parallel_version(3).policy,
+            DirectivePolicy::NoSimpleDouble
+        );
+        assert_eq!(CodegenOptions::serial().policy, DirectivePolicy::Serial);
+    }
+}

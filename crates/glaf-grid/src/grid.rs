@@ -1,0 +1,436 @@
+//! The grid itself: GLAF's uniform internal representation of program data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::Layout;
+use crate::scope::{GridOrigin, InitData};
+use crate::types::DataType;
+use crate::{is_valid_identifier, GridError};
+
+/// One dimension of a grid: an inclusive index range `lo..=hi` plus an
+/// optional dimension title shown by the GPI ("row", "col", ... in Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim {
+    /// Lowest valid index (FORTRAN defaults to 1, GLAF's GPI shows 0-based
+    /// `end0`, `end1` markers; both are representable).
+    pub lo: i64,
+    /// Highest valid index, inclusive.
+    pub hi: i64,
+    /// Dimension caption for GPI-style display.
+    pub title: Option<String>,
+}
+
+impl Dim {
+    /// A dimension spanning `lo..=hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Dim { lo, hi, title: None }
+    }
+
+    /// Number of elements along this dimension.
+    pub fn extent(&self) -> usize {
+        (self.hi - self.lo + 1).max(0) as usize
+    }
+}
+
+/// Element typing: a plain scalar type, or a record of named fields (how
+/// GLAF models C-like structs through the grid abstraction, §2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemType {
+    /// All cells share one scalar type.
+    Uniform(DataType),
+    /// Each cell is a record; the optimization back-end may lay these out
+    /// AoS or SoA.
+    Struct(Vec<Field>),
+}
+
+/// A named, typed field of a struct-element grid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub ty: DataType,
+}
+
+/// The grid: GLAF's single abstraction for scalars, arrays and structs
+/// (paper Fig. 1). A scalar is simply a zero-dimensional grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Caption — the variable name in generated code.
+    pub name: String,
+    /// Free-text comment; emitted as a source comment above declarations
+    /// (`// Image before filtering` in Fig. 1).
+    pub comment: Option<String>,
+    /// Dimensions; empty for scalars.
+    pub dims: Vec<Dim>,
+    /// Cell typing.
+    pub elem: ElemType,
+    /// Where the grid lives (local / parameter / module scope / existing
+    /// legacy datum).
+    pub origin: GridOrigin,
+    /// Struct layout chosen by the optimization back-end. Ignored for
+    /// uniform grids.
+    pub layout: Layout,
+    /// Manually entered initial data, if any (Fig. 3 checkbox).
+    pub init: Option<InitData>,
+    /// Marked ALLOCATABLE: generated FORTRAN declares the array deferred
+    /// and allocates it on entry (used heavily by the FUN3D kernels, §4.2).
+    pub allocatable: bool,
+    /// Carries the FORTRAN `SAVE` attribute (the §4.2.1 no-reallocation
+    /// adaptation).
+    pub save: bool,
+}
+
+impl Grid {
+    /// Starts a builder for a grid named `name`.
+    pub fn build(name: impl Into<String>) -> GridBuilder {
+        GridBuilder::new(name)
+    }
+
+    /// True for zero-dimensional grids.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Number of array dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of cells (product of extents; 1 for scalars).
+    pub fn cell_count(&self) -> usize {
+        self.dims.iter().map(Dim::extent).product()
+    }
+
+    /// The scalar type of a uniform grid, or of field `field` for a struct
+    /// grid.
+    pub fn scalar_type(&self) -> Option<DataType> {
+        match &self.elem {
+            ElemType::Uniform(t) => Some(*t),
+            ElemType::Struct(_) => None,
+        }
+    }
+
+    /// Looks up a struct field by name.
+    pub fn field(&self, field: &str) -> Result<&Field, GridError> {
+        match &self.elem {
+            ElemType::Struct(fs) => fs.iter().find(|f| f.name == field).ok_or_else(|| {
+                GridError::NoSuchField { grid: self.name.clone(), field: field.to_string() }
+            }),
+            ElemType::Uniform(_) => Err(GridError::NoSuchField {
+                grid: self.name.clone(),
+                field: field.to_string(),
+            }),
+        }
+    }
+
+    /// Validates an index vector against the declared bounds, returning the
+    /// 0-based per-dimension offsets.
+    pub fn check_indices(&self, indices: &[i64]) -> Result<Vec<usize>, GridError> {
+        if indices.len() != self.dims.len() {
+            return Err(GridError::WrongArity {
+                grid: self.name.clone(),
+                expected: self.dims.len(),
+                got: indices.len(),
+            });
+        }
+        indices
+            .iter()
+            .zip(self.dims.iter())
+            .enumerate()
+            .map(|(d, (&ix, dim))| {
+                if ix < dim.lo || ix > dim.hi {
+                    Err(GridError::OutOfBounds {
+                        grid: self.name.clone(),
+                        dim: d,
+                        index: ix,
+                        lo: dim.lo,
+                        hi: dim.hi,
+                    })
+                } else {
+                    Ok((ix - dim.lo) as usize)
+                }
+            })
+            .collect()
+    }
+
+    /// Bytes occupied by the whole grid (for malloc emission and the memory
+    /// cost model).
+    pub fn size_bytes(&self) -> usize {
+        let per_cell = match &self.elem {
+            ElemType::Uniform(t) => t.size_bytes(),
+            ElemType::Struct(fs) => fs.iter().map(|f| f.ty.size_bytes()).sum(),
+        };
+        per_cell * self.cell_count()
+    }
+
+    /// Checks that any explicit init data matches the cell count.
+    pub fn validate_init(&self) -> Result<(), GridError> {
+        if let Some(InitData::Explicit(v)) = &self.init {
+            if v.len() != self.cell_count() {
+                return Err(GridError::WrongArity {
+                    grid: self.name.clone(),
+                    expected: self.cell_count(),
+                    got: v.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent constructor mirroring the GPI's grid-configuration dialogs
+/// (Figs. 3 and 4 of the paper): pick a type, add dimensions, tick the
+/// integration checkboxes.
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    grid: Grid,
+}
+
+impl GridBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        GridBuilder {
+            grid: Grid {
+                name: name.into(),
+                comment: None,
+                dims: Vec::new(),
+                elem: ElemType::Uniform(DataType::Real8),
+                origin: GridOrigin::Local,
+                layout: Layout::AoS,
+                init: None,
+                allocatable: false,
+                save: false,
+            },
+        }
+    }
+
+    /// Sets the scalar element type.
+    pub fn typed(mut self, ty: DataType) -> Self {
+        self.grid.elem = ElemType::Uniform(ty);
+        self
+    }
+
+    /// Makes the grid a struct with the given fields.
+    pub fn struct_of(mut self, fields: Vec<Field>) -> Self {
+        self.grid.elem = ElemType::Struct(fields);
+        self
+    }
+
+    /// Appends a dimension `lo..=hi`.
+    pub fn dim(mut self, lo: i64, hi: i64) -> Self {
+        self.grid.dims.push(Dim::new(lo, hi));
+        self
+    }
+
+    /// Appends a FORTRAN-style dimension `1..=n`.
+    pub fn dim1(self, n: i64) -> Self {
+        self.dim(1, n)
+    }
+
+    /// Attaches the GPI comment.
+    pub fn comment(mut self, c: impl Into<String>) -> Self {
+        self.grid.comment = Some(c.into());
+        self
+    }
+
+    /// Marks the grid as the k-th formal parameter.
+    pub fn parameter(mut self, k: usize) -> Self {
+        self.grid.origin = GridOrigin::Parameter(k);
+        self
+    }
+
+    /// Marks the grid as a module-scope variable of the generated module
+    /// (§3.3).
+    pub fn module_scope(mut self) -> Self {
+        self.grid.origin = GridOrigin::ModuleScope;
+        self
+    }
+
+    /// "Global variable exists in existing module" (Fig. 3, §3.1).
+    pub fn in_existing_module(mut self, module: impl Into<String>) -> Self {
+        self.grid.origin = GridOrigin::Existing(crate::IntegrationAttr::ExistingModule {
+            module: module.into(),
+        });
+        self
+    }
+
+    /// "Grid belongs in COMMON block" (Fig. 3, §3.2).
+    pub fn in_common_block(mut self, block: impl Into<String>) -> Self {
+        self.grid.origin =
+            GridOrigin::Existing(crate::IntegrationAttr::CommonBlock { block: block.into() });
+        self
+    }
+
+    /// Element of an existing TYPE variable (§3.5): accesses generate a
+    /// `type_var%` prefix.
+    pub fn type_element(
+        mut self,
+        module: impl Into<String>,
+        type_var: impl Into<String>,
+    ) -> Self {
+        self.grid.origin = GridOrigin::Existing(crate::IntegrationAttr::TypeElement {
+            module: module.into(),
+            type_var: type_var.into(),
+        });
+        self
+    }
+
+    /// Chooses the struct layout (optimization back-end).
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.grid.layout = layout;
+        self
+    }
+
+    /// Manual initial data (Fig. 3 checkbox).
+    pub fn init(mut self, data: InitData) -> Self {
+        self.grid.init = Some(data);
+        self
+    }
+
+    /// Deferred-shape, allocated on entry.
+    pub fn allocatable(mut self) -> Self {
+        self.grid.allocatable = true;
+        self
+    }
+
+    /// FORTRAN `SAVE` attribute (§4.2.1 adaptation).
+    pub fn save(mut self) -> Self {
+        self.grid.save = true;
+        self
+    }
+
+    /// Validates and finishes the grid.
+    pub fn finish(self) -> Result<Grid, GridError> {
+        if !is_valid_identifier(&self.grid.name) {
+            return Err(GridError::BadName(self.grid.name));
+        }
+        for (i, d) in self.grid.dims.iter().enumerate() {
+            if d.extent() == 0 {
+                return Err(GridError::EmptyDimension { grid: self.grid.name, dim: i });
+            }
+        }
+        self.grid.validate_init()?;
+        Ok(self.grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::IntegrationAttr;
+
+    #[test]
+    fn figure1_grid() {
+        // The 4x4 integer `img_src` grid of paper Fig. 1.
+        let g = Grid::build("img_src")
+            .typed(DataType::Integer)
+            .dim(0, 3)
+            .dim(0, 3)
+            .comment("Image before filtering")
+            .finish()
+            .unwrap();
+        assert_eq!(g.rank(), 2);
+        assert_eq!(g.cell_count(), 16);
+        assert_eq!(g.size_bytes(), 16 * 8);
+        assert_eq!(g.comment.as_deref(), Some("Image before filtering"));
+    }
+
+    #[test]
+    fn scalar_grid() {
+        let g = Grid::build("ke").typed(DataType::Real8).finish().unwrap();
+        assert!(g.is_scalar());
+        assert_eq!(g.cell_count(), 1);
+    }
+
+    #[test]
+    fn existing_module_grid() {
+        let g = Grid::build("var_a")
+            .typed(DataType::Integer)
+            .in_existing_module("fuliou_mod")
+            .finish()
+            .unwrap();
+        assert!(g.origin.is_externally_declared());
+        assert_eq!(g.origin.use_module(), Some("fuliou_mod"));
+    }
+
+    #[test]
+    fn common_block_grid() {
+        let g = Grid::build("cc").typed(DataType::Real8).in_common_block("rad").finish().unwrap();
+        match &g.origin {
+            GridOrigin::Existing(IntegrationAttr::CommonBlock { block }) => {
+                assert_eq!(block, "rad")
+            }
+            other => panic!("wrong origin: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_element_grid() {
+        let g = Grid::build("charge")
+            .typed(DataType::Real8)
+            .type_element("atoms_mod", "atom1")
+            .finish()
+            .unwrap();
+        assert_eq!(g.origin.use_module(), Some("atoms_mod"));
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(matches!(
+            Grid::build("9lives").finish(),
+            Err(GridError::BadName(_))
+        ));
+    }
+
+    #[test]
+    fn empty_dim_rejected() {
+        assert!(matches!(
+            Grid::build("g").dim(5, 4).finish(),
+            Err(GridError::EmptyDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn index_checking() {
+        let g = Grid::build("a").typed(DataType::Real8).dim(1, 4).dim(0, 2).finish().unwrap();
+        assert_eq!(g.check_indices(&[1, 0]).unwrap(), vec![0, 0]);
+        assert_eq!(g.check_indices(&[4, 2]).unwrap(), vec![3, 2]);
+        assert!(matches!(g.check_indices(&[0, 0]), Err(GridError::OutOfBounds { .. })));
+        assert!(matches!(g.check_indices(&[1]), Err(GridError::WrongArity { .. })));
+    }
+
+    #[test]
+    fn struct_fields() {
+        let g = Grid::build("atoms")
+            .struct_of(vec![
+                Field { name: "x".into(), ty: DataType::Real8 },
+                Field { name: "q".into(), ty: DataType::Real8 },
+            ])
+            .dim1(10)
+            .finish()
+            .unwrap();
+        assert!(g.field("x").is_ok());
+        assert!(matches!(g.field("z"), Err(GridError::NoSuchField { .. })));
+        assert_eq!(g.size_bytes(), 10 * 16);
+    }
+
+    #[test]
+    fn explicit_init_must_match_cells() {
+        let r = Grid::build("v")
+            .typed(DataType::Real8)
+            .dim1(3)
+            .init(InitData::Explicit(vec![1.0, 2.0]))
+            .finish();
+        assert!(matches!(r, Err(GridError::WrongArity { .. })));
+    }
+
+    #[test]
+    fn save_and_allocatable_flags() {
+        let g = Grid::build("tmp")
+            .typed(DataType::Real8)
+            .dim1(50)
+            .allocatable()
+            .save()
+            .finish()
+            .unwrap();
+        assert!(g.allocatable && g.save);
+    }
+}

@@ -1,0 +1,144 @@
+//! Where a grid lives, and how it integrates with legacy code.
+//!
+//! The ICPP 2018 extension is almost entirely about *origin*: a grid created
+//! in the GLAF Global Scope may be a brand-new variable (the original GLAF
+//! behaviour) or a handle onto a datum that already exists somewhere in the
+//! encompassing legacy program. The origin decides what the code generators
+//! emit: a declaration, a `USE` statement, a `COMMON` membership, or nothing
+//! but a `var%elem` access prefix.
+
+use serde::{Deserialize, Serialize};
+
+/// The scope a grid was created in (mirrors the GPI's module/function/step
+/// selector combined with the Global Scope special module).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GridOrigin {
+    /// A local variable of the function currently being edited.
+    Local,
+    /// The n-th formal parameter of the function (the GPI shows
+    /// "(Parameter k)" under the grid, cf. Fig. 2).
+    Parameter(usize),
+    /// A fresh variable in the GLAF Global Scope: becomes a module-scope
+    /// variable of the *generated* module, declared and initialized by GLAF
+    /// (paper §3.3).
+    ModuleScope,
+    /// A grid standing for a datum that already exists in the legacy code;
+    /// see [`IntegrationAttr`] for the three supported flavours (§3.1, §3.2,
+    /// §3.5).
+    Existing(IntegrationAttr),
+}
+
+impl GridOrigin {
+    /// True when code generation must *not* declare this grid inside the
+    /// subprogram body (it is imported, common, or a parameter).
+    pub fn is_externally_declared(&self) -> bool {
+        matches!(self, GridOrigin::Existing(_))
+    }
+
+    /// The existing-module name to `USE`, if any.
+    pub fn use_module(&self) -> Option<&str> {
+        match self {
+            GridOrigin::Existing(IntegrationAttr::ExistingModule { module })
+            | GridOrigin::Existing(IntegrationAttr::TypeElement { module, .. }) => {
+                Some(module.as_str())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// How an *existing* legacy datum is reached from generated code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntegrationAttr {
+    /// §3.1 — the variable is declared in an existing FORTRAN module; the
+    /// generated subprogram gains a `USE <module>` and no local declaration.
+    ExistingModule { module: String },
+    /// §3.2 — the variable lives in a FORTRAN 77 `COMMON` block. All grids
+    /// naming the same block are grouped into one
+    /// `COMMON /<block>/ v1, v2, ...` statement, and each still gets a type
+    /// declaration.
+    CommonBlock { block: String },
+    /// §3.5 — the grid is an element of a derived-TYPE variable that is
+    /// itself declared in an existing module. Accesses are generated with
+    /// the `type_var%` prefix (e.g. `atom1%charge`).
+    TypeElement { module: String, type_var: String },
+}
+
+impl IntegrationAttr {
+    /// Short human-readable tag used in diagnostics and DESIGN/EXPERIMENTS
+    /// tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IntegrationAttr::ExistingModule { .. } => "existing-module",
+            IntegrationAttr::CommonBlock { .. } => "common-block",
+            IntegrationAttr::TypeElement { .. } => "type-element",
+        }
+    }
+}
+
+/// Optional initial data manually entered through the GPI ("Enable manual
+/// entering of initial data", Fig. 3). Stored row-major in entry order;
+/// the code generators emit initialization loops or data statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InitData {
+    /// Every element set to the same integer.
+    UniformInt(i64),
+    /// Every element set to the same real.
+    UniformReal(f64),
+    /// Explicit per-element values (length must equal the grid's element
+    /// count; validated by `Grid::validate_init`).
+    Explicit(Vec<f64>),
+}
+
+impl InitData {
+    /// Number of explicit values carried, if any.
+    pub fn explicit_len(&self) -> Option<usize> {
+        match self {
+            InitData::Explicit(v) => Some(v.len()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_predicates() {
+        let m = GridOrigin::Existing(IntegrationAttr::ExistingModule { module: "fuliou".into() });
+        assert!(m.is_externally_declared());
+        assert_eq!(m.use_module(), Some("fuliou"));
+
+        let c = GridOrigin::Existing(IntegrationAttr::CommonBlock { block: "blk".into() });
+        assert!(c.is_externally_declared());
+        assert_eq!(c.use_module(), None);
+
+        assert!(!GridOrigin::Local.is_externally_declared());
+        assert!(!GridOrigin::Parameter(0).is_externally_declared());
+        assert!(!GridOrigin::ModuleScope.is_externally_declared());
+    }
+
+    #[test]
+    fn type_element_uses_module() {
+        let t = GridOrigin::Existing(IntegrationAttr::TypeElement {
+            module: "fuinput_mod".into(),
+            type_var: "fi".into(),
+        });
+        assert_eq!(t.use_module(), Some("fuinput_mod"));
+    }
+
+    #[test]
+    fn attr_kinds() {
+        assert_eq!(
+            IntegrationAttr::CommonBlock { block: "b".into() }.kind(),
+            "common-block"
+        );
+    }
+
+    #[test]
+    fn init_data_len() {
+        assert_eq!(InitData::Explicit(vec![1.0, 2.0]).explicit_len(), Some(2));
+        assert_eq!(InitData::UniformInt(0).explicit_len(), None);
+    }
+}

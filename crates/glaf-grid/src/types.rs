@@ -1,0 +1,140 @@
+//! Scalar data types representable in a grid cell.
+//!
+//! GLAF's internal representation tags each grid dimension with data types
+//! (`dataTypes[RowDim] = {T_INT}` in Fig. 1 of the paper). The type
+//! vocabulary mirrors what the FORTRAN and C back-ends can declare.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar data type as understood by all GLAF back-ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// FORTRAN `INTEGER` / C `int` (we model it as 64-bit throughout).
+    Integer,
+    /// FORTRAN `REAL` / C `float`. The execution substrate evaluates all
+    /// reals in f64; the distinction only affects declarations and memory
+    /// cost accounting.
+    Real,
+    /// FORTRAN `REAL(8)` (a.k.a. `DOUBLE PRECISION`) / C `double`.
+    Real8,
+    /// FORTRAN `LOGICAL` / C `_Bool`.
+    Logical,
+    /// FORTRAN `CHARACTER(LEN=n)` / C `char[n]`. Only used for captions and
+    /// diagnostics in the evaluated kernels.
+    Character,
+    /// "No value": selecting `Void` as a subprogram return type makes the
+    /// FORTRAN back-end emit a `SUBROUTINE` instead of a `FUNCTION`
+    /// (paper §3.4, Fig. 4).
+    Void,
+}
+
+impl DataType {
+    /// Width in bytes of one element, as used by the memory-cost model and
+    /// by C `sizeof` emission.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DataType::Integer => 8,
+            DataType::Real => 4,
+            DataType::Real8 => 8,
+            DataType::Logical => 1,
+            DataType::Character => 1,
+            DataType::Void => 0,
+        }
+    }
+
+    /// True for the two floating-point types.
+    pub fn is_real(self) -> bool {
+        matches!(self, DataType::Real | DataType::Real8)
+    }
+
+    /// True for types that can participate in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Integer | DataType::Real | DataType::Real8)
+    }
+
+    /// The FORTRAN declaration keyword for this type.
+    pub fn fortran_name(self) -> &'static str {
+        match self {
+            DataType::Integer => "INTEGER",
+            DataType::Real => "REAL",
+            DataType::Real8 => "REAL(8)",
+            DataType::Logical => "LOGICAL",
+            DataType::Character => "CHARACTER(LEN=*)",
+            DataType::Void => "",
+        }
+    }
+
+    /// The C declaration keyword for this type.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            DataType::Integer => "long",
+            DataType::Real => "float",
+            DataType::Real8 => "double",
+            DataType::Logical => "_Bool",
+            DataType::Character => "char",
+            DataType::Void => "void",
+        }
+    }
+
+    /// Result type of a binary arithmetic operation between two operands,
+    /// following FORTRAN's promotion rules (integer < real < real8).
+    pub fn promote(a: DataType, b: DataType) -> DataType {
+        use DataType::*;
+        match (a, b) {
+            (Real8, _) | (_, Real8) => Real8,
+            (Real, _) | (_, Real) => Real,
+            _ => Integer,
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataType::Integer => "integer",
+            DataType::Real => "real",
+            DataType::Real8 => "real8",
+            DataType::Logical => "logical",
+            DataType::Character => "character",
+            DataType::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DataType::Integer.size_bytes(), 8);
+        assert_eq!(DataType::Real.size_bytes(), 4);
+        assert_eq!(DataType::Real8.size_bytes(), 8);
+        assert_eq!(DataType::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    fn promotion_follows_fortran_rules() {
+        use DataType::*;
+        assert_eq!(DataType::promote(Integer, Integer), Integer);
+        assert_eq!(DataType::promote(Integer, Real), Real);
+        assert_eq!(DataType::promote(Real, Real8), Real8);
+        assert_eq!(DataType::promote(Real8, Integer), Real8);
+    }
+
+    #[test]
+    fn language_names() {
+        assert_eq!(DataType::Real8.fortran_name(), "REAL(8)");
+        assert_eq!(DataType::Real8.c_name(), "double");
+        assert_eq!(DataType::Void.c_name(), "void");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(DataType::Real.is_real());
+        assert!(!DataType::Integer.is_real());
+        assert!(DataType::Integer.is_numeric());
+        assert!(!DataType::Logical.is_numeric());
+    }
+}

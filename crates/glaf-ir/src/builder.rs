@@ -1,0 +1,274 @@
+//! The programmatic GPI: fluent builders for programs, modules, functions
+//! and steps.
+//!
+//! Each method corresponds to a user action in the paper's screenshots:
+//! creating a grid in the Global Scope (Fig. 3), choosing a return type in
+//! the header step (Fig. 4), setting "Index Range", "Condition" and
+//! "Formula" boxes (Fig. 2).
+
+use glaf_grid::{DataType, Grid};
+
+use crate::expr::Expr;
+use crate::program::{Function, GlafModule, Program};
+use crate::stmt::{IndexRange, LValue, LoopNest, Step, StepBody, Stmt};
+
+/// Builds a [`Program`] out of modules.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    modules: Vec<GlafModule>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a module builder; call [`ModuleBuilder::done`] to return here.
+    pub fn module(self, name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder {
+            parent: self,
+            module: GlafModule { name: name.into(), globals: Vec::new(), functions: Vec::new() },
+        }
+    }
+
+    /// Finishes the program.
+    pub fn finish(self) -> Program {
+        Program { modules: self.modules }
+    }
+}
+
+/// Builds one [`GlafModule`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    parent: ProgramBuilder,
+    module: GlafModule,
+}
+
+impl ModuleBuilder {
+    /// Adds a grid to the Global Scope of this module.
+    pub fn global(mut self, grid: Grid) -> Self {
+        self.module.globals.push(grid);
+        self
+    }
+
+    /// Opens a function builder.
+    pub fn function(self, name: impl Into<String>, return_type: DataType) -> FunctionBuilder {
+        FunctionBuilder {
+            parent: self,
+            func: Function {
+                name: name.into(),
+                return_type,
+                params: Vec::new(),
+                grids: Vec::new(),
+                steps: Vec::new(),
+            },
+        }
+    }
+
+    /// Shorthand for a `Void`-returning function — generated as a
+    /// SUBROUTINE (§3.4).
+    pub fn subroutine(self, name: impl Into<String>) -> FunctionBuilder {
+        self.function(name, DataType::Void)
+    }
+
+    /// Closes the module.
+    pub fn done(mut self) -> ProgramBuilder {
+        self.parent.modules.push(self.module);
+        self.parent
+    }
+}
+
+/// Builds one [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    parent: ModuleBuilder,
+    func: Function,
+}
+
+impl FunctionBuilder {
+    /// Declares a parameter grid; parameter order follows call order. The
+    /// grid's origin is overwritten with `Parameter(k)`.
+    pub fn param(mut self, grid: Grid) -> Self {
+        let k = self.func.params.len();
+        let mut grid = grid;
+        grid.origin = glaf_grid::GridOrigin::Parameter(k);
+        self.func.params.push(grid.name.clone());
+        self.func.grids.push(grid);
+        self
+    }
+
+    /// Declares a local grid.
+    pub fn local(mut self, grid: Grid) -> Self {
+        self.func.grids.push(grid);
+        self
+    }
+
+    /// Adds a straight-line step.
+    pub fn straight_step(mut self, label: impl Into<String>, stmts: Vec<Stmt>) -> Self {
+        self.func
+            .steps
+            .push(Step { label: Some(label.into()), body: StepBody::Straight(stmts) });
+        self
+    }
+
+    /// Opens a loop-step builder.
+    pub fn loop_step(self, label: impl Into<String>) -> StepBuilder {
+        StepBuilder {
+            parent: self,
+            label: Some(label.into()),
+            nest: LoopNest { ranges: Vec::new(), condition: None, body: Vec::new() },
+        }
+    }
+
+    /// Closes the function.
+    pub fn done(mut self) -> ModuleBuilder {
+        self.parent.module.functions.push(self.func);
+        self.parent
+    }
+}
+
+/// Builds one loop step — the Fig. 2 boxes.
+#[derive(Debug)]
+pub struct StepBuilder {
+    parent: FunctionBuilder,
+    label: Option<String>,
+    nest: LoopNest,
+}
+
+impl StepBuilder {
+    /// "Index Range: foreach `var`" over `start..=end`.
+    pub fn foreach(mut self, var: impl Into<String>, start: Expr, end: Expr) -> Self {
+        self.nest.ranges.push(IndexRange::new(var, start, end));
+        self
+    }
+
+    /// Same, with an explicit step expression.
+    pub fn foreach_step(
+        mut self,
+        var: impl Into<String>,
+        start: Expr,
+        end: Expr,
+        step: Expr,
+    ) -> Self {
+        self.nest.ranges.push(IndexRange { var: var.into(), start, end, step });
+        self
+    }
+
+    /// "Condition" box: guards the whole body.
+    pub fn condition(mut self, cond: Expr) -> Self {
+        self.nest.condition = Some(cond);
+        self
+    }
+
+    /// "Formula" box: adds `target = value`.
+    pub fn formula(mut self, target: LValue, value: Expr) -> Self {
+        self.nest.body.push(Stmt::Assign { target, value });
+        self
+    }
+
+    /// Adds an arbitrary statement (if, call, ...) to the body.
+    pub fn stmt(mut self, stmt: Stmt) -> Self {
+        self.nest.body.push(stmt);
+        self
+    }
+
+    /// Closes the step.
+    pub fn done(mut self) -> FunctionBuilder {
+        self.parent
+            .func
+            .steps
+            .push(Step { label: self.label.take(), body: StepBody::Loop(self.nest) });
+        self.parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, LibFunc};
+    use glaf_grid::GridOrigin;
+
+    /// Builds the paper's Fig. 2 example: calcPointCharge loops over
+    /// surface points and atoms accumulating Coulomb contributions.
+    fn calc_point_charge() -> Program {
+        let n_atoms = Grid::build("n_atoms").typed(DataType::Integer).finish().unwrap();
+        let atoms = Grid::build("atoms").typed(DataType::Real8).dim1(64).dim1(4).finish().unwrap();
+        let pts = Grid::build("surface_pts").typed(DataType::Real8).dim1(16).finish().unwrap();
+        let sum_fs = Grid::build("sum_fs").typed(DataType::Real8).finish().unwrap();
+
+        ProgramBuilder::new()
+            .module("module1")
+            .function("calcPointCharge", DataType::Real8)
+            .param(n_atoms)
+            .param(atoms)
+            .param(pts)
+            .local(sum_fs)
+            .loop_step("Loop through all atoms vs single point")
+            .foreach("row", Expr::int(1), Expr::scalar("n_atoms"))
+            .formula(
+                LValue::scalar("sum_fs"),
+                Expr::scalar("sum_fs")
+                    + Expr::lib(
+                        LibFunc::Abs,
+                        vec![Expr::at("atoms", vec![Expr::idx("row"), Expr::int(1)])],
+                    ),
+            )
+            .done()
+            .straight_step("return", vec![Stmt::Return(Some(Expr::scalar("sum_fs")))])
+            .done()
+            .done()
+            .finish()
+    }
+
+    #[test]
+    fn builder_produces_expected_structure() {
+        let p = calc_point_charge();
+        assert_eq!(p.function_count(), 1);
+        let (m, f) = p.find_function("calcPointCharge").unwrap();
+        assert_eq!(m.name, "module1");
+        assert_eq!(f.params, vec!["n_atoms", "atoms", "surface_pts"]);
+        assert!(!f.is_subroutine());
+        assert_eq!(f.steps.len(), 2);
+        let nest = f.steps[0].as_loop().unwrap();
+        assert_eq!(nest.depth(), 1);
+        assert_eq!(nest.ranges[0].var, "row");
+    }
+
+    #[test]
+    fn param_origins_assigned_in_order() {
+        let p = calc_point_charge();
+        let (_, f) = p.find_function("calcPointCharge").unwrap();
+        assert_eq!(f.grid("n_atoms").unwrap().origin, GridOrigin::Parameter(0));
+        assert_eq!(f.grid("atoms").unwrap().origin, GridOrigin::Parameter(1));
+        assert_eq!(f.grid("surface_pts").unwrap().origin, GridOrigin::Parameter(2));
+        assert_eq!(f.grid("sum_fs").unwrap().origin, GridOrigin::Local);
+    }
+
+    #[test]
+    fn subroutine_shorthand() {
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .done()
+            .done()
+            .finish();
+        assert!(p.find_function("s").unwrap().1.is_subroutine());
+    }
+
+    #[test]
+    fn condition_box() {
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("s")
+            .loop_step("guarded")
+            .foreach("i", Expr::int(1), Expr::int(10))
+            .condition(Expr::idx("i").cmp(crate::BinOp::Gt, Expr::int(5)))
+            .formula(LValue::scalar("x"), Expr::int(1))
+            .done()
+            .done()
+            .done()
+            .finish();
+        let (_, f) = p.find_function("s").unwrap();
+        assert!(f.steps[0].as_loop().unwrap().condition.is_some());
+    }
+}

@@ -1,0 +1,379 @@
+//! Expressions: the right-hand sides of GPI formulas.
+//!
+//! The GPI builds expressions by clicking grids and operators; here the same
+//! trees are built programmatically. `Expr` implements the arithmetic
+//! operator traits so kernel models read close to the mathematics.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary operators available in GPI formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Exponentiation (`**` in FORTRAN, `pow` in C).
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is logical).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// True for logical connectives.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        !self.is_comparison() && !self.is_logical()
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Library functions supported by GLAF's extensible library back-end
+/// (§3.6). The ICPP'18 work extended the set with `ABS()`, `ALOG()`,
+/// `SUM()` "and other functions used in FORTRAN that were missing in the
+/// previous versions of GLAF".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LibFunc {
+    /// Absolute value.
+    Abs,
+    /// Natural logarithm under its FORTRAN 77 name (generates `ALOG`/`log`).
+    Alog,
+    /// Natural logarithm (F90 generic `LOG`).
+    Log,
+    /// Base-10 logarithm.
+    Log10,
+    Exp,
+    Sqrt,
+    Sin,
+    Cos,
+    Tan,
+    /// Two-argument max / min (the emitters chain for >2 args).
+    Max,
+    Min,
+    /// FORTRAN `MOD(a, p)`.
+    Mod,
+    /// Truncation to integer (`INT`).
+    Int,
+    /// Conversion to default real (`REAL`).
+    Real,
+    /// Conversion to double (`DBLE`).
+    Dble,
+    /// `SIGN(a, b)` — |a| with the sign of b.
+    Sign,
+    /// Whole-array sum (`SUM(a)`); takes a [`Expr::WholeGrid`] argument.
+    Sum,
+    /// Whole-array max (`MAXVAL`).
+    Maxval,
+    /// Whole-array min (`MINVAL`).
+    Minval,
+}
+
+impl LibFunc {
+    /// Number of scalar arguments (None = whole-array reduction over one
+    /// grid argument).
+    pub fn arity(self) -> Option<usize> {
+        use LibFunc::*;
+        match self {
+            Abs | Alog | Log | Log10 | Exp | Sqrt | Sin | Cos | Tan | Int | Real | Dble => Some(1),
+            Max | Min | Mod | Sign => Some(2),
+            Sum | Maxval | Minval => None,
+        }
+    }
+
+    /// FORTRAN spelling.
+    pub fn fortran_name(self) -> &'static str {
+        use LibFunc::*;
+        match self {
+            Abs => "ABS",
+            Alog => "ALOG",
+            Log => "LOG",
+            Log10 => "LOG10",
+            Exp => "EXP",
+            Sqrt => "SQRT",
+            Sin => "SIN",
+            Cos => "COS",
+            Tan => "TAN",
+            Max => "MAX",
+            Min => "MIN",
+            Mod => "MOD",
+            Int => "INT",
+            Real => "REAL",
+            Dble => "DBLE",
+            Sign => "SIGN",
+            Sum => "SUM",
+            Maxval => "MAXVAL",
+            Minval => "MINVAL",
+        }
+    }
+
+    /// C spelling (math.h / helper macros emitted by the C back-end).
+    pub fn c_name(self) -> &'static str {
+        use LibFunc::*;
+        match self {
+            Abs => "fabs",
+            Alog | Log => "log",
+            Log10 => "log10",
+            Exp => "exp",
+            Sqrt => "sqrt",
+            Sin => "sin",
+            Cos => "cos",
+            Tan => "tan",
+            Max => "GLAF_MAX",
+            Min => "GLAF_MIN",
+            Mod => "GLAF_MOD",
+            Int => "(long)",
+            Real => "(float)",
+            Dble => "(double)",
+            Sign => "GLAF_SIGN",
+            Sum => "glaf_sum",
+            Maxval => "glaf_maxval",
+            Minval => "glaf_minval",
+        }
+    }
+}
+
+/// What a call site targets: a library function or a user-defined GLAF
+/// function of the same program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Callee {
+    Lib(LibFunc),
+    User(String),
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    IntLit(i64),
+    RealLit(f64),
+    BoolLit(bool),
+    /// A loop index variable currently in scope ("row", "col", ...).
+    Index(String),
+    /// Element (or scalar) read of a grid. `indices` is empty for scalar
+    /// grids; `field` selects a struct field.
+    GridRef { grid: String, indices: Vec<Expr>, field: Option<String> },
+    /// A whole grid passed to an array intrinsic such as `SUM`.
+    WholeGrid(String),
+    Unary { op: UnOp, operand: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Call { callee: Callee, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Scalar read of grid `name`.
+    pub fn scalar(name: impl Into<String>) -> Expr {
+        Expr::GridRef { grid: name.into(), indices: Vec::new(), field: None }
+    }
+
+    /// Indexed read of grid `name`.
+    pub fn at(name: impl Into<String>, indices: Vec<Expr>) -> Expr {
+        Expr::GridRef { grid: name.into(), indices, field: None }
+    }
+
+    /// Indexed read of struct field `field` of grid `name`.
+    pub fn at_field(name: impl Into<String>, indices: Vec<Expr>, field: impl Into<String>) -> Expr {
+        Expr::GridRef { grid: name.into(), indices, field: Some(field.into()) }
+    }
+
+    /// Loop-index reference.
+    pub fn idx(name: impl Into<String>) -> Expr {
+        Expr::Index(name.into())
+    }
+
+    /// Library call.
+    pub fn lib(f: LibFunc, args: Vec<Expr>) -> Expr {
+        Expr::Call { callee: Callee::Lib(f), args }
+    }
+
+    /// User-function call expression.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call { callee: Callee::User(name.into()), args }
+    }
+
+    /// Integer literal helper.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit(v)
+    }
+
+    /// Real literal helper.
+    pub fn real(v: f64) -> Expr {
+        Expr::RealLit(v)
+    }
+
+    /// Builds `self <op> rhs` for comparisons (operator overloading only
+    /// covers arithmetic).
+    pub fn cmp(self, op: BinOp, rhs: Expr) -> Expr {
+        debug_assert!(op.is_comparison() || op.is_logical());
+        Expr::Binary { op, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// Logical and.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::And, rhs)
+    }
+
+    /// Logical or.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.cmp(BinOp::Or, rhs)
+    }
+
+    /// `self ** rhs`.
+    pub fn pow(self, rhs: Expr) -> Expr {
+        Expr::Binary { op: BinOp::Pow, lhs: Box::new(self), rhs: Box::new(rhs) }
+    }
+
+    /// Walks the tree, calling `f` on every node (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { operand, .. } => operand.walk(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::GridRef { indices, .. } => {
+                for i in indices {
+                    i.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Collects the names of all grids read by this expression (including
+    /// whole-grid intrinsic arguments).
+    pub fn grids_read(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            Expr::GridRef { grid, .. } => out.push(grid.clone()),
+            Expr::WholeGrid(g) => out.push(g.clone()),
+            _ => {}
+        });
+        out
+    }
+
+    /// True when the expression mentions loop index `var`.
+    pub fn uses_index(&self, var: &str) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Index(v) = e {
+                if v == var {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Number of nodes in the tree (used by the cost model and for test
+    /// assertions about generated code size).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0usize;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+macro_rules! impl_arith {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl std::ops::$trait for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                Expr::Binary { op: $op, lhs: Box::new(self), rhs: Box::new(rhs) }
+            }
+        }
+    };
+}
+
+impl_arith!(Add, add, BinOp::Add);
+impl_arith!(Sub, sub, BinOp::Sub);
+impl_arith!(Mul, mul, BinOp::Mul);
+impl_arith!(Div, div, BinOp::Div);
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Unary { op: UnOp::Neg, operand: Box::new(self) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_overloading_builds_trees() {
+        let e = Expr::idx("row") * Expr::real(2.0) + Expr::scalar("ke");
+        match &e {
+            Expr::Binary { op: BinOp::Add, lhs, .. } => match lhs.as_ref() {
+                Expr::Binary { op: BinOp::Mul, .. } => {}
+                other => panic!("expected Mul, got {other:?}"),
+            },
+            other => panic!("expected Add, got {other:?}"),
+        }
+        assert_eq!(e.node_count(), 5);
+    }
+
+    #[test]
+    fn grids_read_collects_nested() {
+        let e = Expr::at("a", vec![Expr::at("idx", vec![Expr::idx("i")])])
+            + Expr::lib(LibFunc::Sum, vec![Expr::WholeGrid("b".into())]);
+        let mut g = e.grids_read();
+        g.sort();
+        assert_eq!(g, vec!["a", "b", "idx"]);
+    }
+
+    #[test]
+    fn uses_index() {
+        let e = Expr::at("a", vec![Expr::idx("i") + Expr::int(1)]);
+        assert!(e.uses_index("i"));
+        assert!(!e.uses_index("j"));
+    }
+
+    #[test]
+    fn libfunc_spellings() {
+        assert_eq!(LibFunc::Alog.fortran_name(), "ALOG");
+        assert_eq!(LibFunc::Alog.c_name(), "log");
+        assert_eq!(LibFunc::Sum.arity(), None);
+        assert_eq!(LibFunc::Sign.arity(), Some(2));
+    }
+
+    #[test]
+    fn binop_classes() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Pow.is_arithmetic());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn neg_builds_unary() {
+        let e = -Expr::scalar("x");
+        assert!(matches!(e, Expr::Unary { op: UnOp::Neg, .. }));
+    }
+}

@@ -1,0 +1,39 @@
+//! # glaf-ir — GLAF program internal representation
+//!
+//! GLAF programs are structured exactly the way the graphical programming
+//! interface enforces (paper §2.1): a program is a set of **modules**; a
+//! module contains **functions**; a function is a sequence of **steps**.
+//! A step is either straight-line code or a (possibly multi-index) loop
+//! nest with an optional condition and a list of formulas — the "Index
+//! Range / Condition / Formula" boxes of Fig. 2.
+//!
+//! Two structural rules from the paper are encoded in the types:
+//!
+//! * **Interior nested loops are separate functions** (§3.3): a loop body
+//!   contains statements and *calls*, never another loop nest. Complex data
+//!   flowing out of an interior loop therefore travels through module-scope
+//!   grids, which is precisely why §3.3 exists.
+//! * **A `Void` return type makes a SUBROUTINE** (§3.4): the function header
+//!   carries a [`glaf_grid::DataType`]; code generation emits
+//!   `SUBROUTINE`/`CALL` when it is `Void` and `FUNCTION` otherwise.
+//!
+//! The [`builder`] module is the programmatic stand-in for the GPI: every
+//! method corresponds to a point-and-click action in the paper's Figs. 2-4.
+
+pub mod builder;
+pub mod display;
+pub mod expr;
+pub mod program;
+pub mod stmt;
+pub mod typecheck;
+pub mod validate;
+
+pub use builder::{FunctionBuilder, ModuleBuilder, ProgramBuilder, StepBuilder};
+pub use expr::{BinOp, Callee, Expr, LibFunc, UnOp};
+pub use program::{Function, GlafModule, Program};
+pub use stmt::{IndexRange, LValue, LoopNest, Step, StepBody, Stmt};
+pub use typecheck::{expr_type, TypeEnv};
+pub use validate::{validate_program, ValidateError};
+
+/// Re-export the grid layer: IR users always need it.
+pub use glaf_grid as grid;

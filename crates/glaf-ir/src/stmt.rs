@@ -1,0 +1,267 @@
+//! Steps, loop nests and statements.
+//!
+//! A GLAF **step** (the unit of the GPI's step selector) is either a block
+//! of straight-line statements or a *perfect* loop nest described by its
+//! index ranges, an optional guard condition, and a body of formulas and
+//! calls. Interior (non-perfectly-nested) loops are separate functions
+//! invoked through [`Stmt::CallSub`] / [`crate::Expr::Call`], per §3.3 of
+//! the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+
+/// The target of an assignment formula.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LValue {
+    pub grid: String,
+    /// Empty for scalar grids.
+    pub indices: Vec<Expr>,
+    /// Struct field selection.
+    pub field: Option<String>,
+}
+
+impl LValue {
+    /// Scalar target.
+    pub fn scalar(grid: impl Into<String>) -> LValue {
+        LValue { grid: grid.into(), indices: Vec::new(), field: None }
+    }
+
+    /// Indexed target.
+    pub fn at(grid: impl Into<String>, indices: Vec<Expr>) -> LValue {
+        LValue { grid: grid.into(), indices, field: None }
+    }
+
+    /// Indexed struct-field target.
+    pub fn at_field(
+        grid: impl Into<String>,
+        indices: Vec<Expr>,
+        field: impl Into<String>,
+    ) -> LValue {
+        LValue { grid: grid.into(), indices, field: Some(field.into()) }
+    }
+}
+
+/// One index range of a loop nest: `foreach var in start..=end step step`.
+/// The GPI's "Index Range: foreach row" boxes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexRange {
+    pub var: String,
+    pub start: Expr,
+    pub end: Expr,
+    /// Loop increment; `IntLit(1)` in the overwhelming majority of GPI
+    /// programs.
+    pub step: Expr,
+}
+
+impl IndexRange {
+    /// `foreach var in start..=end` with unit step.
+    pub fn new(var: impl Into<String>, start: Expr, end: Expr) -> Self {
+        IndexRange { var: var.into(), start, end, step: Expr::IntLit(1) }
+    }
+}
+
+/// Executable statements inside a loop body or straight-line step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A formula: `target = value`.
+    Assign { target: LValue, value: Expr },
+    /// Guarded statements ("Condition" box when attached to single
+    /// formulas, or explicit if steps).
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// Invocation of a user function generated as a SUBROUTINE (§3.4);
+    /// results flow back through module-scope grids or `INTENT(OUT)`
+    /// arguments.
+    CallSub { name: String, args: Vec<Expr> },
+    /// Sets the function's return value (assigns the `ReturnValue` grid of
+    /// the GPI header step, Fig. 4) and leaves the function.
+    Return(Option<Expr>),
+    /// Leave the innermost loop.
+    Exit,
+    /// Next iteration of the innermost loop.
+    Cycle,
+}
+
+impl Stmt {
+    /// Convenience constructor for an assignment.
+    pub fn assign(target: LValue, value: Expr) -> Stmt {
+        Stmt::Assign { target, value }
+    }
+
+    /// Walks all statements in this subtree (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        if let Stmt::If { then_body, else_body, .. } = self {
+            for s in then_body.iter().chain(else_body.iter()) {
+                s.walk(f);
+            }
+        }
+    }
+
+    /// True when the statement subtree contains any control structure —
+    /// the paper's v3 policy keeps directives only on "double-nested loops
+    /// that contain one or a few statements **without including any control
+    /// structure**".
+    pub fn has_control(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |s| {
+            if matches!(s, Stmt::If { .. } | Stmt::Exit | Stmt::Cycle | Stmt::Return(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True when the statement subtree contains a user call.
+    pub fn has_call(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |s| {
+            if matches!(s, Stmt::CallSub { .. }) {
+                found = true;
+            }
+        });
+        if !found {
+            self.walk_exprs(&mut |e| {
+                if matches!(e, Expr::Call { callee: crate::Callee::User(_), .. }) {
+                    found = true;
+                }
+            });
+        }
+        found
+    }
+
+    /// Calls `f` on every expression in the subtree.
+    pub fn walk_exprs(&self, f: &mut impl FnMut(&Expr)) {
+        self.walk(&mut |s| match s {
+            Stmt::Assign { target, value } => {
+                for i in &target.indices {
+                    i.walk(f);
+                }
+                value.walk(f);
+            }
+            Stmt::If { cond, .. } => cond.walk(f),
+            Stmt::CallSub { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Stmt::Return(Some(e)) => e.walk(f),
+            _ => {}
+        });
+    }
+}
+
+/// A perfect loop nest: the ordered index ranges (outermost first), an
+/// optional guard applied inside the innermost loop, and the body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    pub ranges: Vec<IndexRange>,
+    pub condition: Option<Expr>,
+    pub body: Vec<Stmt>,
+}
+
+impl LoopNest {
+    /// Depth of the nest.
+    pub fn depth(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Statement count of the body (flattened).
+    pub fn body_stmt_count(&self) -> usize {
+        let mut n = 0;
+        for s in &self.body {
+            s.walk(&mut |_| n += 1);
+        }
+        n
+    }
+}
+
+/// The body of a step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StepBody {
+    /// Straight-line statements (header step, scalar setup, calls).
+    Straight(Vec<Stmt>),
+    /// A loop nest.
+    Loop(LoopNest),
+}
+
+/// A step: the GPI's unit of program structure within a function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// GPI step caption, e.g. "Loop through all atoms".
+    pub label: Option<String>,
+    pub body: StepBody,
+}
+
+impl Step {
+    /// Returns the loop nest if this is a loop step.
+    pub fn as_loop(&self) -> Option<&LoopNest> {
+        match &self.body {
+            StepBody::Loop(l) => Some(l),
+            StepBody::Straight(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn body_with_if() -> Stmt {
+        Stmt::If {
+            cond: Expr::idx("i").cmp(crate::BinOp::Lt, Expr::int(3)),
+            then_body: vec![Stmt::assign(LValue::scalar("x"), Expr::int(1))],
+            else_body: vec![],
+        }
+    }
+
+    #[test]
+    fn control_detection() {
+        assert!(body_with_if().has_control());
+        let plain = Stmt::assign(LValue::scalar("x"), Expr::int(1));
+        assert!(!plain.has_control());
+    }
+
+    #[test]
+    fn call_detection() {
+        let s = Stmt::CallSub { name: "edge_loop".into(), args: vec![] };
+        assert!(s.has_call());
+        let e = Stmt::assign(LValue::scalar("x"), Expr::call("f", vec![Expr::int(1)]));
+        assert!(e.has_call());
+        let lib = Stmt::assign(
+            LValue::scalar("x"),
+            Expr::lib(crate::LibFunc::Abs, vec![Expr::scalar("y")]),
+        );
+        assert!(!lib.has_call());
+    }
+
+    #[test]
+    fn nest_accounting() {
+        let nest = LoopNest {
+            ranges: vec![
+                IndexRange::new("i", Expr::int(1), Expr::int(2)),
+                IndexRange::new("j", Expr::int(1), Expr::int(60)),
+            ],
+            condition: None,
+            body: vec![body_with_if()],
+        };
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.body_stmt_count(), 2); // If + inner Assign
+    }
+
+    #[test]
+    fn walk_exprs_sees_indices_and_values() {
+        let s = Stmt::assign(
+            LValue::at("a", vec![Expr::idx("i")]),
+            Expr::at("b", vec![Expr::idx("i")]) * Expr::real(2.0),
+        );
+        let mut idx_refs = 0;
+        s.walk_exprs(&mut |e| {
+            if matches!(e, Expr::Index(_)) {
+                idx_refs += 1;
+            }
+        });
+        assert_eq!(idx_refs, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Expression typing against a grid environment.
+//!
+//! Code generation needs to know expression result types (FORTRAN literal
+//! suffixes, C casts), and the auto-parallelizer needs to know whether a
+//! reduction accumulator is integer or floating point.
+
+use glaf_grid::DataType;
+
+use crate::expr::{BinOp, Callee, Expr, LibFunc};
+use crate::program::{Function, GlafModule, Program};
+
+/// A type-lookup environment: resolves a grid name (and optional struct
+/// field) to its scalar type, and a user function name to its return type.
+pub trait TypeEnv {
+    fn grid_type(&self, grid: &str, field: Option<&str>) -> Option<DataType>;
+    fn func_return(&self, name: &str) -> Option<DataType>;
+}
+
+/// The obvious environment: a function inside a module inside a program.
+pub struct ProgramEnv<'a> {
+    pub program: &'a Program,
+    pub module: &'a GlafModule,
+    pub function: &'a Function,
+}
+
+impl TypeEnv for ProgramEnv<'_> {
+    fn grid_type(&self, grid: &str, field: Option<&str>) -> Option<DataType> {
+        let g = self.program.resolve_grid(self.module, self.function, grid)?;
+        match field {
+            Some(f) => g.field(f).ok().map(|f| f.ty),
+            None => g.scalar_type(),
+        }
+    }
+
+    fn func_return(&self, name: &str) -> Option<DataType> {
+        self.program.find_function(name).map(|(_, f)| f.return_type)
+    }
+}
+
+/// Infers the result type of `expr`. Unresolvable names default to `Real8`
+/// (validation reports them separately; typing stays total so codegen can
+/// emit best-effort output for diagnostics).
+pub fn expr_type(expr: &Expr, env: &dyn TypeEnv) -> DataType {
+    match expr {
+        Expr::IntLit(_) => DataType::Integer,
+        Expr::RealLit(_) => DataType::Real8,
+        Expr::BoolLit(_) => DataType::Logical,
+        Expr::Index(_) => DataType::Integer,
+        Expr::GridRef { grid, field, .. } => env
+            .grid_type(grid, field.as_deref())
+            .unwrap_or(DataType::Real8),
+        Expr::WholeGrid(g) => env.grid_type(g, None).unwrap_or(DataType::Real8),
+        Expr::Unary { op, operand } => match op {
+            crate::UnOp::Neg => expr_type(operand, env),
+            crate::UnOp::Not => DataType::Logical,
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            if op.is_comparison() || op.is_logical() {
+                DataType::Logical
+            } else if *op == BinOp::Pow {
+                // FORTRAN: real ** integer stays real; anything real-ish is
+                // real8 under our evaluation model.
+                DataType::promote(expr_type(lhs, env), expr_type(rhs, env))
+            } else {
+                DataType::promote(expr_type(lhs, env), expr_type(rhs, env))
+            }
+        }
+        Expr::Call { callee, args } => match callee {
+            Callee::Lib(f) => lib_return_type(*f, args, env),
+            Callee::User(name) => env.func_return(name).unwrap_or(DataType::Real8),
+        },
+    }
+}
+
+fn lib_return_type(f: LibFunc, args: &[Expr], env: &dyn TypeEnv) -> DataType {
+    use LibFunc::*;
+    match f {
+        Int => DataType::Integer,
+        Real => DataType::Real,
+        Dble => DataType::Real8,
+        Alog | Log | Log10 | Exp | Sqrt | Sin | Cos | Tan => DataType::Real8,
+        Abs | Max | Min | Mod | Sign | Sum | Maxval | Minval => args
+            .first()
+            .map(|a| expr_type(a, env))
+            .unwrap_or(DataType::Real8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapEnv(HashMap<String, DataType>);
+
+    impl TypeEnv for MapEnv {
+        fn grid_type(&self, grid: &str, _field: Option<&str>) -> Option<DataType> {
+            self.0.get(grid).copied()
+        }
+        fn func_return(&self, _name: &str) -> Option<DataType> {
+            Some(DataType::Real8)
+        }
+    }
+
+    fn env() -> MapEnv {
+        let mut m = HashMap::new();
+        m.insert("n".to_string(), DataType::Integer);
+        m.insert("x".to_string(), DataType::Real8);
+        m.insert("ivec".to_string(), DataType::Integer);
+        MapEnv(m)
+    }
+
+    #[test]
+    fn literals_and_indices() {
+        let e = env();
+        assert_eq!(expr_type(&Expr::int(3), &e), DataType::Integer);
+        assert_eq!(expr_type(&Expr::real(3.0), &e), DataType::Real8);
+        assert_eq!(expr_type(&Expr::idx("i"), &e), DataType::Integer);
+        assert_eq!(expr_type(&Expr::BoolLit(true), &e), DataType::Logical);
+    }
+
+    #[test]
+    fn promotion_through_binops() {
+        let e = env();
+        let mixed = Expr::scalar("n") + Expr::scalar("x");
+        assert_eq!(expr_type(&mixed, &e), DataType::Real8);
+        let ints = Expr::scalar("n") * Expr::int(2);
+        assert_eq!(expr_type(&ints, &e), DataType::Integer);
+    }
+
+    #[test]
+    fn comparisons_are_logical() {
+        let e = env();
+        let c = Expr::scalar("x").cmp(BinOp::Lt, Expr::real(1.0));
+        assert_eq!(expr_type(&c, &e), DataType::Logical);
+    }
+
+    #[test]
+    fn lib_types() {
+        let e = env();
+        assert_eq!(
+            expr_type(&Expr::lib(LibFunc::Int, vec![Expr::scalar("x")]), &e),
+            DataType::Integer
+        );
+        assert_eq!(
+            expr_type(&Expr::lib(LibFunc::Abs, vec![Expr::scalar("n")]), &e),
+            DataType::Integer
+        );
+        assert_eq!(
+            expr_type(&Expr::lib(LibFunc::Sum, vec![Expr::WholeGrid("ivec".into())]), &e),
+            DataType::Integer
+        );
+        assert_eq!(
+            expr_type(&Expr::lib(LibFunc::Alog, vec![Expr::scalar("n")]), &e),
+            DataType::Real8
+        );
+    }
+
+    #[test]
+    fn unknown_names_default_to_real8() {
+        let e = env();
+        assert_eq!(expr_type(&Expr::scalar("ghost"), &e), DataType::Real8);
+    }
+}

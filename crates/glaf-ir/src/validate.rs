@@ -1,0 +1,401 @@
+//! Program validation: the checks the GPI performs incrementally while the
+//! user clicks, performed in one pass over a finished program.
+
+use std::collections::HashSet;
+
+use glaf_grid::{DataType, GridOrigin};
+
+use crate::expr::{Callee, Expr};
+use crate::program::{Function, GlafModule, Program};
+use crate::stmt::{LValue, StepBody, Stmt};
+
+/// A validation diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    UnknownGrid { module: String, function: String, grid: String },
+    UnknownIndex { module: String, function: String, index: String },
+    UnknownFunction { module: String, function: String, callee: String },
+    /// A SUBROUTINE (`Void` return) returned a value, or a FUNCTION
+    /// returned none.
+    ReturnMismatch { module: String, function: String },
+    /// Parameter list names a grid that is not declared, or the grid's
+    /// origin disagrees with its position.
+    ParamMismatch { module: String, function: String, param: String },
+    /// Arity mismatch between an indexed reference and the grid's rank.
+    RankMismatch { module: String, function: String, grid: String, expected: usize, got: usize },
+    /// A call passes the wrong number of arguments.
+    ArgCountMismatch { module: String, function: String, callee: String, expected: usize, got: usize },
+    /// Writing to a grid imported from an existing module is allowed;
+    /// writing to a *parameter of intent-in semantics* is not modeled, but
+    /// writing to an undeclared name is caught here.
+    WriteToUnknown { module: String, function: String, grid: String },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::UnknownGrid { module, function, grid } => {
+                write!(f, "{module}::{function}: unknown grid `{grid}`")
+            }
+            ValidateError::UnknownIndex { module, function, index } => {
+                write!(f, "{module}::{function}: index `{index}` used outside its loop")
+            }
+            ValidateError::UnknownFunction { module, function, callee } => {
+                write!(f, "{module}::{function}: call to unknown function `{callee}`")
+            }
+            ValidateError::ReturnMismatch { module, function } => {
+                write!(f, "{module}::{function}: return value inconsistent with header type")
+            }
+            ValidateError::ParamMismatch { module, function, param } => {
+                write!(f, "{module}::{function}: parameter `{param}` not declared correctly")
+            }
+            ValidateError::RankMismatch { module, function, grid, expected, got } => write!(
+                f,
+                "{module}::{function}: grid `{grid}` has rank {expected}, referenced with {got} indices"
+            ),
+            ValidateError::ArgCountMismatch { module, function, callee, expected, got } => write!(
+                f,
+                "{module}::{function}: call to `{callee}` passes {got} args, expected {expected}"
+            ),
+            ValidateError::WriteToUnknown { module, function, grid } => {
+                write!(f, "{module}::{function}: assignment to unknown grid `{grid}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates the whole program, returning every diagnostic found.
+pub fn validate_program(program: &Program) -> Vec<ValidateError> {
+    let mut errs = Vec::new();
+    for module in &program.modules {
+        for func in &module.functions {
+            validate_function(program, module, func, &mut errs);
+        }
+    }
+    errs
+}
+
+fn validate_function(
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    errs: &mut Vec<ValidateError>,
+) {
+    let ctx = |_: ()| (module.name.clone(), func.name.clone());
+
+    // Parameters must exist with matching origins.
+    for (k, p) in func.params.iter().enumerate() {
+        match func.grid(p) {
+            Some(g) if g.origin == GridOrigin::Parameter(k) => {}
+            _ => {
+                let (module, function) = ctx(());
+                errs.push(ValidateError::ParamMismatch { module, function, param: p.clone() });
+            }
+        }
+    }
+
+    for step in &func.steps {
+        match &step.body {
+            StepBody::Straight(stmts) => {
+                let indices = HashSet::new();
+                for s in stmts {
+                    validate_stmt(program, module, func, s, &indices, errs);
+                }
+            }
+            StepBody::Loop(nest) => {
+                let mut indices: HashSet<String> = HashSet::new();
+                for r in &nest.ranges {
+                    // Range bounds are evaluated with outer indices visible.
+                    validate_expr(program, module, func, &r.start, &indices, errs);
+                    validate_expr(program, module, func, &r.end, &indices, errs);
+                    validate_expr(program, module, func, &r.step, &indices, errs);
+                    indices.insert(r.var.clone());
+                }
+                if let Some(c) = &nest.condition {
+                    validate_expr(program, module, func, c, &indices, errs);
+                }
+                for s in &nest.body {
+                    validate_stmt(program, module, func, s, &indices, errs);
+                }
+            }
+        }
+    }
+}
+
+fn validate_stmt(
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    stmt: &Stmt,
+    indices: &HashSet<String>,
+    errs: &mut Vec<ValidateError>,
+) {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            validate_lvalue(program, module, func, target, indices, errs);
+            validate_expr(program, module, func, value, indices, errs);
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            validate_expr(program, module, func, cond, indices, errs);
+            for s in then_body.iter().chain(else_body.iter()) {
+                validate_stmt(program, module, func, s, indices, errs);
+            }
+        }
+        Stmt::CallSub { name, args } => {
+            check_call(program, module, func, name, args.len(), errs);
+            for a in args {
+                validate_expr(program, module, func, a, indices, errs);
+            }
+        }
+        Stmt::Return(v) => {
+            let returns_value = v.is_some();
+            let is_sub = func.return_type == DataType::Void;
+            if returns_value == is_sub {
+                errs.push(ValidateError::ReturnMismatch {
+                    module: module.name.clone(),
+                    function: func.name.clone(),
+                });
+            }
+            if let Some(e) = v {
+                validate_expr(program, module, func, e, indices, errs);
+            }
+        }
+        Stmt::Exit | Stmt::Cycle => {}
+    }
+}
+
+fn validate_lvalue(
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    lv: &LValue,
+    indices: &HashSet<String>,
+    errs: &mut Vec<ValidateError>,
+) {
+    match program.resolve_grid(module, func, &lv.grid) {
+        Some(g) => {
+            if !lv.indices.is_empty() && lv.indices.len() != g.rank() {
+                errs.push(ValidateError::RankMismatch {
+                    module: module.name.clone(),
+                    function: func.name.clone(),
+                    grid: lv.grid.clone(),
+                    expected: g.rank(),
+                    got: lv.indices.len(),
+                });
+            }
+        }
+        None => errs.push(ValidateError::WriteToUnknown {
+            module: module.name.clone(),
+            function: func.name.clone(),
+            grid: lv.grid.clone(),
+        }),
+    }
+    for i in &lv.indices {
+        validate_expr(program, module, func, i, indices, errs);
+    }
+}
+
+fn validate_expr(
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    expr: &Expr,
+    indices: &HashSet<String>,
+    errs: &mut Vec<ValidateError>,
+) {
+    match expr {
+        Expr::Index(v)
+            if !indices.contains(v) => {
+                errs.push(ValidateError::UnknownIndex {
+                    module: module.name.clone(),
+                    function: func.name.clone(),
+                    index: v.clone(),
+                });
+            }
+        Expr::GridRef { grid, indices: ix, .. } => {
+            match program.resolve_grid(module, func, grid) {
+                Some(g) => {
+                    if !ix.is_empty() && ix.len() != g.rank() {
+                        errs.push(ValidateError::RankMismatch {
+                            module: module.name.clone(),
+                            function: func.name.clone(),
+                            grid: grid.clone(),
+                            expected: g.rank(),
+                            got: ix.len(),
+                        });
+                    }
+                }
+                None => errs.push(ValidateError::UnknownGrid {
+                    module: module.name.clone(),
+                    function: func.name.clone(),
+                    grid: grid.clone(),
+                }),
+            }
+            for i in ix {
+                validate_expr(program, module, func, i, indices, errs);
+            }
+        }
+        Expr::WholeGrid(g)
+            if program.resolve_grid(module, func, g).is_none() => {
+                errs.push(ValidateError::UnknownGrid {
+                    module: module.name.clone(),
+                    function: func.name.clone(),
+                    grid: g.clone(),
+                });
+            }
+        Expr::Unary { operand, .. } => validate_expr(program, module, func, operand, indices, errs),
+        Expr::Binary { lhs, rhs, .. } => {
+            validate_expr(program, module, func, lhs, indices, errs);
+            validate_expr(program, module, func, rhs, indices, errs);
+        }
+        Expr::Call { callee, args } => {
+            if let Callee::User(name) = callee {
+                check_call(program, module, func, name, args.len(), errs);
+            }
+            for a in args {
+                validate_expr(program, module, func, a, indices, errs);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_call(
+    program: &Program,
+    module: &GlafModule,
+    func: &Function,
+    callee: &str,
+    n_args: usize,
+    errs: &mut Vec<ValidateError>,
+) {
+    match program.find_function(callee) {
+        Some((_, target)) => {
+            if target.params.len() != n_args {
+                errs.push(ValidateError::ArgCountMismatch {
+                    module: module.name.clone(),
+                    function: func.name.clone(),
+                    callee: callee.to_string(),
+                    expected: target.params.len(),
+                    got: n_args,
+                });
+            }
+        }
+        None => errs.push(ValidateError::UnknownFunction {
+            module: module.name.clone(),
+            function: func.name.clone(),
+            callee: callee.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::stmt::LValue;
+    use glaf_grid::Grid;
+
+    fn valid_program() -> Program {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(10).finish().unwrap();
+        ProgramBuilder::new()
+            .module("m")
+            .subroutine("init")
+            .param(n)
+            .local(a)
+            .loop_step("zero")
+            .foreach("i", Expr::int(1), Expr::scalar("n"))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(0.0))
+            .done()
+            .done()
+            .done()
+            .finish()
+    }
+
+    #[test]
+    fn clean_program_validates() {
+        assert!(validate_program(&valid_program()).is_empty());
+    }
+
+    #[test]
+    fn unknown_grid_caught() {
+        let mut p = valid_program();
+        if let StepBody::Loop(nest) = &mut p.modules[0].functions[0].steps[0].body {
+            nest.body.push(Stmt::assign(LValue::scalar("ghost"), Expr::int(1)));
+        }
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::WriteToUnknown { grid, .. } if grid == "ghost")));
+    }
+
+    #[test]
+    fn index_out_of_scope_caught() {
+        let mut p = valid_program();
+        p.modules[0].functions[0].steps.push(crate::stmt::Step {
+            label: None,
+            body: StepBody::Straight(vec![Stmt::assign(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::real(1.0),
+            )]),
+        });
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnknownIndex { index, .. } if index == "i")));
+    }
+
+    #[test]
+    fn rank_mismatch_caught() {
+        let mut p = valid_program();
+        if let StepBody::Loop(nest) = &mut p.modules[0].functions[0].steps[0].body {
+            nest.body.push(Stmt::assign(
+                LValue::at("a", vec![Expr::idx("i"), Expr::idx("i")]),
+                Expr::real(1.0),
+            ));
+        }
+        let errs = validate_program(&p);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidateError::RankMismatch { expected: 1, got: 2, .. }
+        )));
+    }
+
+    #[test]
+    fn subroutine_cannot_return_value() {
+        let mut p = valid_program();
+        p.modules[0].functions[0].steps.push(crate::stmt::Step {
+            label: None,
+            body: StepBody::Straight(vec![Stmt::Return(Some(Expr::int(1)))]),
+        });
+        let errs = validate_program(&p);
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::ReturnMismatch { .. })));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut p = valid_program();
+        if let StepBody::Loop(nest) = &mut p.modules[0].functions[0].steps[0].body {
+            nest.body.push(Stmt::CallSub { name: "init".into(), args: vec![] });
+        }
+        let errs = validate_program(&p);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidateError::ArgCountMismatch { expected: 1, got: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn unknown_callee_caught() {
+        let mut p = valid_program();
+        if let StepBody::Loop(nest) = &mut p.modules[0].functions[0].steps[0].body {
+            nest.body.push(Stmt::CallSub { name: "edge_loop".into(), args: vec![] });
+        }
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnknownFunction { callee, .. } if callee == "edge_loop")));
+    }
+}

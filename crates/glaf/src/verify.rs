@@ -1,0 +1,128 @@
+//! Functional-correctness comparison — the paper's §4.1.1 / §4.2.1
+//! methodology.
+
+/// Result of comparing two result vectors element-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    pub n: usize,
+    pub max_abs_diff: f64,
+    pub max_rel_diff: f64,
+    pub rms_diff: f64,
+    /// Index of the worst absolute difference.
+    pub worst_index: usize,
+}
+
+impl CompareReport {
+    /// The §4.2.1 acceptance test: "a reference root mean square of the
+    /// output arrays that is automatically checked at a 1e-7 (absolute)
+    /// tolerance".
+    pub fn passes_rms(&self, tol: f64) -> bool {
+        self.rms_diff <= tol
+    }
+
+    /// Strict elementwise tolerance check.
+    pub fn passes_abs(&self, tol: f64) -> bool {
+        self.max_abs_diff <= tol
+    }
+}
+
+/// Compares two slices.
+///
+/// Panics if lengths differ — a shape mismatch is a bug in the harness,
+/// not a numerical difference.
+pub fn compare_slices(a: &[f64], b: &[f64]) -> CompareReport {
+    assert_eq!(a.len(), b.len(), "compare_slices: length mismatch");
+    let mut max_abs = 0.0f64;
+    let mut max_rel = 0.0f64;
+    let mut sq = 0.0f64;
+    let mut worst = 0usize;
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        let d = (x - y).abs();
+        if d > max_abs {
+            max_abs = d;
+            worst = i;
+        }
+        let denom = x.abs().max(y.abs());
+        if denom > 0.0 {
+            max_rel = max_rel.max(d / denom);
+        }
+        sq += d * d;
+    }
+    CompareReport {
+        n: a.len(),
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        rms_diff: if a.is_empty() { 0.0 } else { (sq / a.len() as f64).sqrt() },
+        worst_index: worst,
+    }
+}
+
+/// Root mean square of a vector (the FUN3D output norm).
+pub fn rms(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_slices_report_zero() {
+        let a = vec![1.0, -2.0, 3.5];
+        let r = compare_slices(&a, &a);
+        assert_eq!(r.max_abs_diff, 0.0);
+        assert_eq!(r.rms_diff, 0.0);
+        assert!(r.passes_rms(0.0));
+    }
+
+    #[test]
+    fn worst_index_found() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.5, 3.1];
+        let r = compare_slices(&a, &b);
+        assert_eq!(r.worst_index, 1);
+        assert_eq!(r.max_abs_diff, 0.5);
+        assert!(!r.passes_abs(0.1));
+        assert!(r.passes_abs(0.5));
+    }
+
+    #[test]
+    fn rms_basics() {
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(rms(&[3.0, 4.0]), (12.5f64).sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        compare_slices(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// RMS diff is never larger than max abs diff.
+        #[test]
+        fn rms_bounded_by_max(a in prop::collection::vec(-1e6f64..1e6, 1..64),
+                              d in prop::collection::vec(-1.0f64..1.0, 1..64)) {
+            let n = a.len().min(d.len());
+            let a = &a[..n];
+            let b: Vec<f64> = a.iter().zip(&d[..n]).map(|(x, y)| x + y).collect();
+            let r = compare_slices(a, &b);
+            prop_assert!(r.rms_diff <= r.max_abs_diff + 1e-12);
+        }
+
+        /// Comparison is symmetric in its absolute metrics.
+        #[test]
+        fn compare_symmetric(a in prop::collection::vec(-1e3f64..1e3, 1..32),
+                             b in prop::collection::vec(-1e3f64..1e3, 1..32)) {
+            let n = a.len().min(b.len());
+            let r1 = compare_slices(&a[..n], &b[..n]);
+            let r2 = compare_slices(&b[..n], &a[..n]);
+            prop_assert_eq!(r1.max_abs_diff, r2.max_abs_diff);
+            prop_assert!((r1.rms_diff - r2.rms_diff).abs() < 1e-15);
+        }
+    }
+}

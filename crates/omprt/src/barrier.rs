@@ -1,0 +1,82 @@
+//! A sense-reversing barrier for in-region synchronization.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed team size. Unlike `std::sync::Barrier`
+/// this one is spin+yield based (regions are short) and exposes the
+/// "serial thread" return like OpenMP's implicit barriers do.
+pub struct Barrier {
+    team: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl Barrier {
+    pub fn new(team: usize) -> Self {
+        Barrier { team: team.max(1), count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+
+    /// Waits until all `team` threads arrive. Returns `true` on exactly one
+    /// thread (the last to arrive).
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.team {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_thread_barrier_is_noop() {
+        let b = Barrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let t = 4;
+        let pool = ThreadPool::new(t);
+        let barrier = Barrier::new(t);
+        let phase1 = AtomicU64::new(0);
+        let observed_at_phase2: Vec<AtomicU64> = (0..t).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|tid| {
+            phase1.fetch_add(1, Ordering::Relaxed);
+            barrier.wait();
+            // After the barrier every thread must see all phase-1 work.
+            observed_at_phase2[tid].store(phase1.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        for o in &observed_at_phase2 {
+            assert_eq!(o.load(Ordering::Relaxed), t as u64);
+        }
+    }
+
+    #[test]
+    fn exactly_one_last_arriver_per_phase() {
+        let t = 4;
+        let pool = ThreadPool::new(t);
+        let barrier = Barrier::new(t);
+        let lasts = AtomicU64::new(0);
+        pool.run(|_tid| {
+            for _ in 0..10 {
+                if barrier.wait() {
+                    lasts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(lasts.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # omprt — an OpenMP-runtime substrate
+//!
+//! The paper's generated FORTRAN relies on an OpenMP runtime (libgomp /
+//! Intel's). The `fortrans` execution engine needs the same services, so
+//! this crate provides them from scratch:
+//!
+//! * a **persistent worker pool** ([`pool::ThreadPool`]) with fork-join
+//!   semantics — workers park between regions instead of being respawned,
+//!   like a real OpenMP runtime;
+//! * **static loop scheduling** ([`schedule`]) — contiguous chunking and
+//!   round-robin chunked variants of `SCHEDULE(STATIC[,chunk])`;
+//! * **synchronization** ([`sync`]) — lock-free f64/i64 atomic update cells
+//!   (CAS over `AtomicU64`) for `!$OMP ATOMIC`, and named critical-section
+//!   registries for `!$OMP CRITICAL`;
+//! * a **sense-reversing barrier** ([`barrier`]);
+//! * **reduction combine** helpers ([`reduce`]).
+//!
+//! Everything is exercised for correctness by tests (reductions, atomics,
+//! barriers); wall-clock scaling is a property of the host — the paper's
+//! performance *figures* are reproduced on the `simcpu` machine model.
+
+pub mod barrier;
+pub mod pool;
+pub mod reduce;
+pub mod schedule;
+pub mod sync;
+
+pub use barrier::Barrier;
+pub use pool::ThreadPool;
+pub use reduce::{combine, RedIdentity};
+pub use schedule::{chunks_for, Schedule};
+pub use sync::{AtomicF64Cell, AtomicI64Cell, CriticalRegistry};

@@ -1,0 +1,232 @@
+//! A persistent fork-join worker pool.
+//!
+//! `ThreadPool::new(t)` spawns `t - 1` workers that park on a condvar; the
+//! calling thread acts as thread 0 of every region (exactly how OpenMP
+//! implementations reuse the master thread). [`ThreadPool::run`] executes a
+//! closure once per thread id and returns when every thread has finished —
+//! the fork-join contract that makes the single `unsafe` lifetime-erasure
+//! below sound.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Type-erased job pointer: a borrowed `&(dyn Fn(usize) + Sync)` smuggled
+/// across the `'static` requirement of worker threads. Soundness argument:
+/// `run` stores the pointer, wakes the workers, and *does not return* until
+/// `active` drops to zero, i.e. until no worker can touch the pointer again.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from many threads is its
+// contract) and the pool guarantees the pointee outlives all uses (see
+// `run`).
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Workers still executing the current generation's job.
+    active: AtomicUsize,
+}
+
+struct State {
+    job: Option<JobPtr>,
+    generation: u64,
+    shutdown: bool,
+}
+
+/// A fixed-size fork-join pool. Thread ids run `0..threads`, with the
+/// caller as id 0.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool presenting `threads` logical OpenMP threads
+    /// (`threads - 1` OS workers plus the caller). `threads == 0` is
+    /// treated as 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None, generation: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(threads - 1);
+        for tid in 1..threads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("omprt-worker-{tid}"))
+                    .spawn(move || worker_loop(shared, tid))
+                    .expect("spawn omprt worker"),
+            );
+        }
+        ThreadPool { shared, handles, threads }
+    }
+
+    /// Number of logical threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(tid)` once for each `tid in 0..threads`, in parallel, and
+    /// returns after all invocations complete (the join of fork-join).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: see `JobPtr` — we block until all workers are done with
+        // the pointer before `f` can be dropped.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+                as *const _
+        });
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert!(st.job.is_none(), "regions do not nest on one pool");
+            self.shared.active.store(self.threads - 1, Ordering::Release);
+            st.job = Some(ptr);
+            st.generation += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is thread 0.
+        f(0);
+        // Join: wait for workers.
+        let mut st = self.shared.state.lock();
+        while self.shared.active.load(Ordering::Acquire) != 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, tid: usize) {
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != last_gen {
+                    last_gen = st.generation;
+                    break st.job.expect("generation bumped with job set");
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        // SAFETY: the pointer is valid for the duration of the generation —
+        // `run` blocks until `active` hits zero.
+        unsafe { (*job.0)(tid) };
+        if shared.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = shared.state.lock();
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn every_thread_id_runs_once() {
+        for t in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::new(t);
+            let hits: Vec<AtomicU64> = (0..t).map(|_| AtomicU64::new(0)).collect();
+            pool.run(|tid| {
+                hits[tid].fetch_add(1, Ordering::Relaxed);
+            });
+            for (tid, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "thread {tid} of {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(|_tid| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn borrows_local_data_soundly() {
+        let pool = ThreadPool::new(3);
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let sum = AtomicU64::new(0);
+        pool.run(|tid| {
+            for (i, v) in data.iter().enumerate() {
+                if i % 3 == tid {
+                    sum.fetch_add(*v, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 21);
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let ran = AtomicU64::new(0);
+        pool.run(|tid| {
+            assert_eq!(tid, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn results_deterministic_with_partitioned_writes() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|tid| {
+            let chunk = n / 4;
+            let lo = tid * chunk;
+            let hi = if tid == 3 { n } else { lo + chunk };
+            for i in lo..hi {
+                out[i].store((i * i) as u64, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in out.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), (i * i) as u64);
+        }
+        // (indexing above is the point of the test: per-slot ownership)
+    }
+}

@@ -1,0 +1,114 @@
+//! Reduction identities and combine, shared by the engine's
+//! `REDUCTION(op: var)` handling.
+
+/// The OpenMP reduction operators the GLAF pipeline generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedIdentity {
+    SumF,
+    ProdF,
+    MaxF,
+    MinF,
+    SumI,
+    ProdI,
+    MaxI,
+    MinI,
+}
+
+impl RedIdentity {
+    /// The operator's identity element, as f64 bits or i64 depending on
+    /// flavor (the engine stores both in u64 cells).
+    pub fn identity_f(self) -> f64 {
+        match self {
+            RedIdentity::SumF => 0.0,
+            RedIdentity::ProdF => 1.0,
+            RedIdentity::MaxF => f64::NEG_INFINITY,
+            RedIdentity::MinF => f64::INFINITY,
+            _ => unreachable!("integer identity requested as float"),
+        }
+    }
+
+    pub fn identity_i(self) -> i64 {
+        match self {
+            RedIdentity::SumI => 0,
+            RedIdentity::ProdI => 1,
+            RedIdentity::MaxI => i64::MIN,
+            RedIdentity::MinI => i64::MAX,
+            _ => unreachable!("float identity requested as integer"),
+        }
+    }
+
+    pub fn combine_f(self, a: f64, b: f64) -> f64 {
+        match self {
+            RedIdentity::SumF => a + b,
+            RedIdentity::ProdF => a * b,
+            RedIdentity::MaxF => a.max(b),
+            RedIdentity::MinF => a.min(b),
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn combine_i(self, a: i64, b: i64) -> i64 {
+        match self {
+            RedIdentity::SumI => a.wrapping_add(b),
+            RedIdentity::ProdI => a.wrapping_mul(b),
+            RedIdentity::MaxI => a.max(b),
+            RedIdentity::MinI => a.min(b),
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Folds per-thread partial results (float flavor).
+pub fn combine(op: RedIdentity, partials: &[f64]) -> f64 {
+    partials
+        .iter()
+        .copied()
+        .fold(op.identity_f(), |a, b| op.combine_f(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(RedIdentity::SumF.identity_f(), 0.0);
+        assert_eq!(RedIdentity::ProdF.identity_f(), 1.0);
+        assert_eq!(RedIdentity::MaxI.identity_i(), i64::MIN);
+        assert_eq!(RedIdentity::MinI.identity_i(), i64::MAX);
+    }
+
+    #[test]
+    fn combine_folds() {
+        assert_eq!(combine(RedIdentity::SumF, &[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(combine(RedIdentity::MaxF, &[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(combine(RedIdentity::MinF, &[1.0, 5.0, 3.0]), 1.0);
+        assert_eq!(combine(RedIdentity::ProdF, &[2.0, 4.0]), 8.0);
+        assert_eq!(combine(RedIdentity::SumF, &[]), 0.0);
+    }
+
+    proptest! {
+        /// Partitioned reduction equals sequential reduction (up to fp
+        /// associativity — use integers-as-floats to sidestep rounding).
+        #[test]
+        fn partitioned_sum_matches(vals in prop::collection::vec(-100i64..100, 0..64), cut in 0usize..64) {
+            let vals: Vec<f64> = vals.into_iter().map(|v| v as f64).collect();
+            let cut = cut.min(vals.len());
+            let p1: f64 = vals[..cut].iter().sum();
+            let p2: f64 = vals[cut..].iter().sum();
+            let whole: f64 = vals.iter().sum();
+            prop_assert_eq!(combine(RedIdentity::SumF, &[p1, p2]), whole);
+        }
+
+        #[test]
+        fn max_is_order_insensitive(vals in prop::collection::vec(prop::num::f64::NORMAL, 1..32)) {
+            let mut rev = vals.clone();
+            rev.reverse();
+            prop_assert_eq!(
+                combine(RedIdentity::MaxF, &vals),
+                combine(RedIdentity::MaxF, &rev)
+            );
+        }
+    }
+}

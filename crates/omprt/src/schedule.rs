@@ -1,0 +1,103 @@
+//! Static loop scheduling: `SCHEDULE(STATIC[, chunk])`.
+
+/// Loop schedule kinds supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Schedule {
+    /// One contiguous block per thread (OpenMP `STATIC` without a chunk).
+    #[default]
+    StaticBlock,
+    /// Round-robin chunks of the given size (`STATIC, chunk`).
+    StaticChunk(usize),
+}
+
+
+/// The iteration chunks (as half-open `lo..hi` index ranges over a
+/// zero-based iteration space of `n` iterations) owned by thread `tid` of
+/// `threads`.
+pub fn chunks_for(sched: Schedule, n: usize, tid: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.max(1);
+    debug_assert!(tid < threads);
+    match sched {
+        Schedule::StaticBlock => {
+            // Balanced blocks: the first `rem` threads get one extra
+            // iteration.
+            let base = n / threads;
+            let rem = n % threads;
+            let lo = tid * base + tid.min(rem);
+            let len = base + usize::from(tid < rem);
+            if len == 0 {
+                vec![]
+            } else {
+                vec![(lo, lo + len)]
+            }
+        }
+        Schedule::StaticChunk(chunk) => {
+            let chunk = chunk.max(1);
+            let mut out = Vec::new();
+            let mut start = tid * chunk;
+            while start < n {
+                out.push((start, (start + chunk).min(n)));
+                start += threads * chunk;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn covers_exactly(sched: Schedule, n: usize, threads: usize) {
+        let mut seen = vec![0u32; n];
+        for tid in 0..threads {
+            for (lo, hi) in chunks_for(sched, n, tid, threads) {
+                assert!(lo <= hi && hi <= n);
+                for slot in seen.iter_mut().take(hi).skip(lo) {
+                    *slot += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{sched:?} n={n} t={threads}: {seen:?}");
+    }
+
+    #[test]
+    fn block_schedule_balanced() {
+        // 10 iterations over 4 threads: 3,3,2,2.
+        let lens: Vec<usize> = (0..4)
+            .map(|t| {
+                chunks_for(Schedule::StaticBlock, 10, t, 4)
+                    .iter()
+                    .map(|(lo, hi)| hi - lo)
+                    .sum()
+            })
+            .collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn empty_iteration_space() {
+        assert!(chunks_for(Schedule::StaticBlock, 0, 0, 4).is_empty());
+        assert!(chunks_for(Schedule::StaticChunk(4), 0, 3, 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_iterations() {
+        covers_exactly(Schedule::StaticBlock, 3, 8);
+        covers_exactly(Schedule::StaticChunk(2), 3, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn block_partitions(n in 0usize..200, threads in 1usize..17) {
+            covers_exactly(Schedule::StaticBlock, n, threads);
+        }
+
+        #[test]
+        fn chunked_partitions(n in 0usize..200, threads in 1usize..17, chunk in 1usize..9) {
+            covers_exactly(Schedule::StaticChunk(chunk), n, threads);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Machine model parameters and presets.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order analytical CPU model. All `cyc_*` values are amortized
+/// cycles per operation (reciprocal throughput, not latency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    pub name: String,
+    /// Clock, GHz — converts cycles to seconds.
+    pub ghz: f64,
+    /// Physical cores.
+    pub physical_cores: usize,
+    /// Logical threads per core (SMT).
+    pub smt_per_core: usize,
+    /// Fractional extra throughput delivered by the extra SMT thread(s)
+    /// of a core (0.25 = a second thread adds 25%).
+    pub smt_yield: f64,
+
+    // --- per-op costs (cycles, scalar) ---
+    pub cyc_flop: f64,
+    pub cyc_fdiv: f64,
+    pub cyc_fspecial: f64,
+    pub cyc_iop: f64,
+    pub cyc_load: f64,
+    pub cyc_store: f64,
+    pub cyc_branch: f64,
+    pub cyc_call: f64,
+
+    // --- compiler-optimization model (serial loops) ---
+    /// f64 SIMD lanes (SSE2 = 2, AVX/AVX2 = 4).
+    pub simd_width: f64,
+    /// Achieved fraction of ideal SIMD speedup.
+    pub simd_efficiency: f64,
+    /// Bytes per cycle for compiler-emitted memset.
+    pub memset_bytes_per_cycle: f64,
+
+    // --- memory system ---
+    /// Sustained bytes per cycle for the whole chip (bandwidth ceiling on
+    /// parallel regions).
+    pub mem_bw_bytes_per_cycle: f64,
+
+    // --- OpenMP runtime ---
+    /// Fixed fork+join cost per parallel region.
+    pub fork_join_base: f64,
+    /// Additional fork cost per team thread.
+    pub fork_join_per_thread: f64,
+    /// Multiplier exponent for oversubscription: fork costs scale by
+    /// `(team / logical)^2` when the team exceeds logical CPUs, and the
+    /// whole region pays `oversub_region_penalty` per excess thread ratio.
+    pub oversub_region_penalty: f64,
+    /// Cost of executing one `!$OMP ATOMIC`.
+    pub cyc_atomic: f64,
+    /// Extra atomic cost per additional contending thread.
+    pub cyc_atomic_contention: f64,
+    /// Reduction combine cost per team thread.
+    pub cyc_reduction_per_thread: f64,
+    /// Nested-region fork cost (team of one).
+    pub cyc_nested_fork: f64,
+
+    // --- allocator ---
+    pub cyc_alloc: f64,
+    pub cyc_alloc_per_kib: f64,
+}
+
+impl MachineModel {
+    /// The Synoptic SARB testbed: "Intel Core i5-2400 CPU (four cores
+    /// clocked at 3.10 GHz)" running code from `gfortran -O3` (§4.1.2).
+    /// The paper treats it as 4 physical / 8 logical.
+    pub fn i5_2400_like() -> Self {
+        MachineModel {
+            name: "i5-2400-like (4C/4T, 3.1 GHz, AVX)".into(),
+            ghz: 3.1,
+            physical_cores: 4,
+            smt_per_core: 1,
+            smt_yield: 0.0,
+            cyc_flop: 0.7,
+            cyc_fdiv: 9.0,
+            cyc_fspecial: 22.0,
+            cyc_iop: 0.4,
+            cyc_load: 0.9,
+            cyc_store: 1.1,
+            cyc_branch: 1.6,
+            cyc_call: 100.0,
+            simd_width: 4.0,
+            simd_efficiency: 0.65,
+            memset_bytes_per_cycle: 16.0,
+            // Aggregate cache-hierarchy bandwidth: interpreter loads count
+            // every element access, the vast majority of which hit cache.
+            mem_bw_bytes_per_cycle: 80.0,
+            fork_join_base: 1_100.0,
+            fork_join_per_thread: 130.0,
+            oversub_region_penalty: 6.0,
+            cyc_atomic: 8.0,
+            cyc_atomic_contention: 1.0,
+            cyc_reduction_per_thread: 150.0,
+            cyc_nested_fork: 900.0,
+            cyc_alloc: 150.0,
+            cyc_alloc_per_kib: 40.0,
+        }
+    }
+
+    /// The FUN3D testbed: "two Intel Xeon E5-2637 v4 CPUs (4 cores /
+    /// 8 threads each) clocked at 3.50 GHz", ifort with AVX2 (§4.2.2).
+    pub fn xeon_e5_2637v4_dual_like() -> Self {
+        MachineModel {
+            name: "2x E5-2637v4-like (8C/16T, 3.5 GHz, AVX2)".into(),
+            ghz: 3.5,
+            physical_cores: 8,
+            smt_per_core: 2,
+            smt_yield: 0.2,
+            cyc_flop: 0.6,
+            cyc_fdiv: 8.0,
+            cyc_fspecial: 20.0,
+            cyc_iop: 0.35,
+            cyc_load: 0.8,
+            cyc_store: 1.0,
+            cyc_branch: 1.5,
+            cyc_call: 170.0,
+            simd_width: 4.0,
+            simd_efficiency: 0.7,
+            memset_bytes_per_cycle: 24.0,
+            mem_bw_bytes_per_cycle: 150.0,
+            // Two sockets: costlier barriers and fork across the QPI link.
+            fork_join_base: 2_400.0,
+            fork_join_per_thread: 220.0,
+            oversub_region_penalty: 6.0,
+            // Jacobian accumulations land on mostly-disjoint cache lines:
+            // uncontended atomic adds overlap with surrounding compute.
+            cyc_atomic: 3.0,
+            cyc_atomic_contention: 0.15,
+            cyc_reduction_per_thread: 180.0,
+            cyc_nested_fork: 1_100.0,
+            cyc_alloc: 120.0,
+            cyc_alloc_per_kib: 30.0,
+        }
+    }
+
+    /// Logical CPU count.
+    pub fn logical_cpus(&self) -> usize {
+        self.physical_cores * self.smt_per_core
+    }
+
+    /// Effective parallel compute capacity (in "cores") available to a
+    /// team of `t` threads: saturates at physical cores plus the SMT
+    /// yield of the extra logical threads.
+    pub fn capacity(&self, t: usize) -> f64 {
+        let t = t.max(1) as f64;
+        let p = self.physical_cores as f64;
+        if t <= p {
+            t
+        } else {
+            let extra = (t - p).min(p * (self.smt_per_core as f64 - 1.0));
+            p + extra * self.smt_yield
+        }
+    }
+
+    /// SIMD speedup factor for vectorizable work.
+    pub fn simd_factor(&self) -> f64 {
+        (self.simd_width * self.simd_efficiency).max(1.0)
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel::i5_2400_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_saturates() {
+        let m = MachineModel::i5_2400_like();
+        assert_eq!(m.capacity(1), 1.0);
+        assert_eq!(m.capacity(4), 4.0);
+        assert_eq!(m.capacity(8), 4.0, "no HT on the i5-2400");
+        let x = MachineModel::xeon_e5_2637v4_dual_like();
+        let c16 = x.capacity(16);
+        assert!(c16 > 8.0 && c16 < 11.0, "SMT adds a little: {c16}");
+        assert_eq!(x.capacity(16), x.capacity(64), "beyond logical: no more");
+    }
+
+    #[test]
+    fn presets_sane() {
+        let a = MachineModel::i5_2400_like();
+        assert_eq!(a.logical_cpus(), 4);
+        assert!(a.simd_factor() > 2.0);
+        let b = MachineModel::xeon_e5_2637v4_dual_like();
+        assert_eq!(b.logical_cpus(), 16);
+        assert!(b.fork_join_base > a.fork_join_base);
+    }
+}

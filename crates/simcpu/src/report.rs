@@ -1,0 +1,345 @@
+//! Trace → time conversion and the breakdown report.
+
+use fortrans::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineModel;
+
+/// Cycle breakdown of one timed trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    pub machine: String,
+    pub total_cycles: f64,
+    pub serial_cycles: f64,
+    pub region_compute_cycles: f64,
+    pub fork_join_cycles: f64,
+    pub atomic_cycles: f64,
+    pub critical_extra_cycles: f64,
+    pub reduction_cycles: f64,
+    pub alloc_cycles: f64,
+    pub regions: usize,
+    ghz: f64,
+}
+
+impl SimReport {
+    /// Simulated wall time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles / (self.ghz * 1e9)
+    }
+
+    /// Speed-up of `self` relative to `other` (other/self).
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        baseline.total_cycles / self.total_cycles
+    }
+}
+
+/// Cycles for an op-count bucket at scalar throughput.
+fn op_cycles(o: &OpCounts, m: &MachineModel) -> f64 {
+    o.flop as f64 * m.cyc_flop
+        + o.fdiv as f64 * m.cyc_fdiv
+        + o.fspecial as f64 * m.cyc_fspecial
+        + o.iop as f64 * m.cyc_iop
+        + o.load as f64 * m.cyc_load
+        + o.store as f64 * m.cyc_store
+}
+
+/// Compute cycles of one counter set, applying the compiler model: the
+/// vector bucket runs `simd_factor()` times faster, memset bytes stream at
+/// memset speed. (Allocation cycles are reported separately.)
+fn counters_cycles(c: &CostCounters, m: &MachineModel) -> f64 {
+    op_cycles(&c.scalar, m)
+        + op_cycles(&c.vector, m) / m.simd_factor()
+        + c.memset_bytes as f64 / m.memset_bytes_per_cycle
+        + c.branches as f64 * m.cyc_branch
+        + c.calls as f64 * m.cyc_call
+        + c.nested_forks as f64 * m.cyc_nested_fork
+}
+
+fn alloc_cycles(c: &CostCounters, m: &MachineModel) -> f64 {
+    c.alloc_calls as f64 * m.cyc_alloc + (c.alloc_bytes as f64 / 1024.0) * m.cyc_alloc_per_kib
+}
+
+fn mem_bytes(c: &CostCounters) -> f64 {
+    (c.scalar.mem_bytes() + c.vector.mem_bytes() + c.memset_bytes) as f64
+}
+
+/// Times a parallel region.
+fn region_cycles(r: &RegionEvent, m: &MachineModel, rep: &mut SimReport) -> f64 {
+    let t = r.threads.max(1);
+
+    // Fork/join: base + per-thread. Oversubscribing the *logical* CPUs
+    // forces timesharing: context switches and cache thrash inflate every
+    // fork superlinearly (Fig. 6's 8-thread collapse on a 4C/4T part).
+    let mut fork = m.fork_join_base + m.fork_join_per_thread * t as f64;
+    let logical = m.logical_cpus();
+    if t > logical {
+        let ratio = t as f64 / logical as f64;
+        let excess = (t - logical) as f64 / logical as f64;
+        fork *= ratio * ratio * (1.0 + m.oversub_region_penalty * excess);
+    }
+    rep.fork_join_cycles += fork;
+
+    // Compute: imbalance (max thread) vs capacity-limited total.
+    let per_thread: Vec<f64> = r.per_thread.iter().map(|c| counters_cycles(c, m)).collect();
+    let max_thread = per_thread.iter().cloned().fold(0.0, f64::max);
+    let total: f64 = per_thread.iter().sum();
+    let capacity_limited = total / m.capacity(t);
+    // Memory-bandwidth ceiling.
+    let bytes: f64 = r.per_thread.iter().map(mem_bytes).sum();
+    let bw_limited = bytes / m.mem_bw_bytes_per_cycle;
+    let compute = max_thread.max(capacity_limited).max(bw_limited);
+    rep.region_compute_cycles += compute;
+
+    // Synchronization.
+    let atomics: u64 = r.per_thread.iter().map(|c| c.atomics).sum();
+    let atomic =
+        atomics as f64 * (m.cyc_atomic + m.cyc_atomic_contention * (t.min(logical) - 1) as f64);
+    rep.atomic_cycles += atomic;
+
+    // Critical sections serialize: their work can overlap with nothing,
+    // so the wall pays the *sum* instead of the max — charge the excess.
+    let crit = counters_cycles(&r.critical, m);
+    let crit_extra = crit * (1.0 - 1.0 / t as f64);
+    rep.critical_extra_cycles += crit_extra;
+
+    let red = r.reductions as f64 * m.cyc_reduction_per_thread * t as f64;
+    rep.reduction_cycles += red;
+
+    let alloc: f64 = r.per_thread.iter().map(|c| alloc_cycles(c, m)).sum();
+    rep.alloc_cycles += alloc;
+
+    fork + compute + atomic + crit_extra + red + alloc
+}
+
+/// Converts a cost trace to simulated time on `m`.
+pub fn time_trace(trace: &CostTrace, m: &MachineModel) -> SimReport {
+    let mut rep = SimReport { machine: m.name.clone(), ghz: m.ghz, ..Default::default() };
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::Serial(c) => {
+                let cyc = counters_cycles(c, m) + alloc_cycles(c, m);
+                rep.serial_cycles += counters_cycles(c, m);
+                rep.alloc_cycles += alloc_cycles(c, m);
+                rep.total_cycles += cyc;
+                // Serial atomics still cost their base price.
+                let a = c.atomics as f64 * m.cyc_atomic;
+                rep.atomic_cycles += a;
+                rep.total_cycles += a;
+            }
+            TraceEvent::Region(r) => {
+                rep.regions += 1;
+                rep.total_cycles += region_cycles(r, m, &mut rep);
+            }
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fortrans::CostCounters;
+
+    fn counters(flop: u64, load: u64) -> CostCounters {
+        let mut c = CostCounters::default();
+        c.scalar.flop = flop;
+        c.scalar.load = load;
+        c
+    }
+
+    fn region(threads: usize, per_thread_flop: u64) -> RegionEvent {
+        RegionEvent {
+            threads,
+            per_thread: (0..threads).map(|_| counters(per_thread_flop, 0)).collect(),
+            critical: CostCounters::default(),
+            reductions: 0,
+            trip: threads as u64,
+        }
+    }
+
+    #[test]
+    fn serial_time_scales_with_work() {
+        let m = MachineModel::i5_2400_like();
+        let mut t1 = CostTrace::default();
+        t1.push_serial(counters(1000, 0));
+        let mut t2 = CostTrace::default();
+        t2.push_serial(counters(2000, 0));
+        let r1 = time_trace(&t1, &m);
+        let r2 = time_trace(&t2, &m);
+        assert!((r2.total_cycles / r1.total_cycles - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_bucket_is_faster_than_scalar() {
+        let m = MachineModel::i5_2400_like();
+        let mut sc = CostTrace::default();
+        sc.push_serial(counters(10_000, 0));
+        let mut vc = CostTrace::default();
+        let mut c = CostCounters::default();
+        c.vector.flop = 10_000;
+        vc.push_serial(c);
+        let rs = time_trace(&sc, &m);
+        let rv = time_trace(&vc, &m);
+        assert!(
+            rs.total_cycles / rv.total_cycles > 2.0,
+            "SIMD speedup: {} vs {}",
+            rs.total_cycles,
+            rv.total_cycles
+        );
+    }
+
+    #[test]
+    fn tiny_parallel_region_loses_to_serial() {
+        // The v0 lesson: a 60-iteration trivial loop is slower threaded.
+        let m = MachineModel::i5_2400_like();
+        let mut ser = CostTrace::default();
+        ser.push_serial(counters(600, 120));
+        let rs = time_trace(&ser, &m);
+
+        let mut par = CostTrace::default();
+        par.push_region(region(4, 150));
+        let rp = time_trace(&par, &m);
+        assert!(
+            rp.total_cycles > rs.total_cycles * 2.0,
+            "fork dominates: {} vs {}",
+            rp.total_cycles,
+            rs.total_cycles
+        );
+    }
+
+    #[test]
+    fn big_parallel_region_wins() {
+        let m = MachineModel::i5_2400_like();
+        let work = 40_000_000u64;
+        let mut ser = CostTrace::default();
+        ser.push_serial(counters(work, 0));
+        let rs = time_trace(&ser, &m);
+
+        let mut par = CostTrace::default();
+        par.push_region(region(4, work / 4));
+        let rp = time_trace(&par, &m);
+        let speedup = rs.total_cycles / rp.total_cycles;
+        assert!(speedup > 3.0 && speedup <= 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn imbalance_costs() {
+        let m = MachineModel::i5_2400_like();
+        let mut balanced = CostTrace::default();
+        balanced.push_region(region(4, 1_000_000));
+        let mut skewed = CostTrace::default();
+        skewed.push_region(RegionEvent {
+            threads: 4,
+            per_thread: vec![
+                counters(4_000_000, 0),
+                counters(0, 0),
+                counters(0, 0),
+                counters(0, 0),
+            ],
+            critical: CostCounters::default(),
+            reductions: 0,
+            trip: 4,
+        });
+        let rb = time_trace(&balanced, &m);
+        let rskew = time_trace(&skewed, &m);
+        assert!(rskew.total_cycles > rb.total_cycles * 3.0);
+    }
+
+    #[test]
+    fn oversubscription_hurts() {
+        let m = MachineModel::i5_2400_like();
+        // Smallish region: fork overhead matters.
+        let work = 200_000u64;
+        let t4 = {
+            let mut t = CostTrace::default();
+            t.push_region(region(4, work / 4));
+            time_trace(&t, &m)
+        };
+        let t8 = {
+            let mut t = CostTrace::default();
+            t.push_region(region(8, work / 8));
+            time_trace(&t, &m)
+        };
+        let t16 = {
+            let mut t = CostTrace::default();
+            t.push_region(region(16, work / 16));
+            time_trace(&t, &m)
+        };
+        assert!(t8.total_cycles > t4.total_cycles, "8T slower than 4T on 4 cores");
+        assert!(t16.total_cycles > t8.total_cycles, "16T slower still");
+    }
+
+    #[test]
+    fn atomics_scale_with_contention() {
+        let m = MachineModel::i5_2400_like();
+        let mk = |threads: usize, atomics: u64| {
+            let mut r = region(threads, 0);
+            for c in &mut r.per_thread {
+                c.atomics = atomics / threads as u64;
+            }
+            let mut t = CostTrace::default();
+            t.push_region(r);
+            time_trace(&t, &m)
+        };
+        let a1 = mk(1, 10_000);
+        let a4 = mk(4, 10_000);
+        assert!(
+            a4.atomic_cycles > a1.atomic_cycles,
+            "contention grows with the team: {} vs {}",
+            a4.atomic_cycles,
+            a1.atomic_cycles
+        );
+    }
+
+    #[test]
+    fn critical_serializes() {
+        let m = MachineModel::i5_2400_like();
+        let mut r = region(4, 1000);
+        r.critical = counters(4000, 0);
+        let mut t = CostTrace::default();
+        t.push_region(r);
+        let rep = time_trace(&t, &m);
+        assert!(rep.critical_extra_cycles > 0.0);
+    }
+
+    #[test]
+    fn allocation_cycles_counted() {
+        let m = MachineModel::xeon_e5_2637v4_dual_like();
+        let c = CostCounters {
+            alloc_calls: 500,
+            alloc_bytes: 500 * 4096,
+            ..Default::default()
+        };
+        let mut t = CostTrace::default();
+        t.push_serial(c);
+        let rep = time_trace(&t, &m);
+        assert!(rep.alloc_cycles > 500.0 * m.cyc_alloc);
+    }
+
+    #[test]
+    fn speedup_helper() {
+        let m = MachineModel::i5_2400_like();
+        let mut a = CostTrace::default();
+        a.push_serial(counters(1000, 0));
+        let mut b = CostTrace::default();
+        b.push_serial(counters(2000, 0));
+        let ra = time_trace(&a, &m);
+        let rb = time_trace(&b, &m);
+        assert!((ra.speedup_vs(&rb) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_ceiling_applies() {
+        let m = MachineModel::i5_2400_like();
+        // Pure-memory region: loads dominate; bw ceiling must bind.
+        let mut r = region(4, 0);
+        for c in &mut r.per_thread {
+            c.scalar.load = 10_000_000;
+        }
+        let mut t = CostTrace::default();
+        t.push_region(r);
+        let rep = time_trace(&t, &m);
+        let bytes = 4.0 * 10_000_000.0 * 8.0;
+        assert!(rep.region_compute_cycles >= bytes / m.mem_bw_bytes_per_cycle * 0.99);
+    }
+}

@@ -1,0 +1,88 @@
+//! The FUN3D Jacobian-reconstruction case study end-to-end (paper §4.2):
+//! the five-function GLAF decomposition, the §4.2.1 RMS acceptance check,
+//! and the Fig. 7 parallelization/no-reallocation option space.
+//!
+//! Run with: `cargo run --release --example fun3d_jacobian [ncells]`
+
+use glaf_repro::fun3d::mesh::Mesh;
+use glaf_repro::fun3d::native::{native_jacobian, native_jacobian_rayon};
+use glaf_repro::fun3d::variants::{run_real, run_simulated, Fun3dConfig, Fun3dVariant};
+use glaf_repro::glaf::{compare_slices, rms};
+use glaf_repro::simcpu::MachineModel;
+
+fn main() {
+    let ncell: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    println!("mesh: {ncell} cells, {} edges", ncell * 6);
+
+    // 1. Reference outputs: engine original == Rust oracle, bitwise.
+    let mesh = Mesh::build(ncell as usize);
+    let reference = native_jacobian(&mesh);
+    let engine_jac = run_real(Fun3dVariant::OriginalSerial, ncell, 1);
+    assert_eq!(reference, engine_jac, "oracle and engine agree bitwise");
+    println!(
+        "reference RMS of the output array: {:.6e} (the §4.2.1 acceptance datum)",
+        rms(&reference)
+    );
+
+    // 2. §4.2.1: every parallel configuration must reproduce the outputs
+    //    at 1e-7 RMS.
+    println!("\n=== RMS acceptance across configurations (4 real threads) ===");
+    for cfg in [
+        Fun3dConfig::default(),
+        Fun3dConfig::best(),
+        Fun3dConfig { par_cell_loop: true, no_realloc: true, ..Default::default() },
+        Fun3dConfig {
+            par_edgejp: true,
+            par_cell_loop: true,
+            par_edge_loop: true,
+            par_ioff_search: true,
+            no_realloc: true,
+        },
+    ] {
+        let jac = run_real(Fun3dVariant::Glaf(cfg), ncell, 4);
+        let r = compare_slices(&reference, &jac);
+        println!(
+            "  {:36} rms diff {:.2e}  -> {}",
+            cfg.tag(),
+            r.rms_diff,
+            if r.passes_rms(1e-7) { "PASS" } else { "FAIL" }
+        );
+    }
+    let rayon_jac = native_jacobian_rayon(&mesh);
+    let r = compare_slices(&reference, &rayon_jac);
+    println!("  {:36} rms diff {:.2e}  -> native rayon oracle", "rayon fold/reduce", r.rms_diff);
+
+    // 3. Fig. 7 highlights on the simulated dual-Xeon.
+    println!("\n=== Fig. 7 highlights (simulated, 16 threads) ===");
+    let m = MachineModel::xeon_e5_2637v4_dual_like();
+    let base = run_simulated(Fun3dVariant::OriginalSerial, ncell, 16, &m);
+    let show = |label: &str, v: Fun3dVariant| {
+        let r = run_simulated(v, ncell, 16, &m);
+        println!(
+            "  {:40} {:>9.3}x   (alloc {:.1e} cyc, fork {:.1e} cyc)",
+            label,
+            base.report.total_cycles / r.report.total_cycles,
+            r.report.alloc_cycles,
+            r.report.fork_join_cycles
+        );
+    };
+    show("manual parallel (paper 3.85x)", Fun3dVariant::ManualParallel);
+    show("GLAF EdgeJP + noRealloc (paper best 1.67x)", Fun3dVariant::Glaf(Fun3dConfig::best()));
+    show(
+        "GLAF EdgeJP + realloc (realloc storm)",
+        Fun3dVariant::Glaf(Fun3dConfig { par_edgejp: true, ..Default::default() }),
+    );
+    show(
+        "GLAF fully nested + realloc (paper ~1/128x)",
+        Fun3dVariant::Glaf(Fun3dConfig {
+            par_edgejp: true,
+            par_cell_loop: true,
+            par_edge_loop: true,
+            par_ioff_search: true,
+            no_realloc: false,
+        }),
+    );
+}

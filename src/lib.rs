@@ -1,0 +1,27 @@
+//! # glaf-repro — workspace façade
+//!
+//! Re-exports every crate of the GLAF reproduction so examples and
+//! integration tests can use one dependency. See the individual crates for
+//! documentation:
+//!
+//! * [`glaf_grid`] — the grid abstraction (paper §2.1, Fig. 1)
+//! * [`glaf_ir`] — modules / functions / steps IR and the GPI-equivalent builder
+//! * [`glaf_autopar`] — the auto-parallelization back-end
+//! * [`glaf_codegen`] — FORTRAN and C code generation with legacy integration (§3)
+//! * [`omprt`] — OpenMP-like fork-join runtime
+//! * [`fortrans`] — FORTRAN-subset compiler + interpreter with `!$OMP` execution
+//! * [`simcpu`] — deterministic machine model for simulated timings
+//! * [`glaf`] — end-to-end pipeline facade
+//! * [`sarb`] — Synoptic SARB workload (§4.1)
+//! * [`fun3d`] — FUN3D Jacobian reconstruction workload (§4.2)
+
+pub use fortrans;
+pub use fun3d;
+pub use glaf;
+pub use glaf_autopar;
+pub use glaf_codegen;
+pub use glaf_grid;
+pub use glaf_ir;
+pub use omprt;
+pub use sarb;
+pub use simcpu;

@@ -1,0 +1,127 @@
+//! Shape assertions for every reproduced figure: the qualitative findings
+//! the paper reports must hold on small inputs, so a regression anywhere
+//! in the stack (analysis, codegen, engine, machine model) fails CI.
+
+use glaf_repro::fun3d::variants::{
+    run_simulated as f3d, Fun3dConfig, Fun3dVariant,
+};
+use glaf_repro::sarb::variants::{run_simulated as sarb, SarbVariant};
+use glaf_repro::simcpu::MachineModel;
+
+fn sarb_speedup(v: SarbVariant, threads: usize) -> f64 {
+    let m = MachineModel::i5_2400_like();
+    let base = sarb(SarbVariant::OriginalSerial, 4, threads, &m);
+    let r = sarb(v, 4, threads, &m);
+    base.report.total_cycles / r.report.total_cycles
+}
+
+#[test]
+fn fig5_ladder_ordering() {
+    let glaf_serial = sarb_speedup(SarbVariant::GlafSerial, 4);
+    let v0 = sarb_speedup(SarbVariant::GlafParallel(0), 4);
+    let v1 = sarb_speedup(SarbVariant::GlafParallel(1), 4);
+    let v2 = sarb_speedup(SarbVariant::GlafParallel(2), 4);
+    let v3 = sarb_speedup(SarbVariant::GlafParallel(3), 4);
+
+    // Paper: 0.89, 0.48, 0.66, 1.11, 1.41 — the load-bearing orderings:
+    assert!(glaf_serial < 1.0, "GLAF serial slightly below original: {glaf_serial}");
+    assert!(glaf_serial > 0.7, "but not catastrophically: {glaf_serial}");
+    assert!(v0 < glaf_serial, "naive all-loops parallelization loses: {v0}");
+    assert!(v0 < 1.0 && v1 < 1.0, "v0/v1 below the serial line: {v0} {v1}");
+    assert!(v1 >= v0, "removing init-loop directives helps: {v1} vs {v0}");
+    assert!(v2 > 1.0, "dropping simple single loops crosses 1.0: {v2}");
+    assert!(v3 > v2, "v3 is the fastest ladder rung: {v3} vs {v2}");
+    assert!(v3 > 1.2 && v3 < 1.8, "v3 in the paper's ballpark (1.41): {v3}");
+}
+
+#[test]
+fn fig5_cost_model_matches_or_beats_v3() {
+    let v3 = sarb_speedup(SarbVariant::GlafParallel(3), 4);
+    let cm = sarb_speedup(SarbVariant::GlafCostModel, 4);
+    assert!(
+        cm >= v3 * 0.99,
+        "the future-work advisor reaches the hand-tuned configuration: {cm} vs {v3}"
+    );
+}
+
+#[test]
+fn fig6_thread_scaling_shape() {
+    let m = MachineModel::i5_2400_like();
+    let base = sarb(SarbVariant::GlafSerial, 4, 1, &m);
+    let sp = |t: usize| {
+        let r = sarb(SarbVariant::GlafParallel(3), 4, t, &m);
+        base.report.total_cycles / r.report.total_cycles
+    };
+    let (t1, t2, t4, t8) = (sp(1), sp(2), sp(4), sp(8));
+    // Paper: 0.92, 1.24, 1.59, 0.70.
+    assert!(t1 < 1.05, "1 thread pays OpenMP overhead: {t1}");
+    assert!(t2 > t1, "2 threads beat 1: {t2} vs {t1}");
+    assert!(t4 > t2, "4 threads beat 2: {t4} vs {t2}");
+    assert!(t8 < t4, "8 threads oversubscribe the 4-core part: {t8} vs {t4}");
+    assert!(t8 < 1.0, "oversubscription drops below serial (paper: 0.70): {t8}");
+}
+
+fn f3d_speedup(v: Fun3dVariant) -> f64 {
+    let m = MachineModel::xeon_e5_2637v4_dual_like();
+    let base = f3d(Fun3dVariant::OriginalSerial, 400, 16, &m);
+    let r = f3d(v, 400, 16, &m);
+    base.report.total_cycles / r.report.total_cycles
+}
+
+#[test]
+fn fig7_realloc_gates_parallel_benefit() {
+    // "Once this dynamic reallocation was eliminated ... parallelization
+    // began to yield a performance benefit."
+    let with_realloc = f3d_speedup(Fun3dVariant::Glaf(Fun3dConfig {
+        par_edgejp: true,
+        ..Default::default()
+    }));
+    let without = f3d_speedup(Fun3dVariant::Glaf(Fun3dConfig::best()));
+    assert!(with_realloc < 1.0, "reallocation storm erases the gain: {with_realloc}");
+    assert!(without > 1.0, "EdgeJP + noRealloc beats the original: {without}");
+}
+
+#[test]
+fn fig7_coarsest_granularity_wins() {
+    // "The best performance is achieved when parallelized at the coarsest
+    // granularity."
+    let best = f3d_speedup(Fun3dVariant::Glaf(Fun3dConfig::best()));
+    for cfg in Fun3dConfig::all() {
+        if cfg == Fun3dConfig::best() {
+            continue;
+        }
+        let s = f3d_speedup(Fun3dVariant::Glaf(cfg));
+        assert!(
+            s <= best * 1.02,
+            "{} ({s}) must not beat EdgeJP+noRealloc ({best})",
+            cfg.tag()
+        );
+    }
+}
+
+#[test]
+fn fig7_manual_beats_best_glaf() {
+    // "This manual version ends up outperforming the best GLAF version by
+    // almost 2.3-fold."
+    let manual = f3d_speedup(Fun3dVariant::ManualParallel);
+    let best = f3d_speedup(Fun3dVariant::Glaf(Fun3dConfig::best()));
+    let ratio = manual / best;
+    assert!(manual > 2.0, "manual parallel gets real speedup: {manual}");
+    assert!(
+        (1.4..=3.5).contains(&ratio),
+        "manual/best-GLAF ratio in the paper's ballpark (2.3): {ratio}"
+    );
+}
+
+#[test]
+fn fig7_nested_parallelism_is_catastrophic() {
+    // The 1/128x-style floor: all levels parallel with reallocation.
+    let s = f3d_speedup(Fun3dVariant::Glaf(Fun3dConfig {
+        par_edgejp: true,
+        par_cell_loop: true,
+        par_edge_loop: true,
+        par_ioff_search: true,
+        no_realloc: false,
+    }));
+    assert!(s < 0.05, "fully nested + realloc collapses (paper ~1/128): {s}");
+}

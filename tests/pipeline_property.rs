@@ -1,0 +1,161 @@
+//! Property-based end-to-end test of the whole pipeline: proptest
+//! generates random formula trees, which flow through the builder →
+//! auto-parallelizer → FORTRAN generator → parser → resolver →
+//! interpreter, in all three execution modes — and the results must match
+//! a direct Rust evaluation of the same tree.
+//!
+//! This is the strongest single guarantee in the test suite: any
+//! mis-parenthesization in the emitter, precedence bug in the parser,
+//! type-promotion slip in the resolver, or scheduling bug in the runtime
+//! shows up as a numeric mismatch.
+
+use glaf_repro::fortrans::{ArgVal, ExecMode, Val};
+use glaf_repro::glaf::Glaf;
+use glaf_repro::glaf_codegen::CodegenOptions;
+use glaf_repro::glaf_grid::{DataType, Grid};
+use glaf_repro::glaf_ir::{Expr, LValue, LibFunc, ProgramBuilder, Stmt};
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+/// A restricted expression grammar: total functions of `b(i)` and `i`,
+/// safe against domain errors (no division, logs guarded by MAX).
+#[derive(Debug, Clone)]
+enum TExpr {
+    B,        // b(i)
+    I,        // loop index as real
+    Const(i8),
+    Add(Box<TExpr>, Box<TExpr>),
+    Sub(Box<TExpr>, Box<TExpr>),
+    Mul(Box<TExpr>, Box<TExpr>),
+    Abs(Box<TExpr>),
+    Max(Box<TExpr>, Box<TExpr>),
+    Min(Box<TExpr>, Box<TExpr>),
+}
+
+fn texpr_strategy() -> impl Strategy<Value = TExpr> {
+    let leaf = prop_oneof![
+        Just(TExpr::B),
+        Just(TExpr::I),
+        (-4i8..5).prop_map(TExpr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| TExpr::Abs(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| TExpr::Min(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+impl TExpr {
+    fn to_ir(&self) -> Expr {
+        match self {
+            TExpr::B => Expr::at("b", vec![Expr::idx("i")]),
+            TExpr::I => Expr::idx("i") * Expr::real(1.0),
+            TExpr::Const(c) => Expr::real(*c as f64),
+            TExpr::Add(a, b) => a.to_ir() + b.to_ir(),
+            TExpr::Sub(a, b) => a.to_ir() - b.to_ir(),
+            TExpr::Mul(a, b) => a.to_ir() * b.to_ir(),
+            TExpr::Abs(a) => Expr::lib(LibFunc::Abs, vec![a.to_ir()]),
+            TExpr::Max(a, b) => Expr::lib(LibFunc::Max, vec![a.to_ir(), b.to_ir()]),
+            TExpr::Min(a, b) => Expr::lib(LibFunc::Min, vec![a.to_ir(), b.to_ir()]),
+        }
+    }
+
+    fn eval(&self, b: f64, i: f64) -> f64 {
+        match self {
+            TExpr::B => b,
+            TExpr::I => i * 1.0,
+            TExpr::Const(c) => *c as f64,
+            TExpr::Add(x, y) => x.eval(b, i) + y.eval(b, i),
+            TExpr::Sub(x, y) => x.eval(b, i) - y.eval(b, i),
+            TExpr::Mul(x, y) => x.eval(b, i) * y.eval(b, i),
+            TExpr::Abs(x) => x.eval(b, i).abs(),
+            TExpr::Max(x, y) => x.eval(b, i).max(y.eval(b, i)),
+            TExpr::Min(x, y) => x.eval(b, i).min(y.eval(b, i)),
+        }
+    }
+}
+
+fn build_program(e: &TExpr) -> glaf_repro::glaf_ir::Program {
+    let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+    let a = Grid::build("a").typed(DataType::Real8).dim1(N as i64).finish().unwrap();
+    let b = Grid::build("b").typed(DataType::Real8).dim1(N as i64).finish().unwrap();
+    let acc = Grid::build("acc").typed(DataType::Real8).finish().unwrap();
+    ProgramBuilder::new()
+        .module("prop")
+        .function("kernel", DataType::Real8)
+        .param(n)
+        .param(a)
+        .param(b)
+        .local(acc)
+        .straight_step("init", vec![Stmt::assign(LValue::scalar("acc"), Expr::real(0.0))])
+        .loop_step("elementwise")
+        .foreach("i", Expr::int(1), Expr::scalar("n"))
+        .formula(LValue::at("a", vec![Expr::idx("i")]), e.to_ir())
+        .done()
+        .loop_step("reduce")
+        .foreach("i", Expr::int(1), Expr::scalar("n"))
+        .formula(
+            LValue::scalar("acc"),
+            Expr::scalar("acc") + Expr::at("a", vec![Expr::idx("i")]),
+        )
+        .done()
+        .straight_step("ret", vec![Stmt::Return(Some(Expr::scalar("acc")))])
+        .done()
+        .done()
+        .finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_matches_direct_evaluation(e in texpr_strategy(), seed in 0u32..1000) {
+        // Input data from the seed.
+        let data: Vec<f64> = (0..N)
+            .map(|i| ((i as f64 + 1.0) * 0.37 + seed as f64 * 0.11).sin() * 3.0)
+            .collect();
+
+        // Direct Rust evaluation.
+        let expect_a: Vec<f64> =
+            (0..N).map(|i| e.eval(data[i], (i + 1) as f64)).collect();
+        let expect_acc: f64 = expect_a.iter().sum();
+
+        // Through the whole pipeline, with directives everywhere (v0).
+        let g = Glaf::new(build_program(&e)).expect("valid program");
+        let engine = g
+            .compile_with(&CodegenOptions::parallel_version(0), &[])
+            .expect("generated code compiles");
+
+        for mode in [
+            ExecMode::Serial,
+            ExecMode::Simulated { threads: 4 },
+            ExecMode::Parallel { threads: 4 },
+        ] {
+            let av = ArgVal::array_f(&[0.0; N], 1);
+            let bv = ArgVal::array_f(&data, 1);
+            let run = engine
+                .run("kernel", &[ArgVal::I(N as i64), av.clone(), bv], mode)
+                .expect("runs");
+            let got_a = av.handle().unwrap().to_f64_vec();
+            for (i, (ga, ea)) in got_a.iter().zip(expect_a.iter()).enumerate() {
+                prop_assert_eq!(ga, ea, "a({}) in {:?} for {:?}", i + 1, mode, e);
+            }
+            let Some(Val::F(acc)) = run.result else { panic!("no result") };
+            // Serial/Simulated sum in identical order; Parallel combines
+            // per-thread partials — allow rounding slack there.
+            match mode {
+                ExecMode::Parallel { .. } => {
+                    prop_assert!((acc - expect_acc).abs() <= 1e-9 * (1.0 + expect_acc.abs()),
+                        "acc {} vs {}", acc, expect_acc);
+                }
+                _ => prop_assert_eq!(acc, expect_acc),
+            }
+        }
+    }
+}
