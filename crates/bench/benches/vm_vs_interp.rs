@@ -1,0 +1,140 @@
+//! Execution-tier comparison: bytecode VM vs tree-walking interpreter on
+//! the paper's two case-study kernels (the SARB longwave entropy model
+//! and the FUN3D edge loop), plus a synthetic reduction microkernel.
+//!
+//! The acceptance bar for the VM tier is a >= 3x wall-clock speedup over
+//! the tree walker on both case-study kernels in Serial mode; the
+//! `speedup_summary` group measures and prints the ratios directly.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fortrans::{ArgVal, Engine, ExecMode, ExecTier};
+use fun3d::variants::{Fun3dConfig, Fun3dVariant};
+use sarb::variants::SarbVariant;
+
+const KERNEL: &str = r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION work(a, n)
+    REAL(8), DIMENSION(1:4096) :: a
+    INTEGER :: n
+    REAL(8) :: acc
+    INTEGER :: i
+    acc = 0.0D0
+    !$OMP PARALLEL DO REDUCTION(+:acc)
+    DO i = 1, n
+      acc = acc + SIN(a(i)) * COS(a(i)) + SQRT(ABS(a(i)))
+    END DO
+    !$OMP END PARALLEL DO
+    work = acc
+  END FUNCTION work
+END MODULE m
+"#;
+
+fn sarb_engine() -> Engine {
+    sarb::variants::build_engine(SarbVariant::GlafSerial)
+}
+
+fn fun3d_engine(ncell: i64) -> Engine {
+    let engine = fun3d::variants::build_engine(Fun3dVariant::Glaf(Fun3dConfig::default()));
+    engine
+        .run("build_mesh", &[ArgVal::I(ncell)], ExecMode::Serial)
+        .expect("mesh builds");
+    engine
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let engine = Engine::compile(&[KERNEL]).unwrap();
+    let data: Vec<f64> = (0..4096).map(|i| i as f64 * 0.001).collect();
+    let mut g = c.benchmark_group("micro_reduction_4096");
+    g.sample_size(20);
+    for (name, tier) in [("vm", ExecTier::Vm), ("tree_walk", ExecTier::TreeWalk)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let a = ArgVal::array_f(&data, 1);
+                engine
+                    .run_tiered("work", &[a, ArgVal::I(4096)], ExecMode::Serial, tier)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sarb(c: &mut Criterion) {
+    let engine = sarb_engine();
+    let mut g = c.benchmark_group("sarb_longwave_entropy");
+    g.sample_size(10);
+    for (name, tier) in [("vm", ExecTier::Vm), ("tree_walk", ExecTier::TreeWalk)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                engine
+                    .run_tiered("run_columns", &[ArgVal::I(2)], ExecMode::Serial, tier)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fun3d(c: &mut Criterion) {
+    let engine = fun3d_engine(200);
+    let mut g = c.benchmark_group("fun3d_edge_loop");
+    g.sample_size(10);
+    for (name, tier) in [("vm", ExecTier::Vm), ("tree_walk", ExecTier::TreeWalk)] {
+        g.bench_function(name, |b| {
+            b.iter(|| engine.run_tiered("edgejp", &[], ExecMode::Serial, tier).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Times `iters` runs of `f` after one warm-up call.
+fn time_it(iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn speedup_summary(_c: &mut Criterion) {
+    let sarb = sarb_engine();
+    let run_sarb = |tier| {
+        time_it(10, || {
+            sarb.run_tiered("run_columns", &[ArgVal::I(2)], ExecMode::Serial, tier)
+                .map(|_| ())
+                .unwrap()
+        })
+    };
+    let sarb_vm = run_sarb(ExecTier::Vm);
+    let sarb_tw = run_sarb(ExecTier::TreeWalk);
+
+    let f3d = fun3d_engine(200);
+    let run_f3d = |tier| {
+        time_it(10, || {
+            f3d.run_tiered("edgejp", &[], ExecMode::Serial, tier).map(|_| ()).unwrap()
+        })
+    };
+    let f3d_vm = run_f3d(ExecTier::Vm);
+    let f3d_tw = run_f3d(ExecTier::TreeWalk);
+
+    println!("--- execution-tier speedup (tree-walk time / VM time, Serial) ---");
+    println!(
+        "sarb longwave_entropy_model (run_columns ncol=2): {:.2}x  (vm {:.1} ms, tree {:.1} ms)",
+        sarb_tw / sarb_vm,
+        sarb_vm * 1e3,
+        sarb_tw * 1e3
+    );
+    println!(
+        "fun3d edge loop (edgejp, 200 cells):              {:.2}x  (vm {:.1} ms, tree {:.1} ms)",
+        f3d_tw / f3d_vm,
+        f3d_vm * 1e3,
+        f3d_tw * 1e3
+    );
+}
+
+criterion_group!(benches, bench_micro, bench_sarb, bench_fun3d, speedup_summary);
+criterion_main!(benches);

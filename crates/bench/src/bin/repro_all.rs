@@ -118,7 +118,7 @@ fn main() {
         );
     }
     if let Some(path) = out_path {
-        let json = serde_json::to_string_pretty(&experiments).expect("serialize");
+        let json = glaf_bench::experiments_to_json(&experiments);
         std::fs::write(&path, json).expect("write json");
         println!("\nwrote {path}");
     }

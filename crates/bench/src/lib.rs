@@ -19,10 +19,9 @@
 //! out (fork-cost sweep, SIMD-width sweep, cost-model policy vs. the
 //! manual ladder).
 
-use serde::Serialize;
 
 /// One labeled measurement (speed-up bar).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Bar {
     pub label: String,
     pub paper: Option<f64>,
@@ -51,7 +50,7 @@ pub fn print_bars(title: &str, bars: &[Bar]) {
 }
 
 /// Serializable experiment record for EXPERIMENTS.md regeneration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     pub id: String,
     pub description: String,
@@ -80,6 +79,54 @@ pub fn ordering_agreement(bars: &[Bar]) -> f64 {
         }
     }
     agree as f64 / total as f64
+}
+
+/// JSON serialization for the experiment records (hand-rolled: the build
+/// environment is offline, so serde_json is unavailable). Numbers use
+/// `{:?}`, which round-trips f64 exactly.
+pub fn experiments_to_json(experiments: &[Experiment]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn num(v: f64) -> String {
+        if v.is_finite() { format!("{v:?}") } else { "null".to_string() }
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in experiments.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"id\": \"{}\",\n", esc(&e.id)));
+        out.push_str(&format!("    \"description\": \"{}\",\n", esc(&e.description)));
+        out.push_str("    \"bars\": [\n");
+        for (j, b) in e.bars.iter().enumerate() {
+            let paper = match b.paper {
+                Some(p) => num(p),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "      {{ \"label\": \"{}\", \"paper\": {}, \"measured\": {} }}{}\n",
+                esc(&b.label),
+                paper,
+                num(b.measured),
+                if j + 1 < e.bars.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str(&format!("  }}{}\n", if i + 1 < experiments.len() { "," } else { "" }));
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]

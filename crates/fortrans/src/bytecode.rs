@@ -1,0 +1,1595 @@
+//! Bytecode tier: compiles the resolved IR ([`crate::rir`]) into a flat
+//! instruction stream executed by [`crate::vm`].
+//!
+//! The tree-walking interpreter re-dispatches on boxed `RExpr`/`RStmt`
+//! nodes for every iteration of every loop and allocates a `Vec<i64>` per
+//! subscript list. This tier resolves everything resolvable at compile
+//! time instead:
+//!
+//! * frame variables become indices into unboxed per-type value banks
+//!   (`i64`/`f64`/`bool`/array-handle) — see [`VSlot`];
+//! * structured control flow becomes jump-target PCs;
+//! * fixed-shape local arrays get precomputed strides/bounds
+//!   ([`SDims`], the `LoadElemS`/`StoreElemS` fast path);
+//! * canonical unit-stride `DO` loops compile to a fused
+//!   `DoInitC`/`DoHead1`/`DoIncr1` triple (one bounds check + one
+//!   counter store + one increment per iteration);
+//! * constant subexpressions fold and provably-dead frame-scalar stores
+//!   are eliminated — but only in the *optimized* build variant.
+//!
+//! Two build variants exist per program: `traced = false` (used by
+//! `ExecMode::Serial` / `Parallel`) applies every optimization;
+//! `traced = true` (used by `ExecMode::Simulated`) disables anything
+//! that would change operation counts and inserts the cost-only
+//! instructions (`CostBranch`, `VecEnter`/`VecLeave`) so the VM emits a
+//! [`crate::cost::CostTrace`] bit-identical to the interpreter's.
+//!
+//! Evaluation *order* of side effects (stores, allocations, calls,
+//! prints, error checks) mirrors the interpreter exactly; cost-counter
+//! ordering within one statement may differ, which is unobservable
+//! because counters only segment at iteration/region/critical/vec
+//! boundaries — always statement boundaries.
+//!
+//! One documented divergence: when an entry caller passes an
+//! [`crate::engine::ArgVal`] whose shape disagrees with the declared
+//! parameter (array for a scalar, or an array handle whose element type
+//! differs from the declaration), the interpreter defers the type error
+//! to first use while the VM reports it at entry (or converts at load).
+//! No real program hits this; the differential suite pins everything
+//! else.
+
+use crate::ast::{Bin, RedOp};
+use crate::intrinsics::Intr;
+use crate::interp::Val;
+use crate::rir::*;
+
+/// "No target": flow propagates out of the enclosing range instead.
+pub const NO_PC: u32 = u32::MAX;
+
+/// Resolved storage location of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VSlot {
+    /// Frame scalar in the i64 bank.
+    I(u32),
+    /// Frame scalar in the f64 bank.
+    F(u32),
+    /// Frame scalar in the bool bank.
+    B(u32),
+    /// Frame array handle in the handle bank.
+    A(u32),
+    /// Global scalar cell.
+    GlobS(u32),
+    /// Global array cell.
+    GlobA(u32),
+}
+
+/// Comparison selector for `CmpI`/`CmpF`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Precomputed layout of a fixed-shape array (column-major strides).
+#[derive(Debug, Clone)]
+pub struct SDims {
+    pub dims: Vec<(i64, i64)>,
+    pub strides: Vec<usize>,
+}
+
+impl SDims {
+    fn of(dims: &[(i64, i64)]) -> SDims {
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut s = 1usize;
+        for &(lo, hi) in dims {
+            strides.push(s);
+            s *= (hi - lo + 1).max(0) as usize;
+        }
+        SDims { dims: dims.to_vec(), strides }
+    }
+}
+
+/// One flat instruction. Operands live on an untyped `u64` stack whose
+/// static types the compiler tracks; `B` values are stored as 0/1.
+#[derive(Debug, Clone, Copy)]
+pub enum BInstr {
+    /// Push raw bits.
+    Const(u64),
+    // Frame scalar access (cost-free, like the interpreter's frames).
+    LoadI(u32),
+    LoadF(u32),
+    LoadB(u32),
+    StoreI(u32),
+    StoreF(u32),
+    StoreB(u32),
+    /// Global scalar load (counts one Load).
+    LoadG(u32),
+    /// Global scalar store (counts one Store).
+    StoreG(u32),
+    // Cost-free conversions (mirror `Val::as_f` / `as_i` / `as_b`).
+    CvtIF,
+    CvtFI,
+    CvtIB,
+    CvtFB,
+    // f64 arithmetic.
+    AddF,
+    SubF,
+    MulF,
+    DivF,
+    PowFF,
+    /// `F ** I` with the interpreter's powi-for-small-exponents rule.
+    PowFI,
+    NegF,
+    // i64 arithmetic (wrapping; DivI errors on zero).
+    AddI,
+    SubI,
+    MulI,
+    DivI,
+    PowII,
+    NegI,
+    // LOGICAL ops (operands already converted to 0/1).
+    NotB,
+    AndB,
+    OrB,
+    CmpF(Cmp),
+    CmpI(Cmp),
+    /// Defensive: arithmetic `Bin` with `ty == B` — evaluate operands,
+    /// then fail like the interpreter.
+    FailArith2,
+    /// Defensive: `Neg` of a LOGICAL.
+    FailNegB,
+    /// Type error with a precomputed message (pops nothing).
+    FailType { msg: u32 },
+    /// Integer-flavored intrinsic (all operands statically I).
+    IntrI { f: Intr, argc: u8 },
+    /// Float-flavored intrinsic; `to_int` for INT/NINT results.
+    IntrF { f: Intr, argc: u8, to_int: bool },
+    // Array element access: pops `nsubs` i64 subscripts.
+    LoadElem { vs: VSlot, v: u32, nsubs: u8, want: ScalarTy },
+    StoreElem { vs: VSlot, v: u32, nsubs: u8, src: ScalarTy },
+    /// Static-shape fast path (frame fixed arrays only).
+    LoadElemS { a: u32, sd: u32, v: u32, want: ScalarTy },
+    StoreElemS { a: u32, sd: u32, v: u32, src: ScalarTy },
+    ArrRed { f: ArrRed, vs: VSlot, v: u32, want: ScalarTy },
+    AllocatedQ { vs: VSlot },
+    Broadcast { vs: VSlot, v: u32, src: ScalarTy },
+    CopyArr { dvs: VSlot, dv: u32, svs: VSlot, sv: u32 },
+    /// Scalar `!$OMP ATOMIC` target; pops the delta (static ty `ety`).
+    AtomicScal { vs: VSlot, v: u32, op: RedOp, ety: ScalarTy, vty: ScalarTy },
+    /// Array-element ATOMIC; pops subs then delta.
+    AtomicElem { vs: VSlot, v: u32, op: RedOp, nsubs: u8, ety: ScalarTy },
+    /// Pops `2*ndims` bounds (lo/hi pairs, in order).
+    Alloc { vs: VSlot, v: u32, ndims: u8, ty: ScalarTy },
+    Dealloc { vs: VSlot, v: u32 },
+    // Control flow.
+    Jump(u32),
+    /// Pops a 0/1 condition.
+    JumpIfFalse(u32),
+    /// Traced builds only: `branches += 1`.
+    CostBranch,
+    /// Traced builds only: serial-loop vectorization bracket.
+    VecEnter(VecClass),
+    VecLeave,
+    /// Pops end, start into i-slots; constant step 1.
+    DoInitC { ctr: u32, end: u32 },
+    /// Pops step, end, start; `check` enforces the zero-step error.
+    DoInit { ctr: u32, end: u32, step: u32, check: bool },
+    /// Fused unit-stride head: check, store loop var, fall through.
+    DoHead1 { ctr: u32, end: u32, var: u32, exit: u32 },
+    /// Fused generic-step head for frame-I loop vars.
+    DoHeadN { ctr: u32, end: u32, step: u32, var: u32, exit: u32 },
+    /// Unfused head (loop var stored by following instructions).
+    DoHead { ctr: u32, end: u32, step: u32, exit: u32 },
+    DoIncr1 { ctr: u32, head: u32 },
+    DoIncr { ctr: u32, step: u32, head: u32 },
+    /// Peeks the i64 top of stack; errors if zero ("zero DO step").
+    CheckStepNZ,
+    // Dynamic flow (crosses an OMP-body / CRITICAL boundary).
+    FlowExit,
+    FlowCycle,
+    FlowReturn,
+    /// CRITICAL section: body is `[pc+1, end)`; `exit`/`cycle` give the
+    /// enclosing loop's targets at this nesting level, or [`NO_PC`].
+    Critical { name: u32, end: u32, exit: u32, cycle: u32 },
+    /// OMP PARALLEL DO; stack holds bounds/clauses, body in the descriptor.
+    OmpDo { desc: u32 },
+    /// Call-depth check + call cost, before argument evaluation.
+    CallPre,
+    /// By-ref element argument: pops subs into the stash, pushes the value.
+    StashElem { vs: VSlot, v: u32, nsubs: u8, want: ScalarTy },
+    /// Whole-array argument: pushes the handle onto the array stack.
+    PushArr { vs: VSlot, v: u32 },
+    Call { spec: u32, push: bool },
+    Print { spec: u32 },
+    Stop { msg: u32 },
+}
+
+/// One OMP PARALLEL DO descriptor.
+#[derive(Debug, Clone)]
+pub struct OmpDesc {
+    /// Loop variables, outermost first (collapse dims after dim 0).
+    pub dims: Vec<(VSlot, ScalarTy)>,
+    pub has_nt: bool,
+    pub chunk: Option<usize>,
+    /// Frame-array slots of PRIVATE rank>0 vars (deep-cloned per thread).
+    pub private_arrays: Vec<u32>,
+    pub reductions: Vec<RedSpec>,
+    /// Body PC range.
+    pub body: (u32, u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct RedSpec {
+    pub op: RedOp,
+    pub vs: VSlot,
+    pub ty: ScalarTy,
+}
+
+/// One resolved call site.
+#[derive(Debug, Clone)]
+pub struct CallSpec {
+    pub callee: u32,
+    pub args: Vec<BArg>,
+    /// Total stash entries consumed by `Elem` args.
+    pub n_stash: u32,
+    /// Callee function-result slot.
+    pub ret: Option<(VSlot, ScalarTy)>,
+}
+
+/// One call argument: how to pop it and where to write it back.
+#[derive(Debug, Clone, Copy)]
+pub enum BArg {
+    /// Value-result scalar: pops the value, writes back after the call.
+    Scalar { src_vs: VSlot, src_v: u32, src_ty: ScalarTy, p: VSlot, pty: ScalarTy },
+    /// Value-result array element (subscripts held in the stash).
+    Elem { vs: VSlot, v: u32, nsubs: u8, want: ScalarTy, p: VSlot, pty: ScalarTy },
+    /// Shared whole-array handle.
+    Arr { p: u32 },
+    /// By-value expression.
+    Val { src_ty: ScalarTy, p: VSlot, pty: ScalarTy },
+}
+
+/// One PRINT list item (value types resolved statically).
+#[derive(Debug, Clone)]
+pub enum PItem {
+    Str(String),
+    Val(ScalarTy),
+}
+
+/// A fixed-shape frame array to instantiate per call: (slot, type, dims).
+pub type FixedArray = (u32, ScalarTy, Vec<(i64, i64)>);
+
+/// A compiled unit.
+#[derive(Debug)]
+pub struct BUnit {
+    pub code: Vec<BInstr>,
+    /// Per-`VarIdx` resolved slot.
+    pub vslots: Vec<VSlot>,
+    pub ni: u32,
+    pub nf: u32,
+    pub nb: u32,
+    pub na: u32,
+    /// Fixed-shape frame arrays to instantiate per call.
+    pub fixed_arrays: Vec<FixedArray>,
+    pub calls: Vec<CallSpec>,
+    pub omps: Vec<OmpDesc>,
+    pub prints: Vec<Vec<PItem>>,
+    pub sdims: Vec<SDims>,
+    /// Error/CRITICAL-name/STOP message string table.
+    pub msgs: Vec<String>,
+    /// Function result slot.
+    pub result: Option<(VSlot, ScalarTy)>,
+    /// Source unit index (for names in diagnostics).
+    pub unit: u32,
+}
+
+/// Per-unit slot assignment (phase 1; needed across units for calls).
+struct SlotTable {
+    vslots: Vec<VSlot>,
+    ni: u32,
+    nf: u32,
+    nb: u32,
+    na: u32,
+    fixed_arrays: Vec<FixedArray>,
+    result: Option<(VSlot, ScalarTy)>,
+}
+
+fn assign_slots(unit: &RUnit) -> SlotTable {
+    let (mut ni, mut nf, mut nb, mut na) = (0u32, 0u32, 0u32, 0u32);
+    let mut fixed = Vec::new();
+    let mut vslots = Vec::with_capacity(unit.vars.len());
+    for info in &unit.vars {
+        let vs = match info.place {
+            Place::Global(cell) => {
+                if info.rank > 0 {
+                    VSlot::GlobA(cell as u32)
+                } else {
+                    VSlot::GlobS(cell as u32)
+                }
+            }
+            Place::Frame(_) => {
+                if info.rank > 0 {
+                    let s = na;
+                    na += 1;
+                    if !info.allocatable && !info.is_param {
+                        fixed.push((s, info.ty, info.dims.clone()));
+                    }
+                    VSlot::A(s)
+                } else {
+                    match info.ty {
+                        ScalarTy::I => {
+                            ni += 1;
+                            VSlot::I(ni - 1)
+                        }
+                        ScalarTy::F => {
+                            nf += 1;
+                            VSlot::F(nf - 1)
+                        }
+                        ScalarTy::B => {
+                            nb += 1;
+                            VSlot::B(nb - 1)
+                        }
+                    }
+                }
+            }
+        };
+        vslots.push(vs);
+    }
+    let result = unit.result.map(|(rv, rty)| (vslots[rv], rty));
+    SlotTable { vslots, ni, nf, nb, na, fixed_arrays: fixed, result }
+}
+
+/// Compiles every unit of `prog`. `traced = true` produces the
+/// cost-exact variant for `ExecMode::Simulated`.
+pub fn compile_program(prog: &RProgram, traced: bool) -> Vec<BUnit> {
+    let tables: Vec<SlotTable> = prog.units.iter().map(assign_slots).collect();
+    prog.units
+        .iter()
+        .enumerate()
+        .map(|(u, unit)| UnitCompiler::new(prog, unit, u, &tables, traced).compile())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Constant folding / purity analysis
+// ---------------------------------------------------------------------
+
+/// Folds `op(a, b)` when total (no error, no environment dependence).
+fn const_bin(op: Bin, ty: ScalarTy, a: Val, b: Val) -> Option<Val> {
+    match op {
+        Bin::And => return Some(Val::B(a.as_b() && b.as_b())),
+        Bin::Or => return Some(Val::B(a.as_b() || b.as_b())),
+        Bin::Eq | Bin::Ne | Bin::Lt | Bin::Le | Bin::Gt | Bin::Ge => {
+            let r = match ty {
+                ScalarTy::F => {
+                    let (x, y) = (a.as_f(), b.as_f());
+                    match op {
+                        Bin::Eq => x == y,
+                        Bin::Ne => x != y,
+                        Bin::Lt => x < y,
+                        Bin::Le => x <= y,
+                        Bin::Gt => x > y,
+                        _ => x >= y,
+                    }
+                }
+                _ => {
+                    let (x, y) = (a.as_i(), b.as_i());
+                    match op {
+                        Bin::Eq => x == y,
+                        Bin::Ne => x != y,
+                        Bin::Lt => x < y,
+                        Bin::Le => x <= y,
+                        Bin::Gt => x > y,
+                        _ => x >= y,
+                    }
+                }
+            };
+            return Some(Val::B(r));
+        }
+        _ => {}
+    }
+    match ty {
+        ScalarTy::F => {
+            let (x, y) = (a.as_f(), b.as_f());
+            Some(Val::F(match op {
+                Bin::Add => x + y,
+                Bin::Sub => x - y,
+                Bin::Mul => x * y,
+                Bin::Div => x / y,
+                Bin::Pow => match b {
+                    Val::I(e) if e.unsigned_abs() <= 64 => x.powi(e as i32),
+                    _ => x.powf(y),
+                },
+                _ => unreachable!(),
+            }))
+        }
+        ScalarTy::I => {
+            let (x, y) = (a.as_i(), b.as_i());
+            Some(Val::I(match op {
+                Bin::Add => x.wrapping_add(y),
+                Bin::Sub => x.wrapping_sub(y),
+                Bin::Mul => x.wrapping_mul(y),
+                Bin::Div => {
+                    if y == 0 {
+                        return None; // keep the runtime error
+                    }
+                    x / y
+                }
+                Bin::Pow => {
+                    if y < 0 {
+                        0
+                    } else {
+                        x.checked_pow(y.min(63) as u32).unwrap_or(i64::MAX)
+                    }
+                }
+                _ => unreachable!(),
+            }))
+        }
+        ScalarTy::B => None, // runtime "arithmetic on LOGICAL"
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-unit compiler
+// ---------------------------------------------------------------------
+
+/// Pending jump-target patch inside a loop context.
+enum Patch {
+    /// `Jump` / `JumpIfFalse` / `DoHead*` exit operand at this index.
+    Target(usize),
+    CritExit(usize),
+    CritCycle(usize),
+}
+
+/// Flow-resolution context: either a flat loop at this nesting level or
+/// a boundary (OMP body / CRITICAL body) flow must cross dynamically.
+enum Ctx {
+    Loop { exit: Vec<Patch>, cycle: Vec<Patch> },
+    Boundary,
+}
+
+struct UnitCompiler<'a> {
+    prog: &'a RProgram,
+    unit: &'a RUnit,
+    unit_idx: usize,
+    tables: &'a [SlotTable],
+    traced: bool,
+    code: Vec<BInstr>,
+    calls: Vec<CallSpec>,
+    omps: Vec<OmpDesc>,
+    prints: Vec<Vec<PItem>>,
+    sdims: Vec<SDims>,
+    sdim_of: Vec<Option<u32>>,
+    msgs: Vec<String>,
+    ctx: Vec<Ctx>,
+    /// Frame scalars that are never read (DSE candidates).
+    dead: Vec<bool>,
+    /// Extra hidden i-slots for loop counters/bounds.
+    ni_extra: u32,
+}
+
+impl<'a> UnitCompiler<'a> {
+    fn new(
+        prog: &'a RProgram,
+        unit: &'a RUnit,
+        unit_idx: usize,
+        tables: &'a [SlotTable],
+        traced: bool,
+    ) -> Self {
+        // Static-dims table: fixed-shape frame locals only (their handle
+        // provably matches the declaration — fresh per call).
+        let mut sdims = Vec::new();
+        let mut sdim_of = vec![None; unit.vars.len()];
+        for (v, info) in unit.vars.iter().enumerate() {
+            if matches!(info.place, Place::Frame(_))
+                && info.rank > 0
+                && !info.allocatable
+                && !info.is_param
+                && info.dims.len() == info.rank
+            {
+                sdim_of[v] = Some(sdims.len() as u32);
+                sdims.push(SDims::of(&info.dims));
+            }
+        }
+        let dead = if traced { vec![false; unit.vars.len()] } else { find_dead_scalars(unit) };
+        UnitCompiler {
+            prog,
+            unit,
+            unit_idx,
+            tables,
+            traced,
+            code: Vec::new(),
+            calls: Vec::new(),
+            omps: Vec::new(),
+            prints: Vec::new(),
+            sdims,
+            sdim_of,
+            msgs: Vec::new(),
+            ctx: Vec::new(),
+            dead,
+            ni_extra: tables[unit_idx].ni,
+        }
+    }
+
+    fn compile(mut self) -> BUnit {
+        let body = &self.unit.body;
+        self.emit_block(body);
+        let t = &self.tables[self.unit_idx];
+        BUnit {
+            code: self.code,
+            vslots: t.vslots.clone(),
+            ni: self.ni_extra,
+            nf: t.nf,
+            nb: t.nb,
+            na: t.na,
+            fixed_arrays: t.fixed_arrays.clone(),
+            calls: self.calls,
+            omps: self.omps,
+            prints: self.prints,
+            sdims: self.sdims,
+            msgs: self.msgs,
+            result: t.result,
+            unit: self.unit_idx as u32,
+        }
+    }
+
+    // ---------- small helpers ----------
+
+    fn vslot(&self, v: VarIdx) -> VSlot {
+        self.tables[self.unit_idx].vslots[v]
+    }
+
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn push(&mut self, i: BInstr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn msg(&mut self, s: String) -> u32 {
+        if let Some(i) = self.msgs.iter().position(|m| m == &s) {
+            return i as u32;
+        }
+        self.msgs.push(s);
+        self.msgs.len() as u32 - 1
+    }
+
+    fn hidden_i(&mut self) -> u32 {
+        self.ni_extra += 1;
+        self.ni_extra - 1
+    }
+
+    /// Static type of an expression (mirrors sema's typing).
+    fn ty_of(&self, e: &RExpr) -> ScalarTy {
+        match e {
+            RExpr::ConstI(_) => ScalarTy::I,
+            RExpr::ConstF(_) => ScalarTy::F,
+            RExpr::ConstB(_) => ScalarTy::B,
+            RExpr::LoadScalar(v) | RExpr::LoadElem { v, .. } => self.unit.vars[*v].ty,
+            RExpr::Bin { op, ty, .. } => match op {
+                Bin::Eq | Bin::Ne | Bin::Lt | Bin::Le | Bin::Gt | Bin::Ge | Bin::And | Bin::Or => {
+                    ScalarTy::B
+                }
+                _ => *ty,
+            },
+            RExpr::Neg(x) => self.ty_of(x),
+            RExpr::Not(_) => ScalarTy::B,
+            RExpr::ToF(_) => ScalarTy::F,
+            RExpr::ToI(_) => ScalarTy::I,
+            RExpr::Intrinsic { f, args } => {
+                if self.intr_int_flavor(*f, args) || matches!(f, Intr::Int | Intr::Nint) {
+                    ScalarTy::I
+                } else {
+                    ScalarTy::F
+                }
+            }
+            RExpr::ArrReduce { f, v } => {
+                if *f == ArrRed::Size {
+                    ScalarTy::I
+                } else {
+                    self.unit.vars[*v].ty
+                }
+            }
+            RExpr::AllocatedQ(_) => ScalarTy::B,
+            RExpr::CallFn { ret, .. } => *ret,
+        }
+    }
+
+    fn intr_int_flavor(&self, f: Intr, args: &[RExpr]) -> bool {
+        matches!(f, Intr::Abs | Intr::Max | Intr::Min | Intr::Mod | Intr::Sign)
+            && args.iter().all(|a| self.ty_of(a) == ScalarTy::I)
+    }
+
+    /// Conversion instructions between static types (`Val::as_*`).
+    fn emit_cvt(&mut self, from: ScalarTy, to: ScalarTy) {
+        use ScalarTy::*;
+        match (from, to) {
+            (I, F) | (B, F) => {
+                // B bits are 0/1, a valid i64, so B→F shares CvtIF.
+                self.push(BInstr::CvtIF);
+            }
+            (F, I) => {
+                self.push(BInstr::CvtFI);
+            }
+            (I, B) => {
+                self.push(BInstr::CvtIB);
+            }
+            (F, B) => {
+                self.push(BInstr::CvtFB);
+            }
+            // B→I: bits already 0/1 two's-complement; identical.
+            _ => {}
+        }
+    }
+
+    /// Compile-time constant evaluation (optimized builds only; `None`
+    /// keeps the runtime evaluation, including its error behaviour).
+    fn fold(&self, e: &RExpr) -> Option<Val> {
+        if self.traced {
+            return None;
+        }
+        match e {
+            RExpr::ConstI(v) => Some(Val::I(*v)),
+            RExpr::ConstF(v) => Some(Val::F(*v)),
+            RExpr::ConstB(v) => Some(Val::B(*v)),
+            RExpr::Bin { op, ty, l, r } => {
+                let a = self.fold(l)?;
+                let b = self.fold(r)?;
+                const_bin(*op, *ty, a, b)
+            }
+            RExpr::Neg(x) => match self.fold(x)? {
+                Val::I(v) => Some(Val::I(v.wrapping_neg())),
+                Val::F(v) => Some(Val::F(-v)),
+                Val::B(_) => None,
+            },
+            RExpr::Not(x) => Some(Val::B(!self.fold(x)?.as_b())),
+            RExpr::ToF(x) => Some(Val::F(self.fold(x)?.as_f())),
+            RExpr::ToI(x) => Some(Val::I(self.fold(x)?.as_i())),
+            RExpr::Intrinsic { f, args } => {
+                let vals: Option<Vec<Val>> = args.iter().map(|a| self.fold(a)).collect();
+                let vals = vals?;
+                if self.intr_int_flavor(*f, args) {
+                    let iv: Vec<i64> = vals.iter().map(|v| v.as_i()).collect();
+                    Some(Val::I(f.eval_i(&iv)))
+                } else {
+                    let fv: Vec<f64> = vals.iter().map(|v| v.as_f()).collect();
+                    let r = f.eval_f(&fv);
+                    Some(match f {
+                        Intr::Int | Intr::Nint => Val::I(r as i64),
+                        _ => Val::F(r),
+                    })
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True when evaluating `e` has no side effects and cannot fail, so
+    /// a dead store of it can be dropped entirely.
+    fn pure_total(&self, e: &RExpr) -> bool {
+        match e {
+            RExpr::ConstI(_) | RExpr::ConstF(_) | RExpr::ConstB(_) | RExpr::LoadScalar(_) => true,
+            RExpr::AllocatedQ(v) => {
+                // Global-scalar ALLOCATED would panic in storage; keep it.
+                !matches!(self.vslot(*v), VSlot::GlobS(_))
+            }
+            RExpr::Bin { op, ty, l, r } => {
+                let arith = matches!(op, Bin::Add | Bin::Sub | Bin::Mul | Bin::Div | Bin::Pow);
+                if arith && *ty == ScalarTy::B {
+                    return false; // runtime type error
+                }
+                if matches!(op, Bin::Div) && *ty == ScalarTy::I {
+                    return false; // possible division by zero
+                }
+                self.pure_total(l) && self.pure_total(r)
+            }
+            RExpr::Neg(x) => self.ty_of(x) != ScalarTy::B && self.pure_total(x),
+            RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => self.pure_total(x),
+            RExpr::Intrinsic { args, .. } => args.iter().all(|a| self.pure_total(a)),
+            RExpr::LoadElem { .. } | RExpr::ArrReduce { .. } | RExpr::CallFn { .. } => false,
+        }
+    }
+
+    // ---------- expression emission ----------
+
+    /// Emits `e`; leaves one value of static type `ty_of(e)` on the stack.
+    fn emit_expr(&mut self, e: &RExpr) {
+        if let Some(v) = self.fold(e) {
+            let bits = val_bits(v, self.ty_of(e));
+            self.push(BInstr::Const(bits));
+            return;
+        }
+        match e {
+            RExpr::ConstI(v) => {
+                self.push(BInstr::Const(*v as u64));
+            }
+            RExpr::ConstF(v) => {
+                self.push(BInstr::Const(v.to_bits()));
+            }
+            RExpr::ConstB(v) => {
+                self.push(BInstr::Const(u64::from(*v)));
+            }
+            RExpr::LoadScalar(v) => self.emit_load_scalar(*v),
+            RExpr::LoadElem { v, subs } => {
+                self.emit_subs(subs);
+                self.emit_elem_load(*v, subs.len(), self.unit.vars[*v].ty, false);
+            }
+            RExpr::Bin { op, ty, l, r } => self.emit_bin(*op, *ty, l, r),
+            RExpr::Neg(x) => {
+                self.emit_expr(x);
+                match self.ty_of(x) {
+                    ScalarTy::F => self.push(BInstr::NegF),
+                    ScalarTy::I => self.push(BInstr::NegI),
+                    ScalarTy::B => self.push(BInstr::FailNegB),
+                };
+            }
+            RExpr::Not(x) => {
+                self.emit_expr(x);
+                self.emit_cvt(self.ty_of(x), ScalarTy::B);
+                self.push(BInstr::NotB);
+            }
+            RExpr::ToF(x) => {
+                self.emit_expr(x);
+                self.emit_cvt(self.ty_of(x), ScalarTy::F);
+            }
+            RExpr::ToI(x) => {
+                self.emit_expr(x);
+                self.emit_cvt(self.ty_of(x), ScalarTy::I);
+            }
+            RExpr::Intrinsic { f, args } => {
+                let int_flavor = self.intr_int_flavor(*f, args);
+                for a in args {
+                    self.emit_expr(a);
+                    if !int_flavor {
+                        self.emit_cvt(self.ty_of(a), ScalarTy::F);
+                    }
+                }
+                let argc = args.len() as u8;
+                if int_flavor {
+                    self.push(BInstr::IntrI { f: *f, argc });
+                } else {
+                    self.push(BInstr::IntrF {
+                        f: *f,
+                        argc,
+                        to_int: matches!(f, Intr::Int | Intr::Nint),
+                    });
+                }
+            }
+            RExpr::ArrReduce { f, v } => {
+                let want = self.ty_of(e);
+                self.push(BInstr::ArrRed { f: *f, vs: self.vslot(*v), v: *v as u32, want });
+            }
+            RExpr::AllocatedQ(v) => {
+                let vs = self.vslot(*v);
+                match vs {
+                    VSlot::I(_) | VSlot::F(_) | VSlot::B(_) => {
+                        // Interpreter: a scalar frame slot is never
+                        // `FrameVal::Arr(Some)` → constant false.
+                        self.push(BInstr::Const(0));
+                    }
+                    _ => {
+                        self.push(BInstr::AllocatedQ { vs });
+                    }
+                }
+            }
+            RExpr::CallFn { unit, args, ret: _ } => {
+                self.emit_call(*unit, args, true);
+            }
+        }
+    }
+
+    fn emit_bin(&mut self, op: Bin, ty: ScalarTy, l: &RExpr, r: &RExpr) {
+        use ScalarTy::*;
+        let (lt, rt) = (self.ty_of(l), self.ty_of(r));
+        match op {
+            Bin::And | Bin::Or => {
+                self.emit_expr(l);
+                self.emit_cvt(lt, B);
+                self.emit_expr(r);
+                self.emit_cvt(rt, B);
+                self.push(if op == Bin::And { BInstr::AndB } else { BInstr::OrB });
+            }
+            Bin::Eq | Bin::Ne | Bin::Lt | Bin::Le | Bin::Gt | Bin::Ge => {
+                let c = match op {
+                    Bin::Eq => Cmp::Eq,
+                    Bin::Ne => Cmp::Ne,
+                    Bin::Lt => Cmp::Lt,
+                    Bin::Le => Cmp::Le,
+                    Bin::Gt => Cmp::Gt,
+                    _ => Cmp::Ge,
+                };
+                if ty == F {
+                    self.emit_expr(l);
+                    self.emit_cvt(lt, F);
+                    self.emit_expr(r);
+                    self.emit_cvt(rt, F);
+                    self.push(BInstr::CmpF(c));
+                } else {
+                    // I and B compare on as_i (B bits are 0/1).
+                    self.emit_expr(l);
+                    self.emit_cvt(lt, I);
+                    self.emit_expr(r);
+                    self.emit_cvt(rt, I);
+                    self.push(BInstr::CmpI(c));
+                }
+            }
+            Bin::Add | Bin::Sub | Bin::Mul | Bin::Div | Bin::Pow => match ty {
+                F => {
+                    self.emit_expr(l);
+                    self.emit_cvt(lt, F);
+                    self.emit_expr(r);
+                    if op == Bin::Pow && rt == I {
+                        // Keep the integer exponent for the powi rule.
+                        self.push(BInstr::PowFI);
+                    } else {
+                        self.emit_cvt(rt, F);
+                        self.push(match op {
+                            Bin::Add => BInstr::AddF,
+                            Bin::Sub => BInstr::SubF,
+                            Bin::Mul => BInstr::MulF,
+                            Bin::Div => BInstr::DivF,
+                            _ => BInstr::PowFF,
+                        });
+                    }
+                }
+                I => {
+                    self.emit_expr(l);
+                    self.emit_cvt(lt, I);
+                    self.emit_expr(r);
+                    self.emit_cvt(rt, I);
+                    self.push(match op {
+                        Bin::Add => BInstr::AddI,
+                        Bin::Sub => BInstr::SubI,
+                        Bin::Mul => BInstr::MulI,
+                        Bin::Div => BInstr::DivI,
+                        _ => BInstr::PowII,
+                    });
+                }
+                B => {
+                    self.emit_expr(l);
+                    self.emit_expr(r);
+                    self.push(BInstr::FailArith2);
+                }
+            },
+        }
+    }
+
+    fn emit_load_scalar(&mut self, v: VarIdx) {
+        match self.vslot(v) {
+            VSlot::I(s) => {
+                self.push(BInstr::LoadI(s));
+            }
+            VSlot::F(s) => {
+                self.push(BInstr::LoadF(s));
+            }
+            VSlot::B(s) => {
+                self.push(BInstr::LoadB(s));
+            }
+            VSlot::GlobS(c) => {
+                self.push(BInstr::LoadG(c));
+            }
+            VSlot::A(_) | VSlot::GlobA(_) => {
+                let m = self.msg(format!("array `{}` read as scalar", self.unit.vars[v].name));
+                self.push(BInstr::FailType { msg: m });
+            }
+        }
+    }
+
+    /// Emits a store to scalar var `v` from a stack value of type `src`.
+    fn emit_store_scalar(&mut self, v: VarIdx, src: ScalarTy) {
+        let ty = self.unit.vars[v].ty;
+        self.emit_cvt(src, ty);
+        match self.vslot(v) {
+            VSlot::I(s) => {
+                self.push(BInstr::StoreI(s));
+            }
+            VSlot::F(s) => {
+                self.push(BInstr::StoreF(s));
+            }
+            VSlot::B(s) => {
+                self.push(BInstr::StoreB(s));
+            }
+            VSlot::GlobS(c) => {
+                self.push(BInstr::StoreG(c));
+            }
+            VSlot::A(_) | VSlot::GlobA(_) => unreachable!("sema rejects scalar store to array"),
+        }
+    }
+
+    /// Subscript expressions, each coerced to I.
+    fn emit_subs(&mut self, subs: &[RExpr]) {
+        for s in subs {
+            self.emit_expr(s);
+            self.emit_cvt(self.ty_of(s), ScalarTy::I);
+        }
+    }
+
+    fn emit_elem_load(&mut self, v: VarIdx, nsubs: usize, want: ScalarTy, stash: bool) {
+        let vs = self.vslot(v);
+        if stash {
+            self.push(BInstr::StashElem { vs, v: v as u32, nsubs: nsubs as u8, want });
+            return;
+        }
+        if !self.traced {
+            if let (Some(sd), VSlot::A(a)) = (self.sdim_of[v], vs) {
+                if self.sdims[sd as usize].dims.len() == nsubs {
+                    self.push(BInstr::LoadElemS { a, sd, v: v as u32, want });
+                    return;
+                }
+            }
+        }
+        self.push(BInstr::LoadElem { vs, v: v as u32, nsubs: nsubs as u8, want });
+    }
+
+    fn emit_elem_store(&mut self, v: VarIdx, nsubs: usize, src: ScalarTy) {
+        let vs = self.vslot(v);
+        if !self.traced {
+            if let (Some(sd), VSlot::A(a)) = (self.sdim_of[v], vs) {
+                if self.sdims[sd as usize].dims.len() == nsubs {
+                    self.push(BInstr::StoreElemS { a, sd, v: v as u32, src });
+                    return;
+                }
+            }
+        }
+        self.push(BInstr::StoreElem { vs, v: v as u32, nsubs: nsubs as u8, src });
+    }
+
+    // ---------- calls ----------
+
+    fn emit_call(&mut self, callee: UnitId, args: &[RArg], push: bool) {
+        self.push(BInstr::CallPre);
+        let ct = &self.tables[callee];
+        let cunit = &self.prog.units[callee];
+        let mut bargs = Vec::with_capacity(args.len());
+        let mut n_stash = 0u32;
+        for (k, arg) in args.iter().enumerate() {
+            let pvar = cunit.params[k];
+            let p = ct.vslots[pvar];
+            let pty = cunit.vars[pvar].ty;
+            match arg {
+                RArg::ByRefScalar(v) => {
+                    self.emit_load_scalar(*v);
+                    let src_ty = self.unit.vars[*v].ty;
+                    bargs.push(BArg::Scalar {
+                        src_vs: self.vslot(*v),
+                        src_v: *v as u32,
+                        src_ty,
+                        p,
+                        pty,
+                    });
+                }
+                RArg::ByRefElem { v, subs } => {
+                    self.emit_subs(subs);
+                    let want = self.unit.vars[*v].ty;
+                    self.emit_elem_load(*v, subs.len(), want, true);
+                    n_stash += subs.len() as u32;
+                    bargs.push(BArg::Elem {
+                        vs: self.vslot(*v),
+                        v: *v as u32,
+                        nsubs: subs.len() as u8,
+                        want,
+                        p,
+                        pty,
+                    });
+                }
+                RArg::Array(v) => {
+                    self.push(BInstr::PushArr { vs: self.vslot(*v), v: *v as u32 });
+                    let VSlot::A(pa) = p else {
+                        unreachable!("array param has an A slot")
+                    };
+                    bargs.push(BArg::Arr { p: pa });
+                }
+                RArg::Value(e) => {
+                    self.emit_expr(e);
+                    bargs.push(BArg::Val { src_ty: self.ty_of(e), p, pty });
+                }
+            }
+        }
+        let spec = CallSpec { callee: callee as u32, args: bargs, n_stash, ret: ct.result };
+        self.calls.push(spec);
+        let s = self.calls.len() as u32 - 1;
+        self.push(BInstr::Call { spec: s, push });
+    }
+
+    // ---------- statements ----------
+
+    fn emit_block(&mut self, body: &[RStmt]) {
+        for s in body {
+            self.emit_stmt(s);
+        }
+    }
+
+    /// Resolves EXIT at the current position: static jump or dynamic flow.
+    fn nearest_loop(&mut self) -> Option<&mut Ctx> {
+        match self.ctx.last_mut() {
+            Some(c @ Ctx::Loop { .. }) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn emit_stmt(&mut self, s: &RStmt) {
+        match s {
+            RStmt::AssignScalar { v, e } => {
+                if self.dead[*v] && self.pure_total(e) {
+                    return; // dead-store elimination (optimized builds)
+                }
+                self.emit_expr(e);
+                self.emit_store_scalar(*v, self.ty_of(e));
+            }
+            RStmt::AssignElem { v, subs, e } => {
+                self.emit_subs(subs);
+                self.emit_expr(e);
+                self.emit_elem_store(*v, subs.len(), self.ty_of(e));
+            }
+            RStmt::Broadcast { v, e } => {
+                self.emit_expr(e);
+                self.push(BInstr::Broadcast {
+                    vs: self.vslot(*v),
+                    v: *v as u32,
+                    src: self.ty_of(e),
+                });
+            }
+            RStmt::CopyArray { dst, src } => {
+                self.push(BInstr::CopyArr {
+                    dvs: self.vslot(*dst),
+                    dv: *dst as u32,
+                    svs: self.vslot(*src),
+                    sv: *src as u32,
+                });
+            }
+            RStmt::AtomicUpdate { v, subs, op, e } => {
+                self.emit_expr(e);
+                let ety = self.ty_of(e);
+                let info = &self.unit.vars[*v];
+                if info.rank == 0 {
+                    self.push(BInstr::AtomicScal {
+                        vs: self.vslot(*v),
+                        v: *v as u32,
+                        op: *op,
+                        ety,
+                        vty: info.ty,
+                    });
+                } else {
+                    self.emit_subs(subs);
+                    self.push(BInstr::AtomicElem {
+                        vs: self.vslot(*v),
+                        v: *v as u32,
+                        op: *op,
+                        nsubs: subs.len() as u8,
+                        ety,
+                    });
+                }
+            }
+            RStmt::If { arms, else_body } => {
+                if self.traced {
+                    self.push(BInstr::CostBranch);
+                }
+                let mut end_jumps = Vec::new();
+                for (cond, body) in arms {
+                    self.emit_expr(cond);
+                    self.emit_cvt(self.ty_of(cond), ScalarTy::B);
+                    let jf = self.push(BInstr::JumpIfFalse(NO_PC));
+                    self.emit_block(body);
+                    end_jumps.push(self.push(BInstr::Jump(NO_PC)));
+                    let here = self.pc();
+                    self.set_target(jf, here);
+                }
+                self.emit_block(else_body);
+                let end = self.pc();
+                for j in end_jumps {
+                    self.set_target(j, end);
+                }
+            }
+            RStmt::DoWhile { cond, body } => {
+                let head = self.pc();
+                if self.traced {
+                    self.push(BInstr::CostBranch);
+                }
+                self.emit_expr(cond);
+                self.emit_cvt(self.ty_of(cond), ScalarTy::B);
+                let jf = self.push(BInstr::JumpIfFalse(NO_PC));
+                self.ctx.push(Ctx::Loop { exit: vec![Patch::Target(jf)], cycle: Vec::new() });
+                self.emit_block(body);
+                self.push(BInstr::Jump(head));
+                let Some(Ctx::Loop { exit, cycle }) = self.ctx.pop() else { unreachable!() };
+                let end = self.pc();
+                for p in exit {
+                    self.apply_patch(p, end);
+                }
+                for p in cycle {
+                    self.apply_patch(p, head);
+                }
+            }
+            RStmt::Do { var, start, end, step, body, omp, vec, collapse_with } => {
+                if let Some(o) = omp {
+                    self.emit_omp_do(*var, start, end, step.as_ref(), body, o, collapse_with);
+                } else {
+                    self.emit_serial_do(*var, start, end, step.as_ref(), body, *vec);
+                }
+            }
+            RStmt::CallSub { unit, args } => {
+                self.emit_call(*unit, args, false);
+            }
+            RStmt::Allocate { v, dims } => {
+                for (lo, hi) in dims {
+                    self.emit_expr(lo);
+                    self.emit_cvt(self.ty_of(lo), ScalarTy::I);
+                    self.emit_expr(hi);
+                    self.emit_cvt(self.ty_of(hi), ScalarTy::I);
+                }
+                self.push(BInstr::Alloc {
+                    vs: self.vslot(*v),
+                    v: *v as u32,
+                    ndims: dims.len() as u8,
+                    ty: self.unit.vars[*v].ty,
+                });
+            }
+            RStmt::Deallocate { v } => {
+                self.push(BInstr::Dealloc { vs: self.vslot(*v), v: *v as u32 });
+            }
+            RStmt::Critical { name, body } => {
+                let m = self.msg(name.clone());
+                // Resolve the enclosing loop's targets at *this* level.
+                let idx = self.push(BInstr::Critical { name: m, end: NO_PC, exit: NO_PC, cycle: NO_PC });
+                if let Some(Ctx::Loop { exit, cycle }) = self.ctx.last_mut() {
+                    exit.push(Patch::CritExit(idx));
+                    cycle.push(Patch::CritCycle(idx));
+                }
+                self.ctx.push(Ctx::Boundary);
+                self.emit_block(body);
+                self.ctx.pop();
+                let end = self.pc();
+                if let BInstr::Critical { end: e, .. } = &mut self.code[idx] {
+                    *e = end;
+                }
+            }
+            RStmt::Return => {
+                self.push(BInstr::FlowReturn);
+            }
+            RStmt::Exit => {
+                if self.nearest_loop().is_some() {
+                    let j = self.push(BInstr::Jump(NO_PC));
+                    if let Some(Ctx::Loop { exit, .. }) = self.ctx.last_mut() {
+                        exit.push(Patch::Target(j));
+                    }
+                } else {
+                    self.push(BInstr::FlowExit);
+                }
+            }
+            RStmt::Cycle => {
+                if self.nearest_loop().is_some() {
+                    let j = self.push(BInstr::Jump(NO_PC));
+                    if let Some(Ctx::Loop { cycle, .. }) = self.ctx.last_mut() {
+                        cycle.push(Patch::Target(j));
+                    }
+                } else {
+                    self.push(BInstr::FlowCycle);
+                }
+            }
+            RStmt::Print(items) => {
+                let mut spec = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        PrintItem::Str(s) => spec.push(PItem::Str(s.clone())),
+                        PrintItem::Val(e) => {
+                            self.emit_expr(e);
+                            spec.push(PItem::Val(self.ty_of(e)));
+                        }
+                    }
+                }
+                self.prints.push(spec);
+                let p = self.prints.len() as u32 - 1;
+                self.push(BInstr::Print { spec: p });
+            }
+            RStmt::Stop(msg) => {
+                let m = self.msg(msg.clone().unwrap_or_default());
+                self.push(BInstr::Stop { msg: m });
+            }
+            RStmt::Nop => {}
+        }
+    }
+
+    fn set_target(&mut self, idx: usize, pc: u32) {
+        match &mut self.code[idx] {
+            BInstr::Jump(t) | BInstr::JumpIfFalse(t) => *t = pc,
+            BInstr::DoHead1 { exit, .. }
+            | BInstr::DoHeadN { exit, .. }
+            | BInstr::DoHead { exit, .. } => *exit = pc,
+            other => unreachable!("not a patchable instruction: {other:?}"),
+        }
+    }
+
+    fn apply_patch(&mut self, p: Patch, pc: u32) {
+        match p {
+            Patch::Target(i) => self.set_target(i, pc),
+            Patch::CritExit(i) => {
+                if let BInstr::Critical { exit, .. } = &mut self.code[i] {
+                    *exit = pc;
+                }
+            }
+            Patch::CritCycle(i) => {
+                if let BInstr::Critical { cycle, .. } = &mut self.code[i] {
+                    *cycle = pc;
+                }
+            }
+        }
+    }
+
+    // ---------- DO loops ----------
+
+    fn emit_serial_do(
+        &mut self,
+        var: VarIdx,
+        start: &RExpr,
+        end: &RExpr,
+        step: Option<&RExpr>,
+        body: &[RStmt],
+        vec: VecClass,
+    ) {
+        self.emit_expr(start);
+        self.emit_cvt(self.ty_of(start), ScalarTy::I);
+        self.emit_expr(end);
+        self.emit_cvt(self.ty_of(end), ScalarTy::I);
+        // The step: a folded constant 1 selects the fused loop head
+        // (traced builds never fold, so they always take the generic
+        // path — including the interpreter's zero-step check).
+        let step_const: Option<i64> = match step {
+            None => Some(1),
+            Some(e) => self.fold(e).map(|v| v.as_i()),
+        };
+        // Fused heads also need a frame-I loop variable.
+        let var_i = match self.vslot(var) {
+            VSlot::I(s) => Some(s),
+            _ => None,
+        };
+        let fused1 = var_i.is_some() && step_const == Some(1);
+        let (ctr, ends) = (self.hidden_i(), self.hidden_i());
+        let steps = if fused1 { 0 } else { self.hidden_i() };
+        if fused1 {
+            self.push(BInstr::DoInitC { ctr, end: ends });
+        } else {
+            match step {
+                Some(e) if step_const != Some(1) => {
+                    self.emit_expr(e);
+                    self.emit_cvt(self.ty_of(e), ScalarTy::I);
+                    self.push(BInstr::DoInit { ctr, end: ends, step: steps, check: true });
+                }
+                // Absent, or folded to exactly 1 (no zero check needed).
+                _ => {
+                    self.push(BInstr::Const(1));
+                    self.push(BInstr::DoInit { ctr, end: ends, step: steps, check: false });
+                }
+            }
+        }
+        if self.traced && vec != VecClass::None {
+            self.push(BInstr::VecEnter(vec));
+        }
+        let head = self.pc();
+        let head_idx = match var_i {
+            Some(vslot) if fused1 => {
+                self.push(BInstr::DoHead1 { ctr, end: ends, var: vslot, exit: NO_PC })
+            }
+            Some(vslot) => {
+                self.push(BInstr::DoHeadN { ctr, end: ends, step: steps, var: vslot, exit: NO_PC })
+            }
+            None => {
+                let h = self.push(BInstr::DoHead { ctr, end: ends, step: steps, exit: NO_PC });
+                // Store the loop variable (global or non-I): converted
+                // from the counter, costing a Store for globals exactly
+                // like the interpreter's per-iteration write_scalar.
+                self.push(BInstr::LoadI(ctr));
+                self.emit_store_scalar(var, ScalarTy::I);
+                h
+            }
+        };
+        self.ctx.push(Ctx::Loop { exit: vec![Patch::Target(head_idx)], cycle: Vec::new() });
+        self.emit_block(body);
+        let incr = self.pc();
+        if fused1 {
+            self.push(BInstr::DoIncr1 { ctr, head });
+        } else {
+            self.push(BInstr::DoIncr { ctr, step: steps, head });
+        }
+        let Some(Ctx::Loop { exit, cycle }) = self.ctx.pop() else { unreachable!() };
+        let end_pc = self.pc();
+        if self.traced && vec != VecClass::None {
+            self.push(BInstr::VecLeave);
+        }
+        for p in exit {
+            self.apply_patch(p, end_pc);
+        }
+        for p in cycle {
+            self.apply_patch(p, incr);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_omp_do(
+        &mut self,
+        var: VarIdx,
+        start: &RExpr,
+        end: &RExpr,
+        step: Option<&RExpr>,
+        body: &[RStmt],
+        o: &ROmp,
+        collapse_with: &[CollapseDim],
+    ) {
+        // Stack layout the OmpDo handler pops (top last):
+        //   s0, e0, st, [lo,hi]*, [num_threads]
+        self.emit_expr(start);
+        self.emit_cvt(self.ty_of(start), ScalarTy::I);
+        self.emit_expr(end);
+        self.emit_cvt(self.ty_of(end), ScalarTy::I);
+        match step {
+            Some(e) => {
+                self.emit_expr(e);
+                self.emit_cvt(self.ty_of(e), ScalarTy::I);
+                // The zero check fires before collapse bounds evaluate,
+                // mirroring the interpreter's evaluation order.
+                self.push(BInstr::CheckStepNZ);
+            }
+            None => {
+                self.push(BInstr::Const(1));
+            }
+        }
+        for cd in collapse_with {
+            self.emit_expr(&cd.start);
+            self.emit_cvt(self.ty_of(&cd.start), ScalarTy::I);
+            self.emit_expr(&cd.end);
+            self.emit_cvt(self.ty_of(&cd.end), ScalarTy::I);
+        }
+        if let Some(nt) = &o.num_threads {
+            self.emit_expr(nt);
+            self.emit_cvt(self.ty_of(nt), ScalarTy::I);
+        }
+        let mut dims = vec![(self.vslot(var), self.unit.vars[var].ty)];
+        for cd in collapse_with {
+            dims.push((self.vslot(cd.var), self.unit.vars[cd.var].ty));
+        }
+        let private_arrays = o
+            .private
+            .iter()
+            .filter_map(|&pv| match (self.unit.vars[pv].rank, self.vslot(pv)) {
+                (r, VSlot::A(a)) if r > 0 => Some(a),
+                _ => None,
+            })
+            .collect();
+        let reductions = o
+            .reductions
+            .iter()
+            .map(|&(op, v)| RedSpec { op, vs: self.vslot(v), ty: self.unit.vars[v].ty })
+            .collect();
+        let desc = OmpDesc {
+            dims,
+            has_nt: o.num_threads.is_some(),
+            chunk: o.chunk,
+            private_arrays,
+            reductions,
+            body: (0, 0),
+        };
+        self.omps.push(desc);
+        let d = self.omps.len() as u32 - 1;
+        let instr = self.push(BInstr::OmpDo { desc: d });
+        self.ctx.push(Ctx::Boundary);
+        self.emit_block(body);
+        self.ctx.pop();
+        let body_hi = self.pc();
+        self.omps[d as usize].body = (instr as u32 + 1, body_hi);
+    }
+}
+
+fn val_bits(v: Val, ty: ScalarTy) -> u64 {
+    match ty {
+        ScalarTy::I => v.as_i() as u64,
+        ScalarTy::F => v.as_f().to_bits(),
+        ScalarTy::B => u64::from(v.as_b()),
+    }
+}
+
+/// Frame scalars written but never read anywhere in the unit — their
+/// assignments are removable when the RHS is pure.
+fn find_dead_scalars(unit: &RUnit) -> Vec<bool> {
+    let mut read = vec![false; unit.vars.len()];
+    for &p in &unit.params {
+        read[p] = true;
+    }
+    if let Some((rv, _)) = unit.result {
+        read[rv] = true;
+    }
+    fn expr(e: &RExpr, read: &mut [bool]) {
+        match e {
+            RExpr::ConstI(_) | RExpr::ConstF(_) | RExpr::ConstB(_) => {}
+            RExpr::LoadScalar(v) | RExpr::AllocatedQ(v) => read[*v] = true,
+            RExpr::LoadElem { v, subs } => {
+                read[*v] = true;
+                subs.iter().for_each(|s| expr(s, read));
+            }
+            RExpr::Bin { l, r, .. } => {
+                expr(l, read);
+                expr(r, read);
+            }
+            RExpr::Neg(x) | RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => expr(x, read),
+            RExpr::Intrinsic { args, .. } => args.iter().for_each(|a| expr(a, read)),
+            RExpr::ArrReduce { v, .. } => read[*v] = true,
+            RExpr::CallFn { args, .. } => args.iter().for_each(|a| rarg(a, read)),
+        }
+    }
+    fn rarg(a: &RArg, read: &mut [bool]) {
+        match a {
+            RArg::ByRefScalar(v) | RArg::Array(v) => read[*v] = true,
+            RArg::ByRefElem { v, subs } => {
+                read[*v] = true;
+                subs.iter().for_each(|s| expr(s, read));
+            }
+            RArg::Value(e) => expr(e, read),
+        }
+    }
+    fn stmt(s: &RStmt, read: &mut [bool]) {
+        match s {
+            RStmt::AssignScalar { e, .. } => expr(e, read),
+            RStmt::AssignElem { v, subs, e } => {
+                read[*v] = true;
+                subs.iter().for_each(|x| expr(x, read));
+                expr(e, read);
+            }
+            RStmt::Broadcast { v, e } => {
+                read[*v] = true;
+                expr(e, read);
+            }
+            RStmt::CopyArray { dst, src } => {
+                read[*dst] = true;
+                read[*src] = true;
+            }
+            RStmt::AtomicUpdate { v, subs, e, .. } => {
+                read[*v] = true;
+                subs.iter().for_each(|x| expr(x, read));
+                expr(e, read);
+            }
+            RStmt::If { arms, else_body } => {
+                for (c, b) in arms {
+                    expr(c, read);
+                    b.iter().for_each(|x| stmt(x, read));
+                }
+                else_body.iter().for_each(|x| stmt(x, read));
+            }
+            RStmt::Do { var, start, end, step, body, omp, collapse_with, .. } => {
+                read[*var] = true;
+                expr(start, read);
+                expr(end, read);
+                if let Some(st) = step {
+                    expr(st, read);
+                }
+                for cd in collapse_with {
+                    read[cd.var] = true;
+                    expr(&cd.start, read);
+                    expr(&cd.end, read);
+                }
+                if let Some(o) = omp {
+                    o.private.iter().for_each(|&v| read[v] = true);
+                    o.reductions.iter().for_each(|&(_, v)| read[v] = true);
+                    if let Some(nt) = &o.num_threads {
+                        expr(nt, read);
+                    }
+                }
+                body.iter().for_each(|x| stmt(x, read));
+            }
+            RStmt::DoWhile { cond, body } => {
+                expr(cond, read);
+                body.iter().for_each(|x| stmt(x, read));
+            }
+            RStmt::CallSub { args, .. } => args.iter().for_each(|a| rarg(a, read)),
+            RStmt::Allocate { v, dims } => {
+                read[*v] = true;
+                for (lo, hi) in dims {
+                    expr(lo, read);
+                    expr(hi, read);
+                }
+            }
+            RStmt::Deallocate { v } => read[*v] = true,
+            RStmt::Critical { body, .. } => body.iter().for_each(|x| stmt(x, read)),
+            RStmt::Print(items) => {
+                for it in items {
+                    if let PrintItem::Val(e) = it {
+                        expr(e, read);
+                    }
+                }
+            }
+            RStmt::Return | RStmt::Exit | RStmt::Cycle | RStmt::Stop(_) | RStmt::Nop => {}
+        }
+    }
+    unit.body.iter().for_each(|s| stmt(s, &mut read));
+    unit.vars
+        .iter()
+        .enumerate()
+        .map(|(v, info)| {
+            !read[v] && info.rank == 0 && matches!(info.place, Place::Frame(_))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> (RProgram, Vec<BUnit>, Vec<BUnit>) {
+        let mut ast = crate::ast::Ast::default();
+        let mut part = crate::parse::parse(src).unwrap();
+        ast.modules.append(&mut part.modules);
+        let prog = crate::sema::resolve(&ast).unwrap();
+        let opt = compile_program(&prog, false);
+        let traced = compile_program(&prog, true);
+        (prog, opt, traced)
+    }
+
+    const SRC: &str = r#"
+MODULE m
+CONTAINS
+  SUBROUTINE work(a, n, s)
+    REAL(8), DIMENSION(1:64) :: a
+    INTEGER :: n, i
+    REAL(8) :: s, unused
+    unused = 2.0D0 * 3.0D0
+    s = 0.0D0
+    DO i = 1, n
+      s = s + a(i) * (1.0D0 + 2.0D0)
+    END DO
+  END SUBROUTINE work
+END MODULE m
+"#;
+
+    #[test]
+    fn folding_and_dse_only_in_optimized_builds() {
+        let (_, opt, traced) = compile(SRC);
+        // The optimized build folds 1.0+2.0 and drops the dead store.
+        let consts = |c: &[BInstr]| {
+            c.iter()
+                .filter(|i| matches!(i, BInstr::Const(b) if f64::from_bits(*b) == 3.0))
+                .count()
+        };
+        assert!(consts(&opt[0].code) >= 1, "folded constant expected");
+        assert!(
+            opt[0].code.len() < traced[0].code.len(),
+            "optimized build should be shorter (DSE + folding): {} vs {}",
+            opt[0].code.len(),
+            traced[0].code.len()
+        );
+        // The traced build keeps the AddF for 1.0+2.0 (cost fidelity).
+        assert!(traced[0]
+            .code
+            .iter()
+            .any(|i| matches!(i, BInstr::Const(b) if f64::from_bits(*b) == 2.0)));
+    }
+
+    #[test]
+    fn unit_stride_loop_uses_fused_head() {
+        let (_, opt, _) = compile(SRC);
+        assert!(opt[0].code.iter().any(|i| matches!(i, BInstr::DoHead1 { .. })));
+        assert!(opt[0].code.iter().any(|i| matches!(i, BInstr::DoIncr1 { .. })));
+    }
+
+    #[test]
+    fn fixed_local_arrays_get_static_dims() {
+        let (_, opt, _) = compile(
+            r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION peek()
+    REAL(8), DIMENSION(1:4, 1:3) :: t
+    t(2, 2) = 5.0D0
+    peek = t(2, 2)
+  END FUNCTION peek
+END MODULE m
+"#,
+        );
+        assert!(opt[0].code.iter().any(|i| matches!(i, BInstr::StoreElemS { .. })));
+        assert!(opt[0].code.iter().any(|i| matches!(i, BInstr::LoadElemS { .. })));
+        assert_eq!(opt[0].sdims.len(), 1);
+        assert_eq!(opt[0].sdims[0].strides, vec![1, 4]);
+    }
+}

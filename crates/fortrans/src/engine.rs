@@ -6,6 +6,7 @@ use std::sync::Arc;
 use omprt::{CriticalRegistry, ThreadPool};
 use parking_lot::Mutex;
 
+use crate::bytecode::{compile_program, BUnit};
 use crate::cost::CostTrace;
 use crate::error::{CompileError, RunError};
 use crate::interp::{Exec, ExecMode, Task, Val};
@@ -84,6 +85,24 @@ pub struct Engine {
     globals: Arc<Globals>,
     pools: Mutex<Vec<(usize, Arc<ThreadPool>)>>,
     critical: Arc<CriticalRegistry>,
+    /// Lazily compiled bytecode: `[optimized, traced]`. The optimized
+    /// build (constant folding, dead-store elimination, fused loops)
+    /// serves Serial/Parallel; the traced build preserves every
+    /// cost-bearing operation for Simulated mode.
+    bytecode: Mutex<[Option<Arc<Vec<BUnit>>>; 2]>,
+}
+
+/// Which execution tier [`Engine::run_tiered`] uses.
+///
+/// [`ExecTier::Vm`] (the default for [`Engine::run`]) compiles units to
+/// flat bytecode and executes them on the register/stack VM in
+/// [`crate::vm`]. [`ExecTier::TreeWalk`] runs the original tree-walking
+/// interpreter; it is kept as the reference oracle for differential
+/// testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTier {
+    Vm,
+    TreeWalk,
 }
 
 impl Engine {
@@ -102,6 +121,7 @@ impl Engine {
             globals,
             pools: Mutex::new(Vec::new()),
             critical: Arc::new(CriticalRegistry::new()),
+            bytecode: Mutex::new([None, None]),
         })
     }
 
@@ -125,8 +145,35 @@ impl Engine {
         p
     }
 
-    /// Runs subprogram `name` with `args` under `mode`.
+    /// Bytecode for the whole program; `traced` selects the Simulated
+    /// build. Compiled once per variant, then shared.
+    fn bytecode_for(&self, traced: bool) -> Arc<Vec<BUnit>> {
+        let mut cache = self.bytecode.lock();
+        let slot = &mut cache[usize::from(traced)];
+        match slot {
+            Some(b) => Arc::clone(b),
+            None => {
+                let b = Arc::new(compile_program(&self.prog, traced));
+                *slot = Some(Arc::clone(&b));
+                b
+            }
+        }
+    }
+
+    /// Runs subprogram `name` with `args` under `mode` on the default
+    /// tier (the bytecode VM).
     pub fn run(&self, name: &str, args: &[ArgVal], mode: ExecMode) -> Result<RunOutcome, RunError> {
+        self.run_tiered(name, args, mode, ExecTier::Vm)
+    }
+
+    /// Runs subprogram `name` on an explicit execution tier.
+    pub fn run_tiered(
+        &self,
+        name: &str,
+        args: &[ArgVal],
+        mode: ExecMode,
+        tier: ExecTier,
+    ) -> Result<RunOutcome, RunError> {
         let unit_id = self
             .prog
             .unit_id(name)
@@ -143,10 +190,18 @@ impl Engine {
             critical: Arc::clone(&self.critical),
             printed: Mutex::new(String::new()),
         };
-        let collect = matches!(mode, ExecMode::Simulated { .. });
-        let mut task = Task::new(&exec, 0, collect);
-        let frame = task.entry_frame(unit_id, args)?;
-        let (result, trace, printed) = task.run_entry(unit_id, frame)?;
+        let traced = matches!(mode, ExecMode::Simulated { .. });
+        let (result, trace, printed) = match tier {
+            ExecTier::Vm => {
+                let bunits = self.bytecode_for(traced);
+                crate::vm::run_vm(&exec, &bunits, unit_id, args)?
+            }
+            ExecTier::TreeWalk => {
+                let mut task = Task::new(&exec, 0, traced);
+                let frame = task.entry_frame(unit_id, args)?;
+                task.run_entry(unit_id, frame)?
+            }
+        };
         Ok(RunOutcome { result, trace, printed })
     }
 

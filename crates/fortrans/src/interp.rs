@@ -79,7 +79,7 @@ impl Val {
         }
     }
 
-    fn to_bits(self, ty: ScalarTy) -> u64 {
+    pub(crate) fn to_bits(self, ty: ScalarTy) -> u64 {
         match ty {
             ScalarTy::I => self.as_i() as u64,
             ScalarTy::F => self.as_f().to_bits(),
@@ -87,7 +87,7 @@ impl Val {
         }
     }
 
-    fn from_bits(bits: u64, ty: ScalarTy) -> Val {
+    pub(crate) fn from_bits(bits: u64, ty: ScalarTy) -> Val {
         match ty {
             ScalarTy::I => Val::I(bits as i64),
             ScalarTy::F => Val::F(f64::from_bits(bits)),
@@ -108,7 +108,7 @@ pub struct Exec {
 
 /// Statement outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Exit,
     Cycle,
@@ -1295,7 +1295,7 @@ impl<'e> Task<'e> {
     }
 }
 
-fn zero_of(ty: ScalarTy) -> Val {
+pub(crate) fn zero_of(ty: ScalarTy) -> Val {
     match ty {
         ScalarTy::I => Val::I(0),
         ScalarTy::F => Val::F(0.0),
@@ -1303,7 +1303,7 @@ fn zero_of(ty: ScalarTy) -> Val {
     }
 }
 
-fn typed_frameval(v: Val, ty: ScalarTy) -> FrameVal {
+pub(crate) fn typed_frameval(v: Val, ty: ScalarTy) -> FrameVal {
     match ty {
         ScalarTy::I => FrameVal::I(v.as_i()),
         ScalarTy::F => FrameVal::F(v.as_f()),
@@ -1311,7 +1311,7 @@ fn typed_frameval(v: Val, ty: ScalarTy) -> FrameVal {
     }
 }
 
-fn frameval_to_val(fv: &FrameVal, ty: ScalarTy) -> Val {
+pub(crate) fn frameval_to_val(fv: &FrameVal, ty: ScalarTy) -> Val {
     match fv {
         FrameVal::I(v) => Val::I(*v),
         FrameVal::F(v) => Val::F(*v),
@@ -1321,7 +1321,7 @@ fn frameval_to_val(fv: &FrameVal, ty: ScalarTy) -> Val {
     }
 }
 
-fn store_val(arr: &ArrayObj, off: usize, v: Val) {
+pub(crate) fn store_val(arr: &ArrayObj, off: usize, v: Val) {
     match arr.ty {
         ScalarTy::I => arr.set_i(off, v.as_i()),
         ScalarTy::F => arr.set_f(off, v.as_f()),
@@ -1329,7 +1329,7 @@ fn store_val(arr: &ArrayObj, off: usize, v: Val) {
     }
 }
 
-fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
+pub(crate) fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
     if step > 0 {
         if hi < lo {
             0
@@ -1343,7 +1343,7 @@ fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
     }
 }
 
-fn combine_f(op: RedOp, a: f64, b: f64) -> f64 {
+pub(crate) fn combine_f(op: RedOp, a: f64, b: f64) -> f64 {
     match op {
         RedOp::Add => a + b,
         RedOp::Mul => a * b,
@@ -1352,7 +1352,7 @@ fn combine_f(op: RedOp, a: f64, b: f64) -> f64 {
     }
 }
 
-fn combine_i(op: RedOp, a: i64, b: i64) -> i64 {
+pub(crate) fn combine_i(op: RedOp, a: i64, b: i64) -> i64 {
     match op {
         RedOp::Add => a.wrapping_add(b),
         RedOp::Mul => a.wrapping_mul(b),
@@ -1361,14 +1361,14 @@ fn combine_i(op: RedOp, a: i64, b: i64) -> i64 {
     }
 }
 
-fn combine_vals(ty: ScalarTy, op: RedOp, a: Val, b: Val) -> Val {
+pub(crate) fn combine_vals(ty: ScalarTy, op: RedOp, a: Val, b: Val) -> Val {
     match ty {
         ScalarTy::F => Val::F(combine_f(op, a.as_f(), b.as_f())),
         _ => Val::I(combine_i(op, a.as_i(), b.as_i())),
     }
 }
 
-fn identity_val(op: RedOp, ty: ScalarTy) -> Val {
+pub(crate) fn identity_val(op: RedOp, ty: ScalarTy) -> Val {
     match (op, ty) {
         (RedOp::Add, ScalarTy::F) => Val::F(0.0),
         (RedOp::Mul, ScalarTy::F) => Val::F(1.0),
@@ -1381,7 +1381,7 @@ fn identity_val(op: RedOp, ty: ScalarTy) -> Val {
     }
 }
 
-fn atomic_scalar_update(cell: &GlobalCell, tid: usize, ty: ScalarTy, op: RedOp, delta: Val) {
+pub(crate) fn atomic_scalar_update(cell: &GlobalCell, tid: usize, ty: ScalarTy, op: RedOp, delta: Val) {
     let atom = cell.scalar_atomic(tid);
     match ty {
         ScalarTy::F => {
@@ -1420,7 +1420,7 @@ fn atomic_scalar_update(cell: &GlobalCell, tid: usize, ty: ScalarTy, op: RedOp, 
 }
 
 /// Precomputed iteration -> owning-thread map for simulated regions.
-fn build_owner_map(sched: Schedule, n: usize, threads: usize) -> Vec<u16> {
+pub(crate) fn build_owner_map(sched: Schedule, n: usize, threads: usize) -> Vec<u16> {
     let mut owner = vec![0u16; n];
     for t in 0..threads {
         for (lo, hi) in chunks_for(sched, n, t, threads) {

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod ast;
+pub mod bytecode;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -61,9 +62,10 @@ pub mod parse;
 pub mod rir;
 pub mod sema;
 pub mod storage;
+pub mod vm;
 
 pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
-pub use engine::{ArgVal, Engine, RunOutcome};
+pub use engine::{ArgVal, Engine, ExecTier, RunOutcome};
 pub use error::{CompileError, RunError};
 pub use interp::{ExecMode, Val};
 pub use rir::ScalarTy;

@@ -98,9 +98,10 @@ pub struct ROmp {
 }
 
 /// Compiler-model classification of a serial DO loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VecClass {
     /// Not vectorizable (calls, control flow, inner loops).
+    #[default]
     None,
     /// Straight-line elementwise body: SIMD bucket.
     Simd,

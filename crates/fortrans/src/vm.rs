@@ -1,0 +1,1489 @@
+//! The bytecode VM: executes [`crate::bytecode`] instruction streams.
+//!
+//! Register/stack hybrid: frame scalars live in unboxed per-type value
+//! banks ([`VFrame`]) addressed directly by instructions; expression
+//! temporaries flow through an untyped `u64` operand stack (f64 as
+//! bits, bool as 0/1). The `TRACE` const generic compiles the whole
+//! cost-accounting layer out of the Serial/Parallel fast path: with
+//! `TRACE = false` every `op()` call is an empty inlined function.
+//!
+//! Semantics mirror [`crate::interp::Task`] exactly — same side-effect
+//! order, same error messages, same cost-event stream in Simulated mode
+//! (the differential suite in `tests/vm_differential.rs` pins this).
+//! Parallel regions fork `Vm<false>` workers over the same
+//! [`omprt::ThreadPool`] the tree-walker uses, with cloned frames
+//! (private/firstprivate), deep-copied PRIVATE arrays, reduction
+//! identities and completion-order result collection.
+
+use std::sync::Arc;
+
+use omprt::{chunks_for, Schedule, ThreadPool};
+use parking_lot::Mutex;
+
+use crate::bytecode::{BArg, BInstr, BUnit, Cmp, OmpDesc, PItem, RedSpec, VSlot, NO_PC};
+use crate::cost::{CostCounters, CostTrace, RegionEvent};
+use crate::engine::ArgVal;
+use crate::error::RunError;
+use crate::interp::{
+    atomic_scalar_update, build_owner_map, combine_f, combine_i, combine_vals, identity_val,
+    store_val, trip_count, Exec, ExecMode, Flow, Val,
+};
+use crate::rir::{ScalarTy, VecClass};
+use crate::storage::{ArrayObj, MAX_THREADS};
+
+const MAX_CALL_DEPTH: usize = 200;
+
+/// Unboxed per-type value banks for one call frame.
+#[derive(Clone)]
+pub(crate) struct VFrame {
+    pub i: Vec<i64>,
+    pub f: Vec<f64>,
+    pub b: Vec<bool>,
+    pub a: Vec<Option<Arc<ArrayObj>>>,
+}
+
+impl VFrame {
+    fn new(bu: &BUnit) -> VFrame {
+        let mut fr = VFrame {
+            i: vec![0; bu.ni as usize],
+            f: vec![0.0; bu.nf as usize],
+            b: vec![false; bu.nb as usize],
+            a: vec![None; bu.na as usize],
+        };
+        for (slot, ty, dims) in &bu.fixed_arrays {
+            fr.a[*slot as usize] = Some(Arc::new(ArrayObj::new(*ty, dims.clone())));
+        }
+        fr
+    }
+
+    /// Restores a pooled frame to the `VFrame::new` state: banks zeroed,
+    /// fixed-shape locals zeroed (reusing their storage when this frame
+    /// holds the only handle), everything else unallocated.
+    fn reset(&mut self, bu: &BUnit) {
+        self.i.iter_mut().for_each(|x| *x = 0);
+        self.f.iter_mut().for_each(|x| *x = 0.0);
+        self.b.iter_mut().for_each(|x| *x = false);
+        for (idx, s) in self.a.iter_mut().enumerate() {
+            if !bu.fixed_arrays.iter().any(|(sl, _, _)| *sl as usize == idx) {
+                *s = None;
+            }
+        }
+        for (slot, ty, dims) in &bu.fixed_arrays {
+            let s = &mut self.a[*slot as usize];
+            match s {
+                Some(h) if Arc::strong_count(h) == 1 => {
+                    for off in 0..h.len() {
+                        h.set_bits(off, 0);
+                    }
+                }
+                _ => *s = Some(Arc::new(ArrayObj::new(*ty, dims.clone()))),
+            }
+        }
+    }
+
+    fn read(&self, vs: VSlot, ex: &Exec, tid: usize) -> u64 {
+        match vs {
+            VSlot::I(s) => self.i[s as usize] as u64,
+            VSlot::F(s) => self.f[s as usize].to_bits(),
+            VSlot::B(s) => u64::from(self.b[s as usize]),
+            VSlot::GlobS(c) => ex.globals.cells[c as usize].load_bits(tid),
+            VSlot::A(_) | VSlot::GlobA(_) => unreachable!("scalar read of array slot"),
+        }
+    }
+
+    /// Writes `val` converted to the slot's declared type `ty`.
+    fn write(&mut self, vs: VSlot, ty: ScalarTy, val: Val, ex: &Exec, tid: usize) {
+        match vs {
+            VSlot::I(s) => self.i[s as usize] = val.as_i(),
+            VSlot::F(s) => self.f[s as usize] = val.as_f(),
+            VSlot::B(s) => self.b[s as usize] = val.as_b(),
+            VSlot::GlobS(c) => ex.globals.cells[c as usize].store_bits(tid, val.to_bits(ty)),
+            VSlot::A(_) | VSlot::GlobA(_) => unreachable!("scalar write to array slot"),
+        }
+    }
+}
+
+/// Cost-region context (mirror of the interpreter's `RegionCtx`).
+struct VRegion {
+    per_thread: Vec<CostCounters>,
+    cur: usize,
+    critical: CostCounters,
+    threads: usize,
+    trip: u64,
+    reductions: usize,
+}
+
+/// Simulated-mode cost state; dormant (all fields untouched) when
+/// `TRACE = false`.
+#[derive(Default)]
+struct Tracer {
+    serial: CostCounters,
+    region: Option<Box<VRegion>>,
+    trace: CostTrace,
+    in_sim_region: bool,
+    critical_depth: u32,
+    vec_mode: VecClass,
+    vec_stack: Vec<VecClass>,
+}
+
+/// Operation kinds (mirror of the interpreter's `OpK`).
+#[derive(Clone, Copy)]
+enum VOp {
+    Flop,
+    FDiv,
+    FSpecial,
+    IOp,
+    Load,
+    Store,
+}
+
+/// Maximum rank handled without heap-allocating the subscript buffer.
+const MAX_INLINE_RANK: usize = 8;
+
+pub(crate) struct Vm<'e, const TRACE: bool> {
+    ex: &'e Exec,
+    bunits: &'e [BUnit],
+    tid: usize,
+    stack: Vec<u64>,
+    astack: Vec<Arc<ArrayObj>>,
+    sstash: Vec<i64>,
+    fscratch: Vec<f64>,
+    iscratch: Vec<i64>,
+    /// Per-run cache of global array handles, indexed by cell: fetching a
+    /// handle through the cell's RwLock on every element access dominates
+    /// kernel time. Entries are dropped on ALLOCATE/DEALLOCATE of the
+    /// cell and wholesale after a real parallel region (workers may have
+    /// reallocated); within one VM every handle change flows through this
+    /// VM's own instructions, so the cache stays coherent.
+    gcache: Vec<Option<Arc<ArrayObj>>>,
+    /// Frame free-list per unit: call-heavy kernels (one frame per edge
+    /// or cell) would otherwise pay four Vec allocations plus fixed-array
+    /// instantiation on every call.
+    fpool: Vec<Vec<VFrame>>,
+    /// Free-list for ALLOCATE/DEALLOCATE of frame-local allocatables
+    /// (the FUN3D edge loop frees ten small temporaries per call).
+    /// Only uniquely-owned handles enter the pool; reuse re-zeroes the
+    /// cells, matching `ArrayObj::new`.
+    apool: Vec<Arc<ArrayObj>>,
+    tr: Tracer,
+    in_real_region: bool,
+    depth: usize,
+    out: String,
+}
+
+impl<'e, const TRACE: bool> Vm<'e, TRACE> {
+    fn new(ex: &'e Exec, bunits: &'e [BUnit], tid: usize) -> Self {
+        Vm {
+            ex,
+            bunits,
+            tid,
+            stack: Vec::with_capacity(32),
+            astack: Vec::new(),
+            sstash: Vec::new(),
+            fscratch: Vec::new(),
+            iscratch: Vec::new(),
+            gcache: vec![None; ex.globals.cells.len()],
+            fpool: vec![Vec::new(); bunits.len()],
+            apool: Vec::new(),
+            tr: Tracer::default(),
+            in_real_region: false,
+            depth: 0,
+            out: String::new(),
+        }
+    }
+
+    // ---------- cost hooks (exact mirror of Task::op / op_n / add_misc) ----------
+
+    #[inline(always)]
+    fn op(&mut self, k: VOp) {
+        if TRACE {
+            self.op_n(k, 1);
+        }
+    }
+
+    fn op_n(&mut self, k: VOp, n: u64) {
+        if !TRACE {
+            return;
+        }
+        let vec = self.tr.vec_mode;
+        let crit = self.tr.critical_depth > 0 && self.tr.region.is_some();
+        let apply = |c: &mut CostCounters| {
+            let o = match vec {
+                VecClass::Simd => &mut c.vector,
+                _ => &mut c.scalar,
+            };
+            match k {
+                VOp::Flop => o.flop += n,
+                VOp::FDiv => o.fdiv += n,
+                VOp::FSpecial => o.fspecial += n,
+                VOp::IOp => o.iop += n,
+                VOp::Load => o.load += n,
+                VOp::Store => {
+                    if vec == VecClass::Memset {
+                        c.memset_bytes += 8 * n;
+                    } else {
+                        o.store += n;
+                    }
+                }
+            }
+        };
+        apply(match &mut self.tr.region {
+            Some(r) => &mut r.per_thread[r.cur],
+            None => &mut self.tr.serial,
+        });
+        if crit {
+            if let Some(r) = &mut self.tr.region {
+                apply(&mut r.critical);
+            }
+        }
+    }
+
+    fn add_misc(&mut self, f: impl Fn(&mut CostCounters)) {
+        if !TRACE {
+            return;
+        }
+        f(match &mut self.tr.region {
+            Some(r) => &mut r.per_thread[r.cur],
+            None => &mut self.tr.serial,
+        });
+        if self.tr.critical_depth > 0 {
+            if let Some(r) = &mut self.tr.region {
+                f(&mut r.critical);
+            }
+        }
+    }
+
+    // ---------- small helpers ----------
+
+    #[inline(always)]
+    fn pop(&mut self) -> u64 {
+        self.stack.pop().expect("operand stack underflow")
+    }
+
+    #[inline(always)]
+    fn push(&mut self, v: u64) {
+        self.stack.push(v);
+    }
+
+    #[inline(always)]
+    fn popf(&mut self) -> f64 {
+        f64::from_bits(self.pop())
+    }
+
+    #[inline(always)]
+    fn popi(&mut self) -> i64 {
+        self.pop() as i64
+    }
+
+    fn var_name<'p>(&self, uidx: usize, v: u32) -> &'p str
+    where
+        'e: 'p,
+    {
+        &self.ex.prog.units[uidx].vars[v as usize].name
+    }
+
+    /// Cached global array handle for cell `c` (None = unallocated).
+    #[inline]
+    fn gfill(&mut self, c: u32) {
+        let slot = &mut self.gcache[c as usize];
+        if slot.is_none() {
+            *slot = self.ex.globals.cells[c as usize].array_handle(self.tid);
+        }
+    }
+
+    /// Array handle of slot `vs` (interpreter's `array_handle`), as an
+    /// owned handle — for handlers that iterate or keep it.
+    fn handle_in(
+        &mut self,
+        uidx: usize,
+        frame: &VFrame,
+        vs: VSlot,
+        v: u32,
+    ) -> Result<Arc<ArrayObj>, RunError> {
+        match vs {
+            VSlot::A(s) => frame.a[s as usize]
+                .clone()
+                .ok_or_else(|| RunError::Unallocated { var: self.var_name(uidx, v).to_string() }),
+            VSlot::GlobA(c) | VSlot::GlobS(c) => {
+                self.gfill(c);
+                self.gcache[c as usize]
+                    .clone()
+                    .ok_or_else(|| RunError::Unallocated { var: self.var_name(uidx, v).to_string() })
+            }
+            _ => Err(RunError::Type {
+                msg: format!("`{}` is not an array", self.var_name(uidx, v)),
+            }),
+        }
+    }
+
+    /// Array of slot `vs` by reference — the element-access fast path
+    /// (no lock, no refcount). `name` must be fetched by the caller
+    /// beforehand (it lives in `'e`, so it survives this borrow).
+    #[inline]
+    fn aref<'s>(
+        &'s mut self,
+        frame: &'s VFrame,
+        vs: VSlot,
+        name: &str,
+    ) -> Result<&'s ArrayObj, RunError> {
+        match vs {
+            VSlot::A(s) => frame.a[s as usize]
+                .as_deref()
+                .ok_or_else(|| RunError::Unallocated { var: name.to_string() }),
+            VSlot::GlobA(c) | VSlot::GlobS(c) => {
+                self.gfill(c);
+                self.gcache[c as usize]
+                    .as_deref()
+                    .ok_or_else(|| RunError::Unallocated { var: name.to_string() })
+            }
+            _ => Err(RunError::Type { msg: format!("`{name}` is not an array") }),
+        }
+    }
+
+    /// Pops `n` subscripts (pushed in order) into a stack-local buffer.
+    #[inline]
+    fn pop_subs_into(&mut self, n: usize, buf: &mut [i64; MAX_INLINE_RANK]) {
+        debug_assert!(n <= MAX_INLINE_RANK);
+        let at = self.stack.len() - n;
+        for (d, &b) in self.stack[at..].iter().enumerate() {
+            buf[d] = b as i64;
+        }
+        self.stack.truncate(at);
+    }
+
+    /// Takes a matching array from the ALLOCATE pool, re-zeroed.
+    fn apool_take(&mut self, ty: ScalarTy, rd: &[(i64, i64)]) -> Option<Arc<ArrayObj>> {
+        let idx = self.apool.iter().position(|h| h.ty == ty && h.dims == rd)?;
+        let h = self.apool.swap_remove(idx);
+        for off in 0..h.len() {
+            h.set_bits(off, 0);
+        }
+        Some(h)
+    }
+
+    /// Pops `n` subscripts (pushed in order) into a fresh Vec.
+    fn pop_subs(&mut self, n: usize) -> Vec<i64> {
+        let at = self.stack.len() - n;
+        let subs = self.stack[at..].iter().map(|&b| b as i64).collect();
+        self.stack.truncate(at);
+        subs
+    }
+
+    fn vec_snapshot(&self) -> (VecClass, usize) {
+        (self.tr.vec_mode, self.tr.vec_stack.len())
+    }
+
+    fn vec_restore(&mut self, snap: (VecClass, usize)) {
+        if TRACE {
+            self.tr.vec_mode = snap.0;
+            self.tr.vec_stack.truncate(snap.1);
+        }
+    }
+
+    // ---------- the dispatch loop ----------
+
+    fn run_range(
+        &mut self,
+        uidx: usize,
+        frame: &mut VFrame,
+        lo: u32,
+        hi: u32,
+    ) -> Result<Flow, RunError> {
+        let bu: &'e BUnit = &self.bunits[uidx];
+        let code: &'e [BInstr] = &bu.code;
+        let mut pc = lo as usize;
+        let hi = hi as usize;
+        while pc < hi {
+            match code[pc] {
+                BInstr::Const(b) => self.push(b),
+                BInstr::LoadI(s) => self.push(frame.i[s as usize] as u64),
+                BInstr::LoadF(s) => self.push(frame.f[s as usize].to_bits()),
+                BInstr::LoadB(s) => self.push(u64::from(frame.b[s as usize])),
+                BInstr::StoreI(s) => frame.i[s as usize] = self.pop() as i64,
+                BInstr::StoreF(s) => frame.f[s as usize] = f64::from_bits(self.pop()),
+                BInstr::StoreB(s) => frame.b[s as usize] = self.pop() != 0,
+                BInstr::LoadG(c) => {
+                    self.op(VOp::Load);
+                    self.push(self.ex.globals.cells[c as usize].load_bits(self.tid));
+                }
+                BInstr::StoreG(c) => {
+                    self.op(VOp::Store);
+                    let bits = self.pop();
+                    self.ex.globals.cells[c as usize].store_bits(self.tid, bits);
+                }
+                BInstr::CvtIF => {
+                    let v = self.popi();
+                    self.push((v as f64).to_bits());
+                }
+                BInstr::CvtFI => {
+                    let v = self.popf();
+                    self.push((v.trunc() as i64) as u64);
+                }
+                BInstr::CvtIB => {
+                    let v = self.popi();
+                    self.push(u64::from(v != 0));
+                }
+                BInstr::CvtFB => {
+                    let v = self.popf();
+                    self.push(u64::from(v != 0.0));
+                }
+                BInstr::AddF => {
+                    let (b, a) = (self.popf(), self.popf());
+                    self.op(VOp::Flop);
+                    self.push((a + b).to_bits());
+                }
+                BInstr::SubF => {
+                    let (b, a) = (self.popf(), self.popf());
+                    self.op(VOp::Flop);
+                    self.push((a - b).to_bits());
+                }
+                BInstr::MulF => {
+                    let (b, a) = (self.popf(), self.popf());
+                    self.op(VOp::Flop);
+                    self.push((a * b).to_bits());
+                }
+                BInstr::DivF => {
+                    let (b, a) = (self.popf(), self.popf());
+                    self.op(VOp::FDiv);
+                    self.push((a / b).to_bits());
+                }
+                BInstr::PowFF => {
+                    let (b, a) = (self.popf(), self.popf());
+                    self.op(VOp::FSpecial);
+                    self.push(a.powf(b).to_bits());
+                }
+                BInstr::PowFI => {
+                    let e = self.popi();
+                    let x = self.popf();
+                    self.op(VOp::FSpecial);
+                    let r = if e.unsigned_abs() <= 64 { x.powi(e as i32) } else { x.powf(e as f64) };
+                    self.push(r.to_bits());
+                }
+                BInstr::NegF => {
+                    let x = self.popf();
+                    self.op(VOp::Flop);
+                    self.push((-x).to_bits());
+                }
+                BInstr::AddI => {
+                    let (b, a) = (self.popi(), self.popi());
+                    self.op(VOp::IOp);
+                    self.push(a.wrapping_add(b) as u64);
+                }
+                BInstr::SubI => {
+                    let (b, a) = (self.popi(), self.popi());
+                    self.op(VOp::IOp);
+                    self.push(a.wrapping_sub(b) as u64);
+                }
+                BInstr::MulI => {
+                    let (b, a) = (self.popi(), self.popi());
+                    self.op(VOp::IOp);
+                    self.push(a.wrapping_mul(b) as u64);
+                }
+                BInstr::DivI => {
+                    let (b, a) = (self.popi(), self.popi());
+                    self.op(VOp::IOp);
+                    if b == 0 {
+                        return Err(RunError::Arith { msg: "integer division by zero".into() });
+                    }
+                    self.push((a / b) as u64);
+                }
+                BInstr::PowII => {
+                    let (b, a) = (self.popi(), self.popi());
+                    self.op(VOp::IOp);
+                    let r = if b < 0 {
+                        0
+                    } else {
+                        a.checked_pow(b.min(63) as u32).unwrap_or(i64::MAX)
+                    };
+                    self.push(r as u64);
+                }
+                BInstr::NegI => {
+                    let x = self.popi();
+                    self.op(VOp::IOp);
+                    self.push(x.wrapping_neg() as u64);
+                }
+                BInstr::NotB => {
+                    let x = self.pop();
+                    self.op(VOp::IOp);
+                    self.push(u64::from(x == 0));
+                }
+                BInstr::AndB => {
+                    let (b, a) = (self.pop(), self.pop());
+                    self.op(VOp::IOp);
+                    self.push(u64::from(a != 0 && b != 0));
+                }
+                BInstr::OrB => {
+                    let (b, a) = (self.pop(), self.pop());
+                    self.op(VOp::IOp);
+                    self.push(u64::from(a != 0 || b != 0));
+                }
+                BInstr::CmpF(c) => {
+                    let (b, a) = (self.popf(), self.popf());
+                    self.op(VOp::Flop);
+                    let r = match c {
+                        Cmp::Eq => a == b,
+                        Cmp::Ne => a != b,
+                        Cmp::Lt => a < b,
+                        Cmp::Le => a <= b,
+                        Cmp::Gt => a > b,
+                        Cmp::Ge => a >= b,
+                    };
+                    self.push(u64::from(r));
+                }
+                BInstr::CmpI(c) => {
+                    let (b, a) = (self.popi(), self.popi());
+                    self.op(VOp::IOp);
+                    let r = match c {
+                        Cmp::Eq => a == b,
+                        Cmp::Ne => a != b,
+                        Cmp::Lt => a < b,
+                        Cmp::Le => a <= b,
+                        Cmp::Gt => a > b,
+                        Cmp::Ge => a >= b,
+                    };
+                    self.push(u64::from(r));
+                }
+                BInstr::FailArith2 => {
+                    return Err(RunError::Type { msg: "arithmetic on LOGICAL".into() });
+                }
+                BInstr::FailNegB => {
+                    self.op(VOp::IOp);
+                    return Err(RunError::Type { msg: "negate LOGICAL".into() });
+                }
+                BInstr::FailType { msg } => {
+                    return Err(RunError::Type { msg: bu.msgs[msg as usize].clone() });
+                }
+                BInstr::IntrI { f, argc } => {
+                    let n = argc as usize;
+                    let at = self.stack.len() - n;
+                    self.iscratch.clear();
+                    self.iscratch.extend(self.stack[at..].iter().map(|&b| b as i64));
+                    self.stack.truncate(at);
+                    self.op(if f.is_special() { VOp::FSpecial } else { VOp::Flop });
+                    let args = std::mem::take(&mut self.iscratch);
+                    let r = f.eval_i(&args);
+                    self.iscratch = args;
+                    self.push(r as u64);
+                }
+                BInstr::IntrF { f, argc, to_int } => {
+                    let n = argc as usize;
+                    let at = self.stack.len() - n;
+                    self.fscratch.clear();
+                    self.fscratch.extend(self.stack[at..].iter().map(|&b| f64::from_bits(b)));
+                    self.stack.truncate(at);
+                    self.op(if f.is_special() { VOp::FSpecial } else { VOp::Flop });
+                    let args = std::mem::take(&mut self.fscratch);
+                    let r = f.eval_f(&args);
+                    self.fscratch = args;
+                    if to_int {
+                        self.push((r as i64) as u64);
+                    } else {
+                        self.push(r.to_bits());
+                    }
+                }
+                BInstr::LoadElem { vs, v, nsubs, want } => {
+                    let n = nsubs as usize;
+                    let mut buf = [0i64; MAX_INLINE_RANK];
+                    let bits = if n <= MAX_INLINE_RANK {
+                        self.pop_subs_into(n, &mut buf);
+                        let name = self.var_name(uidx, v);
+                        let arr = self.aref(frame, vs, name)?;
+                        let off = arr.offset(name, &buf[..n])?;
+                        if arr.ty == want {
+                            // Stack and cell share the bit convention.
+                            arr.get_bits(off)
+                        } else {
+                            let val = match arr.ty {
+                                ScalarTy::I => Val::I(arr.get_i(off)),
+                                ScalarTy::F => Val::F(arr.get_f(off)),
+                                ScalarTy::B => Val::B(arr.get_b(off)),
+                            };
+                            val.to_bits(want)
+                        }
+                    } else {
+                        let subs = self.pop_subs(n);
+                        let arr = self.handle_in(uidx, frame, vs, v)?;
+                        let off = arr.offset(self.var_name(uidx, v), &subs)?;
+                        let val = match arr.ty {
+                            ScalarTy::I => Val::I(arr.get_i(off)),
+                            ScalarTy::F => Val::F(arr.get_f(off)),
+                            ScalarTy::B => Val::B(arr.get_b(off)),
+                        };
+                        val.to_bits(want)
+                    };
+                    self.op(VOp::Load);
+                    self.push(bits);
+                }
+                BInstr::LoadElemS { a, sd, v, want: _ } => {
+                    let sdim = &bu.sdims[sd as usize];
+                    let n = sdim.dims.len();
+                    let at = self.stack.len() - n;
+                    let mut off = 0usize;
+                    for (d, (&(lo, hi), &stride)) in
+                        sdim.dims.iter().zip(sdim.strides.iter()).enumerate()
+                    {
+                        let ix = self.stack[at + d] as i64;
+                        if ix < lo || ix > hi {
+                            return Err(RunError::OutOfBounds {
+                                var: self.var_name(uidx, v).to_string(),
+                                dim: d,
+                                index: ix,
+                                lo,
+                                hi,
+                            });
+                        }
+                        off += (ix - lo) as usize * stride;
+                    }
+                    self.stack.truncate(at);
+                    let arr = frame.a[a as usize].as_ref().ok_or_else(|| {
+                        RunError::Unallocated { var: self.var_name(uidx, v).to_string() }
+                    })?;
+                    // Fixed-shape local: handle ty == declared ty == want.
+                    self.push(arr.get_bits(off));
+                    self.op(VOp::Load);
+                }
+                BInstr::StoreElem { vs, v, nsubs, src } => {
+                    let bits = self.pop();
+                    let n = nsubs as usize;
+                    let mut buf = [0i64; MAX_INLINE_RANK];
+                    if n <= MAX_INLINE_RANK {
+                        self.pop_subs_into(n, &mut buf);
+                        let name = self.var_name(uidx, v);
+                        let arr = self.aref(frame, vs, name)?;
+                        let off = arr.offset(name, &buf[..n])?;
+                        if arr.ty == src {
+                            arr.set_bits(off, bits);
+                        } else {
+                            store_val(arr, off, Val::from_bits(bits, src));
+                        }
+                    } else {
+                        let subs = self.pop_subs(n);
+                        let arr = self.handle_in(uidx, frame, vs, v)?;
+                        let off = arr.offset(self.var_name(uidx, v), &subs)?;
+                        store_val(&arr, off, Val::from_bits(bits, src));
+                    }
+                    self.op(VOp::Store);
+                }
+                BInstr::StoreElemS { a, sd, v, src } => {
+                    let bits = self.pop();
+                    let sdim = &bu.sdims[sd as usize];
+                    let n = sdim.dims.len();
+                    let at = self.stack.len() - n;
+                    let mut off = 0usize;
+                    for (d, (&(lo, hi), &stride)) in
+                        sdim.dims.iter().zip(sdim.strides.iter()).enumerate()
+                    {
+                        let ix = self.stack[at + d] as i64;
+                        if ix < lo || ix > hi {
+                            return Err(RunError::OutOfBounds {
+                                var: self.var_name(uidx, v).to_string(),
+                                dim: d,
+                                index: ix,
+                                lo,
+                                hi,
+                            });
+                        }
+                        off += (ix - lo) as usize * stride;
+                    }
+                    self.stack.truncate(at);
+                    let arr = frame.a[a as usize].as_ref().ok_or_else(|| {
+                        RunError::Unallocated { var: self.var_name(uidx, v).to_string() }
+                    })?;
+                    self.op(VOp::Store);
+                    store_val(arr, off, Val::from_bits(bits, src));
+                }
+                BInstr::ArrRed { f, vs, v, want } => {
+                    let arr = self.handle_in(uidx, frame, vs, v)?;
+                    let n = arr.len();
+                    self.op_n(VOp::Load, n as u64);
+                    self.op_n(VOp::Flop, n as u64);
+                    let val = match f {
+                        crate::rir::ArrRed::Size => Val::I(n as i64),
+                        crate::rir::ArrRed::Sum => match arr.ty {
+                            ScalarTy::I => Val::I((0..n).map(|i| arr.get_i(i)).sum()),
+                            _ => Val::F((0..n).map(|i| arr.get_f(i)).sum()),
+                        },
+                        crate::rir::ArrRed::Maxval => match arr.ty {
+                            ScalarTy::I => {
+                                Val::I((0..n).map(|i| arr.get_i(i)).max().unwrap_or(i64::MIN))
+                            }
+                            _ => Val::F(
+                                (0..n).map(|i| arr.get_f(i)).fold(f64::NEG_INFINITY, f64::max),
+                            ),
+                        },
+                        crate::rir::ArrRed::Minval => match arr.ty {
+                            ScalarTy::I => {
+                                Val::I((0..n).map(|i| arr.get_i(i)).min().unwrap_or(i64::MAX))
+                            }
+                            _ => Val::F((0..n).map(|i| arr.get_f(i)).fold(f64::INFINITY, f64::min)),
+                        },
+                    };
+                    self.push(val.to_bits(want));
+                }
+                BInstr::AllocatedQ { vs } => {
+                    let alloc = match vs {
+                        VSlot::A(s) => frame.a[s as usize].is_some(),
+                        VSlot::GlobA(c) | VSlot::GlobS(c) => {
+                            self.ex.globals.cells[c as usize].array_handle(self.tid).is_some()
+                        }
+                        _ => false,
+                    };
+                    self.push(u64::from(alloc));
+                }
+                BInstr::Broadcast { vs, v, src } => {
+                    let bits = self.pop();
+                    let arr = self.handle_in(uidx, frame, vs, v)?;
+                    let n = arr.len();
+                    self.op_n(VOp::Store, n as u64);
+                    let val = Val::from_bits(bits, src);
+                    for off in 0..n {
+                        store_val(&arr, off, val);
+                    }
+                }
+                BInstr::CopyArr { dvs, dv, svs, sv } => {
+                    let d = self.handle_in(uidx, frame, dvs, dv)?;
+                    let s = self.handle_in(uidx, frame, svs, sv)?;
+                    if d.len() != s.len() {
+                        return Err(RunError::Type {
+                            msg: format!("array copy shape mismatch: {} vs {}", d.len(), s.len()),
+                        });
+                    }
+                    let n = d.len();
+                    self.op_n(VOp::Load, n as u64);
+                    self.op_n(VOp::Store, n as u64);
+                    for off in 0..n {
+                        d.set_bits(off, s.get_bits(off));
+                    }
+                }
+                BInstr::AtomicScal { vs, v: _, op, ety, vty } => {
+                    let delta = Val::from_bits(self.pop(), ety);
+                    self.add_misc(|c| c.atomics += 1);
+                    self.op(VOp::Load);
+                    self.op(VOp::Store);
+                    match vs {
+                        VSlot::GlobS(c) => {
+                            let g = &self.ex.globals.cells[c as usize];
+                            atomic_scalar_update(g, self.tid, vty, op, delta);
+                        }
+                        _ => {
+                            // Frame scalar: thread-private anyway; plain RMW.
+                            let cur = Val::from_bits(frame.read(vs, self.ex, self.tid), vty);
+                            let nv = combine_vals(vty, op, cur, delta);
+                            frame.write(vs, vty, nv, self.ex, self.tid);
+                        }
+                    }
+                }
+                BInstr::AtomicElem { vs, v, op, nsubs, ety } => {
+                    let subs = self.pop_subs(nsubs as usize);
+                    let delta = Val::from_bits(self.pop(), ety);
+                    self.add_misc(|c| c.atomics += 1);
+                    self.op(VOp::Load);
+                    self.op(VOp::Store);
+                    let arr = self.handle_in(uidx, frame, vs, v)?;
+                    let off = arr.offset(self.var_name(uidx, v), &subs)?;
+                    match arr.ty {
+                        ScalarTy::F => {
+                            let d = delta.as_f();
+                            arr.atomic_update_f(off, |x| combine_f(op, x, d));
+                        }
+                        ScalarTy::I => {
+                            let d = delta.as_i();
+                            arr.atomic_update_i(off, |x| combine_i(op, x, d));
+                        }
+                        ScalarTy::B => {
+                            return Err(RunError::Type { msg: "ATOMIC on LOGICAL".into() });
+                        }
+                    }
+                }
+                BInstr::Alloc { vs, v, ndims, ty } => {
+                    let n = ndims as usize;
+                    let at = self.stack.len() - 2 * n;
+                    let mut rd = Vec::with_capacity(n);
+                    for d in 0..n {
+                        let lo = self.stack[at + 2 * d] as i64;
+                        let hi = self.stack[at + 2 * d + 1] as i64;
+                        rd.push((lo, hi));
+                    }
+                    self.stack.truncate(at);
+                    let obj = self
+                        .apool_take(ty, &rd)
+                        .unwrap_or_else(|| Arc::new(ArrayObj::new(ty, rd.clone())));
+                    self.add_misc(|c| c.alloc_calls += 1);
+                    let bytes = (obj.len() * 8) as u64;
+                    self.add_misc(move |c| c.alloc_bytes += bytes);
+                    let name = || self.var_name(uidx, v).to_string();
+                    match vs {
+                        VSlot::A(s) => {
+                            if frame.a[s as usize].is_some() {
+                                return Err(RunError::AlreadyAllocated { var: name() });
+                            }
+                            frame.a[s as usize] = Some(obj);
+                        }
+                        VSlot::GlobA(c) | VSlot::GlobS(c) => {
+                            let gc = &self.ex.globals.cells[c as usize];
+                            let prev = if gc.is_per_thread() {
+                                gc.set_array_all_threads(self.tid, || {
+                                    Arc::new(ArrayObj::new(ty, rd.clone()))
+                                })
+                            } else {
+                                gc.set_array(self.tid, Some(obj))
+                            };
+                            if prev.is_some() {
+                                return Err(RunError::AlreadyAllocated { var: name() });
+                            }
+                            self.gcache[c as usize] = None;
+                        }
+                        _ => unreachable!("ALLOCATE of a scalar"),
+                    }
+                }
+                BInstr::Dealloc { vs, v } => {
+                    let name = || self.var_name(uidx, v).to_string();
+                    match vs {
+                        VSlot::A(s) => {
+                            let Some(h) = frame.a[s as usize].take() else {
+                                return Err(RunError::Unallocated { var: name() });
+                            };
+                            if self.apool.len() < 64 && Arc::strong_count(&h) == 1 {
+                                self.apool.push(h);
+                            }
+                        }
+                        VSlot::GlobA(c) | VSlot::GlobS(c) => {
+                            let gc = &self.ex.globals.cells[c as usize];
+                            let prev = if gc.is_per_thread() {
+                                gc.clear_array_all_threads(self.tid)
+                            } else {
+                                gc.set_array(self.tid, None)
+                            };
+                            if prev.is_none() {
+                                return Err(RunError::Unallocated { var: name() });
+                            }
+                            self.gcache[c as usize] = None;
+                        }
+                        _ => unreachable!("DEALLOCATE of a scalar"),
+                    }
+                }
+                BInstr::Jump(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                BInstr::JumpIfFalse(t) => {
+                    if self.pop() == 0 {
+                        pc = t as usize;
+                        continue;
+                    }
+                }
+                BInstr::CostBranch => self.add_misc(|c| c.branches += 1),
+                BInstr::VecEnter(v) => {
+                    if TRACE {
+                        self.tr.vec_stack.push(self.tr.vec_mode);
+                        self.tr.vec_mode = v;
+                    }
+                }
+                BInstr::VecLeave => {
+                    if TRACE {
+                        self.tr.vec_mode = self.tr.vec_stack.pop().unwrap_or(VecClass::None);
+                    }
+                }
+                BInstr::DoInitC { ctr, end } => {
+                    let e = self.popi();
+                    let s = self.popi();
+                    frame.i[end as usize] = e;
+                    frame.i[ctr as usize] = s;
+                }
+                BInstr::DoInit { ctr, end, step, check } => {
+                    let st = self.popi();
+                    let e = self.popi();
+                    let s = self.popi();
+                    if check && st == 0 {
+                        return Err(RunError::Arith { msg: "zero DO step".into() });
+                    }
+                    frame.i[step as usize] = st;
+                    frame.i[end as usize] = e;
+                    frame.i[ctr as usize] = s;
+                }
+                BInstr::DoHead1 { ctr, end, var, exit } => {
+                    let i = frame.i[ctr as usize];
+                    if i > frame.i[end as usize] {
+                        pc = exit as usize;
+                        continue;
+                    }
+                    frame.i[var as usize] = i;
+                }
+                BInstr::DoHeadN { ctr, end, step, var, exit } => {
+                    let i = frame.i[ctr as usize];
+                    let e = frame.i[end as usize];
+                    let st = frame.i[step as usize];
+                    if (st > 0 && i > e) || (st < 0 && i < e) {
+                        pc = exit as usize;
+                        continue;
+                    }
+                    frame.i[var as usize] = i;
+                }
+                BInstr::DoHead { ctr, end, step, exit } => {
+                    let i = frame.i[ctr as usize];
+                    let e = frame.i[end as usize];
+                    let st = frame.i[step as usize];
+                    if (st > 0 && i > e) || (st < 0 && i < e) {
+                        pc = exit as usize;
+                        continue;
+                    }
+                }
+                BInstr::DoIncr1 { ctr, head } => {
+                    frame.i[ctr as usize] = frame.i[ctr as usize].wrapping_add(1);
+                    pc = head as usize;
+                    continue;
+                }
+                BInstr::DoIncr { ctr, step, head } => {
+                    frame.i[ctr as usize] =
+                        frame.i[ctr as usize].wrapping_add(frame.i[step as usize]);
+                    pc = head as usize;
+                    continue;
+                }
+                BInstr::CheckStepNZ => {
+                    if *self.stack.last().expect("step on stack") as i64 == 0 {
+                        return Err(RunError::Arith { msg: "zero DO step".into() });
+                    }
+                }
+                BInstr::FlowExit => return Ok(Flow::Exit),
+                BInstr::FlowCycle => return Ok(Flow::Cycle),
+                BInstr::FlowReturn => return Ok(Flow::Return),
+                BInstr::Critical { name, end, exit, cycle } => {
+                    if TRACE {
+                        self.tr.critical_depth += 1;
+                    }
+                    let snap = self.vec_snapshot();
+                    let r = if matches!(self.ex.mode, ExecMode::Parallel { .. })
+                        && self.in_real_region
+                    {
+                        let _guard = self.ex.critical.enter(&bu.msgs[name as usize]);
+                        self.run_range(uidx, frame, pc as u32 + 1, end)
+                    } else {
+                        self.run_range(uidx, frame, pc as u32 + 1, end)
+                    };
+                    if TRACE {
+                        self.tr.critical_depth -= 1;
+                    }
+                    match r? {
+                        Flow::Normal => {
+                            pc = end as usize;
+                            continue;
+                        }
+                        Flow::Exit => {
+                            self.vec_restore(snap);
+                            if exit == NO_PC {
+                                return Ok(Flow::Exit);
+                            }
+                            pc = exit as usize;
+                            continue;
+                        }
+                        Flow::Cycle => {
+                            self.vec_restore(snap);
+                            if cycle == NO_PC {
+                                return Ok(Flow::Cycle);
+                            }
+                            pc = cycle as usize;
+                            continue;
+                        }
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+                BInstr::OmpDo { desc } => {
+                    let flow = self.exec_omp(uidx, frame, bu, desc as usize)?;
+                    match flow {
+                        Flow::Normal => {
+                            pc = bu.omps[desc as usize].body.1 as usize;
+                            continue;
+                        }
+                        Flow::Return => return Ok(Flow::Return),
+                        _ => unreachable!("OMP nest yields Normal or Return"),
+                    }
+                }
+                BInstr::CallPre => {
+                    if self.depth >= MAX_CALL_DEPTH {
+                        return Err(RunError::Limit { msg: "call depth exceeded".into() });
+                    }
+                    self.add_misc(|c| c.calls += 1);
+                }
+                BInstr::StashElem { vs, v, nsubs, want } => {
+                    let subs = self.pop_subs(nsubs as usize);
+                    let arr = self.handle_in(uidx, frame, vs, v)?;
+                    let off = arr.offset(self.var_name(uidx, v), &subs)?;
+                    self.op(VOp::Load);
+                    let val = match arr.ty {
+                        ScalarTy::I => Val::I(arr.get_i(off)),
+                        ScalarTy::F => Val::F(arr.get_f(off)),
+                        ScalarTy::B => Val::B(arr.get_b(off)),
+                    };
+                    self.sstash.extend_from_slice(&subs);
+                    self.push(val.to_bits(want));
+                }
+                BInstr::PushArr { vs, v } => {
+                    let h = self.handle_in(uidx, frame, vs, v)?;
+                    self.astack.push(h);
+                }
+                BInstr::Call { spec, push } => {
+                    let ret = self.exec_call(uidx, frame, bu, spec as usize)?;
+                    if push {
+                        match ret {
+                            Some(bits) => self.push(bits),
+                            None => {
+                                return Err(RunError::Type {
+                                    msg: "function returned nothing".into(),
+                                });
+                            }
+                        }
+                    }
+                }
+                BInstr::Print { spec } => {
+                    let items = &bu.prints[spec as usize];
+                    let nvals = items.iter().filter(|i| matches!(i, PItem::Val(_))).count();
+                    let at = self.stack.len() - nvals;
+                    let mut line = String::new();
+                    let mut vi = at;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            line.push(' ');
+                        }
+                        match item {
+                            PItem::Str(s) => line.push_str(s),
+                            PItem::Val(ty) => {
+                                let val = Val::from_bits(self.stack[vi], *ty);
+                                vi += 1;
+                                match val {
+                                    Val::I(x) => line.push_str(&x.to_string()),
+                                    Val::F(x) => line.push_str(&format!("{x:.6}")),
+                                    Val::B(b) => line.push_str(if b { "T" } else { "F" }),
+                                }
+                            }
+                        }
+                    }
+                    self.stack.truncate(at);
+                    line.push('\n');
+                    self.out.push_str(&line);
+                }
+                BInstr::Stop { msg } => {
+                    return Err(RunError::Stop { msg: bu.msgs[msg as usize].clone() });
+                }
+            }
+            pc += 1;
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ---------- calls ----------
+
+    /// Executes a call; returns the function-result bits when the callee
+    /// is a function (already in the result's declared type).
+    fn exec_call(
+        &mut self,
+        uidx: usize,
+        frame: &mut VFrame,
+        bu: &'e BUnit,
+        spec: usize,
+    ) -> Result<Option<u64>, RunError> {
+        let cs = &bu.calls[spec];
+        let callee: &'e BUnit = &self.bunits[cs.callee as usize];
+        let mut cframe = match self.fpool[cs.callee as usize].pop() {
+            Some(mut fr) => {
+                fr.reset(callee);
+                fr
+            }
+            None => VFrame::new(callee),
+        };
+        // Copy-in: payloads were pushed in argument order; pop in reverse.
+        for arg in cs.args.iter().rev() {
+            match *arg {
+                BArg::Scalar { src_ty, p, pty, .. } | BArg::Val { src_ty, p, pty } => {
+                    let val = Val::from_bits(self.pop(), src_ty);
+                    cframe.write(p, pty, val, self.ex, self.tid);
+                }
+                BArg::Elem { want, p, pty, .. } => {
+                    let val = Val::from_bits(self.pop(), want);
+                    cframe.write(p, pty, val, self.ex, self.tid);
+                }
+                BArg::Arr { p } => {
+                    let h = self.astack.pop().expect("array argument on stack");
+                    cframe.a[p as usize] = Some(h);
+                }
+            }
+        }
+        // Execute the callee body.
+        let snap = self.vec_snapshot();
+        self.depth += 1;
+        let flow = self.run_range(cs.callee as usize, &mut cframe, 0, callee.code.len() as u32);
+        self.depth -= 1;
+        self.vec_restore(snap);
+        match flow? {
+            Flow::Normal | Flow::Return => {}
+            _ => return Err(RunError::Type { msg: "EXIT/CYCLE escaped a unit".into() }),
+        }
+        // Copy-out (value-result), forward order; Elem subscripts were
+        // stashed left-to-right, so walk the stash tail forward.
+        let base = self.sstash.len() - cs.n_stash as usize;
+        let mut soff = base;
+        for arg in &cs.args {
+            match *arg {
+                BArg::Scalar { src_vs, src_v, src_ty, p, pty } => {
+                    let val = Val::from_bits(cframe.read(p, self.ex, self.tid), pty);
+                    match src_vs {
+                        VSlot::GlobS(_) => self.op(VOp::Store),
+                        VSlot::A(_) | VSlot::GlobA(_) => {
+                            return Err(RunError::Type {
+                                msg: format!(
+                                    "array `{}` read as scalar",
+                                    self.var_name(uidx, src_v)
+                                ),
+                            });
+                        }
+                        _ => {}
+                    }
+                    frame.write(src_vs, src_ty, val, self.ex, self.tid);
+                }
+                BArg::Elem { vs, v, nsubs, p, pty, .. } => {
+                    let val = Val::from_bits(cframe.read(p, self.ex, self.tid), pty);
+                    let subs: Vec<i64> = self.sstash[soff..soff + nsubs as usize].to_vec();
+                    soff += nsubs as usize;
+                    let arr = self.handle_in(uidx, frame, vs, v)?;
+                    let off = arr.offset(self.var_name(uidx, v), &subs)?;
+                    self.op(VOp::Store);
+                    store_val(&arr, off, val);
+                }
+                BArg::Arr { .. } | BArg::Val { .. } => {}
+            }
+        }
+        self.sstash.truncate(base);
+        let ret = cs
+            .ret
+            .map(|(rvs, rty)| Val::from_bits(cframe.read(rvs, self.ex, self.tid), rty).to_bits(rty));
+        self.fpool[cs.callee as usize].push(cframe);
+        Ok(ret)
+    }
+
+    // ---------- OMP PARALLEL DO ----------
+
+    /// Writes a loop-dimension variable (interpreter's per-iteration
+    /// `write_scalar`, including the Store cost for globals).
+    #[inline]
+    fn store_dim(&mut self, frame: &mut VFrame, vs: VSlot, ty: ScalarTy, v: i64) {
+        if TRACE {
+            if let VSlot::GlobS(_) = vs {
+                self.op(VOp::Store);
+            }
+        }
+        frame.write(vs, ty, Val::I(v), self.ex, self.tid);
+    }
+
+    fn exec_omp(
+        &mut self,
+        uidx: usize,
+        frame: &mut VFrame,
+        bu: &'e BUnit,
+        desc: usize,
+    ) -> Result<Flow, RunError> {
+        let d: &'e OmpDesc = &bu.omps[desc];
+        // Stack (top last): s0, e0, st, [lo,hi]*, [num_threads].
+        let clause_threads = if d.has_nt { Some(self.popi().max(1) as usize) } else { None };
+        let ndims = d.dims.len();
+        let mut bounds = vec![(0i64, 0i64); ndims];
+        for k in (1..ndims).rev() {
+            let hi = self.popi();
+            let lo = self.popi();
+            bounds[k] = (lo, hi);
+        }
+        let st = self.popi();
+        let e0 = self.popi();
+        let s0 = self.popi();
+        bounds[0] = (s0, e0);
+        let outer_trip = trip_count(s0, e0, st);
+        let total_trip: u64 = if ndims == 1 {
+            outer_trip
+        } else {
+            bounds.iter().map(|&(lo, hi)| trip_count(lo, hi, 1)).product()
+        };
+        let mode_threads = self.ex.mode.threads();
+        let team = clause_threads.unwrap_or(mode_threads).min(MAX_THREADS);
+
+        match self.ex.mode {
+            ExecMode::Serial => self.omp_serial_nest(uidx, frame, d, &bounds, st, None),
+            ExecMode::Simulated { .. } => {
+                if self.tr.in_sim_region || self.in_real_region {
+                    // Nested region: team of one + fork overhead.
+                    self.add_misc(|c| c.nested_forks += 1);
+                    return self.omp_serial_nest(uidx, frame, d, &bounds, st, None);
+                }
+                let serial = std::mem::take(&mut self.tr.serial);
+                self.tr.trace.push_serial(serial);
+                self.tr.region = Some(Box::new(VRegion {
+                    per_thread: vec![CostCounters::default(); team],
+                    cur: 0,
+                    critical: CostCounters::default(),
+                    threads: team,
+                    trip: total_trip,
+                    reductions: d.reductions.len(),
+                }));
+                self.tr.in_sim_region = true;
+                let sched = match d.chunk {
+                    Some(c) => Schedule::StaticChunk(c),
+                    None => Schedule::StaticBlock,
+                };
+                let owner = build_owner_map(sched, total_trip as usize, team);
+                let r = self.omp_serial_nest(uidx, frame, d, &bounds, st, Some(&owner));
+                self.tr.in_sim_region = false;
+                let region = self.tr.region.take().expect("region open");
+                self.tr.trace.push_region(RegionEvent {
+                    threads: region.threads,
+                    per_thread: region.per_thread,
+                    critical: region.critical,
+                    reductions: region.reductions,
+                    trip: region.trip,
+                });
+                r
+            }
+            ExecMode::Parallel { .. } => {
+                if self.in_real_region {
+                    // Nested: team of one.
+                    return self.omp_serial_nest(uidx, frame, d, &bounds, st, None);
+                }
+                self.omp_parallel(uidx, frame, d, &bounds, st, team)?;
+                // Workers may have allocated or freed global arrays; drop
+                // every cached handle so we re-read the cells.
+                self.gcache.iter_mut().for_each(|s| *s = None);
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn omp_serial_nest(
+        &mut self,
+        uidx: usize,
+        frame: &mut VFrame,
+        d: &'e OmpDesc,
+        bounds: &[(i64, i64)],
+        outer_step: i64,
+        owner: Option<&[u16]>,
+    ) -> Result<Flow, RunError> {
+        let trips: Vec<u64> = bounds
+            .iter()
+            .enumerate()
+            .map(|(k, &(lo, hi))| trip_count(lo, hi, if k == 0 { outer_step } else { 1 }))
+            .collect();
+        let total: u64 = trips.iter().product();
+        let (blo, bhi) = d.body;
+        let mut result = Flow::Normal;
+        for k in 0..total {
+            if TRACE {
+                if let (Some(map), Some(region)) = (owner, self.tr.region.as_mut()) {
+                    region.cur = map[k as usize] as usize;
+                }
+            }
+            let mut rem = k;
+            for (dim, &(vs, ty)) in d.dims.iter().enumerate().rev() {
+                let t = trips[dim].max(1);
+                let ix = rem % t;
+                rem /= t;
+                let step = if dim == 0 { outer_step } else { 1 };
+                self.store_dim(frame, vs, ty, bounds[dim].0 + ix as i64 * step);
+            }
+            match self.run_range(uidx, frame, blo, bhi)? {
+                Flow::Normal | Flow::Cycle => {}
+                Flow::Exit => break,
+                Flow::Return => {
+                    result = Flow::Return;
+                    break;
+                }
+            }
+        }
+        if TRACE {
+            if let Some(region) = self.tr.region.as_mut() {
+                region.cur = 0;
+            }
+        }
+        Ok(result)
+    }
+
+    fn omp_parallel(
+        &mut self,
+        uidx: usize,
+        frame: &mut VFrame,
+        d: &'e OmpDesc,
+        bounds: &[(i64, i64)],
+        outer_step: i64,
+        team: usize,
+    ) -> Result<(), RunError> {
+        let pool: Arc<ThreadPool> =
+            self.ex.pool.as_ref().expect("Parallel mode has a pool").clone();
+        let team = team.min(pool.threads());
+        let sched = match d.chunk {
+            Some(c) => Schedule::StaticChunk(c),
+            None => Schedule::StaticBlock,
+        };
+        let trips: Vec<u64> = bounds
+            .iter()
+            .enumerate()
+            .map(|(k, &(lo, hi))| trip_count(lo, hi, if k == 0 { outer_step } else { 1 }))
+            .collect();
+        let total = trips.iter().product::<u64>() as usize;
+
+        // Reduction setup: read the incoming value, combine at the join.
+        let red_info: Vec<(RedSpec, Val)> = d
+            .reductions
+            .iter()
+            .map(|&spec| {
+                let cur = Val::from_bits(frame.read(spec.vs, self.ex, self.tid), spec.ty);
+                (spec, cur)
+            })
+            .collect();
+
+        let results: Mutex<Vec<Result<Vec<Val>, RunError>>> = Mutex::new(Vec::new());
+        let prints: Mutex<String> = Mutex::new(String::new());
+        let ex = self.ex;
+        let bunits = self.bunits;
+        let base_frame = &*frame;
+        let (blo, bhi) = d.body;
+
+        pool.run(|tid| {
+            if tid >= team {
+                return;
+            }
+            let mut vm = Vm::<'_, false>::new(ex, bunits, tid);
+            vm.in_real_region = true;
+            let mut tframe = base_frame.clone();
+            // PRIVATE arrays: detach per-thread deep copies.
+            for &pa in &d.private_arrays {
+                if let Some(h) = &tframe.a[pa as usize] {
+                    tframe.a[pa as usize] = Some(Arc::new(h.deep_clone()));
+                }
+            }
+            // Reduction identities (frame slots only, like the interpreter).
+            for (spec, _) in &red_info {
+                if !matches!(spec.vs, VSlot::GlobS(_) | VSlot::GlobA(_)) {
+                    let ident = identity_val(spec.op, spec.ty);
+                    tframe.write(spec.vs, spec.ty, ident, ex, tid);
+                }
+            }
+
+            let run = (|| -> Result<Vec<Val>, RunError> {
+                for (lo, hi) in chunks_for(sched, total, tid, team) {
+                    for k in lo..hi {
+                        let mut rem = k as u64;
+                        for (dim, &(vs, ty)) in d.dims.iter().enumerate().rev() {
+                            let t = trips[dim].max(1);
+                            let ix = rem % t;
+                            rem /= t;
+                            let step = if dim == 0 { outer_step } else { 1 };
+                            vm.store_dim(&mut tframe, vs, ty, bounds[dim].0 + ix as i64 * step);
+                        }
+                        match vm.run_range(uidx, &mut tframe, blo, bhi)? {
+                            Flow::Normal | Flow::Cycle => {}
+                            Flow::Exit | Flow::Return => {
+                                return Err(RunError::Type {
+                                    msg: "EXIT/RETURN out of a parallel loop".into(),
+                                });
+                            }
+                        }
+                    }
+                }
+                let mut partials = Vec::with_capacity(red_info.len());
+                for (spec, _) in &red_info {
+                    if matches!(spec.vs, VSlot::GlobS(_) | VSlot::GlobA(_)) {
+                        partials.push(Val::I(0));
+                    } else {
+                        partials.push(Val::from_bits(tframe.read(spec.vs, ex, tid), spec.ty));
+                    }
+                }
+                Ok(partials)
+            })();
+            if !vm.out.is_empty() {
+                prints.lock().push_str(&vm.out);
+            }
+            results.lock().push(run);
+        });
+
+        self.out.push_str(&prints.into_inner());
+        let mut all_partials: Vec<Vec<Val>> = Vec::new();
+        for r in results.into_inner() {
+            all_partials.push(r?);
+        }
+
+        // Combine reductions into the original variables.
+        for (ri, (spec, init)) in red_info.iter().enumerate() {
+            let mut acc = *init;
+            for p in &all_partials {
+                acc = combine_vals(spec.ty, spec.op, acc, p[ri]);
+            }
+            if TRACE {
+                if let VSlot::GlobS(_) = spec.vs {
+                    self.op(VOp::Store);
+                }
+            }
+            frame.write(spec.vs, spec.ty, acc, self.ex, self.tid);
+        }
+        let _ = uidx;
+        Ok(())
+    }
+}
+
+/// Entry point: runs `unit_id` with `args` under `exec.mode` on the
+/// given bytecode build (optimized or traced — the engine picks the
+/// matching one). Returns (result, trace, printed) like the
+/// interpreter's `run_entry`.
+pub(crate) fn run_vm(
+    exec: &Exec,
+    bunits: &[BUnit],
+    unit_id: usize,
+    args: &[ArgVal],
+) -> Result<(Option<Val>, CostTrace, String), RunError> {
+    match exec.mode {
+        ExecMode::Simulated { .. } => go::<true>(exec, bunits, unit_id, args),
+        _ => go::<false>(exec, bunits, unit_id, args),
+    }
+}
+
+fn go<const TRACE: bool>(
+    exec: &Exec,
+    bunits: &[BUnit],
+    unit_id: usize,
+    args: &[ArgVal],
+) -> Result<(Option<Val>, CostTrace, String), RunError> {
+    let bu = &bunits[unit_id];
+    let unit = &exec.prog.units[unit_id];
+    if unit.params.len() != args.len() {
+        return Err(RunError::BadCall {
+            name: unit.name.clone(),
+            msg: format!("takes {} args, got {}", unit.params.len(), args.len()),
+        });
+    }
+    let mut frame = VFrame::new(bu);
+    for (k, a) in args.iter().enumerate() {
+        let pvar = unit.params[k];
+        let vs = bu.vslots[pvar];
+        let pty = unit.vars[pvar].ty;
+        match a {
+            ArgVal::I(v) => frame.write(vs, pty, Val::I(*v), exec, 0),
+            ArgVal::F(v) => frame.write(vs, pty, Val::F(*v), exec, 0),
+            ArgVal::B(v) => frame.write(vs, pty, Val::B(*v), exec, 0),
+            ArgVal::Arr(h) => match vs {
+                VSlot::A(s) => frame.a[s as usize] = Some(Arc::clone(h)),
+                // Array handle passed for a scalar parameter: the
+                // tree-walker defers the type error to first use; the
+                // VM reports it at entry (documented divergence).
+                _ => {
+                    return Err(RunError::Type {
+                        msg: format!("array `{}` read as scalar", unit.vars[pvar].name),
+                    });
+                }
+            },
+        }
+    }
+    let mut vm = Vm::<TRACE>::new(exec, bunits, 0);
+    let flow = vm.run_range(unit_id, &mut frame, 0, bu.code.len() as u32)?;
+    debug_assert!(matches!(flow, Flow::Normal | Flow::Return));
+    let result = bu
+        .result
+        .map(|(rvs, rty)| Val::from_bits(frame.read(rvs, exec, 0), rty));
+    if TRACE {
+        let serial = std::mem::take(&mut vm.tr.serial);
+        vm.tr.trace.push_serial(serial);
+    }
+    Ok((result, vm.tr.trace, vm.out))
+}

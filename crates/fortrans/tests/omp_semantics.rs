@@ -1,8 +1,13 @@
 //! Focused OpenMP-semantics tests: scheduling clauses, NUM_THREADS,
 //! firstprivate behaviour through frame cloning, product/min reductions,
 //! negative-step parallel loops, and printing from parallel regions.
+//!
+//! `Engine::run` executes on the bytecode VM by default, so every test
+//! here exercises the VM's OMP implementation; the tier-matrix test at
+//! the bottom additionally pins VM/tree-walker agreement for the full
+//! clause set.
 
-use fortrans::{ArgVal, Engine, ExecMode, Val};
+use fortrans::{ArgVal, Engine, ExecMode, ExecTier, Val};
 
 fn engine(src: &str) -> Engine {
     Engine::compile(&[src]).unwrap_or_else(|e| panic!("{e}\n{src}"))
@@ -61,7 +66,7 @@ END MODULE m
     let e = engine(src);
     let a = ArgVal::array_f(&vec![0.0; 64], 1);
     let out = e
-        .run("work", &[a.clone()], ExecMode::Simulated { threads: 8 })
+        .run("work", std::slice::from_ref(&a), ExecMode::Simulated { threads: 8 })
         .unwrap();
     // The trace must show a 2-thread region despite the 8-thread mode.
     let region = out
@@ -221,5 +226,73 @@ END MODULE m
     for mode in ALL {
         let out = e.run("countup", &[ArgVal::I(100)], mode).unwrap();
         assert_eq!(out.result, Some(Val::I(5050)), "{mode:?}");
+    }
+}
+
+/// One kernel combining every supported worksharing clause —
+/// PRIVATE, FIRSTPRIVATE, REDUCTION, COLLAPSE, SCHEDULE, ATOMIC and
+/// CRITICAL — run through both execution tiers in all three modes.
+/// The accumulators are integer-valued reals, so even the Parallel
+/// combine is exact and both tiers must agree to the bit.
+#[test]
+fn clause_matrix_agrees_across_tiers() {
+    let src = r#"
+MODULE m
+  REAL(8) :: crit_total
+  REAL(8), DIMENSION(1:8) :: bins
+CONTAINS
+  SUBROUTINE kitchen_sink(a, n, m, res)
+    REAL(8), DIMENSION(1:6, 1:40) :: a
+    INTEGER :: n, m
+    REAL(8), DIMENSION(1:2) :: res
+    REAL(8) :: base, acc
+    REAL(8), DIMENSION(1:4) :: scratch
+    INTEGER :: i, j, k, b
+    base = 3.0D0
+    acc = 0.0D0
+    !$OMP PARALLEL DO DEFAULT(SHARED) COLLAPSE(2) SCHEDULE(STATIC, 7) &
+    !$OMP&  FIRSTPRIVATE(base) PRIVATE(scratch, k, b) REDUCTION(+:acc)
+    DO i = 1, n
+      DO j = 1, m
+        DO k = 1, 4
+          scratch(k) = i * 1.0D0 + j
+        END DO
+        a(i, j) = scratch(1) + scratch(4) + base
+        acc = acc + a(i, j)
+        b = MOD(i * 40 + j, 8) + 1
+        !$OMP ATOMIC
+        bins(b) = bins(b) + 1.0D0
+        !$OMP CRITICAL (tot)
+        crit_total = crit_total + 1.0D0
+        !$OMP END CRITICAL
+      END DO
+    END DO
+    !$OMP END PARALLEL DO
+    res(1) = acc
+    res(2) = crit_total
+  END SUBROUTINE kitchen_sink
+END MODULE m
+"#;
+    for mode in ALL {
+        let run_tier = |tier| {
+            let e = engine(src);
+            let a = ArgVal::array_f_dims(&vec![0.0; 240], vec![(1, 6), (1, 40)]);
+            let res = ArgVal::array_f(&[0.0, 0.0], 1);
+            let out = e
+                .run_tiered(
+                    "kitchen_sink",
+                    &[a.clone(), ArgVal::I(6), ArgVal::I(40), res.clone()],
+                    mode,
+                    tier,
+                )
+                .unwrap();
+            let bins = e.global_array("m::bins").unwrap().to_f64_vec();
+            (out.result, a.handle().unwrap().to_f64_vec(), res.handle().unwrap().to_f64_vec(), bins)
+        };
+        let vm = run_tier(ExecTier::Vm);
+        let tw = run_tier(ExecTier::TreeWalk);
+        assert_eq!(vm, tw, "tier divergence under {mode:?}");
+        // Sanity: 240 iterations hit the critical section exactly once.
+        assert_eq!(vm.2[1], 240.0, "{mode:?}");
     }
 }

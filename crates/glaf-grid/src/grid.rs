@@ -1,6 +1,5 @@
 //! The grid itself: GLAF's uniform internal representation of program data.
 
-use serde::{Deserialize, Serialize};
 
 use crate::layout::Layout;
 use crate::scope::{GridOrigin, InitData};
@@ -9,7 +8,7 @@ use crate::{is_valid_identifier, GridError};
 
 /// One dimension of a grid: an inclusive index range `lo..=hi` plus an
 /// optional dimension title shown by the GPI ("row", "col", ... in Fig. 2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Dim {
     /// Lowest valid index (FORTRAN defaults to 1, GLAF's GPI shows 0-based
     /// `end0`, `end1` markers; both are representable).
@@ -34,7 +33,7 @@ impl Dim {
 
 /// Element typing: a plain scalar type, or a record of named fields (how
 /// GLAF models C-like structs through the grid abstraction, §2.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ElemType {
     /// All cells share one scalar type.
     Uniform(DataType),
@@ -44,7 +43,7 @@ pub enum ElemType {
 }
 
 /// A named, typed field of a struct-element grid.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     pub name: String,
     pub ty: DataType,
@@ -52,7 +51,7 @@ pub struct Field {
 
 /// The grid: GLAF's single abstraction for scalars, arrays and structs
 /// (paper Fig. 1). A scalar is simply a zero-dimensional grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     /// Caption — the variable name in generated code.
     pub name: String,

@@ -6,10 +6,9 @@
 //! this module, so an index formula emitted into FORTRAN or C is provably
 //! the same bijection the tests check.
 
-use serde::{Deserialize, Serialize};
 
 /// Memory order of a multi-dimensional grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArrayOrder {
     /// First index fastest — native FORTRAN order.
     ColumnMajor,
@@ -18,7 +17,7 @@ pub enum ArrayOrder {
 }
 
 /// Layout of a struct-element grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[derive(Default)]
 pub enum Layout {
     /// `a(i)%f` elements of one record adjacent (array of structures).

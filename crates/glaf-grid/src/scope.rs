@@ -7,11 +7,10 @@
 //! emit: a declaration, a `USE` statement, a `COMMON` membership, or nothing
 //! but a `var%elem` access prefix.
 
-use serde::{Deserialize, Serialize};
 
 /// The scope a grid was created in (mirrors the GPI's module/function/step
 /// selector combined with the Global Scope special module).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GridOrigin {
     /// A local variable of the function currently being edited.
     Local,
@@ -48,7 +47,7 @@ impl GridOrigin {
 }
 
 /// How an *existing* legacy datum is reached from generated code.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum IntegrationAttr {
     /// §3.1 — the variable is declared in an existing FORTRAN module; the
     /// generated subprogram gains a `USE <module>` and no local declaration.
@@ -79,7 +78,7 @@ impl IntegrationAttr {
 /// Optional initial data manually entered through the GPI ("Enable manual
 /// entering of initial data", Fig. 3). Stored row-major in entry order;
 /// the code generators emit initialization loops or data statements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InitData {
     /// Every element set to the same integer.
     UniformInt(i64),

@@ -4,10 +4,9 @@
 //! (`dataTypes[RowDim] = {T_INT}` in Fig. 1 of the paper). The type
 //! vocabulary mirrors what the FORTRAN and C back-ends can declare.
 
-use serde::{Deserialize, Serialize};
 
 /// A scalar data type as understood by all GLAF back-ends.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// FORTRAN `INTEGER` / C `int` (we model it as 64-bit throughout).
     Integer,

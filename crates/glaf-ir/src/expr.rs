@@ -4,10 +4,9 @@
 //! trees are built programmatically. `Expr` implements the arithmetic
 //! operator traits so kernel models read close to the mathematics.
 
-use serde::{Deserialize, Serialize};
 
 /// Binary operators available in GPI formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -43,7 +42,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     Neg,
     Not,
@@ -53,7 +52,7 @@ pub enum UnOp {
 /// (§3.6). The ICPP'18 work extended the set with `ABS()`, `ALOG()`,
 /// `SUM()` "and other functions used in FORTRAN that were missing in the
 /// previous versions of GLAF".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LibFunc {
     /// Absolute value.
     Abs,
@@ -155,14 +154,14 @@ impl LibFunc {
 
 /// What a call site targets: a library function or a user-defined GLAF
 /// function of the same program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Callee {
     Lib(LibFunc),
     User(String),
 }
 
 /// An expression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     IntLit(i64),
     RealLit(f64),

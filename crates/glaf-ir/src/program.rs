@@ -1,13 +1,12 @@
 //! Program structure: modules containing functions containing steps.
 
-use serde::{Deserialize, Serialize};
 
 use glaf_grid::{DataType, Grid};
 
 use crate::stmt::Step;
 
 /// A GLAF function (or subroutine, when `return_type == Void`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     pub name: String,
     /// Selecting `Void` in the header step (Fig. 4) generates a SUBROUTINE
@@ -44,7 +43,7 @@ impl Function {
 
 /// A GLAF module: a named group of functions plus the grids created in the
 /// special Global Scope module (§2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlafModule {
     pub name: String,
     /// Global Scope grids: `ModuleScope` ones are declared/initialized in
@@ -67,7 +66,7 @@ impl GlafModule {
 }
 
 /// A whole GLAF program.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     pub modules: Vec<GlafModule>,
 }

@@ -7,12 +7,11 @@
 //! invoked through [`Stmt::CallSub`] / [`crate::Expr::Call`], per §3.3 of
 //! the paper.
 
-use serde::{Deserialize, Serialize};
 
 use crate::expr::Expr;
 
 /// The target of an assignment formula.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LValue {
     pub grid: String,
     /// Empty for scalar grids.
@@ -44,7 +43,7 @@ impl LValue {
 
 /// One index range of a loop nest: `foreach var in start..=end step step`.
 /// The GPI's "Index Range: foreach row" boxes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexRange {
     pub var: String,
     pub start: Expr,
@@ -62,7 +61,7 @@ impl IndexRange {
 }
 
 /// Executable statements inside a loop body or straight-line step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// A formula: `target = value`.
     Assign { target: LValue, value: Expr },
@@ -153,7 +152,7 @@ impl Stmt {
 
 /// A perfect loop nest: the ordered index ranges (outermost first), an
 /// optional guard applied inside the innermost loop, and the body.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopNest {
     pub ranges: Vec<IndexRange>,
     pub condition: Option<Expr>,
@@ -177,7 +176,7 @@ impl LoopNest {
 }
 
 /// The body of a step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StepBody {
     /// Straight-line statements (header step, scalar setup, calls).
     Straight(Vec<Stmt>),
@@ -186,7 +185,7 @@ pub enum StepBody {
 }
 
 /// A step: the GPI's unit of program structure within a function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Step {
     /// GPI step caption, e.g. "Loop through all atoms".
     pub label: Option<String>,

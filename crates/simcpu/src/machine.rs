@@ -1,10 +1,9 @@
 //! Machine model parameters and presets.
 
-use serde::{Deserialize, Serialize};
 
 /// A first-order analytical CPU model. All `cyc_*` values are amortized
 /// cycles per operation (reciprocal throughput, not latency).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineModel {
     pub name: String,
     /// Clock, GHz — converts cycles to seconds.

@@ -1,12 +1,11 @@
 //! Trace → time conversion and the breakdown report.
 
 use fortrans::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
-use serde::{Deserialize, Serialize};
 
 use crate::machine::MachineModel;
 
 /// Cycle breakdown of one timed trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     pub machine: String,
     pub total_cycles: f64,

@@ -1,0 +1,275 @@
+//! API-compatible subset of `criterion` for an offline build.
+//!
+//! This is a real measuring harness, not a stub: each benchmark is warmed
+//! up, then timed over `sample_size` samples with an adaptive
+//! iterations-per-sample so short routines are not dominated by timer
+//! overhead. Results print as `name  time: [min median max]`, close enough
+//! to criterion's layout for eyeballing and for scripts that grep the
+//! median column.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped per measurement; the shim times every
+/// routine invocation individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_millis(900),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), settings: self.settings.clone() }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), &self.settings, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, &self.settings, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, f: &mut F) {
+    let mut b = Bencher { settings: settings.clone(), samples_ns: Vec::new() };
+    f(&mut b);
+    b.report(name);
+}
+
+pub struct Bencher {
+    settings: Settings,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, criterion-style: warm-up, then `sample_size`
+    /// samples of `iters` calls each, where `iters` is sized so one sample
+    /// takes roughly `measurement / sample_size`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up || warm_calls < 3 {
+            black_box(routine());
+            warm_calls += 1;
+            if warm_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls as f64;
+
+        let samples = self.settings.sample_size;
+        let target_sample = self.settings.measurement.as_secs_f64() / samples as f64;
+        let iters = ((target_sample / per_call.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times only `routine`; `setup` runs untimed before every call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Untimed warm-up.
+        let warm_start = Instant::now();
+        let mut elapsed_in_routine = Duration::ZERO;
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up || warm_calls < 3 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed_in_routine += t.elapsed();
+            warm_calls += 1;
+            if warm_calls >= 100_000 {
+                break;
+            }
+        }
+        let per_call = elapsed_in_routine.as_secs_f64() / warm_calls as f64;
+
+        let samples = self.settings.sample_size;
+        let target_sample = self.settings.measurement.as_secs_f64() / samples as f64;
+        let iters = ((target_sample / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let mut ns = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                ns += t.elapsed().as_nanos();
+            }
+            self.samples_ns.push(ns as f64 / iters as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<48} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = self.samples_ns[0];
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let max = *self.samples_ns.last().unwrap();
+        println!(
+            "{name:<48} time:   [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn batched_runs_setup_each_call() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("sortvec", |b| {
+            b.iter_batched(
+                || vec![3, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,577 @@
+//! API-compatible subset of `proptest` for an offline build.
+//!
+//! Implements exactly the strategy surface this workspace's tests use:
+//! integer/float range strategies, `Just`, tuples, `prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `collection::vec`, `num::f64`
+//! class strategies, simple character-class regex strategies for `&str`,
+//! and the `proptest!` test macro with `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with its inputs unshrunk;
+//! * deterministic seeding per test name, so failures always reproduce;
+//! * `BoxedStrategy` is `Rc`-backed (tests are single-threaded).
+
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64: tiny, fast, and plenty for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Deterministic per-test stream: FNV-1a of the test name.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `0..n` (n > 0).
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit resolution.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values. Unlike real proptest there is no value tree:
+    /// `new_value` draws a fresh unshrinkable value.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds a bounded-depth recursive strategy by unrolling
+        /// `depth` levels eagerly; each level is a coin flip between a
+        /// leaf and the recursive construction, which keeps expected tree
+        /// sizes modest. `_desired_size`/`_expected_branch` are accepted
+        /// for signature compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur.clone()).boxed();
+                cur = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            cur
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_value(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    let r = (rng.next_u64() as u128) % span;
+                    (lo + r as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128 + 1;
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    let r = (rng.next_u64() as u128) % span;
+                    (lo + r as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng), self.2.new_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.new_value(rng),
+                self.1.new_value(rng),
+                self.2.new_value(rng),
+                self.3.new_value(rng),
+            )
+        }
+    }
+
+    /// `"[A-Za-z][A-Za-z0-9_]{0,12}"`-style strategies: sequences of
+    /// character classes / literals with `{m,n}`, `{n}`, `?`, `+`, `*`
+    /// quantifiers. Anything fancier panics loudly.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            super::regex_lite::generate(self, rng)
+        }
+    }
+}
+
+/// Tiny generator for the regex subset used as string strategies.
+mod regex_lite {
+    use super::test_runner::TestRng;
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (set, next) = parse_atom(pat, &chars, i);
+            let (min, max, next) = parse_quant(pat, &chars, next);
+            let reps = min + rng.below(max - min + 1);
+            for _ in 0..reps {
+                out.push(set[rng.below(set.len())]);
+            }
+            i = next;
+        }
+        out
+    }
+
+    fn parse_atom(pat: &str, chars: &[char], i: usize) -> (Vec<char>, usize) {
+        match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                assert!(
+                    chars.get(j) != Some(&'^'),
+                    "unsupported regex (negated class) in strategy: {pat}"
+                );
+                while j < chars.len() && chars[j] != ']' {
+                    if j + 2 < chars.len() && chars[j + 1] == '-' && chars[j + 2] != ']' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in strategy: {pat}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(j < chars.len(), "unterminated class in strategy: {pat}");
+                (set, j + 1)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing backslash in strategy: {pat}");
+                (vec![chars[i + 1]], i + 2)
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex construct {:?} in strategy: {pat}", chars[i])
+            }
+            c => (vec![c], i + 1),
+        }
+    }
+
+    fn parse_quant(pat: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in strategy: {pat}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse().expect("bad quantifier"),
+                        b.parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            Some('?') => (0, 1, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('*') => (0, 8, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        enum Kind {
+            /// Finite and strictly positive (normals and subnormals).
+            Positive,
+            /// Normal finite values of either sign.
+            Normal,
+            /// Any bit pattern: infinities and NaNs included.
+            Any,
+        }
+
+        #[derive(Debug, Clone, Copy)]
+        pub struct FloatStrategy(Kind);
+
+        pub const POSITIVE: FloatStrategy = FloatStrategy(Kind::Positive);
+        pub const NORMAL: FloatStrategy = FloatStrategy(Kind::Normal);
+        pub const ANY: FloatStrategy = FloatStrategy(Kind::Any);
+
+        impl Strategy for FloatStrategy {
+            type Value = f64;
+            fn new_value(&self, rng: &mut TestRng) -> f64 {
+                match self.0 {
+                    Kind::Any => f64::from_bits(rng.next_u64()),
+                    Kind::Positive => loop {
+                        let v = f64::from_bits(rng.next_u64() & !(1u64 << 63));
+                        if v.is_finite() && v > 0.0 {
+                            return v;
+                        }
+                    },
+                    Kind::Normal => {
+                        let sign = rng.next_u64() & (1 << 63);
+                        let exp = 1 + rng.below(2046) as u64; // biased exponent, never 0/0x7ff
+                        let mant = rng.next_u64() & ((1u64 << 52) - 1);
+                        f64::from_bits(sign | (exp << 52) | mant)
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: length drawn from the half-open range.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below(self.len.end - self.len.start);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// Mirrors real proptest's `prelude::prop` crate alias, so paths like
+    /// `prop::num::f64::POSITIVE` and `prop::collection::vec` work.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest!` block: each contained `fn name(arg in strategy, ...)`
+/// becomes a zero-argument test that draws `cases` random inputs from a
+/// deterministic per-test RNG stream and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::new_value(&(-4i8..5), &mut rng);
+            assert!((-4..5).contains(&v));
+            let w = Strategy::new_value(&(0i64..=i64::MAX), &mut rng);
+            assert!(w >= 0);
+            let f = Strategy::new_value(&(-1.5f64..2.5), &mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_class_quantifier() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[A-Za-z][A-Za-z0-9_]{0,12}", &mut rng);
+            assert!((1..=13).contains(&s.len()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn float_classes() {
+        let mut rng = TestRng::for_test("floats");
+        for _ in 0..500 {
+            let p = Strategy::new_value(&crate::num::f64::POSITIVE, &mut rng);
+            assert!(p.is_finite() && p > 0.0);
+            let n = Strategy::new_value(&crate::num::f64::NORMAL, &mut rng);
+            assert!(n.is_normal());
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone)]
+        enum E {
+            Leaf(i8),
+            Add(Box<E>, Box<E>),
+        }
+        fn depth(e: &E) -> usize {
+            match e {
+                E::Leaf(v) => {
+                    assert!((-4..5).contains(v));
+                    1
+                }
+                E::Add(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (-4i8..5).prop_map(E::Leaf).prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_test("rec");
+        for _ in 0..200 {
+            let e = Strategy::new_value(&strat, &mut rng);
+            assert!(depth(&e) <= 4, "{e:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, tuples, and vec strategies.
+        #[test]
+        fn macro_generates(v in 1usize..6, (a, b) in (0i64..10, 0i64..10),
+                           xs in prop::collection::vec(0u32..9, 1..5)) {
+            prop_assert!((1..6).contains(&v));
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert_ne!(v, 0);
+            prop_assert_eq!(v, v);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! API-compatible subset of `rayon` for an offline build: `into_par_iter()`
+//! on integer ranges with `map`/`sum`/`fold`/`reduce`.
+//!
+//! Unlike rayon's lazy work-stealing iterators, this shim is eager: each
+//! combinator materializes its input, splits it into one contiguous chunk
+//! per available core, and runs the chunks on scoped `std::thread`s. That
+//! preserves rayon's semantics for the workspace's usage (order-preserving
+//! `map`, chunk-local `fold` accumulators combined by `reduce`) while
+//! remaining genuinely parallel.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+}
+
+/// An eagerly materialized "parallel iterator".
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(i32, i64, u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Splits `items` into at most `worker_count()` contiguous chunks and maps
+/// each chunk on its own scoped thread, preserving order.
+fn par_chunks<T: Send, R: Send>(
+    items: Vec<T>,
+    run: impl Fn(Vec<T>) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 || n < 2 {
+        return run(items);
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let run = &run;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || run(c)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        let f = &f;
+        ParIter { items: par_chunks(self.items, |c| c.into_iter().map(f).collect()) }
+    }
+
+    /// One accumulator per chunk, as in rayon: the result is a parallel
+    /// iterator over the per-chunk fold results.
+    pub fn fold<A, ID, F>(self, identity: ID, fold: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync + Send,
+        F: Fn(A, T) -> A + Sync + Send,
+    {
+        let identity = &identity;
+        let fold = &fold;
+        ParIter {
+            items: par_chunks(self.items, |c| {
+                vec![c.into_iter().fold(identity(), fold)]
+            }),
+        }
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, reduce: F) -> T
+    where
+        ID: Fn() -> T,
+        F: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), reduce)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let par: f64 = (1..=100i64).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(par, 5050.0);
+    }
+
+    #[test]
+    fn fold_reduce_vector_accumulators() {
+        let n = 257usize;
+        let acc = (0..n)
+            .into_par_iter()
+            .fold(|| vec![0.0f64; 3], |mut a, i| {
+                a[i % 3] += i as f64;
+                a
+            })
+            .reduce(
+                || vec![0.0f64; 3],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        let mut want = vec![0.0f64; 3];
+        for i in 0..n {
+            want[i % 3] += i as f64;
+        }
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn empty_range() {
+        let s: f64 = (0..0i64).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, 0.0);
+    }
+}

@@ -9,7 +9,7 @@
 //! type-promotion slip in the resolver, or scheduling bug in the runtime
 //! shows up as a numeric mismatch.
 
-use glaf_repro::fortrans::{ArgVal, ExecMode, Val};
+use glaf_repro::fortrans::{ArgVal, ExecMode, ExecTier, Val};
 use glaf_repro::glaf::Glaf;
 use glaf_repro::glaf_codegen::CodegenOptions;
 use glaf_repro::glaf_grid::{DataType, Grid};
@@ -155,6 +155,60 @@ proptest! {
                         "acc {} vs {}", acc, expect_acc);
                 }
                 _ => prop_assert_eq!(acc, expect_acc),
+            }
+        }
+    }
+
+    /// The bytecode VM must be observationally indistinguishable from the
+    /// tree-walking interpreter on generated programs: identical result
+    /// bits, identical output arrays, and — in Simulated mode — an
+    /// identical cost-event stream despite the VM's constant folding,
+    /// dead-store elimination and fused loops (the traced bytecode build
+    /// disables all of them).
+    #[test]
+    fn vm_matches_tree_walker_bit_for_bit(e in texpr_strategy(), seed in 0u32..1000) {
+        let data: Vec<f64> = (0..N)
+            .map(|i| ((i as f64 + 1.0) * 0.53 + seed as f64 * 0.07).cos() * 2.0)
+            .collect();
+        let g = Glaf::new(build_program(&e)).expect("valid program");
+        let engine = g
+            .compile_with(&CodegenOptions::parallel_version(0), &[])
+            .expect("generated code compiles");
+
+        for mode in [
+            ExecMode::Serial,
+            ExecMode::Simulated { threads: 4 },
+            ExecMode::Parallel { threads: 4 },
+        ] {
+            let run_tier = |tier| {
+                let av = ArgVal::array_f(&[0.0; N], 1);
+                let bv = ArgVal::array_f(&data, 1);
+                let run = engine
+                    .run_tiered("kernel", &[ArgVal::I(N as i64), av.clone(), bv], mode, tier)
+                    .expect("runs");
+                (run.result, av.handle().unwrap().to_f64_vec(), run.trace)
+            };
+            let (vm_res, vm_a, vm_trace) = run_tier(ExecTier::Vm);
+            let (tw_res, tw_a, tw_trace) = run_tier(ExecTier::TreeWalk);
+
+            for (i, (va, ta)) in vm_a.iter().zip(tw_a.iter()).enumerate() {
+                prop_assert_eq!(va.to_bits(), ta.to_bits(),
+                    "a({}) in {:?} for {:?}: vm {} vs tw {}", i + 1, mode, e, va, ta);
+            }
+            match mode {
+                ExecMode::Parallel { .. } => {
+                    // Reductions combine in thread-completion order; the
+                    // tiers agree up to associativity-rounding.
+                    let (Some(Val::F(x)), Some(Val::F(y))) = (&vm_res, &tw_res) else {
+                        panic!("missing result")
+                    };
+                    prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+                        "acc {} vs {}", x, y);
+                }
+                _ => {
+                    prop_assert_eq!(&vm_res, &tw_res, "result in {:?} for {:?}", mode, e);
+                    prop_assert_eq!(&vm_trace, &tw_trace, "trace in {:?} for {:?}", mode, e);
+                }
             }
         }
     }
