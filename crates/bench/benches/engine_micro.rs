@@ -74,7 +74,7 @@ fn bench_runtime(c: &mut Criterion) {
     g.sample_size(30);
     let pool = omprt::ThreadPool::new(4);
     g.bench_function("fork_join_empty", |b| {
-        b.iter(|| pool.run(|_tid| {}));
+        b.iter(|| pool.run(|_tid| {}).unwrap());
     });
     g.bench_function("atomic_f64_add_10k", |b| {
         let cell = omprt::AtomicF64Cell::new(0.0);

@@ -162,6 +162,27 @@ pub enum Stmt {
     Print { args: Vec<Expr>, span: Span },
 }
 
+impl Stmt {
+    /// The source position of the statement keyword line.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Do { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Allocate { span, .. }
+            | Stmt::Deallocate { span, .. }
+            | Stmt::Critical { span, .. }
+            | Stmt::Stop { span, .. }
+            | Stmt::Print { span, .. } => *span,
+            Stmt::Return(span) | Stmt::Exit(span) | Stmt::Cycle(span) | Stmt::Continue(span) => {
+                *span
+            }
+        }
+    }
+}
+
 /// Subprogram kind.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UnitKind {

@@ -264,7 +264,7 @@ pub enum PItem {
 pub type FixedArray = (u32, ScalarTy, Vec<(i64, i64)>);
 
 /// A compiled unit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BUnit {
     pub code: Vec<BInstr>,
     /// Per-`VarIdx` resolved slot.
@@ -285,6 +285,20 @@ pub struct BUnit {
     pub result: Option<(VSlot, ScalarTy)>,
     /// Source unit index (for names in diagnostics).
     pub unit: u32,
+    /// PC→line debug table: `(first_pc, source_line)`, sorted by pc.
+    /// Instructions between two entries belong to the earlier one.
+    pub lines: Vec<(u32, u32)>,
+}
+
+impl BUnit {
+    /// The source line an instruction was compiled from, if known.
+    pub fn line_for_pc(&self, pc: u32) -> Option<u32> {
+        match self.lines.binary_search_by_key(&pc, |&(p, _)| p) {
+            Ok(i) => Some(self.lines[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.lines[i - 1].1),
+        }
+    }
 }
 
 /// Per-unit slot assignment (phase 1; needed across units for calls).
@@ -470,6 +484,10 @@ struct UnitCompiler<'a> {
     dead: Vec<bool>,
     /// Extra hidden i-slots for loop counters/bounds.
     ni_extra: u32,
+    /// PC→line debug table under construction.
+    lines: Vec<(u32, u32)>,
+    /// Last line recorded in `lines` (u32::MAX = none yet).
+    last_line: u32,
 }
 
 impl<'a> UnitCompiler<'a> {
@@ -512,6 +530,8 @@ impl<'a> UnitCompiler<'a> {
             ctx: Vec::new(),
             dead,
             ni_extra: tables[unit_idx].ni,
+            lines: Vec::new(),
+            last_line: u32::MAX,
         }
     }
 
@@ -534,6 +554,7 @@ impl<'a> UnitCompiler<'a> {
             msgs: self.msgs,
             result: t.result,
             unit: self.unit_idx as u32,
+            lines: self.lines,
         }
     }
 
@@ -999,9 +1020,14 @@ impl<'a> UnitCompiler<'a> {
 
     // ---------- statements ----------
 
-    fn emit_block(&mut self, body: &[RStmt]) {
-        for s in body {
-            self.emit_stmt(s);
+    fn emit_block(&mut self, body: &[SpStmt]) {
+        for sp in body {
+            if self.last_line != sp.line {
+                let pc = self.pc();
+                self.lines.push((pc, sp.line));
+                self.last_line = sp.line;
+            }
+            self.emit_stmt(&sp.s);
         }
     }
 
@@ -1229,7 +1255,7 @@ impl<'a> UnitCompiler<'a> {
         start: &RExpr,
         end: &RExpr,
         step: Option<&RExpr>,
-        body: &[RStmt],
+        body: &[SpStmt],
         vec: VecClass,
     ) {
         self.emit_expr(start);
@@ -1316,7 +1342,7 @@ impl<'a> UnitCompiler<'a> {
         start: &RExpr,
         end: &RExpr,
         step: Option<&RExpr>,
-        body: &[RStmt],
+        body: &[SpStmt],
         o: &ROmp,
         collapse_with: &[CollapseDim],
     ) {
@@ -1454,9 +1480,9 @@ fn find_dead_scalars(unit: &RUnit) -> Vec<bool> {
             RStmt::If { arms, else_body } => {
                 for (c, b) in arms {
                     expr(c, read);
-                    b.iter().for_each(|x| stmt(x, read));
+                    b.iter().for_each(|x| stmt(&x.s, read));
                 }
-                else_body.iter().for_each(|x| stmt(x, read));
+                else_body.iter().for_each(|x| stmt(&x.s, read));
             }
             RStmt::Do { var, start, end, step, body, omp, collapse_with, .. } => {
                 read[*var] = true;
@@ -1477,11 +1503,11 @@ fn find_dead_scalars(unit: &RUnit) -> Vec<bool> {
                         expr(nt, read);
                     }
                 }
-                body.iter().for_each(|x| stmt(x, read));
+                body.iter().for_each(|x| stmt(&x.s, read));
             }
             RStmt::DoWhile { cond, body } => {
                 expr(cond, read);
-                body.iter().for_each(|x| stmt(x, read));
+                body.iter().for_each(|x| stmt(&x.s, read));
             }
             RStmt::CallSub { args, .. } => args.iter().for_each(|a| rarg(a, read)),
             RStmt::Allocate { v, dims } => {
@@ -1492,7 +1518,7 @@ fn find_dead_scalars(unit: &RUnit) -> Vec<bool> {
                 }
             }
             RStmt::Deallocate { v } => read[*v] = true,
-            RStmt::Critical { body, .. } => body.iter().for_each(|x| stmt(x, read)),
+            RStmt::Critical { body, .. } => body.iter().for_each(|x| stmt(&x.s, read)),
             RStmt::Print(items) => {
                 for it in items {
                     if let PrintItem::Val(e) = it {
@@ -1503,7 +1529,7 @@ fn find_dead_scalars(unit: &RUnit) -> Vec<bool> {
             RStmt::Return | RStmt::Exit | RStmt::Cycle | RStmt::Stop(_) | RStmt::Nop => {}
         }
     }
-    unit.body.iter().for_each(|s| stmt(s, &mut read));
+    unit.body.iter().for_each(|s| stmt(&s.s, &mut read));
     unit.vars
         .iter()
         .enumerate()

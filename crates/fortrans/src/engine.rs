@@ -1,6 +1,13 @@
 //! The public engine facade: compile sources, run subprograms, inspect
 //! globals.
+//!
+//! This file is part of the user-reachable API surface, so internal
+//! panics are a bug here: keep it free of `unwrap`/`expect` (checked by
+//! the scoped lints below).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use omprt::{CriticalRegistry, ThreadPool};
@@ -9,7 +16,7 @@ use parking_lot::Mutex;
 use crate::bytecode::{compile_program, BUnit};
 use crate::cost::CostTrace;
 use crate::error::{CompileError, RunError};
-use crate::interp::{Exec, ExecMode, Task, Val};
+use crate::interp::{EffLimits, Exec, ExecMode, RunLimits, Task, Val};
 use crate::parse::parse;
 use crate::rir::{RProgram, ScalarTy};
 use crate::sema::resolve;
@@ -36,14 +43,20 @@ impl ArgVal {
         ArgVal::Arr(Arc::new(obj))
     }
 
-    /// Builds an n-D f64 array argument.
-    pub fn array_f_dims(data: &[f64], dims: Vec<(i64, i64)>) -> ArgVal {
-        let obj = ArrayObj::new(ScalarTy::F, dims);
-        assert_eq!(obj.len(), data.len(), "data length must match dims");
+    /// Builds an n-D f64 array argument. Fails (instead of panicking) if
+    /// the dims are malformed or their extent does not match `data`.
+    pub fn array_f_dims(data: &[f64], dims: Vec<(i64, i64)>) -> Result<ArgVal, RunError> {
+        let obj = ArrayObj::try_new(ScalarTy::F, dims)?;
+        if obj.len() != data.len() {
+            return Err(RunError::BadCall {
+                name: "array_f_dims".into(),
+                msg: format!("dims hold {} elements, data has {}", obj.len(), data.len()),
+            });
+        }
         for (i, v) in data.iter().enumerate() {
             obj.set_f(i, *v);
         }
-        ArgVal::Arr(Arc::new(obj))
+        Ok(ArgVal::Arr(Arc::new(obj)))
     }
 
     /// Builds a 1-D i64 array argument.
@@ -64,6 +77,16 @@ impl ArgVal {
     }
 }
 
+/// Diagnostic recorded when the VM tier trapped and the call was
+/// transparently re-executed on the tree-walk oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierFallback {
+    /// Entry unit of the trapped call.
+    pub unit: String,
+    /// The trap's panic payload (internal fault description).
+    pub what: String,
+}
+
 /// Outcome of a run.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -73,6 +96,9 @@ pub struct RunOutcome {
     pub trace: CostTrace,
     /// Everything PRINTed.
     pub printed: String,
+    /// Set when the VM tier trapped and the result came from the
+    /// tree-walk oracle instead (see [`Engine::run_tiered`]).
+    pub fallback: Option<TierFallback>,
 }
 
 /// A compiled FORTRAN program with live global storage.
@@ -85,11 +111,19 @@ pub struct Engine {
     globals: Arc<Globals>,
     pools: Mutex<Vec<(usize, Arc<ThreadPool>)>>,
     critical: Arc<CriticalRegistry>,
-    /// Lazily compiled bytecode: `[optimized, traced]`. The optimized
-    /// build (constant folding, dead-store elimination, fused loops)
-    /// serves Serial/Parallel; the traced build preserves every
-    /// cost-bearing operation for Simulated mode.
+    /// Compiled bytecode: `[optimized, traced]`. The optimized build
+    /// (constant folding, dead-store elimination, fused loops) serves
+    /// Serial/Parallel; the traced build preserves every cost-bearing
+    /// operation for Simulated mode. Both variants are compiled and
+    /// statically verified by [`Engine::compile`].
     bytecode: Mutex<[Option<Arc<Vec<BUnit>>>; 2]>,
+    /// Execution limits applied to every run (both tiers).
+    limits: RunLimits,
+    /// Number of VM traps that fell back to the oracle tier.
+    fallback_count: AtomicU64,
+    /// Test hook: force the next VM-tier run to trap (exercises the
+    /// fallback path without needing a real VM bug).
+    force_vm_trap: AtomicBool,
 }
 
 /// Which execution tier [`Engine::run_tiered`] uses.
@@ -116,13 +150,53 @@ impl Engine {
         }
         let prog = resolve(&ast)?;
         let globals = Arc::new(build_globals(&prog));
+        // Compile both bytecode variants eagerly and run the static
+        // verifier over them, so a compiler bug surfaces here as
+        // `CompileError::Verify` instead of undefined VM behavior later.
+        let optimized = compile_program(&prog, false);
+        crate::verify::verify_program(&prog, &optimized)?;
+        let traced = compile_program(&prog, true);
+        crate::verify::verify_program(&prog, &traced)?;
         Ok(Engine {
             prog: Arc::new(prog),
             globals,
             pools: Mutex::new(Vec::new()),
             critical: Arc::new(CriticalRegistry::new()),
-            bytecode: Mutex::new([None, None]),
+            bytecode: Mutex::new([Some(Arc::new(optimized)), Some(Arc::new(traced))]),
+            limits: RunLimits::default(),
+            fallback_count: AtomicU64::new(0),
+            force_vm_trap: AtomicBool::new(false),
         })
+    }
+
+    /// Sets execution limits applied to every subsequent run.
+    pub fn set_limits(&mut self, limits: RunLimits) {
+        self.limits = limits;
+    }
+
+    /// The currently configured execution limits.
+    pub fn limits(&self) -> RunLimits {
+        self.limits
+    }
+
+    /// How many VM traps have fallen back to the oracle tier so far.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallback_count.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: forces the next VM-tier run to trap, exercising the
+    /// trap-and-fallback path deterministically.
+    #[doc(hidden)]
+    pub fn debug_force_vm_trap(&self) {
+        self.force_vm_trap.store(true, Ordering::Relaxed);
+    }
+
+    /// Test hook: replaces the compiled bytecode of one variant
+    /// (`traced` selects the Simulated build). Used by the
+    /// fault-injection harness to execute corrupted streams.
+    #[doc(hidden)]
+    pub fn debug_inject_bytecode(&self, traced: bool, bunits: Vec<BUnit>) {
+        self.bytecode.lock()[usize::from(traced)] = Some(Arc::new(bunits));
     }
 
     /// The resolved program (introspection for tests and tooling).
@@ -167,6 +241,13 @@ impl Engine {
     }
 
     /// Runs subprogram `name` on an explicit execution tier.
+    ///
+    /// Internal panics never cross this boundary. A panic in the VM tier
+    /// (an engine bug, not a program-level [`RunError`]) is trapped, a
+    /// [`TierFallback`] diagnostic is recorded, and the call is
+    /// transparently re-executed on the tree-walk oracle so the caller
+    /// still gets an answer. A panic in the oracle itself surfaces as
+    /// [`RunError::Trap`].
     pub fn run_tiered(
         &self,
         name: &str,
@@ -178,31 +259,81 @@ impl Engine {
             .prog
             .unit_id(name)
             .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
+        match tier {
+            ExecTier::Vm => {
+                let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
+                let vm_run = catch_unwind(AssertUnwindSafe(|| {
+                    if forced {
+                        panic!("forced VM trap (test hook)");
+                    }
+                    self.run_on_vm(unit_id, args, mode)
+                }));
+                let trap = match vm_run {
+                    Err(payload) => payload_str(&*payload),
+                    // A contained worker panic surfaces as `Trap`: an
+                    // internal fault, so it also falls back.
+                    Ok(Err(ref e)) if matches!(e.root(), RunError::Trap { .. }) => e.to_string(),
+                    Ok(run) => return run,
+                };
+                // The VM trapped: record the diagnostic and give the
+                // caller the oracle's answer instead.
+                self.fallback_count.fetch_add(1, Ordering::Relaxed);
+                let fb = TierFallback { unit: name.into(), what: trap };
+                let mut out = self.run_on_oracle(unit_id, args, mode)?;
+                out.fallback = Some(fb);
+                Ok(out)
+            }
+            ExecTier::TreeWalk => self.run_on_oracle(unit_id, args, mode),
+        }
+    }
+
+    fn make_exec(&self, mode: ExecMode) -> Exec {
         let pool = match mode {
             ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
             _ => None,
         };
-        let exec = Exec {
+        Exec {
             prog: Arc::clone(&self.prog),
             globals: Arc::clone(&self.globals),
             mode,
             pool,
             critical: Arc::clone(&self.critical),
             printed: Mutex::new(String::new()),
-        };
+            limits: EffLimits::start(&self.limits),
+        }
+    }
+
+    fn run_on_vm(
+        &self,
+        unit_id: usize,
+        args: &[ArgVal],
+        mode: ExecMode,
+    ) -> Result<RunOutcome, RunError> {
+        let exec = self.make_exec(mode);
         let traced = matches!(mode, ExecMode::Simulated { .. });
-        let (result, trace, printed) = match tier {
-            ExecTier::Vm => {
-                let bunits = self.bytecode_for(traced);
-                crate::vm::run_vm(&exec, &bunits, unit_id, args)?
-            }
-            ExecTier::TreeWalk => {
-                let mut task = Task::new(&exec, 0, traced);
-                let frame = task.entry_frame(unit_id, args)?;
-                task.run_entry(unit_id, frame)?
-            }
-        };
-        Ok(RunOutcome { result, trace, printed })
+        let bunits = self.bytecode_for(traced);
+        let (result, trace, printed) = crate::vm::run_vm(&exec, &bunits, unit_id, args)?;
+        Ok(RunOutcome { result, trace, printed, fallback: None })
+    }
+
+    /// Runs on the tree-walk oracle, containing any internal panic as
+    /// [`RunError::Trap`] (the oracle is the last tier — there is nothing
+    /// left to fall back to).
+    fn run_on_oracle(
+        &self,
+        unit_id: usize,
+        args: &[ArgVal],
+        mode: ExecMode,
+    ) -> Result<RunOutcome, RunError> {
+        let traced = matches!(mode, ExecMode::Simulated { .. });
+        catch_unwind(AssertUnwindSafe(|| {
+            let exec = self.make_exec(mode);
+            let mut task = Task::new(&exec, 0, traced);
+            let frame = task.entry_frame(unit_id, args)?;
+            let (result, trace, printed) = task.run_entry(unit_id, frame)?;
+            Ok(RunOutcome { result, trace, printed, fallback: None })
+        }))
+        .unwrap_or_else(|payload| Err(RunError::Trap { what: payload_str(&*payload) }))
     }
 
     /// Reads a global scalar by diagnostic name (`module::var`,
@@ -246,6 +377,17 @@ impl Engine {
     /// Lists global diagnostic names (tooling).
     pub fn global_names(&self) -> Vec<String> {
         self.prog.globals.iter().map(|g| g.name.clone()).collect()
+    }
+}
+
+/// Renders a `catch_unwind` payload for diagnostics.
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -19,6 +19,10 @@ pub enum CompileError {
     Lex { msg: String, span: Span },
     Parse { msg: String, span: Span },
     Sema { msg: String, span: Span },
+    /// The static bytecode verifier rejected a compiled unit. `pc` is the
+    /// instruction index within the unit (or the unit length for
+    /// end-of-stream faults).
+    Verify { unit: String, pc: u32, msg: String },
 }
 
 impl std::fmt::Display for CompileError {
@@ -27,6 +31,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Lex { msg, span } => write!(f, "lex error at {span}: {msg}"),
             CompileError::Parse { msg, span } => write!(f, "parse error at {span}: {msg}"),
             CompileError::Sema { msg, span } => write!(f, "semantic error at {span}: {msg}"),
+            CompileError::Verify { unit, pc, msg } => {
+                write!(f, "bytecode verification failed in `{unit}` at pc {pc}: {msg}")
+            }
         }
     }
 }
@@ -53,6 +60,35 @@ pub enum RunError {
     Stop { msg: String },
     /// Iteration/recursion safety valve tripped.
     Limit { msg: String },
+    /// An internal fault (worker panic, contained VM trap) surfaced as a
+    /// recoverable error instead of aborting the process.
+    Trap { what: String },
+    /// A runtime fault annotated with where it happened. `line` is the
+    /// source line (via the PC→line debug table in the VM tier, or the
+    /// statement span in the tree-walk tier); `pc` is the bytecode
+    /// program counter and is set only by the VM tier. Display shows the
+    /// line when known so both tiers render identically, and falls back
+    /// to the pc otherwise.
+    Ctx { unit: String, line: Option<u32>, pc: Option<u32>, inner: Box<RunError> },
+}
+
+impl RunError {
+    /// Wraps `self` with execution context unless it is already wrapped
+    /// (the innermost frame wins: it is the most precise).
+    pub fn with_ctx(self, unit: &str, line: Option<u32>, pc: Option<u32>) -> RunError {
+        match self {
+            RunError::Ctx { .. } => self,
+            inner => RunError::Ctx { unit: unit.to_string(), line, pc, inner: Box::new(inner) },
+        }
+    }
+
+    /// The underlying fault, stripped of any context wrapper.
+    pub fn root(&self) -> &RunError {
+        match self {
+            RunError::Ctx { inner, .. } => inner.root(),
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for RunError {
@@ -69,6 +105,15 @@ impl std::fmt::Display for RunError {
             RunError::Type { msg } => write!(f, "type error: {msg}"),
             RunError::Stop { msg } => write!(f, "STOP: {msg}"),
             RunError::Limit { msg } => write!(f, "limit exceeded: {msg}"),
+            RunError::Trap { what } => write!(f, "internal fault trapped: {what}"),
+            RunError::Ctx { unit, line, pc, inner } => {
+                write!(f, "{inner} (in {unit}")?;
+                match (line, pc) {
+                    (Some(l), _) => write!(f, " at line {l})"),
+                    (None, Some(p)) => write!(f, " at pc {p})"),
+                    (None, None) => write!(f, ")"),
+                }
+            }
         }
     }
 }

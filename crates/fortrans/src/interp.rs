@@ -96,6 +96,52 @@ impl Val {
     }
 }
 
+/// Engine-level execution limits. Every field defaults to the engine's
+/// historical behavior (no step budget, no deadline, call depth 200), so
+/// `RunLimits::default()` is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Execution-step budget per top-level call (statements in the
+    /// tree-walk tier, instructions in the VM tier). `None` = unlimited.
+    pub max_steps: Option<u64>,
+    /// Wall-clock budget per top-level call. `None` = unlimited.
+    pub deadline: Option<std::time::Duration>,
+    /// Recursion safety valve (nested user-unit calls).
+    pub max_call_depth: usize,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_steps: None, deadline: None, max_call_depth: 200 }
+    }
+}
+
+/// `RunLimits` resolved against a concrete run start time.
+pub(crate) struct EffLimits {
+    pub(crate) max_steps: Option<u64>,
+    pub(crate) deadline: Option<std::time::Instant>,
+    pub(crate) max_call_depth: usize,
+}
+
+impl EffLimits {
+    pub(crate) fn start(lim: &RunLimits) -> Self {
+        EffLimits {
+            max_steps: lim.max_steps,
+            deadline: lim.deadline.map(|d| std::time::Instant::now() + d),
+            max_call_depth: lim.max_call_depth,
+        }
+    }
+
+    pub(crate) fn check_deadline(&self) -> Result<(), RunError> {
+        if let Some(t) = self.deadline {
+            if std::time::Instant::now() >= t {
+                return Err(RunError::Limit { msg: "deadline exceeded".into() });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Shared execution services.
 pub struct Exec {
     pub prog: Arc<RProgram>,
@@ -104,6 +150,7 @@ pub struct Exec {
     pub pool: Option<Arc<ThreadPool>>,
     pub critical: Arc<CriticalRegistry>,
     pub printed: Mutex<String>,
+    pub(crate) limits: EffLimits,
 }
 
 /// Statement outcome.
@@ -115,7 +162,6 @@ pub(crate) enum Flow {
     Return,
 }
 
-const MAX_CALL_DEPTH: usize = 200;
 
 /// Per-thread interpretation state.
 pub(crate) struct Task<'e> {
@@ -135,6 +181,12 @@ pub(crate) struct Task<'e> {
     vec_mode: VecClass,
     depth: usize,
     out: String,
+    /// Source line of the statement currently executing (fault context).
+    cur_line: u32,
+    /// Unit currently executing (fault context).
+    cur_unit: UnitId,
+    /// Statements executed (checked against `RunLimits::max_steps`).
+    steps: u64,
 }
 
 struct RegionCtx {
@@ -172,7 +224,21 @@ impl<'e> Task<'e> {
             vec_mode: VecClass::None,
             depth: 0,
             out: String::new(),
+            cur_line: 0,
+            cur_unit: 0,
+            steps: 0,
         }
+    }
+
+    /// The display name used in fault context for the current unit.
+    fn cur_unit_name(&self) -> &str {
+        &self.ex.prog.units[self.cur_unit].name
+    }
+
+    /// Wraps a fault with the location registers at the fault point.
+    fn attach_ctx(&self, e: RunError) -> RunError {
+        let line = if self.cur_line > 0 { Some(self.cur_line) } else { None };
+        e.with_ctx(self.cur_unit_name(), line, None)
     }
 
     fn bucket(&mut self) -> &mut CostCounters {
@@ -561,7 +627,7 @@ impl<'e> Task<'e> {
         callee_id: UnitId,
         args: &[RArg],
     ) -> Result<Option<Val>, RunError> {
-        if self.depth >= MAX_CALL_DEPTH {
+        if self.depth >= self.ex.limits.max_call_depth {
             return Err(RunError::Limit { msg: "call depth exceeded".into() });
         }
         self.add_misc(|c| c.calls += 1);
@@ -612,11 +678,18 @@ impl<'e> Task<'e> {
             }
         }
 
-        // Execute.
+        // Execute. The location registers move to the callee and are
+        // restored only on success, so a propagating fault keeps the
+        // innermost (most precise) location.
+        let (saved_unit, saved_line) = (self.cur_unit, self.cur_line);
+        self.cur_unit = callee_id;
         self.depth += 1;
         let flow = self.exec_block(callee, &mut cframe, &callee.body);
         self.depth -= 1;
-        match flow? {
+        let flow = flow?;
+        self.cur_unit = saved_unit;
+        self.cur_line = saved_line;
+        match flow {
             Flow::Normal | Flow::Return => {}
             _ => return Err(RunError::Type { msg: "EXIT/CYCLE escaped a unit".into() }),
         }
@@ -657,15 +730,33 @@ impl<'e> Task<'e> {
         &mut self,
         unit: &RUnit,
         frame: &mut Frame,
-        body: &[RStmt],
+        body: &[SpStmt],
     ) -> Result<Flow, RunError> {
-        for s in body {
-            match self.exec_stmt(unit, frame, s)? {
+        for sp in body {
+            self.cur_line = sp.line;
+            self.tick()?;
+            match self.exec_stmt(unit, frame, &sp.s)? {
                 Flow::Normal => {}
                 f => return Ok(f),
             }
         }
         Ok(Flow::Normal)
+    }
+
+    /// Per-statement accounting against the engine's `RunLimits`.
+    #[inline]
+    fn tick(&mut self) -> Result<(), RunError> {
+        self.steps += 1;
+        let lim = &self.ex.limits;
+        if let Some(max) = lim.max_steps {
+            if self.steps > max {
+                return Err(RunError::Limit { msg: format!("step budget of {max} exhausted") });
+            }
+        }
+        if lim.deadline.is_some() && self.steps.is_multiple_of(1024) {
+            lim.check_deadline()?;
+        }
+        Ok(())
     }
 
     fn exec_stmt(
@@ -808,7 +899,7 @@ impl<'e> Task<'e> {
                 }
                 let info = &unit.vars[*v];
                 let ty = info.ty;
-                let obj = Arc::new(ArrayObj::new(ty, rd.clone()));
+                let obj = Arc::new(ArrayObj::try_new(ty, rd.clone())?);
                 self.add_misc(|c| {
                     c.alloc_calls += 1;
                 });
@@ -914,7 +1005,7 @@ impl<'e> Task<'e> {
         start: &RExpr,
         end: &RExpr,
         step: Option<&RExpr>,
-        body: &[RStmt],
+        body: &[SpStmt],
         omp: Option<&ROmp>,
         vec: VecClass,
         collapse_with: &[CollapseDim],
@@ -1023,7 +1114,7 @@ impl<'e> Task<'e> {
         s0: i64,
         e0: i64,
         st: i64,
-        body: &[RStmt],
+        body: &[SpStmt],
         vec: VecClass,
     ) -> Result<Flow, RunError> {
         let prev_vec = self.vec_mode;
@@ -1056,7 +1147,7 @@ impl<'e> Task<'e> {
         frame: &mut Frame,
         dims: &[(VarIdx, i64, i64)],
         outer_step: i64,
-        body: &[RStmt],
+        body: &[SpStmt],
         _o: &ROmp,
         owner: Option<&[u16]>,
     ) -> Result<Flow, RunError> {
@@ -1110,7 +1201,7 @@ impl<'e> Task<'e> {
         frame: &mut Frame,
         dims: &[(VarIdx, i64, i64)],
         outer_step: i64,
-        body: &[RStmt],
+        body: &[SpStmt],
         o: &ROmp,
         team: usize,
         total_trip: u64,
@@ -1157,6 +1248,7 @@ impl<'e> Task<'e> {
         let results: Mutex<Vec<Result<Vec<Val>, RunError>>> = Mutex::new(Vec::new());
         let prints: Mutex<String> = Mutex::new(String::new());
         let ex = self.ex;
+        let cur_unit = self.cur_unit;
         let base_frame = &*frame;
         let dims_ref = dims;
         let trips_ref = &trips;
@@ -1169,6 +1261,7 @@ impl<'e> Task<'e> {
             }
             let mut task = Task::new(ex, tid, false);
             task.in_real_region = true;
+            task.cur_unit = cur_unit;
             let mut tframe = base_frame.clone();
             // PRIVATE arrays: detach per-thread deep copies.
             for &pv in &o_ref.private {
@@ -1225,8 +1318,9 @@ impl<'e> Task<'e> {
             if !task.out.is_empty() {
                 prints.lock().push_str(&task.out);
             }
-            results.lock().push(run);
-        });
+            results.lock().push(run.map_err(|e| task.attach_ctx(e)));
+        })
+        .map_err(|p| RunError::Trap { what: p.to_string() })?;
 
         self.out.push_str(&prints.into_inner());
         let mut all_partials: Vec<Vec<Val>> = Vec::new();
@@ -1255,7 +1349,10 @@ impl<'e> Task<'e> {
         let prog = Arc::clone(&self.ex.prog);
         let unit = &prog.units[unit_id];
         let mut frame = frame;
-        let flow = self.exec_block(unit, &mut frame, &unit.body)?;
+        self.cur_unit = unit_id;
+        let flow = self
+            .exec_block(unit, &mut frame, &unit.body)
+            .map_err(|e| self.attach_ctx(e))?;
         debug_assert!(matches!(flow, Flow::Normal | Flow::Return));
         let result = unit.result.map(|(rv, rty)| {
             let Place::Frame(slot) = unit.vars[rv].place else { unreachable!() };

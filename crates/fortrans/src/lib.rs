@@ -62,11 +62,12 @@ pub mod parse;
 pub mod rir;
 pub mod sema;
 pub mod storage;
+pub mod verify;
 pub mod vm;
 
 pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
-pub use engine::{ArgVal, Engine, ExecTier, RunOutcome};
+pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback};
 pub use error::{CompileError, RunError};
-pub use interp::{ExecMode, Val};
+pub use interp::{ExecMode, RunLimits, Val};
 pub use rir::ScalarTy;
 pub use storage::ArrayObj;

@@ -109,6 +109,15 @@ pub enum VecClass {
     Memset,
 }
 
+/// A resolved statement tagged with its source line, so both execution
+/// tiers can report *where* a runtime fault happened (and the bytecode
+/// compiler can emit a PC→line debug table).
+#[derive(Debug, Clone)]
+pub struct SpStmt {
+    pub line: u32,
+    pub s: RStmt,
+}
+
 /// Resolved statements.
 #[derive(Debug, Clone)]
 pub enum RStmt {
@@ -120,24 +129,24 @@ pub enum RStmt {
     CopyArray { dst: VarIdx, src: VarIdx },
     /// `!$OMP ATOMIC`-protected update `v[subs] = v[subs] op e`.
     AtomicUpdate { v: VarIdx, subs: Vec<RExpr>, op: RedOp, e: RExpr },
-    If { arms: Vec<(RExpr, Vec<RStmt>)>, else_body: Vec<RStmt> },
+    If { arms: Vec<(RExpr, Vec<SpStmt>)>, else_body: Vec<SpStmt> },
     Do {
         var: VarIdx,
         start: RExpr,
         end: RExpr,
         step: Option<RExpr>,
-        body: Vec<RStmt>,
+        body: Vec<SpStmt>,
         omp: Option<ROmp>,
         vec: VecClass,
         /// For COLLAPSE(n): the next n-1 perfectly-nested inner loops.
         /// (Filled by sema when the loop carries an OMP collapse clause.)
         collapse_with: Vec<CollapseDim>,
     },
-    DoWhile { cond: RExpr, body: Vec<RStmt> },
+    DoWhile { cond: RExpr, body: Vec<SpStmt> },
     CallSub { unit: UnitId, args: Vec<RArg> },
     Allocate { v: VarIdx, dims: Vec<(RExpr, RExpr)> },
     Deallocate { v: VarIdx },
-    Critical { name: String, body: Vec<RStmt> },
+    Critical { name: String, body: Vec<SpStmt> },
     Return,
     Exit,
     Cycle,
@@ -173,7 +182,7 @@ pub struct RUnit {
     pub frame_size: usize,
     /// Result slot for functions.
     pub result: Option<(VarIdx, ScalarTy)>,
-    pub body: Vec<RStmt>,
+    pub body: Vec<SpStmt>,
 }
 
 /// Metadata for one global cell (allocation + reset + introspection).

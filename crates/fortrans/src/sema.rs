@@ -697,8 +697,10 @@ impl Resolver {
         &mut self,
         uc: &mut UnitCtx,
         body: &[Stmt],
-    ) -> Result<Vec<RStmt>, CompileError> {
-        body.iter().map(|s| self.resolve_stmt(uc, s)).collect()
+    ) -> Result<Vec<SpStmt>, CompileError> {
+        body.iter()
+            .map(|s| Ok(SpStmt { line: s.span().line, s: self.resolve_stmt(uc, s)? }))
+            .collect()
     }
 
     fn resolve_stmt(&mut self, uc: &mut UnitCtx, s: &Stmt) -> Result<RStmt, CompileError> {
@@ -1411,10 +1413,10 @@ fn match_atomic_pattern(target: &ast::Desig, value: &Expr) -> Option<(ast::RedOp
 }
 
 /// Compiler-model vectorization classification of a (serial) loop body.
-fn classify_vec(body: &[RStmt]) -> VecClass {
+fn classify_vec(body: &[SpStmt]) -> VecClass {
     let simple = body.iter().all(|s| {
         matches!(
-            s,
+            s.s,
             RStmt::AssignElem { .. } | RStmt::AssignScalar { .. } | RStmt::Broadcast { .. }
         )
     });
@@ -1422,7 +1424,7 @@ fn classify_vec(body: &[RStmt]) -> VecClass {
         return VecClass::None;
     }
     if body.len() == 1 {
-        if let RStmt::AssignElem { e, .. } = &body[0] {
+        if let RStmt::AssignElem { e, .. } = &body[0].s {
             if matches!(e, RExpr::ConstF(v) if *v == 0.0) || matches!(e, RExpr::ConstI(0)) {
                 return VecClass::Memset;
             }

@@ -8,6 +8,10 @@
 //! unsynchronized writes gets *unspecified values* (as real OpenMP would)
 //! instead of undefined behaviour.
 
+// Storage is on the user-reachable fault path (allocation sizes come
+// from program input): failures must surface as `RunError`, not panics.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -16,9 +20,21 @@ use parking_lot::RwLock;
 use crate::error::RunError;
 use crate::rir::ScalarTy;
 
+/// `(lo:hi,lo:hi,...)` shape description for diagnostics.
+fn dims_desc(dims: &[(i64, i64)]) -> String {
+    let parts: Vec<String> = dims.iter().map(|(lo, hi)| format!("{lo}:{hi}")).collect();
+    format!("({})", parts.join(","))
+}
+
 /// Maximum logical threads the engine supports (sizing for per-thread
 /// storage — SAVE/THREADPRIVATE cells).
 pub const MAX_THREADS: usize = 64;
+
+/// Allocation safety valve: the largest element count a single runtime
+/// array may hold (2^32 elements = 32 GiB of cells). Corrupt or hostile
+/// ALLOCATE bounds surface as [`RunError::Limit`] instead of aborting
+/// the process inside the allocator.
+pub const MAX_ARRAY_ELEMS: usize = 1 << 32;
 
 /// A runtime array: dims + typed atomic cells, column-major.
 #[derive(Debug)]
@@ -43,9 +59,48 @@ impl ArrayObj {
         ArrayObj { ty, dims, cells: v.into_boxed_slice() }
     }
 
+    /// Checked variant of [`ArrayObj::new`]: rejects element counts that
+    /// overflow or exceed [`MAX_ARRAY_ELEMS`] instead of aborting inside
+    /// the allocator. Runtime ALLOCATE goes through here.
+    pub fn try_new(ty: ScalarTy, dims: Vec<(i64, i64)>) -> Result<Self, RunError> {
+        let mut n: usize = 1;
+        for &(lo, hi) in &dims {
+            let extent = if hi >= lo {
+                usize::try_from(hi - lo).ok().and_then(|e| e.checked_add(1))
+            } else {
+                Some(0)
+            };
+            n = extent.and_then(|e| n.checked_mul(e)).ok_or(()).and_then(|n| {
+                if n > MAX_ARRAY_ELEMS { Err(()) } else { Ok(n) }
+            }).map_err(|()| RunError::Limit {
+                msg: format!("array allocation of {} exceeds the element cap", dims_desc(&dims)),
+            })?;
+        }
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        Ok(ArrayObj { ty, dims, cells: v.into_boxed_slice() })
+    }
+
     /// Element count.
     pub fn len(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Whether static dims fit the allocation cap (compile-time check).
+    pub fn dims_fit(dims: &[(i64, i64)]) -> bool {
+        let mut n: usize = 1;
+        for &(lo, hi) in dims {
+            let extent = if hi >= lo {
+                usize::try_from(hi - lo).ok().and_then(|e| e.checked_add(1))
+            } else {
+                Some(0)
+            };
+            match extent.and_then(|e| n.checked_mul(e)) {
+                Some(m) if m <= MAX_ARRAY_ELEMS => n = m,
+                _ => return false,
+            }
+        }
+        true
     }
 
     pub fn is_empty(&self) -> bool {
@@ -315,6 +370,7 @@ impl Frame {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,844 @@
+//! Static bytecode verifier: proves a compiled [`BUnit`] safe to run on
+//! the VM tier before it ever executes.
+//!
+//! The VM ([`crate::vm`]) is written against a compiler invariant — slot
+//! indices are in range, jump targets land inside the unit, the operand
+//! stack balances along every control-flow path — and indexes its banks
+//! without bounds checks on the strength of it. A miscompiled or
+//! corrupted instruction stream would turn those assumptions into
+//! panics or silent wrong answers. This module re-establishes the
+//! invariant *from the bytecode alone*, in two passes per unit:
+//!
+//! 1. **Structural pass** over every instruction (reachable or not):
+//!    slot indices within the declared banks, global cells within the
+//!    program's global table, jump/branch/loop targets inside
+//!    `[0, code.len()]`, message/call/OMP/print/shape descriptor
+//!    indices within their tables, DO-loop strides provably non-zero
+//!    where the compiler elided the runtime check, and call sites whose
+//!    arity and parameter slots match the callee.
+//! 2. **Abstract interpretation** of stack depths from the entry point:
+//!    each reachable pc gets a `(operand, array, stash)` depth triple;
+//!    joins must agree, pops must not underflow, and every exit —
+//!    falling off the end, `RETURN`, or a loop-flow escape — must leave
+//!    all three stacks empty.
+//!
+//! [`verify_program`] runs after `compile_program` inside
+//! [`crate::engine::Engine::compile`], so a program that compiles has
+//! *verified* bytecode before the first run. The [`mutate`] submodule
+//! is the other half of the bargain: a deterministic fault injector
+//! that corrupts verified bytecode in ways the verifier (or the
+//! engine's trap-and-fallback path) must catch — see
+//! `tests/fault_injection.rs`.
+
+use crate::bytecode::{BArg, BInstr, BUnit, PItem, VSlot, NO_PC};
+use crate::error::CompileError;
+use crate::rir::RProgram;
+
+/// Verifies every unit of a compiled program. Returns the first
+/// violation as [`CompileError::Verify`] with the unit name and pc.
+pub fn verify_program(prog: &RProgram, bunits: &[BUnit]) -> Result<(), CompileError> {
+    for bu in bunits {
+        let v = Verifier { prog, bunits, bu };
+        v.verify().map_err(|(pc, msg)| CompileError::Verify {
+            unit: unit_name(prog, bu),
+            pc,
+            msg,
+        })?;
+    }
+    Ok(())
+}
+
+fn unit_name(prog: &RProgram, bu: &BUnit) -> String {
+    match prog.units.get(bu.unit as usize) {
+        Some(u) => u.name.clone(),
+        None => format!("unit#{}", bu.unit),
+    }
+}
+
+/// Abstract machine state: depths of the operand stack, the array-handle
+/// stack and the subscript stash.
+type Depth = (u32, u32, u32);
+
+/// A violation: (pc, message).
+type Violation = (u32, String);
+
+struct Verifier<'a> {
+    prog: &'a RProgram,
+    bunits: &'a [BUnit],
+    bu: &'a BUnit,
+}
+
+impl Verifier<'_> {
+    fn verify(&self) -> Result<(), Violation> {
+        self.check_unit_tables()?;
+        for (pc, ins) in self.bu.code.iter().enumerate() {
+            self.structural(pc as u32, ins)?;
+        }
+        self.dataflow()
+    }
+
+    // ---------- unit-level tables ----------
+
+    fn check_unit_tables(&self) -> Result<(), Violation> {
+        let bu = self.bu;
+        let unit = self
+            .prog
+            .units
+            .get(bu.unit as usize)
+            .ok_or_else(|| (0, format!("unit index {} out of range", bu.unit)))?;
+        if bu.vslots.len() != unit.vars.len() {
+            return Err((
+                0,
+                format!(
+                    "slot table has {} entries for {} variables",
+                    bu.vslots.len(),
+                    unit.vars.len()
+                ),
+            ));
+        }
+        for &vs in &bu.vslots {
+            self.slot_ok(bu, vs).map_err(|m| (0, m))?;
+        }
+        if let Some((vs, _)) = bu.result {
+            self.scalar_slot_ok(bu, vs).map_err(|m| (0, m))?;
+        }
+        for &(slot, _, ref dims) in &bu.fixed_arrays {
+            if slot >= bu.na {
+                return Err((0, format!("fixed array slot {slot} out of range (na={})", bu.na)));
+            }
+            if !crate::storage::ArrayObj::dims_fit(dims) {
+                return Err((0, "fixed array shape exceeds the element cap".into()));
+            }
+        }
+        Ok(())
+    }
+
+    // ---------- per-instruction structural checks ----------
+
+    #[allow(clippy::too_many_lines)]
+    fn structural(&self, pc: u32, ins: &BInstr) -> Result<(), Violation> {
+        use BInstr::*;
+        let bu = self.bu;
+        let n = bu.code.len() as u32;
+        let at = |m: String| (pc, m);
+        let tgt = |t: u32, what: &str| -> Result<(), Violation> {
+            if t > n {
+                Err(at(format!("{what} target {t} out of range (unit has {n} instructions)")))
+            } else {
+                Ok(())
+            }
+        };
+        let islot = |s: u32, what: &str| -> Result<(), Violation> {
+            if s >= bu.ni {
+                Err(at(format!("{what} i-slot {s} out of range (ni={})", bu.ni)))
+            } else {
+                Ok(())
+            }
+        };
+        let msg_ok = |m: u32| -> Result<(), Violation> {
+            if m as usize >= bu.msgs.len() {
+                Err(at(format!("message index {m} out of range ({} messages)", bu.msgs.len())))
+            } else {
+                Ok(())
+            }
+        };
+        match *ins {
+            LoadI(s) | StoreI(s) => islot(s, "scalar")?,
+            LoadF(s) | StoreF(s) => {
+                if s >= bu.nf {
+                    return Err(at(format!("f-slot {s} out of range (nf={})", bu.nf)));
+                }
+            }
+            LoadB(s) | StoreB(s) => {
+                if s >= bu.nb {
+                    return Err(at(format!("b-slot {s} out of range (nb={})", bu.nb)));
+                }
+            }
+            LoadG(c) | StoreG(c) => self.glob_ok(c).map_err(at)?,
+            FailType { msg } | Stop { msg } => msg_ok(msg)?,
+            LoadElem { vs, v, .. } | StoreElem { vs, v, .. } | StashElem { vs, v, .. } => {
+                self.slot_ok(bu, vs).map_err(at)?;
+                self.var_ok(v).map_err(at)?;
+            }
+            AtomicElem { vs, v, .. } | Broadcast { vs, v, .. } | ArrRed { vs, v, .. }
+            | PushArr { vs, v } => {
+                self.slot_ok(bu, vs).map_err(at)?;
+                self.var_ok(v).map_err(at)?;
+            }
+            AtomicScal { vs, v, .. } => {
+                self.scalar_slot_ok(bu, vs).map_err(at)?;
+                self.var_ok(v).map_err(at)?;
+            }
+            AllocatedQ { vs } => self.slot_ok(bu, vs).map_err(at)?,
+            CopyArr { dvs, dv, svs, sv } => {
+                self.slot_ok(bu, dvs).map_err(at)?;
+                self.slot_ok(bu, svs).map_err(at)?;
+                self.var_ok(dv).map_err(at)?;
+                self.var_ok(sv).map_err(at)?;
+            }
+            LoadElemS { a, sd, v, .. } | StoreElemS { a, sd, v, .. } => {
+                if a >= bu.na {
+                    return Err(at(format!("a-slot {a} out of range (na={})", bu.na)));
+                }
+                if sd as usize >= bu.sdims.len() {
+                    return Err(at(format!("shape descriptor {sd} out of range")));
+                }
+                self.var_ok(v).map_err(at)?;
+            }
+            Alloc { vs, v, .. } | Dealloc { vs, v } => {
+                self.slot_ok(bu, vs).map_err(at)?;
+                self.var_ok(v).map_err(at)?;
+                if matches!(vs, VSlot::I(_) | VSlot::F(_) | VSlot::B(_)) {
+                    return Err(at("ALLOCATE/DEALLOCATE of a scalar slot".into()));
+                }
+            }
+            Jump(t) => tgt(t, "jump")?,
+            JumpIfFalse(t) => tgt(t, "branch")?,
+            DoInitC { ctr, end } => {
+                islot(ctr, "DO counter")?;
+                islot(end, "DO end")?;
+            }
+            DoInit { ctr, end, step, check } => {
+                islot(ctr, "DO counter")?;
+                islot(end, "DO end")?;
+                islot(step, "DO step")?;
+                if !check {
+                    // The compiler only elides the runtime zero-step check
+                    // when the step folded to a constant it proved
+                    // non-zero — which it pushes immediately before.
+                    let prev = pc.checked_sub(1).map(|p| &bu.code[p as usize]);
+                    match prev {
+                        Some(&Const(bits)) if bits as i64 != 0 => {}
+                        _ => {
+                            return Err(at(
+                                "unchecked DO step is not a non-zero constant".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            DoHead1 { ctr, end, var, exit } => {
+                islot(ctr, "DO counter")?;
+                islot(end, "DO end")?;
+                islot(var, "DO variable")?;
+                tgt(exit, "loop exit")?;
+            }
+            DoHeadN { ctr, end, step, var, exit } => {
+                islot(ctr, "DO counter")?;
+                islot(end, "DO end")?;
+                islot(step, "DO step")?;
+                islot(var, "DO variable")?;
+                tgt(exit, "loop exit")?;
+            }
+            DoHead { ctr, end, step, exit } => {
+                islot(ctr, "DO counter")?;
+                islot(end, "DO end")?;
+                islot(step, "DO step")?;
+                tgt(exit, "loop exit")?;
+            }
+            DoIncr1 { ctr, head } => {
+                islot(ctr, "DO counter")?;
+                tgt(head, "loop head")?;
+            }
+            DoIncr { ctr, step, head } => {
+                islot(ctr, "DO counter")?;
+                islot(step, "DO step")?;
+                tgt(head, "loop head")?;
+            }
+            Critical { name, end, exit, cycle } => {
+                msg_ok(name)?;
+                tgt(end, "CRITICAL end")?;
+                if end < pc + 1 {
+                    return Err(at("CRITICAL body ends before it starts".into()));
+                }
+                if exit != NO_PC {
+                    tgt(exit, "CRITICAL exit")?;
+                }
+                if cycle != NO_PC {
+                    tgt(cycle, "CRITICAL cycle")?;
+                }
+            }
+            OmpDo { desc } => {
+                let od = bu
+                    .omps
+                    .get(desc as usize)
+                    .ok_or_else(|| at(format!("OMP descriptor {desc} out of range")))?;
+                if od.dims.is_empty() {
+                    return Err(at("OMP descriptor has no loop dimensions".into()));
+                }
+                for &(vs, _) in &od.dims {
+                    self.scalar_slot_ok(bu, vs).map_err(at)?;
+                }
+                let (blo, bhi) = od.body;
+                if blo > bhi {
+                    return Err(at(format!("OMP body range {blo}..{bhi} is reversed")));
+                }
+                tgt(bhi, "OMP body end")?;
+                for &pa in &od.private_arrays {
+                    if pa >= bu.na {
+                        return Err(at(format!("PRIVATE array slot {pa} out of range")));
+                    }
+                }
+                for spec in &od.reductions {
+                    self.scalar_slot_ok(bu, spec.vs).map_err(at)?;
+                }
+            }
+            Call { spec, push } => {
+                let cs = bu
+                    .calls
+                    .get(spec as usize)
+                    .ok_or_else(|| at(format!("call spec {spec} out of range")))?;
+                let callee = self
+                    .bunits
+                    .get(cs.callee as usize)
+                    .ok_or_else(|| at(format!("callee unit {} out of range", cs.callee)))?;
+                let cunit = self
+                    .prog
+                    .units
+                    .get(cs.callee as usize)
+                    .ok_or_else(|| at(format!("callee unit {} out of range", cs.callee)))?;
+                if cs.args.len() != cunit.params.len() {
+                    return Err(at(format!(
+                        "call to `{}` passes {} args, callee takes {}",
+                        cunit.name,
+                        cs.args.len(),
+                        cunit.params.len()
+                    )));
+                }
+                let stash: u32 = cs
+                    .args
+                    .iter()
+                    .map(|a| match *a {
+                        BArg::Elem { nsubs, .. } => u32::from(nsubs),
+                        _ => 0,
+                    })
+                    .sum();
+                if stash != cs.n_stash {
+                    return Err(at(format!(
+                        "call stash count {} disagrees with arguments ({stash})",
+                        cs.n_stash
+                    )));
+                }
+                if push && cs.ret.is_none() {
+                    return Err(at("call pushes a result but the callee has none".into()));
+                }
+                if let Some((rvs, _)) = cs.ret {
+                    self.scalar_slot_ok(callee, rvs).map_err(at)?;
+                }
+                for arg in &cs.args {
+                    match *arg {
+                        BArg::Scalar { src_vs, src_v, p, .. } => {
+                            self.scalar_slot_ok(bu, src_vs).map_err(at)?;
+                            self.var_ok(src_v).map_err(at)?;
+                            self.scalar_slot_ok(callee, p).map_err(at)?;
+                        }
+                        BArg::Val { p, .. } => self.scalar_slot_ok(callee, p).map_err(at)?,
+                        BArg::Elem { vs, v, p, .. } => {
+                            self.slot_ok(bu, vs).map_err(at)?;
+                            self.var_ok(v).map_err(at)?;
+                            self.scalar_slot_ok(callee, p).map_err(at)?;
+                        }
+                        BArg::Arr { p } => {
+                            if p >= callee.na {
+                                return Err(at(format!(
+                                    "array argument slot {p} out of callee range (na={})",
+                                    callee.na
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            Print { spec } => {
+                if spec as usize >= bu.prints.len() {
+                    return Err(at(format!("print spec {spec} out of range")));
+                }
+            }
+            // Pure stack/cost instructions carry no indices.
+            Const(_) | CvtIF | CvtFI | CvtIB | CvtFB | AddF | SubF | MulF | DivF | PowFF
+            | PowFI | NegF | AddI | SubI | MulI | DivI | PowII | NegI | NotB | AndB | OrB
+            | CmpF(_) | CmpI(_) | FailArith2 | FailNegB | IntrI { .. } | IntrF { .. }
+            | CostBranch | VecEnter(_) | VecLeave | CheckStepNZ | FlowExit | FlowCycle
+            | FlowReturn | CallPre => {}
+        }
+        Ok(())
+    }
+
+    // ---------- stack-depth abstract interpretation ----------
+
+    fn dataflow(&self) -> Result<(), Violation> {
+        let n = self.bu.code.len();
+        let mut state: Vec<Option<Depth>> = vec![None; n + 1];
+        let mut work: Vec<u32> = Vec::new();
+        join(&mut state, &mut work, 0, (0, 0, 0), 0)?;
+        while let Some(pc) = work.pop() {
+            let pcu = pc as usize;
+            if pcu == n {
+                continue; // virtual exit node; depth checked in `join`
+            }
+            let Some(d) = state[pcu] else { continue };
+            for (t, nd) in self.step(pc, self.bu.code[pcu], d)? {
+                join(&mut state, &mut work, t, nd, pc)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfer function: successors of `pc` with their entry depths.
+    /// Terminators return no successors.
+    fn step(&self, pc: u32, ins: BInstr, d: Depth) -> Result<Vec<(u32, Depth)>, Violation> {
+        use BInstr::*;
+        let (mut s, mut a, mut t) = d;
+        let pop = |s: &mut u32, n: u32| -> Result<(), Violation> {
+            if *s < n {
+                Err((pc, format!("operand stack underflow: need {n}, have {}", *s)))
+            } else {
+                *s -= n;
+                Ok(())
+            }
+        };
+        match ins {
+            Const(_) | LoadI(_) | LoadF(_) | LoadB(_) | LoadG(_) | ArrRed { .. }
+            | AllocatedQ { .. } => s += 1,
+            StoreI(_) | StoreF(_) | StoreB(_) | StoreG(_) | Broadcast { .. }
+            | AtomicScal { .. } => pop(&mut s, 1)?,
+            CvtIF | CvtFI | CvtIB | CvtFB | NegF | NegI | NotB => {
+                pop(&mut s, 1)?;
+                s += 1;
+            }
+            AddF | SubF | MulF | DivF | PowFF | PowFI | AddI | SubI | MulI | DivI | PowII
+            | AndB | OrB | CmpF(_) | CmpI(_) => {
+                pop(&mut s, 2)?;
+                s += 1;
+            }
+            FailArith2 | FailNegB | FailType { .. } | Stop { .. } => return Ok(vec![]),
+            IntrI { argc, .. } | IntrF { argc, .. } => {
+                pop(&mut s, u32::from(argc))?;
+                s += 1;
+            }
+            LoadElem { nsubs, .. } => {
+                pop(&mut s, u32::from(nsubs))?;
+                s += 1;
+            }
+            LoadElemS { sd, .. } => {
+                pop(&mut s, self.bu.sdims[sd as usize].dims.len() as u32)?;
+                s += 1;
+            }
+            StoreElem { nsubs, .. } => pop(&mut s, 1 + u32::from(nsubs))?,
+            StoreElemS { sd, .. } => {
+                pop(&mut s, 1 + self.bu.sdims[sd as usize].dims.len() as u32)?;
+            }
+            AtomicElem { nsubs, .. } => pop(&mut s, u32::from(nsubs) + 1)?,
+            Alloc { ndims, .. } => pop(&mut s, 2 * u32::from(ndims))?,
+            CopyArr { .. } | Dealloc { .. } | CostBranch | VecEnter(_) | VecLeave | CallPre => {}
+            Jump(tg) => return Ok(vec![(tg, (s, a, t))]),
+            JumpIfFalse(tg) => {
+                pop(&mut s, 1)?;
+                return Ok(vec![(pc + 1, (s, a, t)), (tg, (s, a, t))]);
+            }
+            DoInitC { .. } => pop(&mut s, 2)?,
+            DoInit { .. } => pop(&mut s, 3)?,
+            DoHead1 { exit, .. } | DoHeadN { exit, .. } | DoHead { exit, .. } => {
+                return Ok(vec![(pc + 1, d), (exit, d)]);
+            }
+            DoIncr1 { head, .. } | DoIncr { head, .. } => return Ok(vec![(head, d)]),
+            CheckStepNZ => {
+                if s == 0 {
+                    return Err((pc, "operand stack underflow: need 1, have 0".into()));
+                }
+            }
+            FlowExit | FlowCycle | FlowReturn => {
+                if d != (0, 0, 0) {
+                    return Err((
+                        pc,
+                        format!("EXIT/CYCLE/RETURN with non-empty stacks {d:?}"),
+                    ));
+                }
+                return Ok(vec![]);
+            }
+            Critical { end, exit, cycle, .. } => {
+                let mut succ = vec![(pc + 1, d), (end, d)];
+                if exit != NO_PC {
+                    succ.push((exit, d));
+                }
+                if cycle != NO_PC {
+                    succ.push((cycle, d));
+                }
+                return Ok(succ);
+            }
+            OmpDo { desc } => {
+                let od = &self.bu.omps[desc as usize];
+                let npop = 3 + 2 * (od.dims.len() as u32 - 1) + u32::from(od.has_nt);
+                pop(&mut s, npop)?;
+                if (s, a, t) != (0, 0, 0) {
+                    return Err((
+                        pc,
+                        format!("OMP region entered with non-empty stacks ({s}, {a}, {t})"),
+                    ));
+                }
+                // Body runs on a worker's fresh stacks; after the region
+                // execution resumes at the body end.
+                return Ok(vec![(od.body.0, (0, 0, 0)), (od.body.1, (0, 0, 0))]);
+            }
+            StashElem { nsubs, .. } => {
+                pop(&mut s, u32::from(nsubs))?;
+                s += 1;
+                t += u32::from(nsubs);
+            }
+            PushArr { .. } => a += 1,
+            Call { spec, push } => {
+                let cs = &self.bu.calls[spec as usize];
+                let (mut ops, mut arrs) = (0u32, 0u32);
+                for arg in &cs.args {
+                    match arg {
+                        BArg::Arr { .. } => arrs += 1,
+                        _ => ops += 1,
+                    }
+                }
+                pop(&mut s, ops)?;
+                if a < arrs {
+                    return Err((pc, format!("array stack underflow: need {arrs}, have {a}")));
+                }
+                a -= arrs;
+                if t < cs.n_stash {
+                    return Err((
+                        pc,
+                        format!("subscript stash underflow: need {}, have {t}", cs.n_stash),
+                    ));
+                }
+                t -= cs.n_stash;
+                if push {
+                    s += 1;
+                }
+            }
+            Print { spec } => {
+                let nv = self.bu.prints[spec as usize]
+                    .iter()
+                    .filter(|i| matches!(i, PItem::Val(_)))
+                    .count() as u32;
+                pop(&mut s, nv)?;
+            }
+        }
+        Ok(vec![(pc + 1, (s, a, t))])
+    }
+
+    // ---------- helpers ----------
+
+    fn glob_ok(&self, c: u32) -> Result<(), String> {
+        if c as usize >= self.prog.globals.len() {
+            Err(format!("global cell {c} out of range ({} cells)", self.prog.globals.len()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Any storage slot within the owning unit's declared banks.
+    fn slot_ok(&self, bu: &BUnit, vs: VSlot) -> Result<(), String> {
+        let ok = match vs {
+            VSlot::I(s) => s < bu.ni,
+            VSlot::F(s) => s < bu.nf,
+            VSlot::B(s) => s < bu.nb,
+            VSlot::A(s) => s < bu.na,
+            VSlot::GlobS(c) | VSlot::GlobA(c) => (c as usize) < self.prog.globals.len(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("slot {vs:?} out of range"))
+        }
+    }
+
+    /// A slot a scalar value can be read from / written to (the VM's
+    /// `VFrame::read`/`write` reject array slots by panicking).
+    fn scalar_slot_ok(&self, bu: &BUnit, vs: VSlot) -> Result<(), String> {
+        match vs {
+            VSlot::A(_) | VSlot::GlobA(_) => {
+                Err(format!("array slot {vs:?} used as a scalar"))
+            }
+            _ => self.slot_ok(bu, vs),
+        }
+    }
+
+    fn var_ok(&self, v: u32) -> Result<(), String> {
+        let nvars = self.prog.units[self.bu.unit as usize].vars.len();
+        if (v as usize) < nvars {
+            Ok(())
+        } else {
+            Err(format!("variable index {v} out of range ({nvars} vars)"))
+        }
+    }
+}
+
+fn join(
+    state: &mut [Option<Depth>],
+    work: &mut Vec<u32>,
+    t: u32,
+    d: Depth,
+    from: u32,
+) -> Result<(), Violation> {
+    let n = state.len() - 1;
+    let tu = t as usize;
+    if tu > n {
+        // Structural pass bounds every target; this guards internal misuse.
+        return Err((from, format!("flow target {t} out of range")));
+    }
+    if tu == n && d != (0, 0, 0) {
+        return Err((
+            from,
+            format!("stacks not empty at unit end: {d:?} (operand, array, stash)"),
+        ));
+    }
+    match state[tu] {
+        None => {
+            state[tu] = Some(d);
+            work.push(t);
+        }
+        Some(prev) if prev == d => {}
+        Some(prev) => {
+            return Err((
+                t,
+                format!("inconsistent stack depths at join: {prev:?} vs {d:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic fault injection for the hardened-execution test
+/// harness: seeded corruptions of verified bytecode, each invalid by
+/// construction so the verifier (or, for runtime-only faults, the
+/// engine's trap path) must reject it.
+pub mod mutate {
+    use crate::bytecode::{BInstr, BUnit};
+
+    /// xorshift64* — deterministic, dependency-free.
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn new(seed: u64) -> Rng {
+            // Avoid the all-zero fixed point; decorrelate small seeds.
+            Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n.max(1) as u64) as usize
+        }
+    }
+
+    /// What a corruption did, for test diagnostics.
+    pub struct Mutation {
+        pub unit: usize,
+        pub kind: &'static str,
+        pub detail: String,
+    }
+
+    impl std::fmt::Display for Mutation {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "[{}] unit {}: {}", self.kind, self.unit, self.detail)
+        }
+    }
+
+    /// Applies one seeded corruption to `bunits` in place. Deterministic:
+    /// the same seed on the same program produces the same mutation.
+    /// Returns `None` only when no unit has any code.
+    pub fn corrupt(bunits: &mut [BUnit], seed: u64) -> Option<Mutation> {
+        let mut rng = Rng::new(seed);
+        let units: Vec<usize> = bunits
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.code.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if units.is_empty() {
+            return None;
+        }
+        let u = units[rng.below(units.len())];
+        const KINDS: usize = 6;
+        let start = rng.below(KINDS);
+        for k in 0..KINDS {
+            let got = match (start + k) % KINDS {
+                0 => retarget_jump(&mut bunits[u], &mut rng),
+                1 => slot_out_of_range(&mut bunits[u], &mut rng),
+                2 => opcode_flip(&mut bunits[u], &mut rng),
+                3 => truncate_stream(&mut bunits[u]),
+                4 => zero_stride(&mut bunits[u]),
+                _ => call_arity(&mut bunits[u], &mut rng),
+            };
+            if let Some((kind, detail)) = got {
+                return Some(Mutation { unit: u, kind, detail });
+            }
+        }
+        None
+    }
+
+    type Applied = Option<(&'static str, String)>;
+
+    /// Points a control-flow target past the end of the unit.
+    fn retarget_jump(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        use BInstr::*;
+        let sites: Vec<usize> = bu
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| {
+                matches!(
+                    i,
+                    Jump(_)
+                        | JumpIfFalse(_)
+                        | DoHead1 { .. }
+                        | DoHeadN { .. }
+                        | DoHead { .. }
+                        | DoIncr1 { .. }
+                        | DoIncr { .. }
+                        | Critical { .. }
+                )
+            })
+            .map(|(pc, _)| pc)
+            .collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let pc = sites[rng.below(sites.len())];
+        let bad = bu.code.len() as u32 + 1 + (rng.next_u64() % 97) as u32;
+        match &mut bu.code[pc] {
+            Jump(t) | JumpIfFalse(t) => *t = bad,
+            DoHead1 { exit, .. } | DoHeadN { exit, .. } | DoHead { exit, .. } => *exit = bad,
+            DoIncr1 { head, .. } | DoIncr { head, .. } => *head = bad,
+            Critical { end, .. } => *end = bad,
+            _ => return None,
+        }
+        Some(("retargeted-jump", format!("pc {pc}: target -> {bad}")))
+    }
+
+    /// Pushes a frame-bank or global-cell index far out of range.
+    fn slot_out_of_range(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        use BInstr::*;
+        let sites: Vec<usize> = bu
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| {
+                matches!(
+                    i,
+                    LoadI(_)
+                        | LoadF(_)
+                        | LoadB(_)
+                        | StoreI(_)
+                        | StoreF(_)
+                        | StoreB(_)
+                        | LoadG(_)
+                        | StoreG(_)
+                        | LoadElemS { .. }
+                        | StoreElemS { .. }
+                )
+            })
+            .map(|(pc, _)| pc)
+            .collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let pc = sites[rng.below(sites.len())];
+        let bad = u32::MAX - (rng.next_u64() % 1000) as u32;
+        match &mut bu.code[pc] {
+            LoadI(s) | LoadF(s) | LoadB(s) | StoreI(s) | StoreF(s) | StoreB(s) | LoadG(s)
+            | StoreG(s) => *s = bad,
+            LoadElemS { a, .. } | StoreElemS { a, .. } => *a = bad,
+            _ => return None,
+        }
+        Some(("slot-out-of-range", format!("pc {pc}: slot -> {bad}")))
+    }
+
+    /// Replaces the entry instruction with one that pops from the empty
+    /// stack (the entry depth is always zero, so this always underflows).
+    fn opcode_flip(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        use BInstr::*;
+        let new = match rng.below(6) {
+            0 => AddI,
+            1 => AddF,
+            2 => MulI,
+            3 => DivF,
+            4 => CvtIF,
+            _ => NotB,
+        };
+        let old = format!("{:?}", bu.code[0]);
+        bu.code[0] = new;
+        Some(("opcode-flip", format!("pc 0: {old} -> {new:?}")))
+    }
+
+    /// Cuts the stream after a straight-line prefix that leaves values
+    /// on the operand stack, so the unit ends mid-expression.
+    fn truncate_stream(bu: &mut BUnit) -> Applied {
+        use BInstr::*;
+        let mut depth = 0u32;
+        for pc in 0..bu.code.len() {
+            let (pops, pushes) = match bu.code[pc] {
+                Const(_) | LoadI(_) | LoadF(_) | LoadB(_) | LoadG(_) => (0, 1),
+                CvtIF | CvtFI | CvtIB | CvtFB | NegF | NegI | NotB => (1, 1),
+                AddF | SubF | MulF | DivF | PowFF | PowFI | AddI | SubI | MulI | DivI
+                | PowII | AndB | OrB | CmpF(_) | CmpI(_) => (2, 1),
+                StoreI(_) | StoreF(_) | StoreB(_) | StoreG(_) => (1, 0),
+                _ => return None,
+            };
+            if depth < pops {
+                return None; // original bytecode should never get here
+            }
+            depth = depth - pops + pushes;
+            if depth > 0 {
+                let cut = pc + 1;
+                let dropped = bu.code.len() - cut;
+                bu.code.truncate(cut);
+                return Some((
+                    "truncated-stream",
+                    format!("cut at pc {cut}, dropped {dropped} instructions"),
+                ));
+            }
+        }
+        None
+    }
+
+    /// Turns a compiler-proven non-zero DO step constant into zero.
+    fn zero_stride(bu: &mut BUnit) -> Applied {
+        use BInstr::*;
+        for pc in 1..bu.code.len() {
+            if let DoInit { check: false, .. } = bu.code[pc] {
+                bu.code[pc - 1] = Const(0);
+                return Some(("zero-stride", format!("pc {}: step constant -> 0", pc - 1)));
+            }
+        }
+        None
+    }
+
+    /// Breaks a call site: drops an argument (arity mismatch) or, for
+    /// zero-argument calls, points the callee out of range.
+    fn call_arity(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        use BInstr::*;
+        let sites: Vec<u32> = bu
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                Call { spec, .. } => Some(*spec),
+                _ => None,
+            })
+            .collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let spec = sites[rng.below(sites.len())] as usize;
+        let cs = &mut bu.calls[spec];
+        if cs.args.pop().is_some() {
+            Some(("call-arity", format!("spec {spec}: dropped one argument")))
+        } else {
+            cs.callee = u32::MAX - 1;
+            Some(("call-arity", format!("spec {spec}: callee -> out of range")))
+        }
+    }
+}

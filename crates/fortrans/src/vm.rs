@@ -31,8 +31,6 @@ use crate::interp::{
 use crate::rir::{ScalarTy, VecClass};
 use crate::storage::{ArrayObj, MAX_THREADS};
 
-const MAX_CALL_DEPTH: usize = 200;
-
 /// Unboxed per-type value banks for one call frame.
 #[derive(Clone)]
 pub(crate) struct VFrame {
@@ -169,6 +167,13 @@ pub(crate) struct Vm<'e, const TRACE: bool> {
     in_real_region: bool,
     depth: usize,
     out: String,
+    /// Fault-location registers: the unit and pc currently executing.
+    /// Kept current by `run_range`; restored across nested calls only on
+    /// success, so a propagating error pins the innermost fault site.
+    cur_uidx: usize,
+    cur_pc: u32,
+    /// Instructions retired, for the `RunLimits` step budget.
+    steps: u64,
 }
 
 impl<'e, const TRACE: bool> Vm<'e, TRACE> {
@@ -189,7 +194,26 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             in_real_region: false,
             depth: 0,
             out: String::new(),
+            cur_uidx: 0,
+            cur_pc: 0,
+            steps: 0,
         }
+    }
+
+    /// Per-instruction accounting against the engine's `RunLimits`.
+    #[inline(always)]
+    fn tick(&mut self) -> Result<(), RunError> {
+        self.steps += 1;
+        let lim = &self.ex.limits;
+        if let Some(max) = lim.max_steps {
+            if self.steps > max {
+                return Err(RunError::Limit { msg: format!("step budget of {max} exhausted") });
+            }
+        }
+        if lim.deadline.is_some() && self.steps.is_multiple_of(1024) {
+            lim.check_deadline()?;
+        }
+        Ok(())
     }
 
     // ---------- cost hooks (exact mirror of Task::op / op_n / add_misc) ----------
@@ -393,7 +417,10 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         let code: &'e [BInstr] = &bu.code;
         let mut pc = lo as usize;
         let hi = hi as usize;
+        self.cur_uidx = uidx;
         while pc < hi {
+            self.cur_pc = pc as u32;
+            self.tick()?;
             match code[pc] {
                 BInstr::Const(b) => self.push(b),
                 BInstr::LoadI(s) => self.push(frame.i[s as usize] as u64),
@@ -805,9 +832,10 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                         rd.push((lo, hi));
                     }
                     self.stack.truncate(at);
-                    let obj = self
-                        .apool_take(ty, &rd)
-                        .unwrap_or_else(|| Arc::new(ArrayObj::new(ty, rd.clone())));
+                    let obj = match self.apool_take(ty, &rd) {
+                        Some(o) => o,
+                        None => Arc::new(ArrayObj::try_new(ty, rd.clone())?),
+                    };
                     self.add_misc(|c| c.alloc_calls += 1);
                     let bytes = (obj.len() * 8) as u64;
                     self.add_misc(move |c| c.alloc_bytes += bytes);
@@ -999,7 +1027,7 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     }
                 }
                 BInstr::CallPre => {
-                    if self.depth >= MAX_CALL_DEPTH {
+                    if self.depth >= self.ex.limits.max_call_depth {
                         return Err(RunError::Limit { msg: "call depth exceeded".into() });
                     }
                     self.add_misc(|c| c.calls += 1);
@@ -1109,11 +1137,15 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         }
         // Execute the callee body.
         let snap = self.vec_snapshot();
+        let (saved_uidx, saved_pc) = (self.cur_uidx, self.cur_pc);
         self.depth += 1;
         let flow = self.run_range(cs.callee as usize, &mut cframe, 0, callee.code.len() as u32);
         self.depth -= 1;
         self.vec_restore(snap);
-        match flow? {
+        let flow = flow?;
+        self.cur_uidx = saved_uidx;
+        self.cur_pc = saved_pc;
+        match flow {
             Flow::Normal | Flow::Return => {}
             _ => return Err(RunError::Type { msg: "EXIT/CYCLE escaped a unit".into() }),
         }
@@ -1396,8 +1428,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             if !vm.out.is_empty() {
                 prints.lock().push_str(&vm.out);
             }
-            results.lock().push(run);
-        });
+            results.lock().push(run.map_err(|e| vm_ctx(ex, bunits, &vm, e)));
+        })
+        .map_err(|p| RunError::Trap { what: p.to_string() })?;
 
         self.out.push_str(&prints.into_inner());
         let mut all_partials: Vec<Vec<Val>> = Vec::new();
@@ -1421,6 +1454,22 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         let _ = uidx;
         Ok(())
     }
+}
+
+/// Wraps a fault with the VM's location registers: source line when the
+/// debug table knows it, raw pc otherwise. Display matches the
+/// tree-walker's context exactly whenever a line is known, keeping the
+/// differential suite's string comparison tier-blind.
+fn vm_ctx<const TRACE: bool>(
+    exec: &Exec,
+    bunits: &[BUnit],
+    vm: &Vm<'_, TRACE>,
+    e: RunError,
+) -> RunError {
+    let uidx = vm.cur_uidx;
+    let line = bunits[uidx].line_for_pc(vm.cur_pc);
+    let pc = if line.is_some() { None } else { Some(vm.cur_pc) };
+    e.with_ctx(&exec.prog.units[uidx].name, line, pc)
 }
 
 /// Entry point: runs `unit_id` with `args` under `exec.mode` on the
@@ -1476,7 +1525,10 @@ fn go<const TRACE: bool>(
         }
     }
     let mut vm = Vm::<TRACE>::new(exec, bunits, 0);
-    let flow = vm.run_range(unit_id, &mut frame, 0, bu.code.len() as u32)?;
+    let flow = match vm.run_range(unit_id, &mut frame, 0, bu.code.len() as u32) {
+        Ok(f) => f,
+        Err(e) => return Err(vm_ctx(exec, bunits, &vm, e)),
+    };
     debug_assert!(matches!(flow, Flow::Normal | Flow::Return));
     let result = bu
         .result

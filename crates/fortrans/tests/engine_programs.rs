@@ -304,7 +304,7 @@ END MODULE m
 "#;
     let e = engine(src);
     for mode in ALL_MODES {
-        let a = ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 2), (1, 60)]);
+        let a = ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 2), (1, 60)]).unwrap();
         e.run("fill", std::slice::from_ref(&a), mode).unwrap();
         let h = a.handle().unwrap();
         // a(2, 60) at column-major offset (2-1) + (60-1)*2 = 119.

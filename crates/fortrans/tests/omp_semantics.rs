@@ -276,7 +276,7 @@ END MODULE m
     for mode in ALL {
         let run_tier = |tier| {
             let e = engine(src);
-            let a = ArgVal::array_f_dims(&vec![0.0; 240], vec![(1, 6), (1, 40)]);
+            let a = ArgVal::array_f_dims(&vec![0.0; 240], vec![(1, 6), (1, 40)]).unwrap();
             let res = ArgVal::array_f(&[0.0, 0.0], 1);
             let out = e
                 .run_tiered(

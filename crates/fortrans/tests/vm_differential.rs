@@ -389,7 +389,7 @@ CONTAINS
 END MODULE m
 "#;
     differential("collapse", src, "fill", || {
-        vec![ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 2), (1, 60)])]
+        vec![ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 2), (1, 60)]).unwrap()]
     });
 }
 

@@ -58,7 +58,8 @@ mod tests {
             barrier.wait();
             // After the barrier every thread must see all phase-1 work.
             observed_at_phase2[tid].store(phase1.load(Ordering::Relaxed), Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         for o in &observed_at_phase2 {
             assert_eq!(o.load(Ordering::Relaxed), t as u64);
         }
@@ -76,7 +77,8 @@ mod tests {
                     lasts.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        });
+        })
+        .unwrap();
         assert_eq!(lasts.load(Ordering::Relaxed), 10);
     }
 }

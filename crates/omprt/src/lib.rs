@@ -26,7 +26,7 @@ pub mod schedule;
 pub mod sync;
 
 pub use barrier::Barrier;
-pub use pool::ThreadPool;
+pub use pool::{RegionPanic, ThreadPool};
 pub use reduce::{combine, RedIdentity};
 pub use schedule::{chunks_for, Schedule};
 pub use sync::{AtomicF64Cell, AtomicI64Cell, CriticalRegistry};

@@ -6,7 +6,16 @@
 //! closure once per thread id and returns when every thread has finished —
 //! the fork-join contract that makes the single `unsafe` lifetime-erasure
 //! below sound.
+//!
+//! Panics are contained at the pool boundary: a closure that panics (on a
+//! worker *or* on thread 0) does not kill the pool or leak the job
+//! pointer. Each invocation runs under `catch_unwind`, the join always
+//! completes, and [`ThreadPool::run`] reports the first panic as a
+//! [`RegionPanic`]. Because the catch happens *inside* the worker's loop,
+//! a panicked worker parks again and serves later regions — the pool
+//! self-heals without respawning threads.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -25,12 +34,42 @@ struct JobPtr(*const (dyn Fn(usize) + Sync));
 unsafe impl Send for JobPtr {}
 unsafe impl Sync for JobPtr {}
 
+/// A panic that escaped a region closure, caught at the pool boundary.
+#[derive(Debug)]
+pub struct RegionPanic {
+    /// Logical thread id whose closure panicked (lowest, if several did).
+    pub tid: usize,
+    /// Stringified panic payload.
+    pub what: String,
+}
+
+impl std::fmt::Display for RegionPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker thread {} panicked: {}", self.tid, self.what)
+    }
+}
+
+impl std::error::Error for RegionPanic {}
+
+/// Best-effort stringification of a panic payload.
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 struct Shared {
     state: Mutex<State>,
     work_cv: Condvar,
     done_cv: Condvar,
     /// Workers still executing the current generation's job.
     active: AtomicUsize,
+    /// Panics caught on workers during the current generation.
+    panics: Mutex<Vec<RegionPanic>>,
 }
 
 struct State {
@@ -58,6 +97,7 @@ impl ThreadPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             active: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(threads - 1);
         for tid in 1..threads {
@@ -79,13 +119,17 @@ impl ThreadPool {
 
     /// Runs `f(tid)` once for each `tid in 0..threads`, in parallel, and
     /// returns after all invocations complete (the join of fork-join).
-    pub fn run<F>(&self, f: F)
+    ///
+    /// A panicking closure does not poison the pool: the join still
+    /// completes on every thread, and the first panic (lowest tid) comes
+    /// back as `Err`. The pool remains usable for later regions.
+    pub fn run<F>(&self, f: F) -> Result<(), RegionPanic>
     where
         F: Fn(usize) + Sync,
     {
         if self.threads == 1 {
-            f(0);
-            return;
+            return catch_unwind(AssertUnwindSafe(|| f(0)))
+                .map_err(|p| RegionPanic { tid: 0, what: payload_msg(&*p) });
         }
         let erased: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: see `JobPtr` — we block until all workers are done with
@@ -102,14 +146,26 @@ impl ThreadPool {
             st.generation += 1;
             self.shared.work_cv.notify_all();
         }
-        // The caller is thread 0.
-        f(0);
-        // Join: wait for workers.
-        let mut st = self.shared.state.lock();
-        while self.shared.active.load(Ordering::Acquire) != 0 {
-            self.shared.done_cv.wait(&mut st);
+        // The caller is thread 0. Catch its panic too: unwinding out of
+        // `run` while workers still hold the job pointer would free `f`
+        // under them.
+        let t0 = catch_unwind(AssertUnwindSafe(|| f(0)));
+        // Join: wait for workers — unconditionally, for soundness.
+        {
+            let mut st = self.shared.state.lock();
+            while self.shared.active.load(Ordering::Acquire) != 0 {
+                self.shared.done_cv.wait(&mut st);
+            }
+            st.job = None;
         }
-        st.job = None;
+        let mut caught: Vec<RegionPanic> = self.shared.panics.lock().drain(..).collect();
+        if let Err(p) = t0 {
+            caught.push(RegionPanic { tid: 0, what: payload_msg(&*p) });
+        }
+        match caught.into_iter().min_by_key(|p| p.tid) {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
     }
 }
 
@@ -144,7 +200,12 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
         };
         // SAFETY: the pointer is valid for the duration of the generation —
         // `run` blocks until `active` hits zero.
-        unsafe { (*job.0)(tid) };
+        let r = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        if let Err(p) = r {
+            shared.panics.lock().push(RegionPanic { tid, what: payload_msg(&*p) });
+        }
+        // Decrement even after a panic — a hung join would be worse than
+        // the panic itself.
         if shared.active.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = shared.state.lock();
             shared.done_cv.notify_one();
@@ -164,7 +225,8 @@ mod tests {
             let hits: Vec<AtomicU64> = (0..t).map(|_| AtomicU64::new(0)).collect();
             pool.run(|tid| {
                 hits[tid].fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
             for (tid, h) in hits.iter().enumerate() {
                 assert_eq!(h.load(Ordering::Relaxed), 1, "thread {tid} of {t}");
             }
@@ -178,7 +240,8 @@ mod tests {
         for _ in 0..100 {
             pool.run(|_tid| {
                 total.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 400);
     }
@@ -194,7 +257,8 @@ mod tests {
                     sum.fetch_add(*v, Ordering::Relaxed);
                 }
             }
-        });
+        })
+        .unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 21);
     }
 
@@ -206,7 +270,8 @@ mod tests {
         pool.run(|tid| {
             assert_eq!(tid, 0);
             ran.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
@@ -223,10 +288,66 @@ mod tests {
             for i in lo..hi {
                 out[i].store((i * i) as u64, Ordering::Relaxed);
             }
-        });
+        })
+        .unwrap();
         for (i, c) in out.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), (i * i) as u64);
         }
         // (indexing above is the point of the test: per-slot ownership)
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .run(|tid| {
+                if tid == 2 {
+                    panic!("worker {tid} exploded");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.tid, 2);
+        assert!(err.what.contains("exploded"), "payload: {}", err.what);
+        // Self-heal: the same pool serves later regions on all threads.
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|tid| {
+            hits[tid].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn thread_zero_panic_still_joins_workers() {
+        let pool = ThreadPool::new(3);
+        let worker_hits = AtomicU64::new(0);
+        let err = pool
+            .run(|tid| {
+                if tid == 0 {
+                    panic!("master exploded");
+                }
+                worker_hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert_eq!(err.tid, 0);
+        assert_eq!(worker_hits.load(Ordering::Relaxed), 2, "join completed on workers");
+        // Pool stays healthy.
+        pool.run(|_tid| {}).unwrap();
+    }
+
+    #[test]
+    fn lowest_tid_panic_wins_when_several_fire() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .run(|tid| {
+                if tid >= 1 {
+                    panic!("boom {tid}");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.tid, 1);
+        assert!(err.what.contains("boom 1"));
     }
 }

@@ -169,7 +169,8 @@ mod tests {
             for _ in 0..1000 {
                 cell.fetch_add(1.0);
             }
-        });
+        })
+        .unwrap();
         assert_eq!(cell.load(), 4000.0);
     }
 
@@ -189,7 +190,8 @@ mod tests {
                 // SAFETY: serialized by the critical section.
                 unsafe { *wr.0.get() += 1 };
             }
-        });
+        })
+        .unwrap();
         let _g = reg.enter("upd");
         assert_eq!(unsafe { *w.0.get() }, 2000);
     }

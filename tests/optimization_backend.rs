@@ -119,8 +119,8 @@ fn loop_interchange_preserves_results_end_to_end() {
     let run = |p: Program| -> Vec<f64> {
         let g = Glaf::new(p).unwrap();
         let engine = g.compile_with(&CodegenOptions::serial(), &[]).unwrap();
-        let a = ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 12), (1, 10)]);
-        let b = ArgVal::array_f_dims(&data, vec![(1, 12), (1, 10)]);
+        let a = ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 12), (1, 10)]).unwrap();
+        let b = ArgVal::array_f_dims(&data, vec![(1, 12), (1, 10)]).unwrap();
         engine.run("smooth", &[a.clone(), b], ExecMode::Serial).unwrap();
         a.handle().unwrap().to_f64_vec()
     };
