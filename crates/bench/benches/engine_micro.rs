@@ -3,7 +3,7 @@
 //! GLAF pipeline (analyze + generate).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fortrans::{ArgVal, Engine, ExecMode};
+use fortrans::{ArgVal, Engine, ExecMode, ExecTier};
 use glaf::Glaf;
 use glaf_codegen::CodegenOptions;
 
@@ -69,6 +69,38 @@ fn bench_exec_modes(c: &mut Criterion) {
     g.finish();
 }
 
+/// The zero-overhead contract of `fortrans::trace`: `plain` (no
+/// collector — the default `Engine::run` path) against `profiled`
+/// (`Engine::run_profiled`, spans + step counts + omprt metrics on).
+/// Tracing only branches at unit/loop/region boundaries, so the two
+/// series should be indistinguishable on this iteration-heavy kernel;
+/// a gap opening up here means the disabled path grew a real cost.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let engine = Engine::compile(&[KERNEL]).unwrap();
+    let data: Vec<f64> = (0..4096).map(|i| i as f64 * 0.001).collect();
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(20);
+    g.bench_function("plain", |b| {
+        b.iter_batched(
+            || ArgVal::array_f(&data, 1),
+            |a| engine.run("work", &[a, ArgVal::I(4096)], ExecMode::Serial).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("profiled", |b| {
+        b.iter_batched(
+            || ArgVal::array_f(&data, 1),
+            |a| {
+                engine
+                    .run_profiled("work", &[a, ArgVal::I(4096)], ExecMode::Serial, ExecTier::Vm)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("omprt");
     g.sample_size(30);
@@ -87,5 +119,5 @@ fn bench_runtime(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_exec_modes, bench_runtime);
+criterion_group!(benches, bench_compile, bench_exec_modes, bench_tracing_overhead, bench_runtime);
 criterion_main!(benches);

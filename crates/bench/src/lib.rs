@@ -20,6 +20,8 @@
 //! manual ladder).
 
 
+pub mod observe;
+
 /// One labeled measurement (speed-up bar).
 #[derive(Debug, Clone)]
 pub struct Bar {

@@ -1,0 +1,160 @@
+//! Golden tests for the autopar decision log on the two case-study
+//! models: the SARB longwave kernels and the FUN3D edge-loop kernels.
+//!
+//! The goldens lock the *explanations*, not just the plans: which
+//! dependence test fired per (grid, index), the loop classification, the
+//! reduction/privatization sets, and the blockers. A change in any
+//! dependence-test attribution or classification shows up as an exact
+//! text diff here.
+
+use glaf_autopar::{DecisionLog, LoopDecision};
+
+fn render_fn(log: &DecisionLog, func: &str) -> String {
+    let subset = DecisionLog {
+        loops: log.for_function(func).into_iter().cloned().collect(),
+    };
+    subset.render()
+}
+
+fn sarb_log() -> DecisionLog {
+    glaf::Glaf::new(sarb::glaf_model::build_sarb_program())
+        .expect("SARB program validates")
+        .decision_log()
+        .clone()
+}
+
+fn fun3d_log() -> DecisionLog {
+    glaf::Glaf::new(fun3d::glaf_model::build_fun3d_program())
+        .expect("FUN3D program validates")
+        .decision_log()
+        .clone()
+}
+
+#[test]
+fn sarb_longwave_entropy_decisions() {
+    let expected = r#"longwave_entropy_model step 0 "zero entropy profile": class=simple-double vectorizable=yes parallel=yes collapse=2 advisor=simd
+  dep: `entl` on `i`: strong-siv -> loop-independent
+  dep: `entl` on `is`: strong-siv -> loop-independent
+longwave_entropy_model step 1 "spectral entropy integration": class=complex vectorizable=no parallel=yes collapse=2 advisor=threads
+  private: acc2, fql, tl
+  dep: `entl` on `i`: strong-siv -> loop-independent
+  dep: `entl` on `is`: strong-siv -> loop-independent
+longwave_entropy_model step 2 "copy to work buffer": class=simple-double vectorizable=yes parallel=yes collapse=2 advisor=simd
+  dep: `lwork` on `i`: strong-siv -> loop-independent
+  dep: `lwork` on `is`: strong-siv -> loop-independent
+longwave_entropy_model step 3 "vertical smoothing": class=complex vectorizable=no parallel=yes collapse=2 advisor=threads
+  private: vsm
+  dep: `entl` on `i`: strong-siv -> loop-independent
+  dep: `entl` on `is`: strong-siv -> loop-independent
+longwave_entropy_model step 5 "column total": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+  reduction: +:tot
+"#;
+    assert_eq!(render_fn(&sarb_log(), "longwave_entropy_model"), expected);
+}
+
+#[test]
+fn sarb_shortwave_band_decisions() {
+    // The recurrence on `taucum` must be caught (trivially — same index
+    // on both sides is the trivial self-dependence case) and must block
+    // step 1, while step 2 stays parallel.
+    let expected = r#"g_sw_band step 1 "direct beam attenuation": class=simple-single vectorizable=yes parallel=no collapse=0 advisor=simd
+  dep: `swdir` on `i`: strong-siv -> loop-independent
+  dep: `taucum` on `i`: trivial -> loop-carried
+  blocker: grid `taucum`: LoopCarried dependence on index `i`
+g_sw_band step 2 "accumulate downward shortwave": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+  dep: `fds` on `i`: strong-siv -> loop-independent
+"#;
+    assert_eq!(render_fn(&sarb_log(), "g_sw_band"), expected);
+}
+
+#[test]
+fn sarb_spectral_integration_blockers() {
+    let expected = r#"lw_spectral_integration step 0 "zero downwelling flux": class=zero-init vectorizable=yes parallel=yes collapse=1 advisor=simd
+  dep: `fdl` on `i`: strong-siv -> loop-independent
+lw_spectral_integration step 1 "zero upwelling flux": class=zero-init vectorizable=yes parallel=yes collapse=1 advisor=simd
+  dep: `ful` on `i`: strong-siv -> loop-independent
+lw_spectral_integration step 2 "loop over longwave bands": class=complex vectorizable=no parallel=no collapse=0 advisor=serial
+  atomic: fdl
+  blocker: callee overwrites shared module-scope grid `bf`
+  blocker: callee overwrites shared module-scope grid `ful`
+  blocker: callee overwrites shared module-scope grid `trn`
+lw_spectral_integration step 4 "normalize downwelling": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+  dep: `fdl` on `i`: strong-siv -> loop-independent
+lw_spectral_integration step 5 "normalize upwelling": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+  dep: `ful` on `i`: strong-siv -> loop-independent
+"#;
+    assert_eq!(render_fn(&sarb_log(), "lw_spectral_integration"), expected);
+}
+
+#[test]
+fn fun3d_edge_kernels_decisions() {
+    let log = fun3d_log();
+
+    // The cell sweep is blocked by callee side effects and falls back to
+    // atomic accumulation; the neighbour search parallelizes with a MAX
+    // reduction.
+    let expected_edgejp = r#"edgejp step 0 "loop over cells of the simulation": class=complex vectorizable=no parallel=no collapse=0 advisor=serial
+  atomic: jac
+  blocker: callee overwrites shared module-scope grid `grad`
+  blocker: callee overwrites shared module-scope grid `qavg`
+"#;
+    assert_eq!(render_fn(&log, "edgejp"), expected_edgejp);
+
+    let expected_ioff = r#"ioff_search step 1 "search neighbour row": class=complex vectorizable=no parallel=yes collapse=1 advisor=serial
+  reduction: MAX:kfound
+"#;
+    assert_eq!(render_fn(&log, "ioff_search"), expected_ioff);
+
+    // cell_loop: the three structurally interesting steps.
+    let expected_cell = r#"cell_loop step 2 "loop over nodes: gather primitives": class=simple-double vectorizable=yes parallel=yes collapse=1 advisor=simd
+  dep: `qavg` on `k`: ziv -> loop-carried
+  dep: `qavg` on `m`: strong-siv -> loop-independent
+cell_loop step 5 "loop over faces: Green-Gauss gradient": class=complex vectorizable=yes parallel=yes collapse=2 advisor=simd
+  dep: `grad` on `d`: strong-siv -> loop-independent
+  dep: `grad` on `f`: ziv -> loop-carried
+  dep: `grad` on `m`: strong-siv -> loop-independent
+cell_loop step 6 "loop over edges": class=complex vectorizable=no parallel=yes collapse=1 advisor=serial
+  atomic: jac
+"#;
+    let cell = DecisionLog {
+        loops: log
+            .for_function("cell_loop")
+            .into_iter()
+            .filter(|l| matches!(l.step_index, 2 | 5 | 6))
+            .cloned()
+            .collect(),
+    };
+    assert_eq!(cell.render(), expected_cell);
+
+    // Every edge_loop stage: one strong-SIV independent access on the
+    // edge index, classification simple-single, SIMD-advised.
+    let stages = log.for_function("edge_loop");
+    assert_eq!(stages.len(), 11, "edge_loop pipeline stages");
+    for l in &stages {
+        assert_eq!(l.class.name(), "simple-single", "step {}", l.step_index);
+        assert!(l.parallelizable && l.vectorizable, "step {}", l.step_index);
+        assert_eq!(l.deps.len(), 1, "step {}", l.step_index);
+        assert_eq!(l.deps[0].test.name(), "strong-siv", "step {}", l.step_index);
+        assert_eq!(l.deps[0].result.name(), "loop-independent", "step {}", l.step_index);
+        assert_eq!(l.deps[0].index, "m", "step {}", l.step_index);
+    }
+}
+
+#[test]
+fn decision_log_covers_every_planned_loop() {
+    // The log is a faithful companion to the plan: same loop count, and
+    // the logged verdicts agree with the plan bits.
+    for log in [sarb_log(), fun3d_log()] {
+        assert!(!log.loops.is_empty());
+        for l in &log.loops {
+            if !l.blockers.is_empty() {
+                assert!(
+                    !l.parallelizable,
+                    "{} step {}: blockers recorded on a parallel loop",
+                    l.function, l.step_index
+                );
+            }
+            let _: &LoopDecision = l;
+        }
+    }
+}

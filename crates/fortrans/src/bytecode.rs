@@ -288,6 +288,8 @@ pub struct BUnit {
     /// PC→line debug table: `(first_pc, source_line)`, sorted by pc.
     /// Instructions between two entries belong to the earlier one.
     pub lines: Vec<(u32, u32)>,
+    /// Serial DO-loop sites, sorted by `init_pc` (profiling side table).
+    pub loops: Vec<BLoopSite>,
 }
 
 impl BUnit {
@@ -299,6 +301,25 @@ impl BUnit {
             Err(i) => Some(self.lines[i - 1].1),
         }
     }
+
+    /// The loop site whose `DoInitC`/`DoInit` sits at exactly `init_pc`.
+    pub fn loop_site_at(&self, init_pc: u32) -> Option<&BLoopSite> {
+        self.loops
+            .binary_search_by_key(&init_pc, |s| s.init_pc)
+            .ok()
+            .map(|i| &self.loops[i])
+    }
+}
+
+/// A serial DO loop's static extent, recorded for the profiler: the
+/// `DoInitC`/`DoInit` pc identifies the loop on entry, `end_pc` is the
+/// first instruction after the loop (where EXIT patches land), and
+/// `line` is the DO statement's source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BLoopSite {
+    pub init_pc: u32,
+    pub end_pc: u32,
+    pub line: u32,
 }
 
 /// Per-unit slot assignment (phase 1; needed across units for calls).
@@ -488,6 +509,8 @@ struct UnitCompiler<'a> {
     lines: Vec<(u32, u32)>,
     /// Last line recorded in `lines` (u32::MAX = none yet).
     last_line: u32,
+    /// Serial DO-loop sites under construction (unordered).
+    loops: Vec<BLoopSite>,
 }
 
 impl<'a> UnitCompiler<'a> {
@@ -532,12 +555,14 @@ impl<'a> UnitCompiler<'a> {
             ni_extra: tables[unit_idx].ni,
             lines: Vec::new(),
             last_line: u32::MAX,
+            loops: Vec::new(),
         }
     }
 
     fn compile(mut self) -> BUnit {
         let body = &self.unit.body;
         self.emit_block(body);
+        self.loops.sort_by_key(|s| s.init_pc);
         let t = &self.tables[self.unit_idx];
         BUnit {
             code: self.code,
@@ -555,6 +580,7 @@ impl<'a> UnitCompiler<'a> {
             result: t.result,
             unit: self.unit_idx as u32,
             lines: self.lines,
+            loops: self.loops,
         }
     }
 
@@ -1275,24 +1301,25 @@ impl<'a> UnitCompiler<'a> {
             _ => None,
         };
         let fused1 = var_i.is_some() && step_const == Some(1);
+        let do_line = self.last_line;
         let (ctr, ends) = (self.hidden_i(), self.hidden_i());
         let steps = if fused1 { 0 } else { self.hidden_i() };
-        if fused1 {
-            self.push(BInstr::DoInitC { ctr, end: ends });
+        let init_idx = if fused1 {
+            self.push(BInstr::DoInitC { ctr, end: ends })
         } else {
             match step {
                 Some(e) if step_const != Some(1) => {
                     self.emit_expr(e);
                     self.emit_cvt(self.ty_of(e), ScalarTy::I);
-                    self.push(BInstr::DoInit { ctr, end: ends, step: steps, check: true });
+                    self.push(BInstr::DoInit { ctr, end: ends, step: steps, check: true })
                 }
                 // Absent, or folded to exactly 1 (no zero check needed).
                 _ => {
                     self.push(BInstr::Const(1));
-                    self.push(BInstr::DoInit { ctr, end: ends, step: steps, check: false });
+                    self.push(BInstr::DoInit { ctr, end: ends, step: steps, check: false })
                 }
             }
-        }
+        };
         if self.traced && vec != VecClass::None {
             self.push(BInstr::VecEnter(vec));
         }
@@ -1324,6 +1351,7 @@ impl<'a> UnitCompiler<'a> {
         }
         let Some(Ctx::Loop { exit, cycle }) = self.ctx.pop() else { unreachable!() };
         let end_pc = self.pc();
+        self.loops.push(BLoopSite { init_pc: init_idx as u32, end_pc, line: do_line });
         if self.traced && vec != VecClass::None {
             self.push(BInstr::VecLeave);
         }

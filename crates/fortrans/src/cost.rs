@@ -93,6 +93,9 @@ pub struct RegionEvent {
     pub reductions: usize,
     /// Total iterations of the (collapsed) parallel loop.
     pub trip: u64,
+    /// Source line of the parallel DO (0 when unknown) — joins simulated
+    /// region costs with measured `omp@line` profile spans.
+    pub line: u32,
 }
 
 /// The trace: serial stretches interleaved with parallel regions.
@@ -190,6 +193,7 @@ mod tests {
             critical: CostCounters::default(),
             reductions: 1,
             trip: 30,
+            line: 0,
         });
         assert_eq!(t.total().scalar.flop, 31);
         assert_eq!(t.region_count(), 1);

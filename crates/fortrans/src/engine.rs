@@ -266,7 +266,7 @@ impl Engine {
                     if forced {
                         panic!("forced VM trap (test hook)");
                     }
-                    self.run_on_vm(unit_id, args, mode)
+                    self.run_on_vm(unit_id, args, mode, None)
                 }));
                 let trap = match vm_run {
                     Err(payload) => payload_str(&*payload),
@@ -279,11 +279,136 @@ impl Engine {
                 // caller the oracle's answer instead.
                 self.fallback_count.fetch_add(1, Ordering::Relaxed);
                 let fb = TierFallback { unit: name.into(), what: trap };
-                let mut out = self.run_on_oracle(unit_id, args, mode)?;
+                let mut out = self.run_on_oracle(unit_id, args, mode, None)?;
                 out.fallback = Some(fb);
                 Ok(out)
             }
-            ExecTier::TreeWalk => self.run_on_oracle(unit_id, args, mode),
+            ExecTier::TreeWalk => self.run_on_oracle(unit_id, args, mode, None),
+        }
+    }
+
+    /// Runs subprogram `name` with a profiling collector attached,
+    /// returning the outcome together with the rendered
+    /// [`crate::trace::Profile`]: per-unit and per-DO-loop wall time and
+    /// entry counts, executed VM instructions (or interpreter steps)
+    /// against the configured [`RunLimits`] budget, parallel-region
+    /// worker utilization, and any tier-fallback diagnostics.
+    ///
+    /// Profiling follows the same trap-and-fallback contract as
+    /// [`Engine::run_tiered`]: if the VM tier traps, a *fresh* collector
+    /// is attached to the oracle re-run, so the returned profile always
+    /// describes the execution that produced the result. The fallback
+    /// diagnostic and the engine-lifetime fallback total are surfaced on
+    /// the profile itself.
+    pub fn run_profiled(
+        &self,
+        name: &str,
+        args: &[ArgVal],
+        mode: ExecMode,
+        tier: ExecTier,
+    ) -> Result<(RunOutcome, crate::trace::Profile), RunError> {
+        let unit_id = self
+            .prog
+            .unit_id(name)
+            .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
+        let mode_str = match mode {
+            ExecMode::Serial => "serial".to_string(),
+            ExecMode::Parallel { threads } => format!("parallel({threads})"),
+            ExecMode::Simulated { threads } => format!("simulated({threads})"),
+        };
+        // Worker busy-time accounting is cheap but not free: the pool
+        // collects it only while a profiled Parallel run is in flight.
+        let pool = match mode {
+            ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
+            _ => None,
+        };
+        if let Some(p) = &pool {
+            p.set_metrics(true);
+            p.take_metrics(); // discard leftovers from earlier runs
+        }
+        let finish = |prof: crate::trace::Collector, tier_str: &str, wall_ns: u64| {
+            let (spans, steps) = prof.finish();
+            let regions = pool
+                .as_ref()
+                .map(|p| {
+                    p.take_metrics()
+                        .into_iter()
+                        .map(|m| crate::trace::RegionReport {
+                            threads: m.threads as u64,
+                            wall_ns: m.wall_ns,
+                            busy_ns: m.busy_ns,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            crate::trace::Profile {
+                entry: name.to_string(),
+                tier: tier_str.to_string(),
+                mode: mode_str.clone(),
+                wall_ns,
+                steps,
+                max_steps: self.limits.max_steps,
+                spans,
+                regions,
+                fallback: None,
+                fallback_count: self.fallback_count(),
+            }
+        };
+        match tier {
+            ExecTier::Vm => {
+                let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
+                let prof = crate::trace::Collector::new();
+                let t0 = std::time::Instant::now();
+                let vm_run = catch_unwind(AssertUnwindSafe(|| {
+                    if forced {
+                        panic!("forced VM trap (test hook)");
+                    }
+                    self.run_on_vm(unit_id, args, mode, Some(&prof))
+                }));
+                let trap = match vm_run {
+                    Err(payload) => payload_str(&*payload),
+                    Ok(Err(ref e)) if matches!(e.root(), RunError::Trap { .. }) => e.to_string(),
+                    Ok(run) => {
+                        let wall_ns = t0.elapsed().as_nanos() as u64;
+                        if let Some(p) = &pool {
+                            p.set_metrics(false);
+                        }
+                        let out = run?;
+                        return Ok((out, finish(prof, "vm", wall_ns)));
+                    }
+                };
+                // The VM trapped: re-profile on the oracle with a fresh
+                // collector, so the profile matches the answer's tier.
+                self.fallback_count.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = &pool {
+                    p.take_metrics(); // drop partials from the trapped attempt
+                }
+                let fb = TierFallback { unit: name.into(), what: trap };
+                let prof = crate::trace::Collector::new();
+                let t0 = std::time::Instant::now();
+                let run = self.run_on_oracle(unit_id, args, mode, Some(&prof));
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = &pool {
+                    p.set_metrics(false);
+                }
+                let mut out = run?;
+                out.fallback = Some(fb.clone());
+                let mut profile = finish(prof, "tree-walk", wall_ns);
+                profile.fallback =
+                    Some(crate::trace::FallbackInfo { unit: fb.unit, what: fb.what });
+                Ok((out, profile))
+            }
+            ExecTier::TreeWalk => {
+                let prof = crate::trace::Collector::new();
+                let t0 = std::time::Instant::now();
+                let run = self.run_on_oracle(unit_id, args, mode, Some(&prof));
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = &pool {
+                    p.set_metrics(false);
+                }
+                let out = run?;
+                Ok((out, finish(prof, "tree-walk", wall_ns)))
+            }
         }
     }
 
@@ -308,11 +433,12 @@ impl Engine {
         unit_id: usize,
         args: &[ArgVal],
         mode: ExecMode,
+        prof: Option<&crate::trace::Collector>,
     ) -> Result<RunOutcome, RunError> {
         let exec = self.make_exec(mode);
         let traced = matches!(mode, ExecMode::Simulated { .. });
         let bunits = self.bytecode_for(traced);
-        let (result, trace, printed) = crate::vm::run_vm(&exec, &bunits, unit_id, args)?;
+        let (result, trace, printed) = crate::vm::run_vm(&exec, &bunits, unit_id, args, prof)?;
         Ok(RunOutcome { result, trace, printed, fallback: None })
     }
 
@@ -324,11 +450,13 @@ impl Engine {
         unit_id: usize,
         args: &[ArgVal],
         mode: ExecMode,
+        prof: Option<&crate::trace::Collector>,
     ) -> Result<RunOutcome, RunError> {
         let traced = matches!(mode, ExecMode::Simulated { .. });
         catch_unwind(AssertUnwindSafe(|| {
             let exec = self.make_exec(mode);
             let mut task = Task::new(&exec, 0, traced);
+            task.prof = prof;
             let frame = task.entry_frame(unit_id, args)?;
             let (result, trace, printed) = task.run_entry(unit_id, frame)?;
             Ok(RunOutcome { result, trace, printed, fallback: None })

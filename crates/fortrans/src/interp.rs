@@ -187,6 +187,10 @@ pub(crate) struct Task<'e> {
     cur_unit: UnitId,
     /// Statements executed (checked against `RunLimits::max_steps`).
     steps: u64,
+    /// Profiling collector, attached only to the orchestrating task of a
+    /// profiled run (`Engine::run_profiled`); worker tasks never carry
+    /// one. Same boundary-only cost contract as the VM tier.
+    pub(crate) prof: Option<&'e crate::trace::Collector>,
 }
 
 struct RegionCtx {
@@ -227,6 +231,7 @@ impl<'e> Task<'e> {
             cur_line: 0,
             cur_unit: 0,
             steps: 0,
+            prof: None,
         }
     }
 
@@ -684,9 +689,16 @@ impl<'e> Task<'e> {
         let (saved_unit, saved_line) = (self.cur_unit, self.cur_line);
         self.cur_unit = callee_id;
         self.depth += 1;
+        if let Some(p) = self.prof {
+            p.unit_enter(&callee.name);
+        }
         let flow = self.exec_block(callee, &mut cframe, &callee.body);
         self.depth -= 1;
         let flow = flow?;
+        if let Some(p) = self.prof {
+            // Also sweeps loop spans a RETURN left open inside the callee.
+            p.unit_exit();
+        }
         self.cur_unit = saved_unit;
         self.cur_line = saved_line;
         match flow {
@@ -1010,6 +1022,9 @@ impl<'e> Task<'e> {
         vec: VecClass,
         collapse_with: &[CollapseDim],
     ) -> Result<Flow, RunError> {
+        // The DO statement's own line (bound expressions may call units
+        // and move `cur_line`).
+        let do_line = self.cur_line;
         let s0 = self.eval(unit, frame, start)?.as_i();
         let e0 = self.eval(unit, frame, end)?.as_i();
         let st = match step {
@@ -1024,7 +1039,18 @@ impl<'e> Task<'e> {
         };
 
         let Some(o) = omp else {
-            return self.exec_serial_do(unit, frame, var, s0, e0, st, body, vec);
+            // Span entered after bounds/step evaluation (and the zero-step
+            // check), exactly where the VM's `DoInit` opens its span.
+            if let Some(p) = self.prof {
+                p.loop_enter(do_line, 0);
+            }
+            let r = self.exec_serial_do(unit, frame, var, s0, e0, st, body, vec);
+            if let Some(p) = self.prof {
+                if r.is_ok() {
+                    p.loop_exit();
+                }
+            }
+            return r;
         };
 
         // --- OpenMP PARALLEL DO ---
@@ -1051,19 +1077,47 @@ impl<'e> Task<'e> {
         };
         let team = clause_threads.unwrap_or(mode_threads).min(crate::storage::MAX_THREADS);
 
+        if let Some(p) = self.prof {
+            // Matches the VM's `OmpDo` instruction: after bounds, step,
+            // collapse bounds and NUM_THREADS have evaluated.
+            p.omp_enter(do_line);
+        }
+        let r = self.exec_omp_dispatch(unit, frame, &dims, st, body, o, team, total_trip, do_line);
+        if let Some(p) = self.prof {
+            if r.is_ok() {
+                p.omp_exit();
+            }
+        }
+        r
+    }
+
+    /// Mode dispatch for an OMP nest whose bounds are already evaluated.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_omp_dispatch(
+        &mut self,
+        unit: &RUnit,
+        frame: &mut Frame,
+        dims: &[(VarIdx, i64, i64)],
+        st: i64,
+        body: &[SpStmt],
+        o: &ROmp,
+        team: usize,
+        total_trip: u64,
+        do_line: u32,
+    ) -> Result<Flow, RunError> {
         match self.ex.mode {
             ExecMode::Serial => {
                 // Directives ignored; plain serial nest. A serial build
                 // would also vectorize eligible loops, but GLAF-parallel
                 // loops are structurally complex (that's why they kept
                 // directives); classify anyway for fairness.
-                self.exec_omp_serially(unit, frame, &dims, st, body, o, None)
+                self.exec_omp_serially(unit, frame, dims, st, body, o, None)
             }
             ExecMode::Simulated { .. } => {
                 if self.in_sim_region || self.in_real_region {
                     // Nested region: team of one + fork overhead.
                     self.add_misc(|c| c.nested_forks += 1);
-                    return self.exec_omp_serially(unit, frame, &dims, st, body, o, None);
+                    return self.exec_omp_serially(unit, frame, dims, st, body, o, None);
                 }
                 // Flush serial counters, open a region.
                 let serial = std::mem::take(&mut self.serial_cost);
@@ -1083,7 +1137,7 @@ impl<'e> Task<'e> {
                 };
                 // Owner map: iteration -> thread (serial-order execution).
                 let owner = build_owner_map(sched, total_trip as usize, team);
-                let r = self.exec_omp_serially(unit, frame, &dims, st, body, o, Some(&owner));
+                let r = self.exec_omp_serially(unit, frame, dims, st, body, o, Some(&owner));
                 self.in_sim_region = false;
                 let region = self.region.take().expect("region open");
                 self.trace.push_region(RegionEvent {
@@ -1092,15 +1146,16 @@ impl<'e> Task<'e> {
                     critical: region.critical,
                     reductions: region.reductions,
                     trip: region.trip,
+                    line: do_line,
                 });
                 r
             }
             ExecMode::Parallel { .. } => {
                 if self.in_real_region {
                     // Nested: team of one.
-                    return self.exec_omp_serially(unit, frame, &dims, st, body, o, None);
+                    return self.exec_omp_serially(unit, frame, dims, st, body, o, None);
                 }
-                self.exec_omp_parallel(unit, frame, &dims, st, body, o, team, total_trip)
+                self.exec_omp_parallel(unit, frame, dims, st, body, o, team, total_trip)
             }
         }
     }
@@ -1350,9 +1405,16 @@ impl<'e> Task<'e> {
         let unit = &prog.units[unit_id];
         let mut frame = frame;
         self.cur_unit = unit_id;
+        if let Some(p) = self.prof {
+            p.unit_enter(&unit.name);
+        }
         let flow = self
             .exec_block(unit, &mut frame, &unit.body)
             .map_err(|e| self.attach_ctx(e))?;
+        if let Some(p) = self.prof {
+            p.unit_exit();
+            p.set_steps(self.steps);
+        }
         debug_assert!(matches!(flow, Flow::Normal | Flow::Return));
         let result = unit.result.map(|(rv, rty)| {
             let Place::Frame(slot) = unit.vars[rv].place else { unreachable!() };

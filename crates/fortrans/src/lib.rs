@@ -62,6 +62,7 @@ pub mod parse;
 pub mod rir;
 pub mod sema;
 pub mod storage;
+pub mod trace;
 pub mod verify;
 pub mod vm;
 
@@ -71,3 +72,4 @@ pub use error::{CompileError, RunError};
 pub use interp::{ExecMode, RunLimits, Val};
 pub use rir::ScalarTy;
 pub use storage::ArrayObj;
+pub use trace::{Collector, FallbackInfo, Profile, RegionReport, SpanKind, SpanNode};

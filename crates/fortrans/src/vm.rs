@@ -167,6 +167,11 @@ pub(crate) struct Vm<'e, const TRACE: bool> {
     in_real_region: bool,
     depth: usize,
     out: String,
+    /// Profiling collector, attached only to the main-thread VM of a
+    /// profiled run (`Engine::run_profiled`); `None` everywhere else —
+    /// workers never carry one, keeping the hot path a single
+    /// pointer-null test at loop/unit/region boundaries.
+    prof: Option<&'e crate::trace::Collector>,
     /// Fault-location registers: the unit and pc currently executing.
     /// Kept current by `run_range`; restored across nested calls only on
     /// success, so a propagating error pins the innermost fault site.
@@ -194,6 +199,7 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             in_real_region: false,
             depth: 0,
             out: String::new(),
+            prof: None,
             cur_uidx: 0,
             cur_pc: 0,
             steps: 0,
@@ -891,6 +897,12 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     }
                 }
                 BInstr::Jump(t) => {
+                    // EXIT jumps land exactly on a loop's end pc; any
+                    // other jump target sits strictly inside every open
+                    // loop, making this a no-op for them.
+                    if let Some(p) = self.prof {
+                        p.close_loops_at(t);
+                    }
                     pc = t as usize;
                     continue;
                 }
@@ -917,6 +929,11 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     let s = self.popi();
                     frame.i[end as usize] = e;
                     frame.i[ctr as usize] = s;
+                    if let Some(p) = self.prof {
+                        if let Some(site) = bu.loop_site_at(pc as u32) {
+                            p.loop_enter(site.line, site.end_pc);
+                        }
+                    }
                 }
                 BInstr::DoInit { ctr, end, step, check } => {
                     let st = self.popi();
@@ -928,10 +945,18 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     frame.i[step as usize] = st;
                     frame.i[end as usize] = e;
                     frame.i[ctr as usize] = s;
+                    if let Some(p) = self.prof {
+                        if let Some(site) = bu.loop_site_at(pc as u32) {
+                            p.loop_enter(site.line, site.end_pc);
+                        }
+                    }
                 }
                 BInstr::DoHead1 { ctr, end, var, exit } => {
                     let i = frame.i[ctr as usize];
                     if i > frame.i[end as usize] {
+                        if let Some(p) = self.prof {
+                            p.close_loops_at(exit);
+                        }
                         pc = exit as usize;
                         continue;
                     }
@@ -942,6 +967,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     let e = frame.i[end as usize];
                     let st = frame.i[step as usize];
                     if (st > 0 && i > e) || (st < 0 && i < e) {
+                        if let Some(p) = self.prof {
+                            p.close_loops_at(exit);
+                        }
                         pc = exit as usize;
                         continue;
                     }
@@ -952,6 +980,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     let e = frame.i[end as usize];
                     let st = frame.i[step as usize];
                     if (st > 0 && i > e) || (st < 0 && i < e) {
+                        if let Some(p) = self.prof {
+                            p.close_loops_at(exit);
+                        }
                         pc = exit as usize;
                         continue;
                     }
@@ -1001,6 +1032,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                             if exit == NO_PC {
                                 return Ok(Flow::Exit);
                             }
+                            if let Some(p) = self.prof {
+                                p.close_loops_at(exit);
+                            }
                             pc = exit as usize;
                             continue;
                         }
@@ -1016,7 +1050,14 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     }
                 }
                 BInstr::OmpDo { desc } => {
-                    let flow = self.exec_omp(uidx, frame, bu, desc as usize)?;
+                    let omp_line = bu.line_for_pc(pc as u32).unwrap_or(0);
+                    if let Some(p) = self.prof {
+                        p.omp_enter(omp_line);
+                    }
+                    let flow = self.exec_omp(uidx, frame, bu, desc as usize, omp_line)?;
+                    if let Some(p) = self.prof {
+                        p.omp_exit();
+                    }
                     match flow {
                         Flow::Normal => {
                             pc = bu.omps[desc as usize].body.1 as usize;
@@ -1139,10 +1180,17 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         let snap = self.vec_snapshot();
         let (saved_uidx, saved_pc) = (self.cur_uidx, self.cur_pc);
         self.depth += 1;
+        if let Some(p) = self.prof {
+            p.unit_enter(&self.ex.prog.units[cs.callee as usize].name);
+        }
         let flow = self.run_range(cs.callee as usize, &mut cframe, 0, callee.code.len() as u32);
         self.depth -= 1;
         self.vec_restore(snap);
         let flow = flow?;
+        if let Some(p) = self.prof {
+            // Also sweeps loop spans a RETURN left open inside the callee.
+            p.unit_exit();
+        }
         self.cur_uidx = saved_uidx;
         self.cur_pc = saved_pc;
         match flow {
@@ -1211,6 +1259,7 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         frame: &mut VFrame,
         bu: &'e BUnit,
         desc: usize,
+        line: u32,
     ) -> Result<Flow, RunError> {
         let d: &'e OmpDesc = &bu.omps[desc];
         // Stack (top last): s0, e0, st, [lo,hi]*, [num_threads].
@@ -1268,6 +1317,7 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     critical: region.critical,
                     reductions: region.reductions,
                     trip: region.trip,
+                    line,
                 });
                 r
             }
@@ -1481,10 +1531,11 @@ pub(crate) fn run_vm(
     bunits: &[BUnit],
     unit_id: usize,
     args: &[ArgVal],
+    prof: Option<&crate::trace::Collector>,
 ) -> Result<(Option<Val>, CostTrace, String), RunError> {
     match exec.mode {
-        ExecMode::Simulated { .. } => go::<true>(exec, bunits, unit_id, args),
-        _ => go::<false>(exec, bunits, unit_id, args),
+        ExecMode::Simulated { .. } => go::<true>(exec, bunits, unit_id, args, prof),
+        _ => go::<false>(exec, bunits, unit_id, args, prof),
     }
 }
 
@@ -1493,6 +1544,7 @@ fn go<const TRACE: bool>(
     bunits: &[BUnit],
     unit_id: usize,
     args: &[ArgVal],
+    prof: Option<&crate::trace::Collector>,
 ) -> Result<(Option<Val>, CostTrace, String), RunError> {
     let bu = &bunits[unit_id];
     let unit = &exec.prog.units[unit_id];
@@ -1525,10 +1577,18 @@ fn go<const TRACE: bool>(
         }
     }
     let mut vm = Vm::<TRACE>::new(exec, bunits, 0);
+    vm.prof = prof;
+    if let Some(p) = prof {
+        p.unit_enter(&unit.name);
+    }
     let flow = match vm.run_range(unit_id, &mut frame, 0, bu.code.len() as u32) {
         Ok(f) => f,
         Err(e) => return Err(vm_ctx(exec, bunits, &vm, e)),
     };
+    if let Some(p) = prof {
+        p.unit_exit();
+        p.set_steps(vm.steps);
+    }
     debug_assert!(matches!(flow, Flow::Normal | Flow::Return));
     let result = bu
         .result

@@ -10,7 +10,11 @@
 //! * captured PRINT output,
 //! * the full Simulated-mode `CostTrace` event stream (`PartialEq` on
 //!   every counter of every thread of every region),
-//! * error `Display` strings when the program faults.
+//! * error `Display` strings when the program faults,
+//! * the **profile**: aggregate per-`(unit, line)` loop-entry counts and
+//!   the trap/fallback counters from a profiled run must be identical
+//!   between the tiers, in every mode (spans are tier-invariant by
+//!   construction — see `fortrans::trace`).
 //!
 //! Comparison policy by mode:
 //! * **Serial** and **Simulated** are deterministic: everything must be
@@ -141,18 +145,48 @@ fn assert_equivalent(label: &str, mode: ExecMode, vm: &Snap, tw: &Snap) {
     }
 }
 
+/// The tier-invariant slice of a profiled run: aggregate loop-entry
+/// counts plus the engine's trap/fallback counter. `None` when the run
+/// errored (both tiers must then agree on error-ness, which the Snap
+/// comparison already enforces).
+type ProfSnap = Option<(std::collections::BTreeMap<(String, u32), u64>, u64)>;
+
+fn profile_snapshot(
+    engine: &Engine,
+    unit: &str,
+    args: &[ArgVal],
+    mode: ExecMode,
+    tier: ExecTier,
+) -> ProfSnap {
+    engine
+        .run_profiled(unit, args, mode, tier)
+        .ok()
+        .map(|(_, p)| (p.loop_entry_counts(), p.fallback_count))
+}
+
 /// Runs `unit` from `src` under every (mode, tier) pair on fresh engines
 /// (globals mutate, so tiers must not share storage) and cross-checks.
 /// `runs` allows exercising global persistence across several calls; the
-/// snapshots of every call are compared pairwise.
+/// snapshots of every call are compared pairwise. A second pair of
+/// engines repeats each call under the profiler and cross-checks the
+/// tier-invariant profile observables.
 fn differential_n(label: &str, src: &str, unit: &str, mk_args: impl Fn() -> Vec<ArgVal>, runs: usize) {
     for mode in MODES {
         let evm = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
         let etw = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let pvm = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let ptw = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
         for r in 0..runs {
             let vm = snapshot(&evm, unit, &mk_args(), mode, ExecTier::Vm);
             let tw = snapshot(&etw, unit, &mk_args(), mode, ExecTier::TreeWalk);
             assert_equivalent(&format!("{label} (run {r})"), mode, &vm, &tw);
+            let pv = profile_snapshot(&pvm, unit, &mk_args(), mode, ExecTier::Vm);
+            let pt = profile_snapshot(&ptw, unit, &mk_args(), mode, ExecTier::TreeWalk);
+            assert_eq!(
+                pv, pt,
+                "{label} (run {r}) under {mode:?}: profiled loop-entry \
+                 counts / fallback counters diverge between tiers"
+            );
         }
     }
 }

@@ -67,6 +67,17 @@ pub enum Decision {
     Serial,
 }
 
+impl Decision {
+    /// Stable lower-case name for decision logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Decision::Threads => "threads",
+            Decision::Simd => "simd",
+            Decision::Serial => "serial",
+        }
+    }
+}
+
 /// The advisor.
 #[derive(Debug, Clone, Default)]
 pub struct CostAdvisor {

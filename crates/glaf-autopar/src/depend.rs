@@ -26,7 +26,7 @@ use crate::access::{Access, AccessKind};
 use crate::affine::{comparable, Affine, SubscriptForm};
 
 /// Verdict for a pair of accesses w.r.t. one loop index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DepResult {
     /// No two iterations (equal or distinct) touch the same element — or
     /// only provably-distinct elements are touched.
@@ -46,6 +46,53 @@ impl DepResult {
     pub fn allows_parallel(self) -> bool {
         matches!(self, DepResult::Independent | DepResult::LoopIndependent)
     }
+
+    /// Stable lower-case name for decision logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepResult::Independent => "independent",
+            DepResult::LoopIndependent => "loop-independent",
+            DepResult::LoopCarried => "loop-carried",
+            DepResult::Unknown => "unknown",
+        }
+    }
+}
+
+/// Which classical test produced a dependence verdict (for decision
+/// logs; the verdict itself is the [`DepResult`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DepTest {
+    /// Short-circuit before subscript analysis: read/read pair, distinct
+    /// derived-type fields, scalar access, or rank mismatch.
+    Trivial,
+    /// A zero-index-variable dimension decided (constant comparison).
+    Ziv,
+    /// The strong-SIV distance equation decided.
+    StrongSiv,
+    /// GCD divisibility over unequal strides decided.
+    Gcd,
+    /// Symbolic or non-affine subscripts left the verdict undecided.
+    Symbolic,
+}
+
+impl DepTest {
+    /// Stable lower-case name for decision logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepTest::Trivial => "trivial",
+            DepTest::Ziv => "ziv",
+            DepTest::StrongSiv => "strong-siv",
+            DepTest::Gcd => "gcd",
+            DepTest::Symbolic => "symbolic",
+        }
+    }
+}
+
+/// A dependence verdict together with the test that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEvidence {
+    pub result: DepResult,
+    pub test: DepTest,
 }
 
 /// Constraint one subscript dimension places on the iteration distance.
@@ -77,12 +124,13 @@ fn has_other_indices(a: &Affine, b: &Affine, v: &str) -> bool {
     a.coeffs.keys().chain(b.coeffs.keys()).any(|k| k != v)
 }
 
-/// Constraint contributed by one subscript dimension for index `v`.
-/// Unprimed (`a`, iteration v) and primed (`b`, iteration v') instances of
-/// all *other* indices are independent free variables.
-fn test_dimension(a: &Affine, b: &Affine, v: &str) -> Constraint {
+/// Constraint contributed by one subscript dimension for index `v`,
+/// together with the test that produced it. Unprimed (`a`, iteration v)
+/// and primed (`b`, iteration v') instances of all *other* indices are
+/// independent free variables.
+fn test_dimension(a: &Affine, b: &Affine, v: &str) -> (Constraint, DepTest) {
     if !comparable(a, b) {
-        return Constraint::Unknown;
+        return (Constraint::Unknown, DepTest::Symbolic);
     }
     let ca = a.coeff(v);
     let cb = b.coeff(v);
@@ -93,33 +141,33 @@ fn test_dimension(a: &Affine, b: &Affine, v: &str) -> Constraint {
         (0, 0) => {
             if others {
                 // Free variables absorb anything.
-                Constraint::Any
+                (Constraint::Any, DepTest::Ziv)
             } else if dc == 0 {
-                Constraint::Any
+                (Constraint::Any, DepTest::Ziv)
             } else {
-                Constraint::Impossible
+                (Constraint::Impossible, DepTest::Ziv)
             }
         }
         (x, y) if x == y => {
             if others {
-                return Constraint::Unknown;
+                return (Constraint::Unknown, DepTest::Symbolic);
             }
             // x·(v − v') = dc.
             if dc % x != 0 {
-                Constraint::Impossible
+                (Constraint::Impossible, DepTest::StrongSiv)
             } else {
-                Constraint::Exactly(dc / x)
+                (Constraint::Exactly(dc / x), DepTest::StrongSiv)
             }
         }
         (x, y) => {
             if others {
-                return Constraint::Unknown;
+                return (Constraint::Unknown, DepTest::Symbolic);
             }
             let g = gcd(x, y);
             if g != 0 && dc % g != 0 {
-                Constraint::Impossible
+                (Constraint::Impossible, DepTest::Gcd)
             } else {
-                Constraint::Unknown
+                (Constraint::Unknown, DepTest::Gcd)
             }
         }
     }
@@ -128,51 +176,62 @@ fn test_dimension(a: &Affine, b: &Affine, v: &str) -> Constraint {
 /// Tests a pair of accesses to the same grid for dependence w.r.t. loop
 /// index `v`. Read/read pairs are trivially independent.
 pub fn test_dependence(a: &Access, b: &Access, v: &str) -> DepResult {
+    test_dependence_explained(a, b, v).result
+}
+
+/// Like [`test_dependence`], but also reports which classical test
+/// produced the verdict — the raw material for autopar decision logs.
+pub fn test_dependence_explained(a: &Access, b: &Access, v: &str) -> DepEvidence {
     if a.kind == AccessKind::Read && b.kind == AccessKind::Read {
-        return DepResult::Independent;
+        return DepEvidence { result: DepResult::Independent, test: DepTest::Trivial };
     }
     debug_assert_eq!(a.grid, b.grid);
     if a.field != b.field {
         // Different struct fields never alias.
-        return DepResult::Independent;
+        return DepEvidence { result: DepResult::Independent, test: DepTest::Trivial };
     }
     if a.subscripts.len() != b.subscripts.len() {
-        return DepResult::Unknown;
+        return DepEvidence { result: DepResult::Unknown, test: DepTest::Trivial };
     }
     if a.subscripts.is_empty() {
         // Scalar: every iteration touches the same cell.
-        return DepResult::LoopCarried;
+        return DepEvidence { result: DepResult::LoopCarried, test: DepTest::Trivial };
     }
 
     let mut exact: Option<i64> = None;
-    let mut saw_unknown = false;
+    let mut unknown_from: Option<DepTest> = None;
     for (sa, sb) in a.subscripts.iter().zip(b.subscripts.iter()) {
-        let c = match (sa, sb) {
+        let (c, test) = match (sa, sb) {
             (SubscriptForm::Affine(fa), SubscriptForm::Affine(fb)) => test_dimension(fa, fb, v),
-            _ => Constraint::Unknown,
+            _ => (Constraint::Unknown, DepTest::Symbolic),
         };
         match c {
-            Constraint::Impossible => return DepResult::Independent,
+            // A single impossible dimension is decisive; credit its test.
+            Constraint::Impossible => return DepEvidence { result: DepResult::Independent, test },
             Constraint::Exactly(d) => match exact {
-                Some(prev) if prev != d => return DepResult::Independent,
+                Some(prev) if prev != d => {
+                    // Contradicting pinned distances: strong-SIV decided.
+                    return DepEvidence {
+                        result: DepResult::Independent,
+                        test: DepTest::StrongSiv,
+                    };
+                }
                 _ => exact = Some(d),
             },
             Constraint::Any => {}
-            Constraint::Unknown => saw_unknown = true,
+            Constraint::Unknown => unknown_from = unknown_from.or(Some(test)),
         }
     }
 
     match exact {
-        Some(0) => DepResult::LoopIndependent,
-        Some(_) => DepResult::LoopCarried,
-        None => {
-            if saw_unknown {
-                DepResult::Unknown
-            } else {
-                // All dimensions satisfiable at any distance.
-                DepResult::LoopCarried
-            }
-        }
+        Some(0) => DepEvidence { result: DepResult::LoopIndependent, test: DepTest::StrongSiv },
+        Some(_) => DepEvidence { result: DepResult::LoopCarried, test: DepTest::StrongSiv },
+        None => match unknown_from {
+            Some(test) => DepEvidence { result: DepResult::Unknown, test },
+            // All dimensions satisfiable at any distance: the ZIV /
+            // other-index analysis is what proved the overlap.
+            None => DepEvidence { result: DepResult::LoopCarried, test: DepTest::Ziv },
+        },
     }
 }
 
@@ -333,6 +392,39 @@ mod tests {
         let w = acc("a", AccessKind::Write, vec![Expr::idx("i"), Expr::int(1)]);
         let r = acc("a", AccessKind::Read, vec![Expr::idx("i"), Expr::int(2)]);
         assert_eq!(test_dependence(&w, &r, "i"), DepResult::Independent);
+    }
+
+    #[test]
+    fn explained_attributes_the_deciding_test() {
+        // Read/read: trivial short-circuit.
+        let r1 = acc("a", AccessKind::Read, vec![Expr::idx("i")]);
+        let r2 = acc("a", AccessKind::Read, vec![Expr::idx("i")]);
+        assert_eq!(
+            test_dependence_explained(&r1, &r2, "i"),
+            DepEvidence { result: DepResult::Independent, test: DepTest::Trivial }
+        );
+        // Constant subscripts: ZIV decides both ways.
+        let w = acc("a", AccessKind::Write, vec![Expr::int(1)]);
+        let r = acc("a", AccessKind::Read, vec![Expr::int(2)]);
+        assert_eq!(test_dependence_explained(&w, &r, "i").test, DepTest::Ziv);
+        // Identity subscripts: strong SIV pins the distance.
+        let w = acc("a", AccessKind::Write, vec![Expr::idx("i")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i") - Expr::int(1)]);
+        assert_eq!(
+            test_dependence_explained(&w, &r, "i"),
+            DepEvidence { result: DepResult::LoopCarried, test: DepTest::StrongSiv }
+        );
+        // Mixed strides: GCD decides.
+        let w = acc("a", AccessKind::Write, vec![Expr::int(2) * Expr::idx("i")]);
+        let r = acc("a", AccessKind::Read, vec![Expr::int(4) * Expr::idx("i") + Expr::int(1)]);
+        assert_eq!(test_dependence_explained(&w, &r, "i").test, DepTest::Gcd);
+        // Non-affine subscript: symbolic.
+        let w = acc("a", AccessKind::Write, vec![Expr::at("idx", vec![Expr::idx("i")])]);
+        let r = acc("a", AccessKind::Read, vec![Expr::idx("i")]);
+        assert_eq!(
+            test_dependence_explained(&w, &r, "i"),
+            DepEvidence { result: DepResult::Unknown, test: DepTest::Symbolic }
+        );
     }
 
     proptest! {

@@ -35,6 +35,7 @@ pub mod access;
 pub mod affine;
 pub mod classify;
 pub mod costmodel;
+pub mod decision;
 pub mod depend;
 pub mod plan;
 pub mod privatize;
@@ -45,7 +46,10 @@ pub use access::{collect_accesses, Access, AccessKind};
 pub use affine::{Affine, SubscriptForm};
 pub use classify::{classify_loop, LoopClass};
 pub use costmodel::{CostAdvisor, CostParams, Decision};
-pub use depend::{test_dependence, DepResult};
+pub use decision::{
+    analyze_function_with_log, analyze_program_with_log, DecisionLog, DepRecord, LoopDecision,
+};
+pub use depend::{test_dependence, test_dependence_explained, DepEvidence, DepResult, DepTest};
 pub use plan::{analyze_function, analyze_program, FunctionPlan, LoopPlan, ProgramPlan, RedOp};
 pub use privatize::find_private_scalars;
 pub use reduction::{find_reductions, Reduction};

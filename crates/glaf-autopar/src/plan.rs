@@ -11,7 +11,8 @@ use glaf_ir::{Function, GlafModule, LoopNest, Program, StepBody, Stmt};
 
 use crate::access::{collect_accesses, Access, AccessKind};
 use crate::classify::{classify_loop, is_vectorizable, LoopClass};
-use crate::depend::test_dependence;
+use crate::decision::DepRecord;
+use crate::depend::test_dependence_explained;
 use crate::privatize::find_private_scalars;
 use crate::reduction::{find_reductions, Reduction};
 
@@ -96,16 +97,20 @@ pub fn analyze_function(program: &Program, _module: &GlafModule, func: &Function
     let mut loops = Vec::new();
     for (step_index, step) in func.steps.iter().enumerate() {
         if let StepBody::Loop(nest) = &step.body {
-            loops.push(analyze_loop(program, step_index, nest));
+            loops.push(analyze_loop(program, step_index, nest, None));
         }
     }
     FunctionPlan { function: func.name.clone(), loops }
 }
 
-fn analyze_loop(
+/// Analyzes one loop nest. When `deps` is supplied, every dependence test
+/// executed is recorded there (see [`crate::decision`]); the returned
+/// plan is identical either way.
+pub(crate) fn analyze_loop(
     program: &Program,
     step_index: usize,
     nest: &LoopNest,
+    mut deps: Option<&mut BTreeSet<DepRecord>>,
 ) -> LoopPlan {
     let accesses = collect_accesses(nest);
     let indices: Vec<String> = nest.ranges.iter().map(|r| r.var.clone()).collect();
@@ -207,12 +212,20 @@ fn analyze_loop(
                     if !per_index_ok[k] {
                         continue;
                     }
-                    let verdict = test_dependence(w, other, v);
-                    if !verdict.allows_parallel() {
+                    let ev = test_dependence_explained(w, other, v);
+                    if let Some(sink) = deps.as_deref_mut() {
+                        sink.insert(DepRecord {
+                            grid: (*grid).to_string(),
+                            index: v.clone(),
+                            test: ev.test,
+                            result: ev.result,
+                        });
+                    }
+                    if !ev.result.allows_parallel() {
                         per_index_ok[k] = false;
                         blockers.push(format!(
                             "grid `{grid}`: {:?} dependence on index `{v}`",
-                            verdict
+                            ev.result
                         ));
                     }
                 }

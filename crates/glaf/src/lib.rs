@@ -23,7 +23,7 @@ pub mod sloc;
 pub mod verify;
 
 use fortrans::Engine;
-use glaf_autopar::{analyze_program, ProgramPlan};
+use glaf_autopar::{analyze_program_with_log, DecisionLog, ProgramPlan};
 use glaf_codegen::{generate_c, generate_fortran, CodegenOptions};
 use glaf_ir::{validate_program, Program, ValidateError};
 
@@ -51,6 +51,7 @@ pub struct GeneratedCode {
 pub struct Glaf {
     program: Program,
     plan: ProgramPlan,
+    log: DecisionLog,
 }
 
 impl Glaf {
@@ -61,8 +62,8 @@ impl Glaf {
         if !errs.is_empty() {
             return Err(errs);
         }
-        let plan = analyze_program(&program);
-        Ok(Glaf { program, plan })
+        let (plan, log) = analyze_program_with_log(&program);
+        Ok(Glaf { program, plan, log })
     }
 
     pub fn program(&self) -> &Program {
@@ -72,6 +73,12 @@ impl Glaf {
     /// The auto-parallelization back-end's verdicts.
     pub fn plan(&self) -> &ProgramPlan {
         &self.plan
+    }
+
+    /// The decision log behind [`Glaf::plan`]: which dependence test fired
+    /// per loop, the applied clauses, and the cost advisor's verdict.
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
     }
 
     /// Generates source code in `lang` under `opts`.

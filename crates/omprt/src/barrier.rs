@@ -1,6 +1,6 @@
 //! A sense-reversing barrier for in-region synchronization.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A reusable barrier for a fixed team size. Unlike `std::sync::Barrier`
 /// this one is spin+yield based (regions are short) and exposes the
@@ -9,16 +9,30 @@ pub struct Barrier {
     team: usize,
     count: AtomicUsize,
     sense: AtomicBool,
+    /// Lifetime total of `wait` arrivals, for utilization reports.
+    waits: AtomicU64,
 }
 
 impl Barrier {
     pub fn new(team: usize) -> Self {
-        Barrier { team: team.max(1), count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+        Barrier {
+            team: team.max(1),
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Total arrivals observed so far: each thread's `wait` call counts
+    /// once, so a full barrier phase adds `team`.
+    pub fn wait_count(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
     }
 
     /// Waits until all `team` threads arrive. Returns `true` on exactly one
     /// thread (the last to arrive).
     pub fn wait(&self) -> bool {
+        self.waits.fetch_add(1, Ordering::Relaxed);
         let my_sense = !self.sense.load(Ordering::Relaxed);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.team {
             self.count.store(0, Ordering::Relaxed);
@@ -63,6 +77,21 @@ mod tests {
         for o in &observed_at_phase2 {
             assert_eq!(o.load(Ordering::Relaxed), t as u64);
         }
+    }
+
+    #[test]
+    fn wait_count_tracks_arrivals() {
+        let t = 4;
+        let pool = ThreadPool::new(t);
+        let barrier = Barrier::new(t);
+        assert_eq!(barrier.wait_count(), 0);
+        pool.run(|_tid| {
+            for _ in 0..5 {
+                barrier.wait();
+            }
+        })
+        .unwrap();
+        assert_eq!(barrier.wait_count(), 5 * t as u64);
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //! performance *figures* are reproduced on the `simcpu` machine model.
 
 pub mod barrier;
+pub mod metrics;
 pub mod pool;
 pub mod reduce;
 pub mod schedule;
 pub mod sync;
 
 pub use barrier::Barrier;
+pub use metrics::RegionMetrics;
 pub use pool::{RegionPanic, ThreadPool};
-pub use reduce::{combine, RedIdentity};
+pub use reduce::{combine, fold_depth, RedIdentity};
 pub use schedule::{chunks_for, Schedule};
 pub use sync::{AtomicF64Cell, AtomicI64Cell, CriticalRegistry};

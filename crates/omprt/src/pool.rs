@@ -16,10 +16,13 @@
 //! self-heals without respawning threads.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::RegionMetrics;
 
 /// Type-erased job pointer: a borrowed `&(dyn Fn(usize) + Sync)` smuggled
 /// across the `'static` requirement of worker threads. Soundness argument:
@@ -70,6 +73,10 @@ struct Shared {
     active: AtomicUsize,
     /// Panics caught on workers during the current generation.
     panics: Mutex<Vec<RegionPanic>>,
+    /// When set, every region records a [`RegionMetrics`] entry.
+    metrics_on: AtomicBool,
+    /// Per-thread busy time of the current region, zeroed at each fork.
+    busy_ns: Vec<AtomicU64>,
 }
 
 struct State {
@@ -84,6 +91,9 @@ pub struct ThreadPool {
     shared: Arc<Shared>,
     handles: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
+    /// Completed-region metrics in fork order (only the forking caller
+    /// touches this; workers write the `Shared::busy_ns` slots).
+    records: Mutex<Vec<RegionMetrics>>,
 }
 
 impl ThreadPool {
@@ -98,6 +108,8 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             active: AtomicUsize::new(0),
             panics: Mutex::new(Vec::new()),
+            metrics_on: AtomicBool::new(false),
+            busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let mut handles = Vec::with_capacity(threads - 1);
         for tid in 1..threads {
@@ -109,12 +121,24 @@ impl ThreadPool {
                     .expect("spawn omprt worker"),
             );
         }
-        ThreadPool { shared, handles, threads }
+        ThreadPool { shared, handles, threads, records: Mutex::new(Vec::new()) }
     }
 
     /// Number of logical threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Switches per-region utilization accounting on or off. Off (the
+    /// default) keeps `run` free of timing syscalls.
+    pub fn set_metrics(&self, on: bool) {
+        self.shared.metrics_on.store(on, Ordering::Relaxed);
+    }
+
+    /// Drains the [`RegionMetrics`] accumulated since the last call, in
+    /// fork order.
+    pub fn take_metrics(&self) -> Vec<RegionMetrics> {
+        std::mem::take(&mut *self.records.lock())
     }
 
     /// Runs `f(tid)` once for each `tid in 0..threads`, in parallel, and
@@ -127,10 +151,29 @@ impl ThreadPool {
     where
         F: Fn(usize) + Sync,
     {
+        let timing = self.shared.metrics_on.load(Ordering::Relaxed);
         if self.threads == 1 {
-            return catch_unwind(AssertUnwindSafe(|| f(0)))
+            // Degenerate team: the region *is* the caller's inline call,
+            // so busy time equals wall time by construction.
+            let t0 = timing.then(Instant::now);
+            let r = catch_unwind(AssertUnwindSafe(|| f(0)))
                 .map_err(|p| RegionPanic { tid: 0, what: payload_msg(&*p) });
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.records.lock().push(RegionMetrics {
+                    threads: 1,
+                    wall_ns: ns,
+                    busy_ns: vec![ns],
+                });
+            }
+            return r;
         }
+        if timing {
+            for slot in &self.shared.busy_ns {
+                slot.store(0, Ordering::Relaxed);
+            }
+        }
+        let region_start = timing.then(Instant::now);
         let erased: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: see `JobPtr` — we block until all workers are done with
         // the pointer before `f` can be dropped.
@@ -149,7 +192,11 @@ impl ThreadPool {
         // The caller is thread 0. Catch its panic too: unwinding out of
         // `run` while workers still hold the job pointer would free `f`
         // under them.
+        let t0_start = timing.then(Instant::now);
         let t0 = catch_unwind(AssertUnwindSafe(|| f(0)));
+        if let Some(s) = t0_start {
+            self.shared.busy_ns[0].store(s.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         // Join: wait for workers — unconditionally, for soundness.
         {
             let mut st = self.shared.state.lock();
@@ -157,6 +204,13 @@ impl ThreadPool {
                 self.shared.done_cv.wait(&mut st);
             }
             st.job = None;
+        }
+        if let Some(s) = region_start {
+            self.records.lock().push(RegionMetrics {
+                threads: self.threads,
+                wall_ns: s.elapsed().as_nanos() as u64,
+                busy_ns: self.shared.busy_ns.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            });
         }
         let mut caught: Vec<RegionPanic> = self.shared.panics.lock().drain(..).collect();
         if let Err(p) = t0 {
@@ -200,7 +254,11 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
         };
         // SAFETY: the pointer is valid for the duration of the generation —
         // `run` blocks until `active` hits zero.
+        let t0 = shared.metrics_on.load(Ordering::Relaxed).then(Instant::now);
         let r = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        if let Some(t0) = t0 {
+            shared.busy_ns[tid].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         if let Err(p) = r {
             shared.panics.lock().push(RegionPanic { tid, what: payload_msg(&*p) });
         }
@@ -294,6 +352,45 @@ mod tests {
             assert_eq!(c.load(Ordering::Relaxed), (i * i) as u64);
         }
         // (indexing above is the point of the test: per-slot ownership)
+    }
+
+    #[test]
+    fn metrics_off_records_nothing() {
+        let pool = ThreadPool::new(2);
+        pool.run(|_tid| {}).unwrap();
+        assert!(pool.take_metrics().is_empty());
+    }
+
+    #[test]
+    fn metrics_record_one_region_per_fork() {
+        for t in [1usize, 4] {
+            let pool = ThreadPool::new(t);
+            pool.set_metrics(true);
+            for _ in 0..3 {
+                pool.run(|_tid| {
+                    // Make busy time observable on coarse clocks.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                })
+                .unwrap();
+            }
+            pool.set_metrics(false);
+            pool.run(|_tid| {}).unwrap();
+            let recs = pool.take_metrics();
+            assert_eq!(recs.len(), 3, "threads={t}");
+            for m in &recs {
+                assert_eq!(m.threads, t);
+                assert_eq!(m.busy_ns.len(), t);
+                assert!(m.wall_ns > 0);
+                // Every thread ran the closure, so every slot is busy.
+                for (tid, b) in m.busy_ns.iter().enumerate() {
+                    assert!(*b > 0, "threads={t} tid={tid}");
+                }
+                assert!(m.utilization() > 0.0 && m.utilization() <= 1.0);
+                assert!(m.imbalance() >= 1.0);
+            }
+            // Drained: a second take is empty.
+            assert!(pool.take_metrics().is_empty());
+        }
     }
 
     #[test]

@@ -58,6 +58,15 @@ impl RedIdentity {
     }
 }
 
+/// Number of combine applications the runtime performs to fold a team of
+/// `team` partials. The current combiner is a linear left fold over the
+/// identity, so the depth is `team` applications (0 for an empty team);
+/// observability reports expose this so a future tree combiner shows up
+/// as a depth change rather than silently.
+pub fn fold_depth(team: usize) -> usize {
+    team
+}
+
 /// Folds per-thread partial results (float flavor).
 pub fn combine(op: RedIdentity, partials: &[f64]) -> f64 {
     partials
@@ -77,6 +86,13 @@ mod tests {
         assert_eq!(RedIdentity::ProdF.identity_f(), 1.0);
         assert_eq!(RedIdentity::MaxI.identity_i(), i64::MIN);
         assert_eq!(RedIdentity::MinI.identity_i(), i64::MAX);
+    }
+
+    #[test]
+    fn fold_depth_is_linear_in_team() {
+        assert_eq!(fold_depth(0), 0);
+        assert_eq!(fold_depth(1), 1);
+        assert_eq!(fold_depth(8), 8);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod machine;
 pub mod report;
 
 pub use machine::MachineModel;
-pub use report::{time_trace, SimReport};
+pub use report::{region_costs, time_trace, RegionCost, SimReport};
 
 #[cfg(test)]
 mod tests {

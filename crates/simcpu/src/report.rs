@@ -110,6 +110,43 @@ fn region_cycles(r: &RegionEvent, m: &MachineModel, rep: &mut SimReport) -> f64 
     fork + compute + atomic + crit_extra + red + alloc
 }
 
+/// Predicted cost of one parallel region, in trace (fork) order — the
+/// "predicted" side of predicted-vs-measured observability reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionCost {
+    /// Region ordinal within the trace.
+    pub index: usize,
+    pub threads: usize,
+    /// Total iterations the region distributed.
+    pub trip: u64,
+    /// Source line of the parallel DO (0 when unknown) — the join key
+    /// against measured `omp@line` profile spans.
+    pub line: u32,
+    /// Predicted cycles (fork/join + compute + sync), as charged by
+    /// [`time_trace`].
+    pub cycles: f64,
+}
+
+/// Per-region predicted cycles of `trace`, in fork order. The sum over
+/// regions matches the region share of [`time_trace`]'s total.
+pub fn region_costs(trace: &CostTrace, m: &MachineModel) -> Vec<RegionCost> {
+    let mut scratch = SimReport::default();
+    let mut out = Vec::new();
+    for ev in &trace.events {
+        if let TraceEvent::Region(r) = ev {
+            let cycles = region_cycles(r, m, &mut scratch);
+            out.push(RegionCost {
+                index: out.len(),
+                threads: r.threads,
+                trip: r.trip,
+                line: r.line,
+                cycles,
+            });
+        }
+    }
+    out
+}
+
 /// Converts a cost trace to simulated time on `m`.
 pub fn time_trace(trace: &CostTrace, m: &MachineModel) -> SimReport {
     let mut rep = SimReport { machine: m.name.clone(), ghz: m.ghz, ..Default::default() };
@@ -153,6 +190,7 @@ mod tests {
             critical: CostCounters::default(),
             reductions: 0,
             trip: threads as u64,
+            line: 0,
         }
     }
 
@@ -238,6 +276,7 @@ mod tests {
             critical: CostCounters::default(),
             reductions: 0,
             trip: 4,
+            line: 0,
         });
         let rb = time_trace(&balanced, &m);
         let rskew = time_trace(&skewed, &m);
@@ -313,6 +352,32 @@ mod tests {
         t.push_serial(c);
         let rep = time_trace(&t, &m);
         assert!(rep.alloc_cycles > 500.0 * m.cyc_alloc);
+    }
+
+    #[test]
+    fn region_costs_align_with_time_trace() {
+        let m = MachineModel::i5_2400_like();
+        let mut t = CostTrace::default();
+        t.push_serial(counters(5000, 0));
+        t.push_region(region(4, 100_000));
+        t.push_region(region(2, 50_000));
+        let costs = region_costs(&t, &m);
+        assert_eq!(costs.len(), 2);
+        assert_eq!((costs[0].index, costs[0].threads), (0, 4));
+        assert_eq!((costs[1].index, costs[1].threads), (1, 2));
+        // The per-region sum equals total minus the serial share.
+        let rep = time_trace(&t, &m);
+        let serial_only = {
+            let mut s = CostTrace::default();
+            s.push_serial(counters(5000, 0));
+            time_trace(&s, &m).total_cycles
+        };
+        let region_sum: f64 = costs.iter().map(|c| c.cycles).sum();
+        assert!(
+            (region_sum - (rep.total_cycles - serial_only)).abs() < 1e-6,
+            "sum {region_sum} vs {}",
+            rep.total_cycles - serial_only
+        );
     }
 
     #[test]
