@@ -1,0 +1,206 @@
+//! CI smoke: the schedule matrix plus the feedback loop, with an
+//! imbalance-report schema check, emitting `BENCH_pr5.json`.
+//!
+//! Usage: `schedule_smoke [out.json]` (default `BENCH_pr5.json`).
+//!
+//! 1. Times static / dynamic,1 / guided,2 on three kernels (the skewed
+//!    triangular loop, SARB v3 `run_columns`, FUN3D `edgejp`) on real
+//!    threads and records median wall times.
+//! 2. Profiles the skewed kernel, validates the per-region imbalance
+//!    report schema (tagged line, rendered schedule, one busy counter
+//!    per worker, finite imbalance ≥ 1, JSON round-trip), runs
+//!    `observe::reschedule`, applies the overrides, and verifies the
+//!    imbalanced region actually flips to `dynamic,1`.
+//! 3. Writes the measurements as JSON — the start of the perf
+//!    trajectory file. Exits nonzero on any schema violation.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fortrans::{ArgVal, Engine, ExecMode, ExecTier, Schedule};
+use glaf_bench::observe::reschedule;
+
+const THREADS: usize = 4;
+
+const SKEWED: &str = r#"
+MODULE w
+  REAL(8), DIMENSION(1:96) :: out
+CONTAINS
+  SUBROUTINE skewed(n)
+    INTEGER :: n
+    INTEGER :: i, k
+    REAL(8) :: acc
+    !$OMP PARALLEL DO DEFAULT(SHARED)
+    DO i = 1, n
+      acc = 0.0D0
+      DO k = 1, i * 300
+        acc = acc + DBLE(k) * 1.0D-9
+      END DO
+      out(i) = acc
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE skewed
+END MODULE w
+"#;
+
+fn median_ns(reps: usize, mut run: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn matrix_row(label: &str, mk: impl Fn() -> Engine, run: impl Fn(&Engine)) -> Vec<(String, u64)> {
+    [
+        ("static", None),
+        ("dynamic,1", Some(Schedule::Dynamic(1))),
+        ("guided,2", Some(Schedule::Guided(2))),
+    ]
+    .into_iter()
+    .map(|(name, sched)| {
+        let engine = mk();
+        engine.set_schedule_override_all(sched);
+        run(&engine); // warm-up
+        let ns = median_ns(5, || run(&engine));
+        println!("{label:<22} {name:<10} {:.3} ms", ns as f64 / 1e6);
+        (name.to_string(), ns)
+    })
+    .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr5.json".into());
+    let mut errors: Vec<String> = Vec::new();
+
+    // 1. Schedule matrix.
+    println!("== schedule matrix (median of 5, {THREADS} threads) ==");
+    let skewed = matrix_row(
+        "skewed_triangular",
+        || Engine::compile(&[SKEWED]).unwrap(),
+        |e| {
+            e.run("skewed", &[ArgVal::I(96)], ExecMode::Parallel { threads: THREADS }).unwrap();
+        },
+    );
+    let sarb = matrix_row(
+        "sarb_v3_run_columns",
+        || sarb::variants::build_engine(sarb::variants::SarbVariant::GlafParallel(3)),
+        |e| {
+            e.run("run_columns", &[ArgVal::I(2)], ExecMode::Parallel { threads: THREADS })
+                .unwrap();
+        },
+    );
+    let fun3d = matrix_row(
+        "fun3d_edgejp",
+        || {
+            let cfg = fun3d::variants::Fun3dConfig::best();
+            let e = fun3d::variants::build_engine(fun3d::variants::Fun3dVariant::Glaf(cfg));
+            e.run("build_mesh", &[ArgVal::I(80)], ExecMode::Serial).unwrap();
+            e
+        },
+        |e| {
+            e.run("edgejp", &[], ExecMode::Parallel { threads: THREADS }).unwrap();
+        },
+    );
+
+    // 2. Imbalance report schema + feedback loop.
+    let engine = Engine::compile(&[SKEWED]).unwrap();
+    let args = [ArgVal::I(96)];
+    let mode = ExecMode::Parallel { threads: THREADS };
+    let (_, before) = engine
+        .run_profiled("skewed", &args, mode, ExecTier::Vm)
+        .expect("profiled skewed run");
+    if before.regions.is_empty() {
+        errors.push("profiled run recorded no omprt regions".into());
+    }
+    for (i, r) in before.regions.iter().enumerate() {
+        if r.line == 0 {
+            errors.push(format!("region {i}: untagged fork (line 0)"));
+        }
+        if r.sched.is_empty() {
+            errors.push(format!("region {i}: empty schedule string"));
+        }
+        if r.busy_ns.len() != r.threads as usize {
+            errors.push(format!(
+                "region {i}: {} busy counters for {} threads",
+                r.busy_ns.len(),
+                r.threads
+            ));
+        }
+        let imb = r.imbalance();
+        if !imb.is_finite() || imb < 1.0 {
+            errors.push(format!("region {i}: imbalance {imb} outside [1, inf)"));
+        }
+    }
+    match fortrans::Profile::from_json(&before.to_json()) {
+        Ok(back) => {
+            if back != before {
+                errors.push("profile JSON round-trip changed the profile".into());
+            }
+        }
+        Err(e) => errors.push(format!("profile JSON does not parse back: {e}")),
+    }
+
+    let imb_before =
+        before.regions.iter().map(|r| r.imbalance()).fold(0.0f64, f64::max);
+    let overrides = reschedule(&before, 1.25);
+    if overrides.is_empty() {
+        errors.push(format!(
+            "reschedule proposed nothing despite imbalance {imb_before:.2}"
+        ));
+    }
+    engine.set_schedule_overrides(overrides.clone());
+    let (_, after) = engine
+        .run_profiled("skewed", &args, mode, ExecTier::Vm)
+        .expect("profiled rescheduled run");
+    let imb_after = after.regions.iter().map(|r| r.imbalance()).fold(0.0f64, f64::max);
+    for &(line, _) in &overrides {
+        let flipped = after
+            .regions
+            .iter()
+            .any(|r| r.line == u64::from(line) && r.sched == "dynamic,1");
+        if !flipped {
+            errors.push(format!("override on line {line} did not flip to dynamic,1"));
+        }
+    }
+    println!(
+        "feedback: imbalance {imb_before:.2} (static) -> {imb_after:.2} (rescheduled)"
+    );
+
+    // 3. Emit the trajectory file.
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 5,\n  \"threads\": 4,\n  \"schedule_matrix_ns\": {\n");
+    let rows = [("skewed_triangular", &skewed), ("sarb_v3_run_columns", &sarb), ("fun3d_edgejp", &fun3d)];
+    for (ri, (label, row)) in rows.iter().enumerate() {
+        let _ = write!(json, "    \"{label}\": {{");
+        for (si, (name, ns)) in row.iter().enumerate() {
+            let _ = write!(json, "{}\"{name}\": {ns}", if si == 0 { "" } else { ", " });
+        }
+        let _ = writeln!(json, "}}{}", if ri + 1 == rows.len() { "" } else { "," });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"feedback\": {{\"imbalance_static\": {imb_before:.4}, \"imbalance_rescheduled\": {imb_after:.4}, \"overrides\": {}}}",
+        overrides.len()
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        errors.push(format!("cannot write {out_path}: {e}"));
+    } else {
+        println!("wrote {out_path}");
+    }
+
+    if errors.is_empty() {
+        println!("schedule_smoke: imbalance report schema OK");
+    } else {
+        for e in &errors {
+            eprintln!("schedule_smoke: SCHEMA VIOLATION: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -250,6 +250,37 @@ pub fn observe(
     Ok(ObservabilityReport { profile, decisions, loops, agreement })
 }
 
+/// Feedback-directed rescheduling: turns a measured [`Profile`] into
+/// per-line schedule overrides for the next run.
+///
+/// Every parallel region that ran a *static* schedule and whose
+/// worst-case load imbalance (max-over-mean worker busy time, aggregated
+/// over all entries of the region's source line) exceeds
+/// `imbalance_threshold` is proposed for `SCHEDULE(DYNAMIC,1)` — the
+/// measured counterpart of the cost model's static irregularity
+/// analysis. Regions already running a dynamic or guided schedule, and
+/// untagged forks (line 0), are left alone. Feed the result to
+/// [`Engine::set_schedule_overrides`].
+pub fn reschedule(
+    profile: &Profile,
+    imbalance_threshold: f64,
+) -> Vec<(u32, fortrans::Schedule)> {
+    // Worst imbalance per source line, static-scheduled regions only.
+    let mut worst: BTreeMap<u32, f64> = BTreeMap::new();
+    for r in &profile.regions {
+        if r.line == 0 || !r.sched.starts_with("static") {
+            continue;
+        }
+        let e = worst.entry(r.line as u32).or_insert(0.0);
+        *e = e.max(r.imbalance());
+    }
+    worst
+        .into_iter()
+        .filter(|&(_, imb)| imb > imbalance_threshold)
+        .map(|(line, _)| (line, fortrans::Schedule::Dynamic(1)))
+        .collect()
+}
+
 /// The SARB observability report: profiles the GLAF v3 parallel build of
 /// the Synoptic SARB kernels over `ncol` columns.
 pub fn observe_sarb(

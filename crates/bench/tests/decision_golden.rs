@@ -32,21 +32,26 @@ fn fun3d_log() -> DecisionLog {
 
 #[test]
 fn sarb_longwave_entropy_decisions() {
-    let expected = r#"longwave_entropy_model step 0 "zero entropy profile": class=simple-double vectorizable=yes parallel=yes collapse=2 advisor=simd
+    let expected = r#"longwave_entropy_model step 0 "zero entropy profile": class=simple-double vectorizable=yes parallel=yes collapse=2 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `entl` on `i`: strong-siv -> loop-independent
   dep: `entl` on `is`: strong-siv -> loop-independent
-longwave_entropy_model step 1 "spectral entropy integration": class=complex vectorizable=no parallel=yes collapse=2 advisor=threads
+longwave_entropy_model step 1 "spectral entropy integration": class=complex vectorizable=no parallel=yes collapse=2 advisor=threads schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   private: acc2, fql, tl
   dep: `entl` on `i`: strong-siv -> loop-independent
   dep: `entl` on `is`: strong-siv -> loop-independent
-longwave_entropy_model step 2 "copy to work buffer": class=simple-double vectorizable=yes parallel=yes collapse=2 advisor=simd
+longwave_entropy_model step 2 "copy to work buffer": class=simple-double vectorizable=yes parallel=yes collapse=2 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `lwork` on `i`: strong-siv -> loop-independent
   dep: `lwork` on `is`: strong-siv -> loop-independent
-longwave_entropy_model step 3 "vertical smoothing": class=complex vectorizable=no parallel=yes collapse=2 advisor=threads
+longwave_entropy_model step 3 "vertical smoothing": class=complex vectorizable=no parallel=yes collapse=2 advisor=threads schedule=dynamic
+  schedule rationale: conditional control flow makes iteration cost data-dependent
   private: vsm
   dep: `entl` on `i`: strong-siv -> loop-independent
   dep: `entl` on `is`: strong-siv -> loop-independent
-longwave_entropy_model step 5 "column total": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+longwave_entropy_model step 5 "column total": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   reduction: +:tot
 "#;
     assert_eq!(render_fn(&sarb_log(), "longwave_entropy_model"), expected);
@@ -61,7 +66,8 @@ fn sarb_shortwave_band_decisions() {
   dep: `swdir` on `i`: strong-siv -> loop-independent
   dep: `taucum` on `i`: trivial -> loop-carried
   blocker: grid `taucum`: LoopCarried dependence on index `i`
-g_sw_band step 2 "accumulate downward shortwave": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+g_sw_band step 2 "accumulate downward shortwave": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `fds` on `i`: strong-siv -> loop-independent
 "#;
     assert_eq!(render_fn(&sarb_log(), "g_sw_band"), expected);
@@ -69,18 +75,22 @@ g_sw_band step 2 "accumulate downward shortwave": class=simple-single vectorizab
 
 #[test]
 fn sarb_spectral_integration_blockers() {
-    let expected = r#"lw_spectral_integration step 0 "zero downwelling flux": class=zero-init vectorizable=yes parallel=yes collapse=1 advisor=simd
+    let expected = r#"lw_spectral_integration step 0 "zero downwelling flux": class=zero-init vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `fdl` on `i`: strong-siv -> loop-independent
-lw_spectral_integration step 1 "zero upwelling flux": class=zero-init vectorizable=yes parallel=yes collapse=1 advisor=simd
+lw_spectral_integration step 1 "zero upwelling flux": class=zero-init vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `ful` on `i`: strong-siv -> loop-independent
 lw_spectral_integration step 2 "loop over longwave bands": class=complex vectorizable=no parallel=no collapse=0 advisor=serial
   atomic: fdl
   blocker: callee overwrites shared module-scope grid `bf`
   blocker: callee overwrites shared module-scope grid `ful`
   blocker: callee overwrites shared module-scope grid `trn`
-lw_spectral_integration step 4 "normalize downwelling": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+lw_spectral_integration step 4 "normalize downwelling": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `fdl` on `i`: strong-siv -> loop-independent
-lw_spectral_integration step 5 "normalize upwelling": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd
+lw_spectral_integration step 5 "normalize upwelling": class=simple-single vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `ful` on `i`: strong-siv -> loop-independent
 "#;
     assert_eq!(render_fn(&sarb_log(), "lw_spectral_integration"), expected);
@@ -100,20 +110,26 @@ fn fun3d_edge_kernels_decisions() {
 "#;
     assert_eq!(render_fn(&log, "edgejp"), expected_edgejp);
 
-    let expected_ioff = r#"ioff_search step 1 "search neighbour row": class=complex vectorizable=no parallel=yes collapse=1 advisor=serial
+    let expected_ioff = r#"ioff_search step 1 "search neighbour row": class=complex vectorizable=no parallel=yes collapse=1 advisor=serial schedule=dynamic
+  schedule rationale: conditional control flow makes iteration cost data-dependent
   reduction: MAX:kfound
 "#;
     assert_eq!(render_fn(&log, "ioff_search"), expected_ioff);
 
-    // cell_loop: the three structurally interesting steps.
-    let expected_cell = r#"cell_loop step 2 "loop over nodes: gather primitives": class=simple-double vectorizable=yes parallel=yes collapse=1 advisor=simd
+    // cell_loop: the three structurally interesting steps. The gather
+    // over nodes subscripts `qn` through the connectivity table, so it
+    // draws a dynamic schedule; the others are uniform and stay static.
+    let expected_cell = r#"cell_loop step 2 "loop over nodes: gather primitives": class=simple-double vectorizable=yes parallel=yes collapse=1 advisor=simd schedule=dynamic
+  schedule rationale: non-affine subscript on grid `qn`
   dep: `qavg` on `k`: ziv -> loop-carried
   dep: `qavg` on `m`: strong-siv -> loop-independent
-cell_loop step 5 "loop over faces: Green-Gauss gradient": class=complex vectorizable=yes parallel=yes collapse=2 advisor=simd
+cell_loop step 5 "loop over faces: Green-Gauss gradient": class=complex vectorizable=yes parallel=yes collapse=2 advisor=simd schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   dep: `grad` on `d`: strong-siv -> loop-independent
   dep: `grad` on `f`: ziv -> loop-carried
   dep: `grad` on `m`: strong-siv -> loop-independent
-cell_loop step 6 "loop over edges": class=complex vectorizable=no parallel=yes collapse=1 advisor=serial
+cell_loop step 6 "loop over edges": class=complex vectorizable=no parallel=yes collapse=1 advisor=serial schedule=static
+  schedule rationale: uniform affine iterations; static block partition has no dispatch overhead
   atomic: jac
 "#;
     let cell = DecisionLog {
@@ -137,6 +153,49 @@ cell_loop step 6 "loop over edges": class=complex vectorizable=no parallel=yes c
         assert_eq!(l.deps[0].test.name(), "strong-siv", "step {}", l.step_index);
         assert_eq!(l.deps[0].result.name(), "loop-independent", "step {}", l.step_index);
         assert_eq!(l.deps[0].index, "m", "step {}", l.step_index);
+    }
+}
+
+#[test]
+fn schedule_selection_fun3d_dynamic_sarb_static() {
+    // The schedule picks on the two case studies lock the cost model's
+    // regularity analysis: FUN3D's edge kernels that subscript through
+    // the indirectly-loaded endpoints (`n1`/`kslot`) draw a dynamic
+    // schedule, while SARB's longwave spectral integration — uniform
+    // affine column sweeps — stays on the static default.
+    let flog = fun3d_log();
+    let dynamic_steps: Vec<usize> = flog
+        .for_function("edge_loop")
+        .iter()
+        .filter(|l| {
+            l.schedule
+                .as_ref()
+                .is_some_and(|s| s.kind == glaf_autopar::SchedKind::Dynamic)
+        })
+        .map(|l| l.step_index)
+        .collect();
+    assert_eq!(dynamic_steps, vec![1, 2, 12], "edge_loop dynamic stages");
+    for l in flog.for_function("edge_loop") {
+        if dynamic_steps.contains(&l.step_index) {
+            let why = &l.schedule.as_ref().unwrap().why;
+            assert!(why.contains("indirectly-loaded"), "step {}: {why}", l.step_index);
+        }
+    }
+
+    // SARB longwave: every parallelized loop in the spectral
+    // integration pipeline keeps the static default.
+    let slog = sarb_log();
+    for func in ["lw_spectral_integration", "g_lw_emis", "g_lw_trn", "g_lw_dn", "g_lw_up"] {
+        for l in slog.for_function(func) {
+            if let Some(sc) = &l.schedule {
+                assert_eq!(
+                    sc.kind,
+                    glaf_autopar::SchedKind::Static,
+                    "{func} step {}",
+                    l.step_index
+                );
+            }
+        }
     }
 }
 

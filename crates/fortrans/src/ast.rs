@@ -121,6 +121,14 @@ pub enum RedOp {
     Min,
 }
 
+/// Schedule kinds accepted in `SCHEDULE(kind[, chunk])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    Static,
+    Dynamic,
+    Guided,
+}
+
 /// Clauses of `!$OMP PARALLEL DO`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct OmpDo {
@@ -129,7 +137,9 @@ pub struct OmpDo {
     pub reductions: Vec<(RedOp, Vec<String>)>,
     pub collapse: usize,
     pub num_threads: Option<Expr>,
-    pub schedule_chunk: Option<usize>,
+    /// `SCHEDULE(kind[, chunk])`; `None` means the clause was absent
+    /// (runtime default: static block partitioning).
+    pub schedule: Option<(SchedKind, Option<usize>)>,
 }
 
 /// Statements. (The `Do` variant is bigger than the rest; this is a

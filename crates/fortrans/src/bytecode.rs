@@ -214,7 +214,12 @@ pub struct OmpDesc {
     /// Loop variables, outermost first (collapse dims after dim 0).
     pub dims: Vec<(VSlot, ScalarTy)>,
     pub has_nt: bool,
-    pub chunk: Option<usize>,
+    /// Loop schedule from the SCHEDULE clause (static block when absent).
+    pub sched: omprt::Schedule,
+    /// Body touches per-thread (SAVE / THREADPRIVATE) storage; dynamic
+    /// and guided schedules are legalized to static for this region
+    /// (see [`omprt::Schedule::legalize_for_per_thread`]).
+    pub per_thread_access: bool,
     /// Frame-array slots of PRIVATE rank>0 vars (deep-cloned per thread).
     pub private_arrays: Vec<u32>,
     pub reductions: Vec<RedSpec>,
@@ -1422,7 +1427,8 @@ impl<'a> UnitCompiler<'a> {
         let desc = OmpDesc {
             dims,
             has_nt: o.num_threads.is_some(),
-            chunk: o.chunk,
+            sched: o.sched,
+            per_thread_access: o.per_thread_access,
             private_arrays,
             reductions,
             body: (0, 0),

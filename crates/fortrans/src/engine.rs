@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 use crate::bytecode::{compile_program, BUnit};
 use crate::cost::CostTrace;
 use crate::error::{CompileError, RunError};
-use crate::interp::{EffLimits, Exec, ExecMode, RunLimits, Task, Val};
+use crate::interp::{EffLimits, Exec, ExecMode, RunLimits, ScheduleOverrides, Task, Val};
 use crate::parse::parse;
 use crate::rir::{RProgram, ScalarTy};
 use crate::sema::resolve;
@@ -124,6 +124,10 @@ pub struct Engine {
     /// Test hook: force the next VM-tier run to trap (exercises the
     /// fallback path without needing a real VM bug).
     force_vm_trap: AtomicBool,
+    /// Loop-schedule overrides snapshotted into every run's `Exec`
+    /// (feedback-directed rescheduling; see
+    /// [`Engine::set_schedule_overrides`]).
+    sched_overrides: Mutex<Arc<ScheduleOverrides>>,
 }
 
 /// Which execution tier [`Engine::run_tiered`] uses.
@@ -166,6 +170,7 @@ impl Engine {
             limits: RunLimits::default(),
             fallback_count: AtomicU64::new(0),
             force_vm_trap: AtomicBool::new(false),
+            sched_overrides: Mutex::new(Arc::new(ScheduleOverrides::default())),
         })
     }
 
@@ -202,6 +207,36 @@ impl Engine {
     /// The resolved program (introspection for tests and tooling).
     pub fn program(&self) -> &RProgram {
         &self.prog
+    }
+
+    /// Installs per-line loop-schedule overrides, replacing any previous
+    /// per-line set. Each `(line, schedule)` pair reschedules the
+    /// parallel DO at that source line on every subsequent run, in both
+    /// execution tiers — this is the apply side of the feedback loop: a
+    /// measured [`crate::trace::Profile`]'s per-region imbalance (keyed
+    /// by `omp@line`) decides the overrides for the next run.
+    pub fn set_schedule_overrides<I>(&self, overrides: I)
+    where
+        I: IntoIterator<Item = (u32, omprt::Schedule)>,
+    {
+        let mut cur = (**self.sched_overrides.lock()).clone();
+        cur.by_line = overrides.into_iter().collect();
+        *self.sched_overrides.lock() = Arc::new(cur);
+    }
+
+    /// Installs (or with `None` clears) a blanket schedule override
+    /// applied to every parallel DO without a per-line override. Used by
+    /// the schedule-matrix benchmarks and the differential suite to run
+    /// one program under each schedule kind.
+    pub fn set_schedule_override_all(&self, sched: Option<omprt::Schedule>) {
+        let mut cur = (**self.sched_overrides.lock()).clone();
+        cur.all = sched;
+        *self.sched_overrides.lock() = Arc::new(cur);
+    }
+
+    /// The currently installed schedule overrides.
+    pub fn schedule_overrides(&self) -> ScheduleOverrides {
+        (**self.sched_overrides.lock()).clone()
     }
 
     /// Reinitializes all global storage.
@@ -337,6 +372,8 @@ impl Engine {
                             threads: m.threads as u64,
                             wall_ns: m.wall_ns,
                             busy_ns: m.busy_ns,
+                            line: m.line as u64,
+                            sched: m.sched.render(),
                         })
                         .collect()
                 })
@@ -424,6 +461,7 @@ impl Engine {
             pool,
             critical: Arc::clone(&self.critical),
             printed: Mutex::new(String::new()),
+            sched_overrides: Arc::clone(&self.sched_overrides.lock()),
             limits: EffLimits::start(&self.limits),
         }
     }

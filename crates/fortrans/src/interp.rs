@@ -29,6 +29,11 @@ use crate::intrinsics::Intr;
 use crate::rir::*;
 use crate::storage::{ArrayObj, Frame, FrameVal, GlobalCell, Globals};
 
+/// Reduction partials from one parallel region, keyed for a
+/// deterministic combine order (tid under static schedules, first flat
+/// iteration of the chunk under dynamic/guided).
+type KeyedPartials = Vec<(usize, Result<Vec<Val>, RunError>)>;
+
 /// Execution mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -142,6 +147,33 @@ impl EffLimits {
     }
 }
 
+/// Loop-schedule overrides applied on top of the compiled `SCHEDULE`
+/// clauses. Precedence: per-line override > blanket override > the
+/// schedule recorded in the descriptor.
+///
+/// Set on an engine with [`crate::Engine::set_schedule_overrides`] (the
+/// feedback path: a measured profile keys overrides by `omp@line`) or
+/// [`crate::Engine::set_schedule_override_all`] (schedule-matrix
+/// benchmarking). Both execution tiers consult the same snapshot.
+#[derive(Debug, Default, Clone)]
+pub struct ScheduleOverrides {
+    /// Blanket override applied to every parallel DO.
+    pub all: Option<Schedule>,
+    /// Per-source-line overrides, keyed by the parallel DO's line.
+    pub by_line: std::collections::BTreeMap<u32, Schedule>,
+}
+
+impl ScheduleOverrides {
+    /// The effective schedule for the parallel DO at `line` whose
+    /// descriptor recorded `desc`.
+    pub fn resolve(&self, line: u32, desc: Schedule) -> Schedule {
+        if let Some(&s) = self.by_line.get(&line) {
+            return s;
+        }
+        self.all.unwrap_or(desc)
+    }
+}
+
 /// Shared execution services.
 pub struct Exec {
     pub prog: Arc<RProgram>,
@@ -150,6 +182,7 @@ pub struct Exec {
     pub pool: Option<Arc<ThreadPool>>,
     pub critical: Arc<CriticalRegistry>,
     pub printed: Mutex<String>,
+    pub sched_overrides: Arc<ScheduleOverrides>,
     pub(crate) limits: EffLimits,
 }
 
@@ -1131,10 +1164,10 @@ impl<'e> Task<'e> {
                     reductions: o.reductions.len(),
                 }));
                 self.in_sim_region = true;
-                let sched = match o.chunk {
-                    Some(c) => Schedule::StaticChunk(c),
-                    None => Schedule::StaticBlock,
-                };
+                let mut sched = self.ex.sched_overrides.resolve(do_line, o.sched);
+                if o.per_thread_access {
+                    sched = sched.legalize_for_per_thread();
+                }
                 // Owner map: iteration -> thread (serial-order execution).
                 let owner = build_owner_map(sched, total_trip as usize, team);
                 let r = self.exec_omp_serially(unit, frame, dims, st, body, o, Some(&owner));
@@ -1155,7 +1188,7 @@ impl<'e> Task<'e> {
                     // Nested: team of one.
                     return self.exec_omp_serially(unit, frame, dims, st, body, o, None);
                 }
-                self.exec_omp_parallel(unit, frame, dims, st, body, o, team, total_trip)
+                self.exec_omp_parallel(unit, frame, dims, st, body, o, team, total_trip, do_line)
             }
         }
     }
@@ -1260,6 +1293,7 @@ impl<'e> Task<'e> {
         o: &ROmp,
         team: usize,
         total_trip: u64,
+        do_line: u32,
     ) -> Result<Flow, RunError> {
         let pool = self
             .ex
@@ -1268,10 +1302,10 @@ impl<'e> Task<'e> {
             .expect("Parallel mode has a pool")
             .clone();
         let team = team.min(pool.threads());
-        let sched = match o.chunk {
-            Some(c) => Schedule::StaticChunk(c),
-            None => Schedule::StaticBlock,
-        };
+        let mut sched = self.ex.sched_overrides.resolve(do_line, o.sched);
+        if o.per_thread_access {
+            sched = sched.legalize_for_per_thread();
+        }
         let trips: Vec<u64> = dims
             .iter()
             .enumerate()
@@ -1300,7 +1334,12 @@ impl<'e> Task<'e> {
             })
             .collect();
 
-        let results: Mutex<Vec<Result<Vec<Val>, RunError>>> = Mutex::new(Vec::new());
+        // Partials are keyed so the reduction combine is deterministic
+        // regardless of thread completion (or chunk claim) order: one
+        // partial per thread keyed by tid under static schedules, one
+        // partial per chunk keyed by its first flat iteration under
+        // dynamic/guided. The join sorts by key and folds in order.
+        let results: Mutex<KeyedPartials> = Mutex::new(Vec::new());
         let prints: Mutex<String> = Mutex::new(String::new());
         let ex = self.ex;
         let cur_unit = self.cur_unit;
@@ -1309,8 +1348,12 @@ impl<'e> Task<'e> {
         let trips_ref = &trips;
         let o_ref = o;
         let red_ref = &red_info;
+        let total = trips.iter().product::<u64>() as usize;
+        let dispenser =
+            sched.is_runtime_dispatched().then(|| omprt::Dispenser::new(sched, total, team));
+        let disp_ref = &dispenser;
 
-        pool.run(|tid| {
+        pool.run_tagged(do_line, sched, |tid| {
             if tid >= team {
                 return;
             }
@@ -1329,17 +1372,24 @@ impl<'e> Task<'e> {
                     }
                 }
             }
-            // Reduction identities.
-            for &(op, v, ty, _) in red_ref {
-                let ident = identity_val(op, ty);
-                if let Place::Frame(slot) = unit.vars[v].place {
-                    tframe.slots[slot] = typed_frameval(ident, ty);
+            let set_identities = |tframe: &mut Frame| {
+                for &(op, v, ty, _) in red_ref {
+                    if let Place::Frame(slot) = unit.vars[v].place {
+                        tframe.slots[slot] = typed_frameval(identity_val(op, ty), ty);
+                    }
                 }
-            }
-
-            let run = (|| -> Result<Vec<Val>, RunError> {
-                for (lo, hi) in chunks_for(sched, trips_ref.iter().product::<u64>() as usize, tid, team)
-                {
+            };
+            let collect_partials = |tframe: &Frame| -> Vec<Val> {
+                red_ref
+                    .iter()
+                    .map(|&(_, v, ty, _)| match unit.vars[v].place {
+                        Place::Frame(slot) => frameval_to_val(&tframe.slots[slot], ty),
+                        _ => Val::I(0),
+                    })
+                    .collect()
+            };
+            let run_range =
+                |task: &mut Task<'_>, tframe: &mut Frame, lo: usize, hi: usize| {
                     for k in lo..hi {
                         let mut rem = k as u64;
                         for (d, &(v, dlo, _)) in dims_ref.iter().enumerate().rev() {
@@ -1347,9 +1397,9 @@ impl<'e> Task<'e> {
                             let ix = rem % t;
                             rem /= t;
                             let step = if d == 0 { outer_step } else { 1 };
-                            task.write_scalar(unit, &mut tframe, v, Val::I(dlo + ix as i64 * step))?;
+                            task.write_scalar(unit, tframe, v, Val::I(dlo + ix as i64 * step))?;
                         }
-                        match task.exec_block(unit, &mut tframe, body)? {
+                        match task.exec_block(unit, tframe, body)? {
                             Flow::Normal | Flow::Cycle => {}
                             Flow::Exit | Flow::Return => {
                                 return Err(RunError::Type {
@@ -1358,33 +1408,53 @@ impl<'e> Task<'e> {
                             }
                         }
                     }
-                }
-                // Collect reduction partials.
-                let mut partials = Vec::with_capacity(red_ref.len());
-                for &(_, v, ty, _) in red_ref {
-                    if let Place::Frame(slot) = unit.vars[v].place {
-                        partials.push(frameval_to_val(&tframe.slots[slot], ty));
-                    } else {
-                        partials.push(Val::I(0));
+                    Ok(())
+                };
+
+            match disp_ref {
+                // Dynamic/guided: claim chunks first-come-first-served.
+                Some(disp) => {
+                    while let Some((lo, hi)) = disp.claim() {
+                        set_identities(&mut tframe);
+                        let r = run_range(&mut task, &mut tframe, lo, hi)
+                            .map(|()| collect_partials(&tframe));
+                        let failed = r.is_err();
+                        results.lock().push((lo, r.map_err(|e| task.attach_ctx(e))));
+                        if failed {
+                            // Stop claiming; let the team drain and join.
+                            break;
+                        }
                     }
                 }
-                Ok(partials)
-            })();
+                // Static: the thread owns its chunks up front and
+                // accumulates one partial across all of them.
+                None => {
+                    set_identities(&mut tframe);
+                    let r = (|| {
+                        for (lo, hi) in chunks_for(sched, total, tid, team) {
+                            run_range(&mut task, &mut tframe, lo, hi)?;
+                        }
+                        Ok(collect_partials(&tframe))
+                    })();
+                    results.lock().push((tid, r.map_err(|e| task.attach_ctx(e))));
+                }
+            }
             if !task.out.is_empty() {
                 prints.lock().push_str(&task.out);
             }
-            results.lock().push(run.map_err(|e| task.attach_ctx(e)));
         })
         .map_err(|p| RunError::Trap { what: p.to_string() })?;
 
         self.out.push_str(&prints.into_inner());
+        let mut keyed = results.into_inner();
+        keyed.sort_by_key(|&(k, _)| k);
         let mut all_partials: Vec<Vec<Val>> = Vec::new();
-        for r in results.into_inner() {
+        for (_, r) in keyed {
             all_partials.push(r?);
         }
         let _ = total_trip;
 
-        // Combine reductions into the original variables.
+        // Combine reductions into the original variables, in key order.
         for (ri, &(op, v, ty, init)) in red_info.iter().enumerate() {
             let mut acc = init;
             for p in &all_partials {

@@ -69,7 +69,8 @@ pub mod vm;
 pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
 pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback};
 pub use error::{CompileError, RunError};
-pub use interp::{ExecMode, RunLimits, Val};
+pub use interp::{ExecMode, RunLimits, ScheduleOverrides, Val};
+pub use omprt::Schedule;
 pub use rir::ScalarTy;
 pub use storage::ArrayObj;
 pub use trace::{Collector, FallbackInfo, Profile, RegionReport, SpanKind, SpanNode};

@@ -670,16 +670,25 @@ impl P {
                 }
                 "schedule" => {
                     c.expect(&Tok::LParen, "(")?;
-                    c.expect_ident("schedule kind")?;
+                    let kind = match c.expect_ident("schedule kind")?.as_str() {
+                        "static" => SchedKind::Static,
+                        "dynamic" => SchedKind::Dynamic,
+                        "guided" => SchedKind::Guided,
+                        other => {
+                            return Err(
+                                c.err(format!("unsupported schedule kind `{other}`"))
+                            )
+                        }
+                    };
+                    let mut chunk = None;
                     if c.eat(&Tok::Comma) {
                         match c.next() {
-                            Some(Tok::Int(n)) if n >= 1 => {
-                                omp.schedule_chunk = Some(n as usize)
-                            }
+                            Some(Tok::Int(n)) if n >= 1 => chunk = Some(n as usize),
                             other => return Err(c.err(format!("bad chunk {other:?}"))),
                         }
                     }
                     c.expect(&Tok::RParen, ")")?;
+                    omp.schedule = Some((kind, chunk));
                 }
                 other => return Err(c.err(format!("unsupported OMP clause `{other}`"))),
             }

@@ -94,7 +94,15 @@ pub struct ROmp {
     pub reductions: Vec<(RedOp, VarIdx)>,
     pub collapse: usize,
     pub num_threads: Option<Box<RExpr>>,
-    pub chunk: Option<usize>,
+    /// Resolved loop schedule (clause absent → static block).
+    pub sched: omprt::Schedule,
+    /// The region body touches per-thread (SAVE / THREADPRIVATE) storage
+    /// directly. Staging data through such cells across regions is only
+    /// consistent when the iteration→thread mapping is reproducible, so
+    /// runtime-dispatched schedules are legalized to static for these
+    /// regions (see [`omprt::Schedule::legalize_for_per_thread`]).
+    /// Computed by [`mark_per_thread_regions`].
+    pub per_thread_access: bool,
 }
 
 /// Compiler-model classification of a serial DO loop.
@@ -206,6 +214,118 @@ pub struct GlobalDecl {
 pub struct RProgram {
     pub units: Vec<RUnit>,
     pub globals: Vec<GlobalDecl>,
+}
+
+/// Post-pass: set [`ROmp::per_thread_access`] on every parallel region
+/// whose body references a per-thread (SAVE / THREADPRIVATE) global cell.
+/// Only direct references count — a callee that uses its own SAVE locals
+/// writes and reads them within one invocation, which is consistent on
+/// whichever thread runs that iteration.
+pub fn mark_per_thread_regions(prog: &mut RProgram) {
+    let RProgram { units, globals } = prog;
+    for u in units.iter_mut() {
+        let RUnit { vars, body, .. } = u;
+        mark_stmts(body, vars, globals);
+    }
+}
+
+fn mark_stmts(stmts: &mut [SpStmt], vars: &[VarInfo], globals: &[GlobalDecl]) {
+    for sp in stmts.iter_mut() {
+        match &mut sp.s {
+            RStmt::Do { var, body, omp, collapse_with, .. } => {
+                mark_stmts(body, vars, globals);
+                if let Some(o) = omp {
+                    let mut touched = pt_var(*var, vars, globals)
+                        || collapse_with.iter().any(|c| pt_var(c.var, vars, globals));
+                    touched = touched || stmts_touch_pt(body, vars, globals);
+                    o.per_thread_access = touched;
+                }
+            }
+            RStmt::If { arms, else_body } => {
+                for (_, b) in arms.iter_mut() {
+                    mark_stmts(b, vars, globals);
+                }
+                mark_stmts(else_body, vars, globals);
+            }
+            RStmt::DoWhile { body, .. } | RStmt::Critical { body, .. } => {
+                mark_stmts(body, vars, globals);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn pt_var(v: VarIdx, vars: &[VarInfo], globals: &[GlobalDecl]) -> bool {
+    matches!(vars[v].place, Place::Global(c) if globals[c].per_thread)
+}
+
+fn stmts_touch_pt(stmts: &[SpStmt], vars: &[VarInfo], globals: &[GlobalDecl]) -> bool {
+    let pt = |v: VarIdx| pt_var(v, vars, globals);
+    let pe = |e: &RExpr| expr_touches_pt(e, vars, globals);
+    stmts.iter().any(|sp| match &sp.s {
+        RStmt::AssignScalar { v, e } | RStmt::Broadcast { v, e } => pt(*v) || pe(e),
+        RStmt::AssignElem { v, subs, e } => pt(*v) || subs.iter().any(pe) || pe(e),
+        RStmt::CopyArray { dst, src } => pt(*dst) || pt(*src),
+        RStmt::AtomicUpdate { v, subs, e, .. } => pt(*v) || subs.iter().any(pe) || pe(e),
+        RStmt::If { arms, else_body } => {
+            arms.iter().any(|(c, b)| pe(c) || stmts_touch_pt(b, vars, globals))
+                || stmts_touch_pt(else_body, vars, globals)
+        }
+        RStmt::Do { var, start, end, step, body, collapse_with, .. } => {
+            pt(*var)
+                || pe(start)
+                || pe(end)
+                || step.as_ref().is_some_and(&pe)
+                || collapse_with
+                    .iter()
+                    .any(|c| pt(c.var) || pe(&c.start) || pe(&c.end))
+                || stmts_touch_pt(body, vars, globals)
+        }
+        RStmt::DoWhile { cond, body } => pe(cond) || stmts_touch_pt(body, vars, globals),
+        RStmt::CallSub { args, .. } => args.iter().any(|a| arg_touches_pt(a, vars, globals)),
+        RStmt::Allocate { v, dims } => {
+            pt(*v) || dims.iter().any(|(lo, hi)| pe(lo) || pe(hi))
+        }
+        RStmt::Deallocate { v } => pt(*v),
+        RStmt::Critical { body, .. } => stmts_touch_pt(body, vars, globals),
+        RStmt::Print(items) => items.iter().any(|i| match i {
+            PrintItem::Str(_) => false,
+            PrintItem::Val(e) => pe(e),
+        }),
+        RStmt::Return | RStmt::Exit | RStmt::Cycle | RStmt::Stop(_) | RStmt::Nop => false,
+    })
+}
+
+fn arg_touches_pt(a: &RArg, vars: &[VarInfo], globals: &[GlobalDecl]) -> bool {
+    match a {
+        RArg::ByRefScalar(v) | RArg::Array(v) => pt_var(*v, vars, globals),
+        RArg::ByRefElem { v, subs } => {
+            pt_var(*v, vars, globals)
+                || subs.iter().any(|e| expr_touches_pt(e, vars, globals))
+        }
+        RArg::Value(e) => expr_touches_pt(e, vars, globals),
+    }
+}
+
+fn expr_touches_pt(e: &RExpr, vars: &[VarInfo], globals: &[GlobalDecl]) -> bool {
+    let pt = |v: VarIdx| pt_var(v, vars, globals);
+    match e {
+        RExpr::ConstI(_) | RExpr::ConstF(_) | RExpr::ConstB(_) => false,
+        RExpr::LoadScalar(v) | RExpr::ArrReduce { v, .. } | RExpr::AllocatedQ(v) => pt(*v),
+        RExpr::LoadElem { v, subs } => {
+            pt(*v) || subs.iter().any(|s| expr_touches_pt(s, vars, globals))
+        }
+        RExpr::Bin { l, r, .. } => {
+            expr_touches_pt(l, vars, globals) || expr_touches_pt(r, vars, globals)
+        }
+        RExpr::Neg(x) | RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => {
+            expr_touches_pt(x, vars, globals)
+        }
+        RExpr::Intrinsic { args, .. } => {
+            args.iter().any(|a| expr_touches_pt(a, vars, globals))
+        }
+        RExpr::CallFn { args, .. } => args.iter().any(|a| arg_touches_pt(a, vars, globals)),
+    }
 }
 
 impl RProgram {

@@ -40,7 +40,9 @@ pub fn resolve(ast: &Ast) -> Result<RProgram, CompileError> {
         .into_iter()
         .map(|u| u.expect("every signature has a body"))
         .collect();
-    Ok(RProgram { units, globals: r.globals })
+    let mut prog = RProgram { units, globals: r.globals };
+    mark_per_thread_regions(&mut prog);
+    Ok(prog)
 }
 
 /// A compile-time constant (PARAMETER).
@@ -925,12 +927,28 @@ impl Resolver {
                     Some(e) => Some(Box::new(self.resolve_int_expr(uc, e, span)?)),
                     None => None,
                 };
+                let sched = match o.schedule {
+                    None | Some((ast::SchedKind::Static, None)) => {
+                        omprt::Schedule::StaticBlock
+                    }
+                    Some((ast::SchedKind::Static, Some(c))) => {
+                        omprt::Schedule::StaticChunk(c)
+                    }
+                    Some((ast::SchedKind::Dynamic, c)) => {
+                        omprt::Schedule::Dynamic(c.unwrap_or(1))
+                    }
+                    Some((ast::SchedKind::Guided, c)) => {
+                        omprt::Schedule::Guided(c.unwrap_or(1))
+                    }
+                };
                 Some(ROmp {
                     private,
                     reductions,
                     collapse: o.collapse,
                     num_threads,
-                    chunk: o.schedule_chunk,
+                    sched,
+                    // Filled by the mark_per_thread_regions post-pass.
+                    per_thread_access: false,
                 })
             }
         };

@@ -105,6 +105,13 @@ pub struct RegionReport {
     pub wall_ns: u64,
     /// Per-worker busy time (`busy_ns[tid]`).
     pub busy_ns: Vec<u64>,
+    /// Source line of the parallel DO that forked the region — the join
+    /// key back to `omp@line` spans and schedule overrides (0 when the
+    /// fork was untagged).
+    pub line: u64,
+    /// Rendered schedule the region ran under (e.g. `static`,
+    /// `dynamic,1`); empty when the fork was untagged.
+    pub sched: String,
 }
 
 impl RegionReport {
@@ -225,8 +232,11 @@ impl Profile {
             }
             let _ = write!(
                 s,
-                "{{\"threads\":{},\"wall_ns\":{},\"busy_ns\":[",
-                r.threads, r.wall_ns
+                "{{\"threads\":{},\"wall_ns\":{},\"line\":{},\"sched\":{},\"busy_ns\":[",
+                r.threads,
+                r.wall_ns,
+                r.line,
+                json_str(&r.sched)
             );
             for (j, b) in r.busy_ns.iter().enumerate() {
                 if j > 0 {
@@ -271,6 +281,8 @@ impl Profile {
                 Ok(RegionReport {
                     threads: ro.req("threads")?.num("threads")?,
                     wall_ns: ro.req("wall_ns")?.num("wall_ns")?,
+                    line: ro.req("line")?.num("line")?,
+                    sched: ro.req("sched")?.str("sched")?,
                     busy_ns: ro
                         .req("busy_ns")?
                         .arr("busy_ns")?
@@ -855,7 +867,13 @@ mod tests {
             steps: 12345,
             max_steps: Some(1_000_000),
             spans: vec![root],
-            regions: vec![RegionReport { threads: 4, wall_ns: 800, busy_ns: vec![700, 650, 600, 550] }],
+            regions: vec![RegionReport {
+                threads: 4,
+                wall_ns: 800,
+                busy_ns: vec![700, 650, 600, 550],
+                line: 5,
+                sched: "static".into(),
+            }],
             fallback: None,
             fallback_count: 0,
         }

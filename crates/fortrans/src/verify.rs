@@ -282,6 +282,14 @@ impl Verifier<'_> {
                 for spec in &od.reductions {
                     self.scalar_slot_ok(bu, spec.vs).map_err(at)?;
                 }
+                match od.sched {
+                    omprt::Schedule::StaticChunk(0)
+                    | omprt::Schedule::Dynamic(0)
+                    | omprt::Schedule::Guided(0) => {
+                        return Err(at("OMP schedule chunk must be >= 1".into()));
+                    }
+                    _ => {}
+                }
             }
             Call { spec, push } => {
                 let cs = bu

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use omprt::{chunks_for, Schedule, ThreadPool};
+use omprt::{chunks_for, ThreadPool};
 use parking_lot::Mutex;
 
 use crate::bytecode::{BArg, BInstr, BUnit, Cmp, OmpDesc, PItem, RedSpec, VSlot, NO_PC};
@@ -30,6 +30,11 @@ use crate::interp::{
 };
 use crate::rir::{ScalarTy, VecClass};
 use crate::storage::{ArrayObj, MAX_THREADS};
+
+/// Reduction partials from one parallel region, keyed for a
+/// deterministic combine order (tid under static schedules, first flat
+/// iteration of the chunk under dynamic/guided).
+type KeyedPartials = Vec<(usize, Result<Vec<Val>, RunError>)>;
 
 /// Unboxed per-type value banks for one call frame.
 #[derive(Clone)]
@@ -1303,10 +1308,10 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     reductions: d.reductions.len(),
                 }));
                 self.tr.in_sim_region = true;
-                let sched = match d.chunk {
-                    Some(c) => Schedule::StaticChunk(c),
-                    None => Schedule::StaticBlock,
-                };
+                let mut sched = self.ex.sched_overrides.resolve(line, d.sched);
+                if d.per_thread_access {
+                    sched = sched.legalize_for_per_thread();
+                }
                 let owner = build_owner_map(sched, total_trip as usize, team);
                 let r = self.omp_serial_nest(uidx, frame, d, &bounds, st, Some(&owner));
                 self.tr.in_sim_region = false;
@@ -1326,7 +1331,7 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     // Nested: team of one.
                     return self.omp_serial_nest(uidx, frame, d, &bounds, st, None);
                 }
-                self.omp_parallel(uidx, frame, d, &bounds, st, team)?;
+                self.omp_parallel(uidx, frame, d, &bounds, st, team, line)?;
                 // Workers may have allocated or freed global arrays; drop
                 // every cached handle so we re-read the cells.
                 self.gcache.iter_mut().for_each(|s| *s = None);
@@ -1383,6 +1388,7 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         Ok(result)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn omp_parallel(
         &mut self,
         uidx: usize,
@@ -1391,14 +1397,15 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         bounds: &[(i64, i64)],
         outer_step: i64,
         team: usize,
+        do_line: u32,
     ) -> Result<(), RunError> {
         let pool: Arc<ThreadPool> =
             self.ex.pool.as_ref().expect("Parallel mode has a pool").clone();
         let team = team.min(pool.threads());
-        let sched = match d.chunk {
-            Some(c) => Schedule::StaticChunk(c),
-            None => Schedule::StaticBlock,
-        };
+        let mut sched = self.ex.sched_overrides.resolve(do_line, d.sched);
+        if d.per_thread_access {
+            sched = sched.legalize_for_per_thread();
+        }
         let trips: Vec<u64> = bounds
             .iter()
             .enumerate()
@@ -1416,14 +1423,21 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             })
             .collect();
 
-        let results: Mutex<Vec<Result<Vec<Val>, RunError>>> = Mutex::new(Vec::new());
+        // Keyed partials, exactly like the interpreter tier: per-thread
+        // keyed by tid under static schedules, per-chunk keyed by the
+        // chunk's first flat iteration under dynamic/guided; sorted and
+        // folded in key order at the join for a deterministic combine.
+        let results: Mutex<KeyedPartials> = Mutex::new(Vec::new());
         let prints: Mutex<String> = Mutex::new(String::new());
         let ex = self.ex;
         let bunits = self.bunits;
         let base_frame = &*frame;
         let (blo, bhi) = d.body;
+        let dispenser =
+            sched.is_runtime_dispatched().then(|| omprt::Dispenser::new(sched, total, team));
+        let disp_ref = &dispenser;
 
-        pool.run(|tid| {
+        pool.run_tagged(do_line, sched, |tid| {
             if tid >= team {
                 return;
             }
@@ -1437,15 +1451,28 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                 }
             }
             // Reduction identities (frame slots only, like the interpreter).
-            for (spec, _) in &red_info {
-                if !matches!(spec.vs, VSlot::GlobS(_) | VSlot::GlobA(_)) {
-                    let ident = identity_val(spec.op, spec.ty);
-                    tframe.write(spec.vs, spec.ty, ident, ex, tid);
+            let set_identities = |tframe: &mut VFrame| {
+                for (spec, _) in &red_info {
+                    if !matches!(spec.vs, VSlot::GlobS(_) | VSlot::GlobA(_)) {
+                        let ident = identity_val(spec.op, spec.ty);
+                        tframe.write(spec.vs, spec.ty, ident, ex, tid);
+                    }
                 }
-            }
-
-            let run = (|| -> Result<Vec<Val>, RunError> {
-                for (lo, hi) in chunks_for(sched, total, tid, team) {
+            };
+            let collect_partials = |tframe: &mut VFrame| -> Vec<Val> {
+                red_info
+                    .iter()
+                    .map(|(spec, _)| {
+                        if matches!(spec.vs, VSlot::GlobS(_) | VSlot::GlobA(_)) {
+                            Val::I(0)
+                        } else {
+                            Val::from_bits(tframe.read(spec.vs, ex, tid), spec.ty)
+                        }
+                    })
+                    .collect()
+            };
+            let run_range =
+                |vm: &mut Vm<'_, false>, tframe: &mut VFrame, lo: usize, hi: usize| {
                     for k in lo..hi {
                         let mut rem = k as u64;
                         for (dim, &(vs, ty)) in d.dims.iter().enumerate().rev() {
@@ -1453,9 +1480,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                             let ix = rem % t;
                             rem /= t;
                             let step = if dim == 0 { outer_step } else { 1 };
-                            vm.store_dim(&mut tframe, vs, ty, bounds[dim].0 + ix as i64 * step);
+                            vm.store_dim(tframe, vs, ty, bounds[dim].0 + ix as i64 * step);
                         }
-                        match vm.run_range(uidx, &mut tframe, blo, bhi)? {
+                        match vm.run_range(uidx, tframe, blo, bhi)? {
                             Flow::Normal | Flow::Cycle => {}
                             Flow::Exit | Flow::Return => {
                                 return Err(RunError::Type {
@@ -1464,27 +1491,46 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                             }
                         }
                     }
-                }
-                let mut partials = Vec::with_capacity(red_info.len());
-                for (spec, _) in &red_info {
-                    if matches!(spec.vs, VSlot::GlobS(_) | VSlot::GlobA(_)) {
-                        partials.push(Val::I(0));
-                    } else {
-                        partials.push(Val::from_bits(tframe.read(spec.vs, ex, tid), spec.ty));
+                    Ok(())
+                };
+
+            match disp_ref {
+                // Dynamic/guided: claim chunks first-come-first-served.
+                Some(disp) => {
+                    while let Some((lo, hi)) = disp.claim() {
+                        set_identities(&mut tframe);
+                        let r = run_range(&mut vm, &mut tframe, lo, hi)
+                            .map(|()| collect_partials(&mut tframe));
+                        let failed = r.is_err();
+                        results.lock().push((lo, r.map_err(|e| vm_ctx(ex, bunits, &vm, e))));
+                        if failed {
+                            break;
+                        }
                     }
                 }
-                Ok(partials)
-            })();
+                // Static: the thread owns its chunks up front.
+                None => {
+                    set_identities(&mut tframe);
+                    let r = (|| {
+                        for (lo, hi) in chunks_for(sched, total, tid, team) {
+                            run_range(&mut vm, &mut tframe, lo, hi)?;
+                        }
+                        Ok(collect_partials(&mut tframe))
+                    })();
+                    results.lock().push((tid, r.map_err(|e| vm_ctx(ex, bunits, &vm, e))));
+                }
+            }
             if !vm.out.is_empty() {
                 prints.lock().push_str(&vm.out);
             }
-            results.lock().push(run.map_err(|e| vm_ctx(ex, bunits, &vm, e)));
         })
         .map_err(|p| RunError::Trap { what: p.to_string() })?;
 
         self.out.push_str(&prints.into_inner());
+        let mut keyed = results.into_inner();
+        keyed.sort_by_key(|&(k, _)| k);
         let mut all_partials: Vec<Vec<Val>> = Vec::new();
-        for r in results.into_inner() {
+        for (_, r) in keyed {
             all_partials.push(r?);
         }
 

@@ -24,7 +24,7 @@
 //!   relative tolerance, printed output is compared as a line multiset,
 //!   and both tiers merely have to agree on error-ness.
 
-use fortrans::{ArgVal, CostTrace, Engine, ExecMode, ExecTier, ScalarTy, Val};
+use fortrans::{ArgVal, CostTrace, Engine, ExecMode, ExecTier, ScalarTy, Schedule, Val};
 
 const MODES: [ExecMode; 3] = [
     ExecMode::Serial,
@@ -106,7 +106,14 @@ fn assert_equivalent(label: &str, mode: ExecMode, vm: &Snap, tw: &Snap) {
         assert_eq!(vm, tw, "{label} under {mode:?}: VM and tree-walker diverge");
         return;
     }
-    // Parallel: tolerate reduction-order rounding and print interleaving.
+    assert_tolerant(label, vm, tw);
+}
+
+/// The tolerance-based comparison: results, printed line multisets,
+/// globals, and argument arrays must agree modulo float reduction-order
+/// rounding; the cost trace is NOT compared (it legitimately differs by
+/// thread interleaving or by chunk ownership across schedules).
+fn assert_tolerant(label: &str, vm: &Snap, tw: &Snap) {
     match (&vm.result, &tw.result) {
         (Ok(Some(Val::F(a))), Ok(Some(Val::F(b)))) => {
             assert!(f64_close(*a, *b), "{label} Parallel result: {a} vs {b}");
@@ -164,18 +171,32 @@ fn profile_snapshot(
         .map(|(_, p)| (p.loop_entry_counts(), p.fallback_count))
 }
 
+/// Schedule overrides swept over the whole corpus: every program must
+/// produce the same observable state (modulo float reduction-order
+/// rounding) under dynamic and guided dispatch as under the default
+/// static partition.
+const SCHED_SWEEP: [(&str, Schedule); 3] = [
+    ("dynamic,1", Schedule::Dynamic(1)),
+    ("dynamic,7", Schedule::Dynamic(7)),
+    ("guided,2", Schedule::Guided(2)),
+];
+
 /// Runs `unit` from `src` under every (mode, tier) pair on fresh engines
 /// (globals mutate, so tiers must not share storage) and cross-checks.
 /// `runs` allows exercising global persistence across several calls; the
 /// snapshots of every call are compared pairwise. A second pair of
 /// engines repeats each call under the profiler and cross-checks the
-/// tier-invariant profile observables.
+/// tier-invariant profile observables. For Parallel and Simulated modes
+/// the whole exercise repeats with every [`SCHED_SWEEP`] override forced
+/// on all loops, and each swept snapshot is additionally checked against
+/// the default-schedule baseline (schedule invariance).
 fn differential_n(label: &str, src: &str, unit: &str, mk_args: impl Fn() -> Vec<ArgVal>, runs: usize) {
     for mode in MODES {
         let evm = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
         let etw = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
         let pvm = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
         let ptw = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let mut baselines = Vec::with_capacity(runs);
         for r in 0..runs {
             let vm = snapshot(&evm, unit, &mk_args(), mode, ExecTier::Vm);
             let tw = snapshot(&etw, unit, &mk_args(), mode, ExecTier::TreeWalk);
@@ -187,6 +208,23 @@ fn differential_n(label: &str, src: &str, unit: &str, mk_args: impl Fn() -> Vec<
                 "{label} (run {r}) under {mode:?}: profiled loop-entry \
                  counts / fallback counters diverge between tiers"
             );
+            baselines.push(vm);
+        }
+        if matches!(mode, ExecMode::Serial) {
+            continue; // schedule is irrelevant without a (simulated) team
+        }
+        for (sname, sched) in SCHED_SWEEP {
+            let svm = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let stw = Engine::compile(&[src]).unwrap_or_else(|e| panic!("{label}: {e}"));
+            svm.set_schedule_override_all(Some(sched));
+            stw.set_schedule_override_all(Some(sched));
+            for (r, base) in baselines.iter().enumerate() {
+                let slabel = format!("{label} (run {r}, sched {sname})");
+                let vm = snapshot(&svm, unit, &mk_args(), mode, ExecTier::Vm);
+                let tw = snapshot(&stw, unit, &mk_args(), mode, ExecTier::TreeWalk);
+                assert_equivalent(&slabel, mode, &vm, &tw);
+                assert_tolerant(&format!("{slabel} vs static baseline"), base, &vm);
+            }
         }
     }
 }

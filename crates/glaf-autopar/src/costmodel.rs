@@ -16,7 +16,7 @@
 //! advisor's decisions line up with the simulated measurements the benches
 //! report (ablation: `bench/benches/ablation_costmodel.rs`).
 
-use glaf_ir::{Expr, LoopNest};
+use glaf_ir::{Callee, Expr, Function, LoopNest, StepBody, Stmt};
 
 use crate::classify::LoopClass;
 use crate::plan::LoopPlan;
@@ -40,6 +40,11 @@ pub struct CostParams {
     pub cycles_per_node: f64,
     /// Assumed trip count when a bound is not a literal.
     pub default_trip: u64,
+    /// Minimum (estimated) trip count at which an irregular loop is
+    /// scheduled `GUIDED` instead of `DYNAMIC`: with many iterations the
+    /// geometrically decaying chunks amortize dispatch overhead while
+    /// still balancing the tail.
+    pub guided_trip_threshold: u64,
 }
 
 impl Default for CostParams {
@@ -52,6 +57,49 @@ impl Default for CostParams {
             memset_speedup: 16.0,
             cycles_per_node: 3.0,
             default_trip: 64,
+            guided_trip_threshold: 512,
+        }
+    }
+}
+
+/// Which OpenMP loop schedule the advisor recommends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    Static,
+    Dynamic,
+    Guided,
+}
+
+impl SchedKind {
+    /// Stable lower-case name for decision logs and `SCHEDULE(...)`
+    /// clauses.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Static => "static",
+            SchedKind::Dynamic => "dynamic",
+            SchedKind::Guided => "guided",
+        }
+    }
+}
+
+/// The advisor's schedule pick for one parallelized loop, with the
+/// rationale behind it (recorded in the decision log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleChoice {
+    pub kind: SchedKind,
+    /// Explicit chunk size for the `SCHEDULE` clause; `None` leaves the
+    /// runtime default (block partition for static, 1 for dynamic/guided).
+    pub chunk: Option<usize>,
+    /// Why this schedule was chosen.
+    pub why: String,
+}
+
+impl ScheduleChoice {
+    /// Clause text without the keyword: `static`, `dynamic`, `guided,4`.
+    pub fn render(&self) -> String {
+        match self.chunk {
+            Some(c) => format!("{},{}", self.kind.name(), c),
+            None => self.kind.name().to_string(),
         }
     }
 }
@@ -145,6 +193,50 @@ impl CostAdvisor {
             + plan.reductions.len() as f64 * self.params.reduction_cycles_per_thread * t
     }
 
+    /// Picks the OpenMP schedule for a parallelized loop, or `None` when
+    /// the plan says the loop stays serial.
+    ///
+    /// The static prediction mirrors the imbalance sources the runtime
+    /// can observe: per-iteration work is uniform for straight-line affine
+    /// bodies (static block partition is optimal — no dispatch overhead),
+    /// while conditional control flow, non-affine subscripts, or
+    /// subscripts through indirectly-loaded scalars (connectivity lookups
+    /// like FUN3D's `c2n`/`ioff_search` chain) make per-iteration cost
+    /// data-dependent, where dynamic self-scheduling wins. Irregular
+    /// loops with large trip counts get `GUIDED` so chunk dispatch
+    /// amortizes. Measured profiles can later override this via
+    /// `Engine::set_schedule_overrides` (feedback-directed rescheduling).
+    pub fn choose_schedule(
+        &self,
+        func: &Function,
+        nest: &LoopNest,
+        plan: &LoopPlan,
+    ) -> Option<ScheduleChoice> {
+        if !plan.parallelizable {
+            return None;
+        }
+        if let Some(why) = irregularity(func, nest) {
+            let trip = self.trip_count(nest);
+            if trip >= self.params.guided_trip_threshold {
+                return Some(ScheduleChoice {
+                    kind: SchedKind::Guided,
+                    chunk: None,
+                    why: format!(
+                        "{why}; est. trip {trip} >= {} amortizes guided dispatch",
+                        self.params.guided_trip_threshold
+                    ),
+                });
+            }
+            return Some(ScheduleChoice { kind: SchedKind::Dynamic, chunk: None, why });
+        }
+        Some(ScheduleChoice {
+            kind: SchedKind::Static,
+            chunk: None,
+            why: "uniform affine iterations; static block partition has no dispatch overhead"
+                .into(),
+        })
+    }
+
     /// The recommendation for this loop.
     pub fn decide(&self, nest: &LoopNest, plan: &LoopPlan) -> Decision {
         if !plan.parallelizable {
@@ -159,6 +251,125 @@ impl CostAdvisor {
         } else {
             Decision::Serial
         }
+    }
+}
+
+/// Why (if at all) the loop's per-iteration work is non-uniform. Returns
+/// a human-readable reason for the first irregularity source found, in a
+/// fixed priority order so the rationale is deterministic.
+fn irregularity(func: &Function, nest: &LoopNest) -> Option<String> {
+    if nest.condition.is_some() {
+        return Some("loop-level condition skips iterations unevenly".into());
+    }
+    for s in &nest.body {
+        let mut has_if = false;
+        s.walk(&mut |s| {
+            if matches!(s, Stmt::If { .. }) {
+                has_if = true;
+            }
+        });
+        if has_if {
+            return Some("conditional control flow makes iteration cost data-dependent".into());
+        }
+    }
+    // Non-affine subscripts: the dependence tester already gave up on
+    // them, and they usually mean indirection (gather/scatter) with
+    // data-dependent locality.
+    for a in crate::access::collect_accesses(nest) {
+        if a.subscripts.iter().any(|s| matches!(s, crate::affine::SubscriptForm::NonAffine)) {
+            return Some(format!("non-affine subscript on grid `{}`", a.grid));
+        }
+    }
+    // Subscripts through indirectly-loaded scalars: `n1 = c2n(...)` then
+    // `qn(m, n1)` — the classic unstructured-mesh gather. The load value
+    // (and so the touched cache lines) varies per call, which skews
+    // per-iteration cost.
+    let indirect = indirect_scalars(func);
+    if !indirect.is_empty() {
+        let mut found: Option<String> = None;
+        let mut check_sub = |e: &Expr| {
+            if found.is_none() {
+                if let Some(name) = mentions_scalar(e, &indirect) {
+                    found = Some(name);
+                }
+            }
+        };
+        for s in &nest.body {
+            s.walk(&mut |s| {
+                if let Stmt::Assign { target, .. } = s {
+                    for ix in &target.indices {
+                        check_sub(ix);
+                    }
+                }
+            });
+            s.walk_exprs(&mut |e| {
+                if let Expr::GridRef { indices: ix, .. } = e {
+                    for sub in ix {
+                        check_sub(sub);
+                    }
+                }
+            });
+        }
+        if let Some(name) = found {
+            return Some(format!("subscript depends on indirectly-loaded scalar `{name}`"));
+        }
+    }
+    None
+}
+
+/// Scalars of `func` assigned (anywhere in the function) from an indexed
+/// grid read or a user-function call — values the compiler cannot predict
+/// per iteration.
+fn indirect_scalars(func: &Function) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for step in &func.steps {
+        let stmts: Vec<&Stmt> = match &step.body {
+            StepBody::Straight(v) => v.iter().collect(),
+            StepBody::Loop(nest) => nest.body.iter().collect(),
+        };
+        for s in stmts {
+            s.walk(&mut |s| {
+                if let Stmt::Assign { target, value } = s {
+                    if target.indices.is_empty() && loads_indirectly(value) {
+                        out.insert(target.grid.clone());
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+/// True when evaluating `e` reads an indexed grid element or calls a user
+/// function.
+fn loads_indirectly(e: &Expr) -> bool {
+    match e {
+        Expr::GridRef { indices, .. } => !indices.is_empty(),
+        Expr::WholeGrid(_) => true,
+        Expr::Unary { operand, .. } => loads_indirectly(operand),
+        Expr::Binary { lhs, rhs, .. } => loads_indirectly(lhs) || loads_indirectly(rhs),
+        Expr::Call { callee, args } => {
+            matches!(callee, Callee::User(_)) || args.iter().any(loads_indirectly)
+        }
+        _ => false,
+    }
+}
+
+/// The first scalar from `names` read (as a scalar) inside `e`, if any.
+fn mentions_scalar(e: &Expr, names: &std::collections::BTreeSet<String>) -> Option<String> {
+    match e {
+        Expr::GridRef { grid, indices, .. } => {
+            if indices.is_empty() && names.contains(grid) {
+                return Some(grid.clone());
+            }
+            indices.iter().find_map(|s| mentions_scalar(s, names))
+        }
+        Expr::Unary { operand, .. } => mentions_scalar(operand, names),
+        Expr::Binary { lhs, rhs, .. } => {
+            mentions_scalar(lhs, names).or_else(|| mentions_scalar(rhs, names))
+        }
+        Expr::Call { args, .. } => args.iter().find_map(|a| mentions_scalar(a, names)),
+        _ => None,
     }
 }
 
@@ -244,6 +455,95 @@ mod tests {
         plan.vectorizable = false;
         let adv = CostAdvisor::default();
         assert_eq!(adv.decide(&nest, &plan), Decision::Serial);
+    }
+
+    #[test]
+    fn uniform_loop_schedules_static() {
+        let (_, plan) = make(4_000, false);
+        let sc = plan.schedule.expect("parallelizable loop gets a schedule");
+        assert_eq!(sc.kind, SchedKind::Static);
+        assert_eq!(sc.render(), "static");
+    }
+
+    #[test]
+    fn large_conditional_loop_schedules_guided() {
+        let (_, plan) = make(1_000_000, true);
+        let sc = plan.schedule.expect("parallelizable loop gets a schedule");
+        assert_eq!(sc.kind, SchedKind::Guided, "why: {}", sc.why);
+        assert!(sc.why.contains("conditional control flow"), "why: {}", sc.why);
+    }
+
+    #[test]
+    fn small_conditional_loop_schedules_dynamic() {
+        let (_, plan) = make(100, true);
+        let sc = plan.schedule.expect("parallelizable loop gets a schedule");
+        assert_eq!(sc.kind, SchedKind::Dynamic, "why: {}", sc.why);
+    }
+
+    #[test]
+    fn non_parallelizable_loop_has_no_schedule() {
+        let n = Grid::build("n").typed(DataType::Integer).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("scan")
+            .param(n)
+            .param(a)
+            .loop_step("prefix")
+            .foreach("i", Expr::int(2), Expr::scalar("n"))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("a", vec![Expr::idx("i") - Expr::int(1)])
+                    + Expr::at("a", vec![Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        assert_eq!(plan.for_function("scan").unwrap().loops[0].schedule, None);
+    }
+
+    #[test]
+    fn indirect_scalar_subscript_schedules_dynamic() {
+        // k is loaded through an indexed read before the loop, then used
+        // inside a subscript — the FUN3D `n1 = c2n(...)`/`qn(m, n1)`
+        // pattern in miniature.
+        let map = Grid::build("map").typed(DataType::Integer).dim1(100).finish().unwrap();
+        let a = Grid::build("a").typed(DataType::Real8).dim1(200).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(200).finish().unwrap();
+        let k = Grid::build("k").typed(DataType::Integer).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("gather")
+            .param(map)
+            .param(a)
+            .param(b)
+            .local(k)
+            .straight_step(
+                "load offset",
+                vec![glaf_ir::Stmt::assign(
+                    LValue::scalar("k"),
+                    Expr::at("map", vec![Expr::int(3)]),
+                )],
+            )
+            .loop_step("shifted copy")
+            .foreach("i", Expr::int(1), Expr::int(100))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("b", vec![Expr::scalar("k") + Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let sc = plan.for_function("gather").unwrap().loops[0]
+            .schedule
+            .clone()
+            .expect("parallelizable loop gets a schedule");
+        assert_eq!(sc.kind, SchedKind::Dynamic, "why: {}", sc.why);
+        assert!(sc.why.contains("indirectly-loaded scalar `k`"), "why: {}", sc.why);
     }
 
     #[test]

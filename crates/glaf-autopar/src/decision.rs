@@ -19,9 +19,9 @@ use std::collections::BTreeSet;
 use glaf_ir::{Function, GlafModule, Program, StepBody};
 
 use crate::classify::LoopClass;
-use crate::costmodel::{CostAdvisor, Decision};
+use crate::costmodel::{CostAdvisor, Decision, ScheduleChoice};
 use crate::depend::{DepResult, DepTest};
-use crate::plan::{analyze_loop, FunctionPlan, ProgramPlan};
+use crate::plan::{analyze_loop, attach_schedule, FunctionPlan, ProgramPlan};
 
 /// One executed dependence test: grid, candidate index, the test that
 /// decided, and its verdict.
@@ -52,6 +52,9 @@ pub struct LoopDecision {
     pub atomic: Vec<String>,
     /// The cost advisor's directive-placement verdict.
     pub advisor: Decision,
+    /// The advisor's `SCHEDULE(...)` pick with rationale; `None` when the
+    /// loop is not parallelized.
+    pub schedule: Option<ScheduleChoice>,
     /// Dependence tests executed while planning, deduplicated and sorted.
     pub deps: Vec<DepRecord>,
     /// Reasons when `parallelizable == false`.
@@ -76,7 +79,7 @@ impl DecisionLog {
         let mut out = String::new();
         for l in &self.loops {
             out.push_str(&format!(
-                "{} step {} \"{}\": class={} vectorizable={} parallel={} collapse={} advisor={}\n",
+                "{} step {} \"{}\": class={} vectorizable={} parallel={} collapse={} advisor={}",
                 l.function,
                 l.step_index,
                 l.step_label,
@@ -86,6 +89,13 @@ impl DecisionLog {
                 l.collapse,
                 l.advisor.name(),
             ));
+            if let Some(sc) = &l.schedule {
+                out.push_str(&format!(" schedule={}", sc.render()));
+            }
+            out.push('\n');
+            if let Some(sc) = &l.schedule {
+                out.push_str(&format!("  schedule rationale: {}\n", sc.why));
+            }
             if !l.private.is_empty() {
                 out.push_str(&format!("  private: {}\n", l.private.join(", ")));
             }
@@ -125,7 +135,8 @@ pub fn analyze_function_with_log(
     for (step_index, step) in func.steps.iter().enumerate() {
         if let StepBody::Loop(nest) = &step.body {
             let mut deps: BTreeSet<DepRecord> = BTreeSet::new();
-            let plan = analyze_loop(program, step_index, nest, Some(&mut deps));
+            let mut plan = analyze_loop(program, step_index, nest, Some(&mut deps));
+            attach_schedule(func, nest, &mut plan);
             decisions.push(LoopDecision {
                 function: func.name.clone(),
                 step_index,
@@ -142,6 +153,7 @@ pub fn analyze_function_with_log(
                     .collect(),
                 atomic: plan.atomic.clone(),
                 advisor: advisor.decide(nest, &plan),
+                schedule: plan.schedule.clone(),
                 deps: deps.into_iter().collect(),
                 blockers: plan.blockers.clone(),
             });

@@ -45,7 +45,7 @@ pub mod transform;
 pub use access::{collect_accesses, Access, AccessKind};
 pub use affine::{Affine, SubscriptForm};
 pub use classify::{classify_loop, LoopClass};
-pub use costmodel::{CostAdvisor, CostParams, Decision};
+pub use costmodel::{CostAdvisor, CostParams, Decision, SchedKind, ScheduleChoice};
 pub use decision::{
     analyze_function_with_log, analyze_program_with_log, DecisionLog, DepRecord, LoopDecision,
 };

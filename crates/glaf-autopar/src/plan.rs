@@ -11,6 +11,7 @@ use glaf_ir::{Function, GlafModule, LoopNest, Program, StepBody, Stmt};
 
 use crate::access::{collect_accesses, Access, AccessKind};
 use crate::classify::{classify_loop, is_vectorizable, LoopClass};
+use crate::costmodel::{CostAdvisor, ScheduleChoice};
 use crate::decision::DepRecord;
 use crate::depend::test_dependence_explained;
 use crate::privatize::find_private_scalars;
@@ -42,6 +43,9 @@ pub struct LoopPlan {
     pub atomic: Vec<String>,
     /// Human-readable reasons when `parallelizable == false`.
     pub blockers: Vec<String>,
+    /// The advisor's `SCHEDULE(...)` pick with rationale; `None` when the
+    /// loop is not parallelizable.
+    pub schedule: Option<ScheduleChoice>,
 }
 
 /// All loop plans of one function.
@@ -97,10 +101,18 @@ pub fn analyze_function(program: &Program, _module: &GlafModule, func: &Function
     let mut loops = Vec::new();
     for (step_index, step) in func.steps.iter().enumerate() {
         if let StepBody::Loop(nest) = &step.body {
-            loops.push(analyze_loop(program, step_index, nest, None));
+            let mut plan = analyze_loop(program, step_index, nest, None);
+            attach_schedule(func, nest, &mut plan);
+            loops.push(plan);
         }
     }
     FunctionPlan { function: func.name.clone(), loops }
+}
+
+/// Fills in [`LoopPlan::schedule`] from the cost advisor. Shared by the
+/// plain and the logging analysis paths so both produce identical plans.
+pub(crate) fn attach_schedule(func: &Function, nest: &LoopNest, plan: &mut LoopPlan) {
+    plan.schedule = CostAdvisor::default().choose_schedule(func, nest, plan);
 }
 
 /// Analyzes one loop nest. When `deps` is supplied, every dependence test
@@ -249,6 +261,7 @@ pub(crate) fn analyze_loop(
         reductions: scalar_reds,
         atomic: atomic.into_iter().collect(),
         blockers: if parallelizable { Vec::new() } else { blockers },
+        schedule: None,
     }
 }
 

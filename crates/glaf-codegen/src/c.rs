@@ -263,6 +263,13 @@ fn emit_loop(
             };
             let _ = write!(line, " reduction({op}:{})", vars.join(", "));
         }
+        // Non-default schedules only; static block partition is the
+        // OpenMP default.
+        if let Some(sc) = &lp.schedule {
+            if sc.kind != glaf_autopar::SchedKind::Static {
+                let _ = write!(line, " schedule({})", sc.render());
+            }
+        }
         let _ = writeln!(out, "{line}");
     }
     for (depth, r) in nest.ranges.iter().enumerate() {

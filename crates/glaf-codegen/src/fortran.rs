@@ -446,6 +446,13 @@ fn emit_loop(
         for (op, vars) in by_op {
             let _ = write!(line, " REDUCTION({op}:{})", vars.join(", "));
         }
+        // Non-default schedules only: STATIC block partition is the
+        // OpenMP default, so the clause would be noise.
+        if let Some(sc) = &lp.schedule {
+            if sc.kind != glaf_autopar::SchedKind::Static {
+                let _ = write!(line, " SCHEDULE({})", sc.render().to_uppercase());
+            }
+        }
         let _ = writeln!(out, "{line}");
     }
 
@@ -743,6 +750,35 @@ mod tests {
             .finish();
         let src = gen(&p, &CodegenOptions::parallel_version(0));
         assert!(src.contains("REDUCTION(+:acc)"), "{src}");
+    }
+
+    #[test]
+    fn schedule_clause_emitted_for_irregular_loop() {
+        // Conditional body → the advisor picks DYNAMIC; the clause must
+        // reach the directive. Regular loops keep the bare directive
+        // (static is the OpenMP default).
+        let a = Grid::build("a").typed(DataType::Real8).dim1(100).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("clip")
+            .param(a)
+            .loop_step("clamp negatives")
+            .foreach("i", Expr::int(1), Expr::int(100))
+            .stmt(Stmt::If {
+                cond: Expr::at("a", vec![Expr::idx("i")]).cmp(glaf_ir::BinOp::Lt, Expr::real(0.0)),
+                then_body: vec![Stmt::assign(
+                    LValue::at("a", vec![Expr::idx("i")]),
+                    Expr::real(0.0),
+                )],
+                else_body: vec![],
+            })
+            .done()
+            .done()
+            .done()
+            .finish();
+        let src = gen(&p, &CodegenOptions::parallel_version(0));
+        assert!(src.contains("SCHEDULE(DYNAMIC)"), "{src}");
+        assert!(!src.contains("SCHEDULE(STATIC)"), "{src}");
     }
 
     #[test]

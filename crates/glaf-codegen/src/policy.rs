@@ -162,6 +162,7 @@ mod tests {
             reductions: vec![],
             atomic: vec![],
             blockers: vec![],
+            schedule: None,
         }
     }
 

@@ -7,8 +7,9 @@
 //! * a **persistent worker pool** ([`pool::ThreadPool`]) with fork-join
 //!   semantics — workers park between regions instead of being respawned,
 //!   like a real OpenMP runtime;
-//! * **static loop scheduling** ([`schedule`]) — contiguous chunking and
-//!   round-robin chunked variants of `SCHEDULE(STATIC[,chunk])`;
+//! * **loop scheduling** ([`schedule`]) — contiguous and round-robin
+//!   chunked variants of `SCHEDULE(STATIC[,chunk])`, plus a lock-free
+//!   iteration dispenser for `SCHEDULE(DYNAMIC)` / `SCHEDULE(GUIDED)`;
 //! * **synchronization** ([`sync`]) — lock-free f64/i64 atomic update cells
 //!   (CAS over `AtomicU64`) for `!$OMP ATOMIC`, and named critical-section
 //!   registries for `!$OMP CRITICAL`;
@@ -30,5 +31,5 @@ pub use barrier::Barrier;
 pub use metrics::RegionMetrics;
 pub use pool::{RegionPanic, ThreadPool};
 pub use reduce::{combine, fold_depth, RedIdentity};
-pub use schedule::{chunks_for, Schedule};
+pub use schedule::{chunks_for, guided_chunks, Dispenser, Schedule};
 pub use sync::{AtomicF64Cell, AtomicI64Cell, CriticalRegistry};

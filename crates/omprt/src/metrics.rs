@@ -6,6 +6,8 @@
 //! switched with [`crate::pool::ThreadPool::set_metrics`]; while off, the
 //! only residue in the hot path is one relaxed atomic load per region.
 
+use crate::schedule::Schedule;
+
 /// Utilization record for one parallel region (one fork-join).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionMetrics {
@@ -15,6 +17,11 @@ pub struct RegionMetrics {
     pub wall_ns: u64,
     /// Per-thread busy time inside the region closure, indexed by tid.
     pub busy_ns: Vec<u64>,
+    /// Source line of the parallel construct that forked the region
+    /// (0 when the caller did not tag the fork).
+    pub line: u32,
+    /// Loop schedule the region ran under.
+    pub sched: Schedule,
 }
 
 impl RegionMetrics {
@@ -51,9 +58,13 @@ impl RegionMetrics {
 mod tests {
     use super::*;
 
+    fn metrics(threads: usize, wall_ns: u64, busy_ns: Vec<u64>) -> RegionMetrics {
+        RegionMetrics { threads, wall_ns, busy_ns, line: 0, sched: Schedule::default() }
+    }
+
     #[test]
     fn derived_ratios() {
-        let m = RegionMetrics { threads: 2, wall_ns: 100, busy_ns: vec![100, 50] };
+        let m = metrics(2, 100, vec![100, 50]);
         assert_eq!(m.idle_ns(), 50);
         assert!((m.utilization() - 0.75).abs() < 1e-12);
         assert!((m.imbalance() - 100.0 / 75.0).abs() < 1e-12);
@@ -61,7 +72,7 @@ mod tests {
 
     #[test]
     fn empty_region_is_defined() {
-        let m = RegionMetrics { threads: 4, wall_ns: 0, busy_ns: vec![0; 4] };
+        let m = metrics(4, 0, vec![0; 4]);
         assert_eq!(m.idle_ns(), 0);
         assert_eq!(m.utilization(), 0.0);
         assert_eq!(m.imbalance(), 1.0);

@@ -23,6 +23,7 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 
 use crate::metrics::RegionMetrics;
+use crate::schedule::Schedule;
 
 /// Type-erased job pointer: a borrowed `&(dyn Fn(usize) + Sync)` smuggled
 /// across the `'static` requirement of worker threads. Soundness argument:
@@ -151,6 +152,16 @@ impl ThreadPool {
     where
         F: Fn(usize) + Sync,
     {
+        self.run_tagged(0, Schedule::default(), f)
+    }
+
+    /// [`ThreadPool::run`], with the recorded [`RegionMetrics`] tagged by
+    /// the source line and loop schedule of the forking construct, so
+    /// profile consumers can join utilization back to a specific loop.
+    pub fn run_tagged<F>(&self, line: u32, sched: Schedule, f: F) -> Result<(), RegionPanic>
+    where
+        F: Fn(usize) + Sync,
+    {
         let timing = self.shared.metrics_on.load(Ordering::Relaxed);
         if self.threads == 1 {
             // Degenerate team: the region *is* the caller's inline call,
@@ -164,6 +175,8 @@ impl ThreadPool {
                     threads: 1,
                     wall_ns: ns,
                     busy_ns: vec![ns],
+                    line,
+                    sched,
                 });
             }
             return r;
@@ -210,6 +223,8 @@ impl ThreadPool {
                 threads: self.threads,
                 wall_ns: s.elapsed().as_nanos() as u64,
                 busy_ns: self.shared.busy_ns.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                line,
+                sched,
             });
         }
         let mut caught: Vec<RegionPanic> = self.shared.panics.lock().drain(..).collect();
@@ -334,24 +349,52 @@ mod tests {
     }
 
     #[test]
-    #[allow(clippy::needless_range_loop)]
     fn results_deterministic_with_partitioned_writes() {
-        let pool = ThreadPool::new(4);
-        let n = 1000;
-        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        pool.run(|tid| {
-            let chunk = n / 4;
-            let lo = tid * chunk;
-            let hi = if tid == 3 { n } else { lo + chunk };
-            for i in lo..hi {
-                out[i].store((i * i) as u64, Ordering::Relaxed);
+        // The partition derives from the pool size via `chunks_for`, so
+        // the test stays correct for any team width.
+        for t in [1usize, 3, 4, 7] {
+            let pool = ThreadPool::new(t);
+            let n = 1000;
+            let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool.run(|tid| {
+                for (lo, hi) in
+                    crate::chunks_for(Schedule::StaticBlock, n, tid, pool.threads())
+                {
+                    for (i, slot) in out.iter().enumerate().take(hi).skip(lo) {
+                        slot.store((i * i) as u64, Ordering::Relaxed);
+                    }
+                }
+            })
+            .unwrap();
+            for (i, c) in out.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), (i * i) as u64, "threads={t}");
             }
-        })
-        .unwrap();
-        for (i, c) in out.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), (i * i) as u64);
         }
-        // (indexing above is the point of the test: per-slot ownership)
+    }
+
+    #[test]
+    fn dispenser_covers_space_exactly_once_across_forked_region() {
+        // Satellite coverage check: a *real* forked region drains the
+        // dispenser from concurrent workers; every iteration must be
+        // claimed exactly once (sequential consistency of the claim
+        // protocol), for both runtime-dispatched kinds.
+        for sched in [Schedule::Dynamic(3), Schedule::Guided(2)] {
+            let pool = ThreadPool::new(4);
+            let n = 10_000;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let disp = crate::Dispenser::new(sched, n, pool.threads());
+            pool.run(|_tid| {
+                while let Some((lo, hi)) = disp.claim() {
+                    for slot in hits.iter().take(hi).skip(lo) {
+                        slot.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+            .unwrap();
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "{sched:?} iteration {i}");
+            }
+        }
     }
 
     #[test]
