@@ -28,6 +28,7 @@ fn bench_fig7_key_configs(c: &mut Criterion) {
                 par_edge_loop: true,
                 par_ioff_search: true,
                 no_realloc: false,
+                fuse: false,
             }),
         ),
     ];

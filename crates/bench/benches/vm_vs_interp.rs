@@ -5,6 +5,12 @@
 //! The acceptance bar for the VM tier is a >= 3x wall-clock speedup over
 //! the tree walker on both case-study kernels in Serial mode; the
 //! `speedup_summary` group measures and prints the ratios directly.
+//!
+//! The `vector_tier` group layers the next rung on top: the same VM with
+//! the vector superinstruction path disabled vs. enabled, on the SARB
+//! longwave integration, the fused FUN3D edge gather, and a serial
+//! (non-OMP) reduction microkernel — the PR 6 acceptance bar is >= 1.5x
+//! on at least two of the three.
 
 use std::time::Instant;
 
@@ -30,6 +36,26 @@ CONTAINS
     work = acc
   END FUNCTION work
 END MODULE m
+"#;
+
+/// Serial (no-OMP) reduction: the OMP kernel above never vectorizes —
+/// the vector path only rewrites plain serial `DO` loops.
+const SERIAL_REDUCTION: &str = r#"
+MODULE msr
+CONTAINS
+  REAL(8) FUNCTION dotp(a, b, n)
+    REAL(8), DIMENSION(1:4096) :: a
+    REAL(8), DIMENSION(1:4096) :: b
+    INTEGER :: n
+    REAL(8) :: acc
+    INTEGER :: i
+    acc = 0.0D0
+    DO i = 1, n
+      acc = acc + a(i) * b(i)
+    END DO
+    dotp = acc
+  END FUNCTION dotp
+END MODULE msr
 "#;
 
 fn sarb_engine() -> Engine {
@@ -90,6 +116,50 @@ fn bench_fun3d(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar VM vs. vector tier on the PR 6 kernels: identical engine and
+/// bytecode, with the `VecLoop` path toggled per entry.
+fn bench_vector_tier(c: &mut Criterion) {
+    let sarb = sarb_engine();
+    let f3d = {
+        let cfg = Fun3dConfig { fuse: true, ..Default::default() };
+        let engine = fun3d::variants::build_engine(Fun3dVariant::Glaf(cfg));
+        engine.run("build_mesh", &[ArgVal::I(200)], ExecMode::Serial).expect("mesh builds");
+        engine
+    };
+    let micro = Engine::compile(&[SERIAL_REDUCTION]).unwrap();
+    let a: Vec<f64> = (0..4096).map(|i| i as f64 * 0.001).collect();
+    let b_data: Vec<f64> = (0..4096).map(|i| (i % 31) as f64 * 0.1 - 1.5).collect();
+
+    let mut g = c.benchmark_group("vector_tier");
+    g.sample_size(10);
+    for (name, on) in [("scalar", false), ("vector", true)] {
+        sarb.set_vector_enabled(on);
+        g.bench_function(format!("sarb_longwave/{name}"), |b| {
+            b.iter(|| sarb.run("run_columns", &[ArgVal::I(2)], ExecMode::Serial).unwrap())
+        });
+        f3d.set_vector_enabled(on);
+        g.bench_function(format!("fun3d_edge_gather/{name}"), |b| {
+            b.iter(|| f3d.run("edgejp", &[], ExecMode::Serial).unwrap())
+        });
+        micro.set_vector_enabled(on);
+        g.bench_function(format!("micro_reduction/{name}"), |b| {
+            b.iter(|| {
+                micro
+                    .run(
+                        "dotp",
+                        &[ArgVal::array_f(&a, 1), ArgVal::array_f(&b_data, 1), ArgVal::I(4096)],
+                        ExecMode::Serial,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+    assert!(sarb.vector_entry_count() > 0, "SARB bench never entered the vector path");
+    assert!(f3d.vector_entry_count() > 0, "FUN3D bench never entered the vector path");
+    assert!(micro.vector_entry_count() > 0, "micro bench never entered the vector path");
+}
+
 /// Times `iters` runs of `f` after one warm-up call.
 fn time_it(iters: u32, mut f: impl FnMut()) -> f64 {
     f();
@@ -134,7 +204,42 @@ fn speedup_summary(_c: &mut Criterion) {
         f3d_vm * 1e3,
         f3d_tw * 1e3
     );
+
+    // Vector tier on top of the scalar VM.
+    let run_sarb_vec = |on: bool| {
+        sarb.set_vector_enabled(on);
+        time_it(10, || {
+            sarb.run("run_columns", &[ArgVal::I(2)], ExecMode::Serial).map(|_| ()).unwrap()
+        })
+    };
+    let sarb_scalar = run_sarb_vec(false);
+    let sarb_vec = run_sarb_vec(true);
+    let f3d_fused = {
+        let cfg = Fun3dConfig { fuse: true, ..Default::default() };
+        let engine = fun3d::variants::build_engine(Fun3dVariant::Glaf(cfg));
+        engine.run("build_mesh", &[ArgVal::I(200)], ExecMode::Serial).expect("mesh builds");
+        engine
+    };
+    let run_f3d_vec = |on: bool| {
+        f3d_fused.set_vector_enabled(on);
+        time_it(10, || f3d_fused.run("edgejp", &[], ExecMode::Serial).map(|_| ()).unwrap())
+    };
+    let f3d_scalar = run_f3d_vec(false);
+    let f3d_vec = run_f3d_vec(true);
+    println!("--- vector-tier speedup (scalar VM time / vector VM time, Serial) ---");
+    println!(
+        "sarb longwave (run_columns ncol=2):               {:.2}x  (vector {:.1} ms, scalar {:.1} ms)",
+        sarb_scalar / sarb_vec,
+        sarb_vec * 1e3,
+        sarb_scalar * 1e3
+    );
+    println!(
+        "fun3d fused edge gather (edgejp, 200 cells):      {:.2}x  (vector {:.1} ms, scalar {:.1} ms)",
+        f3d_scalar / f3d_vec,
+        f3d_vec * 1e3,
+        f3d_scalar * 1e3
+    );
 }
 
-criterion_group!(benches, bench_micro, bench_sarb, bench_fun3d, speedup_summary);
+criterion_group!(benches, bench_micro, bench_sarb, bench_fun3d, bench_vector_tier, speedup_summary);
 criterion_main!(benches);

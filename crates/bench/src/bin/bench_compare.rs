@@ -1,0 +1,81 @@
+//! Diffs two perf-trajectory files (`BENCH_*.json`) and fails on
+//! wall-clock regressions.
+//!
+//! Usage: `bench_compare <old.json> <new.json> [tolerance]`
+//!
+//! Every numeric leaf shared by both files is compared; leaves whose
+//! dotted path mentions `_ns` are timings and regress when the new value
+//! exceeds the old by more than `tolerance` (default 0.10 = 10%).
+//! Exits 1 when any timing regresses, 2 on usage or parse errors. CI
+//! runs this as a soft (warning-only) step: timings on shared runners
+//! are noisy, so a red result is a prompt to look, not a build failure.
+
+use glaf_bench::compare::compare;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match (args.first(), args.get(1)) {
+        (Some(o), Some(n)) => (o.clone(), n.clone()),
+        _ => {
+            eprintln!("usage: bench_compare <old.json> <new.json> [tolerance]");
+            std::process::exit(2);
+        }
+    };
+    let tolerance: f64 = match args.get(2).map(|t| t.parse()) {
+        None => 0.10,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("bench_compare: tolerance must be a number");
+            std::process::exit(2);
+        }
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_compare: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let cmp = match compare(&read(&old_path), &read(&new_path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("== {old_path} -> {new_path} (tolerance {:.0}%) ==", tolerance * 100.0);
+    for d in &cmp.shared {
+        let marker = if !d.is_timing() {
+            "  "
+        } else if d.new > d.old * (1.0 + tolerance) {
+            "!!"
+        } else if d.new < d.old * (1.0 - tolerance) {
+            "++"
+        } else {
+            "  "
+        };
+        println!("{marker} {:<44} {:>14} -> {:>14}  ({:>6.2}x)", d.path, d.old, d.new, d.ratio());
+    }
+    for p in &cmp.removed {
+        println!("-- {p:<44} (removed)");
+    }
+    for p in &cmp.added {
+        println!("++ {p:<44} (added)");
+    }
+
+    let regs = cmp.regressions(tolerance);
+    if regs.is_empty() {
+        println!("bench_compare: no timing regression beyond {:.0}%", tolerance * 100.0);
+    } else {
+        for d in &regs {
+            eprintln!(
+                "bench_compare: REGRESSION {}: {} -> {} ({:.2}x)",
+                d.path,
+                d.old,
+                d.new,
+                d.ratio()
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -88,6 +88,7 @@ fn fig7(ncell: i64, threads: usize) -> Experiment {
                 par_edge_loop: true,
                 par_ioff_search: true,
                 no_realloc: false,
+                fuse: false,
             })),
         },
     ];

@@ -50,6 +50,7 @@ fn main() {
                 par_edge_loop: true,
                 par_ioff_search: true,
                 no_realloc: false,
+                fuse: false,
             })),
         },
     ];

@@ -1,0 +1,199 @@
+//! CI smoke for the vector execution tier and the fusion pass, emitting
+//! `BENCH_pr6.json`.
+//!
+//! Usage: `vector_smoke [out.json]` (default `BENCH_pr6.json`).
+//!
+//! 1. Times the scalar VM against the vector tier (same engine with the
+//!    vector path disabled vs. enabled) on three kernels: the SARB
+//!    longwave spectral integration, the FUN3D edge gather (fused), and
+//!    a 4096-element serial reduction.
+//! 2. Validates that the vector path is actually taken: the decision log
+//!    marks the FUN3D edge loop and the SARB longwave loops vectorizable,
+//!    the compiled engines report vector superinstructions in those
+//!    units, and the runs count vector loop entries. Exits nonzero on
+//!    any violation.
+//! 3. Writes the measurements as JSON — the PR 6 perf trajectory file.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fortrans::{ArgVal, Engine, ExecMode};
+use glaf::Glaf;
+
+const MICRO_REDUCTION: &str = r#"
+MODULE mr
+CONTAINS
+  SUBROUTINE dotp(a, b, n, s)
+    REAL(8), DIMENSION(1:4096) :: a
+    REAL(8), DIMENSION(1:4096) :: b
+    INTEGER :: n
+    REAL(8) :: s
+    INTEGER :: i
+    s = 0.0D0
+    DO i = 1, n
+      s = s + a(i) * b(i)
+    END DO
+  END SUBROUTINE dotp
+END MODULE mr
+"#;
+
+fn median_ns(reps: usize, mut run: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Scalar-vs-vector wall time on one kernel: same engine factory, vector
+/// path off then on. Returns `(scalar_ns, vector_ns, vector_entries)`.
+fn pair(label: &str, mk: impl Fn() -> Engine, run: impl Fn(&Engine)) -> (u64, u64, u64) {
+    let off = mk();
+    off.set_vector_enabled(false);
+    run(&off); // warm-up
+    let scalar = median_ns(7, || run(&off));
+    let on = mk();
+    run(&on);
+    let vector = median_ns(7, || run(&on));
+    let entries = on.vector_entry_count();
+    println!(
+        "{label:<22} scalar {:>9.3} ms   vector {:>9.3} ms   speedup {:.2}x   entries {entries}",
+        scalar as f64 / 1e6,
+        vector as f64 / 1e6,
+        scalar as f64 / vector.max(1) as f64,
+    );
+    (scalar, vector, entries)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr6.json".into());
+    let mut errors: Vec<String> = Vec::new();
+
+    // 1. Scalar VM vs. vector tier.
+    println!("== scalar VM vs vector tier (median of 7, serial) ==");
+    let sarb = pair(
+        "sarb_longwave",
+        || sarb::variants::build_engine(sarb::variants::SarbVariant::GlafSerial),
+        |e| {
+            e.run("run_columns", &[ArgVal::I(6)], ExecMode::Serial).unwrap();
+        },
+    );
+    let fun3d = pair(
+        "fun3d_edge_gather",
+        || {
+            let cfg = fun3d::variants::Fun3dConfig { fuse: true, ..Default::default() };
+            let e = fun3d::variants::build_engine(fun3d::variants::Fun3dVariant::Glaf(cfg));
+            e.run("build_mesh", &[ArgVal::I(300)], ExecMode::Serial).unwrap();
+            e
+        },
+        |e| {
+            e.run("edgejp", &[], ExecMode::Serial).unwrap();
+        },
+    );
+    let a: Vec<f64> = (0..4096).map(|i| (i % 97) as f64 * 0.01).collect();
+    let b: Vec<f64> = (0..4096).map(|i| (i % 89) as f64 * 0.02 - 0.5).collect();
+    let micro = pair(
+        "micro_reduction",
+        || Engine::compile(&[MICRO_REDUCTION]).unwrap(),
+        |e| {
+            let s = ArgVal::F(0.0);
+            for _ in 0..64 {
+                e.run(
+                    "dotp",
+                    &[
+                        ArgVal::array_f(&a, 1),
+                        ArgVal::array_f(&b, 1),
+                        ArgVal::I(4096),
+                        s.clone(),
+                    ],
+                    ExecMode::Serial,
+                )
+                .unwrap();
+            }
+        },
+    );
+
+    // 2. The vector path must actually be taken where the design says so.
+    let mut g = Glaf::new(fun3d::glaf_model::build_fun3d_program()).expect("FUN3D program valid");
+    let reports = g.fuse();
+    if !reports.iter().any(|r| r.function == "edge_loop" && r.fused >= 10) {
+        errors.push(format!("edge_loop temporaries run did not fuse: {reports:?}"));
+    }
+    let edge_vec = g
+        .decision_log()
+        .for_function("edge_loop")
+        .iter()
+        .any(|d| d.fusion.is_some() && d.vectorizable);
+    if !edge_vec {
+        errors.push("decision log: fused FUN3D edge loop not marked vectorizable".into());
+    }
+    let sg = Glaf::new(sarb::glaf_model::build_sarb_program()).expect("SARB program valid");
+    for f in ["g_lw_emis", "g_lw_trn", "g_lw_up"] {
+        if !sg.decision_log().for_function(f).iter().any(|d| d.vectorizable) {
+            errors.push(format!("decision log: SARB longwave loop `{f}` not vectorizable"));
+        }
+    }
+
+    let sarb_engine = sarb::variants::build_engine(sarb::variants::SarbVariant::GlafSerial);
+    sarb_engine.run("run_columns", &[ArgVal::I(1)], ExecMode::Serial).unwrap();
+    let rep = sarb_engine.vector_report();
+    for f in ["g_lw_emis", "g_lw_trn", "g_lw_up"] {
+        if !rep.iter().any(|v| v.unit == f) {
+            errors.push(format!("SARB engine compiled no vector loop in `{f}`"));
+        }
+    }
+    if sarb_engine.vector_entry_count() == 0 {
+        errors.push("SARB longwave run took zero vector loop entries".into());
+    }
+    let cfg = fun3d::variants::Fun3dConfig { fuse: true, ..Default::default() };
+    let f3 = fun3d::variants::build_engine(fun3d::variants::Fun3dVariant::Glaf(cfg));
+    f3.run("build_mesh", &[ArgVal::I(40)], ExecMode::Serial).unwrap();
+    f3.run("edgejp", &[], ExecMode::Serial).unwrap();
+    if !f3.vector_report().iter().any(|v| v.unit == "edge_loop") {
+        errors.push("FUN3D engine compiled no vector loop in `edge_loop`".into());
+    }
+    if f3.vector_entry_count() == 0 {
+        errors.push("FUN3D edge gather run took zero vector loop entries".into());
+    }
+    for (label, (_, _, entries)) in
+        [("sarb_longwave", &sarb), ("fun3d_edge_gather", &fun3d), ("micro_reduction", &micro)]
+    {
+        if *entries == 0 {
+            errors.push(format!("{label}: benchmark run took zero vector loop entries"));
+        }
+    }
+
+    // 3. Emit the trajectory file.
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 6,\n  \"mode\": \"serial\",\n  \"kernels\": {\n");
+    let rows =
+        [("sarb_longwave", &sarb), ("fun3d_edge_gather", &fun3d), ("micro_reduction", &micro)];
+    for (ri, (label, (scalar, vector, entries))) in rows.iter().enumerate() {
+        let speedup = *scalar as f64 / (*vector).max(1) as f64;
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"scalar_vm_ns\": {scalar}, \"vector_vm_ns\": {vector}, \
+             \"speedup\": {speedup:.3}, \"vector_entries\": {entries}}}{}",
+            if ri + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        errors.push(format!("cannot write {out_path}: {e}"));
+    } else {
+        println!("wrote {out_path}");
+    }
+
+    if errors.is_empty() {
+        println!("vector_smoke: vector tier and fusion checks OK");
+    } else {
+        for e in &errors {
+            eprintln!("vector_smoke: VIOLATION: {e}");
+        }
+        std::process::exit(1);
+    }
+}

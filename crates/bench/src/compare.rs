@@ -1,0 +1,290 @@
+//! Perf-trajectory comparison: diff two `BENCH_*.json` files and flag
+//! wall-clock regressions.
+//!
+//! The trajectory files are hand-written JSON with ad-hoc schemas per
+//! PR, so the comparison is schema-agnostic: every numeric leaf is
+//! flattened to a dotted path (`kernels.sarb_longwave.vector_vm_ns`),
+//! paths present in both files are compared, and a leaf whose path
+//! mentions `_ns` counts as a timing — higher-is-worse, regressed when
+//! `new > old * (1 + tolerance)`. Non-timing leaves are reported but
+//! never fail the comparison.
+
+/// One shared numeric leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub path: String,
+    pub old: f64,
+    pub new: f64,
+}
+
+impl Delta {
+    /// `new / old`; infinity when old is zero and new is not.
+    pub fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new / self.old
+        }
+    }
+
+    /// Timing leaves are the ones a regression gate applies to.
+    pub fn is_timing(&self) -> bool {
+        self.path.contains("_ns")
+    }
+}
+
+/// The full comparison between two trajectory files.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Leaves present in both files, in old-file order.
+    pub shared: Vec<Delta>,
+    /// Paths only in the old file.
+    pub removed: Vec<String>,
+    /// Paths only in the new file.
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// Timing leaves slower than `old * (1 + tolerance)`.
+    pub fn regressions(&self, tolerance: f64) -> Vec<&Delta> {
+        self.shared
+            .iter()
+            .filter(|d| d.is_timing() && d.new > d.old * (1.0 + tolerance))
+            .collect()
+    }
+}
+
+/// Compares two trajectory files' numeric leaves.
+pub fn compare(old_json: &str, new_json: &str) -> Result<Comparison, String> {
+    let old = numeric_leaves(old_json).map_err(|e| format!("old file: {e}"))?;
+    let new = numeric_leaves(new_json).map_err(|e| format!("new file: {e}"))?;
+    let mut cmp = Comparison::default();
+    for (path, o) in &old {
+        match new.iter().find(|(p, _)| p == path) {
+            Some((_, n)) => cmp.shared.push(Delta { path: path.clone(), old: *o, new: *n }),
+            None => cmp.removed.push(path.clone()),
+        }
+    }
+    for (path, _) in &new {
+        if !old.iter().any(|(p, _)| p == path) {
+            cmp.added.push(path.clone());
+        }
+    }
+    Ok(cmp)
+}
+
+/// Flattens every numeric leaf of a JSON document to `(dotted.path,
+/// value)`, in document order. Minimal recursive-descent parser — the
+/// build environment is offline, so serde_json is unavailable.
+pub fn numeric_leaves(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut p = Parser { s: json.as_bytes(), i: 0 };
+    let mut out = Vec::new();
+    p.ws();
+    p.value("", &mut out)?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => other as char,
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self, path: &str, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        self.ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => {
+                self.i += 1;
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    let child =
+                        if path.is_empty() { key } else { format!("{path}.{key}") };
+                    self.value(&child, out)?;
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(());
+                }
+                let mut idx = 0usize;
+                loop {
+                    self.value(&format!("{path}[{idx}]"), out)?;
+                    idx += 1;
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+                    }
+                }
+            }
+            b'"' => {
+                self.string()?;
+                Ok(())
+            }
+            b't' | b'f' | b'n' => {
+                while self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                    self.i += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                let start = self.i;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.i += 1;
+                }
+                let text = std::str::from_utf8(&self.s[start..self.i]).unwrap_or("");
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad number `{text}` at byte {start}"))?;
+                out.push((path.to_string(), v));
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+      "pr": 6,
+      "kernels": {
+        "sarb": {"scalar_vm_ns": 1000, "vector_vm_ns": 500, "speedup": 2.0},
+        "micro": {"scalar_vm_ns": 800, "vector_vm_ns": 100}
+      }
+    }"#;
+
+    #[test]
+    fn leaves_flatten_in_order() {
+        let leaves = numeric_leaves(OLD).unwrap();
+        let paths: Vec<&str> = leaves.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "pr",
+                "kernels.sarb.scalar_vm_ns",
+                "kernels.sarb.vector_vm_ns",
+                "kernels.sarb.speedup",
+                "kernels.micro.scalar_vm_ns",
+                "kernels.micro.vector_vm_ns",
+            ]
+        );
+        assert_eq!(leaves[2].1, 500.0);
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_tolerance_on_timings() {
+        let new = OLD.replace("\"vector_vm_ns\": 500", "\"vector_vm_ns\": 560")
+            .replace("\"speedup\": 2.0", "\"speedup\": 99.0");
+        let cmp = compare(OLD, &new).unwrap();
+        // 12% slower timing regresses at 10% tolerance; the non-timing
+        // `speedup` leaf and the 0%-change leaves do not.
+        let regs = cmp.regressions(0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "kernels.sarb.vector_vm_ns");
+        assert!((regs[0].ratio() - 1.12).abs() < 1e-9);
+        assert!(cmp.regressions(0.15).is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_paths_reported() {
+        let new = r#"{"pr": 6, "kernels": {"sarb": {"scalar_vm_ns": 1000}}, "extra": 1}"#;
+        let cmp = compare(OLD, new).unwrap();
+        assert!(cmp.removed.contains(&"kernels.micro.scalar_vm_ns".to_string()));
+        assert!(cmp.added.contains(&"extra".to_string()));
+        assert_eq!(cmp.shared.len(), 2, "{cmp:?}");
+    }
+
+    #[test]
+    fn arrays_and_literals_parse() {
+        let leaves =
+            numeric_leaves(r#"{"a": [1, {"b_ns": 2}, true, null, "x"], "c": -1.5e3}"#).unwrap();
+        assert_eq!(
+            leaves,
+            vec![
+                ("a[0]".to_string(), 1.0),
+                ("a[1].b_ns".to_string(), 2.0),
+                ("c".to_string(), -1500.0),
+            ]
+        );
+        assert!(numeric_leaves("{\"a\": }").is_err());
+    }
+}

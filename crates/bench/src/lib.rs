@@ -20,6 +20,7 @@
 //! manual ladder).
 
 
+pub mod compare;
 pub mod observe;
 
 /// One labeled measurement (speed-up bar).

@@ -176,6 +176,13 @@ pub enum BInstr {
     VecLeave,
     /// Pops end, start into i-slots; constant step 1.
     DoInitC { ctr: u32, end: u32 },
+    /// Vector superinstruction covering the whole `DoHead1` loop that
+    /// follows: executes `vecs[desc]` over `[i[ctr], i[end]]` in chunked
+    /// slice form and jumps to `exit`, or — when any runtime guard fails
+    /// (alias, bounds, shape, budget, vector tier disabled) — falls
+    /// through to the scalar head with no state changed. Optimized
+    /// builds only.
+    VecLoop { desc: u32, ctr: u32, end: u32, var: u32, exit: u32 },
     /// Pops step, end, start; `check` enforces the zero-step error.
     DoInit { ctr: u32, end: u32, step: u32, check: bool },
     /// Fused unit-stride head: check, store loop var, fall through.
@@ -295,6 +302,8 @@ pub struct BUnit {
     pub lines: Vec<(u32, u32)>,
     /// Serial DO-loop sites, sorted by `init_pc` (profiling side table).
     pub loops: Vec<BLoopSite>,
+    /// Vector superinstruction descriptors (optimized builds only).
+    pub vecs: Vec<VecDesc>,
 }
 
 impl BUnit {
@@ -324,6 +333,118 @@ impl BUnit {
 pub struct BLoopSite {
     pub init_pc: u32,
     pub end_pc: u32,
+    pub line: u32,
+}
+
+// ---------------------------------------------------------------------
+// Vector superinstructions
+// ---------------------------------------------------------------------
+
+/// "No invariant slot" marker for [`VecSub::inv`] / [`VecOp::SplatI`].
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Lane count of one vector chunk. The executor processes the iteration
+/// space in runs of this many elements so the per-op inner loops stay in
+/// cache and rustc/LLVM can autovectorize them.
+pub const VEC_CHUNK: usize = 64;
+
+/// Caps keeping descriptors (and the executor's scratch) small.
+pub const VEC_MAX_DEPTH: u32 = 16;
+const VEC_MAX_ACCESSES: usize = 32;
+const VEC_MAX_STMTS: usize = 32;
+const VEC_MAX_OPS: usize = 256;
+const VEC_MAX_ARGC: usize = 8;
+
+/// One affine subscript of a vector access: at iteration value `i` the
+/// subscript is `coeff*i + add + frame.i[inv]` (wrapping i64 arithmetic,
+/// exactly the scalar tier's; `inv == NO_SLOT` contributes 0). `inv`
+/// points either at the loop-invariant variable's own frame slot or at a
+/// hidden slot filled by prep code emitted between `DoInitC` and
+/// `VecLoop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecSub {
+    pub coeff: i64,
+    pub add: i64,
+    pub inv: u32,
+}
+
+/// One array stream of a vector loop. Interned: one entry per distinct
+/// `(slot, subscripts)` pair, so identical-subscript reads and writes of
+/// the same array share an entry (the legality rule that makes chunked
+/// statement-at-a-time execution exact).
+#[derive(Debug, Clone)]
+pub struct VecAccess {
+    pub vs: VSlot,
+    /// Source var index, for diagnostics.
+    pub v: u32,
+    pub subs: Vec<VecSub>,
+    pub write: bool,
+}
+
+/// Postfix micro-op of a vector statement program. Lane vectors live in
+/// a depth-indexed f64 scratch; one inner loop over the chunk per op.
+#[derive(Debug, Clone, Copy)]
+pub enum VecOp {
+    /// Gather the access's lanes for the current chunk.
+    Load(u32),
+    /// Broadcast a constant.
+    Splat(f64),
+    /// Broadcast a frame f64 scalar.
+    SplatF(u32),
+    /// Broadcast a global scalar cell (declared REAL, so bits are f64).
+    SplatG(u32),
+    /// Affine integer as f64: `(coeff*i + add + frame.i[inv]) as f64`.
+    SplatI { coeff: i64, add: i64, inv: u32 },
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// `x.powf(y)` — the scalar tier's `F ** F` (and its `F ** I` rule
+    /// for constant exponents with `|e| > 64`, via a `Splat`).
+    Pow,
+    /// `x.powi(e)` — the scalar tier's `F ** I` small-constant-exponent
+    /// rule, decided at compile time.
+    PowI(i32),
+    Neg,
+    /// Per-element intrinsic through the shared [`Intr::eval_f`].
+    Intr { f: Intr, argc: u8 },
+    /// Scatter the top lanes into the access (map statements only; last
+    /// op of its statement).
+    Store(u32),
+}
+
+/// Reduction flavor of a single-statement vector loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecRedOp {
+    Add,
+    Mul,
+}
+
+/// Reduction tail: `acc = acc op t` (or `t op acc` when `acc_left` is
+/// false), folded sequentially in iteration order for bit-exactness.
+#[derive(Debug, Clone, Copy)]
+pub struct VecRed {
+    /// Accumulator slot (`F` or `GlobS`).
+    pub vs: VSlot,
+    pub op: VecRedOp,
+    pub acc_left: bool,
+}
+
+/// A vectorized loop body: interned accesses, one postfix program per
+/// statement, and the optional reduction tail.
+#[derive(Debug, Clone)]
+pub struct VecDesc {
+    pub accesses: Vec<VecAccess>,
+    pub stmts: Vec<Vec<VecOp>>,
+    pub red: Option<VecRed>,
+    /// Max operand depth over all statement programs.
+    pub max_depth: u32,
+    /// Scalar-tier instructions per iteration (`DoHead1` through
+    /// `DoIncr1`), used by the VM to pre-reserve the step budget so a
+    /// run that would exhaust its budget falls back to the scalar head
+    /// and trips there, exactly as before. Patched after loop emission.
+    pub iter_cost: u32,
+    /// DO statement source line.
     pub line: u32,
 }
 
@@ -492,6 +613,61 @@ enum Ctx {
     Boundary,
 }
 
+/// Per-loop vectorization plan (the descriptor plus the prep code the
+/// emitter must materialize before the `VecLoop`).
+#[derive(Default)]
+struct VecPlan {
+    accesses: Vec<VecAccess>,
+    stmts: Vec<Vec<VecOp>>,
+    red: Option<VecRed>,
+    max_depth: u32,
+    /// Loop-invariant subscript expressions to evaluate into hidden
+    /// i-slots between `DoInitC` and `VecLoop`: (dedup key, expr, slot).
+    prep: Vec<(String, RExpr, u32)>,
+}
+
+/// Simulates a vector statement program's operand-stack effect.
+/// Returns `(final_depth, max_depth)`, or `None` on underflow. Shared
+/// with the bytecode verifier.
+pub fn vec_stack_effect(ops: &[VecOp]) -> Option<(u32, u32)> {
+    let mut d: i64 = 0;
+    let mut mx: i64 = 0;
+    for op in ops {
+        let (pop, push) = match op {
+            VecOp::Load(_)
+            | VecOp::Splat(_)
+            | VecOp::SplatF(_)
+            | VecOp::SplatG(_)
+            | VecOp::SplatI { .. } => (0, 1),
+            VecOp::Add | VecOp::Sub | VecOp::Mul | VecOp::Div | VecOp::Pow => (2, 1),
+            VecOp::PowI(_) | VecOp::Neg => (1, 1),
+            VecOp::Intr { argc, .. } => (i64::from(*argc), 1),
+            VecOp::Store(_) => (1, 0),
+        };
+        d -= pop;
+        if d < 0 {
+            return None;
+        }
+        d += push;
+        mx = mx.max(d);
+    }
+    Some((d as u32, mx as u32))
+}
+
+/// True when `e` references variable `var` anywhere (conservatively true
+/// for user calls, whose by-ref arguments could smuggle it through).
+fn expr_uses_var(e: &RExpr, var: VarIdx) -> bool {
+    match e {
+        RExpr::ConstI(_) | RExpr::ConstF(_) | RExpr::ConstB(_) => false,
+        RExpr::LoadScalar(v) | RExpr::AllocatedQ(v) | RExpr::ArrReduce { v, .. } => *v == var,
+        RExpr::LoadElem { v, subs } => *v == var || subs.iter().any(|s| expr_uses_var(s, var)),
+        RExpr::Bin { l, r, .. } => expr_uses_var(l, var) || expr_uses_var(r, var),
+        RExpr::Neg(x) | RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => expr_uses_var(x, var),
+        RExpr::Intrinsic { args, .. } => args.iter().any(|a| expr_uses_var(a, var)),
+        RExpr::CallFn { .. } => true,
+    }
+}
+
 struct UnitCompiler<'a> {
     prog: &'a RProgram,
     unit: &'a RUnit,
@@ -516,6 +692,8 @@ struct UnitCompiler<'a> {
     last_line: u32,
     /// Serial DO-loop sites under construction (unordered).
     loops: Vec<BLoopSite>,
+    /// Vector descriptors under construction.
+    vecs: Vec<VecDesc>,
 }
 
 impl<'a> UnitCompiler<'a> {
@@ -561,6 +739,7 @@ impl<'a> UnitCompiler<'a> {
             lines: Vec::new(),
             last_line: u32::MAX,
             loops: Vec::new(),
+            vecs: Vec::new(),
         }
     }
 
@@ -586,6 +765,7 @@ impl<'a> UnitCompiler<'a> {
             unit: self.unit_idx as u32,
             lines: self.lines,
             loops: self.loops,
+            vecs: self.vecs,
         }
     }
 
@@ -1278,6 +1458,337 @@ impl<'a> UnitCompiler<'a> {
         }
     }
 
+    // ---------- vector superinstruction analysis ----------
+
+    /// Decides whether a canonical unit-stride frame-I DO loop body can
+    /// execute as a vector superinstruction, and if so builds its plan.
+    ///
+    /// Legality: every statement is an elementwise REAL array assignment
+    /// with affine subscripts — any array both read and written must use
+    /// *identical* subscripts with at least one loop-dependent dimension,
+    /// so the only dependences are loop-independent — or the body is a
+    /// single `acc = acc + term` / `acc * term` REAL reduction whose term
+    /// does not reference the accumulator. Anything else (control flow,
+    /// calls, I/O, allocation, non-affine subscripts, LOGICAL/INTEGER
+    /// element types) keeps the scalar loop.
+    fn analyze_vec(&mut self, var: VarIdx, body: &[SpStmt]) -> Option<VecPlan> {
+        let mut plan = VecPlan::default();
+        let mut real: Vec<&RStmt> = Vec::new();
+        for sp in body {
+            match &sp.s {
+                RStmt::Nop => {}
+                // Statements DSE drops in this build don't block the
+                // vector path either.
+                RStmt::AssignScalar { v, e } if self.dead[*v] && self.pure_total(e) => {}
+                s => real.push(s),
+            }
+        }
+        if real.len() > VEC_MAX_STMTS {
+            return None;
+        }
+        if let [RStmt::AssignScalar { v: acc, e }] = real[..] {
+            // Reduction shape.
+            if self.unit.vars[*acc].ty != ScalarTy::F {
+                return None;
+            }
+            let avs = self.vslot(*acc);
+            if !matches!(avs, VSlot::F(_) | VSlot::GlobS(_)) {
+                return None;
+            }
+            let RExpr::Bin { op, ty: ScalarTy::F, l, r } = e else { return None };
+            let rop = match op {
+                Bin::Add => VecRedOp::Add,
+                Bin::Mul => VecRedOp::Mul,
+                _ => return None,
+            };
+            let is_acc = |x: &RExpr| matches!(x, RExpr::LoadScalar(v) if v == acc);
+            let (acc_left, term) = match (is_acc(l), is_acc(r)) {
+                (true, false) => (true, r.as_ref()),
+                (false, true) => (false, l.as_ref()),
+                _ => return None,
+            };
+            if expr_uses_var(term, *acc) {
+                return None;
+            }
+            let mut ops = Vec::new();
+            self.vec_operand_f(term, var, &mut plan, &mut ops)?;
+            plan.stmts.push(ops);
+            plan.red = Some(VecRed { vs: avs, op: rop, acc_left });
+        } else {
+            // Map shape: every statement an elementwise store.
+            for s in &real {
+                let RStmt::AssignElem { v, subs, e } = s else { return None };
+                let a = self.vec_access(*v, subs, var, true, &mut plan)?;
+                let mut ops = Vec::new();
+                self.vec_operand_f(e, var, &mut plan, &mut ops)?;
+                ops.push(VecOp::Store(a));
+                plan.stmts.push(ops);
+            }
+        }
+        // Dependence rule: distinct subscript patterns on a written array
+        // would need cross-element ordering — reject. (Identical patterns
+        // were interned into one entry above.)
+        for (i, a) in plan.accesses.iter().enumerate() {
+            for b in plan.accesses.iter().skip(i + 1) {
+                if a.vs == b.vs && (a.write || b.write) {
+                    return None;
+                }
+            }
+            // Injectivity: a write must move with the loop, else later
+            // elements overwrite earlier ones out of statement order.
+            if a.write && a.subs.iter().all(|s| s.coeff == 0) {
+                return None;
+            }
+        }
+        for ops in &plan.stmts {
+            let (fin, mx) = vec_stack_effect(ops)?;
+            let want = u32::from(plan.red.is_some());
+            if fin != want || mx > VEC_MAX_DEPTH {
+                return None;
+            }
+            plan.max_depth = plan.max_depth.max(mx);
+        }
+        Some(plan)
+    }
+
+    /// Interns one affine array access of a vector loop.
+    fn vec_access(
+        &mut self,
+        v: VarIdx,
+        subs: &[RExpr],
+        var: VarIdx,
+        write: bool,
+        plan: &mut VecPlan,
+    ) -> Option<u32> {
+        let vs = self.vslot(v);
+        if !matches!(vs, VSlot::A(_) | VSlot::GlobA(_)) {
+            return None;
+        }
+        let info = &self.unit.vars[v];
+        if info.ty != ScalarTy::F || info.rank != subs.len() {
+            return None;
+        }
+        let mut vsubs = Vec::with_capacity(subs.len());
+        for s in subs {
+            let (coeff, add, inv) = self.vec_affine(s, var)?;
+            let slot = match inv {
+                None => NO_SLOT,
+                Some(x) => self.vec_inv_slot(&x, plan)?,
+            };
+            vsubs.push(VecSub { coeff, add, inv: slot });
+        }
+        if let Some(i) = plan.accesses.iter().position(|a| a.vs == vs && a.subs == vsubs) {
+            plan.accesses[i].write |= write;
+            return Some(i as u32);
+        }
+        if plan.accesses.len() >= VEC_MAX_ACCESSES {
+            return None;
+        }
+        plan.accesses.push(VecAccess { vs, v: v as u32, subs: vsubs, write });
+        Some(plan.accesses.len() as u32 - 1)
+    }
+
+    /// Splits an I-typed expression into `coeff*var + add + invariant`.
+    /// The invariant remainder comes back as a (possibly synthetic)
+    /// expression; integer arithmetic distributes exactly over the
+    /// wrapping ring, so the decomposition preserves scalar semantics.
+    fn vec_affine(&mut self, e: &RExpr, var: VarIdx) -> Option<(i64, i64, Option<RExpr>)> {
+        if let Some(v) = self.fold(e) {
+            return Some((0, v.as_i(), None));
+        }
+        if !expr_uses_var(e, var) {
+            return Some((0, 0, Some(e.clone())));
+        }
+        let add_inv = |a: Option<RExpr>, b: Option<RExpr>| match (a, b) {
+            (None, x) | (x, None) => x,
+            (Some(a), Some(b)) => Some(RExpr::Bin {
+                op: Bin::Add,
+                ty: ScalarTy::I,
+                l: Box::new(a),
+                r: Box::new(b),
+            }),
+        };
+        let neg_inv = |x: Option<RExpr>| x.map(|x| RExpr::Neg(Box::new(x)));
+        match e {
+            RExpr::LoadScalar(v) if *v == var => Some((1, 0, None)),
+            RExpr::Bin { op: Bin::Add, ty: ScalarTy::I, l, r } => {
+                let (c1, a1, i1) = self.vec_affine(l, var)?;
+                let (c2, a2, i2) = self.vec_affine(r, var)?;
+                Some((c1.checked_add(c2)?, a1.checked_add(a2)?, add_inv(i1, i2)))
+            }
+            RExpr::Bin { op: Bin::Sub, ty: ScalarTy::I, l, r } => {
+                let (c1, a1, i1) = self.vec_affine(l, var)?;
+                let (c2, a2, i2) = self.vec_affine(r, var)?;
+                Some((c1.checked_sub(c2)?, a1.checked_sub(a2)?, add_inv(i1, neg_inv(i2))))
+            }
+            RExpr::Bin { op: Bin::Mul, ty: ScalarTy::I, l, r } => {
+                let (k, x) = if let Some(k) = self.fold(l) {
+                    (k.as_i(), r)
+                } else if let Some(k) = self.fold(r) {
+                    (k.as_i(), l)
+                } else {
+                    return None; // runtime coefficient on the loop var
+                };
+                let (c, a, i) = self.vec_affine(x, var)?;
+                let scaled = i.map(|x| RExpr::Bin {
+                    op: Bin::Mul,
+                    ty: ScalarTy::I,
+                    l: Box::new(RExpr::ConstI(k)),
+                    r: Box::new(x),
+                });
+                Some((c.checked_mul(k)?, a.checked_mul(k)?, scaled))
+            }
+            RExpr::Neg(x) if self.ty_of(x) == ScalarTy::I => {
+                let (c, a, i) = self.vec_affine(x, var)?;
+                Some((c.checked_neg()?, a.checked_neg()?, neg_inv(i)))
+            }
+            RExpr::ToI(x) if self.ty_of(x) == ScalarTy::I => self.vec_affine(x, var),
+            _ => None,
+        }
+    }
+
+    /// Hidden i-slot holding a loop-invariant I expression; prep code
+    /// emitted between `DoInitC` and `VecLoop` fills it. A bare frame-I
+    /// scalar uses its own slot (no prep); identical expressions within
+    /// one loop share a slot.
+    fn vec_inv_slot(&mut self, e: &RExpr, plan: &mut VecPlan) -> Option<u32> {
+        if self.ty_of(e) != ScalarTy::I || !self.pure_total(e) {
+            return None;
+        }
+        if let RExpr::LoadScalar(v) = e {
+            if let VSlot::I(s) = self.vslot(*v) {
+                return Some(s);
+            }
+        }
+        let key = format!("{e:?}");
+        if let Some((_, _, s)) = plan.prep.iter().find(|(k, _, _)| *k == key) {
+            return Some(*s);
+        }
+        let s = self.hidden_i();
+        plan.prep.push((key, e.clone(), s));
+        Some(s)
+    }
+
+    /// Emits micro-ops evaluating `e` as an f64 lane vector, mirroring
+    /// the scalar tier's emit-then-convert-to-F path.
+    fn vec_operand_f(
+        &mut self,
+        e: &RExpr,
+        var: VarIdx,
+        plan: &mut VecPlan,
+        ops: &mut Vec<VecOp>,
+    ) -> Option<()> {
+        if ops.len() >= VEC_MAX_OPS {
+            return None;
+        }
+        match self.ty_of(e) {
+            ScalarTy::F => self.vec_expr_f(e, var, plan, ops),
+            ScalarTy::I => {
+                // The scalar tier's CvtIF of an integer expression: only
+                // affine-in-var (or invariant) shapes stay vectorizable.
+                if let Some(v) = self.fold(e) {
+                    ops.push(VecOp::Splat(v.as_f()));
+                    return Some(());
+                }
+                let (coeff, add, inv) = self.vec_affine(e, var)?;
+                let slot = match inv {
+                    None => NO_SLOT,
+                    Some(x) => self.vec_inv_slot(&x, plan)?,
+                };
+                ops.push(VecOp::SplatI { coeff, add, inv: slot });
+                Some(())
+            }
+            ScalarTy::B => None,
+        }
+    }
+
+    fn vec_expr_f(
+        &mut self,
+        e: &RExpr,
+        var: VarIdx,
+        plan: &mut VecPlan,
+        ops: &mut Vec<VecOp>,
+    ) -> Option<()> {
+        if let Some(v) = self.fold(e) {
+            ops.push(VecOp::Splat(v.as_f()));
+            return Some(());
+        }
+        match e {
+            RExpr::ConstF(c) => {
+                ops.push(VecOp::Splat(*c));
+                Some(())
+            }
+            RExpr::LoadScalar(v) => match self.vslot(*v) {
+                VSlot::F(s) => {
+                    ops.push(VecOp::SplatF(s));
+                    Some(())
+                }
+                VSlot::GlobS(c) => {
+                    ops.push(VecOp::SplatG(c));
+                    Some(())
+                }
+                _ => None,
+            },
+            RExpr::LoadElem { v, subs } => {
+                let a = self.vec_access(*v, subs, var, false, plan)?;
+                ops.push(VecOp::Load(a));
+                Some(())
+            }
+            RExpr::Bin { op, ty: ScalarTy::F, l, r } => match op {
+                Bin::Add | Bin::Sub | Bin::Mul | Bin::Div => {
+                    self.vec_operand_f(l, var, plan, ops)?;
+                    self.vec_operand_f(r, var, plan, ops)?;
+                    ops.push(match op {
+                        Bin::Add => VecOp::Add,
+                        Bin::Sub => VecOp::Sub,
+                        Bin::Mul => VecOp::Mul,
+                        _ => VecOp::Div,
+                    });
+                    Some(())
+                }
+                Bin::Pow => {
+                    self.vec_operand_f(l, var, plan, ops)?;
+                    if self.ty_of(r) == ScalarTy::I {
+                        // `F ** I` needs a constant exponent so the
+                        // powi-vs-powf rule resolves at compile time.
+                        let ev = self.fold(r)?.as_i();
+                        if ev.unsigned_abs() <= 64 {
+                            ops.push(VecOp::PowI(ev as i32));
+                        } else {
+                            ops.push(VecOp::Splat(ev as f64));
+                            ops.push(VecOp::Pow);
+                        }
+                    } else {
+                        self.vec_operand_f(r, var, plan, ops)?;
+                        ops.push(VecOp::Pow);
+                    }
+                    Some(())
+                }
+                _ => None,
+            },
+            RExpr::Neg(x) if self.ty_of(x) == ScalarTy::F => {
+                self.vec_expr_f(x, var, plan, ops)?;
+                ops.push(VecOp::Neg);
+                Some(())
+            }
+            RExpr::ToF(x) => self.vec_operand_f(x, var, plan, ops),
+            RExpr::Intrinsic { f, args } => {
+                if self.intr_int_flavor(*f, args)
+                    || matches!(f, Intr::Int | Intr::Nint)
+                    || args.len() > VEC_MAX_ARGC
+                {
+                    return None;
+                }
+                for a in args {
+                    self.vec_operand_f(a, var, plan, ops)?;
+                }
+                ops.push(VecOp::Intr { f: *f, argc: args.len() as u8 });
+                Some(())
+            }
+            _ => None,
+        }
+    }
+
     // ---------- DO loops ----------
 
     fn emit_serial_do(
@@ -1307,6 +1818,10 @@ impl<'a> UnitCompiler<'a> {
         };
         let fused1 = var_i.is_some() && step_const == Some(1);
         let do_line = self.last_line;
+        // Vector path: optimized builds, canonical unit-stride frame-I
+        // loops only (traced builds keep exact scalar op counts).
+        let vec_plan =
+            if !self.traced && fused1 { self.analyze_vec(var, body) } else { None };
         let (ctr, ends) = (self.hidden_i(), self.hidden_i());
         let steps = if fused1 { 0 } else { self.hidden_i() };
         let init_idx = if fused1 {
@@ -1328,6 +1843,31 @@ impl<'a> UnitCompiler<'a> {
         if self.traced && vec != VecClass::None {
             self.push(BInstr::VecEnter(vec));
         }
+        let vec_idx = vec_plan.map(|plan| {
+            // Prep: loop-invariant subscript parts into hidden i-slots.
+            let VecPlan { accesses, stmts, red, max_depth, prep } = plan;
+            for (_, e, slot) in &prep {
+                self.emit_expr(e);
+                self.emit_cvt(self.ty_of(e), ScalarTy::I);
+                self.push(BInstr::StoreI(*slot));
+            }
+            let desc = self.vecs.len() as u32;
+            self.vecs.push(VecDesc {
+                accesses,
+                stmts,
+                red,
+                max_depth,
+                iter_cost: 0,
+                line: do_line,
+            });
+            self.push(BInstr::VecLoop {
+                desc,
+                ctr,
+                end: ends,
+                var: var_i.unwrap_or(0),
+                exit: NO_PC,
+            })
+        });
         let head = self.pc();
         let head_idx = match var_i {
             Some(vslot) if fused1 => {
@@ -1357,6 +1897,14 @@ impl<'a> UnitCompiler<'a> {
         let Some(Ctx::Loop { exit, cycle }) = self.ctx.pop() else { unreachable!() };
         let end_pc = self.pc();
         self.loops.push(BLoopSite { init_pc: init_idx as u32, end_pc, line: do_line });
+        if let Some(vi) = vec_idx {
+            if let BInstr::VecLoop { desc, exit, .. } = &mut self.code[vi] {
+                *exit = end_pc;
+                let d = *desc as usize;
+                // Scalar instructions per iteration: head through incr.
+                self.vecs[d].iter_cost = end_pc - head;
+            }
+        }
         if self.traced && vec != VecClass::None {
             self.push(BInstr::VecLeave);
         }

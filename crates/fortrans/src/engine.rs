@@ -101,6 +101,20 @@ pub struct RunOutcome {
     pub fallback: Option<TierFallback>,
 }
 
+/// One statically vectorized loop, as reported by
+/// [`Engine::vector_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorLoopInfo {
+    /// Unit (subroutine/function) containing the loop.
+    pub unit: String,
+    /// Source line of the DO statement.
+    pub line: u32,
+    /// Vectorized statements in the loop body.
+    pub stmts: usize,
+    /// True when the loop is a scalar reduction.
+    pub reduction: bool,
+}
+
 /// A compiled FORTRAN program with live global storage.
 ///
 /// Global state (module variables, COMMON blocks, SAVE arrays) persists
@@ -128,6 +142,10 @@ pub struct Engine {
     /// (feedback-directed rescheduling; see
     /// [`Engine::set_schedule_overrides`]).
     sched_overrides: Mutex<Arc<ScheduleOverrides>>,
+    /// Gate for the VM's vector superinstruction path; on by default.
+    vector_enabled: AtomicBool,
+    /// Loop entries that actually ran vectorized, across all runs.
+    vector_entries: Arc<AtomicU64>,
 }
 
 /// Which execution tier [`Engine::run_tiered`] uses.
@@ -171,6 +189,8 @@ impl Engine {
             fallback_count: AtomicU64::new(0),
             force_vm_trap: AtomicBool::new(false),
             sched_overrides: Mutex::new(Arc::new(ScheduleOverrides::default())),
+            vector_enabled: AtomicBool::new(true),
+            vector_entries: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -237,6 +257,46 @@ impl Engine {
     /// The currently installed schedule overrides.
     pub fn schedule_overrides(&self) -> ScheduleOverrides {
         (**self.sched_overrides.lock()).clone()
+    }
+
+    /// Enables or disables the VM's vector superinstruction path (on by
+    /// default). Disabling forces every vectorized loop back to its
+    /// scalar head — used for A/B benchmarking and differential tests;
+    /// results are bit-identical either way.
+    pub fn set_vector_enabled(&self, on: bool) {
+        self.vector_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the vector superinstruction path is enabled.
+    pub fn vector_enabled(&self) -> bool {
+        self.vector_enabled.load(Ordering::Relaxed)
+    }
+
+    /// How many loop entries actually executed on the vector path so
+    /// far (all runs, all threads). Zero after runs with the path
+    /// enabled means every candidate fell back at a runtime guard.
+    pub fn vector_entry_count(&self) -> u64 {
+        self.vector_entries.load(Ordering::Relaxed)
+    }
+
+    /// Static vectorization report: one line per loop the bytecode
+    /// compiler proved legal to vectorize, with unit name, source line,
+    /// statement count and reduction flag. Reflects the optimized
+    /// (Serial/Parallel) build; the traced build never vectorizes.
+    pub fn vector_report(&self) -> Vec<VectorLoopInfo> {
+        let bunits = self.bytecode_for(false);
+        let mut out = Vec::new();
+        for bu in bunits.iter() {
+            for d in &bu.vecs {
+                out.push(VectorLoopInfo {
+                    unit: self.prog.units[bu.unit as usize].name.clone(),
+                    line: d.line,
+                    stmts: d.stmts.len(),
+                    reduction: d.red.is_some(),
+                });
+            }
+        }
+        out
     }
 
     /// Reinitializes all global storage.
@@ -463,6 +523,8 @@ impl Engine {
             printed: Mutex::new(String::new()),
             sched_overrides: Arc::clone(&self.sched_overrides.lock()),
             limits: EffLimits::start(&self.limits),
+            vector_enabled: self.vector_enabled.load(Ordering::Relaxed),
+            vector_entries: Arc::clone(&self.vector_entries),
         }
     }
 

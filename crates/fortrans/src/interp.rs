@@ -184,6 +184,12 @@ pub struct Exec {
     pub printed: Mutex<String>,
     pub sched_overrides: Arc<ScheduleOverrides>,
     pub(crate) limits: EffLimits,
+    /// Allow the bytecode tier to take the vector superinstruction path.
+    /// Off forces every `VecLoop` to fall through to its scalar head.
+    pub vector_enabled: bool,
+    /// Count of loop entries that actually ran vectorized (all tiers,
+    /// all threads); feeds the CI vector smoke check.
+    pub vector_entries: Arc<std::sync::atomic::AtomicU64>,
 }
 
 /// Statement outcome.

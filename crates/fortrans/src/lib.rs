@@ -67,7 +67,7 @@ pub mod verify;
 pub mod vm;
 
 pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
-pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback};
+pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback, VectorLoopInfo};
 pub use error::{CompileError, RunError};
 pub use interp::{ExecMode, RunLimits, ScheduleOverrides, Val};
 pub use omprt::Schedule;

@@ -30,7 +30,9 @@
 //! engine's trap-and-fallback path) must catch — see
 //! `tests/fault_injection.rs`.
 
-use crate::bytecode::{BArg, BInstr, BUnit, PItem, VSlot, NO_PC};
+use crate::bytecode::{
+    vec_stack_effect, BArg, BInstr, BUnit, PItem, VSlot, VecOp, NO_PC, NO_SLOT, VEC_MAX_DEPTH,
+};
 use crate::error::CompileError;
 use crate::rir::RProgram;
 
@@ -222,6 +224,13 @@ impl Verifier<'_> {
                 islot(end, "DO end")?;
                 islot(var, "DO variable")?;
                 tgt(exit, "loop exit")?;
+            }
+            VecLoop { desc, ctr, end, var, exit } => {
+                islot(ctr, "DO counter")?;
+                islot(end, "DO end")?;
+                islot(var, "DO variable")?;
+                tgt(exit, "vector loop exit")?;
+                self.vec_desc_ok(desc).map_err(at)?;
             }
             DoHeadN { ctr, end, step, var, exit } => {
                 islot(ctr, "DO counter")?;
@@ -449,6 +458,11 @@ impl Verifier<'_> {
             DoHead1 { exit, .. } | DoHeadN { exit, .. } | DoHead { exit, .. } => {
                 return Ok(vec![(pc + 1, d), (exit, d)]);
             }
+            // A vector loop either completes and jumps to `exit` or falls
+            // through to its scalar head; its lane stack is internal to
+            // the descriptor (checked structurally), so both successors
+            // see the incoming depths unchanged.
+            VecLoop { exit, .. } => return Ok(vec![(pc + 1, d), (exit, d)]),
             DoIncr1 { head, .. } | DoIncr { head, .. } => return Ok(vec![(head, d)]),
             CheckStepNZ => {
                 if s == 0 {
@@ -528,6 +542,104 @@ impl Verifier<'_> {
             }
         }
         Ok(vec![(pc + 1, (s, a, t))])
+    }
+
+    // ---------- vector descriptor checks ----------
+
+    /// Validates one vector-loop descriptor: every access names an
+    /// in-range array slot, every lane program references only declared
+    /// accesses/slots and balances its lane stack within the declared
+    /// depth, map statements end in a store to a written access, and a
+    /// reduction descriptor is a single program folding into a scalar
+    /// f64 slot. The VM's chunked executor indexes lanes and access
+    /// streams without bounds checks on the strength of these.
+    fn vec_desc_ok(&self, desc: u32) -> Result<(), String> {
+        let bu = self.bu;
+        let d = bu
+            .vecs
+            .get(desc as usize)
+            .ok_or_else(|| format!("vector descriptor {desc} out of range"))?;
+        if d.max_depth > VEC_MAX_DEPTH {
+            return Err(format!("vector lane depth {} exceeds cap {VEC_MAX_DEPTH}", d.max_depth));
+        }
+        for a in &d.accesses {
+            self.slot_ok(bu, a.vs)?;
+            self.var_ok(a.v)?;
+            if !matches!(a.vs, VSlot::A(_) | VSlot::GlobA(_)) {
+                return Err(format!("vector access slot {:?} is not an array", a.vs));
+            }
+            if a.subs.is_empty() {
+                return Err("vector access has no subscripts".into());
+            }
+            for sub in &a.subs {
+                if sub.inv != NO_SLOT && sub.inv >= bu.ni {
+                    return Err(format!("vector subscript invariant i-slot {} out of range", sub.inv));
+                }
+            }
+            if a.write && a.subs.iter().all(|s| s.coeff == 0) {
+                return Err("vector write stream does not advance with the loop".into());
+            }
+        }
+        if let Some(r) = d.red {
+            match r.vs {
+                VSlot::F(s) if s < bu.nf => {}
+                VSlot::GlobS(c) if (c as usize) < self.prog.globals.len() => {}
+                vs => return Err(format!("vector reduction accumulator slot {vs:?} invalid")),
+            }
+            if d.stmts.len() != 1 {
+                return Err(format!(
+                    "vector reduction descriptor has {} statements, expected 1",
+                    d.stmts.len()
+                ));
+            }
+        }
+        for ops in &d.stmts {
+            for op in ops {
+                match *op {
+                    VecOp::Load(ai) | VecOp::Store(ai) => {
+                        if ai as usize >= d.accesses.len() {
+                            return Err(format!(
+                                "vector op references access {ai}, descriptor has {}",
+                                d.accesses.len()
+                            ));
+                        }
+                        if matches!(*op, VecOp::Store(_)) && !d.accesses[ai as usize].write {
+                            return Err(format!("vector store to read-only access {ai}"));
+                        }
+                    }
+                    VecOp::SplatF(s) if s >= bu.nf => {
+                        return Err(format!("vector splat f-slot {s} out of range"));
+                    }
+                    VecOp::SplatG(c) => self.glob_ok(c)?,
+                    VecOp::SplatI { inv, .. } if inv != NO_SLOT && inv >= bu.ni => {
+                        return Err(format!("vector splat invariant i-slot {inv} out of range"));
+                    }
+                    VecOp::Intr { argc, .. } if argc == 0 || u32::from(argc) > 8 => {
+                        return Err(format!("vector intrinsic arity {argc} out of range"));
+                    }
+                    _ => {}
+                }
+            }
+            let Some((fin, max)) = vec_stack_effect(ops) else {
+                return Err("vector statement underflows its lane stack".into());
+            };
+            let want = u32::from(d.red.is_some());
+            if fin != want {
+                return Err(format!(
+                    "vector statement leaves {fin} lanes on the stack, expected {want}"
+                ));
+            }
+            if max > d.max_depth {
+                return Err(format!(
+                    "vector statement needs {max} lanes, descriptor declares {}",
+                    d.max_depth
+                ));
+            }
+            if d.red.is_none() && !matches!(ops.last(), Some(VecOp::Store(_))) {
+                return Err("vector map statement does not end in a store".into());
+            }
+        }
+        Ok(())
     }
 
     // ---------- helpers ----------
@@ -670,7 +782,7 @@ pub mod mutate {
             return None;
         }
         let u = units[rng.below(units.len())];
-        const KINDS: usize = 6;
+        const KINDS: usize = 8;
         let start = rng.below(KINDS);
         for k in 0..KINDS {
             let got = match (start + k) % KINDS {
@@ -679,6 +791,8 @@ pub mod mutate {
                 2 => opcode_flip(&mut bunits[u], &mut rng),
                 3 => truncate_stream(&mut bunits[u]),
                 4 => zero_stride(&mut bunits[u]),
+                5 => vec_op_oob(&mut bunits[u], &mut rng),
+                6 => vec_unbalance(&mut bunits[u], &mut rng),
                 _ => call_arity(&mut bunits[u], &mut rng),
             };
             if let Some((kind, detail)) = got {
@@ -820,6 +934,62 @@ pub mod mutate {
             if let DoInit { check: false, .. } = bu.code[pc] {
                 bu.code[pc - 1] = Const(0);
                 return Some(("zero-stride", format!("pc {}: step constant -> 0", pc - 1)));
+            }
+        }
+        None
+    }
+
+    /// Points a vector lane op at an access stream the descriptor never
+    /// declared — the bytecode analogue of non-conformable operands.
+    fn vec_op_oob(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        let sites: Vec<usize> = (0..bu.vecs.len())
+            .filter(|&d| bu.vecs[d].stmts.iter().any(|ops| !ops.is_empty()))
+            .collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let d = sites[rng.below(sites.len())];
+        let desc = &mut bu.vecs[d];
+        let bad = desc.accesses.len() as u32 + 1 + (rng.next_u64() % 9) as u32;
+        for ops in &mut desc.stmts {
+            for op in ops.iter_mut() {
+                match op {
+                    crate::bytecode::VecOp::Load(ai) | crate::bytecode::VecOp::Store(ai) => {
+                        *ai = bad;
+                        return Some((
+                            "vec-op-oob",
+                            format!("descriptor {d}: access index -> {bad}"),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Drops the trailing store of a vector lane program, leaving the
+    /// lane stack unbalanced (a slice-length/stack-effect corruption).
+    fn vec_unbalance(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        let sites: Vec<usize> = (0..bu.vecs.len())
+            .filter(|&d| {
+                bu.vecs[d]
+                    .stmts
+                    .iter()
+                    .any(|ops| matches!(ops.last(), Some(crate::bytecode::VecOp::Store(_))))
+            })
+            .collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let d = sites[rng.below(sites.len())];
+        for (si, ops) in bu.vecs[d].stmts.iter_mut().enumerate() {
+            if matches!(ops.last(), Some(crate::bytecode::VecOp::Store(_))) {
+                ops.pop();
+                return Some((
+                    "vec-unbalance",
+                    format!("descriptor {d}: dropped trailing store of statement {si}"),
+                ));
             }
         }
         None

@@ -20,7 +20,10 @@ use std::sync::Arc;
 use omprt::{chunks_for, ThreadPool};
 use parking_lot::Mutex;
 
-use crate::bytecode::{BArg, BInstr, BUnit, Cmp, OmpDesc, PItem, RedSpec, VSlot, NO_PC};
+use crate::bytecode::{
+    BArg, BInstr, BUnit, Cmp, OmpDesc, PItem, RedSpec, VSlot, VecOp, VecRedOp, NO_PC, NO_SLOT,
+    VEC_CHUNK,
+};
 use crate::cost::{CostCounters, CostTrace, RegionEvent};
 use crate::engine::ArgVal;
 use crate::error::RunError;
@@ -184,6 +187,12 @@ pub(crate) struct Vm<'e, const TRACE: bool> {
     cur_pc: u32,
     /// Instructions retired, for the `RunLimits` step budget.
     steps: u64,
+    /// Lane scratch for the vector superinstruction path: `max_depth`
+    /// stacked lanes of [`VEC_CHUNK`] f64 each, reused across loops.
+    vbuf: Vec<f64>,
+    /// Resolved access streams `(handle, base, stride)` for the vector
+    /// path, reused across loop entries to avoid per-entry allocation.
+    vres: Vec<(Arc<ArrayObj>, i64, i64)>,
 }
 
 impl<'e, const TRACE: bool> Vm<'e, TRACE> {
@@ -208,6 +217,8 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             cur_uidx: 0,
             cur_pc: 0,
             steps: 0,
+            vbuf: Vec::new(),
+            vres: Vec::new(),
         }
     }
 
@@ -413,6 +424,289 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             self.tr.vec_mode = snap.0;
             self.tr.vec_stack.truncate(snap.1);
         }
+    }
+
+    // ---------- vector superinstruction execution ----------
+
+    /// Executes a vectorized unit-stride DO loop in chunked slice form.
+    ///
+    /// Returns `Ok(true)` when the whole loop ran on the vector path
+    /// (caller jumps to `exit`). `Ok(false)` means a runtime guard
+    /// failed; no state was touched and the caller falls through to the
+    /// scalar `DoHead1`, which re-runs the loop with the exact scalar
+    /// semantics — including producing the bounds/limit error at the
+    /// precise faulting iteration. All guards run before the first
+    /// element is written, so a loop either completes vectorized or
+    /// executes fully scalar; results are bit-identical either way.
+    fn exec_vec_loop(
+        &mut self,
+        frame: &mut VFrame,
+        bu: &'e BUnit,
+        desc: u32,
+        ctr: u32,
+        end: u32,
+        var: u32,
+    ) -> Result<bool, RunError> {
+        // Traced builds never emit VecLoop; profiled runs want
+        // per-iteration loop events, so they take the scalar path.
+        if TRACE || !self.ex.vector_enabled || self.prof.is_some() {
+            return Ok(false);
+        }
+        let d = &bu.vecs[desc as usize];
+        let lo = frame.i[ctr as usize];
+        let hi = frame.i[end as usize];
+        let n = match hi.checked_sub(lo).and_then(|x| x.checked_add(1)) {
+            Some(x) if x > 0 => x,
+            _ => return Ok(false), // zero-trip: scalar head exits at once
+        };
+        // Pre-reserve the steps the scalar loop would retire. If the
+        // budget can't cover them, run scalar so it trips with the
+        // stock error at the right iteration.
+        let cost = (n as u64).saturating_mul(u64::from(d.iter_cost));
+        if let Some(max) = self.ex.limits.max_steps {
+            if self.steps.saturating_add(cost) > max {
+                return Ok(false);
+            }
+        }
+        // Resolve every access stream up front: array handle, flat base
+        // offset at iteration `lo`, and per-iteration element stride,
+        // with per-dimension bounds proven for the whole range.
+        let uidx = self.cur_uidx;
+        let mut rt = std::mem::take(&mut self.vres);
+        rt.clear();
+        let give_up = |vm: &mut Self, mut rt: Vec<(Arc<ArrayObj>, i64, i64)>| {
+            rt.clear();
+            vm.vres = rt;
+            Ok(false)
+        };
+        for a in &d.accesses {
+            let Ok(h) = self.handle_in(uidx, frame, a.vs, a.v) else {
+                return give_up(self, rt);
+            };
+            if h.ty != ScalarTy::F || h.dims.len() != a.subs.len() {
+                return give_up(self, rt);
+            }
+            let mut base: i64 = 0;
+            let mut stride: i64 = 0;
+            let mut dim_stride: i64 = 1;
+            for (sub, &(dlo, dhi)) in a.subs.iter().zip(h.dims.iter()) {
+                let inv = match sub.inv {
+                    NO_SLOT => 0,
+                    s => frame.i[s as usize],
+                };
+                let at = |i: i64| {
+                    sub.coeff.checked_mul(i).and_then(|x| x.checked_add(sub.add)).and_then(|x| {
+                        x.checked_add(inv)
+                    })
+                };
+                let (Some(at_lo), Some(at_hi)) = (at(lo), at(hi)) else {
+                    return give_up(self, rt);
+                };
+                // The subscript is affine in i, so its extrema over the
+                // range sit at the endpoints.
+                let (mn, mx) = if at_lo <= at_hi { (at_lo, at_hi) } else { (at_hi, at_lo) };
+                if mn < dlo || mx > dhi {
+                    return give_up(self, rt);
+                }
+                let Some(ds) = sub.coeff.checked_mul(dim_stride) else {
+                    return give_up(self, rt);
+                };
+                base += (at_lo - dlo) * dim_stride;
+                stride += ds;
+                dim_stride *= (dhi - dlo + 1).max(0);
+            }
+            rt.push((h, base, stride));
+        }
+        // Aliasing: compile time only proved distinct *slots*. If a
+        // written stream shares storage with any other stream they must
+        // walk the exact same cells (a loop-independent dependence the
+        // per-element statement order already honors); anything else —
+        // offset overlap, different strides — re-runs scalar.
+        for (i, a) in d.accesses.iter().enumerate() {
+            for (j, b) in d.accesses.iter().enumerate().skip(i + 1) {
+                if !(a.write || b.write) {
+                    continue;
+                }
+                if Arc::ptr_eq(&rt[i].0, &rt[j].0) && (rt[i].1 != rt[j].1 || rt[i].2 != rt[j].2) {
+                    return give_up(self, rt);
+                }
+            }
+        }
+        // Committed: all guards passed.
+        self.steps = self.steps.saturating_add(cost);
+        self.ex.vector_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if !d.stmts.is_empty() {
+            let depth = (d.max_depth as usize).max(1);
+            let mut vbuf = std::mem::take(&mut self.vbuf);
+            vbuf.clear();
+            vbuf.resize(depth * VEC_CHUNK, 0.0);
+            let mut args = [0.0f64; 8];
+            let mut acc = d.red.map(|r| match r.vs {
+                VSlot::F(s) => frame.f[s as usize],
+                VSlot::GlobS(c) => {
+                    f64::from_bits(self.ex.globals.cells[c as usize].load_bits(self.tid))
+                }
+                _ => unreachable!("verified reduction accumulator slot"),
+            });
+            let mut k0: i64 = 0;
+            while k0 < n {
+                // The scalar tick() only polls the deadline every 1024
+                // steps; checking every chunk is at least as prompt.
+                if self.ex.limits.deadline.is_some() {
+                    if let Err(e) = self.ex.limits.check_deadline() {
+                        self.vbuf = vbuf;
+                        rt.clear();
+                        self.vres = rt;
+                        return Err(e);
+                    }
+                }
+                let m = ((n - k0) as usize).min(VEC_CHUNK);
+                for ops in &d.stmts {
+                    let mut dep = 0usize;
+                    for op in ops {
+                        match *op {
+                            VecOp::Load(ai) => {
+                                let (h, base, stride) = &rt[ai as usize];
+                                let mut off = base + stride * k0;
+                                for x in &mut vbuf[dep * VEC_CHUNK..dep * VEC_CHUNK + m] {
+                                    *x = h.get_f(off as usize);
+                                    off += stride;
+                                }
+                                dep += 1;
+                            }
+                            VecOp::Splat(c) => {
+                                vbuf[dep * VEC_CHUNK..dep * VEC_CHUNK + m].fill(c);
+                                dep += 1;
+                            }
+                            VecOp::SplatF(s) => {
+                                vbuf[dep * VEC_CHUNK..dep * VEC_CHUNK + m]
+                                    .fill(frame.f[s as usize]);
+                                dep += 1;
+                            }
+                            VecOp::SplatG(c) => {
+                                let v = f64::from_bits(
+                                    self.ex.globals.cells[c as usize].load_bits(self.tid),
+                                );
+                                vbuf[dep * VEC_CHUNK..dep * VEC_CHUNK + m].fill(v);
+                                dep += 1;
+                            }
+                            VecOp::SplatI { coeff, add, inv } => {
+                                let invv = match inv {
+                                    NO_SLOT => 0,
+                                    s => frame.i[s as usize],
+                                };
+                                let i0 = lo.wrapping_add(k0);
+                                for (j, x) in vbuf[dep * VEC_CHUNK..dep * VEC_CHUNK + m]
+                                    .iter_mut()
+                                    .enumerate()
+                                {
+                                    let i = i0.wrapping_add(j as i64);
+                                    *x = coeff.wrapping_mul(i).wrapping_add(add).wrapping_add(invv)
+                                        as f64;
+                                }
+                                dep += 1;
+                            }
+                            VecOp::Add | VecOp::Sub | VecOp::Mul | VecOp::Div | VecOp::Pow => {
+                                let at = (dep - 2) * VEC_CHUNK;
+                                let (a, b) = vbuf[at..].split_at_mut(VEC_CHUNK);
+                                let (a, b) = (&mut a[..m], &b[..m]);
+                                match *op {
+                                    VecOp::Add => {
+                                        for (x, y) in a.iter_mut().zip(b) {
+                                            *x += y;
+                                        }
+                                    }
+                                    VecOp::Sub => {
+                                        for (x, y) in a.iter_mut().zip(b) {
+                                            *x -= y;
+                                        }
+                                    }
+                                    VecOp::Mul => {
+                                        for (x, y) in a.iter_mut().zip(b) {
+                                            *x *= y;
+                                        }
+                                    }
+                                    VecOp::Div => {
+                                        for (x, y) in a.iter_mut().zip(b) {
+                                            *x /= y;
+                                        }
+                                    }
+                                    _ => {
+                                        for (x, &y) in a.iter_mut().zip(b.iter()) {
+                                            *x = x.powf(y);
+                                        }
+                                    }
+                                }
+                                dep -= 1;
+                            }
+                            VecOp::PowI(e) => {
+                                let at = (dep - 1) * VEC_CHUNK;
+                                for x in &mut vbuf[at..at + m] {
+                                    *x = x.powi(e);
+                                }
+                            }
+                            VecOp::Neg => {
+                                let at = (dep - 1) * VEC_CHUNK;
+                                for x in &mut vbuf[at..at + m] {
+                                    *x = -*x;
+                                }
+                            }
+                            VecOp::Intr { f, argc } => {
+                                let na = argc as usize;
+                                dep -= na;
+                                for j in 0..m {
+                                    for (t, a) in args.iter_mut().enumerate().take(na) {
+                                        *a = vbuf[(dep + t) * VEC_CHUNK + j];
+                                    }
+                                    vbuf[dep * VEC_CHUNK + j] = f.eval_f(&args[..na]);
+                                }
+                                dep += 1;
+                            }
+                            VecOp::Store(ai) => {
+                                dep -= 1;
+                                let (h, base, stride) = &rt[ai as usize];
+                                let mut off = base + stride * k0;
+                                for &x in &vbuf[dep * VEC_CHUNK..dep * VEC_CHUNK + m] {
+                                    h.set_f(off as usize, x);
+                                    off += stride;
+                                }
+                            }
+                        }
+                    }
+                }
+                if let (Some(r), Some(a)) = (d.red, acc.as_mut()) {
+                    // The single reduction program left its term lanes
+                    // at depth 0; fold them in iteration order with the
+                    // accumulator on the side it held in source.
+                    for &t in &vbuf[..m] {
+                        *a = match (r.op, r.acc_left) {
+                            (VecRedOp::Add, true) => *a + t,
+                            (VecRedOp::Add, false) => t + *a,
+                            (VecRedOp::Mul, true) => *a * t,
+                            (VecRedOp::Mul, false) => t * *a,
+                        };
+                    }
+                }
+                k0 += m as i64;
+            }
+            if let (Some(r), Some(a)) = (d.red, acc) {
+                match r.vs {
+                    VSlot::F(s) => frame.f[s as usize] = a,
+                    VSlot::GlobS(c) => {
+                        self.ex.globals.cells[c as usize].store_bits(self.tid, a.to_bits());
+                    }
+                    _ => unreachable!("verified reduction accumulator slot"),
+                }
+            }
+            self.vbuf = vbuf;
+        }
+        rt.clear();
+        self.vres = rt;
+        // Leave the DO state exactly as the scalar head/incr would:
+        // the variable holds the last iteration, the counter one past.
+        frame.i[var as usize] = hi;
+        frame.i[ctr as usize] = hi.wrapping_add(1);
+        Ok(true)
     }
 
     // ---------- the dispatch loop ----------
@@ -939,6 +1233,13 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                             p.loop_enter(site.line, site.end_pc);
                         }
                     }
+                }
+                BInstr::VecLoop { desc, ctr, end, var, exit } => {
+                    if self.exec_vec_loop(frame, bu, desc, ctr, end, var)? {
+                        pc = exit as usize;
+                        continue;
+                    }
+                    // Guard failed: fall through to the scalar head.
                 }
                 BInstr::DoInit { ctr, end, step, check } => {
                     let st = self.popi();

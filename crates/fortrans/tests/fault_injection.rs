@@ -243,6 +243,8 @@ fn seeded_corruptions_are_all_rejected_by_the_verifier() {
         "truncated-stream",
         "zero-stride",
         "call-arity",
+        "vec-op-oob",
+        "vec-unbalance",
     ] {
         assert!(by_kind.contains_key(kind), "mutation kind {kind} never applied: {by_kind:?}");
     }

@@ -414,8 +414,6 @@ fn every_corpus_program_verifies_in_both_variants() {
 /// corruption, not a pre-existing violation.
 #[test]
 fn rejection_baselines_are_clean() {
-    for src in [BRANCHY] {
-        let (engine, bunits) = compiled(src);
-        verify_program(engine.program(), &bunits).expect("baseline verifies");
-    }
+    let (engine, bunits) = compiled(BRANCHY);
+    verify_program(engine.program(), &bunits).expect("baseline verifies");
 }

@@ -24,6 +24,10 @@ pub struct Fun3dConfig {
     pub par_edge_loop: bool,
     pub par_ioff_search: bool,
     pub no_realloc: bool,
+    /// Apply the optimization back-end's cost-driven loop fusion before
+    /// code generation (merges edge_loop's run of conformable 1..5
+    /// temporaries loops). Not part of Fig. 7's option matrix.
+    pub fuse: bool,
 }
 
 impl Fun3dConfig {
@@ -47,7 +51,11 @@ impl Fun3dConfig {
             parts.push("IOff");
         }
         let levels = if parts.is_empty() { "serial".to_string() } else { parts.join("+") };
-        format!("{levels}{}", if self.no_realloc { " noRealloc" } else { "" })
+        format!(
+            "{levels}{}{}",
+            if self.no_realloc { " noRealloc" } else { "" },
+            if self.fuse { " fused" } else { "" }
+        )
     }
 
     /// The 32 combinations of Fig. 7's option matrix.
@@ -60,6 +68,7 @@ impl Fun3dConfig {
                 par_edge_loop: bits & 4 != 0,
                 par_ioff_search: bits & 8 != 0,
                 no_realloc: bits & 16 != 0,
+                fuse: false,
             });
         }
         out
@@ -138,7 +147,11 @@ pub fn build_engine(variant: Fun3dVariant) -> Engine {
             Engine::compile(&[MESH_MOD_SRC, MANUAL_JACOBIAN_SRC]).expect("manual compiles")
         }
         Fun3dVariant::Glaf(cfg) => {
-            let g = Glaf::new(build_fun3d_program()).expect("GLAF FUN3D program is valid");
+            let mut g = Glaf::new(build_fun3d_program()).expect("GLAF FUN3D program is valid");
+            if cfg.fuse {
+                let fused = g.fuse();
+                assert!(!fused.is_empty(), "edge_loop's temporaries loops fuse");
+            }
             let generated = g.generate(glaf::Lang::Fortran, &cfg.codegen_options());
             Engine::compile(&[MESH_MOD_SRC, &generated.source])
                 .unwrap_or_else(|e| panic!("generated code compiles: {e}\n{}", generated.source))
@@ -208,6 +221,46 @@ mod tests {
         assert_eq!(r.max_abs_diff, 0.0, "{r:?}");
     }
 
+    /// Fusion must not change a single bit of the serial answer: the
+    /// fused edge_loop interleaves only same-iteration chains.
+    #[test]
+    fn fused_serial_matches_original_bitwise() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        let cfg = Fun3dConfig { fuse: true, ..Default::default() };
+        let fused = run_real(Fun3dVariant::Glaf(cfg), NC, 1);
+        let r = compare_slices(&base, &fused);
+        assert_eq!(r.max_abs_diff, 0.0, "{r:?}");
+    }
+
+    #[test]
+    fn fused_parallel_passes_rms() {
+        let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
+        let cfg = Fun3dConfig { fuse: true, ..Fun3dConfig::best() };
+        let jac = run_real(Fun3dVariant::Glaf(cfg), NC, 4);
+        assert!(compare_slices(&base, &jac).passes_rms(1e-7));
+    }
+
+    #[test]
+    fn fusion_merges_the_edge_loop_temporaries_run() {
+        let mut g = Glaf::new(build_fun3d_program()).expect("valid");
+        let reports = g.fuse();
+        let edge = reports
+            .iter()
+            .find(|r| r.function == "edge_loop")
+            .expect("edge_loop has a fusable run");
+        assert!(edge.fused >= 10, "ten adjacent m=1..5 loops fuse: {edge:?}");
+        assert!(edge.gain_cycles > 0.0);
+        let log = g.decision_log();
+        let d = log
+            .for_function("edge_loop")
+            .into_iter()
+            .find(|d| d.step_index == edge.step_index)
+            .expect("fused loop has a decision record");
+        let f = d.fusion.as_ref().expect("fusion rationale recorded");
+        assert!(f.contains("state difference"), "{f}");
+        assert!(log.render().contains("fusion: fused"), "{}", log.render());
+    }
+
     #[test]
     fn no_realloc_does_not_change_results() {
         let base = run_real(Fun3dVariant::OriginalSerial, NC, 1);
@@ -259,8 +312,11 @@ mod tests {
             par_edge_loop: true,
             par_ioff_search: true,
             no_realloc: false,
+            fuse: false,
         };
         assert_eq!(full.tag(), "EdgeJP+Cell+Edge+IOff");
+        let fused = Fun3dConfig { fuse: true, ..Fun3dConfig::best() };
+        assert_eq!(fused.tag(), "EdgeJP noRealloc fused");
     }
 
     #[test]

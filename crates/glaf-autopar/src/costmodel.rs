@@ -40,6 +40,10 @@ pub struct CostParams {
     pub cycles_per_node: f64,
     /// Assumed trip count when a bound is not a literal.
     pub default_trip: u64,
+    /// Cycles of per-loop entry/exit overhead (counter setup, bounds
+    /// load, end-of-loop bookkeeping) — what fusing adjacent loops saves
+    /// once per eliminated loop, on top of the reuse benefit.
+    pub loop_entry_cycles: f64,
     /// Minimum (estimated) trip count at which an irregular loop is
     /// scheduled `GUIDED` instead of `DYNAMIC`: with many iterations the
     /// geometrically decaying chunks amortize dispatch overhead while
@@ -57,6 +61,7 @@ impl Default for CostParams {
             memset_speedup: 16.0,
             cycles_per_node: 3.0,
             default_trip: 64,
+            loop_entry_cycles: 12.0,
             guided_trip_threshold: 512,
         }
     }
@@ -235,6 +240,38 @@ impl CostAdvisor {
             why: "uniform affine iterations; static block partition has no dispatch overhead"
                 .into(),
         })
+    }
+
+    /// Predicted saving (in cycles) from fusing a run of conformable
+    /// loops, with the rationale. Two first-order effects: each
+    /// eliminated loop saves its entry/exit overhead, and every grid
+    /// touched by more than one member of the run stays hot across the
+    /// fused body instead of being re-streamed per loop (one avoided
+    /// reload per iteration per shared grid).
+    pub fn fuse_gain(&self, nests: &[LoopNest]) -> (f64, String) {
+        let k = nests.len();
+        if k < 2 {
+            return (0.0, "a single loop has nothing to fuse".into());
+        }
+        let trip = self.trip_count(&nests[0]) as f64;
+        let entry_saved = (k - 1) as f64 * self.params.loop_entry_cycles;
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for nest in nests {
+            let grids: std::collections::BTreeSet<String> =
+                crate::access::collect_accesses(nest).into_iter().map(|a| a.grid).collect();
+            for g in grids {
+                *counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        let shared = counts.values().filter(|&&c| c >= 2).count();
+        let reuse_saved = shared as f64 * trip * self.params.cycles_per_node;
+        let gain = entry_saved + reuse_saved;
+        let why = format!(
+            "fusing {k} loops saves {entry_saved:.0} cycles of loop entry overhead and \
+             keeps {shared} shared grid(s) hot across {trip:.0} iterations \
+             (predicted gain {gain:.0} cycles)",
+        );
+        (gain, why)
     }
 
     /// The recommendation for this loop.

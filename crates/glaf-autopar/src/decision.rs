@@ -55,6 +55,10 @@ pub struct LoopDecision {
     /// The advisor's `SCHEDULE(...)` pick with rationale; `None` when the
     /// loop is not parallelized.
     pub schedule: Option<ScheduleChoice>,
+    /// When this loop is the product of the optimization back-end's loop
+    /// fusion, the fusion rationale (set by the fusing caller — plain
+    /// analysis leaves it `None`).
+    pub fusion: Option<String>,
     /// Dependence tests executed while planning, deduplicated and sorted.
     pub deps: Vec<DepRecord>,
     /// Reasons when `parallelizable == false`.
@@ -95,6 +99,9 @@ impl DecisionLog {
             out.push('\n');
             if let Some(sc) = &l.schedule {
                 out.push_str(&format!("  schedule rationale: {}\n", sc.why));
+            }
+            if let Some(fu) = &l.fusion {
+                out.push_str(&format!("  fusion: {fu}\n"));
             }
             if !l.private.is_empty() {
                 out.push_str(&format!("  private: {}\n", l.private.join(", ")));
@@ -154,6 +161,7 @@ pub fn analyze_function_with_log(
                 atomic: plan.atomic.clone(),
                 advisor: advisor.decide(nest, &plan),
                 schedule: plan.schedule.clone(),
+                fusion: None,
                 deps: deps.into_iter().collect(),
                 blockers: plan.blockers.clone(),
             });

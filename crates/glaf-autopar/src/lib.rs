@@ -28,8 +28,9 @@
 //!    paper proposes as future work (§4.1.2): predicts whether threading a
 //!    loop beats leaving it to compiler SIMD, and guides directive
 //!    placement automatically.
-//! 9. [`transform`] — the optimization back-end's loop-interchange option
-//!    (§2.1) with a dependence-based legality check.
+//! 9. [`transform`] — the optimization back-end's loop-interchange and
+//!    loop-fusion options (§2.1) with dependence-based legality checks
+//!    and a cost-driven fusion driver.
 
 pub mod access;
 pub mod affine;
@@ -53,4 +54,7 @@ pub use depend::{test_dependence, test_dependence_explained, DepEvidence, DepRes
 pub use plan::{analyze_function, analyze_program, FunctionPlan, LoopPlan, ProgramPlan, RedOp};
 pub use privatize::find_private_scalars;
 pub use reduction::{find_reductions, Reduction};
-pub use transform::{interchange, interchange_legal, InterchangeError};
+pub use transform::{
+    fuse, fuse_legal, fuse_program, interchange, interchange_legal, FusionError, FusionReport,
+    InterchangeError,
+};

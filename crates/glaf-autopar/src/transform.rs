@@ -17,10 +17,22 @@
 //! This is conservative (it rejects some legal interchanges, e.g. ones
 //! whose carried dependences keep positive direction after the swap) but
 //! never unsound.
+//!
+//! The module also provides **loop fusion** over adjacent conformable
+//! single loops ([`fuse`], [`fuse_program`]). Fusing interleaves the
+//! bodies iteration-by-iteration, so it is legal when every same-grid
+//! access pair of the combined body is free of loop-carried dependences
+//! on the shared index: same-iteration (loop-independent) producer/
+//! consumer chains keep their statement order inside the fused body,
+//! while a carried dependence could read a value the unfused schedule
+//! had already (or not yet) written. [`fuse_program`] is the cost-driven
+//! driver: it fuses each maximal legal run only when the
+//! [`CostAdvisor`](crate::costmodel::CostAdvisor) predicts a gain.
 
-use glaf_ir::{Program, StepBody};
+use glaf_ir::{Callee, Expr, LoopNest, Program, Step, StepBody, Stmt};
 
 use crate::access::{collect_accesses, AccessKind};
+use crate::costmodel::CostAdvisor;
 use crate::depend::test_dependence;
 use crate::reduction::find_reductions;
 
@@ -146,6 +158,254 @@ pub fn interchange(
     unreachable!("legality check resolved the function");
 }
 
+/// Why a fusion was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    NoSuchFunction(String),
+    NotALoopStep { function: String, step: usize },
+    /// A run of fewer than two loops has nothing to fuse.
+    NothingToFuse { function: String, step: usize },
+    /// The loops cannot be interleaved as written: differing headers,
+    /// nesting, conditions, control flow, calls, or scalar writes.
+    NotConformable { function: String, step: usize, why: String },
+    /// The legality check failed for this grid/index.
+    CarriedDependence { grid: String, index: String },
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::NoSuchFunction(n) => write!(f, "no function `{n}`"),
+            FusionError::NotALoopStep { function, step } => {
+                write!(f, "{function} step {step} is not a loop")
+            }
+            FusionError::NothingToFuse { function, step } => {
+                write!(f, "{function} step {step}: need at least two loops to fuse")
+            }
+            FusionError::NotConformable { function, step, why } => {
+                write!(f, "{function} step {step}: {why}")
+            }
+            FusionError::CarriedDependence { grid, index } => {
+                write!(f, "carried dependence on `{grid}` over index `{index}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Checks that the loop at `step` is a depth-1 unit-stride unconditional
+/// `DO` whose body is straight-line assignments to grids — the only shape
+/// the fuser interleaves.
+fn fusable_shape(function: &str, step: usize, nest: &LoopNest) -> Result<(), FusionError> {
+    let refuse = |why: String| {
+        Err(FusionError::NotConformable { function: function.to_string(), step, why })
+    };
+    if nest.ranges.len() != 1 {
+        return refuse(format!("nest depth {} != 1", nest.ranges.len()));
+    }
+    if nest.ranges[0].step != Expr::IntLit(1) {
+        return refuse("non-unit loop step".into());
+    }
+    if nest.condition.is_some() {
+        return refuse("loop-level condition".into());
+    }
+    for s in &nest.body {
+        if s.has_control() || s.has_call() {
+            return refuse("body has control flow or subroutine calls".into());
+        }
+        let mut user_call = false;
+        s.walk_exprs(&mut |e| {
+            if let Expr::Call { callee: Callee::User(_), .. } = e {
+                user_call = true;
+            }
+        });
+        if user_call {
+            return refuse("body calls a user function".into());
+        }
+        if let Stmt::Assign { target, .. } = s {
+            if target.indices.is_empty() {
+                return refuse(format!("body writes scalar `{}`", target.grid));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks whether the `count` consecutive loop steps of `function`
+/// starting at `first_step` may be fused into one loop.
+pub fn fuse_legal(
+    program: &Program,
+    function: &str,
+    first_step: usize,
+    count: usize,
+) -> Result<(), FusionError> {
+    if count < 2 {
+        return Err(FusionError::NothingToFuse {
+            function: function.to_string(),
+            step: first_step,
+        });
+    }
+    let (_, func) = program
+        .find_function(function)
+        .ok_or_else(|| FusionError::NoSuchFunction(function.to_string()))?;
+    let mut nests = Vec::with_capacity(count);
+    for step in first_step..first_step + count {
+        let nest = func
+            .steps
+            .get(step)
+            .and_then(|s| s.as_loop())
+            .ok_or(FusionError::NotALoopStep { function: function.to_string(), step })?;
+        fusable_shape(function, step, nest)?;
+        nests.push(nest);
+    }
+    let head = &nests[0].ranges[0];
+    for (k, nest) in nests.iter().enumerate().skip(1) {
+        if nest.ranges[0] != *head {
+            return Err(FusionError::NotConformable {
+                function: function.to_string(),
+                step: first_step + k,
+                why: format!(
+                    "loop header `{}` differs from the run's `{}`",
+                    nest.ranges[0].var, head.var
+                ),
+            });
+        }
+    }
+
+    // Legality on the combined body: fusing interleaves iterations, so
+    // every same-grid pair touching a write must be distance-0 safe on
+    // the shared index (no loop-carried dependence in either direction).
+    let combined = LoopNest {
+        ranges: vec![head.clone()],
+        condition: None,
+        body: nests.iter().flat_map(|n| n.body.iter().cloned()).collect(),
+    };
+    let var = head.var.clone();
+    let accesses = collect_accesses(&combined);
+    for a in &accesses {
+        if a.kind != AccessKind::Write {
+            continue;
+        }
+        for other in &accesses {
+            if other.grid != a.grid {
+                continue;
+            }
+            if !test_dependence(a, other, &var).allows_parallel() {
+                return Err(FusionError::CarriedDependence {
+                    grid: a.grid.clone(),
+                    index: var.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fuses the `count` consecutive loop steps of `function` starting at
+/// `first_step` into one loop step (after a successful legality check).
+/// Bodies concatenate in step order; labels join with ` + `.
+pub fn fuse(
+    program: &mut Program,
+    function: &str,
+    first_step: usize,
+    count: usize,
+) -> Result<(), FusionError> {
+    fuse_legal(program, function, first_step, count)?;
+    for module in &mut program.modules {
+        if let Some(func) = module.functions.iter_mut().find(|f| f.name == function) {
+            let run: Vec<Step> = func.steps.drain(first_step..first_step + count).collect();
+            let labels: Vec<String> = run.iter().filter_map(|s| s.label.clone()).collect();
+            let mut ranges = None;
+            let mut body = Vec::new();
+            for step in run {
+                if let StepBody::Loop(nest) = step.body {
+                    ranges.get_or_insert(nest.ranges);
+                    body.extend(nest.body);
+                }
+            }
+            func.steps.insert(
+                first_step,
+                Step {
+                    label: if labels.is_empty() { None } else { Some(labels.join(" + ")) },
+                    body: StepBody::Loop(LoopNest {
+                        ranges: ranges.expect("legality check saw count >= 2 loops"),
+                        condition: None,
+                        body,
+                    }),
+                },
+            );
+            return Ok(());
+        }
+    }
+    unreachable!("legality check resolved the function");
+}
+
+/// One fusion the driver performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionReport {
+    pub function: String,
+    /// Step index of the fused loop in the rewritten function.
+    pub step_index: usize,
+    /// How many original loops were merged.
+    pub fused: usize,
+    /// Labels of the merged steps, in order.
+    pub labels: Vec<String>,
+    /// The advisor's predicted saving in cycles.
+    pub gain_cycles: f64,
+    /// The advisor's rationale.
+    pub why: String,
+}
+
+/// The cost-driven fusion driver: greedily fuses each maximal run of
+/// adjacent conformable loops whose fusion is legal and which `advisor`
+/// predicts to be profitable. Returns one report per fusion performed.
+pub fn fuse_program(program: &mut Program, advisor: &CostAdvisor) -> Vec<FusionReport> {
+    let functions: Vec<String> = program
+        .modules
+        .iter()
+        .flat_map(|m| m.functions.iter().map(|f| f.name.clone()))
+        .collect();
+    let mut reports = Vec::new();
+    for name in functions {
+        let mut step = 0usize;
+        while let Some(steps_len) = program.find_function(&name).map(|(_, f)| f.steps.len()) {
+            if step >= steps_len {
+                break;
+            }
+            let mut run = 1usize;
+            while fuse_legal(program, &name, step, run + 1).is_ok() {
+                run += 1;
+            }
+            if run >= 2 {
+                let (_, func) = program.find_function(&name).expect("function resolved above");
+                let nests: Vec<LoopNest> = func.steps[step..step + run]
+                    .iter()
+                    .filter_map(|s| s.as_loop().cloned())
+                    .collect();
+                let (gain, why) = advisor.fuse_gain(&nests);
+                if gain > 0.0 {
+                    let labels: Vec<String> = func.steps[step..step + run]
+                        .iter()
+                        .filter_map(|s| s.label.clone())
+                        .collect();
+                    fuse(program, &name, step, run).expect("legality was just established");
+                    reports.push(FusionReport {
+                        function: name.clone(),
+                        step_index: step,
+                        fused: run,
+                        labels,
+                        gain_cycles: gain,
+                        why,
+                    });
+                }
+            }
+            step += 1;
+        }
+    }
+    reports
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +512,145 @@ mod tests {
             interchange_legal(&p, "nosuch", 0),
             Err(InterchangeError::NoSuchFunction(_))
         ));
+    }
+
+    fn producer_consumer() -> Program {
+        // a(i) = b(i) * 2  followed by  c(i) = a(i) + 1: a same-iteration
+        // (loop-independent) chain — fusable.
+        let a = Grid::build("a").typed(DataType::Real8).dim1(64).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(64).finish().unwrap();
+        let c = Grid::build("c").typed(DataType::Real8).dim1(64).finish().unwrap();
+        ProgramBuilder::new()
+            .module("m")
+            .subroutine("pc")
+            .param(a)
+            .param(b)
+            .param(c)
+            .loop_step("produce")
+            .foreach("i", Expr::int(1), Expr::int(64))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("b", vec![Expr::idx("i")]) * Expr::real(2.0),
+            )
+            .done()
+            .loop_step("consume")
+            .foreach("i", Expr::int(1), Expr::int(64))
+            .formula(
+                LValue::at("c", vec![Expr::idx("i")]),
+                Expr::at("a", vec![Expr::idx("i")]) + Expr::real(1.0),
+            )
+            .done()
+            .done()
+            .done()
+            .finish()
+    }
+
+    #[test]
+    fn conformable_producer_consumer_fuses() {
+        let mut p = producer_consumer();
+        fuse(&mut p, "pc", 0, 2).unwrap();
+        let (_, f) = p.find_function("pc").unwrap();
+        assert_eq!(f.steps.len(), 1);
+        assert_eq!(f.steps[0].label.as_deref(), Some("produce + consume"));
+        let nest = f.steps[0].as_loop().unwrap();
+        assert_eq!(nest.ranges.len(), 1);
+        assert_eq!(nest.body.len(), 2);
+    }
+
+    #[test]
+    fn backward_carried_dependence_blocks_fusion() {
+        // Second loop reads a(i+1), written by the first: fused, iteration
+        // i would read a stale a(i+1). Must be refused.
+        let a = Grid::build("a").typed(DataType::Real8).dim1(64).finish().unwrap();
+        let c = Grid::build("c").typed(DataType::Real8).dim1(64).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("shift")
+            .param(a)
+            .param(c)
+            .loop_step("produce")
+            .foreach("i", Expr::int(1), Expr::int(63))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(1.0))
+            .done()
+            .loop_step("read shifted")
+            .foreach("i", Expr::int(1), Expr::int(63))
+            .formula(
+                LValue::at("c", vec![Expr::idx("i")]),
+                Expr::at("a", vec![Expr::idx("i") + Expr::int(1)]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let err = fuse_legal(&p, "shift", 0, 2).unwrap_err();
+        assert!(
+            matches!(&err, FusionError::CarriedDependence { grid, .. } if grid == "a"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mismatched_headers_and_scalar_writes_rejected() {
+        let a = Grid::build("a").typed(DataType::Real8).dim1(64).finish().unwrap();
+        let s = Grid::build("s").typed(DataType::Real8).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("bad")
+            .param(a)
+            .local(s)
+            .loop_step("short")
+            .foreach("i", Expr::int(1), Expr::int(32))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(0.0))
+            .done()
+            .loop_step("long")
+            .foreach("i", Expr::int(1), Expr::int(64))
+            .formula(LValue::at("a", vec![Expr::idx("i")]), Expr::real(1.0))
+            .done()
+            .loop_step("scalar acc")
+            .foreach("i", Expr::int(1), Expr::int(64))
+            .formula(
+                LValue::scalar("s"),
+                Expr::scalar("s") + Expr::at("a", vec![Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        assert!(matches!(
+            fuse_legal(&p, "bad", 0, 2),
+            Err(FusionError::NotConformable { .. })
+        ));
+        assert!(matches!(
+            fuse_legal(&p, "bad", 1, 2),
+            Err(FusionError::NotConformable { .. })
+        ));
+        assert!(matches!(
+            fuse_legal(&p, "bad", 0, 1),
+            Err(FusionError::NothingToFuse { .. })
+        ));
+        assert!(matches!(
+            fuse_legal(&p, "nosuch", 0, 2),
+            Err(FusionError::NoSuchFunction(_))
+        ));
+    }
+
+    #[test]
+    fn fuse_program_fuses_maximal_runs_and_reports_gain() {
+        let mut p = producer_consumer();
+        let advisor = crate::costmodel::CostAdvisor::default();
+        let reports = fuse_program(&mut p, &advisor);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        let r = &reports[0];
+        assert_eq!(r.function, "pc");
+        assert_eq!(r.step_index, 0);
+        assert_eq!(r.fused, 2);
+        assert_eq!(r.labels, vec!["produce".to_string(), "consume".to_string()]);
+        assert!(r.gain_cycles > 0.0);
+        assert!(r.why.contains("shared grid"), "{}", r.why);
+        let (_, f) = p.find_function("pc").unwrap();
+        assert_eq!(f.steps.len(), 1);
+        // Re-running on the fused program is a no-op.
+        assert!(fuse_program(&mut p, &advisor).is_empty());
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod sloc;
 pub mod verify;
 
 use fortrans::Engine;
-use glaf_autopar::{analyze_program_with_log, DecisionLog, ProgramPlan};
+use glaf_autopar::{
+    analyze_program_with_log, fuse_program, CostAdvisor, DecisionLog, FusionReport, ProgramPlan,
+};
 use glaf_codegen::{generate_c, generate_fortran, CodegenOptions};
 use glaf_ir::{validate_program, Program, ValidateError};
 
@@ -79,6 +81,33 @@ impl Glaf {
     /// per loop, the applied clauses, and the cost advisor's verdict.
     pub fn decision_log(&self) -> &DecisionLog {
         &self.log
+    }
+
+    /// Applies the optimization back-end's cost-driven loop fusion
+    /// (§2.1's "guiding the code generation" options), re-analyzes the
+    /// rewritten program, and records each fusion's rationale on the
+    /// fused loop's decision record. Returns one report per fusion;
+    /// an empty vector means the program was left unchanged.
+    pub fn fuse(&mut self) -> Vec<FusionReport> {
+        let advisor = CostAdvisor::default();
+        let reports = fuse_program(&mut self.program, &advisor);
+        if !reports.is_empty() {
+            let (plan, log) = analyze_program_with_log(&self.program);
+            self.plan = plan;
+            self.log = log;
+            for r in &reports {
+                if let Some(d) = self
+                    .log
+                    .loops
+                    .iter_mut()
+                    .find(|d| d.function == r.function && d.step_index == r.step_index)
+                {
+                    d.fusion =
+                        Some(format!("fused {} loops [{}]: {}", r.fused, r.labels.join(" + "), r.why));
+                }
+            }
+        }
+        reports
     }
 
     /// Generates source code in `lang` under `opts`.

@@ -1,0 +1,102 @@
+//! Property test for the optimization back-end's loop fusion: over
+//! randomly generated runs of conformable single loops — including
+//! producer/consumer chains and shifted reads that make fusion illegal —
+//! applying [`Glaf::fuse`] before code generation never changes a bit of
+//! the serial answer. Illegal runs must be left unfused (same result
+//! trivially); legal runs interleave only same-iteration work.
+
+use fortrans::{ArgVal, ExecMode};
+use glaf::Glaf;
+use glaf_codegen::CodegenOptions;
+use glaf_grid::{DataType, Grid};
+use glaf_ir::{Expr, LValue, Program, ProgramBuilder};
+use proptest::prelude::*;
+
+const GRIDS: [&str; 4] = ["ga", "gb", "gc", "gd"];
+const DIM: i64 = 64;
+/// Loops run i = 2..N so a ±1 subscript shift stays in bounds.
+const N: i64 = 48;
+
+/// One generated loop: `GRIDS[target](i) = bias + Σ coef·GRIDS[src](i+shift)`.
+#[derive(Debug, Clone)]
+struct LoopSpec {
+    target: usize,
+    terms: Vec<(usize, i64, f64)>,
+    bias: f64,
+}
+
+fn loop_spec() -> impl Strategy<Value = LoopSpec> {
+    (
+        0..GRIDS.len(),
+        proptest::collection::vec((0..GRIDS.len(), -1..=1i64, -2.0..2.0f64), 1..3),
+        -1.0..1.0f64,
+    )
+        .prop_map(|(target, terms, bias)| LoopSpec { target, terms, bias })
+}
+
+fn build_program(specs: &[LoopSpec]) -> Program {
+    let mut fb = ProgramBuilder::new().module("m").subroutine("kern");
+    for g in GRIDS {
+        fb = fb.param(Grid::build(g).typed(DataType::Real8).dim1(DIM).finish().unwrap());
+    }
+    for (k, spec) in specs.iter().enumerate() {
+        let mut rhs = Expr::real(spec.bias);
+        for &(src, shift, coef) in &spec.terms {
+            let sub = if shift == 0 {
+                Expr::idx("i")
+            } else {
+                Expr::idx("i") + Expr::int(shift)
+            };
+            rhs = rhs + Expr::real(coef) * Expr::at(GRIDS[src], vec![sub]);
+        }
+        fb = fb
+            .loop_step(&format!("loop {k}"))
+            .foreach("i", Expr::int(2), Expr::int(N))
+            .formula(LValue::at(GRIDS[spec.target], vec![Expr::idx("i")]), rhs)
+            .done();
+    }
+    fb.done().done().finish()
+}
+
+fn init(k: usize) -> Vec<f64> {
+    (0..DIM).map(|i| ((i * 7 + k as i64 * 13) % 17) as f64 * 0.5 - 3.0).collect()
+}
+
+/// Runs the program serially (optionally fused first) and returns every
+/// grid's final contents.
+fn run(program: Program, fuse: bool) -> (Vec<Vec<f64>>, usize) {
+    let mut g = Glaf::new(program).expect("generated program is valid");
+    let fused = if fuse { g.fuse().len() } else { 0 };
+    let engine = g
+        .compile_with(&CodegenOptions::serial(), &[])
+        .expect("generated code compiles");
+    let args: Vec<ArgVal> = (0..GRIDS.len()).map(|k| ArgVal::array_f(&init(k), 1)).collect();
+    engine.run("kern", &args, ExecMode::Serial).expect("kern runs");
+    let out = args.iter().map(|a| a.handle().unwrap().to_f64_vec()).collect();
+    (out, fused)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fusion_never_changes_results(specs in proptest::collection::vec(loop_spec(), 2..5)) {
+        let (base, _) = run(build_program(&specs), false);
+        let (fused, _) = run(build_program(&specs), true);
+        prop_assert_eq!(base, fused);
+    }
+}
+
+/// Deterministic companion: a plain producer/consumer pair does fuse (the
+/// property above must also cover the fused path, not just refusals).
+#[test]
+fn conformable_pair_actually_fuses() {
+    let specs = vec![
+        LoopSpec { target: 0, terms: vec![(1, 0, 2.0)], bias: 0.5 },
+        LoopSpec { target: 2, terms: vec![(0, 0, 1.0)], bias: 0.0 },
+    ];
+    let (base, fused_count) = run(build_program(&specs), true);
+    assert_eq!(fused_count, 1, "the pair fuses");
+    let (unfused, _) = run(build_program(&specs), false);
+    assert_eq!(base, unfused);
+}

@@ -40,6 +40,7 @@ fn main() {
             par_edge_loop: true,
             par_ioff_search: true,
             no_realloc: true,
+            fuse: false,
         },
     ] {
         let jac = run_real(Fun3dVariant::Glaf(cfg), ncell, 4);
@@ -83,6 +84,7 @@ fn main() {
             par_edge_loop: true,
             par_ioff_search: true,
             no_realloc: false,
+            fuse: false,
         }),
     );
 }

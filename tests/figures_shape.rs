@@ -122,6 +122,7 @@ fn fig7_nested_parallelism_is_catastrophic() {
         par_edge_loop: true,
         par_ioff_search: true,
         no_realloc: false,
+        fuse: false,
     }));
     assert!(s < 0.05, "fully nested + realloc collapses (paper ~1/128): {s}");
 }
