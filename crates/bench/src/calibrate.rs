@@ -1,0 +1,81 @@
+//! Feeds measured vector-tier results back into the cost model.
+//!
+//! The vector smoke bin commits `BENCH_pr6.json` with, per kernel, the
+//! scalar-vs-vector speedup and the number of loop entries that actually
+//! ran vectorized. Those pairs are exactly the evidence
+//! `glaf_autopar::calibrate_simd_speedup` wants, so this module extracts
+//! them from any `BENCH_*.json` document (schema-agnostic, via the same
+//! numeric-leaf flattening the regression gate uses) and closes the
+//! loop: the flat `simd_speedup = 4.0` prior becomes a measured,
+//! entry-weighted value.
+
+use crate::compare::numeric_leaves;
+
+/// One kernel's measured vector-tier evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorSample {
+    /// Dotted path prefix of the kernel (e.g. `kernels.sarb_longwave`).
+    pub kernel: String,
+    /// Measured scalar-over-vector speedup.
+    pub speedup: f64,
+    /// Loop entries that executed on the vector path.
+    pub entries: u64,
+}
+
+/// Extracts `(speedup, vector_entries)` pairs from a trajectory file:
+/// every dotted-path prefix carrying both a `speedup` and a
+/// `vector_entries` leaf yields one sample, in document order.
+pub fn vector_samples(bench_json: &str) -> Result<Vec<VectorSample>, String> {
+    let leaves = numeric_leaves(bench_json)?;
+    let mut out = Vec::new();
+    for (path, speedup) in &leaves {
+        let Some(kernel) = path.strip_suffix(".speedup") else { continue };
+        let entries_path = format!("{kernel}.vector_entries");
+        if let Some((_, entries)) = leaves.iter().find(|(p, _)| *p == entries_path) {
+            out.push(VectorSample {
+                kernel: kernel.to_string(),
+                speedup: *speedup,
+                entries: *entries as u64,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// End to end: trajectory JSON in, calibrated `simd_speedup` out.
+/// `None` when the document carries no usable samples.
+pub fn calibrated_simd_speedup(bench_json: &str) -> Result<Option<f64>, String> {
+    let pairs: Vec<(f64, u64)> =
+        vector_samples(bench_json)?.into_iter().map(|s| (s.speedup, s.entries)).collect();
+    Ok(glaf_autopar::calibrate_simd_speedup(&pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = r#"{
+      "pr": 6,
+      "kernels": {
+        "a": {"scalar_vm_ns": 100, "vector_vm_ns": 50, "speedup": 2.0, "vector_entries": 10},
+        "b": {"scalar_vm_ns": 80, "vector_vm_ns": 10, "speedup": 8.0, "vector_entries": 10},
+        "no_vec": {"scalar_vm_ns": 5, "vector_vm_ns": 5}
+      }
+    }"#;
+
+    #[test]
+    fn samples_pair_speedup_with_entries() {
+        let s = vector_samples(BENCH).unwrap();
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert_eq!(s[0].kernel, "kernels.a");
+        assert_eq!(s[0].speedup, 2.0);
+        assert_eq!(s[1].entries, 10);
+    }
+
+    #[test]
+    fn calibration_runs_end_to_end() {
+        let v = calibrated_simd_speedup(BENCH).unwrap().unwrap();
+        assert!((v - 4.0).abs() < 1e-12, "geometric mean of 2x and 8x: {v}");
+        assert_eq!(calibrated_simd_speedup(r#"{"pr": 6}"#).unwrap(), None);
+    }
+}

@@ -20,6 +20,7 @@
 //! manual ladder).
 
 
+pub mod calibrate;
 pub mod compare;
 pub mod observe;
 

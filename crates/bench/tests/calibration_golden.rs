@@ -1,0 +1,162 @@
+//! Golden tests for the measurement-calibrated cost model.
+//!
+//! PR 6 committed `BENCH_pr6.json` with measured scalar-vs-vector
+//! speedups and per-kernel vector-entry counts. This suite locks the
+//! feedback loop that replaces the flat `simd_speedup = 4.0` prior with
+//! the entry-weighted geometric mean of those measurements, and pins the
+//! SARB/FUN3D directive verdicts the recalibrated advisor produces — so
+//! any change to the calibration math, the committed measurements, or
+//! the cost model shows up as an exact diff here.
+
+use glaf_autopar::{analyze_program_with_log_using, CostAdvisor, CostParams, DecisionLog};
+use glaf_bench::calibrate::{calibrated_simd_speedup, vector_samples};
+
+/// The measured trajectory this repo ships: three kernels from the PR 6
+/// vector smoke run.
+const BENCH_PR6: &str = include_str!("../../../BENCH_pr6.json");
+
+fn calibrated_params() -> CostParams {
+    let pairs: Vec<(f64, u64)> = vector_samples(BENCH_PR6)
+        .expect("BENCH_pr6.json parses")
+        .into_iter()
+        .map(|s| (s.speedup, s.entries))
+        .collect();
+    CostParams::calibrated_simd(&pairs)
+}
+
+/// Compact per-loop verdict rendering: one line per analyzed loop.
+fn verdicts(log: &DecisionLog) -> String {
+    let mut out = String::new();
+    for l in &log.loops {
+        out.push_str(&format!(
+            "{} step {}: advisor={}\n",
+            l.function,
+            l.step_index,
+            l.advisor.name()
+        ));
+    }
+    out
+}
+
+#[test]
+fn calibrated_value_is_pinned() {
+    let v = calibrated_simd_speedup(BENCH_PR6)
+        .expect("BENCH_pr6.json parses")
+        .expect("BENCH_pr6.json carries vector samples");
+    // Entry-weighted geometric mean of (2.025, w=4464), (1.618, w=40889),
+    // (15.591, w=512): dominated by the large fun3d gather kernel, pulled
+    // up slightly by the reduction microbenchmark.
+    assert_eq!((v * 1000.0).round() / 1000.0, 1.696, "calibrated simd_speedup = {v}");
+    // Sanity: strictly below the flat prior — measured vector gains on
+    // real kernels are smaller than the 4.0 default assumed.
+    assert!(v < CostParams::default().simd_speedup);
+}
+
+#[test]
+fn calibrated_params_only_change_simd_speedup() {
+    let cal = calibrated_params();
+    let def = CostParams::default();
+    assert_ne!(cal.simd_speedup, def.simd_speedup);
+    let mut def_patched = def;
+    def_patched.simd_speedup = cal.simd_speedup;
+    assert_eq!(format!("{cal:?}"), format!("{def_patched:?}"));
+}
+
+#[test]
+fn sarb_decisions_under_calibrated_model() {
+    let program = sarb::glaf_model::build_sarb_program();
+    let advisor = CostAdvisor::new(calibrated_params());
+    let (_, log) = analyze_program_with_log_using(&advisor, &program);
+    let expected = "\
+g_lw_emis step 0: advisor=threads
+g_lw_trn step 0: advisor=simd
+g_lw_dn step 0: advisor=simd
+g_lw_up step 0: advisor=simd
+lw_spectral_integration step 0: advisor=simd
+lw_spectral_integration step 1: advisor=simd
+lw_spectral_integration step 2: advisor=serial
+lw_spectral_integration step 4: advisor=simd
+lw_spectral_integration step 5: advisor=simd
+g_ent_band step 1: advisor=simd
+longwave_entropy_model step 0: advisor=simd
+longwave_entropy_model step 1: advisor=threads
+longwave_entropy_model step 2: advisor=simd
+longwave_entropy_model step 3: advisor=threads
+longwave_entropy_model step 5: advisor=simd
+g_sw_band step 1: advisor=simd
+g_sw_band step 2: advisor=simd
+sw_spectral_integration step 0: advisor=simd
+sw_spectral_integration step 1: advisor=simd
+sw_spectral_integration step 2: advisor=serial
+sw_spectral_integration step 3: advisor=simd
+shortwave_entropy_model step 0: advisor=simd
+entropy_interface step 1: advisor=simd
+entropy_interface step 4: advisor=simd
+adjust2 step 1: advisor=simd
+adjust2 step 2: advisor=simd
+adjust2 step 3: advisor=simd
+adjust2 step 4: advisor=simd
+";
+    assert_eq!(verdicts(&log), expected);
+}
+
+#[test]
+fn fun3d_decisions_under_calibrated_model() {
+    let program = fun3d::glaf_model::build_fun3d_program();
+    let advisor = CostAdvisor::new(calibrated_params());
+    let (_, log) = analyze_program_with_log_using(&advisor, &program);
+    let expected = "\
+ioff_search step 1: advisor=serial
+edge_loop step 1: advisor=simd
+edge_loop step 2: advisor=simd
+edge_loop step 3: advisor=simd
+edge_loop step 4: advisor=simd
+edge_loop step 5: advisor=simd
+edge_loop step 6: advisor=simd
+edge_loop step 7: advisor=simd
+edge_loop step 8: advisor=simd
+edge_loop step 9: advisor=simd
+edge_loop step 10: advisor=simd
+edge_loop step 12: advisor=simd
+cell_loop step 1: advisor=simd
+cell_loop step 2: advisor=simd
+cell_loop step 3: advisor=simd
+cell_loop step 4: advisor=simd
+cell_loop step 5: advisor=simd
+cell_loop step 6: advisor=serial
+edgejp step 0: advisor=serial
+";
+    assert_eq!(verdicts(&log), expected);
+}
+
+/// The flips: which verdicts the measured calibration actually changes
+/// relative to the flat `simd_speedup = 4.0` prior. A lower measured
+/// speedup makes "leave it to compiler SIMD" less attractive, so flips
+/// can only move loops away from the SIMD verdict.
+#[test]
+fn calibration_flips_vs_default_are_pinned() {
+    let advisor = CostAdvisor::new(calibrated_params());
+    let mut flips = String::new();
+    for program in
+        [sarb::glaf_model::build_sarb_program(), fun3d::glaf_model::build_fun3d_program()]
+    {
+        let (_, def_log) = glaf_autopar::analyze_program_with_log(&program);
+        let (_, cal_log) = analyze_program_with_log_using(&advisor, &program);
+        assert_eq!(def_log.loops.len(), cal_log.loops.len());
+        for (d, c) in def_log.loops.iter().zip(&cal_log.loops) {
+            if d.advisor != c.advisor {
+                flips.push_str(&format!(
+                    "{} step {}: {} -> {}\n",
+                    d.function,
+                    d.step_index,
+                    d.advisor.name(),
+                    c.advisor.name()
+                ));
+            }
+        }
+    }
+    // Exactly one loop flips: the SARB emissivity nest is vectorizable
+    // but heavy enough that, once the measured 1.696x (not 4.0x) vector
+    // gain is priced in, threading beats leaving it to compiler SIMD.
+    assert_eq!(flips, "g_lw_emis step 0: simd -> threads\n");
+}

@@ -1,26 +1,25 @@
 //! The public engine facade: compile sources, run subprograms, inspect
 //! globals.
 //!
+//! Since the service split, [`Engine`] is a thin shell over the
+//! artifact/session architecture in [`crate::service`]: `compile`
+//! produces a [`crate::service::CompiledProgram`] and wraps it in a
+//! solo [`crate::service::Session`], to which the engine derefs. The
+//! one-shot API every existing caller uses is unchanged; multi-tenant
+//! callers reach the same machinery through
+//! [`crate::service::EngineService`].
+//!
 //! This file is part of the user-reachable API surface, so internal
 //! panics are a bug here: keep it free of `unwrap`/`expect` (checked by
 //! the scoped lints below).
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use omprt::{CriticalRegistry, ThreadPool};
-use parking_lot::Mutex;
-
-use crate::bytecode::{compile_program, BUnit};
-use crate::cost::CostTrace;
 use crate::error::{CompileError, RunError};
-use crate::interp::{EffLimits, Exec, ExecMode, RunLimits, ScheduleOverrides, Task, Val};
-use crate::parse::parse;
-use crate::rir::{RProgram, ScalarTy};
-use crate::sema::resolve;
-use crate::storage::{ArrayObj, GlobalCell, Globals};
+use crate::rir::ScalarTy;
+use crate::service::{CompiledProgram, Session};
+use crate::storage::ArrayObj;
 
 /// An argument for [`Engine::run`].
 #[derive(Debug, Clone)]
@@ -91,18 +90,18 @@ pub struct TierFallback {
 #[derive(Debug)]
 pub struct RunOutcome {
     /// Function result (None for subroutines).
-    pub result: Option<Val>,
+    pub result: Option<crate::interp::Val>,
     /// Cost trace (Simulated mode only; empty otherwise).
-    pub trace: CostTrace,
+    pub trace: crate::cost::CostTrace,
     /// Everything PRINTed.
     pub printed: String,
     /// Set when the VM tier trapped and the result came from the
-    /// tree-walk oracle instead (see [`Engine::run_tiered`]).
+    /// tree-walk oracle instead (see [`Session::run_tiered`]).
     pub fallback: Option<TierFallback>,
 }
 
 /// One statically vectorized loop, as reported by
-/// [`Engine::vector_report`].
+/// [`Session::vector_report`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VectorLoopInfo {
     /// Unit (subroutine/function) containing the loop.
@@ -115,42 +114,9 @@ pub struct VectorLoopInfo {
     pub reduction: bool,
 }
 
-/// A compiled FORTRAN program with live global storage.
+/// Which execution tier [`Session::run_tiered`] uses.
 ///
-/// Global state (module variables, COMMON blocks, SAVE arrays) persists
-/// across `run` calls, exactly like a linked FORTRAN process image; use
-/// [`Engine::reset_globals`] to reinitialize.
-pub struct Engine {
-    prog: Arc<RProgram>,
-    globals: Arc<Globals>,
-    pools: Mutex<Vec<(usize, Arc<ThreadPool>)>>,
-    critical: Arc<CriticalRegistry>,
-    /// Compiled bytecode: `[optimized, traced]`. The optimized build
-    /// (constant folding, dead-store elimination, fused loops) serves
-    /// Serial/Parallel; the traced build preserves every cost-bearing
-    /// operation for Simulated mode. Both variants are compiled and
-    /// statically verified by [`Engine::compile`].
-    bytecode: Mutex<[Option<Arc<Vec<BUnit>>>; 2]>,
-    /// Execution limits applied to every run (both tiers).
-    limits: RunLimits,
-    /// Number of VM traps that fell back to the oracle tier.
-    fallback_count: AtomicU64,
-    /// Test hook: force the next VM-tier run to trap (exercises the
-    /// fallback path without needing a real VM bug).
-    force_vm_trap: AtomicBool,
-    /// Loop-schedule overrides snapshotted into every run's `Exec`
-    /// (feedback-directed rescheduling; see
-    /// [`Engine::set_schedule_overrides`]).
-    sched_overrides: Mutex<Arc<ScheduleOverrides>>,
-    /// Gate for the VM's vector superinstruction path; on by default.
-    vector_enabled: AtomicBool,
-    /// Loop entries that actually ran vectorized, across all runs.
-    vector_entries: Arc<AtomicU64>,
-}
-
-/// Which execution tier [`Engine::run_tiered`] uses.
-///
-/// [`ExecTier::Vm`] (the default for [`Engine::run`]) compiles units to
+/// [`ExecTier::Vm`] (the default for [`Session::run`]) compiles units to
 /// flat bytecode and executes them on the register/stack VM in
 /// [`crate::vm`]. [`ExecTier::TreeWalk`] runs the original tree-walking
 /// interpreter; it is kept as the reference oracle for differential
@@ -161,505 +127,46 @@ pub enum ExecTier {
     TreeWalk,
 }
 
+/// A compiled FORTRAN program with live global storage: one
+/// [`CompiledProgram`] artifact plus one private [`Session`] over it.
+///
+/// Global state (module variables, COMMON blocks, SAVE arrays) persists
+/// across `run` calls, exactly like a linked FORTRAN process image; use
+/// [`Session::reset_globals`] to reinitialize. All session methods are
+/// available directly on the engine through deref.
+pub struct Engine {
+    session: Session,
+}
+
 impl Engine {
     /// Parses and resolves one or more source files (order-independent for
-    /// modules; later sources may USE earlier ones and vice versa).
+    /// modules; later sources may USE earlier ones and vice versa), then
+    /// opens a private session over the compiled artifact.
     pub fn compile(sources: &[&str]) -> Result<Engine, CompileError> {
-        let mut ast = crate::ast::Ast::default();
-        for s in sources {
-            let mut part = parse(s)?;
-            ast.modules.append(&mut part.modules);
-        }
-        let prog = resolve(&ast)?;
-        let globals = Arc::new(build_globals(&prog));
-        // Compile both bytecode variants eagerly and run the static
-        // verifier over them, so a compiler bug surfaces here as
-        // `CompileError::Verify` instead of undefined VM behavior later.
-        let optimized = compile_program(&prog, false);
-        crate::verify::verify_program(&prog, &optimized)?;
-        let traced = compile_program(&prog, true);
-        crate::verify::verify_program(&prog, &traced)?;
-        Ok(Engine {
-            prog: Arc::new(prog),
-            globals,
-            pools: Mutex::new(Vec::new()),
-            critical: Arc::new(CriticalRegistry::new()),
-            bytecode: Mutex::new([Some(Arc::new(optimized)), Some(Arc::new(traced))]),
-            limits: RunLimits::default(),
-            fallback_count: AtomicU64::new(0),
-            force_vm_trap: AtomicBool::new(false),
-            sched_overrides: Mutex::new(Arc::new(ScheduleOverrides::default())),
-            vector_enabled: AtomicBool::new(true),
-            vector_entries: Arc::new(AtomicU64::new(0)),
-        })
+        Ok(Engine { session: Session::solo(CompiledProgram::compile(sources)?) })
     }
 
-    /// Sets execution limits applied to every subsequent run.
-    pub fn set_limits(&mut self, limits: RunLimits) {
-        self.limits = limits;
+    /// An engine over an existing artifact (private pools, fresh globals).
+    pub fn from_artifact(artifact: Arc<CompiledProgram>) -> Engine {
+        Engine { session: Session::solo(artifact) }
     }
 
-    /// The currently configured execution limits.
-    pub fn limits(&self) -> RunLimits {
-        self.limits
-    }
-
-    /// How many VM traps have fallen back to the oracle tier so far.
-    pub fn fallback_count(&self) -> u64 {
-        self.fallback_count.load(Ordering::Relaxed)
-    }
-
-    /// Test hook: forces the next VM-tier run to trap, exercising the
-    /// trap-and-fallback path deterministically.
-    #[doc(hidden)]
-    pub fn debug_force_vm_trap(&self) {
-        self.force_vm_trap.store(true, Ordering::Relaxed);
-    }
-
-    /// Test hook: replaces the compiled bytecode of one variant
-    /// (`traced` selects the Simulated build). Used by the
-    /// fault-injection harness to execute corrupted streams.
-    #[doc(hidden)]
-    pub fn debug_inject_bytecode(&self, traced: bool, bunits: Vec<BUnit>) {
-        self.bytecode.lock()[usize::from(traced)] = Some(Arc::new(bunits));
-    }
-
-    /// The resolved program (introspection for tests and tooling).
-    pub fn program(&self) -> &RProgram {
-        &self.prog
-    }
-
-    /// Installs per-line loop-schedule overrides, replacing any previous
-    /// per-line set. Each `(line, schedule)` pair reschedules the
-    /// parallel DO at that source line on every subsequent run, in both
-    /// execution tiers — this is the apply side of the feedback loop: a
-    /// measured [`crate::trace::Profile`]'s per-region imbalance (keyed
-    /// by `omp@line`) decides the overrides for the next run.
-    pub fn set_schedule_overrides<I>(&self, overrides: I)
-    where
-        I: IntoIterator<Item = (u32, omprt::Schedule)>,
-    {
-        let mut cur = (**self.sched_overrides.lock()).clone();
-        cur.by_line = overrides.into_iter().collect();
-        *self.sched_overrides.lock() = Arc::new(cur);
-    }
-
-    /// Installs (or with `None` clears) a blanket schedule override
-    /// applied to every parallel DO without a per-line override. Used by
-    /// the schedule-matrix benchmarks and the differential suite to run
-    /// one program under each schedule kind.
-    pub fn set_schedule_override_all(&self, sched: Option<omprt::Schedule>) {
-        let mut cur = (**self.sched_overrides.lock()).clone();
-        cur.all = sched;
-        *self.sched_overrides.lock() = Arc::new(cur);
-    }
-
-    /// The currently installed schedule overrides.
-    pub fn schedule_overrides(&self) -> ScheduleOverrides {
-        (**self.sched_overrides.lock()).clone()
-    }
-
-    /// Enables or disables the VM's vector superinstruction path (on by
-    /// default). Disabling forces every vectorized loop back to its
-    /// scalar head — used for A/B benchmarking and differential tests;
-    /// results are bit-identical either way.
-    pub fn set_vector_enabled(&self, on: bool) {
-        self.vector_enabled.store(on, Ordering::Relaxed);
-    }
-
-    /// Whether the vector superinstruction path is enabled.
-    pub fn vector_enabled(&self) -> bool {
-        self.vector_enabled.load(Ordering::Relaxed)
-    }
-
-    /// How many loop entries actually executed on the vector path so
-    /// far (all runs, all threads). Zero after runs with the path
-    /// enabled means every candidate fell back at a runtime guard.
-    pub fn vector_entry_count(&self) -> u64 {
-        self.vector_entries.load(Ordering::Relaxed)
-    }
-
-    /// Static vectorization report: one line per loop the bytecode
-    /// compiler proved legal to vectorize, with unit name, source line,
-    /// statement count and reduction flag. Reflects the optimized
-    /// (Serial/Parallel) build; the traced build never vectorizes.
-    pub fn vector_report(&self) -> Vec<VectorLoopInfo> {
-        let bunits = self.bytecode_for(false);
-        let mut out = Vec::new();
-        for bu in bunits.iter() {
-            for d in &bu.vecs {
-                out.push(VectorLoopInfo {
-                    unit: self.prog.units[bu.unit as usize].name.clone(),
-                    line: d.line,
-                    stmts: d.stmts.len(),
-                    reduction: d.red.is_some(),
-                });
-            }
-        }
-        out
-    }
-
-    /// Reinitializes all global storage.
-    pub fn reset_globals(&mut self) {
-        self.globals = Arc::new(build_globals(&self.prog));
-    }
-
-    fn pool_for(&self, threads: usize) -> Arc<ThreadPool> {
-        let mut pools = self.pools.lock();
-        if let Some((_, p)) = pools.iter().find(|(t, _)| *t == threads) {
-            return Arc::clone(p);
-        }
-        let p = Arc::new(ThreadPool::new(threads));
-        pools.push((threads, Arc::clone(&p)));
-        p
-    }
-
-    /// Bytecode for the whole program; `traced` selects the Simulated
-    /// build. Compiled once per variant, then shared.
-    fn bytecode_for(&self, traced: bool) -> Arc<Vec<BUnit>> {
-        let mut cache = self.bytecode.lock();
-        let slot = &mut cache[usize::from(traced)];
-        match slot {
-            Some(b) => Arc::clone(b),
-            None => {
-                let b = Arc::new(compile_program(&self.prog, traced));
-                *slot = Some(Arc::clone(&b));
-                b
-            }
-        }
-    }
-
-    /// Runs subprogram `name` with `args` under `mode` on the default
-    /// tier (the bytecode VM).
-    pub fn run(&self, name: &str, args: &[ArgVal], mode: ExecMode) -> Result<RunOutcome, RunError> {
-        self.run_tiered(name, args, mode, ExecTier::Vm)
-    }
-
-    /// Runs subprogram `name` on an explicit execution tier.
-    ///
-    /// Internal panics never cross this boundary. A panic in the VM tier
-    /// (an engine bug, not a program-level [`RunError`]) is trapped, a
-    /// [`TierFallback`] diagnostic is recorded, and the call is
-    /// transparently re-executed on the tree-walk oracle so the caller
-    /// still gets an answer. A panic in the oracle itself surfaces as
-    /// [`RunError::Trap`].
-    pub fn run_tiered(
-        &self,
-        name: &str,
-        args: &[ArgVal],
-        mode: ExecMode,
-        tier: ExecTier,
-    ) -> Result<RunOutcome, RunError> {
-        let unit_id = self
-            .prog
-            .unit_id(name)
-            .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
-        match tier {
-            ExecTier::Vm => {
-                let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
-                let vm_run = catch_unwind(AssertUnwindSafe(|| {
-                    if forced {
-                        panic!("forced VM trap (test hook)");
-                    }
-                    self.run_on_vm(unit_id, args, mode, None)
-                }));
-                let trap = match vm_run {
-                    Err(payload) => payload_str(&*payload),
-                    // A contained worker panic surfaces as `Trap`: an
-                    // internal fault, so it also falls back.
-                    Ok(Err(ref e)) if matches!(e.root(), RunError::Trap { .. }) => e.to_string(),
-                    Ok(run) => return run,
-                };
-                // The VM trapped: record the diagnostic and give the
-                // caller the oracle's answer instead.
-                self.fallback_count.fetch_add(1, Ordering::Relaxed);
-                let fb = TierFallback { unit: name.into(), what: trap };
-                let mut out = self.run_on_oracle(unit_id, args, mode, None)?;
-                out.fallback = Some(fb);
-                Ok(out)
-            }
-            ExecTier::TreeWalk => self.run_on_oracle(unit_id, args, mode, None),
-        }
-    }
-
-    /// Runs subprogram `name` with a profiling collector attached,
-    /// returning the outcome together with the rendered
-    /// [`crate::trace::Profile`]: per-unit and per-DO-loop wall time and
-    /// entry counts, executed VM instructions (or interpreter steps)
-    /// against the configured [`RunLimits`] budget, parallel-region
-    /// worker utilization, and any tier-fallback diagnostics.
-    ///
-    /// Profiling follows the same trap-and-fallback contract as
-    /// [`Engine::run_tiered`]: if the VM tier traps, a *fresh* collector
-    /// is attached to the oracle re-run, so the returned profile always
-    /// describes the execution that produced the result. The fallback
-    /// diagnostic and the engine-lifetime fallback total are surfaced on
-    /// the profile itself.
-    pub fn run_profiled(
-        &self,
-        name: &str,
-        args: &[ArgVal],
-        mode: ExecMode,
-        tier: ExecTier,
-    ) -> Result<(RunOutcome, crate::trace::Profile), RunError> {
-        let unit_id = self
-            .prog
-            .unit_id(name)
-            .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
-        let mode_str = match mode {
-            ExecMode::Serial => "serial".to_string(),
-            ExecMode::Parallel { threads } => format!("parallel({threads})"),
-            ExecMode::Simulated { threads } => format!("simulated({threads})"),
-        };
-        // Worker busy-time accounting is cheap but not free: the pool
-        // collects it only while a profiled Parallel run is in flight.
-        let pool = match mode {
-            ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
-            _ => None,
-        };
-        if let Some(p) = &pool {
-            p.set_metrics(true);
-            p.take_metrics(); // discard leftovers from earlier runs
-        }
-        let finish = |prof: crate::trace::Collector, tier_str: &str, wall_ns: u64| {
-            let (spans, steps) = prof.finish();
-            let regions = pool
-                .as_ref()
-                .map(|p| {
-                    p.take_metrics()
-                        .into_iter()
-                        .map(|m| crate::trace::RegionReport {
-                            threads: m.threads as u64,
-                            wall_ns: m.wall_ns,
-                            busy_ns: m.busy_ns,
-                            line: m.line as u64,
-                            sched: m.sched.render(),
-                        })
-                        .collect()
-                })
-                .unwrap_or_default();
-            crate::trace::Profile {
-                entry: name.to_string(),
-                tier: tier_str.to_string(),
-                mode: mode_str.clone(),
-                wall_ns,
-                steps,
-                max_steps: self.limits.max_steps,
-                spans,
-                regions,
-                fallback: None,
-                fallback_count: self.fallback_count(),
-            }
-        };
-        match tier {
-            ExecTier::Vm => {
-                let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
-                let prof = crate::trace::Collector::new();
-                let t0 = std::time::Instant::now();
-                let vm_run = catch_unwind(AssertUnwindSafe(|| {
-                    if forced {
-                        panic!("forced VM trap (test hook)");
-                    }
-                    self.run_on_vm(unit_id, args, mode, Some(&prof))
-                }));
-                let trap = match vm_run {
-                    Err(payload) => payload_str(&*payload),
-                    Ok(Err(ref e)) if matches!(e.root(), RunError::Trap { .. }) => e.to_string(),
-                    Ok(run) => {
-                        let wall_ns = t0.elapsed().as_nanos() as u64;
-                        if let Some(p) = &pool {
-                            p.set_metrics(false);
-                        }
-                        let out = run?;
-                        return Ok((out, finish(prof, "vm", wall_ns)));
-                    }
-                };
-                // The VM trapped: re-profile on the oracle with a fresh
-                // collector, so the profile matches the answer's tier.
-                self.fallback_count.fetch_add(1, Ordering::Relaxed);
-                if let Some(p) = &pool {
-                    p.take_metrics(); // drop partials from the trapped attempt
-                }
-                let fb = TierFallback { unit: name.into(), what: trap };
-                let prof = crate::trace::Collector::new();
-                let t0 = std::time::Instant::now();
-                let run = self.run_on_oracle(unit_id, args, mode, Some(&prof));
-                let wall_ns = t0.elapsed().as_nanos() as u64;
-                if let Some(p) = &pool {
-                    p.set_metrics(false);
-                }
-                let mut out = run?;
-                out.fallback = Some(fb.clone());
-                let mut profile = finish(prof, "tree-walk", wall_ns);
-                profile.fallback =
-                    Some(crate::trace::FallbackInfo { unit: fb.unit, what: fb.what });
-                Ok((out, profile))
-            }
-            ExecTier::TreeWalk => {
-                let prof = crate::trace::Collector::new();
-                let t0 = std::time::Instant::now();
-                let run = self.run_on_oracle(unit_id, args, mode, Some(&prof));
-                let wall_ns = t0.elapsed().as_nanos() as u64;
-                if let Some(p) = &pool {
-                    p.set_metrics(false);
-                }
-                let out = run?;
-                Ok((out, finish(prof, "tree-walk", wall_ns)))
-            }
-        }
-    }
-
-    fn make_exec(&self, mode: ExecMode) -> Exec {
-        let pool = match mode {
-            ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
-            _ => None,
-        };
-        Exec {
-            prog: Arc::clone(&self.prog),
-            globals: Arc::clone(&self.globals),
-            mode,
-            pool,
-            critical: Arc::clone(&self.critical),
-            printed: Mutex::new(String::new()),
-            sched_overrides: Arc::clone(&self.sched_overrides.lock()),
-            limits: EffLimits::start(&self.limits),
-            vector_enabled: self.vector_enabled.load(Ordering::Relaxed),
-            vector_entries: Arc::clone(&self.vector_entries),
-        }
-    }
-
-    fn run_on_vm(
-        &self,
-        unit_id: usize,
-        args: &[ArgVal],
-        mode: ExecMode,
-        prof: Option<&crate::trace::Collector>,
-    ) -> Result<RunOutcome, RunError> {
-        let exec = self.make_exec(mode);
-        let traced = matches!(mode, ExecMode::Simulated { .. });
-        let bunits = self.bytecode_for(traced);
-        let (result, trace, printed) = crate::vm::run_vm(&exec, &bunits, unit_id, args, prof)?;
-        Ok(RunOutcome { result, trace, printed, fallback: None })
-    }
-
-    /// Runs on the tree-walk oracle, containing any internal panic as
-    /// [`RunError::Trap`] (the oracle is the last tier — there is nothing
-    /// left to fall back to).
-    fn run_on_oracle(
-        &self,
-        unit_id: usize,
-        args: &[ArgVal],
-        mode: ExecMode,
-        prof: Option<&crate::trace::Collector>,
-    ) -> Result<RunOutcome, RunError> {
-        let traced = matches!(mode, ExecMode::Simulated { .. });
-        catch_unwind(AssertUnwindSafe(|| {
-            let exec = self.make_exec(mode);
-            let mut task = Task::new(&exec, 0, traced);
-            task.prof = prof;
-            let frame = task.entry_frame(unit_id, args)?;
-            let (result, trace, printed) = task.run_entry(unit_id, frame)?;
-            Ok(RunOutcome { result, trace, printed, fallback: None })
-        }))
-        .unwrap_or_else(|payload| Err(RunError::Trap { what: payload_str(&*payload) }))
-    }
-
-    /// Reads a global scalar by diagnostic name (`module::var`,
-    /// `module::var%field`, `common block::var`, `unit::savevar`).
-    pub fn global_scalar(&self, name: &str) -> Option<Val> {
-        let id = self.prog.global_id(name)?;
-        let decl = &self.prog.globals[id];
-        if decl.rank != 0 {
-            return None;
-        }
-        let bits = self.globals.cells[id].load_bits(0);
-        Some(match decl.ty {
-            ScalarTy::I => Val::I(bits as i64),
-            ScalarTy::F => Val::F(f64::from_bits(bits)),
-            ScalarTy::B => Val::B(bits != 0),
-        })
-    }
-
-    /// Writes a global scalar.
-    pub fn set_global_scalar(&self, name: &str, v: Val) -> bool {
-        let Some(id) = self.prog.global_id(name) else { return false };
-        let decl = &self.prog.globals[id];
-        if decl.rank != 0 {
-            return false;
-        }
-        let bits = match decl.ty {
-            ScalarTy::I => v.as_i() as u64,
-            ScalarTy::F => v.as_f().to_bits(),
-            ScalarTy::B => u64::from(v.as_b()),
-        };
-        self.globals.cells[id].store_bits(0, bits);
-        true
-    }
-
-    /// Array handle of a global (thread 0 instance for per-thread cells).
-    pub fn global_array(&self, name: &str) -> Option<Arc<ArrayObj>> {
-        let id = self.prog.global_id(name)?;
-        self.globals.cells[id].array_handle(0)
-    }
-
-    /// Lists global diagnostic names (tooling).
-    pub fn global_names(&self) -> Vec<String> {
-        self.prog.globals.iter().map(|g| g.name.clone()).collect()
+    /// Surrenders the underlying session (e.g. to hand it to service
+    /// plumbing that wants `Session` by value).
+    pub fn into_session(self) -> Session {
+        self.session
     }
 }
 
-/// Renders a `catch_unwind` payload for diagnostics.
-fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+impl std::ops::Deref for Engine {
+    type Target = Session;
+    fn deref(&self) -> &Session {
+        &self.session
     }
 }
 
-fn build_globals(prog: &RProgram) -> Globals {
-    let cells = prog
-        .globals
-        .iter()
-        .map(|decl| {
-            if decl.rank == 0 && !decl.allocatable && decl.dims.is_empty() {
-                let cell = if decl.per_thread {
-                    GlobalCell::new_per_thread_scalar()
-                } else {
-                    GlobalCell::new_scalar()
-                };
-                if let Some(bits) = decl.init_bits {
-                    match &cell {
-                        GlobalCell::Scalar(c) => {
-                            c.store(bits, std::sync::atomic::Ordering::Relaxed)
-                        }
-                        GlobalCell::PerThreadScalar(v) => {
-                            for c in v.iter() {
-                                c.store(bits, std::sync::atomic::Ordering::Relaxed);
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                cell
-            } else if decl.per_thread {
-                let cell = GlobalCell::new_per_thread_array();
-                if !decl.allocatable && !decl.dims.is_empty() {
-                    for t in 0..crate::storage::MAX_THREADS {
-                        cell.set_array(t, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
-                    }
-                }
-                cell
-            } else {
-                let cell = GlobalCell::new_array();
-                if !decl.allocatable && !decl.dims.is_empty() {
-                    cell.set_array(0, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
-                }
-                cell
-            }
-        })
-        .collect();
-    Globals { cells }
+impl std::ops::DerefMut for Engine {
+    fn deref_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
 }

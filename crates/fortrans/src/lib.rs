@@ -61,6 +61,7 @@ pub mod lex;
 pub mod parse;
 pub mod rir;
 pub mod sema;
+pub mod service;
 pub mod storage;
 pub mod trace;
 pub mod verify;
@@ -70,7 +71,10 @@ pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
 pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback, VectorLoopInfo};
 pub use error::{CompileError, RunError};
 pub use interp::{ExecMode, RunLimits, ScheduleOverrides, Val};
-pub use omprt::Schedule;
+pub use omprt::{PoolSet, Schedule};
+pub use service::{
+    source_hash, ArtifactCache, CompiledProgram, EngineService, Job, JobQueue, JobResult, Session,
+};
 pub use rir::ScalarTy;
 pub use storage::ArrayObj;
 pub use trace::{Collector, FallbackInfo, Profile, RegionReport, SpanKind, SpanNode};

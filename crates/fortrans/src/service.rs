@@ -1,0 +1,979 @@
+//! The service layer: immutable compiled artifacts, per-run sessions,
+//! an LRU artifact cache, and batched job execution.
+//!
+//! The paper's pipeline is one-shot — compile one kernel, run it once.
+//! A service compiling and running many kernels for many users
+//! concurrently needs a different shape:
+//!
+//! * [`CompiledProgram`] — everything `compile` produces and nothing a
+//!   run mutates: the resolved program, both statically verified
+//!   bytecode variants (optimized and traced), and the source-content
+//!   hash that keys it. `Arc`-shared across any number of sessions.
+//! * [`Session`] — everything a run mutates: global storage, schedule
+//!   overrides, [`RunLimits`], the vector-path gate, fallback and
+//!   vector-entry counters. Cheap to create; one per tenant/run-stream.
+//! * [`ArtifactCache`] — LRU map from source hash to artifact, so
+//!   repeated compiles of identical sources return the same `Arc`.
+//! * [`JobQueue`] — batches many parameter sets across one shared
+//!   [`omprt::PoolSet`] without oversubscription, with per-job limits
+//!   and trap isolation.
+//!
+//! Like `engine.rs` this is user-reachable API surface: internal panics
+//! are a bug here (scoped lints below). The one `catch_unwind` is the
+//! deliberate trap boundary of the tiered-execution contract.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omprt::{CriticalRegistry, PoolSet, ThreadPool};
+use parking_lot::Mutex;
+
+use crate::bytecode::{compile_program, BUnit};
+use crate::engine::{ArgVal, ExecTier, RunOutcome, TierFallback, VectorLoopInfo};
+use crate::error::{CompileError, RunError};
+use crate::interp::{EffLimits, Exec, ExecMode, RunLimits, ScheduleOverrides, Task, Val};
+use crate::parse::parse;
+use crate::rir::{RProgram, ScalarTy};
+use crate::sema::resolve;
+use crate::storage::{ArrayObj, GlobalCell, Globals};
+
+/// FNV-1a over every source with a separator byte between files, so the
+/// key is a pure function of source *content*: any byte difference —
+/// including whitespace — yields a distinct artifact, and reordering
+/// files does too (storage layout follows file order).
+pub fn source_hash(sources: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for s in sources {
+        for b in s.bytes() {
+            eat(b);
+        }
+        eat(0x1f); // unit separator: "ab"+"c" hashes apart from "a"+"bc"
+    }
+    h
+}
+
+/// The immutable product of compilation, shared by reference across
+/// sessions. Nothing in here changes after [`CompiledProgram::compile`]
+/// returns: the resolved program (with its pc→line tables and OMP
+/// descriptors), both bytecode variants — already statically verified —
+/// and the content hash that keys the artifact in an [`ArtifactCache`].
+pub struct CompiledProgram {
+    prog: Arc<RProgram>,
+    /// `[optimized, traced]`: the optimized build (constant folding,
+    /// dead-store elimination, fused/vectorized loops) serves
+    /// Serial/Parallel; the traced build preserves every cost-bearing
+    /// operation for Simulated mode.
+    bytecode: [Arc<Vec<BUnit>>; 2],
+    source_hash: u64,
+}
+
+impl CompiledProgram {
+    /// Parses, resolves, compiles and statically verifies one or more
+    /// source files into a shareable artifact. Both bytecode variants
+    /// are built eagerly so a compiler bug surfaces here as
+    /// [`CompileError::Verify`] instead of undefined VM behavior later.
+    pub fn compile(sources: &[&str]) -> Result<Arc<CompiledProgram>, CompileError> {
+        let hash = source_hash(sources);
+        let mut ast = crate::ast::Ast::default();
+        for s in sources {
+            let mut part = parse(s)?;
+            ast.modules.append(&mut part.modules);
+        }
+        let prog = resolve(&ast)?;
+        let optimized = compile_program(&prog, false);
+        crate::verify::verify_program(&prog, &optimized)?;
+        let traced = compile_program(&prog, true);
+        crate::verify::verify_program(&prog, &traced)?;
+        Ok(Arc::new(CompiledProgram {
+            prog: Arc::new(prog),
+            bytecode: [Arc::new(optimized), Arc::new(traced)],
+            source_hash: hash,
+        }))
+    }
+
+    /// The resolved program (introspection for tests and tooling).
+    pub fn program(&self) -> &RProgram {
+        &self.prog
+    }
+
+    /// Content hash of the sources this artifact was compiled from.
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// Bytecode for the whole program; `traced` selects the Simulated
+    /// build.
+    pub fn bytecode(&self, traced: bool) -> Arc<Vec<BUnit>> {
+        Arc::clone(&self.bytecode[usize::from(traced)])
+    }
+
+    /// Static vectorization report: one line per loop the bytecode
+    /// compiler proved legal to vectorize, with unit name, source line,
+    /// statement count and reduction flag. Reflects the optimized
+    /// (Serial/Parallel) build; the traced build never vectorizes.
+    pub fn vector_report(&self) -> Vec<VectorLoopInfo> {
+        let mut out = Vec::new();
+        for bu in self.bytecode[0].iter() {
+            for d in &bu.vecs {
+                out.push(VectorLoopInfo {
+                    unit: self.prog.units[bu.unit as usize].name.clone(),
+                    line: d.line,
+                    stmts: d.stmts.len(),
+                    reduction: d.red.is_some(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Per-run mutable state over a shared [`CompiledProgram`]: live global
+/// storage (module variables, COMMON blocks, SAVE arrays — persisting
+/// across `run` calls exactly like a linked FORTRAN process image),
+/// schedule overrides, [`RunLimits`], the vector-path gate, and the
+/// fallback/vector counters. Every mutation stays inside the session:
+/// two sessions over the same artifact cannot observe each other.
+pub struct Session {
+    artifact: Arc<CompiledProgram>,
+    globals: Arc<Globals>,
+    pools: Arc<PoolSet>,
+    critical: Arc<CriticalRegistry>,
+    /// Execution limits applied to every run (both tiers).
+    limits: RunLimits,
+    /// Number of VM traps that fell back to the oracle tier.
+    fallback_count: AtomicU64,
+    /// Test hook: force the next VM-tier run to trap.
+    force_vm_trap: AtomicBool,
+    /// Loop-schedule overrides snapshotted into every run's `Exec`.
+    sched_overrides: Mutex<Arc<ScheduleOverrides>>,
+    /// Gate for the VM's vector superinstruction path; on by default.
+    vector_enabled: AtomicBool,
+    /// Loop entries that actually ran vectorized, across all runs.
+    vector_entries: Arc<AtomicU64>,
+    /// Session-local bytecode replacement (`[optimized, traced]`),
+    /// normally empty. `debug_inject_bytecode` writes here so the
+    /// fault-injection harness corrupts *this session's* view only —
+    /// the shared artifact stays pristine for every other session.
+    bytecode_override: Mutex<[Option<Arc<Vec<BUnit>>>; 2]>,
+}
+
+impl Session {
+    /// Opens a session over `artifact`, forking parallel regions on the
+    /// shared `pools` (sessions handed the same [`PoolSet`] share OS
+    /// threads instead of oversubscribing the host).
+    pub fn new(artifact: Arc<CompiledProgram>, pools: Arc<PoolSet>) -> Session {
+        let globals = Arc::new(build_globals(&artifact.prog));
+        Session {
+            artifact,
+            globals,
+            pools,
+            critical: Arc::new(CriticalRegistry::new()),
+            limits: RunLimits::default(),
+            fallback_count: AtomicU64::new(0),
+            force_vm_trap: AtomicBool::new(false),
+            sched_overrides: Mutex::new(Arc::new(ScheduleOverrides::default())),
+            vector_enabled: AtomicBool::new(true),
+            vector_entries: Arc::new(AtomicU64::new(0)),
+            bytecode_override: Mutex::new([None, None]),
+        }
+    }
+
+    /// Opens a session with a private pool set — the one-shot shape the
+    /// standalone [`crate::Engine`] presents.
+    pub fn solo(artifact: Arc<CompiledProgram>) -> Session {
+        Session::new(artifact, Arc::new(PoolSet::new()))
+    }
+
+    /// The shared artifact this session executes.
+    pub fn artifact(&self) -> &Arc<CompiledProgram> {
+        &self.artifact
+    }
+
+    /// Sets execution limits applied to every subsequent run.
+    pub fn set_limits(&mut self, limits: RunLimits) {
+        self.limits = limits;
+    }
+
+    /// The currently configured execution limits.
+    pub fn limits(&self) -> RunLimits {
+        self.limits
+    }
+
+    /// How many VM traps have fallen back to the oracle tier so far
+    /// (this session only).
+    pub fn fallback_count(&self) -> u64 {
+        self.fallback_count.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: forces the next VM-tier run to trap, exercising the
+    /// trap-and-fallback path deterministically.
+    #[doc(hidden)]
+    pub fn debug_force_vm_trap(&self) {
+        self.force_vm_trap.store(true, Ordering::Relaxed);
+    }
+
+    /// Test hook: replaces this session's view of one bytecode variant
+    /// (`traced` selects the Simulated build). Used by the
+    /// fault-injection harness to execute corrupted streams; the shared
+    /// [`CompiledProgram`] is not touched.
+    #[doc(hidden)]
+    pub fn debug_inject_bytecode(&self, traced: bool, bunits: Vec<BUnit>) {
+        self.bytecode_override.lock()[usize::from(traced)] = Some(Arc::new(bunits));
+    }
+
+    /// The resolved program (introspection for tests and tooling).
+    pub fn program(&self) -> &RProgram {
+        &self.artifact.prog
+    }
+
+    /// Installs per-line loop-schedule overrides, replacing any previous
+    /// per-line set. Each `(line, schedule)` pair reschedules the
+    /// parallel DO at that source line on every subsequent run, in both
+    /// execution tiers — this is the apply side of the feedback loop: a
+    /// measured [`crate::trace::Profile`]'s per-region imbalance (keyed
+    /// by `omp@line`) decides the overrides for the next run.
+    pub fn set_schedule_overrides<I>(&self, overrides: I)
+    where
+        I: IntoIterator<Item = (u32, omprt::Schedule)>,
+    {
+        let mut cur = (**self.sched_overrides.lock()).clone();
+        cur.by_line = overrides.into_iter().collect();
+        *self.sched_overrides.lock() = Arc::new(cur);
+    }
+
+    /// Installs (or with `None` clears) a blanket schedule override
+    /// applied to every parallel DO without a per-line override. Used by
+    /// the schedule-matrix benchmarks and the differential suite to run
+    /// one program under each schedule kind.
+    pub fn set_schedule_override_all(&self, sched: Option<omprt::Schedule>) {
+        let mut cur = (**self.sched_overrides.lock()).clone();
+        cur.all = sched;
+        *self.sched_overrides.lock() = Arc::new(cur);
+    }
+
+    /// The currently installed schedule overrides.
+    pub fn schedule_overrides(&self) -> ScheduleOverrides {
+        (**self.sched_overrides.lock()).clone()
+    }
+
+    /// Enables or disables the VM's vector superinstruction path (on by
+    /// default). Disabling forces every vectorized loop back to its
+    /// scalar head — used for A/B benchmarking and differential tests;
+    /// results are bit-identical either way.
+    pub fn set_vector_enabled(&self, on: bool) {
+        self.vector_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the vector superinstruction path is enabled.
+    pub fn vector_enabled(&self) -> bool {
+        self.vector_enabled.load(Ordering::Relaxed)
+    }
+
+    /// How many loop entries actually executed on the vector path so
+    /// far (this session's runs, all threads). Zero after runs with the
+    /// path enabled means every candidate fell back at a runtime guard.
+    pub fn vector_entry_count(&self) -> u64 {
+        self.vector_entries.load(Ordering::Relaxed)
+    }
+
+    /// Static vectorization report for this session's optimized
+    /// bytecode (the artifact's, unless a test injected a replacement).
+    pub fn vector_report(&self) -> Vec<VectorLoopInfo> {
+        let bunits = self.bytecode_for(false);
+        let mut out = Vec::new();
+        for bu in bunits.iter() {
+            for d in &bu.vecs {
+                out.push(VectorLoopInfo {
+                    unit: self.artifact.prog.units[bu.unit as usize].name.clone(),
+                    line: d.line,
+                    stmts: d.stmts.len(),
+                    reduction: d.red.is_some(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Reinitializes all global storage.
+    pub fn reset_globals(&mut self) {
+        self.globals = Arc::new(build_globals(&self.artifact.prog));
+    }
+
+    fn pool_for(&self, threads: usize) -> Arc<ThreadPool> {
+        self.pools.pool_for(threads)
+    }
+
+    /// Bytecode for the whole program; `traced` selects the Simulated
+    /// build. The session-local injection slot wins over the artifact.
+    fn bytecode_for(&self, traced: bool) -> Arc<Vec<BUnit>> {
+        if let Some(b) = &self.bytecode_override.lock()[usize::from(traced)] {
+            return Arc::clone(b);
+        }
+        self.artifact.bytecode(traced)
+    }
+
+    /// Runs subprogram `name` with `args` under `mode` on the default
+    /// tier (the bytecode VM).
+    pub fn run(&self, name: &str, args: &[ArgVal], mode: ExecMode) -> Result<RunOutcome, RunError> {
+        self.run_tiered(name, args, mode, ExecTier::Vm)
+    }
+
+    /// Runs subprogram `name` on an explicit execution tier.
+    ///
+    /// Internal panics never cross this boundary. A panic in the VM tier
+    /// (an engine bug, not a program-level [`RunError`]) is trapped, a
+    /// [`TierFallback`] diagnostic is recorded, and the call is
+    /// transparently re-executed on the tree-walk oracle so the caller
+    /// still gets an answer. A panic in the oracle itself surfaces as
+    /// [`RunError::Trap`].
+    pub fn run_tiered(
+        &self,
+        name: &str,
+        args: &[ArgVal],
+        mode: ExecMode,
+        tier: ExecTier,
+    ) -> Result<RunOutcome, RunError> {
+        let unit_id = self
+            .artifact
+            .prog
+            .unit_id(name)
+            .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
+        match tier {
+            ExecTier::Vm => {
+                let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
+                let vm_run = catch_unwind(AssertUnwindSafe(|| {
+                    if forced {
+                        panic!("forced VM trap (test hook)");
+                    }
+                    self.run_on_vm(unit_id, args, mode, None)
+                }));
+                let trap = match vm_run {
+                    Err(payload) => payload_str(&*payload),
+                    // A contained worker panic surfaces as `Trap`: an
+                    // internal fault, so it also falls back.
+                    Ok(Err(ref e)) if matches!(e.root(), RunError::Trap { .. }) => e.to_string(),
+                    Ok(run) => return run,
+                };
+                // The VM trapped: record the diagnostic and give the
+                // caller the oracle's answer instead.
+                self.fallback_count.fetch_add(1, Ordering::Relaxed);
+                let fb = TierFallback { unit: name.into(), what: trap };
+                let mut out = self.run_on_oracle(unit_id, args, mode, None)?;
+                out.fallback = Some(fb);
+                Ok(out)
+            }
+            ExecTier::TreeWalk => self.run_on_oracle(unit_id, args, mode, None),
+        }
+    }
+
+    /// Runs subprogram `name` with a profiling collector attached,
+    /// returning the outcome together with the rendered
+    /// [`crate::trace::Profile`]: per-unit and per-DO-loop wall time and
+    /// entry counts, executed VM instructions (or interpreter steps)
+    /// against the configured [`RunLimits`] budget, parallel-region
+    /// worker utilization, and any tier-fallback diagnostics.
+    ///
+    /// Profiling follows the same trap-and-fallback contract as
+    /// [`Session::run_tiered`]: if the VM tier traps, a *fresh* collector
+    /// is attached to the oracle re-run, so the returned profile always
+    /// describes the execution that produced the result. The fallback
+    /// diagnostic and the session-lifetime fallback total are surfaced on
+    /// the profile itself.
+    pub fn run_profiled(
+        &self,
+        name: &str,
+        args: &[ArgVal],
+        mode: ExecMode,
+        tier: ExecTier,
+    ) -> Result<(RunOutcome, crate::trace::Profile), RunError> {
+        let unit_id = self
+            .artifact
+            .prog
+            .unit_id(name)
+            .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
+        let mode_str = match mode {
+            ExecMode::Serial => "serial".to_string(),
+            ExecMode::Parallel { threads } => format!("parallel({threads})"),
+            ExecMode::Simulated { threads } => format!("simulated({threads})"),
+        };
+        // Worker busy-time accounting is cheap but not free: the pool
+        // collects it only while a profiled Parallel run is in flight.
+        let pool = match mode {
+            ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
+            _ => None,
+        };
+        if let Some(p) = &pool {
+            p.set_metrics(true);
+            p.take_metrics(); // discard leftovers from earlier runs
+        }
+        let finish = |prof: crate::trace::Collector, tier_str: &str, wall_ns: u64| {
+            let (spans, steps) = prof.finish();
+            let regions = pool
+                .as_ref()
+                .map(|p| {
+                    p.take_metrics()
+                        .into_iter()
+                        .map(|m| crate::trace::RegionReport {
+                            threads: m.threads as u64,
+                            wall_ns: m.wall_ns,
+                            busy_ns: m.busy_ns,
+                            line: m.line as u64,
+                            sched: m.sched.render(),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            crate::trace::Profile {
+                entry: name.to_string(),
+                tier: tier_str.to_string(),
+                mode: mode_str.clone(),
+                wall_ns,
+                steps,
+                max_steps: self.limits.max_steps,
+                spans,
+                regions,
+                fallback: None,
+                fallback_count: self.fallback_count(),
+            }
+        };
+        match tier {
+            ExecTier::Vm => {
+                let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
+                let prof = crate::trace::Collector::new();
+                let t0 = std::time::Instant::now();
+                let vm_run = catch_unwind(AssertUnwindSafe(|| {
+                    if forced {
+                        panic!("forced VM trap (test hook)");
+                    }
+                    self.run_on_vm(unit_id, args, mode, Some(&prof))
+                }));
+                let trap = match vm_run {
+                    Err(payload) => payload_str(&*payload),
+                    Ok(Err(ref e)) if matches!(e.root(), RunError::Trap { .. }) => e.to_string(),
+                    Ok(run) => {
+                        let wall_ns = t0.elapsed().as_nanos() as u64;
+                        if let Some(p) = &pool {
+                            p.set_metrics(false);
+                        }
+                        let out = run?;
+                        return Ok((out, finish(prof, "vm", wall_ns)));
+                    }
+                };
+                // The VM trapped: re-profile on the oracle with a fresh
+                // collector, so the profile matches the answer's tier.
+                self.fallback_count.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = &pool {
+                    p.take_metrics(); // drop partials from the trapped attempt
+                }
+                let fb = TierFallback { unit: name.into(), what: trap };
+                let prof = crate::trace::Collector::new();
+                let t0 = std::time::Instant::now();
+                let run = self.run_on_oracle(unit_id, args, mode, Some(&prof));
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = &pool {
+                    p.set_metrics(false);
+                }
+                let mut out = run?;
+                out.fallback = Some(fb.clone());
+                let mut profile = finish(prof, "tree-walk", wall_ns);
+                profile.fallback =
+                    Some(crate::trace::FallbackInfo { unit: fb.unit, what: fb.what });
+                Ok((out, profile))
+            }
+            ExecTier::TreeWalk => {
+                let prof = crate::trace::Collector::new();
+                let t0 = std::time::Instant::now();
+                let run = self.run_on_oracle(unit_id, args, mode, Some(&prof));
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = &pool {
+                    p.set_metrics(false);
+                }
+                let out = run?;
+                Ok((out, finish(prof, "tree-walk", wall_ns)))
+            }
+        }
+    }
+
+    fn make_exec(&self, mode: ExecMode) -> Exec {
+        let pool = match mode {
+            ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
+            _ => None,
+        };
+        Exec {
+            prog: Arc::clone(&self.artifact.prog),
+            globals: Arc::clone(&self.globals),
+            mode,
+            pool,
+            critical: Arc::clone(&self.critical),
+            printed: Mutex::new(String::new()),
+            sched_overrides: Arc::clone(&self.sched_overrides.lock()),
+            limits: EffLimits::start(&self.limits),
+            vector_enabled: self.vector_enabled.load(Ordering::Relaxed),
+            vector_entries: Arc::clone(&self.vector_entries),
+        }
+    }
+
+    fn run_on_vm(
+        &self,
+        unit_id: usize,
+        args: &[ArgVal],
+        mode: ExecMode,
+        prof: Option<&crate::trace::Collector>,
+    ) -> Result<RunOutcome, RunError> {
+        let exec = self.make_exec(mode);
+        let traced = matches!(mode, ExecMode::Simulated { .. });
+        let bunits = self.bytecode_for(traced);
+        let (result, trace, printed) = crate::vm::run_vm(&exec, &bunits, unit_id, args, prof)?;
+        Ok(RunOutcome { result, trace, printed, fallback: None })
+    }
+
+    /// Runs on the tree-walk oracle, containing any internal panic as
+    /// [`RunError::Trap`] (the oracle is the last tier — there is nothing
+    /// left to fall back to).
+    fn run_on_oracle(
+        &self,
+        unit_id: usize,
+        args: &[ArgVal],
+        mode: ExecMode,
+        prof: Option<&crate::trace::Collector>,
+    ) -> Result<RunOutcome, RunError> {
+        let traced = matches!(mode, ExecMode::Simulated { .. });
+        catch_unwind(AssertUnwindSafe(|| {
+            let exec = self.make_exec(mode);
+            let mut task = Task::new(&exec, 0, traced);
+            task.prof = prof;
+            let frame = task.entry_frame(unit_id, args)?;
+            let (result, trace, printed) = task.run_entry(unit_id, frame)?;
+            Ok(RunOutcome { result, trace, printed, fallback: None })
+        }))
+        .unwrap_or_else(|payload| Err(RunError::Trap { what: payload_str(&*payload) }))
+    }
+
+    /// Reads a global scalar by diagnostic name (`module::var`,
+    /// `module::var%field`, `common block::var`, `unit::savevar`).
+    pub fn global_scalar(&self, name: &str) -> Option<Val> {
+        let prog = &self.artifact.prog;
+        let id = prog.global_id(name)?;
+        let decl = &prog.globals[id];
+        if decl.rank != 0 {
+            return None;
+        }
+        let bits = self.globals.cells[id].load_bits(0);
+        Some(match decl.ty {
+            ScalarTy::I => Val::I(bits as i64),
+            ScalarTy::F => Val::F(f64::from_bits(bits)),
+            ScalarTy::B => Val::B(bits != 0),
+        })
+    }
+
+    /// Writes a global scalar.
+    pub fn set_global_scalar(&self, name: &str, v: Val) -> bool {
+        let prog = &self.artifact.prog;
+        let Some(id) = prog.global_id(name) else { return false };
+        let decl = &prog.globals[id];
+        if decl.rank != 0 {
+            return false;
+        }
+        let bits = match decl.ty {
+            ScalarTy::I => v.as_i() as u64,
+            ScalarTy::F => v.as_f().to_bits(),
+            ScalarTy::B => u64::from(v.as_b()),
+        };
+        self.globals.cells[id].store_bits(0, bits);
+        true
+    }
+
+    /// Array handle of a global (thread 0 instance for per-thread cells).
+    pub fn global_array(&self, name: &str) -> Option<Arc<ArrayObj>> {
+        let id = self.artifact.prog.global_id(name)?;
+        self.globals.cells[id].array_handle(0)
+    }
+
+    /// Lists global diagnostic names (tooling).
+    pub fn global_names(&self) -> Vec<String> {
+        self.artifact.prog.globals.iter().map(|g| g.name.clone()).collect()
+    }
+}
+
+/// An LRU cache of [`CompiledProgram`]s keyed by [`source_hash`], with
+/// monotone hit/miss/eviction counters. Repeated compiles of identical
+/// sources return the *same* `Arc`; compilation runs outside the lock so
+/// a slow compile never blocks concurrent lookups of other entries.
+pub struct ArtifactCache {
+    cap: usize,
+    /// Recency-ordered: front is least recently used, back is most.
+    inner: Mutex<Vec<(u64, Arc<CompiledProgram>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding at most `capacity` artifacts
+    /// (`capacity == 0` is clamped to 1).
+    pub fn new(capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            cap: capacity.max(1),
+            inner: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of artifacts retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Returns the cached artifact for `sources`, compiling (outside the
+    /// cache lock) on first sight. Exactly one of the hit/miss counters
+    /// advances per call. If two threads race to compile the same new
+    /// sources, both compile but all callers get one winning `Arc`, so
+    /// "same source ⇒ same artifact" holds even under the race.
+    pub fn get_or_compile(&self, sources: &[&str]) -> Result<Arc<CompiledProgram>, CompileError> {
+        let hash = source_hash(sources);
+        if let Some(found) = self.touch(hash) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = CompiledProgram::compile(sources)?;
+        let mut inner = self.inner.lock();
+        // Re-check: a racer may have inserted while we compiled. Keeping
+        // the incumbent preserves the same-Arc guarantee.
+        if let Some(pos) = inner.iter().position(|(h, _)| *h == hash) {
+            let entry = inner.remove(pos);
+            let found = Arc::clone(&entry.1);
+            inner.push(entry);
+            return Ok(found);
+        }
+        inner.push((hash, Arc::clone(&fresh)));
+        while inner.len() > self.cap {
+            inner.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(fresh)
+    }
+
+    /// Looks up `hash` and, on a hit, marks it most recently used.
+    fn touch(&self, hash: u64) -> Option<Arc<CompiledProgram>> {
+        let mut inner = self.inner.lock();
+        let pos = inner.iter().position(|(h, _)| *h == hash)?;
+        let entry = inner.remove(pos);
+        let found = Arc::clone(&entry.1);
+        inner.push(entry);
+        Some(found)
+    }
+
+    /// Number of artifacts currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Cache hits so far (monotone).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (monotone).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far (monotone).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits over lookups, 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Source hashes in recency order, least recently used first
+    /// (test/tooling introspection of the eviction order).
+    pub fn lru_hashes(&self) -> Vec<u64> {
+        self.inner.lock().iter().map(|(h, _)| *h).collect()
+    }
+}
+
+/// One batched invocation: entry point, arguments, execution mode, and
+/// optional per-job [`RunLimits`]. Defaults to Serial with the session's
+/// default limits.
+pub struct Job {
+    entry: String,
+    args: Vec<ArgVal>,
+    mode: ExecMode,
+    limits: Option<RunLimits>,
+    force_trap: bool,
+}
+
+impl Job {
+    /// A Serial-mode job with default limits.
+    pub fn new(entry: impl Into<String>, args: Vec<ArgVal>) -> Job {
+        Job { entry: entry.into(), args, mode: ExecMode::Serial, limits: None, force_trap: false }
+    }
+
+    /// Sets the execution mode. `Serial` and `Simulated` jobs run
+    /// concurrently across the batch pool; `Parallel` jobs fork the
+    /// shared pool themselves, so the queue runs them one at a time on
+    /// the submitting thread (never oversubscribing).
+    pub fn mode(mut self, mode: ExecMode) -> Job {
+        self.mode = mode;
+        self
+    }
+
+    /// Attaches per-job execution limits (step budget, deadline, call
+    /// depth); a tripped limit fails *this* job only.
+    pub fn limits(mut self, limits: RunLimits) -> Job {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// Test hook: the job's first VM run traps, exercising mid-batch
+    /// fallback isolation.
+    #[doc(hidden)]
+    pub fn debug_force_trap(mut self) -> Job {
+        self.force_trap = true;
+        self
+    }
+}
+
+/// What a [`Job`] produced: the outcome (or per-job error) plus the
+/// private [`Session`] it ran in, for reading back globals.
+pub struct JobResult {
+    /// The session the job ran in (its globals hold the outputs).
+    pub session: Session,
+    /// The job's outcome or its own failure; sibling jobs are unaffected.
+    pub result: Result<RunOutcome, RunError>,
+}
+
+type BatchSlot = Mutex<Option<Result<RunOutcome, RunError>>>;
+
+/// Batches many jobs — possibly over different artifacts — across one
+/// shared [`PoolSet`]. Each job gets a private [`Session`], so a job
+/// that traps, trips its limits, or corrupts its own globals cannot
+/// touch a sibling; the pool contains any panic and self-heals.
+pub struct JobQueue {
+    pools: Arc<PoolSet>,
+    threads: usize,
+    pending: Vec<(Arc<CompiledProgram>, Job)>,
+}
+
+impl JobQueue {
+    /// A queue dispatching over `pools` with `threads`-wide batch
+    /// concurrency (`0` is clamped to 1).
+    pub fn new(pools: Arc<PoolSet>, threads: usize) -> JobQueue {
+        JobQueue { pools, threads: threads.max(1), pending: Vec::new() }
+    }
+
+    /// Enqueues `job` against `artifact`. Nothing runs until
+    /// [`JobQueue::run_batch`].
+    pub fn submit(&mut self, artifact: &Arc<CompiledProgram>, job: Job) {
+        self.pending.push((Arc::clone(artifact), job));
+    }
+
+    /// Number of jobs waiting.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs every pending job and returns results in submission order.
+    ///
+    /// Serial/Simulated jobs are dispatched across the batch pool via a
+    /// dynamic dispenser (a stalled job does not idle the other
+    /// workers); Parallel jobs run afterwards on the calling thread,
+    /// forking the same shared pool set one at a time. Either way the
+    /// host never runs more than the pool-set threads at once.
+    pub fn run_batch(&mut self) -> Vec<JobResult> {
+        let jobs = std::mem::take(&mut self.pending);
+        let sessions: Vec<Session> = jobs
+            .iter()
+            .map(|(artifact, job)| {
+                let mut s = Session::new(Arc::clone(artifact), Arc::clone(&self.pools));
+                if let Some(l) = job.limits {
+                    s.set_limits(l);
+                }
+                if job.force_trap {
+                    s.debug_force_vm_trap();
+                }
+                s
+            })
+            .collect();
+        let slots: Vec<BatchSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let run_one = |i: usize| {
+            let (_, job) = &jobs[i];
+            let out = sessions[i].run(&job.entry, &job.args, job.mode);
+            *slots[i].lock() = Some(out);
+        };
+        // Pool-dispatched fraction: everything that does not fork a team
+        // of its own.
+        let pooled: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, job))| !matches!(job.mode, ExecMode::Parallel { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if !pooled.is_empty() {
+            let pool = self.pools.pool_for(self.threads);
+            let disp =
+                omprt::Dispenser::new(omprt::Schedule::Dynamic(1), pooled.len(), pool.threads());
+            let region = pool.run(|_tid| {
+                while let Some((lo, hi)) = disp.claim() {
+                    for &i in &pooled[lo..hi] {
+                        run_one(i);
+                    }
+                }
+            });
+            if let Err(p) = region {
+                // Should be unreachable — `Session::run` already contains
+                // traps — but if a panic does escape, pin it on the jobs
+                // that never produced a result rather than losing it.
+                for &i in &pooled {
+                    let mut slot = slots[i].lock();
+                    if slot.is_none() {
+                        *slot = Some(Err(RunError::Trap { what: p.what.clone() }));
+                    }
+                }
+            }
+        }
+        // Team-forking jobs: one at a time, on the caller, over the same
+        // shared pools.
+        for (i, (_, job)) in jobs.iter().enumerate() {
+            if matches!(job.mode, ExecMode::Parallel { .. }) {
+                run_one(i);
+            }
+        }
+        sessions
+            .into_iter()
+            .zip(slots)
+            .map(|(session, slot)| JobResult {
+                result: slot.into_inner().unwrap_or_else(|| {
+                    Err(RunError::Trap { what: "job produced no result".into() })
+                }),
+                session,
+            })
+            .collect()
+    }
+}
+
+/// The top of the service layer: an [`ArtifactCache`] plus a shared
+/// [`PoolSet`], from which sessions and job queues are minted.
+pub struct EngineService {
+    cache: ArtifactCache,
+    pools: Arc<PoolSet>,
+}
+
+impl EngineService {
+    /// A service caching up to `cache_capacity` compiled artifacts.
+    pub fn new(cache_capacity: usize) -> EngineService {
+        EngineService { cache: ArtifactCache::new(cache_capacity), pools: Arc::new(PoolSet::new()) }
+    }
+
+    /// Compiles `sources` through the cache: identical sources return
+    /// the same shared artifact.
+    pub fn compile(&self, sources: &[&str]) -> Result<Arc<CompiledProgram>, CompileError> {
+        self.cache.get_or_compile(sources)
+    }
+
+    /// Compiles (through the cache) and opens a session on the shared
+    /// pool set.
+    pub fn session(&self, sources: &[&str]) -> Result<Session, CompileError> {
+        Ok(Session::new(self.compile(sources)?, Arc::clone(&self.pools)))
+    }
+
+    /// Opens a session over an already-compiled artifact.
+    pub fn session_for(&self, artifact: &Arc<CompiledProgram>) -> Session {
+        Session::new(Arc::clone(artifact), Arc::clone(&self.pools))
+    }
+
+    /// A job queue with `threads`-wide batch concurrency over the shared
+    /// pool set.
+    pub fn queue(&self, threads: usize) -> JobQueue {
+        JobQueue::new(Arc::clone(&self.pools), threads)
+    }
+
+    /// The artifact cache (hit/miss/eviction introspection).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// The shared pool set.
+    pub fn pools(&self) -> &Arc<PoolSet> {
+        &self.pools
+    }
+}
+
+/// Renders a `catch_unwind` payload for diagnostics.
+pub(crate) fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+pub(crate) fn build_globals(prog: &RProgram) -> Globals {
+    let cells = prog
+        .globals
+        .iter()
+        .map(|decl| {
+            if decl.rank == 0 && !decl.allocatable && decl.dims.is_empty() {
+                let cell = if decl.per_thread {
+                    GlobalCell::new_per_thread_scalar()
+                } else {
+                    GlobalCell::new_scalar()
+                };
+                if let Some(bits) = decl.init_bits {
+                    match &cell {
+                        GlobalCell::Scalar(c) => {
+                            c.store(bits, std::sync::atomic::Ordering::Relaxed)
+                        }
+                        GlobalCell::PerThreadScalar(v) => {
+                            for c in v.iter() {
+                                c.store(bits, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                cell
+            } else if decl.per_thread {
+                let cell = GlobalCell::new_per_thread_array();
+                if !decl.allocatable && !decl.dims.is_empty() {
+                    for t in 0..crate::storage::MAX_THREADS {
+                        cell.set_array(t, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
+                    }
+                }
+                cell
+            } else {
+                let cell = GlobalCell::new_array();
+                if !decl.allocatable && !decl.dims.is_empty() {
+                    cell.set_array(0, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
+                }
+                cell
+            }
+        })
+        .collect();
+    Globals { cells }
+}

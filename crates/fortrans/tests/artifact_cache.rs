@@ -1,0 +1,162 @@
+//! Property tests for the [`fortrans::ArtifactCache`]: source-hash
+//! keying, LRU eviction order, the capacity invariant, and monotone
+//! hit/miss/eviction accounting — checked against a reference LRU model
+//! under randomized compile sequences.
+
+use std::sync::Arc;
+
+use fortrans::{source_hash, ArtifactCache};
+use proptest::prelude::*;
+
+/// A pool of small, distinct, valid programs. Index `i` yields a unique
+/// source text (and therefore a unique source hash).
+fn program(i: usize) -> String {
+    format!(
+        r#"
+MODULE m{i}
+CONTAINS
+  REAL(8) FUNCTION f{i}(x)
+    REAL(8) :: x
+    f{i} = x * {i}.0D0 + {i}
+  END FUNCTION f{i}
+END MODULE m{i}
+"#
+    )
+}
+
+#[test]
+fn same_source_returns_the_same_arc() {
+    let cache = ArtifactCache::new(4);
+    let src = program(1);
+    let a = cache.get_or_compile(&[&src]).unwrap();
+    let b = cache.get_or_compile(&[&src]).unwrap();
+    assert!(Arc::ptr_eq(&a, &b), "hit must return the identical artifact");
+    assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    assert_eq!(a.source_hash(), source_hash(&[&src]));
+}
+
+#[test]
+fn whitespace_distinct_sources_are_distinct_entries() {
+    let cache = ArtifactCache::new(4);
+    let src = program(2);
+    let spaced = format!("{src}\n"); // same program, different text
+    let a = cache.get_or_compile(&[&src]).unwrap();
+    let b = cache.get_or_compile(&[&spaced]).unwrap();
+    assert_ne!(source_hash(&[&src]), source_hash(&[&spaced]));
+    assert!(!Arc::ptr_eq(&a, &b), "textually distinct sources get distinct artifacts");
+    assert_eq!(cache.len(), 2);
+    assert_eq!(cache.misses(), 2);
+}
+
+#[test]
+fn multi_file_hash_is_order_and_boundary_sensitive() {
+    let (a, b) = (program(3), program(4));
+    assert_ne!(source_hash(&[&a, &b]), source_hash(&[&b, &a]), "file order matters");
+    let joined = format!("{a}{b}");
+    assert_ne!(
+        source_hash(&[&a, &b]),
+        source_hash(&[&joined]),
+        "file boundaries are part of the key"
+    );
+}
+
+/// Reference LRU model: front = least recently used, back = most recent.
+struct ModelLru {
+    cap: usize,
+    order: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> ModelLru {
+        ModelLru { cap: cap.max(1), order: Vec::new(), hits: 0, misses: 0, evictions: 0 }
+    }
+
+    fn access(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&h| h == hash) {
+            self.order.remove(pos);
+            self.order.push(hash);
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if self.order.len() == self.cap {
+                self.order.remove(0);
+                self.evictions += 1;
+            }
+            self.order.push(hash);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized compile sequences over a pool of 6 distinct programs
+    /// against caches of capacity 1..4: the cache must match the
+    /// reference model access for access — LRU order (via `lru_hashes`),
+    /// the capacity invariant, counter values, and the accounting
+    /// identity `misses == len + evictions`. Counters are checked
+    /// monotone at every step.
+    #[test]
+    fn cache_matches_the_reference_lru_model(
+        cap in 1usize..5,
+        seq in prop::collection::vec(0usize..6, 1..40),
+    ) {
+        let sources: Vec<String> = (0..6).map(program).collect();
+        let hashes: Vec<u64> = sources.iter().map(|s| source_hash(&[s.as_str()])).collect();
+        let cache = ArtifactCache::new(cap);
+        let mut model = ModelLru::new(cap);
+        let (mut last_hits, mut last_misses, mut last_evictions) = (0u64, 0u64, 0u64);
+        for &i in &seq {
+            let artifact = cache.get_or_compile(&[sources[i].as_str()]).unwrap();
+            prop_assert_eq!(artifact.source_hash(), hashes[i]);
+            model.access(hashes[i]);
+
+            // Exact agreement with the model after every access.
+            prop_assert_eq!(cache.lru_hashes(), model.order.clone());
+            prop_assert_eq!(cache.len(), model.order.len());
+            prop_assert!(cache.len() <= cache.capacity(), "capacity invariant");
+            prop_assert_eq!(cache.hits(), model.hits);
+            prop_assert_eq!(cache.misses(), model.misses);
+            prop_assert_eq!(cache.evictions(), model.evictions);
+
+            // Monotonicity, and exactly one counter ticks per access.
+            let ticked = (cache.hits() - last_hits) + (cache.misses() - last_misses);
+            prop_assert_eq!(ticked, 1, "exactly one hit-or-miss per access");
+            prop_assert!(cache.evictions() >= last_evictions);
+            (last_hits, last_misses, last_evictions) =
+                (cache.hits(), cache.misses(), cache.evictions());
+        }
+        prop_assert_eq!(cache.misses(), cache.len() as u64 + cache.evictions());
+    }
+
+    /// A re-compiled evicted program is a fresh artifact; an entry still
+    /// resident keeps its identity across unrelated accesses.
+    #[test]
+    fn resident_entries_keep_identity_and_evicted_ones_do_not(
+        filler in prop::collection::vec(1usize..6, 1..10),
+    ) {
+        let keep = program(0);
+        let cache = ArtifactCache::new(2);
+        let first = cache.get_or_compile(&[&keep]).unwrap();
+        let mut resident = true;
+        for &i in &filler {
+            let src = program(i);
+            cache.get_or_compile(&[src.as_str()]).unwrap();
+            // Touch the kept entry only while it is still resident.
+            if resident && cache.lru_hashes().contains(&first.source_hash()) {
+                let again = cache.get_or_compile(&[&keep]).unwrap();
+                prop_assert!(Arc::ptr_eq(&first, &again), "resident entry keeps its Arc");
+            } else {
+                resident = false;
+            }
+        }
+        if !resident {
+            let fresh = cache.get_or_compile(&[&keep]).unwrap();
+            prop_assert!(!Arc::ptr_eq(&first, &fresh), "evicted entry recompiles fresh");
+            prop_assert_eq!(fresh.source_hash(), first.source_hash());
+        }
+    }
+}

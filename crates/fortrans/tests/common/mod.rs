@@ -1,0 +1,811 @@
+//! Shared corpus + snapshot machinery for the service-layer test suite.
+//!
+//! The corpus mirrors the differential suite's program families (module
+//! globals, COMMON blocks, derived types, every OMP construct the engine
+//! supports, allocatables, error paths, PRINT) as `Case` values a test
+//! can run through arbitrary [`fortrans::Session`]s. The snapshot type
+//! captures the complete observable state of one run — result, printed
+//! output, globals, argument arrays — with the same comparison policy
+//! the differential suite uses: bit-identical for deterministic modes,
+//! float-tolerant with line-multiset PRINT comparison for `Parallel`.
+
+#![allow(dead_code)] // each test binary uses its own slice of this module
+
+use fortrans::{ArgVal, ExecMode, ScalarTy, Session, Val};
+
+/// One corpus program: sources, entry unit, and an argument builder
+/// (arguments must be rebuilt per run — array handles are shared).
+pub struct Case {
+    pub label: &'static str,
+    pub src: &'static str,
+    pub unit: &'static str,
+    pub mk_args: fn() -> Vec<ArgVal>,
+}
+
+/// Bit dump of one global after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GSnap {
+    Scalar(Option<Val>),
+    Array(ScalarTy, Vec<u64>),
+    Unallocated,
+}
+
+/// Everything observable from one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snap {
+    pub result: Result<Option<Val>, String>,
+    pub printed: String,
+    pub globals: Vec<(String, GSnap)>,
+    pub arg_arrays: Vec<(ScalarTy, Vec<u64>)>,
+}
+
+fn dump_arr(h: &fortrans::ArrayObj) -> (ScalarTy, Vec<u64>) {
+    (h.ty, (0..h.len()).map(|k| h.get_bits(k)).collect())
+}
+
+/// Runs `case` on `session` and captures the observable state. The cost
+/// trace is deliberately not captured: the service suite compares runs
+/// across schedules and thread interleavings where traces legitimately
+/// differ.
+pub fn snapshot(session: &Session, case: &Case, mode: ExecMode) -> Snap {
+    let args = (case.mk_args)();
+    let run = session.run(case.unit, &args, mode);
+    let (result, printed) = match run {
+        Ok(out) => (Ok(out.result), out.printed),
+        Err(e) => (Err(e.to_string()), String::new()),
+    };
+    let mut globals = Vec::new();
+    let mut names = session.global_names();
+    names.sort();
+    for name in names {
+        let snap = if let Some(v) = session.global_scalar(&name) {
+            GSnap::Scalar(Some(v))
+        } else if let Some(h) = session.global_array(&name) {
+            let (ty, bits) = dump_arr(&h);
+            GSnap::Array(ty, bits)
+        } else {
+            GSnap::Unallocated
+        };
+        globals.push((name, snap));
+    }
+    let arg_arrays = args.iter().filter_map(|a| a.handle().map(|h| dump_arr(h))).collect();
+    Snap { result, printed, globals, arg_arrays }
+}
+
+fn f64_close(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn bits_close(ty: ScalarTy, a: u64, b: u64) -> bool {
+    match ty {
+        ScalarTy::F => f64_close(f64::from_bits(a), f64::from_bits(b)),
+        _ => a == b,
+    }
+}
+
+fn sorted_lines(s: &str) -> Vec<&str> {
+    let mut v: Vec<&str> = s.lines().collect();
+    v.sort();
+    v
+}
+
+/// Mode-appropriate comparison: bit-identical for Serial/Simulated,
+/// tolerant for Parallel.
+pub fn assert_equivalent(label: &str, mode: ExecMode, a: &Snap, b: &Snap) {
+    if !matches!(mode, ExecMode::Parallel { .. }) {
+        assert_eq!(a, b, "{label} under {mode:?}: snapshots diverge");
+        return;
+    }
+    assert_tolerant(label, a, b);
+}
+
+/// Tolerant comparison: results and storage modulo float reduction-order
+/// rounding, printed output as a line multiset.
+pub fn assert_tolerant(label: &str, a: &Snap, b: &Snap) {
+    match (&a.result, &b.result) {
+        (Ok(Some(Val::F(x))), Ok(Some(Val::F(y)))) => {
+            assert!(f64_close(*x, *y), "{label} result: {x} vs {y}");
+        }
+        (Ok(x), Ok(y)) => assert_eq!(x, y, "{label} result"),
+        (Err(_), Err(_)) => {}
+        (x, y) => panic!("{label}: one run errored: {x:?} vs {y:?}"),
+    }
+    assert_eq!(sorted_lines(&a.printed), sorted_lines(&b.printed), "{label} printed lines");
+    assert_eq!(a.globals.len(), b.globals.len(), "{label} global count");
+    for ((an, ag), (bn, bg)) in a.globals.iter().zip(&b.globals) {
+        assert_eq!(an, bn, "{label} global name order");
+        match (ag, bg) {
+            (GSnap::Scalar(Some(Val::F(x))), GSnap::Scalar(Some(Val::F(y)))) => {
+                assert!(f64_close(*x, *y), "{label} global {an}: {x} vs {y}");
+            }
+            (GSnap::Array(ta, va), GSnap::Array(tb, vb)) => {
+                assert_eq!((ta, va.len()), (tb, vb.len()), "{label} global {an} shape");
+                for (k, (&x, &y)) in va.iter().zip(vb).enumerate() {
+                    assert!(bits_close(*ta, x, y), "{label} global {an}[{k}]");
+                }
+            }
+            (x, y) => assert_eq!(x, y, "{label} global {an}"),
+        }
+    }
+    assert_eq!(a.arg_arrays.len(), b.arg_arrays.len(), "{label} arg array count");
+    for (ai, ((ta, va), (tb, vb))) in a.arg_arrays.iter().zip(&b.arg_arrays).enumerate() {
+        assert_eq!((ta, va.len()), (tb, vb.len()), "{label} arg {ai} shape");
+        for (k, (&x, &y)) in va.iter().zip(vb).enumerate() {
+            assert!(bits_close(*ta, x, y), "{label} arg {ai}[{k}]");
+        }
+    }
+}
+
+/// The corpus. Program families match the differential suite; every
+/// source is distinct (distinct artifacts in a shared cache).
+pub fn corpus() -> Vec<Case> {
+    vec![
+        Case {
+            label: "hyp",
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION hyp(a, b)
+    REAL(8) :: a, b
+    hyp = SQRT(a**2 + b**2)
+  END FUNCTION hyp
+END MODULE m
+"#,
+            unit: "hyp",
+            mk_args: || vec![ArgVal::F(3.0), ArgVal::F(4.0)],
+        },
+        Case {
+            label: "value-result",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE bump(x)
+    REAL(8) :: x
+    x = x + 1.0D0
+  END SUBROUTINE bump
+  SUBROUTINE run2(out)
+    REAL(8), DIMENSION(1:1) :: out
+    REAL(8) :: t
+    t = 10.0D0
+    CALL bump(t)
+    CALL bump(t)
+    out(1) = t
+  END SUBROUTINE run2
+END MODULE m
+"#,
+            unit: "run2",
+            mk_args: || vec![ArgVal::array_f(&[0.0], 1)],
+        },
+        Case {
+            label: "counter",
+            src: r#"
+MODULE counter_mod
+  INTEGER :: count
+CONTAINS
+  SUBROUTINE tick()
+    count = count + 1
+  END SUBROUTINE tick
+END MODULE counter_mod
+"#,
+            unit: "tick",
+            mk_args: Vec::new,
+        },
+        Case {
+            label: "common",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE both()
+    REAL(8) :: cc
+    REAL(8), DIMENSION(1:4) :: dd
+    COMMON /rad/ cc, dd
+    INTEGER :: i
+    cc = 42.0D0
+    DO i = 1, 4
+      dd(i) = i * 1.0D0
+    END DO
+  END SUBROUTINE both
+END MODULE m
+"#,
+            unit: "both",
+            mk_args: Vec::new,
+        },
+        Case {
+            label: "derived",
+            src: r#"
+MODULE fuliou_mod
+  TYPE fuout_t
+    REAL(8), DIMENSION(1:4) :: fd
+    REAL(8) :: total
+  END TYPE fuout_t
+  TYPE(fuout_t) :: fo
+END MODULE fuliou_mod
+MODULE kernels
+  USE fuliou_mod
+CONTAINS
+  SUBROUTINE fill()
+    INTEGER :: i
+    DO i = 1, 4
+      fo%fd(i) = i * 10.0D0
+    END DO
+    fo%total = fo%fd(1) + fo%fd(2) + fo%fd(3) + fo%fd(4)
+  END SUBROUTINE fill
+END MODULE kernels
+"#,
+            unit: "fill",
+            mk_args: Vec::new,
+        },
+        Case {
+            label: "sum-reduction",
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION total(a, n)
+    REAL(8), DIMENSION(1:1000) :: a
+    INTEGER :: n
+    REAL(8) :: acc
+    INTEGER :: i
+    acc = 0.0D0
+    !$OMP PARALLEL DO DEFAULT(SHARED) REDUCTION(+:acc)
+    DO i = 1, n
+      acc = acc + a(i)
+    END DO
+    !$OMP END PARALLEL DO
+    total = acc
+  END FUNCTION total
+END MODULE m
+"#,
+            unit: "total",
+            mk_args: || {
+                let data: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+                vec![ArgVal::array_f(&data, 1), ArgVal::I(1000)]
+            },
+        },
+        Case {
+            label: "multi-reduction",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE stats(a, n, s, mx)
+    REAL(8), DIMENSION(1:100) :: a
+    INTEGER :: n
+    REAL(8) :: s, mx
+    INTEGER :: i
+    s = 0.0D0
+    mx = -1.0D30
+    !$OMP PARALLEL DO REDUCTION(+:s) REDUCTION(MAX:mx)
+    DO i = 1, n
+      s = s + a(i)
+      mx = MAX(mx, a(i))
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE stats
+  SUBROUTINE driver(a, n, out)
+    REAL(8), DIMENSION(1:100) :: a
+    INTEGER :: n
+    REAL(8), DIMENSION(1:2) :: out
+    REAL(8) :: s, mx
+    CALL stats(a, n, s, mx)
+    out(1) = s
+    out(2) = mx
+  END SUBROUTINE driver
+END MODULE m
+"#,
+            unit: "driver",
+            mk_args: || {
+                let data: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+                vec![ArgVal::array_f(&data, 1), ArgVal::I(100), ArgVal::array_f(&[0.0, 0.0], 1)]
+            },
+        },
+        Case {
+            label: "atomic",
+            src: r#"
+MODULE accum_mod
+  REAL(8), DIMENSION(1:4) :: bins
+CONTAINS
+  SUBROUTINE scatter(n)
+    INTEGER :: n
+    INTEGER :: i, b
+    !$OMP PARALLEL DO DEFAULT(SHARED) PRIVATE(b)
+    DO i = 1, n
+      b = MOD(i, 4) + 1
+      !$OMP ATOMIC
+      bins(b) = bins(b) + 1.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE scatter
+END MODULE accum_mod
+"#,
+            unit: "scatter",
+            mk_args: || vec![ArgVal::I(4000)],
+        },
+        Case {
+            label: "critical",
+            src: r#"
+MODULE m
+  REAL(8) :: shared_total
+CONTAINS
+  SUBROUTINE work(n)
+    INTEGER :: n
+    INTEGER :: i
+    REAL(8) :: t
+    !$OMP PARALLEL DO DEFAULT(SHARED) PRIVATE(t)
+    DO i = 1, n
+      t = 1.0D0
+      !$OMP CRITICAL (upd)
+      shared_total = shared_total + t
+      !$OMP END CRITICAL
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE work
+END MODULE m
+"#,
+            unit: "work",
+            mk_args: || vec![ArgVal::I(2000)],
+        },
+        Case {
+            label: "collapse",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE fill(a)
+    REAL(8), DIMENSION(1:2, 1:60) :: a
+    INTEGER :: i, j
+    !$OMP PARALLEL DO DEFAULT(SHARED) COLLAPSE(2)
+    DO i = 1, 2
+      DO j = 1, 60
+        a(i, j) = i * 100.0D0 + j
+      END DO
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE fill
+END MODULE m
+"#,
+            unit: "fill",
+            mk_args: || vec![ArgVal::array_f_dims(&vec![0.0; 120], vec![(1, 2), (1, 60)]).unwrap()],
+        },
+        Case {
+            label: "alloc-save",
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION edge_tmp()
+    REAL(8), DIMENSION(:), ALLOCATABLE, SAVE :: tmp
+    IF (.NOT. ALLOCATED(tmp)) ALLOCATE(tmp(1:8))
+    tmp(1) = tmp(1) + 1.0D0
+    edge_tmp = tmp(1)
+  END FUNCTION edge_tmp
+END MODULE m
+"#,
+            unit: "edge_tmp",
+            mk_args: Vec::new,
+        },
+        Case {
+            label: "do-while",
+            src: r#"
+MODULE m
+CONTAINS
+  INTEGER FUNCTION count_down(n)
+    INTEGER :: n
+    INTEGER :: c
+    c = 0
+    DO WHILE (n > 0)
+      n = n - 1
+      IF (MOD(n, 2) == 0) CYCLE
+      c = c + 1
+      IF (c >= 3) EXIT
+    END DO
+    count_down = c
+  END FUNCTION count_down
+END MODULE m
+"#,
+            unit: "count_down",
+            mk_args: || vec![ArgVal::I(100)],
+        },
+        Case {
+            label: "oob-error",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE oops(k)
+    INTEGER :: k
+    REAL(8), DIMENSION(1:4) :: a
+    a(k) = 1.0D0
+  END SUBROUTINE oops
+END MODULE m
+"#,
+            unit: "oops",
+            mk_args: || vec![ArgVal::I(9)],
+        },
+        Case {
+            label: "div-zero-error",
+            src: r#"
+MODULE m
+CONTAINS
+  INTEGER FUNCTION bad(n)
+    INTEGER :: n
+    bad = 10 / n
+  END FUNCTION bad
+END MODULE m
+"#,
+            unit: "bad",
+            mk_args: || vec![ArgVal::I(0)],
+        },
+        Case {
+            label: "stop-error",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE halt(x)
+    REAL(8) :: x
+    IF (x > 0.0D0) STOP 'positive input'
+    x = -x
+  END SUBROUTINE halt
+END MODULE m
+"#,
+            unit: "halt",
+            mk_args: || vec![ArgVal::F(1.0)],
+        },
+        Case {
+            label: "print",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE speak(x, k, q)
+    REAL(8) :: x
+    INTEGER :: k
+    LOGICAL :: q
+    PRINT *, 'value is', x, k, q
+  END SUBROUTINE speak
+END MODULE m
+"#,
+            unit: "speak",
+            mk_args: || vec![ArgVal::F(2.5), ArgVal::I(-3), ArgVal::B(true)],
+        },
+        Case {
+            label: "chaos",
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION chaos(a, n)
+    REAL(8), DIMENSION(1:64) :: a
+    INTEGER :: n
+    REAL(8) :: acc
+    INTEGER :: i
+    acc = 0.0D0
+    !$OMP PARALLEL DO REDUCTION(+:acc)
+    DO i = 1, n
+      acc = acc + SIN(a(i)) * COS(a(i)) / (1.0D0 + a(i)**2)
+    END DO
+    !$OMP END PARALLEL DO
+    chaos = acc
+  END FUNCTION chaos
+END MODULE m
+"#,
+            unit: "chaos",
+            mk_args: || {
+                let data: Vec<f64> = (0..64).map(|i| i as f64 * 0.173).collect();
+                vec![ArgVal::array_f(&data, 1), ArgVal::I(64)]
+            },
+        },
+        Case {
+            label: "vec-memset",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE axpy(a, b, n)
+    REAL(8), DIMENSION(1:256) :: a, b
+    INTEGER :: n
+    INTEGER :: i
+    DO i = 1, n
+      a(i) = a(i) + 2.0D0 * b(i)
+    END DO
+    DO i = 1, n
+      b(i) = 0.0D0
+    END DO
+  END SUBROUTINE axpy
+END MODULE m
+"#,
+            unit: "axpy",
+            mk_args: || {
+                vec![
+                    ArgVal::array_f(&vec![1.0; 256], 1),
+                    ArgVal::array_f(&vec![1.0; 256], 1),
+                    ArgVal::I(256),
+                ]
+            },
+        },
+        Case {
+            label: "nested-omp",
+            src: r#"
+MODULE m
+  REAL(8) :: acc
+CONTAINS
+  SUBROUTINE inner(k)
+    INTEGER :: k
+    INTEGER :: j
+    !$OMP PARALLEL DO DEFAULT(SHARED)
+    DO j = 1, 4
+      !$OMP ATOMIC
+      acc = acc + 1.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE inner
+  SUBROUTINE outer(n)
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO DEFAULT(SHARED)
+    DO i = 1, n
+      CALL inner(i)
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE outer
+END MODULE m
+"#,
+            unit: "outer",
+            mk_args: || vec![ArgVal::I(10)],
+        },
+        Case {
+            label: "threadprivate",
+            src: r#"
+MODULE m
+  REAL(8), DIMENSION(1:4) :: buf
+  !$OMP THREADPRIVATE(buf)
+  REAL(8) :: merged
+CONTAINS
+  SUBROUTINE work(n)
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO DEFAULT(SHARED)
+    DO i = 1, n
+      buf(1) = buf(1) + 1.0D0
+      !$OMP ATOMIC
+      merged = merged + 1.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE work
+END MODULE m
+"#,
+            unit: "work",
+            mk_args: || vec![ArgVal::I(100)],
+        },
+        Case {
+            label: "params",
+            src: r#"
+MODULE m
+  INTEGER, PARAMETER :: nv = 6
+  REAL(8), PARAMETER :: scale_f = 2.5D0
+CONTAINS
+  REAL(8) FUNCTION use_params()
+    REAL(8), DIMENSION(1:nv) :: w
+    INTEGER :: i
+    DO i = 1, nv
+      w(i) = i * scale_f
+    END DO
+    use_params = SUM(w)
+  END FUNCTION use_params
+END MODULE m
+"#,
+            unit: "use_params",
+            mk_args: Vec::new,
+        },
+        Case {
+            label: "private-array",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE hist(out, n)
+    REAL(8), DIMENSION(1:4) :: out
+    INTEGER :: n
+    REAL(8), DIMENSION(1:4) :: scratch
+    INTEGER :: i, k
+    !$OMP PARALLEL DO DEFAULT(SHARED) PRIVATE(scratch, k)
+    DO i = 1, n
+      DO k = 1, 4
+        scratch(k) = i * 1.0D0
+      END DO
+      !$OMP ATOMIC
+      out(MOD(i, 4) + 1) = out(MOD(i, 4) + 1) + scratch(1) / scratch(2)
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE hist
+END MODULE m
+"#,
+            unit: "hist",
+            mk_args: || vec![ArgVal::array_f(&[0.0; 4], 1), ArgVal::I(400)],
+        },
+        Case {
+            label: "sched-chunk",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE mark(a, n)
+    REAL(8), DIMENSION(1:97) :: a
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO SCHEDULE(STATIC, 5) NUM_THREADS(2)
+    DO i = 1, n
+      a(i) = a(i) + i * 1.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE mark
+END MODULE m
+"#,
+            unit: "mark",
+            mk_args: || vec![ArgVal::array_f(&vec![0.0; 97], 1), ArgVal::I(97)],
+        },
+        Case {
+            label: "firstprivate",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE scaleit(a, n)
+    REAL(8), DIMENSION(1:40) :: a
+    INTEGER :: n
+    REAL(8) :: scale
+    INTEGER :: i
+    scale = 2.5D0
+    !$OMP PARALLEL DO FIRSTPRIVATE(scale)
+    DO i = 1, n
+      a(i) = a(i) * scale
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE scaleit
+END MODULE m
+"#,
+            unit: "scaleit",
+            mk_args: || vec![ArgVal::array_f(&vec![2.0; 40], 1), ArgVal::I(40)],
+        },
+        Case {
+            label: "prod-min",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE stats(a, n, res)
+    REAL(8), DIMENSION(1:12) :: a
+    INTEGER :: n
+    REAL(8), DIMENSION(1:2) :: res
+    REAL(8) :: p, mn
+    INTEGER :: i
+    p = 1.0D0
+    mn = 1.0D30
+    !$OMP PARALLEL DO REDUCTION(*:p) REDUCTION(MIN:mn)
+    DO i = 1, n
+      p = p * a(i)
+      mn = MIN(mn, a(i))
+    END DO
+    !$OMP END PARALLEL DO
+    res(1) = p
+    res(2) = mn
+  END SUBROUTINE stats
+END MODULE m
+"#,
+            unit: "stats",
+            mk_args: || {
+                let data: Vec<f64> = (1..=12).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+                vec![ArgVal::array_f(&data, 1), ArgVal::I(12), ArgVal::array_f(&[0.0, 0.0], 1)]
+            },
+        },
+        Case {
+            label: "int-reduction",
+            src: r#"
+MODULE m
+CONTAINS
+  INTEGER FUNCTION countup(n)
+    INTEGER :: n
+    INTEGER :: i, acc
+    acc = 0
+    !$OMP PARALLEL DO REDUCTION(+:acc)
+    DO i = 1, n
+      acc = acc + i
+    END DO
+    !$OMP END PARALLEL DO
+    countup = acc
+  END FUNCTION countup
+END MODULE m
+"#,
+            unit: "countup",
+            mk_args: || vec![ArgVal::I(100)],
+        },
+        Case {
+            label: "global-loop-var",
+            src: r#"
+MODULE m
+  INTEGER :: gi
+  REAL(8) :: total
+CONTAINS
+  SUBROUTINE sweep(n)
+    INTEGER :: n
+    total = 0.0D0
+    DO gi = 1, n
+      total = total + gi * 1.0D0
+    END DO
+  END SUBROUTINE sweep
+END MODULE m
+"#,
+            unit: "sweep",
+            mk_args: || vec![ArgVal::I(17)],
+        },
+        Case {
+            label: "exit-critical",
+            src: r#"
+MODULE m
+  REAL(8) :: hits
+CONTAINS
+  SUBROUTINE scan(n)
+    INTEGER :: n
+    INTEGER :: i
+    DO i = 1, n
+      !$OMP CRITICAL (tally)
+      hits = hits + 1.0D0
+      !$OMP END CRITICAL
+      IF (MOD(i, 3) == 0) CYCLE
+      IF (i > 7) EXIT
+    END DO
+  END SUBROUTINE scan
+END MODULE m
+"#,
+            unit: "scan",
+            mk_args: || vec![ArgVal::I(50)],
+        },
+        Case {
+            label: "promotion",
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION mixer(k, x)
+    INTEGER :: k
+    REAL(8) :: x
+    INTEGER :: j
+    REAL(8) :: r
+    j = k / 3 + MOD(k, 5)
+    r = j + x * 2
+    r = r + k ** 2 + x ** k + x ** 1.5D0
+    r = r - j / 2
+    mixer = r + NINT(x) + INT(x) + ABS(1 - k) + SIGN(2.0D0, -x)
+  END FUNCTION mixer
+END MODULE m
+"#,
+            unit: "mixer",
+            mk_args: || vec![ArgVal::I(7), ArgVal::F(2.25)],
+        },
+        Case {
+            label: "nested-calls",
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION sq(x)
+    REAL(8) :: x
+    sq = x * x
+  END FUNCTION sq
+  REAL(8) FUNCTION quad(x)
+    REAL(8) :: x
+    quad = sq(sq(x)) + sq(x)
+  END FUNCTION quad
+END MODULE m
+"#,
+            unit: "quad",
+            mk_args: || vec![ArgVal::F(2.0)],
+        },
+        Case {
+            label: "par-neg-step",
+            src: r#"
+MODULE m
+CONTAINS
+  SUBROUTINE rev(a, n)
+    REAL(8), DIMENSION(1:30) :: a
+    INTEGER :: n
+    INTEGER :: i
+    !$OMP PARALLEL DO
+    DO i = n, 1, -1
+      a(i) = i * 10.0D0
+    END DO
+    !$OMP END PARALLEL DO
+  END SUBROUTINE rev
+END MODULE m
+"#,
+            unit: "rev",
+            mk_args: || vec![ArgVal::array_f(&vec![0.0; 30], 1), ArgVal::I(30)],
+        },
+    ]
+}

@@ -372,6 +372,124 @@ fn trapped_corruption_recovers_the_oracle_answer() {
     }
 }
 
+// ---------------------------------------------------------------------
+// 4. Batched execution: faults are per-job, the shared pool self-heals.
+// ---------------------------------------------------------------------
+
+/// A batch mixing clean jobs with a forced-trap job and a
+/// step-starved job, across all three modes on one shared artifact and
+/// pool set. The locks: sibling jobs stay bit-identical to an all-clean
+/// baseline batch, each fault is confined to its own job's session, the
+/// shared pools contain no panics, and a follow-up batch on the same
+/// queue runs fully clean (nothing was poisoned).
+#[test]
+fn batched_faults_do_not_poison_sibling_jobs_or_the_pool() {
+    use fortrans::{EngineService, Job, RunError};
+
+    let service = EngineService::new(4);
+    let artifact = service.compile(&[SCALE_SRC]).expect("compiles");
+    let modes = [
+        ExecMode::Serial,
+        ExecMode::Simulated { threads: 4 },
+        ExecMode::Parallel { threads: 2 },
+    ];
+    let mk = || {
+        let a = ArgVal::array_f(&[1.0, 2.0, 3.0, 4.0], 1);
+        (a.clone(), vec![a, ArgVal::I(4), ArgVal::F(3.0)])
+    };
+    let expect = [3.0f64, 6.0, 9.0, 12.0];
+
+    // Baseline: all-clean batch, one job per mode.
+    let mut queue = service.queue(4);
+    let mut baseline_arrs = Vec::new();
+    for mode in modes {
+        let (arr, args) = mk();
+        queue.submit(&artifact, Job::new("scale", args).mode(mode));
+        baseline_arrs.push(arr);
+    }
+    for jr in queue.run_batch() {
+        jr.result.expect("baseline job succeeds");
+    }
+    let baseline: Vec<Vec<u64>> = baseline_arrs
+        .iter()
+        .map(|a| {
+            let h = a.handle().unwrap();
+            (0..h.len()).map(|k| h.get_bits(k)).collect()
+        })
+        .collect();
+    for (m, bits) in baseline.iter().enumerate() {
+        for (k, &b) in bits.iter().enumerate() {
+            assert_eq!(f64::from_bits(b), expect[k], "baseline mode {m} elem {k}");
+        }
+    }
+
+    // Mixed batch: per mode, a clean job, a forced-trap job, and a
+    // starved job — interleaved in one dispatch.
+    let mut clean_arrs = Vec::new(); // (mode index, array)
+    for (mi, mode) in modes.iter().enumerate() {
+        let (arr, args) = mk();
+        queue.submit(&artifact, Job::new("scale", args).mode(*mode));
+        clean_arrs.push((mi, arr));
+        let (_, args) = mk();
+        queue.submit(&artifact, Job::new("scale", args).mode(*mode).debug_force_trap());
+        let (_, args) = mk();
+        queue.submit(
+            &artifact,
+            Job::new("scale", args)
+                .mode(*mode)
+                .limits(RunLimits { max_steps: Some(2), ..RunLimits::default() }),
+        );
+    }
+    let results = queue.run_batch();
+    assert_eq!(results.len(), 9);
+    for (j, jr) in results.iter().enumerate() {
+        match j % 3 {
+            0 => {
+                // Clean sibling: success, no fallback, counter untouched.
+                let out = jr.result.as_ref().expect("clean sibling succeeds");
+                assert!(out.fallback.is_none(), "job {j}: no bleed from faulted siblings");
+                assert_eq!(jr.session.fallback_count(), 0, "job {j}");
+            }
+            1 => {
+                // Forced trap: recovered via the oracle, diagnosed, and
+                // counted on this job's session only.
+                let out = jr.result.as_ref().expect("trapped job recovers via the oracle");
+                let fb = out.fallback.as_ref().expect("trap diagnostic reported");
+                assert_eq!(fb.unit, "scale");
+                assert_eq!(jr.session.fallback_count(), 1, "job {j}");
+            }
+            _ => {
+                // Starved: a clean Limit error, not a trap, no fallback.
+                let err = jr.result.as_ref().expect_err("2 steps cannot finish");
+                assert!(
+                    matches!(err.root(), RunError::Limit { .. }),
+                    "job {j} fails with Limit, got: {err}"
+                );
+                assert_eq!(jr.session.fallback_count(), 0, "job {j}");
+            }
+        }
+    }
+    // Sibling outputs are bit-identical to the all-clean baseline.
+    for (mi, arr) in &clean_arrs {
+        let h = arr.handle().unwrap();
+        let bits: Vec<u64> = (0..h.len()).map(|k| h.get_bits(k)).collect();
+        assert_eq!(&bits, &baseline[*mi], "mode {mi}: sibling diverged from clean baseline");
+    }
+    // Faults were contained at the engine boundary, not in the pools.
+    assert_eq!(service.pools().contained_panics(), 0);
+
+    // Self-heal probe: the next batch on the same queue is fully clean.
+    for mode in modes {
+        let (_, args) = mk();
+        queue.submit(&artifact, Job::new("scale", args).mode(mode));
+    }
+    for (j, jr) in queue.run_batch().into_iter().enumerate() {
+        let out = jr.result.unwrap_or_else(|e| panic!("post-fault batch job {j} failed: {e}"));
+        assert!(out.fallback.is_none(), "job {j}: pool left unhealthy");
+    }
+    assert_eq!(service.pools().contained_panics(), 0);
+}
+
 /// The compile path itself refuses corrupt bytecode: mutating what
 /// `compile_program` produced and re-verifying yields a
 /// `CompileError::Verify` whose display names the unit and pc.

@@ -3,8 +3,9 @@
 //! version (§4.2.2).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use fortrans::{ArgVal, Engine, ExecMode};
+use fortrans::{ArgVal, CompiledProgram, Engine, ExecMode, Session};
 use glaf::Glaf;
 use glaf_codegen::{CodegenOptions, DirectivePolicy};
 use simcpu::{time_trace, MachineModel, SimReport};
@@ -137,14 +138,15 @@ impl Fun3dVariant {
     }
 }
 
-/// Builds the engine for a variant.
-pub fn build_engine(variant: Fun3dVariant) -> Engine {
+/// The source set for a variant — the mesh partition drivers an
+/// [`fortrans::ArtifactCache`] keys on.
+pub fn variant_sources(variant: Fun3dVariant) -> Vec<String> {
     match variant {
         Fun3dVariant::OriginalSerial => {
-            Engine::compile(&[MESH_MOD_SRC, ORIGINAL_JACOBIAN_SRC]).expect("original compiles")
+            vec![MESH_MOD_SRC.to_string(), ORIGINAL_JACOBIAN_SRC.to_string()]
         }
         Fun3dVariant::ManualParallel => {
-            Engine::compile(&[MESH_MOD_SRC, MANUAL_JACOBIAN_SRC]).expect("manual compiles")
+            vec![MESH_MOD_SRC.to_string(), MANUAL_JACOBIAN_SRC.to_string()]
         }
         Fun3dVariant::Glaf(cfg) => {
             let mut g = Glaf::new(build_fun3d_program()).expect("GLAF FUN3D program is valid");
@@ -153,10 +155,28 @@ pub fn build_engine(variant: Fun3dVariant) -> Engine {
                 assert!(!fused.is_empty(), "edge_loop's temporaries loops fuse");
             }
             let generated = g.generate(glaf::Lang::Fortran, &cfg.codegen_options());
-            Engine::compile(&[MESH_MOD_SRC, &generated.source])
-                .unwrap_or_else(|e| panic!("generated code compiles: {e}\n{}", generated.source))
+            vec![MESH_MOD_SRC.to_string(), generated.source]
         }
     }
+}
+
+/// Compiles a variant into a shareable artifact.
+pub fn build_artifact(variant: Fun3dVariant) -> Arc<CompiledProgram> {
+    let sources = variant_sources(variant);
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    CompiledProgram::compile(&refs)
+        .unwrap_or_else(|e| panic!("{} sources compile: {e}", variant.name()))
+}
+
+/// Builds a one-shot engine for a variant (a private session over
+/// [`build_artifact`]'s output).
+pub fn build_engine(variant: Fun3dVariant) -> Engine {
+    Engine::from_artifact(build_artifact(variant))
+}
+
+/// The entry subprogram a variant's run calls after `build_mesh`.
+pub fn entry_point(variant: Fun3dVariant) -> &'static str {
+    entry(variant)
 }
 
 fn entry(variant: Fun3dVariant) -> &'static str {
@@ -181,29 +201,29 @@ pub fn run_simulated(
     threads: usize,
     machine: &MachineModel,
 ) -> Fun3dRun {
-    let engine = build_engine(variant);
-    engine
+    let session = Session::solo(build_artifact(variant));
+    session
         .run("build_mesh", &[ArgVal::I(ncell)], ExecMode::Serial)
         .expect("mesh builds");
-    let out = engine
+    let out = session
         .run(entry(variant), &[], ExecMode::Simulated { threads })
         .expect("variant runs");
     Fun3dRun {
         variant_name: variant.name(),
-        jac: engine.global_array("mesh_mod::jac").unwrap().to_f64_vec(),
+        jac: session.global_array("mesh_mod::jac").unwrap().to_f64_vec(),
         report: time_trace(&out.trace, machine),
     }
 }
 
 /// Real-thread run (correctness validation).
 pub fn run_real(variant: Fun3dVariant, ncell: i64, threads: usize) -> Vec<f64> {
-    let engine = build_engine(variant);
-    engine
+    let session = Session::solo(build_artifact(variant));
+    session
         .run("build_mesh", &[ArgVal::I(ncell)], ExecMode::Serial)
         .expect("mesh builds");
     let mode = if threads <= 1 { ExecMode::Serial } else { ExecMode::Parallel { threads } };
-    engine.run(entry(variant), &[], mode).expect("variant runs");
-    engine.global_array("mesh_mod::jac").unwrap().to_f64_vec()
+    session.run(entry(variant), &[], mode).expect("variant runs");
+    session.global_array("mesh_mod::jac").unwrap().to_f64_vec()
 }
 
 #[cfg(test)]

@@ -67,6 +67,47 @@ impl Default for CostParams {
     }
 }
 
+impl CostParams {
+    /// Default parameters with `simd_speedup` replaced by a measured
+    /// calibration (see [`calibrate_simd_speedup`]); falls back to the
+    /// flat default when the samples carry no evidence.
+    pub fn calibrated_simd(samples: &[(f64, u64)]) -> CostParams {
+        let mut p = CostParams::default();
+        if let Some(s) = calibrate_simd_speedup(samples) {
+            p.simd_speedup = s;
+        }
+        p
+    }
+}
+
+/// Recalibrates the `simd_speedup` parameter from measured vector-tier
+/// results: each sample is `(measured speedup, vector entry count)` for
+/// one kernel, as reported by `Session::vector_report` /
+/// `vector_entry_count` plus scalar-vs-vector timings. The estimate is
+/// the *entry-weighted geometric mean* — geometric because speedups
+/// compose multiplicatively (the flat default was itself a ratio), and
+/// weighted by vector-loop entries so a kernel whose vector loops
+/// actually dominate execution moves the estimate more than a micro
+/// benchmark entered a handful of times. The result is clamped to
+/// `[1, 16]` (below 1 the tier would have been disabled; above 16 no
+/// 512-bit lane budget is plausible for f64). Returns `None` — keep the
+/// prior — when no sample has both a positive speedup and nonzero
+/// weight.
+pub fn calibrate_simd_speedup(samples: &[(f64, u64)]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut weight = 0.0;
+    for &(speedup, entries) in samples {
+        if speedup > 0.0 && entries > 0 {
+            log_sum += entries as f64 * speedup.ln();
+            weight += entries as f64;
+        }
+    }
+    if weight == 0.0 {
+        return None;
+    }
+    Some((log_sum / weight).exp().clamp(1.0, 16.0))
+}
+
 /// Which OpenMP loop schedule the advisor recommends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedKind {
@@ -581,6 +622,31 @@ mod tests {
             .expect("parallelizable loop gets a schedule");
         assert_eq!(sc.kind, SchedKind::Dynamic, "why: {}", sc.why);
         assert!(sc.why.contains("indirectly-loaded scalar `k`"), "why: {}", sc.why);
+    }
+
+    #[test]
+    fn calibration_is_weighted_geometric_mean_clamped() {
+        // Equal weights -> plain geometric mean.
+        let g = calibrate_simd_speedup(&[(2.0, 10), (8.0, 10)]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12, "{g}");
+        // Weight dominance: the heavy sample pulls the mean toward itself.
+        let g = calibrate_simd_speedup(&[(2.0, 1_000_000), (8.0, 1)]).unwrap();
+        assert!(g < 2.01, "{g}");
+        // Zero-weight and non-positive samples are ignored.
+        assert_eq!(
+            calibrate_simd_speedup(&[(2.0, 0), (0.0, 5), (-3.0, 5)]),
+            None
+        );
+        assert_eq!(calibrate_simd_speedup(&[]), None);
+        // Clamp band.
+        assert_eq!(calibrate_simd_speedup(&[(100.0, 1)]).unwrap(), 16.0);
+        assert_eq!(calibrate_simd_speedup(&[(0.25, 1)]).unwrap(), 1.0);
+        // CostParams plumbing: calibrated value lands in simd_speedup,
+        // everything else stays default.
+        let p = CostParams::calibrated_simd(&[(2.0, 1)]);
+        assert_eq!(p.simd_speedup, 2.0);
+        assert_eq!(p.threads, CostParams::default().threads);
+        assert_eq!(CostParams::calibrated_simd(&[]).simd_speedup, 4.0);
     }
 
     #[test]

@@ -133,6 +133,20 @@ impl Glaf {
         sources.push(&generated.source);
         Engine::compile(&sources)
     }
+
+    /// [`Glaf::compile_with`], producing a shareable service-layer
+    /// artifact instead of a one-shot engine: open sessions on it (or
+    /// submit jobs against it) without recompiling.
+    pub fn compile_artifact_with(
+        &self,
+        opts: &CodegenOptions,
+        legacy_sources: &[&str],
+    ) -> Result<std::sync::Arc<fortrans::CompiledProgram>, fortrans::CompileError> {
+        let generated = self.generate(Lang::Fortran, opts);
+        let mut sources: Vec<&str> = legacy_sources.to_vec();
+        sources.push(&generated.source);
+        fortrans::CompiledProgram::compile(&sources)
+    }
 }
 
 #[cfg(test)]

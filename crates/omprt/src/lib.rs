@@ -29,7 +29,7 @@ pub mod sync;
 
 pub use barrier::Barrier;
 pub use metrics::RegionMetrics;
-pub use pool::{RegionPanic, ThreadPool};
+pub use pool::{PoolSet, RegionPanic, ThreadPool};
 pub use reduce::{combine, fold_depth, RedIdentity};
 pub use schedule::{chunks_for, guided_chunks, Dispenser, Schedule};
 pub use sync::{AtomicF64Cell, AtomicI64Cell, CriticalRegistry};

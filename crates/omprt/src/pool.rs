@@ -78,6 +78,9 @@ struct Shared {
     metrics_on: AtomicBool,
     /// Per-thread busy time of the current region, zeroed at each fork.
     busy_ns: Vec<AtomicU64>,
+    /// Lifetime count of panics caught at the pool boundary (workers and
+    /// thread 0 alike). Never reset: a health probe for shared pools.
+    contained: AtomicU64,
 }
 
 struct State {
@@ -95,6 +98,11 @@ pub struct ThreadPool {
     /// Completed-region metrics in fork order (only the forking caller
     /// touches this; workers write the `Shared::busy_ns` slots).
     records: Mutex<Vec<RegionMetrics>>,
+    /// Serializes whole regions: a pool shared between sessions admits
+    /// one forking caller at a time — later callers queue here instead of
+    /// racing on the single job slot (and instead of oversubscribing the
+    /// machine with overlapping teams).
+    fork: Mutex<()>,
 }
 
 impl ThreadPool {
@@ -111,6 +119,7 @@ impl ThreadPool {
             panics: Mutex::new(Vec::new()),
             metrics_on: AtomicBool::new(false),
             busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            contained: AtomicU64::new(0),
         });
         let mut handles = Vec::with_capacity(threads - 1);
         for tid in 1..threads {
@@ -122,7 +131,7 @@ impl ThreadPool {
                     .expect("spawn omprt worker"),
             );
         }
-        ThreadPool { shared, handles, threads, records: Mutex::new(Vec::new()) }
+        ThreadPool { shared, handles, threads, records: Mutex::new(Vec::new()), fork: Mutex::new(()) }
     }
 
     /// Number of logical threads.
@@ -142,12 +151,24 @@ impl ThreadPool {
         std::mem::take(&mut *self.records.lock())
     }
 
+    /// Lifetime count of panics the pool has contained (on any thread,
+    /// including the forking caller). Monotone — it is a health probe for
+    /// pools shared across sessions, not a per-region flag: a value that
+    /// stopped growing means later regions ran clean.
+    pub fn contained_panics(&self) -> u64 {
+        self.shared.contained.load(Ordering::Relaxed)
+    }
+
     /// Runs `f(tid)` once for each `tid in 0..threads`, in parallel, and
     /// returns after all invocations complete (the join of fork-join).
     ///
     /// A panicking closure does not poison the pool: the join still
     /// completes on every thread, and the first panic (lowest tid) comes
     /// back as `Err`. The pool remains usable for later regions.
+    ///
+    /// Safe for concurrent callers: regions on one pool are serialized,
+    /// so sessions sharing a pool take turns instead of racing the job
+    /// slot or oversubscribing the machine.
     pub fn run<F>(&self, f: F) -> Result<(), RegionPanic>
     where
         F: Fn(usize) + Sync,
@@ -167,8 +188,10 @@ impl ThreadPool {
             // Degenerate team: the region *is* the caller's inline call,
             // so busy time equals wall time by construction.
             let t0 = timing.then(Instant::now);
-            let r = catch_unwind(AssertUnwindSafe(|| f(0)))
-                .map_err(|p| RegionPanic { tid: 0, what: payload_msg(&*p) });
+            let r = catch_unwind(AssertUnwindSafe(|| f(0))).map_err(|p| {
+                self.shared.contained.fetch_add(1, Ordering::Relaxed);
+                RegionPanic { tid: 0, what: payload_msg(&*p) }
+            });
             if let Some(t0) = t0 {
                 let ns = t0.elapsed().as_nanos() as u64;
                 self.records.lock().push(RegionMetrics {
@@ -181,6 +204,11 @@ impl ThreadPool {
             }
             return r;
         }
+        // Admit one region at a time: concurrent sessions sharing this
+        // pool queue here rather than overlapping teams. Panics inside
+        // the region are caught before the guard drops, so the lock is
+        // never abandoned mid-region.
+        let _region = self.fork.lock();
         if timing {
             for slot in &self.shared.busy_ns {
                 slot.store(0, Ordering::Relaxed);
@@ -229,6 +257,7 @@ impl ThreadPool {
         }
         let mut caught: Vec<RegionPanic> = self.shared.panics.lock().drain(..).collect();
         if let Err(p) = t0 {
+            self.shared.contained.fetch_add(1, Ordering::Relaxed);
             caught.push(RegionPanic { tid: 0, what: payload_msg(&*p) });
         }
         match caught.into_iter().min_by_key(|p| p.tid) {
@@ -275,6 +304,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
             shared.busy_ns[tid].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         if let Err(p) = r {
+            shared.contained.fetch_add(1, Ordering::Relaxed);
             shared.panics.lock().push(RegionPanic { tid, what: payload_msg(&*p) });
         }
         // Decrement even after a panic — a hung join would be worse than
@@ -283,6 +313,58 @@ fn worker_loop(shared: Arc<Shared>, tid: usize) {
             let _guard = shared.state.lock();
             shared.done_cv.notify_one();
         }
+    }
+}
+
+/// A registry of [`ThreadPool`]s keyed by team width, shared across
+/// sessions so that N concurrent runs requesting `t` threads fork the
+/// *same* `t`-wide pool instead of spawning `N × t` OS threads
+/// (oversubscription). Cloning the returned `Arc` is the hand-off; pools
+/// live until the set and every borrower drop them.
+pub struct PoolSet {
+    pools: Mutex<Vec<(usize, Arc<ThreadPool>)>>,
+}
+
+impl PoolSet {
+    /// Creates an empty set; pools materialize lazily per width.
+    pub fn new() -> Self {
+        PoolSet { pools: Mutex::new(Vec::new()) }
+    }
+
+    /// Returns the shared pool presenting `threads` logical threads,
+    /// creating it on first request. `threads == 0` is clamped to 1,
+    /// matching [`ThreadPool::new`].
+    pub fn pool_for(&self, threads: usize) -> Arc<ThreadPool> {
+        let threads = threads.max(1);
+        let mut pools = self.pools.lock();
+        if let Some((_, p)) = pools.iter().find(|(t, _)| *t == threads) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(ThreadPool::new(threads));
+        pools.push((threads, Arc::clone(&p)));
+        p
+    }
+
+    /// Team widths that have materialized, in creation order.
+    pub fn widths(&self) -> Vec<usize> {
+        self.pools.lock().iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Total OS worker threads owned by the set (the caller thread of each
+    /// fork is not an OS worker, so a `t`-wide pool contributes `t - 1`).
+    pub fn os_workers(&self) -> usize {
+        self.pools.lock().iter().map(|(t, _)| t - 1).sum()
+    }
+
+    /// Sum of [`ThreadPool::contained_panics`] over every pool in the set.
+    pub fn contained_panics(&self) -> u64 {
+        self.pools.lock().iter().map(|(_, p)| p.contained_panics()).sum()
+    }
+}
+
+impl Default for PoolSet {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -489,5 +571,86 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.tid, 1);
         assert!(err.what.contains("boom 1"));
+    }
+
+    #[test]
+    fn contained_panics_counts_every_catch_and_is_monotone() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.contained_panics(), 0);
+        let _ = pool.run(|tid| {
+            if tid >= 2 {
+                panic!("boom");
+            }
+        });
+        assert_eq!(pool.contained_panics(), 2, "both panicking workers counted");
+        pool.run(|_tid| {}).unwrap();
+        assert_eq!(pool.contained_panics(), 2, "clean region leaves the count alone");
+        let _ = pool.run(|tid| {
+            if tid == 0 {
+                panic!("master boom");
+            }
+        });
+        assert_eq!(pool.contained_panics(), 3, "thread-0 catch counted too");
+        // Single-thread degenerate path.
+        let solo = ThreadPool::new(1);
+        let _ = solo.run(|_tid| panic!("inline boom"));
+        assert_eq!(solo.contained_panics(), 1);
+    }
+
+    #[test]
+    fn poolset_shares_one_pool_per_width() {
+        let set = PoolSet::new();
+        let a = set.pool_for(4);
+        let b = set.pool_for(4);
+        assert!(Arc::ptr_eq(&a, &b), "same width -> same pool");
+        assert_eq!(a.threads(), 4);
+        let c = set.pool_for(2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(set.widths(), vec![4, 2]);
+        assert_eq!(set.os_workers(), 3 + 1);
+        // Clamp matches ThreadPool::new.
+        assert_eq!(set.pool_for(0).threads(), 1);
+        // Health probe aggregates across pools.
+        let _ = a.run(|tid| {
+            if tid == 1 {
+                panic!("boom");
+            }
+        });
+        assert_eq!(set.contained_panics(), 1);
+    }
+
+    #[test]
+    fn concurrent_callers_on_one_pool_serialize_regions() {
+        // 8 OS threads all fork regions on the same 4-thread pool. The
+        // fork lock admits one region at a time, so every region sees a
+        // quiescent pool: its 4 increments land before the next begins.
+        let pool = Arc::new(ThreadPool::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        let in_region = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (pool, total, in_region) = (pool.clone(), total.clone(), in_region.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        pool.run(|tid| {
+                            if tid == 0 {
+                                // Only one forking caller may be inside.
+                                assert_eq!(in_region.fetch_add(1, Ordering::SeqCst), 0);
+                            }
+                            total.fetch_add(1, Ordering::Relaxed);
+                            if tid == 0 {
+                                in_region.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 25 * 4);
+        assert_eq!(pool.contained_panics(), 0);
     }
 }
