@@ -1,0 +1,321 @@
+//! CI smoke for the resilient service runtime, emitting `BENCH_pr8.json`.
+//!
+//! Usage: `chaos_smoke [out.json]` (default `BENCH_pr8.json`).
+//!
+//! 1. **Chaos campaign** — a fixed-seed randomized campaign (traps,
+//!    corrupted bytecode, forced deadline misses, worker panics, retry
+//!    ladders, quarantine hammering, cache-eviction storms) with at
+//!    least 200 injected faults. Every invariant violation is a hard
+//!    failure: clean jobs must stay bit-equal to quiet baselines, bad
+//!    jobs must return structured verdicts, pools must self-heal.
+//! 2. **Policy overhead** — re-runs the PR 7 batched SARB sweep with a
+//!    full [`fortrans::JobPolicy`] installed (deadline + retries +
+//!    degradation armed, never triggered). The resulting
+//!    `pooled_batch_ns` lands in the same JSON slot as PR 7's, so CI's
+//!    soft `bench_compare BENCH_pr7.json BENCH_pr8.new.json` step flags
+//!    any watchdog/token overhead beyond tolerance.
+//! 3. **Trajectory** — re-measures the PR 6 vector kernels through the
+//!    session API (schema-compatible with `BENCH_pr7.json`) and records
+//!    campaign survival statistics under a new `chaos` section.
+//!
+//! Exits nonzero on any violation.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use fortrans::chaos::{run_campaign, CampaignConfig};
+use fortrans::{ArgVal, EngineService, ExecMode, Job, JobPolicy, Session};
+
+const MICRO_REDUCTION: &str = r#"
+MODULE mr
+CONTAINS
+  SUBROUTINE dotp(a, b, n, s)
+    REAL(8), DIMENSION(1:4096) :: a
+    REAL(8), DIMENSION(1:4096) :: b
+    INTEGER :: n
+    REAL(8) :: s
+    INTEGER :: i
+    s = 0.0D0
+    DO i = 1, n
+      s = s + a(i) * b(i)
+    END DO
+  END SUBROUTINE dotp
+END MODULE mr
+"#;
+
+fn median_ns(reps: usize, mut run: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Scalar-vs-vector wall time on one kernel through the session API.
+fn pair(label: &str, mk: impl Fn() -> Session, run: impl Fn(&Session)) -> (u64, u64, u64) {
+    let off = mk();
+    off.set_vector_enabled(false);
+    run(&off); // warm-up
+    let scalar = median_ns(7, || run(&off));
+    let on = mk();
+    run(&on);
+    let vector = median_ns(7, || run(&on));
+    let entries = on.vector_entry_count();
+    println!(
+        "{label:<22} scalar {:>9.3} ms   vector {:>9.3} ms   speedup {:.2}x   entries {entries}",
+        scalar as f64 / 1e6,
+        vector as f64 / 1e6,
+        scalar as f64 / vector.max(1) as f64,
+    );
+    (scalar, vector, entries)
+}
+
+fn sarb_output_bits(session: &Session) -> Vec<u64> {
+    let out = sarb::variants::SarbOutputs::read(session);
+    [&out.fdl, &out.ful, &out.fds, &out.fus]
+        .into_iter()
+        .flat_map(|v| v.iter().map(|x| x.to_bits()))
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr8.json".into());
+    let mut errors: Vec<String> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // 1. Fixed-seed chaos campaign: ≥200 injected faults, 0 violations.
+    // ------------------------------------------------------------------
+    let cfg = CampaignConfig {
+        seed: 0x00C0_FFEE,
+        rounds: 20,
+        jobs_per_round: 16,
+        ..CampaignConfig::default()
+    };
+    // The campaign injects panics by design (forced traps, worker
+    // panics); every one is caught at a catch_unwind boundary. Silence
+    // the default hook for the duration so CI logs stay readable —
+    // anything that actually escapes still fails the run.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let t = Instant::now();
+    let report = run_campaign(&cfg);
+    let campaign_ms = t.elapsed().as_millis();
+    std::panic::set_hook(default_hook);
+    println!(
+        "campaign: {} jobs / {} rounds, {} faults injected, {} watchdog firings, \
+         {} cache evictions, {} violations ({campaign_ms} ms)",
+        report.jobs,
+        report.rounds,
+        report.injected_total(),
+        report.watchdog_fired,
+        report.cache_evictions,
+        report.violations.len()
+    );
+    for (kind, n) in &report.injected {
+        println!("  injected {kind:<22} {n}");
+    }
+    for (action, n) in &report.actions {
+        println!("  verdict  {action:<22} {n}");
+    }
+    if report.injected_total() < 200 {
+        errors.push(format!(
+            "campaign injected only {} faults, below the 200 floor",
+            report.injected_total()
+        ));
+    }
+    for v in &report.violations {
+        errors.push(format!("campaign invariant violation: {v}"));
+    }
+    if report.watchdog_fired == 0 {
+        errors.push("no watchdog deadline ever fired during the campaign".into());
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Policy overhead on the PR 7 batched SARB sweep: same batch,
+    //    full policy armed (never triggered).
+    // ------------------------------------------------------------------
+    const BATCH_JOBS: usize = 12;
+    const NCOL: i64 = 4;
+    let service = EngineService::new(8);
+    let sarb_sources = sarb::variants::variant_sources(sarb::variants::SarbVariant::GlafSerial);
+    let sarb_srcs: Vec<&str> = sarb_sources.iter().map(String::as_str).collect();
+    let sarb_artifact = service.compile(&sarb_srcs).expect("sarb compiles");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let width = host_cpus.min(4);
+
+    // Warm up and take the reference bits.
+    let expect_bits = {
+        let session = service.session_for(&sarb_artifact);
+        session.run("run_columns", &[ArgVal::I(NCOL)], ExecMode::Serial).expect("reference job");
+        sarb_output_bits(&session)
+    };
+
+    let run_batch = |policy: Option<JobPolicy>| -> (u64, Vec<String>) {
+        let mut errs = Vec::new();
+        let mut queue = service.queue(width);
+        if let Some(p) = policy {
+            queue.set_default_policy(p);
+        }
+        let t = Instant::now();
+        for _ in 0..BATCH_JOBS {
+            queue.submit(&sarb_artifact, Job::new("run_columns", vec![ArgVal::I(NCOL)]));
+        }
+        let results = queue.run_batch();
+        let ns = t.elapsed().as_nanos() as u64;
+        for (j, jr) in results.iter().enumerate() {
+            match (&jr.result, jr.session.as_ref()) {
+                (Err(e), _) => errs.push(format!("batch job {j} failed: {e}")),
+                (Ok(_), None) => errs.push(format!("batch job {j}: missing session")),
+                (Ok(_), Some(session)) => {
+                    if sarb_output_bits(session) != expect_bits {
+                        errs.push(format!("batch job {j}: outputs diverge from baseline"));
+                    }
+                    if session.fallback_count() != 0 {
+                        errs.push(format!("batch job {j}: unexpected tier fallback"));
+                    }
+                }
+            }
+        }
+        (ns, errs)
+    };
+
+    let armed_policy = JobPolicy {
+        deadline: Some(Duration::from_secs(30)),
+        retries: 2,
+        backoff: Duration::from_millis(1),
+        degrade: true,
+    };
+    // Warm-up batch, then alternating medians so scheduler noise hits
+    // both configurations evenly.
+    let _ = run_batch(None);
+    let mut plain_samples = Vec::new();
+    let mut policied_samples = Vec::new();
+    for _ in 0..5 {
+        let (ns, errs) = run_batch(None);
+        plain_samples.push(ns);
+        errors.extend(errs);
+        let (ns, errs) = run_batch(Some(armed_policy));
+        policied_samples.push(ns);
+        errors.extend(errs);
+    }
+    plain_samples.sort_unstable();
+    policied_samples.sort_unstable();
+    let plain_ns = plain_samples[plain_samples.len() / 2];
+    let policied_ns = policied_samples[policied_samples.len() / 2];
+    let overhead = policied_ns as f64 / plain_ns.max(1) as f64;
+    println!(
+        "policy overhead: {BATCH_JOBS} jobs ({width}-wide)  plain {:.3} ms  \
+         policied {:.3} ms  ratio {overhead:.3}x",
+        plain_ns as f64 / 1e6,
+        policied_ns as f64 / 1e6
+    );
+    if service.pools().contained_panics() != 0 {
+        errors.push("shared pools caught panics during the clean batches".into());
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Trajectory: PR 6 kernels through sessions + chaos statistics.
+    // ------------------------------------------------------------------
+    println!("== scalar VM vs vector tier via sessions (median of 7, serial) ==");
+    let sarb_k = pair(
+        "sarb_longwave",
+        || Session::solo(sarb::variants::build_artifact(sarb::variants::SarbVariant::GlafSerial)),
+        |s| {
+            s.run("run_columns", &[ArgVal::I(6)], ExecMode::Serial).unwrap();
+        },
+    );
+    let fun3d_k = pair(
+        "fun3d_edge_gather",
+        || {
+            let cfg = fun3d::variants::Fun3dConfig { fuse: true, ..Default::default() };
+            let s = Session::solo(fun3d::variants::build_artifact(
+                fun3d::variants::Fun3dVariant::Glaf(cfg),
+            ));
+            s.run("build_mesh", &[ArgVal::I(300)], ExecMode::Serial).unwrap();
+            s
+        },
+        |s| {
+            s.run("edgejp", &[], ExecMode::Serial).unwrap();
+        },
+    );
+    let a: Vec<f64> = (0..4096).map(|i| (i % 97) as f64 * 0.01).collect();
+    let b: Vec<f64> = (0..4096).map(|i| (i % 89) as f64 * 0.02 - 0.5).collect();
+    let micro_k = pair(
+        "micro_reduction",
+        || Session::solo(fortrans::CompiledProgram::compile(&[MICRO_REDUCTION]).unwrap()),
+        |s| {
+            let acc = ArgVal::F(0.0);
+            for _ in 0..64 {
+                s.run(
+                    "dotp",
+                    &[
+                        ArgVal::array_f(&a, 1),
+                        ArgVal::array_f(&b, 1),
+                        ArgVal::I(4096),
+                        acc.clone(),
+                    ],
+                    ExecMode::Serial,
+                )
+                .unwrap();
+            }
+        },
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 8,\n  \"mode\": \"serial\",\n  \"kernels\": {\n");
+    let rows =
+        [("sarb_longwave", &sarb_k), ("fun3d_edge_gather", &fun3d_k), ("micro_reduction", &micro_k)];
+    for (ri, (label, (scalar, vector, entries))) in rows.iter().enumerate() {
+        let speedup = *scalar as f64 / (*vector).max(1) as f64;
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"scalar_vm_ns\": {scalar}, \"vector_vm_ns\": {vector}, \
+             \"speedup\": {speedup:.3}, \"vector_entries\": {entries}}}{}",
+            if ri + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n  \"service\": {\n");
+    let _ = writeln!(json, "    \"batch_jobs\": {BATCH_JOBS},");
+    let _ = writeln!(json, "    \"batch_width\": {width},");
+    let _ = writeln!(json, "    \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "    \"pooled_batch_ns\": {policied_ns},");
+    let _ = writeln!(json, "    \"plain_batch_ns\": {plain_ns},");
+    let _ = writeln!(json, "    \"policy_overhead\": {overhead:.3}");
+    json.push_str("  },\n  \"chaos\": {\n");
+    let _ = writeln!(json, "    \"seed\": {},", cfg.seed);
+    let _ = writeln!(json, "    \"rounds\": {},", report.rounds);
+    let _ = writeln!(json, "    \"jobs\": {},", report.jobs);
+    let _ = writeln!(json, "    \"injected_faults\": {},", report.injected_total());
+    let _ = writeln!(json, "    \"watchdog_fired\": {},", report.watchdog_fired);
+    let _ = writeln!(json, "    \"cache_evictions\": {},", report.cache_evictions);
+    let _ = writeln!(json, "    \"violations\": {},", report.violations.len());
+    let mut kinds: Vec<String> = Vec::new();
+    for (kind, n) in &report.injected {
+        kinds.push(format!("      \"{kind}\": {n}"));
+    }
+    let _ = writeln!(json, "    \"injected_by_kind\": {{\n{}\n    }},", kinds.join(",\n"));
+    let mut verdicts: Vec<String> = Vec::new();
+    for (action, n) in &report.actions {
+        verdicts.push(format!("      \"{action}\": {n}"));
+    }
+    let _ = writeln!(json, "    \"verdicts\": {{\n{}\n    }}", verdicts.join(",\n"));
+    json.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        errors.push(format!("cannot write {out_path}: {e}"));
+    } else {
+        println!("wrote {out_path}");
+    }
+
+    if errors.is_empty() {
+        println!("chaos_smoke: campaign survived with zero invariant violations");
+    } else {
+        for e in &errors {
+            eprintln!("chaos_smoke: VIOLATION: {e}");
+        }
+        std::process::exit(1);
+    }
+}

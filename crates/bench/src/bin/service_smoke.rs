@@ -181,10 +181,14 @@ fn main() {
             errors.push(format!("batch job {j} failed: {e}"));
             continue;
         }
-        if sarb_output_bits(&jr.session) != expect_bits {
+        let Some(session) = jr.session.as_ref() else {
+            errors.push(format!("batch job {j}: missing session"));
+            continue;
+        };
+        if sarb_output_bits(session) != expect_bits {
             errors.push(format!("batch job {j}: outputs diverge from the serial baseline"));
         }
-        if jr.session.fallback_count() != 0 {
+        if session.fallback_count() != 0 {
             errors.push(format!("batch job {j}: unexpected tier fallback"));
         }
     }

@@ -63,6 +63,20 @@ pub enum RunError {
     /// An internal fault (worker panic, contained VM trap) surfaced as a
     /// recoverable error instead of aborting the process.
     Trap { what: String },
+    /// Cooperative cancellation observed at a safepoint (DO-loop
+    /// back-edge, OMP region entry, VM dispatch poll). `at_line` is the
+    /// source line executing when the token was observed, when known.
+    /// `reason` records who fired the token (e.g. a batch watchdog's
+    /// deadline). Cancellation is final: it never retries and never
+    /// falls back to the oracle tier.
+    Cancelled { at_line: Option<u32>, reason: String },
+    /// The artifact's circuit breaker is open: its accumulated
+    /// trap/cancel count crossed the quarantine threshold and the policy
+    /// refuses new runs until `ArtifactCache::clear_quarantine`.
+    Quarantined { source_hash: u64, faults: u64 },
+    /// A job was rejected before execution started (compile failure in a
+    /// deferred-compile batch, or a panic while setting up its session).
+    Rejected { msg: String },
     /// A runtime fault annotated with where it happened. `line` is the
     /// source line (via the PC→line debug table in the VM tier, or the
     /// statement span in the tree-walk tier); `pc` is the bytecode
@@ -106,6 +120,19 @@ impl std::fmt::Display for RunError {
             RunError::Stop { msg } => write!(f, "STOP: {msg}"),
             RunError::Limit { msg } => write!(f, "limit exceeded: {msg}"),
             RunError::Trap { what } => write!(f, "internal fault trapped: {what}"),
+            RunError::Cancelled { at_line, reason } => {
+                write!(f, "cancelled: {reason}")?;
+                if let Some(l) = at_line {
+                    write!(f, " (observed at line {l})")?;
+                }
+                Ok(())
+            }
+            RunError::Quarantined { source_hash, faults } => write!(
+                f,
+                "artifact {source_hash:016x} is quarantined after {faults} faults; \
+                 clear it explicitly to resume"
+            ),
+            RunError::Rejected { msg } => write!(f, "job rejected: {msg}"),
             RunError::Ctx { unit, line, pc, inner } => {
                 write!(f, "{inner} (in {unit}")?;
                 match (line, pc) {

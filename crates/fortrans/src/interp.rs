@@ -121,19 +121,64 @@ impl Default for RunLimits {
     }
 }
 
+/// Cooperative cancellation token shared between a run and whoever may
+/// need to stop it (a batch watchdog, a caller-side ctrl-c handler, a
+/// test). Both execution tiers poll it at the same safepoints the step
+/// budget uses — DO-loop back-edges and statement/instruction dispatch
+/// (every 1024 steps) plus OMP region entry — so a fired token surfaces
+/// as [`RunError::Cancelled`] instead of a hang. The first `cancel` call
+/// wins; later calls keep the original reason.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: std::sync::atomic::AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl CancelToken {
+    pub fn new() -> std::sync::Arc<CancelToken> {
+        std::sync::Arc::new(CancelToken::default())
+    }
+
+    /// Fires the token. Idempotent; the first reason is kept.
+    pub fn cancel(&self, reason: &str) {
+        use std::sync::atomic::Ordering;
+        let mut slot = self.reason.lock();
+        if !self.cancelled.load(Ordering::Relaxed) {
+            *slot = reason.to_string();
+            self.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The reason passed to the winning `cancel` call (empty if unfired).
+    pub fn reason(&self) -> String {
+        self.reason.lock().clone()
+    }
+}
+
 /// `RunLimits` resolved against a concrete run start time.
 pub(crate) struct EffLimits {
     pub(crate) max_steps: Option<u64>,
     pub(crate) deadline: Option<std::time::Instant>,
     pub(crate) max_call_depth: usize,
+    pub(crate) cancel: Option<std::sync::Arc<CancelToken>>,
+    /// Precomputed `deadline.is_some() || cancel.is_some()`: the per-tick
+    /// poll gate, so unlimited runs pay one bool test per 1024 steps.
+    pub(crate) poll: bool,
 }
 
 impl EffLimits {
-    pub(crate) fn start(lim: &RunLimits) -> Self {
+    pub(crate) fn start(lim: &RunLimits, cancel: Option<std::sync::Arc<CancelToken>>) -> Self {
+        let deadline = lim.deadline.map(|d| std::time::Instant::now() + d);
         EffLimits {
             max_steps: lim.max_steps,
-            deadline: lim.deadline.map(|d| std::time::Instant::now() + d),
+            deadline,
             max_call_depth: lim.max_call_depth,
+            poll: deadline.is_some() || cancel.is_some(),
+            cancel,
         }
     }
 
@@ -144,6 +189,19 @@ impl EffLimits {
             }
         }
         Ok(())
+    }
+
+    /// The shared safepoint check: cancellation first (so a watchdog that
+    /// fired the token wins over a simultaneous deadline trip), then the
+    /// wall-clock deadline. `at_line` is the caller's best known source
+    /// line for the [`RunError::Cancelled`] report.
+    pub(crate) fn check_interrupt(&self, at_line: Option<u32>) -> Result<(), RunError> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Err(RunError::Cancelled { at_line, reason: tok.reason() });
+            }
+        }
+        self.check_deadline()
     }
 }
 
@@ -190,6 +248,10 @@ pub struct Exec {
     /// Count of loop entries that actually ran vectorized (all tiers,
     /// all threads); feeds the CI vector smoke check.
     pub vector_entries: Arc<std::sync::atomic::AtomicU64>,
+    /// Chaos hook: the worker with this logical thread id panics on OMP
+    /// region entry (exercises `RegionPanic` containment end to end).
+    /// One-shot: the session arms it for a single `make_exec`.
+    pub(crate) debug_panic_worker: Option<usize>,
 }
 
 /// Statement outcome.
@@ -804,8 +866,8 @@ impl<'e> Task<'e> {
                 return Err(RunError::Limit { msg: format!("step budget of {max} exhausted") });
             }
         }
-        if lim.deadline.is_some() && self.steps.is_multiple_of(1024) {
-            lim.check_deadline()?;
+        if lim.poll && self.steps.is_multiple_of(1024) {
+            lim.check_interrupt((self.cur_line > 0).then_some(self.cur_line))?;
         }
         Ok(())
     }
@@ -1144,6 +1206,11 @@ impl<'e> Task<'e> {
         total_trip: u64,
         do_line: u32,
     ) -> Result<Flow, RunError> {
+        // OMP region entry is a safepoint: never fork a team for a run
+        // whose token already fired (or whose deadline already passed).
+        if self.ex.limits.poll {
+            self.ex.limits.check_interrupt(Some(do_line))?;
+        }
         match self.ex.mode {
             ExecMode::Serial => {
                 // Directives ignored; plain serial nest. A serial build
@@ -1362,6 +1429,9 @@ impl<'e> Task<'e> {
         pool.run_tagged(do_line, sched, |tid| {
             if tid >= team {
                 return;
+            }
+            if ex.debug_panic_worker == Some(tid) {
+                panic!("chaos: injected worker panic on tid {tid}");
             }
             let mut task = Task::new(ex, tid, false);
             task.in_real_region = true;

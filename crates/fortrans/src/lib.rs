@@ -52,6 +52,7 @@
 
 pub mod ast;
 pub mod bytecode;
+pub mod chaos;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -70,10 +71,12 @@ pub mod vm;
 pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
 pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback, VectorLoopInfo};
 pub use error::{CompileError, RunError};
-pub use interp::{ExecMode, RunLimits, ScheduleOverrides, Val};
+pub use chaos::{CampaignConfig, CampaignReport};
+pub use interp::{CancelToken, ExecMode, RunLimits, ScheduleOverrides, Val};
 pub use omprt::{PoolSet, Schedule};
 pub use service::{
-    source_hash, ArtifactCache, CompiledProgram, EngineService, Job, JobQueue, JobResult, Session,
+    source_hash, ArtifactCache, Attempt, BatchReport, CompiledProgram, EngineService, Job,
+    JobPolicy, JobQueue, JobResult, PolicyAction, QuarantineMode, QuarantinePolicy, Session,
 };
 pub use rir::ScalarTy;
 pub use storage::ArrayObj;

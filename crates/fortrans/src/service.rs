@@ -23,17 +23,21 @@
 //! deliberate trap boundary of the tiered-execution contract.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use omprt::{CriticalRegistry, PoolSet, ThreadPool};
 use parking_lot::Mutex;
 
-use crate::bytecode::{compile_program, BUnit};
+use crate::bytecode::{compile_program, BInstr, BUnit, VSlot};
 use crate::engine::{ArgVal, ExecTier, RunOutcome, TierFallback, VectorLoopInfo};
 use crate::error::{CompileError, RunError};
-use crate::interp::{EffLimits, Exec, ExecMode, RunLimits, ScheduleOverrides, Task, Val};
+use crate::interp::{
+    CancelToken, EffLimits, Exec, ExecMode, RunLimits, ScheduleOverrides, Task, Val,
+};
 use crate::parse::parse;
 use crate::rir::{RProgram, ScalarTy};
 use crate::sema::resolve;
@@ -71,6 +75,9 @@ pub struct CompiledProgram {
     /// operation for Simulated mode.
     bytecode: [Arc<Vec<BUnit>>; 2],
     source_hash: u64,
+    /// Rough retained-size estimate (both bytecode builds + RIR), fixed
+    /// at compile time; feeds the cache's optional byte budget.
+    est_bytes: usize,
 }
 
 impl CompiledProgram {
@@ -90,11 +97,21 @@ impl CompiledProgram {
         crate::verify::verify_program(&prog, &optimized)?;
         let traced = compile_program(&prog, true);
         crate::verify::verify_program(&prog, &traced)?;
+        let est_bytes = estimate_bytes(&prog, &[&optimized, &traced]);
         Ok(Arc::new(CompiledProgram {
             prog: Arc::new(prog),
             bytecode: [Arc::new(optimized), Arc::new(traced)],
             source_hash: hash,
+            est_bytes,
         }))
+    }
+
+    /// Estimated retained size in bytes (bytecode builds + resolved
+    /// program). An estimate — container headers and small side tables
+    /// are priced with flat constants — but monotone in program size,
+    /// which is all the cache's byte budget needs.
+    pub fn estimated_bytes(&self) -> usize {
+        self.est_bytes
     }
 
     /// The resolved program (introspection for tests and tooling).
@@ -133,6 +150,34 @@ impl CompiledProgram {
     }
 }
 
+/// Rough retained-size model for one artifact: exact element sizes for
+/// the big flat vectors (instruction streams, slot tables, debug
+/// tables), flat constants for the small heterogeneous side tables
+/// (OMP/call/vec descriptors own nested vectors we don't walk).
+fn estimate_bytes(prog: &RProgram, builds: &[&Vec<BUnit>]) -> usize {
+    let mut total = 0usize;
+    for build in builds {
+        for bu in build.iter() {
+            total += bu.code.len() * std::mem::size_of::<BInstr>();
+            total += bu.vslots.len() * std::mem::size_of::<VSlot>();
+            total += bu.lines.len() * std::mem::size_of::<(u32, u32)>();
+            total += bu.msgs.iter().map(String::len).sum::<usize>();
+            total += (bu.fixed_arrays.len()
+                + bu.calls.len()
+                + bu.prints.len()
+                + bu.sdims.len()
+                + bu.loops.len())
+                * 64;
+            total += (bu.omps.len() + bu.vecs.len()) * 256;
+        }
+    }
+    for unit in &prog.units {
+        total += unit.name.len() + unit.vars.len() * 96 + unit.body.len() * 96 + 128;
+    }
+    total += prog.globals.len() * 96;
+    total
+}
+
 /// Per-run mutable state over a shared [`CompiledProgram`]: live global
 /// storage (module variables, COMMON blocks, SAVE arrays — persisting
 /// across `run` calls exactly like a linked FORTRAN process image),
@@ -161,6 +206,16 @@ pub struct Session {
     /// fault-injection harness corrupts *this session's* view only —
     /// the shared artifact stays pristine for every other session.
     bytecode_override: Mutex<[Option<Arc<Vec<BUnit>>>; 2]>,
+    /// Cooperative cancellation token snapshotted into every run's
+    /// safepoint checks; a watchdog (or any holder of the `Arc`) firing
+    /// it makes in-flight and future runs return [`RunError::Cancelled`].
+    cancel: Mutex<Option<Arc<CancelToken>>>,
+    /// Chaos hook: the next N oracle-tier runs panic inside the trap
+    /// boundary (so retry policies see a fully failed attempt).
+    force_oracle_traps: AtomicU32,
+    /// Chaos hook: logical worker tid to panic on the next run's OMP
+    /// region entry; -1 = off. One-shot.
+    panic_worker: AtomicI64,
 }
 
 impl Session {
@@ -181,6 +236,9 @@ impl Session {
             vector_enabled: AtomicBool::new(true),
             vector_entries: Arc::new(AtomicU64::new(0)),
             bytecode_override: Mutex::new([None, None]),
+            cancel: Mutex::new(None),
+            force_oracle_traps: AtomicU32::new(0),
+            panic_worker: AtomicI64::new(-1),
         }
     }
 
@@ -211,11 +269,43 @@ impl Session {
         self.fallback_count.load(Ordering::Relaxed)
     }
 
+    /// Installs (or with `None` clears) the cancellation token polled by
+    /// every subsequent run at its safepoints. Fire the token from any
+    /// thread via [`CancelToken::cancel`]; affected runs return
+    /// [`RunError::Cancelled`]. [`JobQueue`] installs one per job so its
+    /// deadline watchdog can stop exactly that job.
+    pub fn set_cancel_token(&self, token: Option<Arc<CancelToken>>) {
+        *self.cancel.lock() = token;
+    }
+
+    /// The currently installed cancellation token.
+    pub fn cancel_token(&self) -> Option<Arc<CancelToken>> {
+        self.cancel.lock().clone()
+    }
+
     /// Test hook: forces the next VM-tier run to trap, exercising the
     /// trap-and-fallback path deterministically.
     #[doc(hidden)]
     pub fn debug_force_vm_trap(&self) {
         self.force_vm_trap.store(true, Ordering::Relaxed);
+    }
+
+    /// Test hook: the next `n` oracle-tier runs panic inside the trap
+    /// boundary, surfacing as [`RunError::Trap`]. Combined with
+    /// [`Session::debug_force_vm_trap`] this makes a *whole attempt*
+    /// (VM + fallback) fail, deterministically exercising retry
+    /// policies. Decrements per oracle run; clears itself at zero.
+    #[doc(hidden)]
+    pub fn debug_force_oracle_traps(&self, n: u32) {
+        self.force_oracle_traps.store(n, Ordering::Relaxed);
+    }
+
+    /// Test hook: worker `tid` panics on the next run's OMP region
+    /// entry (one-shot), exercising `RegionPanic` containment and the
+    /// pool's self-healing under batch traffic.
+    #[doc(hidden)]
+    pub fn debug_force_worker_panic(&self, tid: usize) {
+        self.panic_worker.store(tid as i64, Ordering::Relaxed);
     }
 
     /// Test hook: replaces this session's view of one bytecode variant
@@ -505,6 +595,7 @@ impl Session {
             ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
             _ => None,
         };
+        let panic_worker = self.panic_worker.swap(-1, Ordering::Relaxed);
         Exec {
             prog: Arc::clone(&self.artifact.prog),
             globals: Arc::clone(&self.globals),
@@ -513,9 +604,10 @@ impl Session {
             critical: Arc::clone(&self.critical),
             printed: Mutex::new(String::new()),
             sched_overrides: Arc::clone(&self.sched_overrides.lock()),
-            limits: EffLimits::start(&self.limits),
+            limits: EffLimits::start(&self.limits, self.cancel.lock().clone()),
             vector_enabled: self.vector_enabled.load(Ordering::Relaxed),
             vector_entries: Arc::clone(&self.vector_entries),
+            debug_panic_worker: usize::try_from(panic_worker).ok(),
         }
     }
 
@@ -545,6 +637,13 @@ impl Session {
     ) -> Result<RunOutcome, RunError> {
         let traced = matches!(mode, ExecMode::Simulated { .. });
         catch_unwind(AssertUnwindSafe(|| {
+            if self
+                .force_oracle_traps
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("forced oracle trap (test hook)");
+            }
             let exec = self.make_exec(mode);
             let mut task = Task::new(&exec, 0, traced);
             task.prof = prof;
@@ -601,35 +700,109 @@ impl Session {
     }
 }
 
+/// The quarantine circuit breaker's response once an artifact's fault
+/// count crosses the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineMode {
+    /// Refuse new jobs on the artifact with
+    /// [`RunError::Quarantined`] until explicitly cleared.
+    Refuse,
+    /// Keep serving the artifact, but pinned to the oracle tree-walk
+    /// tier (no VM, no fallback churn) until explicitly cleared.
+    PinOracle,
+}
+
+/// Circuit-breaker policy: after `threshold` recorded faults (traps +
+/// cancellations, summed per artifact) the artifact is quarantined and
+/// handled per `mode`. Off by default — see
+/// [`ArtifactCache::set_quarantine_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Faults (traps + cancels) at which the breaker opens; clamped to
+    /// a minimum of 1.
+    pub threshold: u64,
+    pub mode: QuarantineMode,
+}
+
+/// Per-artifact fault ledger entry (keyed by source hash, independent of
+/// LRU residency so eviction cannot launder a bad artifact's history).
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultStats {
+    traps: u64,
+    cancels: u64,
+    quarantined: bool,
+}
+
 /// An LRU cache of [`CompiledProgram`]s keyed by [`source_hash`], with
 /// monotone hit/miss/eviction counters. Repeated compiles of identical
 /// sources return the *same* `Arc`; compilation runs outside the lock so
 /// a slow compile never blocks concurrent lookups of other entries.
+///
+/// Two optional hardening features ride on top:
+/// * a **byte budget** ([`ArtifactCache::with_byte_budget`]) evicting by
+///   estimated retained size as well as entry count, and
+/// * a **quarantine circuit breaker**
+///   ([`ArtifactCache::set_quarantine_policy`]): [`JobQueue`] records
+///   each trap/cancellation against the artifact that caused it, and
+///   once an artifact crosses the threshold its jobs are refused or
+///   pinned to the oracle tier until [`ArtifactCache::clear_quarantine`].
 pub struct ArtifactCache {
     cap: usize,
+    /// Optional budget over the entries' `estimated_bytes` sum; the most
+    /// recently inserted entry is always retained even if it alone
+    /// exceeds the budget.
+    byte_budget: Option<usize>,
     /// Recency-ordered: front is least recently used, back is most.
     inner: Mutex<Vec<(u64, Arc<CompiledProgram>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    quarantine: Mutex<QuarantineTable>,
+}
+
+#[derive(Default)]
+struct QuarantineTable {
+    policy: Option<QuarantinePolicy>,
+    stats: BTreeMap<u64, FaultStats>,
 }
 
 impl ArtifactCache {
     /// Creates a cache holding at most `capacity` artifacts
-    /// (`capacity == 0` is clamped to 1).
+    /// (`capacity == 0` is clamped to 1), with no byte budget.
     pub fn new(capacity: usize) -> ArtifactCache {
         ArtifactCache {
             cap: capacity.max(1),
+            byte_budget: None,
             inner: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantine: Mutex::new(QuarantineTable::default()),
         }
+    }
+
+    /// Creates a cache bounded by entry count *and* an estimated-size
+    /// budget in bytes: after each insert, least-recently-used entries
+    /// are evicted until the [`CompiledProgram::estimated_bytes`] sum
+    /// fits (the newest entry is always kept, so an oversized artifact
+    /// still caches — it just evicts everything else).
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> ArtifactCache {
+        ArtifactCache { byte_budget: Some(byte_budget), ..ArtifactCache::new(capacity) }
     }
 
     /// Maximum number of artifacts retained.
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    /// Estimated retained bytes of the currently cached artifacts.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().iter().map(|(_, a)| a.estimated_bytes()).sum()
     }
 
     /// Returns the cached artifact for `sources`, compiling (outside the
@@ -655,7 +828,11 @@ impl ArtifactCache {
             return Ok(found);
         }
         inner.push((hash, Arc::clone(&fresh)));
-        while inner.len() > self.cap {
+        let over_budget = |entries: &Vec<(u64, Arc<CompiledProgram>)>| match self.byte_budget {
+            Some(b) => entries.iter().map(|(_, a)| a.estimated_bytes()).sum::<usize>() > b,
+            None => false,
+        };
+        while inner.len() > self.cap || (inner.len() > 1 && over_budget(&inner)) {
             inner.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -713,23 +890,176 @@ impl ArtifactCache {
     pub fn lru_hashes(&self) -> Vec<u64> {
         self.inner.lock().iter().map(|(h, _)| *h).collect()
     }
+
+    /// Installs (or with `None` disables) the quarantine circuit
+    /// breaker. Disabling stops *new* quarantines; already-open breakers
+    /// stay open until [`ArtifactCache::clear_quarantine`]. Off by
+    /// default: fault counting is free, but nothing trips.
+    pub fn set_quarantine_policy(&self, policy: Option<QuarantinePolicy>) {
+        self.quarantine.lock().policy = policy;
+    }
+
+    /// The installed quarantine policy, if any.
+    pub fn quarantine_policy(&self) -> Option<QuarantinePolicy> {
+        self.quarantine.lock().policy
+    }
+
+    /// Records one fault against the artifact with source hash `hash`
+    /// (`cancel` distinguishes a cancellation from a trap). Trips the
+    /// breaker when a policy is installed and the combined count
+    /// reaches its threshold. The ledger is keyed by hash, not by cache
+    /// residency: eviction does not forget faults.
+    pub fn record_fault(&self, hash: u64, cancel: bool) {
+        let mut q = self.quarantine.lock();
+        let stats = q.stats.entry(hash).or_default();
+        if cancel {
+            stats.cancels += 1;
+        } else {
+            stats.traps += 1;
+        }
+        let total = stats.traps + stats.cancels;
+        if let Some(p) = q.policy {
+            if total >= p.threshold.max(1) {
+                q.stats.entry(hash).or_default().quarantined = true;
+            }
+        }
+    }
+
+    /// `(traps, cancels)` recorded against `hash`.
+    pub fn fault_counts(&self, hash: u64) -> (u64, u64) {
+        let q = self.quarantine.lock();
+        q.stats.get(&hash).map_or((0, 0), |s| (s.traps, s.cancels))
+    }
+
+    /// Whether `hash`'s circuit breaker is open.
+    pub fn is_quarantined(&self, hash: u64) -> bool {
+        self.quarantine.lock().stats.get(&hash).is_some_and(|s| s.quarantined)
+    }
+
+    /// Source hashes with an open breaker.
+    pub fn quarantined_hashes(&self) -> Vec<u64> {
+        let q = self.quarantine.lock();
+        q.stats.iter().filter(|(_, s)| s.quarantined).map(|(h, _)| *h).collect()
+    }
+
+    /// Closes `hash`'s breaker and zeroes its fault counters. Returns
+    /// whether the breaker had been open. This is the only way a
+    /// quarantined artifact resumes normal service — the operator (or a
+    /// recompile under different sources) must act explicitly.
+    pub fn clear_quarantine(&self, hash: u64) -> bool {
+        let mut q = self.quarantine.lock();
+        match q.stats.remove(&hash) {
+            Some(s) => s.quarantined,
+            None => false,
+        }
+    }
 }
 
-/// One batched invocation: entry point, arguments, execution mode, and
-/// optional per-job [`RunLimits`]. Defaults to Serial with the session's
+/// Per-job failure policy. The default is a no-op (no deadline, no
+/// retries, no degradation) — exactly the pre-policy behavior — so
+/// existing callers see nothing new until they opt in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPolicy {
+    /// Wall-clock budget enforced by the batch watchdog: past it the
+    /// job's [`CancelToken`] fires and the job returns
+    /// [`RunError::Cancelled`] at its next safepoint. Unlike
+    /// [`RunLimits::deadline`] (which each attempt restarts), this
+    /// covers the job end to end — retries and backoff included.
+    pub deadline: Option<Duration>,
+    /// How many times a transiently-failed attempt (trap or exhausted
+    /// step budget) is re-run. Cancellation never retries.
+    pub retries: u32,
+    /// Base wait before the first retry; doubles each further retry
+    /// (deterministic exponential backoff).
+    pub backoff: Duration,
+    /// Degrade the execution tier across retries instead of repeating
+    /// the same configuration: `Parallel → Serial → oracle tree-walk`
+    /// (`Serial`/`Simulated` skip straight to the oracle rung).
+    pub degrade: bool,
+}
+
+impl Default for JobPolicy {
+    fn default() -> Self {
+        JobPolicy { deadline: None, retries: 0, backoff: Duration::ZERO, degrade: false }
+    }
+}
+
+/// The resilience-policy verdict a [`JobResult`] reports: which action
+/// the policy machinery ended up taking for the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PolicyAction {
+    /// First attempt succeeded; no policy machinery engaged.
+    Completed,
+    /// Succeeded after at least one retry on the same rung.
+    Retried,
+    /// Succeeded after degrading mode/tier.
+    Degraded,
+    /// The job's cancel token fired (watchdog deadline or external).
+    Cancelled,
+    /// The artifact's circuit breaker was open: refused or pinned to the
+    /// oracle tier per [`QuarantineMode`].
+    Quarantined,
+    /// Every allowed attempt failed (or the fault was not transient).
+    Failed,
+}
+
+impl std::fmt::Display for PolicyAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PolicyAction::Completed => "completed",
+            PolicyAction::Retried => "retried",
+            PolicyAction::Degraded => "degraded",
+            PolicyAction::Cancelled => "cancelled",
+            PolicyAction::Quarantined => "quarantined",
+            PolicyAction::Failed => "failed",
+        })
+    }
+}
+
+/// One logged execution attempt of a job (every attempt is recorded,
+/// including the successful one).
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// Mode actually used (may differ from the job's under degradation).
+    pub mode: ExecMode,
+    /// Tier actually used.
+    pub tier: ExecTier,
+    /// Rendered error if the attempt failed; `None` on success.
+    pub error: Option<String>,
+    /// Backoff slept *before* this attempt (zero for the first).
+    pub backoff: Duration,
+}
+
+/// One batched invocation: entry point, arguments, execution mode,
+/// optional per-job [`RunLimits`], and optional [`JobPolicy`] (falling
+/// back to the queue's default). Defaults to Serial with the session's
 /// default limits.
 pub struct Job {
     entry: String,
     args: Vec<ArgVal>,
     mode: ExecMode,
     limits: Option<RunLimits>,
+    policy: Option<JobPolicy>,
     force_trap: bool,
+    oracle_traps: u32,
+    panic_worker: Option<usize>,
+    inject_bytecode: Option<(bool, Vec<BUnit>)>,
 }
 
 impl Job {
     /// A Serial-mode job with default limits.
     pub fn new(entry: impl Into<String>, args: Vec<ArgVal>) -> Job {
-        Job { entry: entry.into(), args, mode: ExecMode::Serial, limits: None, force_trap: false }
+        Job {
+            entry: entry.into(),
+            args,
+            mode: ExecMode::Serial,
+            limits: None,
+            policy: None,
+            force_trap: false,
+            oracle_traps: 0,
+            panic_worker: None,
+            inject_bytecode: None,
+        }
     }
 
     /// Sets the execution mode. `Serial` and `Simulated` jobs run
@@ -748,6 +1078,12 @@ impl Job {
         self
     }
 
+    /// Attaches a per-job failure policy, overriding the queue default.
+    pub fn policy(mut self, policy: JobPolicy) -> Job {
+        self.policy = Some(policy);
+        self
+    }
+
     /// Test hook: the job's first VM run traps, exercising mid-batch
     /// fallback isolation.
     #[doc(hidden)]
@@ -755,40 +1091,264 @@ impl Job {
         self.force_trap = true;
         self
     }
+
+    /// Test hook: the job's first `n` oracle runs panic too, so whole
+    /// attempts fail (see [`Session::debug_force_oracle_traps`]).
+    #[doc(hidden)]
+    pub fn debug_force_oracle_traps(mut self, n: u32) -> Job {
+        self.oracle_traps = n;
+        self
+    }
+
+    /// Test hook: worker `tid` panics on the job's first OMP region
+    /// entry (see [`Session::debug_force_worker_panic`]).
+    #[doc(hidden)]
+    pub fn debug_panic_worker(mut self, tid: usize) -> Job {
+        self.panic_worker = Some(tid);
+        self
+    }
+
+    /// Test hook: replaces the job session's view of one bytecode
+    /// variant before it runs (the chaos harness corrupts streams this
+    /// way; the shared artifact stays pristine).
+    #[doc(hidden)]
+    pub fn debug_inject_bytecode(mut self, traced: bool, bunits: Vec<BUnit>) -> Job {
+        self.inject_bytecode = Some((traced, bunits));
+        self
+    }
 }
 
-/// What a [`Job`] produced: the outcome (or per-job error) plus the
-/// private [`Session`] it ran in, for reading back globals.
+/// What a [`Job`] produced: the outcome (or per-job error), the policy
+/// verdict, the logged attempts, and the private [`Session`] it ran in,
+/// for reading back globals.
 pub struct JobResult {
     /// The session the job ran in (its globals hold the outputs).
-    pub session: Session,
+    /// `None` only when the job was rejected before a session existed
+    /// (deferred compile failed, or session setup panicked) — `result`
+    /// then holds [`RunError::Rejected`].
+    pub session: Option<Session>,
     /// The job's outcome or its own failure; sibling jobs are unaffected.
     pub result: Result<RunOutcome, RunError>,
+    /// Every execution attempt, in order (empty for refused jobs).
+    pub attempts: Vec<Attempt>,
+    /// The policy verdict for this job.
+    pub action: PolicyAction,
+    /// Wall time from job start to final verdict (backoffs included);
+    /// zero for jobs refused before running.
+    pub wall: Duration,
 }
 
-type BatchSlot = Mutex<Option<Result<RunOutcome, RunError>>>;
+/// What a whole batch did: per-job results in submission order plus
+/// batch-level timings and watchdog accounting.
+pub struct BatchReport {
+    pub results: Vec<JobResult>,
+    /// Wall time of the whole `run_batch_report` call.
+    pub wall: Duration,
+    /// Deadlines the watchdog actually fired (jobs that finished before
+    /// their deadline disarm without firing).
+    pub watchdog_fired: u64,
+}
+
+impl BatchReport {
+    /// Number of jobs whose verdict was `action`.
+    pub fn action_count(&self, action: PolicyAction) -> usize {
+        self.results.iter().filter(|r| r.action == action).count()
+    }
+}
+
+type BatchSlot = Mutex<Option<(Result<RunOutcome, RunError>, Vec<Attempt>, PolicyAction, Duration)>>;
+
+/// Where a pending job's artifact comes from: already compiled, or
+/// sources compiled at batch time (through the queue's cache when one
+/// is attached) so one job's compile failure is *its* structured
+/// failure, not the batch's.
+enum JobSource {
+    Artifact(Arc<CompiledProgram>),
+    Sources(Vec<String>),
+}
+
+/// A job that made it through setup: its private session, the cancel
+/// token the watchdog fires, and the artifact hash for the fault ledger.
+struct ReadyJob {
+    session: Session,
+    token: Arc<CancelToken>,
+    hash: u64,
+}
+
+/// Setup outcome per job — refusal is a per-job result, never a batch
+/// abort.
+enum Prep {
+    Ready(Box<ReadyJob>),
+    Refused(RunError),
+}
+
+/// Classifies a fault for the retry policy. Traps (VM panics, contained
+/// worker panics, oracle panics) and exhausted step budgets are
+/// transient — a retry, possibly on a degraded rung, can legitimately
+/// succeed (the oracle counts statements, not instructions, so the same
+/// budget goes further there). Cancellations, wall-clock deadline trips
+/// and program-level faults (bounds, arithmetic, STOP, bad calls) are
+/// final: re-running cannot change them.
+fn transient(root: &RunError) -> bool {
+    match root {
+        RunError::Trap { .. } => true,
+        RunError::Limit { msg } => msg.starts_with("step budget"),
+        _ => false,
+    }
+}
+
+/// The per-job policy loop: run on the current ladder rung, retry with
+/// deterministic exponential backoff on transient faults, degrade
+/// `Parallel → Serial → oracle` when asked, stop immediately on
+/// cancellation. Returns the final outcome, the full attempt log, and
+/// the policy verdict.
+fn run_with_policy(
+    session: &Session,
+    job: &Job,
+    policy: &JobPolicy,
+    token: &Arc<CancelToken>,
+    pin_oracle: bool,
+) -> (Result<RunOutcome, RunError>, Vec<Attempt>, PolicyAction) {
+    // Rung 0 is the requested configuration; further rungs exist only
+    // under `degrade`. A quarantine-pinned job has exactly one rung:
+    // the oracle tier at the requested mode.
+    let mut rungs: Vec<(ExecMode, ExecTier)> = vec![(job.mode, ExecTier::Vm)];
+    if policy.degrade {
+        if matches!(job.mode, ExecMode::Parallel { .. }) {
+            rungs.push((ExecMode::Serial, ExecTier::Vm));
+            rungs.push((ExecMode::Serial, ExecTier::TreeWalk));
+        } else {
+            rungs.push((job.mode, ExecTier::TreeWalk));
+        }
+    }
+    if pin_oracle {
+        rungs = vec![(job.mode, ExecTier::TreeWalk)];
+    }
+    let allowed = 1 + policy.retries as usize;
+    let mut attempts: Vec<Attempt> = Vec::new();
+    let mut rung = 0usize;
+    let mut degraded = false;
+    let mut last: Option<RunError> = None;
+    for attempt in 0..allowed {
+        let wait = if attempt == 0 {
+            Duration::ZERO
+        } else {
+            // backoff, 2·backoff, 4·backoff, … (shift capped well past
+            // any plausible retry count).
+            policy.backoff.saturating_mul(1u32 << (attempt - 1).min(16))
+        };
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        let (mode, tier) = rungs[rung];
+        if token.is_cancelled() {
+            // Fired between attempts (e.g. during backoff): don't burn
+            // another attempt on a job whose caller already gave up.
+            let err = RunError::Cancelled { at_line: None, reason: token.reason() };
+            attempts.push(Attempt { mode, tier, error: Some(err.to_string()), backoff: wait });
+            return (Err(err), attempts, PolicyAction::Cancelled);
+        }
+        if rung > 0 {
+            degraded = true;
+        }
+        match session.run_tiered(&job.entry, &job.args, mode, tier) {
+            Ok(out) => {
+                attempts.push(Attempt { mode, tier, error: None, backoff: wait });
+                let action = if pin_oracle {
+                    PolicyAction::Quarantined
+                } else if degraded {
+                    PolicyAction::Degraded
+                } else if attempt > 0 {
+                    PolicyAction::Retried
+                } else {
+                    PolicyAction::Completed
+                };
+                return (Ok(out), attempts, action);
+            }
+            Err(e) => {
+                attempts.push(Attempt { mode, tier, error: Some(e.to_string()), backoff: wait });
+                if matches!(e.root(), RunError::Cancelled { .. }) {
+                    return (Err(e), attempts, PolicyAction::Cancelled);
+                }
+                if !transient(e.root()) {
+                    let action =
+                        if pin_oracle { PolicyAction::Quarantined } else { PolicyAction::Failed };
+                    return (Err(e), attempts, action);
+                }
+                if rung + 1 < rungs.len() {
+                    rung += 1;
+                }
+                last = Some(e);
+            }
+        }
+    }
+    let err = last.unwrap_or(RunError::Rejected { msg: "no attempt was made".into() });
+    let action = if pin_oracle { PolicyAction::Quarantined } else { PolicyAction::Failed };
+    (Err(err), attempts, action)
+}
 
 /// Batches many jobs — possibly over different artifacts — across one
 /// shared [`PoolSet`]. Each job gets a private [`Session`], so a job
 /// that traps, trips its limits, or corrupts its own globals cannot
-/// touch a sibling; the pool contains any panic and self-heals.
+/// touch a sibling; the pool contains any panic and self-heals. A
+/// [`JobPolicy`] (per job or queue default) bounds each job's failure
+/// mode: a watchdog thread fires over-deadline jobs' cancel tokens,
+/// transient faults retry with backoff and optional tier degradation,
+/// and — when the queue is minted by an [`EngineService`] — the
+/// artifact quarantine breaker refuses or pins repeat offenders.
 pub struct JobQueue {
     pools: Arc<PoolSet>,
     threads: usize,
-    pending: Vec<(Arc<CompiledProgram>, Job)>,
+    pending: Vec<(JobSource, Job)>,
+    /// Attached by [`EngineService::queue`]: serves deferred compiles
+    /// and carries the quarantine ledger. `None` for bare queues.
+    cache: Option<Arc<ArtifactCache>>,
+    default_policy: JobPolicy,
 }
 
 impl JobQueue {
     /// A queue dispatching over `pools` with `threads`-wide batch
     /// concurrency (`0` is clamped to 1).
     pub fn new(pools: Arc<PoolSet>, threads: usize) -> JobQueue {
-        JobQueue { pools, threads: threads.max(1), pending: Vec::new() }
+        JobQueue {
+            pools,
+            threads: threads.max(1),
+            pending: Vec::new(),
+            cache: None,
+            default_policy: JobPolicy::default(),
+        }
+    }
+
+    /// Attaches an artifact cache: deferred-compile submissions go
+    /// through it, and trap/cancel faults are recorded against its
+    /// quarantine ledger. [`EngineService::queue`] does this for you.
+    pub fn attach_cache(&mut self, cache: Arc<ArtifactCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Sets the policy applied to jobs without their own
+    /// [`Job::policy`]. Defaults to the no-op [`JobPolicy::default`].
+    pub fn set_default_policy(&mut self, policy: JobPolicy) {
+        self.default_policy = policy;
+    }
+
+    /// The queue's default policy.
+    pub fn default_policy(&self) -> JobPolicy {
+        self.default_policy
     }
 
     /// Enqueues `job` against `artifact`. Nothing runs until
     /// [`JobQueue::run_batch`].
     pub fn submit(&mut self, artifact: &Arc<CompiledProgram>, job: Job) {
-        self.pending.push((Arc::clone(artifact), job));
+        self.pending.push((JobSource::Artifact(Arc::clone(artifact)), job));
+    }
+
+    /// Enqueues `job` against sources compiled at batch time (through
+    /// the attached cache when there is one). A compile failure becomes
+    /// *this job's* [`RunError::Rejected`] result; the batch drains on.
+    pub fn submit_sources(&mut self, sources: &[&str], job: Job) {
+        let owned = sources.iter().map(|s| (*s).to_string()).collect();
+        self.pending.push((JobSource::Sources(owned), job));
     }
 
     /// Number of jobs waiting.
@@ -797,33 +1357,152 @@ impl JobQueue {
     }
 
     /// Runs every pending job and returns results in submission order.
+    /// Convenience wrapper over [`JobQueue::run_batch_report`].
+    pub fn run_batch(&mut self) -> Vec<JobResult> {
+        self.run_batch_report().results
+    }
+
+    /// Runs every pending job and returns per-job results (submission
+    /// order) plus batch-level timing and watchdog accounting.
     ///
     /// Serial/Simulated jobs are dispatched across the batch pool via a
     /// dynamic dispenser (a stalled job does not idle the other
     /// workers); Parallel jobs run afterwards on the calling thread,
     /// forking the same shared pool set one at a time. Either way the
     /// host never runs more than the pool-set threads at once.
-    pub fn run_batch(&mut self) -> Vec<JobResult> {
+    ///
+    /// Drain guarantee: a compile failure or setup panic for one job
+    /// yields a structured [`RunError::Rejected`] entry for that job and
+    /// the rest of the batch runs normally.
+    pub fn run_batch_report(&mut self) -> BatchReport {
+        let t_batch = Instant::now();
         let jobs = std::mem::take(&mut self.pending);
-        let sessions: Vec<Session> = jobs
+        let cache = self.cache.clone();
+        let default_policy = self.default_policy;
+        let watchdog = omprt::Watchdog::new();
+
+        // Setup phase, drain-safe: resolve each job's artifact and build
+        // its private session; any failure is that job's refusal.
+        let preps: Vec<Prep> = jobs
             .iter()
-            .map(|(artifact, job)| {
-                let mut s = Session::new(Arc::clone(artifact), Arc::clone(&self.pools));
-                if let Some(l) = job.limits {
-                    s.set_limits(l);
+            .map(|(src, job)| {
+                let artifact = match src {
+                    JobSource::Artifact(a) => Arc::clone(a),
+                    JobSource::Sources(v) => {
+                        let refs: Vec<&str> = v.iter().map(String::as_str).collect();
+                        let compiled = match &cache {
+                            Some(c) => c.get_or_compile(&refs),
+                            None => CompiledProgram::compile(&refs),
+                        };
+                        match compiled {
+                            Ok(a) => a,
+                            Err(e) => {
+                                return Prep::Refused(RunError::Rejected {
+                                    msg: format!("compile failed: {e}"),
+                                })
+                            }
+                        }
+                    }
+                };
+                let setup = catch_unwind(AssertUnwindSafe(|| {
+                    let mut s = Session::new(Arc::clone(&artifact), Arc::clone(&self.pools));
+                    if let Some(l) = job.limits {
+                        s.set_limits(l);
+                    }
+                    if job.force_trap {
+                        s.debug_force_vm_trap();
+                    }
+                    if job.oracle_traps > 0 {
+                        s.debug_force_oracle_traps(job.oracle_traps);
+                    }
+                    if let Some(tid) = job.panic_worker {
+                        s.debug_force_worker_panic(tid);
+                    }
+                    if let Some((traced, b)) = &job.inject_bytecode {
+                        s.debug_inject_bytecode(*traced, b.clone());
+                    }
+                    let token = CancelToken::new();
+                    s.set_cancel_token(Some(Arc::clone(&token)));
+                    Box::new(ReadyJob { session: s, token, hash: artifact.source_hash() })
+                }));
+                match setup {
+                    Ok(r) => Prep::Ready(r),
+                    Err(p) => Prep::Refused(RunError::Rejected {
+                        msg: format!("session setup panicked: {}", payload_str(&*p)),
+                    }),
                 }
-                if job.force_trap {
-                    s.debug_force_vm_trap();
-                }
-                s
             })
             .collect();
+
         let slots: Vec<BatchSlot> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let watchdog_ref = &watchdog;
+        let cache_ref = &cache;
         let run_one = |i: usize| {
             let (_, job) = &jobs[i];
-            let out = sessions[i].run(&job.entry, &job.args, job.mode);
-            *slots[i].lock() = Some(out);
+            let Prep::Ready(ready) = &preps[i] else { return };
+            let t0 = Instant::now();
+            let policy = job.policy.unwrap_or(default_policy);
+            // Quarantine gate, checked at job start so a breaker opened
+            // earlier in this very batch already protects later jobs.
+            let mut pin_oracle = false;
+            if let Some(c) = cache_ref {
+                if c.is_quarantined(ready.hash) {
+                    match c.quarantine_policy().map(|p| p.mode) {
+                        Some(QuarantineMode::PinOracle) => pin_oracle = true,
+                        // Refuse — also the conservative answer if the
+                        // policy was dropped after the breaker opened.
+                        _ => {
+                            let (t, cx) = c.fault_counts(ready.hash);
+                            *slots[i].lock() = Some((
+                                Err(RunError::Quarantined {
+                                    source_hash: ready.hash,
+                                    faults: t + cx,
+                                }),
+                                Vec::new(),
+                                PolicyAction::Quarantined,
+                                t0.elapsed(),
+                            ));
+                            return;
+                        }
+                    }
+                }
+            }
+            let wd_id = policy.deadline.map(|d| {
+                let tok = Arc::clone(&ready.token);
+                watchdog_ref
+                    .arm(t0 + d, move || tok.cancel(&format!("job deadline of {d:?} exceeded")))
+            });
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                run_with_policy(&ready.session, job, &policy, &ready.token, pin_oracle)
+            }));
+            if let Some(id) = wd_id {
+                watchdog_ref.disarm(id);
+            }
+            let (result, attempts, action) = match run {
+                Ok(r) => r,
+                Err(p) => (
+                    Err(RunError::Trap { what: payload_str(&*p) }),
+                    Vec::new(),
+                    PolicyAction::Failed,
+                ),
+            };
+            // Fault ledger: a fallback or trap-rooted failure counts as
+            // a trap, a cancellation as a cancel.
+            if let Some(c) = cache_ref {
+                let trapped = match &result {
+                    Ok(out) => out.fallback.is_some(),
+                    Err(e) => matches!(e.root(), RunError::Trap { .. }),
+                };
+                if trapped {
+                    c.record_fault(ready.hash, false);
+                }
+                if matches!(&result, Err(e) if matches!(e.root(), RunError::Cancelled { .. })) {
+                    c.record_fault(ready.hash, true);
+                }
+            }
+            *slots[i].lock() = Some((result, attempts, action, t0.elapsed()));
         };
+
         // Pool-dispatched fraction: everything that does not fork a team
         // of its own.
         let pooled: Vec<usize> = jobs
@@ -844,13 +1523,18 @@ impl JobQueue {
                 }
             });
             if let Err(p) = region {
-                // Should be unreachable — `Session::run` already contains
-                // traps — but if a panic does escape, pin it on the jobs
+                // Should be unreachable — `run_one` already contains
+                // panics — but if one does escape, pin it on the jobs
                 // that never produced a result rather than losing it.
                 for &i in &pooled {
                     let mut slot = slots[i].lock();
                     if slot.is_none() {
-                        *slot = Some(Err(RunError::Trap { what: p.what.clone() }));
+                        *slot = Some((
+                            Err(RunError::Trap { what: p.what.clone() }),
+                            Vec::new(),
+                            PolicyAction::Failed,
+                            Duration::ZERO,
+                        ));
                     }
                 }
             }
@@ -862,30 +1546,85 @@ impl JobQueue {
                 run_one(i);
             }
         }
-        sessions
+
+        let results = preps
             .into_iter()
             .zip(slots)
-            .map(|(session, slot)| JobResult {
-                result: slot.into_inner().unwrap_or_else(|| {
-                    Err(RunError::Trap { what: "job produced no result".into() })
-                }),
-                session,
+            .map(|(prep, slot)| match prep {
+                Prep::Refused(err) => JobResult {
+                    session: None,
+                    result: Err(err),
+                    attempts: Vec::new(),
+                    action: PolicyAction::Failed,
+                    wall: Duration::ZERO,
+                },
+                Prep::Ready(ready) => {
+                    let (result, attempts, action, wall) =
+                        slot.into_inner().unwrap_or_else(|| {
+                            (
+                                Err(RunError::Trap { what: "job produced no result".into() }),
+                                Vec::new(),
+                                PolicyAction::Failed,
+                                Duration::ZERO,
+                            )
+                        });
+                    // Detach the batch token so callers reusing the
+                    // session don't inherit a fired one.
+                    ready.session.set_cancel_token(None);
+                    JobResult { session: Some(ready.session), result, attempts, action, wall }
+                }
             })
-            .collect()
+            .collect();
+        BatchReport { results, wall: t_batch.elapsed(), watchdog_fired: watchdog.fired() }
     }
 }
 
 /// The top of the service layer: an [`ArtifactCache`] plus a shared
-/// [`PoolSet`], from which sessions and job queues are minted.
+/// [`PoolSet`], from which sessions and job queues are minted. Also the
+/// home of the service-wide defaults: a [`JobPolicy`] stamped onto every
+/// minted queue and the quarantine policy living on the cache.
 pub struct EngineService {
-    cache: ArtifactCache,
+    cache: Arc<ArtifactCache>,
     pools: Arc<PoolSet>,
+    default_policy: Mutex<JobPolicy>,
 }
 
 impl EngineService {
     /// A service caching up to `cache_capacity` compiled artifacts.
     pub fn new(cache_capacity: usize) -> EngineService {
-        EngineService { cache: ArtifactCache::new(cache_capacity), pools: Arc::new(PoolSet::new()) }
+        EngineService::with_cache(ArtifactCache::new(cache_capacity))
+    }
+
+    /// A service whose cache is bounded by entry count *and* estimated
+    /// bytes (see [`ArtifactCache::with_byte_budget`]).
+    pub fn with_byte_budget(cache_capacity: usize, byte_budget: usize) -> EngineService {
+        EngineService::with_cache(ArtifactCache::with_byte_budget(cache_capacity, byte_budget))
+    }
+
+    /// A service over a pre-configured cache.
+    pub fn with_cache(cache: ArtifactCache) -> EngineService {
+        EngineService {
+            cache: Arc::new(cache),
+            pools: Arc::new(PoolSet::new()),
+            default_policy: Mutex::new(JobPolicy::default()),
+        }
+    }
+
+    /// Sets the [`JobPolicy`] stamped onto queues minted *after* this
+    /// call (jobs can still override per [`Job::policy`]).
+    pub fn set_default_policy(&self, policy: JobPolicy) {
+        *self.default_policy.lock() = policy;
+    }
+
+    /// The service-wide default job policy.
+    pub fn default_policy(&self) -> JobPolicy {
+        *self.default_policy.lock()
+    }
+
+    /// Installs (or clears) the artifact quarantine circuit breaker —
+    /// convenience for [`ArtifactCache::set_quarantine_policy`].
+    pub fn set_quarantine_policy(&self, policy: Option<QuarantinePolicy>) {
+        self.cache.set_quarantine_policy(policy);
     }
 
     /// Compiles `sources` through the cache: identical sources return
@@ -906,14 +1645,24 @@ impl EngineService {
     }
 
     /// A job queue with `threads`-wide batch concurrency over the shared
-    /// pool set.
+    /// pool set, wired to the service's cache (deferred compiles +
+    /// quarantine ledger) and stamped with the current default policy.
     pub fn queue(&self, threads: usize) -> JobQueue {
-        JobQueue::new(Arc::clone(&self.pools), threads)
+        let mut q = JobQueue::new(Arc::clone(&self.pools), threads);
+        q.attach_cache(Arc::clone(&self.cache));
+        q.set_default_policy(self.default_policy());
+        q
     }
 
-    /// The artifact cache (hit/miss/eviction introspection).
+    /// The artifact cache (hit/miss/eviction/quarantine introspection).
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// A clonable handle to the artifact cache (for wiring bare
+    /// [`JobQueue`]s or sharing the quarantine ledger across drivers).
+    pub fn cache_handle(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.cache)
     }
 
     /// The shared pool set.

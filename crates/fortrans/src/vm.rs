@@ -232,8 +232,10 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                 return Err(RunError::Limit { msg: format!("step budget of {max} exhausted") });
             }
         }
-        if lim.deadline.is_some() && self.steps.is_multiple_of(1024) {
-            lim.check_deadline()?;
+        if lim.poll && self.steps.is_multiple_of(1024) {
+            // Line attribution happens in `vm_ctx` at the catch site
+            // (`line_for_pc` is a table walk; keep the hot path lean).
+            lim.check_interrupt(None)?;
         }
         Ok(())
     }
@@ -550,10 +552,10 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             });
             let mut k0: i64 = 0;
             while k0 < n {
-                // The scalar tick() only polls the deadline every 1024
-                // steps; checking every chunk is at least as prompt.
-                if self.ex.limits.deadline.is_some() {
-                    if let Err(e) = self.ex.limits.check_deadline() {
+                // The scalar tick() only polls the deadline/token every
+                // 1024 steps; checking every chunk is at least as prompt.
+                if self.ex.limits.poll {
+                    if let Err(e) = self.ex.limits.check_interrupt(None) {
                         self.vbuf = vbuf;
                         rt.clear();
                         self.vres = rt;
@@ -1590,6 +1592,12 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
         let mode_threads = self.ex.mode.threads();
         let team = clause_threads.unwrap_or(mode_threads).min(MAX_THREADS);
 
+        // OMP region entry is a safepoint: never fork a team for a run
+        // whose token already fired (or whose deadline already passed).
+        if self.ex.limits.poll {
+            self.ex.limits.check_interrupt(Some(line))?;
+        }
+
         match self.ex.mode {
             ExecMode::Serial => self.omp_serial_nest(uidx, frame, d, &bounds, st, None),
             ExecMode::Simulated { .. } => {
@@ -1742,6 +1750,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             if tid >= team {
                 return;
             }
+            if ex.debug_panic_worker == Some(tid) {
+                panic!("chaos: injected worker panic on tid {tid}");
+            }
             let mut vm = Vm::<'_, false>::new(ex, bunits, tid);
             vm.in_real_region = true;
             let mut tframe = base_frame.clone();
@@ -1866,6 +1877,14 @@ fn vm_ctx<const TRACE: bool>(
     let uidx = vm.cur_uidx;
     let line = bunits[uidx].line_for_pc(vm.cur_pc);
     let pc = if line.is_some() { None } else { Some(vm.cur_pc) };
+    // The dispatch-loop safepoint defers line attribution to here: give
+    // a cancellation its observed line so both tiers report it.
+    let e = match e {
+        RunError::Cancelled { at_line: None, reason } => {
+            RunError::Cancelled { at_line: line, reason }
+        }
+        other => other,
+    };
     e.with_ctx(&exec.prog.units[uidx].name, line, pc)
 }
 

@@ -160,3 +160,118 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Size-aware eviction (byte budget)
+// ---------------------------------------------------------------------
+
+#[test]
+fn byte_budget_zero_keeps_only_the_newest_entry() {
+    // Every artifact is over a 0-byte budget, but the newest entry is
+    // always kept: the cache degenerates to capacity 1 by bytes.
+    let cache = ArtifactCache::with_byte_budget(8, 0);
+    assert_eq!(cache.byte_budget(), Some(0));
+    for i in 10..14 {
+        let src = program(i);
+        cache.get_or_compile(&[&src]).unwrap();
+        assert_eq!(cache.len(), 1, "budget 0 keeps exactly the newest artifact");
+    }
+    assert_eq!(cache.evictions(), 3);
+}
+
+#[test]
+fn byte_budget_evicts_lru_first_and_tracks_bytes() {
+    let one = {
+        let probe = ArtifactCache::new(1);
+        let src = program(20);
+        probe.get_or_compile(&[&src]).unwrap().estimated_bytes()
+    };
+    assert!(one > 0, "artifacts report a nonzero size estimate");
+    // Room for roughly two artifacts of this shape.
+    let cache = ArtifactCache::with_byte_budget(16, one * 2 + one / 2);
+    let srcs: Vec<String> = (21..25).map(program).collect();
+    for src in &srcs {
+        cache.get_or_compile(&[src]).unwrap();
+        assert!(
+            cache.len() == 1 || cache.bytes() <= one * 2 + one / 2,
+            "cache over byte budget with multiple entries"
+        );
+    }
+    // The survivors are the most recently inserted; LRU went first.
+    let order = cache.lru_hashes();
+    let last = source_hash(&[srcs.last().unwrap()]);
+    assert_eq!(order.last().copied(), Some(last), "newest artifact survives");
+    assert!(!order.contains(&source_hash(&[&srcs[0]])), "oldest artifact evicted");
+    assert!(cache.evictions() >= 2);
+}
+
+#[test]
+fn entry_cap_still_applies_with_a_generous_byte_budget() {
+    let cache = ArtifactCache::with_byte_budget(2, usize::MAX);
+    for i in 30..35 {
+        let src = program(i);
+        cache.get_or_compile(&[&src]).unwrap();
+    }
+    assert_eq!(cache.len(), 2, "entry capacity binds when bytes do not");
+}
+
+// ---------------------------------------------------------------------
+// Quarantine ledger / circuit breaker
+// ---------------------------------------------------------------------
+
+use fortrans::{QuarantineMode, QuarantinePolicy};
+
+#[test]
+fn breaker_trips_at_threshold_and_only_clears_explicitly() {
+    let cache = ArtifactCache::new(4);
+    cache.set_quarantine_policy(Some(QuarantinePolicy {
+        threshold: 3,
+        mode: QuarantineMode::Refuse,
+    }));
+    let h = 0xABCD;
+    cache.record_fault(h, false);
+    cache.record_fault(h, true);
+    assert!(!cache.is_quarantined(h), "below threshold");
+    assert_eq!(cache.fault_counts(h), (1, 1));
+    cache.record_fault(h, false);
+    assert!(cache.is_quarantined(h), "threshold reached");
+    assert_eq!(cache.quarantined_hashes(), vec![h]);
+    // Disabling the policy does NOT close an open breaker.
+    cache.set_quarantine_policy(None);
+    assert!(cache.is_quarantined(h));
+    assert!(cache.clear_quarantine(h), "clear reports the breaker was open");
+    assert!(!cache.is_quarantined(h));
+    assert_eq!(cache.fault_counts(h), (0, 0), "clear zeroes the ledger entry");
+    assert!(!cache.clear_quarantine(h), "second clear is a no-op");
+}
+
+#[test]
+fn fault_ledger_survives_eviction() {
+    // Quarantine is keyed by source hash, not cache residency: evicting
+    // an artifact must not launder its fault history.
+    let cache = ArtifactCache::new(1);
+    cache.set_quarantine_policy(Some(QuarantinePolicy {
+        threshold: 2,
+        mode: QuarantineMode::Refuse,
+    }));
+    let src = program(40);
+    let h = cache.get_or_compile(&[&src]).unwrap().source_hash();
+    cache.record_fault(h, false);
+    // Evict it by inserting another artifact into the 1-entry cache.
+    let other = program(41);
+    cache.get_or_compile(&[&other]).unwrap();
+    assert!(!cache.lru_hashes().contains(&h), "artifact evicted");
+    cache.record_fault(h, false);
+    assert!(cache.is_quarantined(h), "faults recorded across eviction trip the breaker");
+}
+
+#[test]
+fn faults_without_a_policy_count_but_never_trip() {
+    let cache = ArtifactCache::new(4);
+    let h = 0x77;
+    for _ in 0..100 {
+        cache.record_fault(h, false);
+    }
+    assert_eq!(cache.fault_counts(h), (100, 0));
+    assert!(!cache.is_quarantined(h), "no policy, no breaker");
+}

@@ -1,0 +1,222 @@
+//! Chaos campaign integration tests, including the PR's acceptance
+//! batch: 30 mixed jobs — hung, trapping, bytecode-corrupted, and clean
+//! — through one queue, with every clean job bit-equal to a quiet
+//! baseline, every bad job returning a structured [`JobResult`] naming
+//! the policy action, and the pools still usable afterwards.
+
+use std::time::Duration;
+
+use fortrans::chaos::{self, CampaignConfig};
+use fortrans::{
+    ArgVal, EngineService, ExecMode, ExecTier, Job, JobPolicy, PolicyAction, QuarantineMode,
+    QuarantinePolicy, RunError, RunLimits, Session,
+};
+
+#[test]
+fn refuse_mode_campaign_survives() {
+    let report = chaos::run_campaign(&CampaignConfig {
+        rounds: 5,
+        jobs_per_round: 10,
+        ..CampaignConfig::default()
+    });
+    assert!(report.ok(), "violations: {:#?}", report.violations);
+    assert!(report.injected_total() >= 30, "campaign too quiet: {:?}", report.injected);
+    assert!(report.watchdog_fired >= 1, "no deadline ever fired");
+    assert!(report.actions.contains_key("completed"));
+    assert!(report.actions.contains_key("cancelled"));
+}
+
+#[test]
+fn quarantine_off_campaign_survives() {
+    let report = chaos::run_campaign(&CampaignConfig {
+        seed: 0xDEAD_BEEF,
+        rounds: 4,
+        jobs_per_round: 8,
+        quarantine: None,
+        ..CampaignConfig::default()
+    });
+    assert!(report.ok(), "violations: {:#?}", report.violations);
+}
+
+/// The acceptance batch: 30 jobs, mixed clean/hung/trapping/corrupted,
+/// one queue, one drain.
+#[test]
+fn thirty_job_mixed_batch_acceptance() {
+    let service = EngineService::new(16);
+    service.set_quarantine_policy(Some(QuarantinePolicy {
+        threshold: 64, // high: this test exercises policies, not the breaker
+        mode: QuarantineMode::Refuse,
+    }));
+
+    let corpus = chaos::base_corpus();
+    let arts: Vec<_> = corpus
+        .iter()
+        .map(|p| service.compile(&[p.source.as_str()]).expect("corpus compiles"))
+        .collect();
+    let hog = service.compile(&[chaos::hog_source("acceptance").as_str()]).expect("hog compiles");
+
+    // Quiet per-(program, mode) baselines from solo sessions.
+    let mut baselines = std::collections::BTreeMap::new();
+    for (pi, prog) in corpus.iter().enumerate() {
+        for (mk, mode) in [(0usize, ExecMode::Serial), (1, ExecMode::Parallel { threads: 2 })] {
+            let session = Session::solo(arts[pi].clone());
+            let (args, out) = chaos::make_args(prog.entry);
+            session.run_tiered(prog.entry, &args, mode, ExecTier::Vm).expect("baseline");
+            baselines.insert((pi, mk), chaos::out_bits(&out));
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Plan {
+        Clean { base: usize, mk: usize },
+        Hung,
+        Trap { base: usize },
+        Corrupt,
+    }
+
+    let mut queue = service.queue(4);
+    let mut plans: Vec<(Plan, ArgVal)> = Vec::new();
+    for j in 0..30 {
+        match j % 6 {
+            // 15 clean jobs across programs and modes.
+            0 | 2 | 4 => {
+                let base = j % corpus.len();
+                let mode = if j % 4 == 0 && base != 2 {
+                    ExecMode::Parallel { threads: 2 }
+                } else {
+                    ExecMode::Serial
+                };
+                let mk = matches!(mode, ExecMode::Parallel { .. }) as usize;
+                let (args, out) = chaos::make_args(corpus[base].entry);
+                queue.submit(&arts[base], Job::new(corpus[base].entry, args).mode(mode));
+                plans.push((Plan::Clean { base, mk }, out));
+            }
+            // 5 hung jobs: watchdog must cancel them.
+            1 => {
+                let (args, out) = chaos::make_args("spin");
+                queue.submit(
+                    &hog,
+                    Job::new("spin", args)
+                        .limits(RunLimits {
+                            deadline: Some(Duration::from_secs(2)),
+                            ..RunLimits::default()
+                        })
+                        .policy(JobPolicy {
+                            deadline: Some(Duration::from_millis(30)),
+                            ..JobPolicy::default()
+                        }),
+                );
+                plans.push((Plan::Hung, out));
+            }
+            // 5 trapping jobs: oracle fallback recovers bit-equal.
+            3 => {
+                let (args, out) = chaos::make_args(corpus[0].entry);
+                queue.submit(&arts[0], Job::new(corpus[0].entry, args).debug_force_trap());
+                plans.push((Plan::Trap { base: 0 }, out));
+            }
+            // 5 corrupted-bytecode jobs: structured result, no bleed.
+            _ => {
+                let mut bunits = (*arts[1].bytecode(false)).clone();
+                let _ = fortrans::verify::mutate::corrupt(&mut bunits, 0x1000 + j as u64);
+                let (args, out) = chaos::make_args(corpus[1].entry);
+                queue.submit(
+                    &arts[1],
+                    Job::new(corpus[1].entry, args).debug_inject_bytecode(false, bunits),
+                );
+                plans.push((Plan::Corrupt, out));
+            }
+        }
+    }
+
+    let report = queue.run_batch_report();
+    assert_eq!(report.results.len(), 30, "queue must drain all 30 jobs");
+
+    for (j, ((plan, out), jr)) in plans.iter().zip(&report.results).enumerate() {
+        match plan {
+            Plan::Clean { base, mk } => {
+                let ok = jr.result.as_ref().unwrap_or_else(|e| panic!("clean job {j}: {e}"));
+                assert!(ok.fallback.is_none(), "clean job {j} fell back");
+                assert_eq!(jr.action, PolicyAction::Completed, "clean job {j}");
+                assert_eq!(
+                    chaos::out_bits(out),
+                    baselines[&(*base, *mk)],
+                    "clean job {j} diverged from quiet baseline"
+                );
+            }
+            Plan::Hung => {
+                let err = jr.result.as_ref().expect_err("hung job must not complete");
+                assert!(
+                    matches!(err.root(), RunError::Cancelled { .. }),
+                    "hung job {j}: expected Cancelled, got {err}"
+                );
+                assert_eq!(jr.action, PolicyAction::Cancelled, "hung job {j}");
+                assert!(!jr.attempts.is_empty(), "hung job {j} logged no attempts");
+            }
+            Plan::Trap { base } => {
+                let ok = jr.result.as_ref().unwrap_or_else(|e| panic!("trap job {j}: {e}"));
+                assert!(ok.fallback.is_some(), "trap job {j} not diagnosed");
+                assert_eq!(jr.action, PolicyAction::Completed, "trap job {j}");
+                assert_eq!(
+                    chaos::out_bits(out),
+                    baselines[&(*base, 0)],
+                    "trap job {j}: oracle recovery diverged"
+                );
+            }
+            Plan::Corrupt => {
+                // Structured either way; when the oracle recovered it,
+                // the output matches the baseline.
+                if let Ok(ok) = &jr.result {
+                    if ok.fallback.is_some() {
+                        assert_eq!(
+                            chaos::out_bits(out),
+                            baselines[&(1, 0)],
+                            "corrupt job {j}: oracle recovery diverged"
+                        );
+                    }
+                }
+                assert!(
+                    matches!(jr.action, PolicyAction::Completed | PolicyAction::Failed),
+                    "corrupt job {j}: unexpected verdict {}",
+                    jr.action
+                );
+            }
+        }
+    }
+    assert!(report.watchdog_fired >= 5, "all five hung jobs should trip the watchdog");
+
+    // No pool left unusable: a fresh all-clean batch on the same
+    // service completes with zero faults.
+    let mut queue = service.queue(4);
+    let mut outs = Vec::new();
+    for (pi, prog) in corpus.iter().enumerate() {
+        let (args, out) = chaos::make_args(prog.entry);
+        queue.submit(&arts[pi], Job::new(prog.entry, args).mode(ExecMode::Parallel { threads: 2 }));
+        outs.push((pi, out));
+    }
+    for (k, jr) in queue.run_batch().iter().enumerate() {
+        let ok = jr.result.as_ref().unwrap_or_else(|e| panic!("post-batch job {k}: {e}"));
+        assert!(ok.fallback.is_none(), "post-batch job {k} fell back");
+        let (pi, out) = &outs[k];
+        assert_eq!(
+            chaos::out_bits(out),
+            baselines[&(*pi, 1)],
+            "post-batch job {k} diverged — pool damaged by the chaos batch"
+        );
+    }
+}
+
+#[test]
+fn policy_named_in_structured_results() {
+    // Every policy action renders to a stable lowercase name the batch
+    // reports aggregate on.
+    for (action, name) in [
+        (PolicyAction::Completed, "completed"),
+        (PolicyAction::Retried, "retried"),
+        (PolicyAction::Degraded, "degraded"),
+        (PolicyAction::Cancelled, "cancelled"),
+        (PolicyAction::Quarantined, "quarantined"),
+        (PolicyAction::Failed, "failed"),
+    ] {
+        assert_eq!(action.to_string(), name);
+    }
+}

@@ -448,7 +448,7 @@ fn batched_faults_do_not_poison_sibling_jobs_or_the_pool() {
                 // Clean sibling: success, no fallback, counter untouched.
                 let out = jr.result.as_ref().expect("clean sibling succeeds");
                 assert!(out.fallback.is_none(), "job {j}: no bleed from faulted siblings");
-                assert_eq!(jr.session.fallback_count(), 0, "job {j}");
+                assert_eq!(jr.session.as_ref().expect("session").fallback_count(), 0, "job {j}");
             }
             1 => {
                 // Forced trap: recovered via the oracle, diagnosed, and
@@ -456,7 +456,7 @@ fn batched_faults_do_not_poison_sibling_jobs_or_the_pool() {
                 let out = jr.result.as_ref().expect("trapped job recovers via the oracle");
                 let fb = out.fallback.as_ref().expect("trap diagnostic reported");
                 assert_eq!(fb.unit, "scale");
-                assert_eq!(jr.session.fallback_count(), 1, "job {j}");
+                assert_eq!(jr.session.as_ref().expect("session").fallback_count(), 1, "job {j}");
             }
             _ => {
                 // Starved: a clean Limit error, not a trap, no fallback.
@@ -465,7 +465,7 @@ fn batched_faults_do_not_poison_sibling_jobs_or_the_pool() {
                     matches!(err.root(), RunError::Limit { .. }),
                     "job {j} fails with Limit, got: {err}"
                 );
-                assert_eq!(jr.session.fallback_count(), 0, "job {j}");
+                assert_eq!(jr.session.as_ref().expect("session").fallback_count(), 0, "job {j}");
             }
         }
     }

@@ -1,0 +1,114 @@
+//! Session recycling: `Session::reset_globals` must make a reused
+//! session observationally identical to a fresh one — over the whole
+//! shared corpus, across execution modes, and even after the session
+//! just survived a trapped run with an oracle fallback. Batch queues
+//! recycle nothing today (each job gets a private session), but the
+//! engine service hands sessions to callers who *do* reuse them; this
+//! suite is the contract that makes that safe.
+
+mod common;
+
+use common::{assert_equivalent, corpus, snapshot};
+use fortrans::{ArgVal, EngineService, ExecMode, ExecTier};
+
+#[test]
+fn recycled_session_matches_fresh_over_corpus() {
+    let service = EngineService::new(64);
+    for case in corpus() {
+        let artifact = service.compile(&[case.src]).expect(case.label);
+        for mode in
+            [ExecMode::Serial, ExecMode::Parallel { threads: 2 }, ExecMode::Simulated { threads: 2 }]
+        {
+            // Dirty a session with two runs, then reset it.
+            let mut recycled = service.session_for(&artifact);
+            let _ = snapshot(&recycled, &case, mode);
+            let _ = snapshot(&recycled, &case, mode);
+            recycled.reset_globals();
+            let after_reset = snapshot(&recycled, &case, mode);
+
+            let fresh = service.session_for(&artifact);
+            let expect = snapshot(&fresh, &case, mode);
+            assert_equivalent(case.label, mode, &after_reset, &expect);
+        }
+    }
+}
+
+#[test]
+fn reset_after_trapped_run_restores_fresh_behavior() {
+    // A forced trap runs the oracle fallback inside the same session;
+    // reset_globals must still return it to a pristine state (the
+    // fallback counter survives — it is diagnostics, not program state).
+    let service = EngineService::new(8);
+    for case in corpus() {
+        let artifact = service.compile(&[case.src]).expect(case.label);
+        let mut recycled = service.session_for(&artifact);
+        recycled.debug_force_vm_trap();
+        let trapped = recycled.run_tiered(
+            case.unit,
+            &(case.mk_args)(),
+            ExecMode::Serial,
+            fortrans::ExecTier::Vm,
+        );
+        // Error-family cases fail under the oracle too; either way the
+        // session must reset cleanly below.
+        let fell_back = matches!(&trapped, Ok(out) if out.fallback.is_some());
+        if trapped.is_ok() {
+            assert!(fell_back, "{}: forced trap must be diagnosed", case.label);
+        }
+        recycled.reset_globals();
+        let after_reset = snapshot(&recycled, &case, ExecMode::Serial);
+
+        let fresh = service.session_for(&artifact);
+        let expect = snapshot(&fresh, &case, ExecMode::Serial);
+        assert_equivalent(case.label, ExecMode::Serial, &after_reset, &expect);
+        assert!(
+            recycled.fallback_count() >= 1 || trapped.is_err(),
+            "{}: fallback diagnostics survive reset",
+            case.label
+        );
+    }
+}
+
+#[test]
+fn recycled_session_runs_clean_batches_repeatedly() {
+    // One session reused across "batches" of sequential runs with a
+    // reset between batches: every batch must reproduce the first.
+    let service = EngineService::new(4);
+    let artifact = service
+        .compile(&[r#"
+MODULE m
+  REAL(8) :: acc
+CONTAINS
+  SUBROUTINE add(x, out)
+    REAL(8) :: x
+    REAL(8), DIMENSION(1:1) :: out
+    acc = acc + x
+    out(1) = acc
+  END SUBROUTINE add
+END MODULE m
+"#])
+        .expect("compile");
+    let mut session = service.session_for(&artifact);
+    let mut first_batch: Vec<u64> = Vec::new();
+    for batch in 0..3 {
+        let mut outs = Vec::new();
+        for k in 0..4 {
+            let out = ArgVal::array_f(&[0.0], 1);
+            session
+                .run_tiered(
+                    "add",
+                    &[ArgVal::F(k as f64 + 0.25), out.clone()],
+                    ExecMode::Serial,
+                    ExecTier::Vm,
+                )
+                .expect("run");
+            outs.push(out.handle().expect("arr").get_bits(0));
+        }
+        if batch == 0 {
+            first_batch = outs;
+        } else {
+            assert_eq!(outs, first_batch, "batch {batch} diverged after reset");
+        }
+        session.reset_globals();
+    }
+}

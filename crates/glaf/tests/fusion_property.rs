@@ -50,7 +50,7 @@ fn build_program(specs: &[LoopSpec]) -> Program {
             rhs = rhs + Expr::real(coef) * Expr::at(GRIDS[src], vec![sub]);
         }
         fb = fb
-            .loop_step(&format!("loop {k}"))
+            .loop_step(format!("loop {k}"))
             .foreach("i", Expr::int(2), Expr::int(N))
             .formula(LValue::at(GRIDS[spec.target], vec![Expr::idx("i")]), rhs)
             .done();

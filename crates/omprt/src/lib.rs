@@ -14,7 +14,9 @@
 //!   (CAS over `AtomicU64`) for `!$OMP ATOMIC`, and named critical-section
 //!   registries for `!$OMP CRITICAL`;
 //! * a **sense-reversing barrier** ([`barrier`]);
-//! * **reduction combine** helpers ([`reduce`]).
+//! * **reduction combine** helpers ([`reduce`]);
+//! * a **deadline watchdog** ([`watchdog`]) — a background thread firing
+//!   callbacks (typically cancel tokens) when armed deadlines pass.
 //!
 //! Everything is exercised for correctness by tests (reductions, atomics,
 //! barriers); wall-clock scaling is a property of the host — the paper's
@@ -26,6 +28,7 @@ pub mod pool;
 pub mod reduce;
 pub mod schedule;
 pub mod sync;
+pub mod watchdog;
 
 pub use barrier::Barrier;
 pub use metrics::RegionMetrics;
@@ -33,3 +36,4 @@ pub use pool::{PoolSet, RegionPanic, ThreadPool};
 pub use reduce::{combine, fold_depth, RedIdentity};
 pub use schedule::{chunks_for, guided_chunks, Dispenser, Schedule};
 pub use sync::{AtomicF64Cell, AtomicI64Cell, CriticalRegistry};
+pub use watchdog::Watchdog;
