@@ -29,6 +29,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Missing *baseline* is a soft skip: first runs on a branch (and CI
+    // caches that were evicted) have nothing to diff against, which is
+    // not an error worth failing the step over.
+    if !std::path::Path::new(&old_path).exists() {
+        println!("bench_compare: baseline {old_path} not found; nothing to compare (skipping)");
+        std::process::exit(0);
+    }
     let read = |p: &str| {
         std::fs::read_to_string(p).unwrap_or_else(|e| {
             eprintln!("bench_compare: cannot read {p}: {e}");

@@ -39,6 +39,10 @@ pub struct Entity {
     pub name: String,
     pub dims: Option<Vec<DimDecl>>,
     pub init: Option<Expr>,
+    /// Per-element initializers for a whole array (fixed-form `DATA`).
+    /// Length always equals the element count; unspecified elements are
+    /// filled with a zero literal by the front end.
+    pub init_list: Option<Vec<Expr>>,
 }
 
 /// A declaration line.

@@ -23,6 +23,11 @@ pub enum CompileError {
     /// instruction index within the unit (or the unit length for
     /// end-of-stream faults).
     Verify { unit: String, pc: u32, msg: String },
+    /// The fixed-form F77 front end rejected the source set. Unlike the
+    /// fail-fast variants above this carries *every* problem found: the
+    /// front end recovers at statement boundaries, so one batch
+    /// submission reports all errors in one pass.
+    Fixed { diags: Diagnostics },
 }
 
 impl std::fmt::Display for CompileError {
@@ -34,7 +39,173 @@ impl std::fmt::Display for CompileError {
             CompileError::Verify { unit, pc, msg } => {
                 write!(f, "bytecode verification failed in `{unit}` at pc {pc}: {msg}")
             }
+            CompileError::Fixed { diags } => {
+                write!(
+                    f,
+                    "fixed-form front end: {} error(s), {} warning(s)\n{}",
+                    diags.error_count(),
+                    diags.warning_count(),
+                    diags.render()
+                )
+            }
         }
+    }
+}
+
+/// How bad one fixed-form diagnostic is. `Warning`s alone never fail a
+/// compile (e.g. discarded text past column 72); `Error`s do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One recovered problem from the fixed-form front end: where, how bad,
+/// what, and (when we can guess) how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Index of the offending source in the submitted set.
+    pub file: usize,
+    pub span: Span,
+    pub severity: Severity,
+    pub message: String,
+    /// A fix-hint, when the front end can suggest one.
+    pub hint: Option<String>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "file {}, line {}: {}: {}",
+            self.file, self.span.line, self.severity, self.message
+        )?;
+        if let Some(h) = &self.hint {
+            write!(f, "\n  help: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The accumulated diagnostics of one front-end pass over a source set.
+/// Statement-boundary recovery means this usually holds *several*
+/// entries for a malformed file, in source order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    pub list: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn push(&mut self, d: Diagnostic) {
+        self.list.push(d);
+    }
+
+    pub fn error(&mut self, file: usize, line: u32, message: impl Into<String>) {
+        self.list.push(Diagnostic {
+            file,
+            span: Span { line },
+            severity: Severity::Error,
+            message: message.into(),
+            hint: None,
+        });
+    }
+
+    pub fn error_hint(
+        &mut self,
+        file: usize,
+        line: u32,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) {
+        self.list.push(Diagnostic {
+            file,
+            span: Span { line },
+            severity: Severity::Error,
+            message: message.into(),
+            hint: Some(hint.into()),
+        });
+    }
+
+    pub fn warn_hint(
+        &mut self,
+        file: usize,
+        line: u32,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) {
+        self.list.push(Diagnostic {
+            file,
+            span: Span { line },
+            severity: Severity::Warning,
+            message: message.into(),
+            hint: Some(hint.into()),
+        });
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.list.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.list.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Absorbs a fail-fast [`CompileError`] (e.g. a free-form parse error
+    /// from a mixed source set) as one more diagnostic.
+    pub fn absorb(&mut self, file: usize, e: &CompileError) {
+        let (line, msg) = match e {
+            CompileError::Lex { msg, span }
+            | CompileError::Parse { msg, span }
+            | CompileError::Sema { msg, span } => (span.line, msg.clone()),
+            CompileError::Verify { unit, pc, msg } => {
+                (0, format!("bytecode verification failed in `{unit}` at pc {pc}: {msg}"))
+            }
+            CompileError::Fixed { diags } => {
+                for d in &diags.list {
+                    let mut d = d.clone();
+                    d.file = file;
+                    self.list.push(d);
+                }
+                return;
+            }
+        };
+        self.list.push(Diagnostic {
+            file,
+            span: Span { line },
+            severity: Severity::Error,
+            message: msg,
+            hint: None,
+        });
+    }
+
+    /// One line per diagnostic (plus indented help lines), in source
+    /// order. This is what golden tests pin.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, d) in self.list.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&d.to_string());
+        }
+        out
     }
 }
 

@@ -147,6 +147,13 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// Tokenizes one statement fragment (no continuation/comment handling).
+/// The fixed-form front end feeds blank-stripped card text through this
+/// so both form's token streams come from the same scanner.
+pub(crate) fn lex_fragment(text: &str, lineno: u32) -> Result<Vec<Tok>, CompileError> {
+    lex_line(text, lineno)
+}
+
 fn lex_line(text: &str, lineno: u32) -> Result<Vec<Tok>, CompileError> {
     let mut toks = Vec::new();
     let b = text.as_bytes();

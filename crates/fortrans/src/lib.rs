@@ -56,6 +56,8 @@ pub mod chaos;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod fixedform;
+pub mod gen;
 pub mod interp;
 pub mod intrinsics;
 pub mod lex;
@@ -70,7 +72,9 @@ pub mod vm;
 
 pub use cost::{CostCounters, CostTrace, OpCounts, RegionEvent, TraceEvent};
 pub use engine::{ArgVal, Engine, ExecTier, RunOutcome, TierFallback, VectorLoopInfo};
-pub use error::{CompileError, RunError};
+pub use error::{CompileError, Diagnostic, Diagnostics, Severity};
+pub use error::RunError;
+pub use fixedform::{is_fixed_form, lex_fixed, to_fixed_form, to_fixed_form_wrapped, ProgramSet};
 pub use chaos::{CampaignConfig, CampaignReport};
 pub use interp::{CancelToken, ExecMode, RunLimits, ScheduleOverrides, Val};
 pub use omprt::{PoolSet, Schedule};

@@ -20,6 +20,26 @@ struct P {
     li: usize,
 }
 
+/// Parses one expression from a token slice, returning it plus the
+/// number of tokens consumed. Reused by the fixed-form front end so both
+/// forms share one Pratt parser (same precedence, same intrinsics
+/// disambiguation downstream).
+pub(crate) fn expr_from_toks(toks: &[Tok], lineno: u32) -> Result<(Expr, usize), CompileError> {
+    let line = Line { toks: toks.to_vec(), lineno, omp: false };
+    let mut c = LineCur::new(&line);
+    let e = P::parse_expr_prec(&mut c, 0)?;
+    Ok((e, c.i))
+}
+
+/// Parses one designator (`a`, `a(i,j)`, `fi%vd(i)`) from a token slice,
+/// returning it plus the number of tokens consumed.
+pub(crate) fn desig_from_toks(toks: &[Tok], lineno: u32) -> Result<(Desig, usize), CompileError> {
+    let line = Line { toks: toks.to_vec(), lineno, omp: false };
+    let mut c = LineCur::new(&line);
+    let d = P::parse_desig(&mut c)?;
+    Ok((d, c.i))
+}
+
 /// A cursor over one line's tokens.
 struct LineCur<'a> {
     toks: &'a [Tok],
@@ -368,7 +388,7 @@ impl P {
             if c.eat(&Tok::Assign) {
                 init = Some(Self::parse_expr_prec(&mut c, 0)?);
             }
-            entities.push(Entity { name, dims, init });
+            entities.push(Entity { name, dims, init, init_list: None });
             if !c.eat(&Tok::Comma) {
                 break;
             }

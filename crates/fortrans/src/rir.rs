@@ -207,6 +207,9 @@ pub struct GlobalDecl {
     pub per_thread: bool,
     /// Scalar initializer bits.
     pub init_bits: Option<u64>,
+    /// Per-element initializer bits for statically-shaped arrays
+    /// (fixed-form `DATA`); length equals the element count.
+    pub init_elems: Option<Vec<u64>>,
 }
 
 /// The resolved program.

@@ -276,6 +276,7 @@ impl Resolver {
             allocatable,
             per_thread,
             init_bits,
+            init_elems: None,
         });
         self.module_syms[mi].insert(
             key.to_string(),
@@ -426,6 +427,13 @@ impl Resolver {
             allocatable: bool,
             alloc_rank: usize,
             save: bool,
+            /// `DATA`-style static initializer: scalar bits or one word
+            /// per array element (fixed-form front end output).
+            init: Option<InitV>,
+        }
+        enum InitV {
+            One(u64),
+            Many(Vec<u64>),
         }
         let mut decls: HashMap<String, DeclInfo> = HashMap::new();
         for d in &u.decls {
@@ -466,6 +474,29 @@ impl Resolver {
                         d.span,
                     ));
                 }
+                let init = match (&e.init, &e.init_list) {
+                    (Some(x), _) => Some(InitV::One(self.const_bits(mi, x, ty, d.span)?)),
+                    (None, Some(xs)) => {
+                        let count: i64 = dims.iter().map(|(lo, hi)| hi - lo + 1).product();
+                        if xs.len() as i64 != count {
+                            return Err(serr(
+                                format!(
+                                    "`{}`: {} initializer value(s) for {} element(s)",
+                                    e.name,
+                                    xs.len(),
+                                    count
+                                ),
+                                d.span,
+                            ));
+                        }
+                        let mut bits = Vec::with_capacity(xs.len());
+                        for x in xs {
+                            bits.push(self.const_bits(mi, x, ty, d.span)?);
+                        }
+                        Some(InitV::Many(bits))
+                    }
+                    (None, None) => None,
+                };
                 decls.insert(
                     e.name.clone(),
                     DeclInfo {
@@ -474,6 +505,7 @@ impl Resolver {
                         allocatable: d.attrs.allocatable,
                         alloc_rank,
                         save: d.attrs.save,
+                        init,
                     },
                 );
             }
@@ -507,6 +539,11 @@ impl Resolver {
                 let info = decls.remove(name).ok_or_else(|| {
                     serr(format!("COMMON member `{name}` has no type declaration"), u.span)
                 })?;
+                let (init_bits, init_elems) = match info.init {
+                    Some(InitV::One(b)) => (Some(b), None),
+                    Some(InitV::Many(v)) => (None, Some(v)),
+                    None => (None, None),
+                };
                 let sym = match &existing {
                     Some(prev) => {
                         let prev_sym = prev.get(pos).ok_or_else(|| {
@@ -523,6 +560,20 @@ impl Resolver {
                                 u.span,
                             ));
                         }
+                        if init_bits.is_some() || init_elems.is_some() {
+                            let g = &mut self.globals[prev_sym.cell];
+                            if g.init_bits.is_some() || g.init_elems.is_some() {
+                                return Err(serr(
+                                    format!(
+                                        "COMMON /{block}/ member `{name}` is DATA-initialized \
+                                         in more than one unit"
+                                    ),
+                                    u.span,
+                                ));
+                            }
+                            g.init_bits = init_bits;
+                            g.init_elems = init_elems;
+                        }
                         prev_sym.clone()
                     }
                     None => {
@@ -534,7 +585,8 @@ impl Resolver {
                             dims: info.dims.clone(),
                             allocatable: false,
                             per_thread: false,
-                            init_bits: None,
+                            init_bits,
+                            init_elems,
                         });
                         GlobalSym {
                             cell,
@@ -572,6 +624,11 @@ impl Resolver {
             let place = if info.save {
                 // SAVE: persistent per-thread global (see DESIGN.md —
                 // matches the paper's SAVE + threadprivate adaptation).
+                let (init_bits, init_elems) = match &info.init {
+                    Some(InitV::One(b)) => (Some(*b), None),
+                    Some(InitV::Many(v)) => (None, Some(v.clone())),
+                    None => (None, None),
+                };
                 let cell = self.globals.len();
                 self.globals.push(GlobalDecl {
                     name: format!("{}::{}", u.name, name),
@@ -580,7 +637,8 @@ impl Resolver {
                     dims: info.dims.clone(),
                     allocatable: info.allocatable,
                     per_thread: true,
-                    init_bits: None,
+                    init_bits,
+                    init_elems,
                 });
                 Place::Global(cell)
             } else {

@@ -87,11 +87,19 @@ impl CompiledProgram {
     /// [`CompileError::Verify`] instead of undefined VM behavior later.
     pub fn compile(sources: &[&str]) -> Result<Arc<CompiledProgram>, CompileError> {
         let hash = source_hash(sources);
-        let mut ast = crate::ast::Ast::default();
-        for s in sources {
-            let mut part = parse(s)?;
-            ast.modules.append(&mut part.modules);
-        }
+        // Fixed-form F77 sources (auto-detected per file) route through the
+        // legacy ingestion front end; a pure free-form batch keeps the
+        // original single-parser path and its error variants.
+        let ast = if sources.iter().any(|s| crate::fixedform::is_fixed_form(s)) {
+            crate::fixedform::ProgramSet::from_sources(sources)?.ast
+        } else {
+            let mut ast = crate::ast::Ast::default();
+            for s in sources {
+                let mut part = parse(s)?;
+                ast.modules.append(&mut part.modules);
+            }
+            ast
+        };
         let prog = resolve(&ast)?;
         let optimized = compile_program(&prog, false);
         crate::verify::verify_program(&prog, &optimized)?;
@@ -1682,6 +1690,16 @@ pub(crate) fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Stores fixed-form `DATA` element initializers into a freshly-built
+/// global array (resolution guarantees the lengths match).
+fn apply_init_elems(arr: &ArrayObj, elems: Option<&[u64]>) {
+    if let Some(elems) = elems {
+        for (off, &bits) in elems.iter().enumerate().take(arr.len()) {
+            arr.set_bits(off, bits);
+        }
+    }
+}
+
 pub(crate) fn build_globals(prog: &RProgram) -> Globals {
     let cells = prog
         .globals
@@ -1711,14 +1729,18 @@ pub(crate) fn build_globals(prog: &RProgram) -> Globals {
                 let cell = GlobalCell::new_per_thread_array();
                 if !decl.allocatable && !decl.dims.is_empty() {
                     for t in 0..crate::storage::MAX_THREADS {
-                        cell.set_array(t, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
+                        let arr = Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()));
+                        apply_init_elems(&arr, decl.init_elems.as_deref());
+                        cell.set_array(t, Some(arr));
                     }
                 }
                 cell
             } else {
                 let cell = GlobalCell::new_array();
                 if !decl.allocatable && !decl.dims.is_empty() {
-                    cell.set_array(0, Some(Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()))));
+                    let arr = Arc::new(ArrayObj::new(decl.ty, decl.dims.clone()));
+                    apply_init_elems(&arr, decl.init_elems.as_deref());
+                    cell.set_array(0, Some(arr));
                 }
                 cell
             }

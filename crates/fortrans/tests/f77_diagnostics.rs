@@ -1,0 +1,139 @@
+//! Golden tests for fixed-form front-end diagnostics.
+//!
+//! Each case pins the *exact* rendered output of
+//! [`fortrans::Diagnostics::render`] — message text, help hints, file
+//! indices and line numbers — so diagnostics cannot silently regress.
+//! The same malformed sources are also pushed through the service batch
+//! path to prove the full multi-error report reaches `Rejected` job
+//! results, not just direct [`Engine::compile`] callers.
+
+use fortrans::{CompileError, Engine, EngineService, Job, ProgramSet, RunError};
+
+/// Compiles and returns the accumulated diagnostics, panicking if the
+/// front end accepted the sources.
+fn expect_fixed_err(sources: &[&str]) -> fortrans::Diagnostics {
+    match Engine::compile(sources) {
+        Ok(_) => panic!("sources unexpectedly compiled"),
+        Err(CompileError::Fixed { diags }) => diags,
+        Err(e) => panic!("expected CompileError::Fixed, got: {e}"),
+    }
+}
+
+#[test]
+fn golden_bad_continuation() {
+    // Line 2 is a continuation card with nothing before it; line 5
+    // carries a label on a continuation card. Both recover and both are
+    // reported in one pass.
+    let src = "\n     &X = 1\n      K = 1\n      END\n";
+    let diags = expect_fixed_err(&[src]);
+    assert_eq!(
+        diags.render(),
+        "file 0, line 2: error: continuation line has nothing to continue\n\
+         \x20 help: column 6 must be blank or `0` on an initial line"
+    );
+
+    let src2 = "\n      K = 1\n   10&0\n      END\n";
+    let diags2 = expect_fixed_err(&[src2]);
+    assert_eq!(
+        diags2.render(),
+        "file 0, line 3: error: label on a continuation line\n\
+         \x20 help: only the initial line of a statement may carry a label"
+    );
+}
+
+#[test]
+fn golden_column_73_overflow_is_a_warning() {
+    // Text past column 72 is discarded with a warning; the program still
+    // compiles, so the warning surfaces on the successful ProgramSet.
+    let line = format!("      K = 1{}XTRA", " ".repeat(61));
+    assert!(line.len() > 72);
+    let src = format!("\n{line}\n      END\n");
+    let set = ProgramSet::from_sources(&[&src]).expect("warnings alone must not fail");
+    assert_eq!(
+        set.warnings.render(),
+        "file 0, line 2: warning: text beyond column 72 is ignored\n\
+         \x20 help: fixed-form statements end at column 72; split the statement onto a \
+         continuation card"
+    );
+    // And the discarded text really is gone: the program compiles clean.
+    let refs = [src.as_str()];
+    Engine::compile(&refs).expect("compiles despite overflow");
+}
+
+#[test]
+fn golden_conflicting_equivalence() {
+    let src = "\n      INTEGER X\n      REAL Y\n      EQUIVALENCE (X, Y)\n      END\n";
+    let diags = expect_fixed_err(&[src]);
+    assert_eq!(
+        diags.render(),
+        "file 0, line 4: error: EQUIVALENCE of `x` and `y` with conflicting type or shape\n\
+         \x20 help: only exact-alias EQUIVALENCE (identical type and shape) is supported"
+    );
+}
+
+#[test]
+fn golden_missing_label() {
+    let src = "\n      K = 1\n      GO TO 999\n      END\n";
+    let diags = expect_fixed_err(&[src]);
+    assert_eq!(
+        diags.render(),
+        "file 0, line 3: error: label 999 is not defined in this unit\n\
+         \x20 help: add the labeled statement or fix the GO TO target"
+    );
+}
+
+#[test]
+fn golden_multi_error_single_pass() {
+    // One pass over a file with three independent problems must report
+    // all three, in source order — never just the first.
+    let src = "\n     &X = 1\n      GO TO 999\n      INTEGER Z\n      REAL Z\n      END\n";
+    let diags = expect_fixed_err(&[src]);
+    assert_eq!(
+        diags.render(),
+        "file 0, line 2: error: continuation line has nothing to continue\n\
+         \x20 help: column 6 must be blank or `0` on an initial line\n\
+         file 0, line 3: error: label 999 is not defined in this unit\n\
+         \x20 help: add the labeled statement or fix the GO TO target\n\
+         file 0, line 5: error: `z` is declared more than once"
+    );
+}
+
+#[test]
+fn golden_second_file_index() {
+    // Diagnostics carry the index of the offending source in the set.
+    let good = "\n      SUBROUTINE OK\n      END\n";
+    let bad = "\n      GO TO 7\n      END\n";
+    let diags = expect_fixed_err(&[good, bad]);
+    assert_eq!(
+        diags.render(),
+        "file 1, line 2: error: label 7 is not defined in this unit\n\
+         \x20 help: add the labeled statement or fix the GO TO target"
+    );
+}
+
+/// The full multi-error report must flow through a service batch: a
+/// malformed source job becomes `Rejected` carrying every diagnostic,
+/// while sibling jobs in the same batch run normally.
+#[test]
+fn batch_rejection_carries_full_diagnostics() {
+    let service = EngineService::new(4);
+    let mut queue = service.queue(2);
+
+    let good = "\n      K = 1\n      PRINT *, K\n      END\n";
+    let bad = "\n     &X = 1\n      GO TO 999\n      END\n";
+    queue.submit_sources(&[bad], Job::new("main", vec![]));
+    queue.submit_sources(&[good], Job::new("main", vec![]));
+    let results = queue.run_batch();
+    assert_eq!(results.len(), 2);
+
+    match &results[0].result {
+        Err(RunError::Rejected { msg }) => {
+            assert!(msg.starts_with("compile failed: fixed-form front end: 2 error(s), 0 warning(s)"), "msg: {msg}");
+            assert!(msg.contains("continuation line has nothing to continue"), "msg: {msg}");
+            assert!(msg.contains("label 999 is not defined in this unit"), "msg: {msg}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    let out = results[1].result.as_ref().expect("sibling job unaffected");
+    assert_eq!(out.printed.trim(), "1");
+}

@@ -19,6 +19,7 @@
 //! GLAF auto-generated subroutines, against the results from executing
 //! the original code", plus the §4.2.1 RMS check at 1e-7.
 
+pub mod ingest;
 pub mod sloc;
 pub mod verify;
 
