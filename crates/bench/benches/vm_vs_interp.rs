@@ -127,6 +127,13 @@ fn bench_vector_tier(c: &mut Criterion) {
         engine
     };
     let micro = Engine::compile(&[SERIAL_REDUCTION]).unwrap();
+    // Pin the JIT off: this group isolates the scalar/vector VM rung,
+    // and the native tier would otherwise claim every promoted region
+    // regardless of the vector toggle (it sits above both in the
+    // ladder). The native tier has its own driver (`jit_smoke`).
+    for e in [&sarb, &f3d, &micro] {
+        e.set_native_enabled(false);
+    }
     let a: Vec<f64> = (0..4096).map(|i| i as f64 * 0.001).collect();
     let b_data: Vec<f64> = (0..4096).map(|i| (i % 31) as f64 * 0.1 - 1.5).collect();
 
@@ -172,6 +179,12 @@ fn time_it(iters: u32, mut f: impl FnMut()) -> f64 {
 
 fn speedup_summary(_c: &mut Criterion) {
     let sarb = sarb_engine();
+    // Keep the VM rungs honest: with the native tier at its default
+    // (on), every promoted region would run as machine code and the
+    // scalar/vector ratios below would all measure tier 3. It gets its
+    // own section at the end via `ExecTier::Native`, which forces
+    // native on for that run regardless of this toggle.
+    sarb.set_native_enabled(false);
     let run_sarb = |tier| {
         time_it(10, || {
             sarb.run_tiered("run_columns", &[ArgVal::I(2)], ExecMode::Serial, tier)
@@ -183,6 +196,7 @@ fn speedup_summary(_c: &mut Criterion) {
     let sarb_tw = run_sarb(ExecTier::TreeWalk);
 
     let f3d = fun3d_engine(200);
+    f3d.set_native_enabled(false);
     let run_f3d = |tier| {
         time_it(10, || {
             f3d.run_tiered("edgejp", &[], ExecMode::Serial, tier).map(|_| ()).unwrap()
@@ -217,6 +231,7 @@ fn speedup_summary(_c: &mut Criterion) {
     let f3d_fused = {
         let cfg = Fun3dConfig { fuse: true, ..Default::default() };
         let engine = fun3d::variants::build_engine(Fun3dVariant::Glaf(cfg));
+        engine.set_native_enabled(false);
         engine.run("build_mesh", &[ArgVal::I(200)], ExecMode::Serial).expect("mesh builds");
         engine
     };
@@ -237,6 +252,38 @@ fn speedup_summary(_c: &mut Criterion) {
         "fun3d fused edge gather (edgejp, 200 cells):      {:.2}x  (vector {:.1} ms, scalar {:.1} ms)",
         f3d_scalar / f3d_vec,
         f3d_vec * 1e3,
+        f3d_scalar * 1e3
+    );
+
+    // Native tier (tier 3) on top of the scalar VM. `ExecTier::Native`
+    // forces eager promotion for the run even though the engines above
+    // pinned the tier off; on targets without the JIT backend this
+    // falls through to the VM ladder cleanly.
+    let sarb_native = time_it(10, || {
+        sarb.run_tiered("run_columns", &[ArgVal::I(2)], ExecMode::Serial, ExecTier::Native)
+            .map(|_| ())
+            .unwrap()
+    });
+    let f3d_native = time_it(10, || {
+        f3d_fused
+            .run_tiered("edgejp", &[], ExecMode::Serial, ExecTier::Native)
+            .map(|_| ())
+            .unwrap()
+    });
+    println!(
+        "--- native-tier speedup (scalar VM time / native time, Serial, jit {}) ---",
+        if fortrans::jit::available() { "on" } else { "unavailable: VM fall-through" }
+    );
+    println!(
+        "sarb longwave (run_columns ncol=2):               {:.2}x  (native {:.1} ms, scalar {:.1} ms)",
+        sarb_scalar / sarb_native,
+        sarb_native * 1e3,
+        sarb_scalar * 1e3
+    );
+    println!(
+        "fun3d fused edge gather (edgejp, 200 cells):      {:.2}x  (native {:.1} ms, scalar {:.1} ms)",
+        f3d_scalar / f3d_native,
+        f3d_native * 1e3,
         f3d_scalar * 1e3
     );
 }

@@ -63,11 +63,11 @@ fn main() {
         };
         println!("{marker} {:<44} {:>14} -> {:>14}  ({:>6.2}x)", d.path, d.old, d.new, d.ratio());
     }
-    for p in &cmp.removed {
-        println!("-- {p:<44} (removed)");
+    for (p, v) in &cmp.removed {
+        println!("-- {p:<44} {v:>14} -> (removed)");
     }
-    for p in &cmp.added {
-        println!("++ {p:<44} (added)");
+    for (p, v) in &cmp.added {
+        println!("++ {p:<44} {:>14} -> {v:>14}  (added)", "");
     }
 
     let regs = cmp.regressions(tolerance);

@@ -1,0 +1,287 @@
+//! CI smoke for the native (JIT) execution tier, emitting `BENCH_pr10.json`.
+//!
+//! Usage: `jit_smoke [out.json]` (default `BENCH_pr10.json`).
+//!
+//! 1. Times three configurations of the same engine on three kernels —
+//!    scalar VM (vector + native off), vector tier (native off), native
+//!    tier (eager promotion) — on the SARB longwave spectral
+//!    integration, the FUN3D edge gather (fused), and a 4096-element
+//!    serial reduction.
+//! 2. On targets with a JIT, validates the acceptance bar: every kernel
+//!    run enters native code at least once, and at least 2 of the 3
+//!    kernels reach >= 3x over the scalar VM. Exits nonzero otherwise.
+//! 3. Runs a generated-F77 differential sweep: each seeded program runs
+//!    Serial under `ExecTier::Native` (native promotion forced eager)
+//!    and under the tree-walking oracle; result, PRINT output, and every
+//!    COMMON global must be bit-identical, and the sweep as a whole must
+//!    actually enter native code.
+//! 4. Writes the measurements as JSON — the PR 10 perf trajectory file.
+//!
+//! On targets without a JIT (`fortrans::jit::available()` is false) the
+//! native column duplicates the VM measurement by construction; the
+//! speedup bar and entry-count checks are skipped so the smoke still
+//! passes, and the file records `"native_available": false`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fortrans::service::CompiledProgram;
+use fortrans::{ArgVal, Engine, ExecMode, ExecTier, Val};
+
+const MICRO_REDUCTION: &str = r#"
+MODULE mr
+CONTAINS
+  SUBROUTINE dotp(a, b, n, s)
+    REAL(8), DIMENSION(1:4096) :: a
+    REAL(8), DIMENSION(1:4096) :: b
+    INTEGER :: n
+    REAL(8) :: s
+    INTEGER :: i
+    s = 0.0D0
+    DO i = 1, n
+      s = s + a(i) * b(i)
+    END DO
+  END SUBROUTINE dotp
+END MODULE mr
+"#;
+
+/// Generated programs in the differential sweep. The exhaustive 200-seed
+/// corpus runs in `tests/f77_differential.rs`; the smoke re-runs a prefix
+/// to prove the *native* path is exercised end to end in CI.
+const SWEEP_SEEDS: u64 = 64;
+
+fn median_ns(reps: usize, mut run: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    scalar_ns: u64,
+    vector_ns: u64,
+    native_ns: u64,
+    native_entries: u64,
+    native_deopts: u64,
+}
+
+impl Row {
+    fn native_speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.native_ns.max(1) as f64
+    }
+}
+
+/// One kernel under three configurations of the same engine factory:
+/// scalar VM, vector tier, native tier (eager promotion).
+fn triple(label: &str, mk: impl Fn() -> Engine, run: impl Fn(&Engine)) -> Row {
+    let off = mk();
+    off.set_native_enabled(false);
+    off.set_vector_enabled(false);
+    run(&off); // warm-up
+    let scalar_ns = median_ns(7, || run(&off));
+
+    let vec_e = mk();
+    vec_e.set_native_enabled(false);
+    run(&vec_e);
+    let vector_ns = median_ns(7, || run(&vec_e));
+
+    let nat = mk();
+    nat.set_native_eager(true);
+    run(&nat); // warm-up also compiles every region eagerly
+    let native_ns = median_ns(7, || run(&nat));
+    let row = Row {
+        scalar_ns,
+        vector_ns,
+        native_ns,
+        native_entries: nat.native_entry_count(),
+        native_deopts: nat.native_deopt_count(),
+    };
+    println!(
+        "{label:<20} scalar {:>9.3} ms   vector {:>9.3} ms   native {:>9.3} ms   \
+         native speedup {:>6.2}x   entries {}   deopts {}",
+        scalar_ns as f64 / 1e6,
+        vector_ns as f64 / 1e6,
+        native_ns as f64 / 1e6,
+        row.native_speedup(),
+        row.native_entries,
+        row.native_deopts,
+    );
+    row
+}
+
+/// Observable state of one Serial run: result, PRINT output, and the bit
+/// pattern of every COMMON global. Serial runs are deterministic, so the
+/// native tier must reproduce the oracle exactly.
+fn snapshot(engine: &Engine, tier: ExecTier) -> (Result<Option<Val>, String>, String, Vec<u64>) {
+    let run = engine.run_tiered("main", &[], ExecMode::Serial, tier);
+    let (result, printed) = match run {
+        Ok(out) => (Ok(out.result), out.printed),
+        Err(e) => (Err(e.to_string()), String::new()),
+    };
+    let mut names = engine.global_names();
+    names.sort();
+    let mut bits = Vec::new();
+    for name in names {
+        if let Some(v) = engine.global_scalar(&name) {
+            bits.push(match v {
+                Val::F(f) => f.to_bits(),
+                Val::I(i) => i as u64,
+                Val::B(b) => b as u64,
+            });
+        } else if let Some(h) = engine.global_array(&name) {
+            bits.extend((0..h.len()).map(|k| h.get_bits(k)));
+        }
+    }
+    (result, printed, bits)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr10.json".into());
+    let available = fortrans::jit::available();
+    let mut errors: Vec<String> = Vec::new();
+    println!("== scalar VM vs vector vs native tier (median of 7, serial) ==");
+    if !available {
+        println!("   (no JIT on this target: native == VM, bars skipped)");
+    }
+
+    // 1. The three kernels.
+    let sarb = triple(
+        "sarb_longwave",
+        || sarb::variants::build_engine(sarb::variants::SarbVariant::GlafSerial),
+        |e| {
+            e.run("run_columns", &[ArgVal::I(6)], ExecMode::Serial).unwrap();
+        },
+    );
+    let fun3d = triple(
+        "fun3d_edge_gather",
+        || {
+            let cfg = fun3d::variants::Fun3dConfig { fuse: true, ..Default::default() };
+            let e = fun3d::variants::build_engine(fun3d::variants::Fun3dVariant::Glaf(cfg));
+            e.run("build_mesh", &[ArgVal::I(300)], ExecMode::Serial).unwrap();
+            e
+        },
+        |e| {
+            e.run("edgejp", &[], ExecMode::Serial).unwrap();
+        },
+    );
+    let a: Vec<f64> = (0..4096).map(|i| (i % 97) as f64 * 0.01).collect();
+    let b: Vec<f64> = (0..4096).map(|i| (i % 89) as f64 * 0.02 - 0.5).collect();
+    let micro = triple(
+        "micro_reduction",
+        || Engine::compile(&[MICRO_REDUCTION]).unwrap(),
+        |e| {
+            let s = ArgVal::F(0.0);
+            for _ in 0..64 {
+                e.run(
+                    "dotp",
+                    &[
+                        ArgVal::array_f(&a, 1),
+                        ArgVal::array_f(&b, 1),
+                        ArgVal::I(4096),
+                        s.clone(),
+                    ],
+                    ExecMode::Serial,
+                )
+                .unwrap();
+            }
+        },
+    );
+    let rows = [("sarb_longwave", &sarb), ("fun3d_edge_gather", &fun3d), ("micro_reduction", &micro)];
+
+    // 2. Acceptance bar (JIT targets only).
+    if available {
+        for (label, row) in &rows {
+            if row.native_entries == 0 {
+                errors.push(format!("{label}: benchmark run never entered native code"));
+            }
+        }
+        let fast = rows.iter().filter(|(_, r)| r.native_speedup() >= 3.0).count();
+        if fast < 2 {
+            errors.push(format!(
+                "native tier speedup bar missed: {fast}/3 kernels >= 3x over scalar VM \
+                 (sarb {:.2}x, fun3d {:.2}x, micro {:.2}x)",
+                sarb.native_speedup(),
+                fun3d.native_speedup(),
+                micro.native_speedup(),
+            ));
+        }
+    }
+
+    // 3. Generated-F77 differential sweep through the native tier.
+    let mut sweep_entries: u64 = 0;
+    let mut sweep_deopts: u64 = 0;
+    for seed in 0..SWEEP_SEEDS {
+        let srcs = fortrans::gen::generate(seed);
+        let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+        let artifact = match CompiledProgram::compile(&refs) {
+            Ok(a) => a,
+            Err(e) => {
+                errors.push(format!("sweep seed {seed}: failed to compile: {e}"));
+                continue;
+            }
+        };
+        let en = Engine::from_artifact(artifact.clone());
+        let et = Engine::from_artifact(artifact);
+        let native = snapshot(&en, ExecTier::Native);
+        let oracle = snapshot(&et, ExecTier::TreeWalk);
+        if native != oracle {
+            errors.push(format!("sweep seed {seed}: native tier diverged from the oracle"));
+        }
+        sweep_entries += en.native_entry_count();
+        sweep_deopts += en.native_deopt_count();
+    }
+    if available && sweep_entries == 0 {
+        errors.push("differential sweep never entered native code".into());
+    }
+    println!(
+        "differential sweep: {SWEEP_SEEDS} seeds, {sweep_entries} native entries, \
+         {sweep_deopts} deopts"
+    );
+
+    // 4. Emit the trajectory file.
+    let mut json = String::new();
+    json.push_str("{\n  \"pr\": 10,\n  \"mode\": \"serial\",\n");
+    let _ = writeln!(json, "  \"native_available\": {available},");
+    json.push_str("  \"kernels\": {\n");
+    for (ri, (label, r)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"scalar_vm_ns\": {}, \"vector_vm_ns\": {}, \
+             \"native_ns\": {}, \"native_speedup\": {:.3}, \"native_entries\": {}, \
+             \"native_deopts\": {}}}{}",
+            r.scalar_ns,
+            r.vector_ns,
+            r.native_ns,
+            r.native_speedup(),
+            r.native_entries,
+            r.native_deopts,
+            if ri + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"differential\": {{\"seeds\": {SWEEP_SEEDS}, \"native_entries\": {sweep_entries}, \
+         \"native_deopts\": {sweep_deopts}}}"
+    );
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        errors.push(format!("cannot write {out_path}: {e}"));
+    } else {
+        println!("wrote {out_path}");
+    }
+
+    if errors.is_empty() {
+        println!("jit_smoke: native tier checks OK");
+    } else {
+        for e in &errors {
+            eprintln!("jit_smoke: VIOLATION: {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -58,12 +58,17 @@ fn median_ns(reps: usize, mut run: impl FnMut()) -> u64 {
 }
 
 /// Scalar-vs-vector wall time on one kernel through the session API.
+/// The native (JIT) tier is kept out of both sides so the PR 7
+/// trajectory keys stay comparable across PRs (jit_smoke owns the
+/// native numbers).
 fn pair(label: &str, mk: impl Fn() -> Session, run: impl Fn(&Session)) -> (u64, u64, u64) {
     let off = mk();
+    off.set_native_enabled(false);
     off.set_vector_enabled(false);
     run(&off); // warm-up
     let scalar = median_ns(7, || run(&off));
     let on = mk();
+    on.set_native_enabled(false);
     run(&on);
     let vector = median_ns(7, || run(&on));
     let entries = on.vector_entry_count();

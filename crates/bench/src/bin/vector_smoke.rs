@@ -52,11 +52,16 @@ fn median_ns(reps: usize, mut run: impl FnMut()) -> u64 {
 /// Scalar-vs-vector wall time on one kernel: same engine factory, vector
 /// path off then on. Returns `(scalar_ns, vector_ns, vector_entries)`.
 fn pair(label: &str, mk: impl Fn() -> Engine, run: impl Fn(&Engine)) -> (u64, u64, u64) {
+    // This smoke measures the *vector* tier in isolation; keep the
+    // native (JIT) tier out of both sides so the PR 6 trajectory keys
+    // stay comparable across PRs (jit_smoke owns the native numbers).
     let off = mk();
+    off.set_native_enabled(false);
     off.set_vector_enabled(false);
     run(&off); // warm-up
     let scalar = median_ns(7, || run(&off));
     let on = mk();
+    on.set_native_enabled(false);
     run(&on);
     let vector = median_ns(7, || run(&on));
     let entries = on.vector_entry_count();
@@ -139,6 +144,7 @@ fn main() {
     }
 
     let sarb_engine = sarb::variants::build_engine(sarb::variants::SarbVariant::GlafSerial);
+    sarb_engine.set_native_enabled(false);
     sarb_engine.run("run_columns", &[ArgVal::I(1)], ExecMode::Serial).unwrap();
     let rep = sarb_engine.vector_report();
     for f in ["g_lw_emis", "g_lw_trn", "g_lw_up"] {
@@ -151,6 +157,7 @@ fn main() {
     }
     let cfg = fun3d::variants::Fun3dConfig { fuse: true, ..Default::default() };
     let f3 = fun3d::variants::build_engine(fun3d::variants::Fun3dVariant::Glaf(cfg));
+    f3.set_native_enabled(false);
     f3.run("build_mesh", &[ArgVal::I(40)], ExecMode::Serial).unwrap();
     f3.run("edgejp", &[], ExecMode::Serial).unwrap();
     if !f3.vector_report().iter().any(|v| v.unit == "edge_loop") {

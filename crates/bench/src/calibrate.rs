@@ -50,6 +50,47 @@ pub fn calibrated_simd_speedup(bench_json: &str) -> Result<Option<f64>, String> 
     Ok(glaf_autopar::calibrate_simd_speedup(&pairs))
 }
 
+/// One kernel's measured native-tier (tier-3 JIT) evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeSample {
+    /// Dotted path prefix of the kernel (e.g. `kernels.sarb_longwave`).
+    pub kernel: String,
+    /// Measured scalar-over-native speedup.
+    pub speedup: f64,
+    /// Loop entries that committed on the native path.
+    pub entries: u64,
+}
+
+/// Extracts `(native_speedup, native_entries)` pairs from a trajectory
+/// file (the `BENCH_pr10.json` schema the JIT smoke bin commits): every
+/// dotted-path prefix carrying both leaves yields one sample, in
+/// document order.
+pub fn native_samples(bench_json: &str) -> Result<Vec<NativeSample>, String> {
+    let leaves = numeric_leaves(bench_json)?;
+    let mut out = Vec::new();
+    for (path, speedup) in &leaves {
+        let Some(kernel) = path.strip_suffix(".native_speedup") else { continue };
+        let entries_path = format!("{kernel}.native_entries");
+        if let Some((_, entries)) = leaves.iter().find(|(p, _)| *p == entries_path) {
+            out.push(NativeSample {
+                kernel: kernel.to_string(),
+                speedup: *speedup,
+                entries: *entries as u64,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// End to end: trajectory JSON in, calibrated `native_speedup` out.
+/// `None` when the document carries no usable samples (e.g. a trajectory
+/// recorded on a host without the JIT backend).
+pub fn calibrated_native_speedup(bench_json: &str) -> Result<Option<f64>, String> {
+    let pairs: Vec<(f64, u64)> =
+        native_samples(bench_json)?.into_iter().map(|s| (s.speedup, s.entries)).collect();
+    Ok(glaf_autopar::calibrate_native_speedup(&pairs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +118,34 @@ mod tests {
         let v = calibrated_simd_speedup(BENCH).unwrap().unwrap();
         assert!((v - 4.0).abs() < 1e-12, "geometric mean of 2x and 8x: {v}");
         assert_eq!(calibrated_simd_speedup(r#"{"pr": 6}"#).unwrap(), None);
+    }
+
+    const BENCH_NATIVE: &str = r#"{
+      "pr": 10,
+      "kernels": {
+        "a": {"scalar_vm_ns": 100, "native_ns": 25, "native_speedup": 4.0, "native_entries": 6},
+        "b": {"scalar_vm_ns": 90, "native_ns": 10, "native_speedup": 9.0, "native_entries": 6},
+        "no_jit": {"scalar_vm_ns": 5, "vector_vm_ns": 5, "speedup": 1.0, "vector_entries": 3}
+      }
+    }"#;
+
+    #[test]
+    fn native_samples_pair_speedup_with_entries() {
+        let s = native_samples(BENCH_NATIVE).unwrap();
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert_eq!(s[0].kernel, "kernels.a");
+        assert_eq!(s[0].speedup, 4.0);
+        assert_eq!(s[1].entries, 6);
+        // The two extractors never cross-contaminate: the vector-only
+        // kernel yields no native sample and vice versa.
+        assert_eq!(vector_samples(BENCH_NATIVE).unwrap().len(), 1);
+        assert_eq!(native_samples(BENCH).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn native_calibration_runs_end_to_end() {
+        let v = calibrated_native_speedup(BENCH_NATIVE).unwrap().unwrap();
+        assert!((v - 6.0).abs() < 1e-12, "geometric mean of 4x and 9x: {v}");
+        assert_eq!(calibrated_native_speedup(r#"{"pr": 10}"#).unwrap(), None);
     }
 }

@@ -42,10 +42,10 @@ impl Delta {
 pub struct Comparison {
     /// Leaves present in both files, in old-file order.
     pub shared: Vec<Delta>,
-    /// Paths only in the old file.
-    pub removed: Vec<String>,
-    /// Paths only in the new file.
-    pub added: Vec<String>,
+    /// Leaves only in the old file, with their (old) values.
+    pub removed: Vec<(String, f64)>,
+    /// Leaves only in the new file, with their (new) values.
+    pub added: Vec<(String, f64)>,
 }
 
 impl Comparison {
@@ -66,12 +66,12 @@ pub fn compare(old_json: &str, new_json: &str) -> Result<Comparison, String> {
     for (path, o) in &old {
         match new.iter().find(|(p, _)| p == path) {
             Some((_, n)) => cmp.shared.push(Delta { path: path.clone(), old: *o, new: *n }),
-            None => cmp.removed.push(path.clone()),
+            None => cmp.removed.push((path.clone(), *o)),
         }
     }
-    for (path, _) in &new {
+    for (path, n) in &new {
         if !old.iter().any(|(p, _)| p == path) {
-            cmp.added.push(path.clone());
+            cmp.added.push((path.clone(), *n));
         }
     }
     Ok(cmp)
@@ -268,8 +268,11 @@ mod tests {
     fn added_and_removed_paths_reported() {
         let new = r#"{"pr": 6, "kernels": {"sarb": {"scalar_vm_ns": 1000}}, "extra": 1}"#;
         let cmp = compare(OLD, new).unwrap();
-        assert!(cmp.removed.contains(&"kernels.micro.scalar_vm_ns".to_string()));
-        assert!(cmp.added.contains(&"extra".to_string()));
+        // Values ride along so one-sided leaves are reportable, not
+        // silently dropped from the printout.
+        assert!(cmp.removed.contains(&("kernels.micro.scalar_vm_ns".to_string(), 800.0)));
+        assert!(cmp.removed.contains(&("kernels.micro.vector_vm_ns".to_string(), 100.0)));
+        assert!(cmp.added.contains(&("extra".to_string(), 1.0)));
         assert_eq!(cmp.shared.len(), 2, "{cmp:?}");
     }
 

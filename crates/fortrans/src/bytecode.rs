@@ -624,6 +624,12 @@ struct VecPlan {
     /// Loop-invariant subscript expressions to evaluate into hidden
     /// i-slots between `DoInitC` and `VecLoop`: (dedup key, expr, slot).
     prep: Vec<(String, RExpr, u32)>,
+    /// Forward-substituted scalar temps: (temp, final substituted RHS).
+    /// The vector body never materializes these, so the emitter places a
+    /// fixup block on the `VecLoop` exit edge that recomputes each
+    /// temp's last-iteration value (the loop variable already holds the
+    /// final trip value there).
+    fixup: Vec<(VarIdx, RExpr)>,
 }
 
 /// Simulates a vector statement program's operand-stack effect.
@@ -665,6 +671,42 @@ fn expr_uses_var(e: &RExpr, var: VarIdx) -> bool {
         RExpr::Neg(x) | RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => expr_uses_var(x, var),
         RExpr::Intrinsic { args, .. } => args.iter().any(|a| expr_uses_var(a, var)),
         RExpr::CallFn { .. } => true,
+    }
+}
+
+/// `e` with every `LoadScalar` of a forwarded temp replaced by the
+/// temp's defining expression (itself already substituted, so the
+/// result never references another temp). `CallFn` arguments are left
+/// alone: a call anywhere disqualifies the loop from vectorizing, so
+/// the substituted tree is never emitted in that case.
+fn subst_scalars(e: &RExpr, subst: &[(VarIdx, RExpr)]) -> RExpr {
+    if subst.is_empty() {
+        return e.clone();
+    }
+    match e {
+        RExpr::LoadScalar(v) => match subst.iter().find(|(u, _)| u == v) {
+            Some((_, d)) => d.clone(),
+            None => e.clone(),
+        },
+        RExpr::LoadElem { v, subs } => RExpr::LoadElem {
+            v: *v,
+            subs: subs.iter().map(|s| subst_scalars(s, subst)).collect(),
+        },
+        RExpr::Bin { op, ty, l, r } => RExpr::Bin {
+            op: *op,
+            ty: *ty,
+            l: Box::new(subst_scalars(l, subst)),
+            r: Box::new(subst_scalars(r, subst)),
+        },
+        RExpr::Neg(x) => RExpr::Neg(Box::new(subst_scalars(x, subst))),
+        RExpr::Not(x) => RExpr::Not(Box::new(subst_scalars(x, subst))),
+        RExpr::ToF(x) => RExpr::ToF(Box::new(subst_scalars(x, subst))),
+        RExpr::ToI(x) => RExpr::ToI(Box::new(subst_scalars(x, subst))),
+        RExpr::Intrinsic { f, args } => RExpr::Intrinsic {
+            f: *f,
+            args: args.iter().map(|a| subst_scalars(a, subst)).collect(),
+        },
+        _ => e.clone(),
     }
 }
 
@@ -1468,9 +1510,13 @@ impl<'a> UnitCompiler<'a> {
     /// *identical* subscripts with at least one loop-dependent dimension,
     /// so the only dependences are loop-independent — or the body is a
     /// single `acc = acc + term` / `acc * term` REAL reduction whose term
-    /// does not reference the accumulator. Anything else (control flow,
-    /// calls, I/O, allocation, non-affine subscripts, LOGICAL/INTEGER
-    /// element types) keeps the scalar loop.
+    /// does not reference the accumulator. REAL scalar temps assigned
+    /// from expressions with no loop-carried reads are forward-
+    /// substituted into their consumers (privatization): they don't
+    /// block either shape, and a fixup block on the vector exit edge
+    /// restores their final values. Anything else (control flow, calls,
+    /// I/O, allocation, non-affine subscripts, LOGICAL/INTEGER element
+    /// types) keeps the scalar loop.
     fn analyze_vec(&mut self, var: VarIdx, body: &[SpStmt]) -> Option<VecPlan> {
         let mut plan = VecPlan::default();
         let mut real: Vec<&RStmt> = Vec::new();
@@ -1486,28 +1532,83 @@ impl<'a> UnitCompiler<'a> {
         if real.len() > VEC_MAX_STMTS {
             return None;
         }
-        if let [RStmt::AssignScalar { v: acc, e }] = real[..] {
-            // Reduction shape.
-            if self.unit.vars[*acc].ty != ScalarTy::F {
+        // Pre-scan for the forwarding legality checks: arrays written and
+        // scalars assigned anywhere in the body. A temp's RHS may not
+        // read either set — a written array would make the fixup re-read
+        // clobbered elements, and a still-assigned scalar read is either
+        // loop-carried or an accumulator reference.
+        let mut awritten: Vec<VarIdx> = Vec::new();
+        let mut sassigned: Vec<VarIdx> = Vec::new();
+        for s in &real {
+            match s {
+                RStmt::AssignElem { v, .. } => awritten.push(*v),
+                RStmt::AssignScalar { v, .. } => sassigned.push(*v),
+                _ => return None, // control flow, calls, I/O: scalar only
+            }
+        }
+        let mut subst: Vec<(VarIdx, RExpr)> = Vec::new();
+        let mut maps: Vec<(VarIdx, Vec<RExpr>, RExpr)> = Vec::new();
+        let mut red_stmt: Option<(VarIdx, RExpr)> = None;
+        for s in &real {
+            match s {
+                RStmt::AssignElem { v, subs, e } => {
+                    let subs2: Vec<RExpr> =
+                        subs.iter().map(|s| subst_scalars(s, &subst)).collect();
+                    maps.push((*v, subs2, subst_scalars(e, &subst)));
+                }
+                RStmt::AssignScalar { v, e } => {
+                    let e2 = subst_scalars(e, &subst);
+                    let fwd = matches!(self.vslot(*v), VSlot::F(_))
+                        && self.unit.vars[*v].ty == ScalarTy::F
+                        && self.ty_of(&e2) == ScalarTy::F
+                        && self.vec_temp_ok(&e2, &awritten, &sassigned)
+                        && self.vec_intern_reads(&e2, var, &mut plan).is_some();
+                    if fwd {
+                        match subst.iter_mut().find(|(u, _)| u == v) {
+                            Some(slot) => slot.1 = e2,
+                            None => subst.push((*v, e2)),
+                        }
+                    } else {
+                        // Not forwardable: the only remaining legal role
+                        // is the (single) reduction statement.
+                        if red_stmt.is_some() {
+                            return None;
+                        }
+                        red_stmt = Some((*v, e2));
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        if let Some((acc, e)) = red_stmt {
+            // Reduction shape: the accumulator update must be the only
+            // non-forwarded statement.
+            if !maps.is_empty() {
                 return None;
             }
-            let avs = self.vslot(*acc);
+            if self.unit.vars[acc].ty != ScalarTy::F {
+                return None;
+            }
+            let avs = self.vslot(acc);
             if !matches!(avs, VSlot::F(_) | VSlot::GlobS(_)) {
                 return None;
             }
-            let RExpr::Bin { op, ty: ScalarTy::F, l, r } = e else { return None };
+            let RExpr::Bin { op, ty: ScalarTy::F, l, r } = &e else { return None };
             let rop = match op {
                 Bin::Add => VecRedOp::Add,
                 Bin::Mul => VecRedOp::Mul,
                 _ => return None,
             };
-            let is_acc = |x: &RExpr| matches!(x, RExpr::LoadScalar(v) if v == acc);
+            let is_acc = |x: &RExpr| matches!(x, RExpr::LoadScalar(v) if *v == acc);
             let (acc_left, term) = match (is_acc(l), is_acc(r)) {
                 (true, false) => (true, r.as_ref()),
                 (false, true) => (false, l.as_ref()),
                 _ => return None,
             };
-            if expr_uses_var(term, *acc) {
+            // After substitution the term may only reference a body-
+            // assigned scalar through use-before-def — loop-carried, so
+            // reject (this also subsumes the accumulator itself).
+            if sassigned.iter().any(|&t| expr_uses_var(term, t)) {
                 return None;
             }
             let mut ops = Vec::new();
@@ -1515,9 +1616,21 @@ impl<'a> UnitCompiler<'a> {
             plan.stmts.push(ops);
             plan.red = Some(VecRed { vs: avs, op: rop, acc_left });
         } else {
-            // Map shape: every statement an elementwise store.
-            for s in &real {
-                let RStmt::AssignElem { v, subs, e } = s else { return None };
+            // Map shape: every non-forwarded statement an elementwise
+            // store. A body of only forwarded temps stays scalar — the
+            // empty vector loop would win nothing.
+            if maps.is_empty() && !subst.is_empty() {
+                return None;
+            }
+            for (v, subs, e) in &maps {
+                // A leftover reference to a body-assigned scalar is a
+                // use-before-def (loop-carried) read: the splat/prep
+                // machinery would freeze its pre-loop value.
+                if sassigned.iter().any(|&t| {
+                    expr_uses_var(e, t) || subs.iter().any(|s| expr_uses_var(s, t))
+                }) {
+                    return None;
+                }
                 let a = self.vec_access(*v, subs, var, true, &mut plan)?;
                 let mut ops = Vec::new();
                 self.vec_operand_f(e, var, &mut plan, &mut ops)?;
@@ -1525,6 +1638,7 @@ impl<'a> UnitCompiler<'a> {
                 plan.stmts.push(ops);
             }
         }
+        plan.fixup = subst;
         // Dependence rule: distinct subscript patterns on a written array
         // would need cross-element ordering — reject. (Identical patterns
         // were interned into one entry above.)
@@ -1549,6 +1663,83 @@ impl<'a> UnitCompiler<'a> {
             plan.max_depth = plan.max_depth.max(mx);
         }
         Some(plan)
+    }
+
+    /// Whether a (substituted) scalar-temp RHS is safe to forward: no
+    /// trap potential outside interned array reads, no read of a scalar
+    /// assigned in the body (loop-carried or accumulator), and no read
+    /// of an array the body writes (the exit fixup re-evaluates the RHS
+    /// after all vector stores have landed). Array element reads are
+    /// allowed — `vec_intern_reads` registers them so the vector
+    /// entry guard proves them in-bounds for the whole trip range.
+    fn vec_temp_ok(&self, e: &RExpr, awritten: &[VarIdx], sassigned: &[VarIdx]) -> bool {
+        match e {
+            RExpr::ConstI(_) | RExpr::ConstF(_) | RExpr::ConstB(_) => true,
+            RExpr::LoadScalar(v) => !sassigned.contains(v),
+            RExpr::AllocatedQ(v) => !matches!(self.vslot(*v), VSlot::GlobS(_)),
+            RExpr::LoadElem { v, subs } => {
+                !awritten.contains(v)
+                    && subs.iter().all(|s| self.vec_temp_ok(s, awritten, sassigned))
+            }
+            RExpr::Bin { op, ty, l, r } => {
+                let arith = matches!(op, Bin::Add | Bin::Sub | Bin::Mul | Bin::Div | Bin::Pow);
+                if arith && *ty == ScalarTy::B {
+                    return false; // runtime type error
+                }
+                if matches!(op, Bin::Div) && *ty == ScalarTy::I {
+                    return false; // possible division by zero
+                }
+                self.vec_temp_ok(l, awritten, sassigned) && self.vec_temp_ok(r, awritten, sassigned)
+            }
+            RExpr::Neg(x) => {
+                self.ty_of(x) != ScalarTy::B && self.vec_temp_ok(x, awritten, sassigned)
+            }
+            RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => {
+                self.vec_temp_ok(x, awritten, sassigned)
+            }
+            RExpr::Intrinsic { args, .. } => {
+                args.iter().all(|a| self.vec_temp_ok(a, awritten, sassigned))
+            }
+            RExpr::ArrReduce { .. } | RExpr::CallFn { .. } => false,
+        }
+    }
+
+    /// Interns every array element read of a forwarded temp's RHS as a
+    /// read access of the plan, so the vector entry guard bounds-checks
+    /// it (the exit fixup re-executes the read outside any per-element
+    /// check) and the dependence rule sees it. Fails on non-affine
+    /// subscripts, which would leave the fixup read unprovable.
+    fn vec_intern_reads(
+        &mut self,
+        e: &RExpr,
+        var: VarIdx,
+        plan: &mut VecPlan,
+    ) -> Option<()> {
+        match e {
+            RExpr::ConstI(_)
+            | RExpr::ConstF(_)
+            | RExpr::ConstB(_)
+            | RExpr::LoadScalar(_)
+            | RExpr::AllocatedQ(_) => Some(()),
+            RExpr::LoadElem { v, subs } => {
+                self.vec_access(*v, subs, var, false, plan)?;
+                Some(())
+            }
+            RExpr::Bin { l, r, .. } => {
+                self.vec_intern_reads(l, var, plan)?;
+                self.vec_intern_reads(r, var, plan)
+            }
+            RExpr::Neg(x) | RExpr::Not(x) | RExpr::ToF(x) | RExpr::ToI(x) => {
+                self.vec_intern_reads(x, var, plan)
+            }
+            RExpr::Intrinsic { args, .. } => {
+                for a in args {
+                    self.vec_intern_reads(a, var, plan)?;
+                }
+                Some(())
+            }
+            RExpr::ArrReduce { .. } | RExpr::CallFn { .. } => None,
+        }
     }
 
     /// Interns one affine array access of a vector loop.
@@ -1845,7 +2036,7 @@ impl<'a> UnitCompiler<'a> {
         }
         let vec_idx = vec_plan.map(|plan| {
             // Prep: loop-invariant subscript parts into hidden i-slots.
-            let VecPlan { accesses, stmts, red, max_depth, prep } = plan;
+            let VecPlan { accesses, stmts, red, max_depth, prep, fixup } = plan;
             for (_, e, slot) in &prep {
                 self.emit_expr(e);
                 self.emit_cvt(self.ty_of(e), ScalarTy::I);
@@ -1860,13 +2051,14 @@ impl<'a> UnitCompiler<'a> {
                 iter_cost: 0,
                 line: do_line,
             });
-            self.push(BInstr::VecLoop {
+            let idx = self.push(BInstr::VecLoop {
                 desc,
                 ctr,
                 end: ends,
                 var: var_i.unwrap_or(0),
                 exit: NO_PC,
-            })
+            });
+            (idx, fixup)
         });
         let head = self.pc();
         let head_idx = match var_i {
@@ -1896,20 +2088,30 @@ impl<'a> UnitCompiler<'a> {
         }
         let Some(Ctx::Loop { exit, cycle }) = self.ctx.pop() else { unreachable!() };
         let end_pc = self.pc();
-        self.loops.push(BLoopSite { init_pc: init_idx as u32, end_pc, line: do_line });
-        if let Some(vi) = vec_idx {
+        if let Some((vi, fixup)) = vec_idx {
             if let BInstr::VecLoop { desc, exit, .. } = &mut self.code[vi] {
                 *exit = end_pc;
                 let d = *desc as usize;
                 // Scalar instructions per iteration: head through incr.
                 self.vecs[d].iter_cost = end_pc - head;
             }
+            // Forwarded-temp fixup, reached only through the VecLoop
+            // exit edge: the vector body never materializes the temps,
+            // so recompute each one's final value here (the loop
+            // variable holds the last trip value at this point). The
+            // scalar loop stores the temps itself and exits past this.
+            for (v, e) in &fixup {
+                self.emit_expr(e);
+                self.emit_store_scalar(*v, self.ty_of(e));
+            }
         }
+        let after = self.pc();
+        self.loops.push(BLoopSite { init_pc: init_idx as u32, end_pc: after, line: do_line });
         if self.traced && vec != VecClass::None {
             self.push(BInstr::VecLeave);
         }
         for p in exit {
-            self.apply_patch(p, end_pc);
+            self.apply_patch(p, after);
         }
         for p in cycle {
             self.apply_patch(p, incr);

@@ -118,12 +118,17 @@ pub struct VectorLoopInfo {
 ///
 /// [`ExecTier::Vm`] (the default for [`Session::run`]) compiles units to
 /// flat bytecode and executes them on the register/stack VM in
-/// [`crate::vm`]. [`ExecTier::TreeWalk`] runs the original tree-walking
-/// interpreter; it is kept as the reference oracle for differential
-/// testing.
+/// [`crate::vm`]; hot `VecLoop` regions are promoted to native code by
+/// [`crate::jit`] when the session's native tier is enabled.
+/// [`ExecTier::Native`] is the VM tier with native promotion forced on
+/// and eager for that run (regardless of the session toggles) — on
+/// targets without a JIT it is identical to `Vm`. [`ExecTier::TreeWalk`]
+/// runs the original tree-walking interpreter; it is kept as the
+/// reference oracle for differential testing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecTier {
     Vm,
+    Native,
     TreeWalk,
 }
 

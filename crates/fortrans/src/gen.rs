@@ -6,7 +6,9 @@
 //! to exercise the legacy surface of [`crate::fixedform`] — labeled DO
 //! loops with CONTINUE terminals, computed and backward GOTO, arithmetic
 //! IF, EQUIVALENCE, DATA/SAVE, IMPLICIT typing, OMP PARALLEL DO
-//! reductions — while staying semantically tame: every loop is bounded,
+//! reductions, plus one deliberately vectorizable affine sweep per
+//! program so the vector and native execution tiers see the corpus
+//! too — while staying semantically tame: every loop is bounded,
 //! every subscript is forced in range with MOD, no division by anything
 //! that can reach zero, and every variable is written before it is read.
 //! Statements are wrapped onto continuation cards at a hard column
@@ -134,6 +136,21 @@ impl Gen<'_> {
         }
     }
 
+    /// A vectorizable RHS for the SWEEP map loop: affine subscripts
+    /// only (no MOD), reading `B`; `inv` names a loop-invariant REAL
+    /// scalar in scope. The returned flag is true when `B` was read
+    /// through a non-identity subscript, in which case the caller must
+    /// not also write `B` in the same loop (the vectorizer's dependence
+    /// rule would reject the loop and defeat the point).
+    fn vec_rhs(&mut self, v: &str, inv: &str) -> (String, bool) {
+        match self.r.below(4) {
+            0 => (format!("B({v}) * {} + {inv}", self.rc()), false),
+            1 => (format!("SQRT(ABS(B({v}))) + {}", self.rc()), false),
+            2 => (format!("B(N + 1 - {v}) - {}", self.rc()), true),
+            _ => (format!("REAL({v}) * {} + B({v})", self.rc()), false),
+        }
+    }
+
     /// One random statement block appended to `u`, using loop variable
     /// `v`; `s` names the scalar being accumulated.
     fn block(&mut self, u: &mut U, v: &str, s: &str) {
@@ -224,6 +241,35 @@ fn unit_fillup(g: &mut Gen) -> String {
     u.finish()
 }
 
+/// A deliberately vectorizable unit: one canonical unit-stride DO whose
+/// statements are elementwise affine REAL assignments (no MOD
+/// subscripts, no control flow), so every generated program exercises
+/// the bytecode compiler's vector superinstruction — and, promoted from
+/// it, the native (JIT) tier — not just the scalar paths.
+fn unit_sweep(g: &mut Gen) -> String {
+    let mut u = U::new();
+    u.stmt(None, "SUBROUTINE SWEEP(C0)");
+    common_header(&mut u, g.n);
+    u.stmt(None, "REAL C0");
+    let lt = u.next_label();
+    u.stmt(None, &format!("DO {lt} I = 1, N"));
+    let (rhs, reversed) = g.vec_rhs("I", "C0");
+    u.stmt(None, &format!("A(I) = {rhs}"));
+    if !reversed && g.r.chance(60) {
+        u.stmt(None, &format!("B(I) = B(I) * {} + {}", g.rc(), g.rc()));
+    }
+    u.stmt(Some(lt), "CONTINUE");
+    if g.r.chance(50) {
+        // Reduction-shaped serial loop (parenthesized term → `acc +
+        // term`), covering the tiers' sequential fold path as well.
+        let lr = u.next_label();
+        u.stmt(None, &format!("DO {lr} I = 1, N"));
+        u.stmt(None, &format!("S2 = S2 + (A(I) * {} + C0)", g.rc()));
+        u.stmt(Some(lr), "CONTINUE");
+    }
+    u.finish()
+}
+
 fn unit_stir(g: &mut Gen) -> String {
     let mut u = U::new();
     u.stmt(None, "SUBROUTINE STIR(M)");
@@ -289,6 +335,7 @@ fn unit_main(g: &mut Gen) -> String {
     u.stmt(None, "S2 = 0.0");
     u.stmt(None, "KACC = 0");
     u.stmt(None, "CALL FILLUP");
+    u.stmt(None, &format!("CALL SWEEP({})", g.rc()));
     let lt = u.next_label();
     let outer = 2 + g.r.below(4);
     u.stmt(None, &format!("DO {lt} I = 1, {outer}"));
@@ -303,11 +350,13 @@ fn unit_main(g: &mut Gen) -> String {
     }
     if g.r.chance(60) {
         // OMP reduction loop: reassociation-tolerant compare in
-        // Parallel mode, bit-exact in Serial/Simulated.
+        // Parallel mode, bit-exact in Serial/Simulated. The term is
+        // parenthesized so the statement parses as `acc + term` — the
+        // reduction shape the vector/native tiers accept.
         u.raw("C$OMP PARALLEL DO REDUCTION(+:S1) PRIVATE(I)");
         let lo = u.next_label();
         u.stmt(None, &format!("DO {lo} I = 1, N"));
-        u.stmt(None, &format!("S1 = S1 + A(I) * {} + B(I)", g.rc()));
+        u.stmt(None, &format!("S1 = S1 + (A(I) * {} + B(I))", g.rc()));
         u.stmt(Some(lo), "CONTINUE");
     }
     let lb = u.next_label();
@@ -331,6 +380,7 @@ pub fn generate(seed: u64) -> Vec<String> {
     let mut g = Gen { r: &mut r, n };
     let mut f1 = String::new();
     f1.push_str(&unit_fillup(&mut g));
+    f1.push_str(&unit_sweep(&mut g));
     f1.push_str(&unit_stir(&mut g));
     f1.push_str(&unit_blend(&mut g));
     let f2 = unit_main(&mut g);

@@ -252,6 +252,10 @@ pub struct Exec {
     /// region entry (exercises `RegionPanic` containment end to end).
     /// One-shot: the session arms it for a single `make_exec`.
     pub(crate) debug_panic_worker: Option<usize>,
+    /// Native-tier (JIT) promotion hooks for this run. `None` means the
+    /// tier is off for this run or unavailable on this target, and the
+    /// `VecLoop` dispatch pays a single pointer test.
+    pub(crate) native: Option<Arc<crate::jit::NativeHooks>>,
 }
 
 /// Statement outcome.

@@ -60,6 +60,7 @@ pub mod fixedform;
 pub mod gen;
 pub mod interp;
 pub mod intrinsics;
+pub mod jit;
 pub mod lex;
 pub mod parse;
 pub mod rir;

@@ -78,6 +78,10 @@ pub struct CompiledProgram {
     /// Rough retained-size estimate (both bytecode builds + RIR), fixed
     /// at compile time; feeds the cache's optional byte budget.
     est_bytes: usize,
+    /// Native-tier promotion cache (hotness counters + compiled
+    /// regions), shared by every session over this artifact: a loop
+    /// JIT'd once is native for all sessions, like the bytecode itself.
+    native_cache: Arc<crate::jit::NativeCache>,
 }
 
 impl CompiledProgram {
@@ -111,6 +115,7 @@ impl CompiledProgram {
             bytecode: [Arc::new(optimized), Arc::new(traced)],
             source_hash: hash,
             est_bytes,
+            native_cache: Arc::new(crate::jit::NativeCache::new()),
         }))
     }
 
@@ -136,6 +141,13 @@ impl CompiledProgram {
     /// build.
     pub fn bytecode(&self, traced: bool) -> Arc<Vec<BUnit>> {
         Arc::clone(&self.bytecode[usize::from(traced)])
+    }
+
+    /// The shared native-tier promotion cache (hotness + compiled
+    /// regions) for this artifact. Number of compiled regions is
+    /// visible via [`crate::jit::NativeCache::compiled_count`].
+    pub fn native_cache(&self) -> &Arc<crate::jit::NativeCache> {
+        &self.native_cache
     }
 
     /// Static vectorization report: one line per loop the bytecode
@@ -224,6 +236,10 @@ pub struct Session {
     /// Chaos hook: logical worker tid to panic on the next run's OMP
     /// region entry; -1 = off. One-shot.
     panic_worker: AtomicI64,
+    /// Native-tier (tier 3) state: enable/eager/threshold toggles, the
+    /// entry/deopt counters, and the promotion cache (the artifact's
+    /// shared one, unless bytecode injection swapped in a private one).
+    native: crate::jit::NativeState,
 }
 
 impl Session {
@@ -232,6 +248,7 @@ impl Session {
     /// threads instead of oversubscribing the host).
     pub fn new(artifact: Arc<CompiledProgram>, pools: Arc<PoolSet>) -> Session {
         let globals = Arc::new(build_globals(&artifact.prog));
+        let native = crate::jit::NativeState::new(Arc::clone(&artifact.native_cache));
         Session {
             artifact,
             globals,
@@ -247,6 +264,7 @@ impl Session {
             cancel: Mutex::new(None),
             force_oracle_traps: AtomicU32::new(0),
             panic_worker: AtomicI64::new(-1),
+            native,
         }
     }
 
@@ -323,6 +341,12 @@ impl Session {
     #[doc(hidden)]
     pub fn debug_inject_bytecode(&self, traced: bool, bunits: Vec<BUnit>) {
         self.bytecode_override.lock()[usize::from(traced)] = Some(Arc::new(bunits));
+        // Detach from the artifact's shared promotion cache: its
+        // compiled regions were emitted from the *pristine* bytecode,
+        // whose descriptor indices no longer describe this session's
+        // view. A fresh private cache re-verifies (and usually refuses)
+        // the injected descriptors at promotion time.
+        *self.native.cache.lock() = Arc::new(crate::jit::NativeCache::new());
     }
 
     /// The resolved program (introspection for tests and tooling).
@@ -378,6 +402,47 @@ impl Session {
     /// path enabled means every candidate fell back at a runtime guard.
     pub fn vector_entry_count(&self) -> u64 {
         self.vector_entries.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the native (tier 3) execution path — hot
+    /// `VecLoop` regions promoted to in-process machine code (on by
+    /// default where the target supports it; a no-op elsewhere).
+    /// Disabling forces every loop back to the vector/scalar tiers;
+    /// results are bit-identical either way.
+    pub fn set_native_enabled(&self, on: bool) {
+        self.native.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the native tier is enabled *and* available on this
+    /// target (`false` on non-x86-64 builds regardless of the toggle).
+    pub fn native_enabled(&self) -> bool {
+        crate::jit::available() && self.native.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Compile loop regions to native code on first entry instead of
+    /// waiting for the hotness threshold. Benchmarks and differential
+    /// sweeps use this to guarantee the native path is exercised.
+    pub fn set_native_eager(&self, eager: bool) {
+        self.native.eager.store(eager, Ordering::Relaxed);
+    }
+
+    /// Sets how many entries a loop region needs before it is promoted
+    /// to native code (default [`crate::jit::DEFAULT_HOT_THRESHOLD`]);
+    /// clamped to at least 1.
+    pub fn set_native_hot_threshold(&self, entries: u32) {
+        self.native.threshold.store(entries.max(1), Ordering::Relaxed);
+    }
+
+    /// Loop entries that executed natively so far (this session's runs,
+    /// all threads).
+    pub fn native_entry_count(&self) -> u64 {
+        self.native.entries.load(Ordering::Relaxed)
+    }
+
+    /// Entry-guard failures on promoted regions that deopted back to
+    /// the vector/scalar tiers (this session's runs, all threads).
+    pub fn native_deopt_count(&self) -> u64 {
+        self.native.deopts.load(Ordering::Relaxed)
     }
 
     /// Static vectorization report for this session's optimized
@@ -443,13 +508,14 @@ impl Session {
             .unit_id(name)
             .ok_or_else(|| RunError::BadCall { name: name.into(), msg: "unknown unit".into() })?;
         match tier {
-            ExecTier::Vm => {
+            ExecTier::Vm | ExecTier::Native => {
+                let force_native = matches!(tier, ExecTier::Native);
                 let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
                 let vm_run = catch_unwind(AssertUnwindSafe(|| {
                     if forced {
                         panic!("forced VM trap (test hook)");
                     }
-                    self.run_on_vm(unit_id, args, mode, None)
+                    self.run_on_vm_native(unit_id, args, mode, None, force_native)
                 }));
                 let trap = match vm_run {
                     Err(payload) => payload_str(&*payload),
@@ -538,10 +604,17 @@ impl Session {
                 regions,
                 fallback: None,
                 fallback_count: self.fallback_count(),
+                native_entries: self.native_entry_count(),
+                native_deopts: self.native_deopt_count(),
             }
         };
         match tier {
-            ExecTier::Vm => {
+            ExecTier::Vm | ExecTier::Native => {
+                // Profiled runs want per-iteration loop spans, so the
+                // VM takes the scalar path even under `Native` — the
+                // profile still surfaces the session-lifetime native
+                // entry/deopt counters alongside `fallback_count`.
+                let force_native = matches!(tier, ExecTier::Native);
                 let forced = self.force_vm_trap.swap(false, Ordering::Relaxed);
                 let prof = crate::trace::Collector::new();
                 let t0 = std::time::Instant::now();
@@ -549,7 +622,7 @@ impl Session {
                     if forced {
                         panic!("forced VM trap (test hook)");
                     }
-                    self.run_on_vm(unit_id, args, mode, Some(&prof))
+                    self.run_on_vm_native(unit_id, args, mode, Some(&prof), force_native)
                 }));
                 let trap = match vm_run {
                     Err(payload) => payload_str(&*payload),
@@ -599,6 +672,14 @@ impl Session {
     }
 
     fn make_exec(&self, mode: ExecMode) -> Exec {
+        self.make_exec_native(mode, false)
+    }
+
+    /// Builds a run's `Exec` snapshot. `force_native` is the
+    /// [`ExecTier::Native`] override: native promotion on and eager for
+    /// this run regardless of the session toggles (still `None` on
+    /// targets without a JIT).
+    fn make_exec_native(&self, mode: ExecMode, force_native: bool) -> Exec {
         let pool = match mode {
             ExecMode::Parallel { threads } => Some(self.pool_for(threads)),
             _ => None,
@@ -616,17 +697,19 @@ impl Session {
             vector_enabled: self.vector_enabled.load(Ordering::Relaxed),
             vector_entries: Arc::clone(&self.vector_entries),
             debug_panic_worker: usize::try_from(panic_worker).ok(),
+            native: self.native.hooks(force_native),
         }
     }
 
-    fn run_on_vm(
+    fn run_on_vm_native(
         &self,
         unit_id: usize,
         args: &[ArgVal],
         mode: ExecMode,
         prof: Option<&crate::trace::Collector>,
+        force_native: bool,
     ) -> Result<RunOutcome, RunError> {
-        let exec = self.make_exec(mode);
+        let exec = self.make_exec_native(mode, force_native);
         let traced = matches!(mode, ExecMode::Simulated { .. });
         let bunits = self.bytecode_for(traced);
         let (result, trace, printed) = crate::vm::run_vm(&exec, &bunits, unit_id, args, prof)?;

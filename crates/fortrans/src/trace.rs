@@ -175,6 +175,13 @@ pub struct Profile {
     pub fallback: Option<FallbackInfo>,
     /// Engine-lifetime fallback total (monotonic across runs).
     pub fallback_count: u64,
+    /// Session-lifetime count of loop entries executed on the native
+    /// (JIT) tier (monotonic across runs; 0 on targets without one).
+    pub native_entries: u64,
+    /// Session-lifetime count of native-tier deopts — entry-guard
+    /// failures on promoted regions that fell back to the vector or
+    /// scalar path (monotonic across runs).
+    pub native_deopts: u64,
 }
 
 impl Profile {
@@ -259,6 +266,8 @@ impl Profile {
             None => s.push_str(",\"fallback\":null"),
         }
         let _ = write!(s, ",\"fallback_count\":{}", self.fallback_count);
+        let _ = write!(s, ",\"native_entries\":{}", self.native_entries);
+        let _ = write!(s, ",\"native_deopts\":{}", self.native_deopts);
         s.push('}');
         s
     }
@@ -316,6 +325,8 @@ impl Profile {
             regions,
             fallback,
             fallback_count: o.req("fallback_count")?.num("fallback_count")?,
+            native_entries: o.num_or_zero("native_entries")?,
+            native_deopts: o.num_or_zero("native_deopts")?,
         })
     }
 
@@ -538,6 +549,14 @@ impl ObjRef<'_> {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
             .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// Numeric field that older snapshots may lack; absent → 0.
+    fn num_or_zero(&self, key: &str) -> Result<u64, String> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => v.num(key),
+            None => Ok(0),
+        }
     }
 }
 
@@ -876,6 +895,8 @@ mod tests {
             }],
             fallback: None,
             fallback_count: 0,
+            native_entries: 42,
+            native_deopts: 3,
         }
     }
 
@@ -983,6 +1004,8 @@ mod tests {
             regions: vec![],
             fallback: None,
             fallback_count: 0,
+            native_entries: 0,
+            native_deopts: 0,
         };
         let counts = p.loop_entry_counts();
         assert_eq!(counts[&("outer".to_string(), 5)], 1);

@@ -50,6 +50,25 @@ pub fn verify_program(prog: &RProgram, bunits: &[BUnit]) -> Result<(), CompileEr
     Ok(())
 }
 
+/// Re-checks a single vector descriptor's acceptance invariants —
+/// exactly the check [`verify_program`] runs over `bu.vecs`. The
+/// native tier ([`crate::jit`]) calls this at promotion time so machine
+/// code is only ever emitted from bytecode that passes verification
+/// *right now* (a descriptor corrupted after the compile-time pass is
+/// refused, not compiled).
+pub fn check_vec_desc(
+    prog: &RProgram,
+    bunits: &[BUnit],
+    uidx: usize,
+    desc: u32,
+) -> Result<(), String> {
+    let Some(bu) = bunits.get(uidx) else {
+        return Err(format!("unit index {uidx} out of range"));
+    };
+    let v = Verifier { prog, bunits, bu };
+    v.vec_desc_ok(desc)
+}
+
 fn unit_name(prog: &RProgram, bu: &BUnit) -> String {
     match prog.units.get(bu.unit as usize) {
         Some(u) => u.name.clone(),
@@ -562,6 +581,12 @@ impl Verifier<'_> {
         if d.max_depth > VEC_MAX_DEPTH {
             return Err(format!("vector lane depth {} exceeds cap {VEC_MAX_DEPTH}", d.max_depth));
         }
+        // The emitter patches in the scalar cost of head-through-incr,
+        // which is at least 2; the VM's step pre-reserve and the native
+        // tier's safepoint cadence both scale by it.
+        if d.iter_cost == 0 {
+            return Err(format!("vector descriptor {desc} has zero iteration cost"));
+        }
         for a in &d.accesses {
             self.slot_ok(bu, a.vs)?;
             self.var_ok(a.v)?;
@@ -782,7 +807,7 @@ pub mod mutate {
             return None;
         }
         let u = units[rng.below(units.len())];
-        const KINDS: usize = 8;
+        const KINDS: usize = 11;
         let start = rng.below(KINDS);
         for k in 0..KINDS {
             let got = match (start + k) % KINDS {
@@ -793,6 +818,9 @@ pub mod mutate {
                 4 => zero_stride(&mut bunits[u]),
                 5 => vec_op_oob(&mut bunits[u], &mut rng),
                 6 => vec_unbalance(&mut bunits[u], &mut rng),
+                7 => vec_iter_cost(&mut bunits[u], &mut rng),
+                8 => vec_access_slot(&mut bunits[u], &mut rng),
+                9 => vec_red_slot(&mut bunits[u], &mut rng),
                 _ => call_arity(&mut bunits[u], &mut rng),
             };
             if let Some((kind, detail)) = got {
@@ -993,6 +1021,55 @@ pub mod mutate {
             }
         }
         None
+    }
+
+    /// Zeroes a vector descriptor's per-iteration scalar cost. The VM's
+    /// step pre-reserve and the native tier's safepoint cadence both
+    /// scale by it; promotion must refuse rather than divide by zero or
+    /// run an unbounded block between interrupt polls.
+    fn vec_iter_cost(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        let sites: Vec<usize> = (0..bu.vecs.len()).filter(|&d| bu.vecs[d].iter_cost != 0).collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let d = sites[rng.below(sites.len())];
+        bu.vecs[d].iter_cost = 0;
+        Some(("vec-iter-cost", format!("descriptor {d}: iter_cost -> 0")))
+    }
+
+    /// Points a vector access stream at an array slot the frame doesn't
+    /// have. A native region compiled from this descriptor would walk a
+    /// wild stream base — promotion must refuse, and the VM tier must
+    /// deopt at resolution instead of indexing out of range.
+    fn vec_access_slot(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        use crate::bytecode::VSlot;
+        let sites: Vec<usize> =
+            (0..bu.vecs.len()).filter(|&d| !bu.vecs[d].accesses.is_empty()).collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let d = sites[rng.below(sites.len())];
+        let a = rng.below(bu.vecs[d].accesses.len());
+        let bad = u32::MAX - (rng.next_u64() % 1000) as u32;
+        bu.vecs[d].accesses[a].vs = VSlot::A(bad);
+        Some(("vec-access-slot", format!("descriptor {d}: access {a} slot -> A({bad})")))
+    }
+
+    /// Points a vector reduction's accumulator at an out-of-range frame
+    /// slot — the merged result of a native region would land outside
+    /// the f64 bank.
+    fn vec_red_slot(bu: &mut BUnit, rng: &mut Rng) -> Applied {
+        use crate::bytecode::VSlot;
+        let sites: Vec<usize> = (0..bu.vecs.len()).filter(|&d| bu.vecs[d].red.is_some()).collect();
+        if sites.is_empty() {
+            return None;
+        }
+        let d = sites[rng.below(sites.len())];
+        let bad = u32::MAX - (rng.next_u64() % 100) as u32;
+        if let Some(r) = &mut bu.vecs[d].red {
+            r.vs = VSlot::F(bad);
+        }
+        Some(("vec-red-slot", format!("descriptor {d}: accumulator -> F({bad})")))
     }
 
     /// Breaks a call site: drops an argument (arity mismatch) or, for

@@ -21,8 +21,8 @@ use omprt::{chunks_for, ThreadPool};
 use parking_lot::Mutex;
 
 use crate::bytecode::{
-    BArg, BInstr, BUnit, Cmp, OmpDesc, PItem, RedSpec, VSlot, VecOp, VecRedOp, NO_PC, NO_SLOT,
-    VEC_CHUNK,
+    BArg, BInstr, BUnit, Cmp, OmpDesc, PItem, RedSpec, VSlot, VecDesc, VecOp, VecRedOp, NO_PC,
+    NO_SLOT, VEC_CHUNK,
 };
 use crate::cost::{CostCounters, CostTrace, RegionEvent};
 use crate::engine::ArgVal;
@@ -31,6 +31,7 @@ use crate::interp::{
     atomic_scalar_update, build_owner_map, combine_f, combine_i, combine_vals, identity_val,
     store_val, trip_count, Exec, ExecMode, Flow, Val,
 };
+use crate::jit::{JitCtx, PoolEntry, Stream as JitStream};
 use crate::rir::{ScalarTy, VecClass};
 use crate::storage::{ArrayObj, MAX_THREADS};
 
@@ -38,6 +39,10 @@ use crate::storage::{ArrayObj, MAX_THREADS};
 /// deterministic combine order (tid under static schedules, first flat
 /// iteration of the chunk under dynamic/guided).
 type KeyedPartials = Vec<(usize, Result<Vec<Val>, RunError>)>;
+
+/// One native-tier memo entry: `(unit, descriptor)` key mapped to the
+/// resolved region, or `None` when promotion refused the descriptor.
+type NativeMemoEntry = ((u32, u32), Option<Arc<crate::jit::NativeRegion>>);
 
 /// Unboxed per-type value banks for one call frame.
 #[derive(Clone)]
@@ -193,6 +198,15 @@ pub(crate) struct Vm<'e, const TRACE: bool> {
     /// Resolved access streams `(handle, base, stride)` for the vector
     /// path, reused across loop entries to avoid per-entry allocation.
     vres: Vec<(Arc<ArrayObj>, i64, i64)>,
+    /// Native-tier promotion memo, keyed `(unit, descriptor)`. `Ready`
+    /// and `Refused` are final for the run's cache, so after the first
+    /// resolution a loop entry costs a short linear scan instead of the
+    /// shared cache's mutex + hash lookup (hot kernels make thousands
+    /// of entries over a handful of distinct loops). `None` = refused.
+    nmemo: Vec<NativeMemoEntry>,
+    /// Reused operand-pool and stream buffers for native-tier entries.
+    npool: Vec<u64>,
+    nstreams: Vec<JitStream>,
 }
 
 impl<'e, const TRACE: bool> Vm<'e, TRACE> {
@@ -219,6 +233,9 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
             steps: 0,
             vbuf: Vec::new(),
             vres: Vec::new(),
+            nmemo: Vec::new(),
+            npool: Vec::new(),
+            nstreams: Vec::new(),
         }
     }
 
@@ -430,6 +447,270 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
 
     // ---------- vector superinstruction execution ----------
 
+    /// Resolves every access stream of `d` for the whole range
+    /// `[lo, hi]` into `rt` as `(handle, base, stride)` triples:
+    /// array handle, flat base offset at iteration `lo`, and
+    /// per-iteration element stride, with per-dimension bounds proven
+    /// for the whole range. Shared by the vector and native tiers so
+    /// both commit (or give up) on exactly the same guards. Returns
+    /// `false` — with `rt` cleared and no state touched — when any
+    /// guard fails: unallocated/mistyped handle, rank mismatch,
+    /// subscript overflow, out-of-range endpoint extrema, or aliasing.
+    fn resolve_vec_streams(
+        &mut self,
+        frame: &VFrame,
+        d: &VecDesc,
+        lo: i64,
+        hi: i64,
+        rt: &mut Vec<(Arc<ArrayObj>, i64, i64)>,
+    ) -> bool {
+        rt.clear();
+        let uidx = self.cur_uidx;
+        for a in &d.accesses {
+            // Injected/corrupted descriptors (fault-injection harness)
+            // must deopt, not index out of range: validate the slot and
+            // invariant indices before touching the banks.
+            let in_range = match a.vs {
+                VSlot::A(s) => (s as usize) < frame.a.len(),
+                VSlot::GlobA(c) | VSlot::GlobS(c) => (c as usize) < self.gcache.len(),
+                _ => false,
+            };
+            if !in_range
+                || a.subs.iter().any(|s| s.inv != NO_SLOT && s.inv as usize >= frame.i.len())
+            {
+                rt.clear();
+                return false;
+            }
+            let Ok(h) = self.handle_in(uidx, frame, a.vs, a.v) else {
+                rt.clear();
+                return false;
+            };
+            if h.ty != ScalarTy::F || h.dims.len() != a.subs.len() {
+                rt.clear();
+                return false;
+            }
+            let mut base: i64 = 0;
+            let mut stride: i64 = 0;
+            let mut dim_stride: i64 = 1;
+            for (sub, &(dlo, dhi)) in a.subs.iter().zip(h.dims.iter()) {
+                let inv = match sub.inv {
+                    NO_SLOT => 0,
+                    s => frame.i[s as usize],
+                };
+                let at = |i: i64| {
+                    sub.coeff.checked_mul(i).and_then(|x| x.checked_add(sub.add)).and_then(|x| {
+                        x.checked_add(inv)
+                    })
+                };
+                let (Some(at_lo), Some(at_hi)) = (at(lo), at(hi)) else {
+                    rt.clear();
+                    return false;
+                };
+                // The subscript is affine in i, so its extrema over the
+                // range sit at the endpoints.
+                let (mn, mx) = if at_lo <= at_hi { (at_lo, at_hi) } else { (at_hi, at_lo) };
+                if mn < dlo || mx > dhi {
+                    rt.clear();
+                    return false;
+                }
+                let Some(ds) = sub.coeff.checked_mul(dim_stride) else {
+                    rt.clear();
+                    return false;
+                };
+                base += (at_lo - dlo) * dim_stride;
+                stride += ds;
+                dim_stride *= (dhi - dlo + 1).max(0);
+            }
+            rt.push((h, base, stride));
+        }
+        // Aliasing: compile time only proved distinct *slots*. If a
+        // written stream shares storage with any other stream they must
+        // walk the exact same cells (a loop-independent dependence the
+        // per-element statement order already honors); anything else —
+        // offset overlap, different strides — re-runs scalar.
+        for (i, a) in d.accesses.iter().enumerate() {
+            for (j, b) in d.accesses.iter().enumerate().skip(i + 1) {
+                if !(a.write || b.write) {
+                    continue;
+                }
+                if Arc::ptr_eq(&rt[i].0, &rt[j].0) && (rt[i].1 != rt[j].1 || rt[i].2 != rt[j].2) {
+                    rt.clear();
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Tier-3 entry: runs a promoted vector region in native code.
+    ///
+    /// `Ok(true)` — the whole loop ran natively (caller jumps to
+    /// `exit`). `Ok(false)` — the tier is off for this run, the region
+    /// isn't past its hotness threshold yet, compilation was refused,
+    /// or an entry guard failed on a promoted region (a *deopt*,
+    /// counted on the session); the caller falls through to the
+    /// vector/scalar paths, which re-check the same guards and produce
+    /// the bit-identical answer — or the stock error at the exact
+    /// faulting iteration. Step pre-reservation and the interrupt
+    /// cadence (one poll per ~1024 scalar-equivalent steps) are
+    /// exactly the vector tier's, so `RunLimits` and cancellation trip
+    /// identically in all three tiers.
+    fn exec_native_loop(
+        &mut self,
+        frame: &mut VFrame,
+        bu: &'e BUnit,
+        desc: u32,
+        ctr: u32,
+        end: u32,
+        var: u32,
+    ) -> Result<bool, RunError> {
+        // Traced builds never emit VecLoop; profiled runs want
+        // per-iteration loop events, so they take the scalar path.
+        if TRACE || self.prof.is_some() {
+            return Ok(false);
+        }
+        let Some(nh) = self.ex.native.clone() else {
+            return Ok(false);
+        };
+        let d = &bu.vecs[desc as usize];
+        let lo = frame.i[ctr as usize];
+        let hi = frame.i[end as usize];
+        let n = match hi.checked_sub(lo).and_then(|x| x.checked_add(1)) {
+            Some(x) if x > 0 => x,
+            _ => return Ok(false), // zero-trip: scalar head exits at once
+        };
+        // Pre-reserve the steps the scalar loop would retire, exactly
+        // like the vector tier: if the budget can't cover them, run
+        // scalar so it trips with the stock error at the right
+        // iteration.
+        let cost = (n as u64).saturating_mul(u64::from(d.iter_cost));
+        if let Some(max) = self.ex.limits.max_steps {
+            if self.steps.saturating_add(cost) > max {
+                return Ok(false);
+            }
+        }
+        // Promotion: count this entry's heat and fetch the compiled
+        // region if it's past the threshold (re-verified + emitted on
+        // first promotion; refusals are cached). Final outcomes are
+        // memoized per run so steady-state entries skip the shared
+        // cache's mutex.
+        let key = (self.cur_uidx as u32, desc);
+        let region = match self.nmemo.iter().find(|(k, _)| *k == key) {
+            Some((_, Some(r))) => Arc::clone(r),
+            Some((_, None)) => return Ok(false),
+            None => match nh.promote(&self.ex.prog, self.bunits, key.0, key.1) {
+                crate::jit::Promotion::NotYet => return Ok(false),
+                crate::jit::Promotion::Ready(r) => {
+                    self.nmemo.push((key, Some(Arc::clone(&r))));
+                    r
+                }
+                crate::jit::Promotion::Refused => {
+                    self.nmemo.push((key, None));
+                    return Ok(false);
+                }
+            },
+        };
+        let mut rt = std::mem::take(&mut self.vres);
+        if !self.resolve_vec_streams(frame, d, lo, hi, &mut rt) || rt.len() != region.naccess {
+            rt.clear();
+            self.vres = rt;
+            nh.count_deopt();
+            return Ok(false);
+        }
+        // Committed: all guards passed.
+        self.steps = self.steps.saturating_add(cost);
+        nh.count_entry();
+        // Resolve the loop-invariant operand pool from the region's
+        // recipe (frame scalars / globals can change between entries;
+        // the machine code only sees pool offsets). Both buffers are
+        // per-VM scratch, reused across entries.
+        let mut pool = std::mem::take(&mut self.npool);
+        pool.clear();
+        pool.extend(region.pool.iter().map(|e| match *e {
+            PoolEntry::ConstF(b) => b,
+            PoolEntry::FrameF(s) => frame.f[s as usize].to_bits(),
+            PoolEntry::GlobF(c) => self.ex.globals.cells[c as usize].load_bits(self.tid),
+            PoolEntry::ICoeff(c) => c as u64,
+            PoolEntry::IBase { coeff, add, inv } => {
+                let invv = match inv {
+                    NO_SLOT => 0,
+                    s => frame.i[s as usize],
+                };
+                coeff.wrapping_mul(lo).wrapping_add(add).wrapping_add(invv) as u64
+            }
+        }));
+        // Stream pointers address the element at iteration `lo`; every
+        // offset `base + stride*k` for the whole range was proven
+        // in-bounds above (affine subscripts, endpoint extrema), so the
+        // emitted code needs no bounds checks. The `AtomicU64` cells
+        // have guaranteed `u64` layout, and the VM owns this frame's
+        // arrays for the duration (same discipline as the vector
+        // tier's relaxed loads/stores).
+        let mut streams = std::mem::take(&mut self.nstreams);
+        streams.clear();
+        streams.extend(rt.iter().map(|(h, base, stride)| JitStream {
+            ptr: unsafe { (h.cells.as_ptr() as *mut u64).offset(*base as isize) },
+            stride8: stride * 8,
+        }));
+        let mut ctx = JitCtx {
+            k0: 0,
+            k1: 0,
+            streams: streams.as_ptr(),
+            pool: pool.as_ptr(),
+            acc: 0.0,
+            spill: [0; 24],
+        };
+        if let Some(r) = d.red {
+            ctx.acc = match r.vs {
+                VSlot::F(s) => frame.f[s as usize],
+                VSlot::GlobS(c) => {
+                    f64::from_bits(self.ex.globals.cells[c as usize].load_bits(self.tid))
+                }
+                _ => unreachable!("verified reduction accumulator slot"),
+            };
+        }
+        // Run in blocks of ~1024 scalar-equivalent steps, polling the
+        // deadline/token between blocks — the scalar tick() cadence.
+        let block = (1024 / i64::from(d.iter_cost.max(1))).max(1);
+        let mut k0: i64 = 0;
+        while k0 < n {
+            if self.ex.limits.poll {
+                if let Err(e) = self.ex.limits.check_interrupt(None) {
+                    rt.clear();
+                    self.vres = rt;
+                    self.npool = pool;
+                    self.nstreams = streams;
+                    return Err(e);
+                }
+            }
+            let k1 = (k0 + block).min(n);
+            ctx.k0 = k0;
+            ctx.k1 = k1;
+            // SAFETY: `streams`/`pool` outlive the call and every
+            // iteration offset in `[k0, k1)` was proven in-bounds; the
+            // region was emitted from a verifier-accepted descriptor.
+            unsafe { region.enter(&mut ctx) };
+            k0 = k1;
+        }
+        if let Some(r) = d.red {
+            match r.vs {
+                VSlot::F(s) => frame.f[s as usize] = ctx.acc,
+                VSlot::GlobS(c) => {
+                    self.ex.globals.cells[c as usize].store_bits(self.tid, ctx.acc.to_bits());
+                }
+                _ => unreachable!("verified reduction accumulator slot"),
+            }
+        }
+        rt.clear();
+        self.vres = rt;
+        self.npool = pool;
+        self.nstreams = streams;
+        // Leave the DO state exactly as the scalar head/incr would.
+        frame.i[var as usize] = hi;
+        frame.i[ctr as usize] = hi.wrapping_add(1);
+        Ok(true)
+    }
+
     /// Executes a vectorized unit-stride DO loop in chunked slice form.
     ///
     /// Returns `Ok(true)` when the whole loop ran on the vector path
@@ -470,69 +751,22 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                 return Ok(false);
             }
         }
-        // Resolve every access stream up front: array handle, flat base
-        // offset at iteration `lo`, and per-iteration element stride,
-        // with per-dimension bounds proven for the whole range.
-        let uidx = self.cur_uidx;
-        let mut rt = std::mem::take(&mut self.vres);
-        rt.clear();
-        let give_up = |vm: &mut Self, mut rt: Vec<(Arc<ArrayObj>, i64, i64)>| {
-            rt.clear();
-            vm.vres = rt;
-            Ok(false)
-        };
-        for a in &d.accesses {
-            let Ok(h) = self.handle_in(uidx, frame, a.vs, a.v) else {
-                return give_up(self, rt);
+        // Same injected-corruption defense as the access streams: an
+        // out-of-range accumulator slot deopts to the scalar head.
+        if let Some(r) = d.red {
+            let ok = match r.vs {
+                VSlot::F(s) => (s as usize) < frame.f.len(),
+                VSlot::GlobS(c) => (c as usize) < self.ex.globals.cells.len(),
+                _ => false,
             };
-            if h.ty != ScalarTy::F || h.dims.len() != a.subs.len() {
-                return give_up(self, rt);
+            if !ok {
+                return Ok(false);
             }
-            let mut base: i64 = 0;
-            let mut stride: i64 = 0;
-            let mut dim_stride: i64 = 1;
-            for (sub, &(dlo, dhi)) in a.subs.iter().zip(h.dims.iter()) {
-                let inv = match sub.inv {
-                    NO_SLOT => 0,
-                    s => frame.i[s as usize],
-                };
-                let at = |i: i64| {
-                    sub.coeff.checked_mul(i).and_then(|x| x.checked_add(sub.add)).and_then(|x| {
-                        x.checked_add(inv)
-                    })
-                };
-                let (Some(at_lo), Some(at_hi)) = (at(lo), at(hi)) else {
-                    return give_up(self, rt);
-                };
-                // The subscript is affine in i, so its extrema over the
-                // range sit at the endpoints.
-                let (mn, mx) = if at_lo <= at_hi { (at_lo, at_hi) } else { (at_hi, at_lo) };
-                if mn < dlo || mx > dhi {
-                    return give_up(self, rt);
-                }
-                let Some(ds) = sub.coeff.checked_mul(dim_stride) else {
-                    return give_up(self, rt);
-                };
-                base += (at_lo - dlo) * dim_stride;
-                stride += ds;
-                dim_stride *= (dhi - dlo + 1).max(0);
-            }
-            rt.push((h, base, stride));
         }
-        // Aliasing: compile time only proved distinct *slots*. If a
-        // written stream shares storage with any other stream they must
-        // walk the exact same cells (a loop-independent dependence the
-        // per-element statement order already honors); anything else —
-        // offset overlap, different strides — re-runs scalar.
-        for (i, a) in d.accesses.iter().enumerate() {
-            for (j, b) in d.accesses.iter().enumerate().skip(i + 1) {
-                if !(a.write || b.write) {
-                    continue;
-                }
-                if Arc::ptr_eq(&rt[i].0, &rt[j].0) && (rt[i].1 != rt[j].1 || rt[i].2 != rt[j].2) {
-                    return give_up(self, rt);
-                }
-            }
+        let mut rt = std::mem::take(&mut self.vres);
+        if !self.resolve_vec_streams(frame, d, lo, hi, &mut rt) {
+            self.vres = rt;
+            return Ok(false);
         }
         // Committed: all guards passed.
         self.steps = self.steps.saturating_add(cost);
@@ -1237,11 +1471,15 @@ impl<'e, const TRACE: bool> Vm<'e, TRACE> {
                     }
                 }
                 BInstr::VecLoop { desc, ctr, end, var, exit } => {
-                    if self.exec_vec_loop(frame, bu, desc, ctr, end, var)? {
+                    // Tier ladder: native (promoted machine code), then
+                    // the vector superinstruction, then the scalar head.
+                    if self.exec_native_loop(frame, bu, desc, ctr, end, var)?
+                        || self.exec_vec_loop(frame, bu, desc, ctr, end, var)?
+                    {
                         pc = exit as usize;
                         continue;
                     }
-                    // Guard failed: fall through to the scalar head.
+                    // Guards failed: fall through to the scalar head.
                 }
                 BInstr::DoInit { ctr, end, step, check } => {
                     let st = self.popi();

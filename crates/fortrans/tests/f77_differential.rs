@@ -140,6 +140,36 @@ fn generated_corpus_vm_matches_oracle() {
     }
 }
 
+/// Native-tier arm of the sweep: every generated program must run
+/// bit-identically under [`ExecTier::Native`] (VM dispatch with eager
+/// JIT promotion) vs the tree-walking oracle in Serial mode. Where the
+/// JIT backend is unavailable the tier falls through to the VM paths
+/// and the identity still must hold.
+#[test]
+fn generated_corpus_native_matches_oracle_serially() {
+    let mut entries = 0u64;
+    for seed in 0..SEEDS {
+        let srcs = fortrans::gen::generate(seed);
+        let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+        let artifact = CompiledProgram::compile(&refs)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated program failed to compile: {e}"));
+        let en = Engine::from_artifact(artifact.clone());
+        let etw = Engine::from_artifact(artifact);
+        let nv = snapshot(&en, ExecMode::Serial, ExecTier::Native);
+        let tw = snapshot(&etw, ExecMode::Serial, ExecTier::TreeWalk);
+        assert!(
+            nv.result.is_ok(),
+            "seed {seed}: native-tier run errored: {:?}",
+            nv.result
+        );
+        assert_equivalent(&format!("seed {seed} (native)"), ExecMode::Serial, &nv, &tw);
+        entries += en.native_entry_count();
+    }
+    if fortrans::jit::available() {
+        assert!(entries > 0, "native arm never promoted a loop across {SEEDS} seeds");
+    }
+}
+
 /// Serial determinism across repeated fresh sessions: the same artifact
 /// must produce bit-identical state every time.
 #[test]

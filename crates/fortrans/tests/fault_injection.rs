@@ -173,6 +173,35 @@ END MODULE gm
             mk_args: || vec![ArgVal::array_f(&[0.0; 16], 1), ArgVal::I(16)],
         },
         Prog {
+            label: "redux",
+            // A serial REAL reduction loop: compiles to a vector
+            // descriptor with a reduction tail, the target of the
+            // native-tier corruption kinds (`vec-red-slot` et al.).
+            src: r#"
+MODULE m
+CONTAINS
+  REAL(8) FUNCTION dotp(a, b, n)
+    REAL(8), DIMENSION(1:32) :: a
+    REAL(8), DIMENSION(1:32) :: b
+    INTEGER :: n
+    REAL(8) :: s
+    INTEGER :: i
+    s = 0.0D0
+    DO i = 1, n
+      s = s + a(i) * b(i)
+    END DO
+    dotp = s
+  END FUNCTION dotp
+END MODULE m
+"#,
+            entry: "dotp",
+            mk_args: || {
+                let a: Vec<f64> = (1..=32).map(|i| i as f64 * 0.5).collect();
+                let b: Vec<f64> = (1..=32).map(|i| 33.0 - i as f64).collect();
+                vec![ArgVal::array_f(&a, 1), ArgVal::array_f(&b, 1), ArgVal::I(32)]
+            },
+        },
+        Prog {
             label: "alloc",
             src: r#"
 MODULE m
@@ -245,6 +274,9 @@ fn seeded_corruptions_are_all_rejected_by_the_verifier() {
         "call-arity",
         "vec-op-oob",
         "vec-unbalance",
+        "vec-iter-cost",
+        "vec-access-slot",
+        "vec-red-slot",
     ] {
         assert!(by_kind.contains_key(kind), "mutation kind {kind} never applied: {by_kind:?}");
     }
@@ -297,6 +329,77 @@ fn injected_corruption_never_panics_across_the_engine_boundary() {
     // Every fallback reported in a RunOutcome is also counted by the
     // engine; traps on runs that ultimately errored may add more.
     assert!(counted >= diagnosed, "fallback_count ({counted}) < diagnostics seen ({diagnosed})");
+}
+
+/// Native-tier contract under corruption: a vector descriptor corrupted
+/// *behind* the verifier is refused at promotion (the JIT re-verifies
+/// every descriptor before emitting machine code) or deopts to the
+/// scalar head — machine code is never compiled from a corrupt
+/// descriptor, the run completes with the scalar loop's (correct)
+/// answer, no trap-and-fallback fires, and no panic escapes. Eager
+/// promotion removes the warm-up so every seed exercises the decision.
+#[test]
+fn corrupt_vector_descriptors_are_refused_at_promotion_or_deopt() {
+    let mut vec_hits = 0usize;
+    let mut by_kind: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for (pi, p) in corpus().iter().enumerate() {
+        if !matches!(p.label, "loops" | "redux") {
+            continue; // only the vector-bearing programs have descriptors
+        }
+        for round in 0..48u64 {
+            let seed = ((pi as u64) << 32) | round;
+            // Fresh engine per seed: the shared native cache memoizes
+            // promotion verdicts per (unit, descriptor) key, and a prior
+            // seed's verdict must not mask this seed's corruption.
+            let engine =
+                Engine::compile(&[p.src]).unwrap_or_else(|e| panic!("{} compiles: {e}", p.label));
+            let clean = engine
+                .run(p.entry, &(p.mk_args)(), ExecMode::Serial)
+                .expect("clean run succeeds")
+                .result;
+            let engine = Engine::compile(&[p.src]).unwrap();
+            let mut mutated = compile_program(engine.program(), false);
+            let Some(m) = mutate::corrupt(&mut mutated, seed) else { continue };
+            // The descriptor-level kinds: these must deopt cleanly. The
+            // op-level kinds (`vec-op-oob`, `vec-unbalance`) are still
+            // refused at promotion but may trap on the VM vector tier,
+            // which the never-panics test above already locks.
+            if !matches!(m.kind, "vec-iter-cost" | "vec-access-slot" | "vec-red-slot") {
+                continue;
+            }
+            vec_hits += 1;
+            *by_kind.entry(m.kind).or_default() += 1;
+            engine.debug_inject_bytecode(false, mutated);
+            engine.set_native_eager(true);
+            let out = engine
+                .run(p.entry, &(p.mk_args)(), ExecMode::Serial)
+                .unwrap_or_else(|e| panic!("{} seed {seed:#x} ({m}): corrupt descriptor must \
+                     deopt to the scalar loop, got error: {e}", p.label));
+            assert!(
+                out.fallback.is_none(),
+                "{} seed {seed:#x} ({m}): descriptor corruption must deopt, not trap",
+                p.label
+            );
+            assert_eq!(
+                out.result.as_ref().map(|v| format!("{v:?}")),
+                clean.as_ref().map(|v| format!("{v:?}")),
+                "{} seed {seed:#x} ({m}): scalar deopt diverged from the clean run",
+                p.label
+            );
+            if fortrans::jit::available() {
+                assert_eq!(
+                    engine.native_entry_count(),
+                    0,
+                    "{} seed {seed:#x} ({m}): native code ran from a corrupt descriptor",
+                    p.label
+                );
+            }
+        }
+    }
+    assert!(vec_hits >= 20, "harness under-exercised: only {vec_hits} descriptor corruptions");
+    for kind in ["vec-iter-cost", "vec-access-slot", "vec-red-slot"] {
+        assert!(by_kind.contains_key(kind), "kind {kind} never applied: {by_kind:?}");
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -96,6 +96,8 @@ fn draw_profile(rng: &mut TestRng) -> Profile {
             None
         },
         fallback_count: rng.below(10) as u64,
+        native_entries: rng.below(100) as u64,
+        native_deopts: rng.below(10) as u64,
     }
 }
 
@@ -141,6 +143,8 @@ proptest! {
             regions: vec![],
             fallback: None,
             fallback_count: 0,
+            native_entries: 0,
+            native_deopts: 0,
         };
         let h = p.steps_headroom().unwrap();
         prop_assert_eq!(h, budget.saturating_sub(steps));

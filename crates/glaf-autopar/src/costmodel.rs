@@ -33,6 +33,14 @@ pub struct CostParams {
     pub reduction_cycles_per_thread: f64,
     /// Effective SIMD speedup for a vectorizable loop body.
     pub simd_speedup: f64,
+    /// Effective speedup of the native (tier-3 JIT) execution path for a
+    /// vectorizable loop body, over the scalar baseline. The default of
+    /// 1.0 models a target without a native tier, so it changes nothing
+    /// until a measured calibration (see [`calibrate_native_speedup`])
+    /// raises it; a vectorizable loop is then priced at the better of
+    /// the SIMD and native paths — the engine promotes exactly those
+    /// regions the vectorizer accepts, and runs whichever tier wins.
+    pub native_speedup: f64,
     /// Effective speedup for a zero-initialization loop replaced by
     /// memset.
     pub memset_speedup: f64,
@@ -58,6 +66,7 @@ impl Default for CostParams {
             fork_join_cycles: 1_650.0,
             reduction_cycles_per_thread: 150.0,
             simd_speedup: 4.0,
+            native_speedup: 1.0,
             memset_speedup: 16.0,
             cycles_per_node: 3.0,
             default_trip: 64,
@@ -75,6 +84,17 @@ impl CostParams {
         let mut p = CostParams::default();
         if let Some(s) = calibrate_simd_speedup(samples) {
             p.simd_speedup = s;
+        }
+        p
+    }
+
+    /// Default parameters with `native_speedup` replaced by a measured
+    /// calibration (see [`calibrate_native_speedup`]); falls back to the
+    /// no-native-tier default when the samples carry no evidence.
+    pub fn calibrated_native(samples: &[(f64, u64)]) -> CostParams {
+        let mut p = CostParams::default();
+        if let Some(s) = calibrate_native_speedup(samples) {
+            p.native_speedup = s;
         }
         p
     }
@@ -106,6 +126,32 @@ pub fn calibrate_simd_speedup(samples: &[(f64, u64)]) -> Option<f64> {
         return None;
     }
     Some((log_sum / weight).exp().clamp(1.0, 16.0))
+}
+
+/// Recalibrates the `native_speedup` parameter from measured tier-3
+/// results: each sample is `(measured scalar-over-native speedup, native
+/// entry count)` for one kernel, as reported by
+/// `Session::native_entry_count` plus scalar-vs-native timings. Same
+/// estimator as [`calibrate_simd_speedup`] — the entry-weighted
+/// geometric mean — so the two tiers' evidence is directly comparable.
+/// The clamp is wider, `[1, 32]`: native code eliminates dispatch
+/// overhead *and* vectorizes, so reduction microkernels legitimately
+/// measure past any SIMD lane budget. Returns `None` — keep the
+/// no-native-tier prior — when no sample has both a positive speedup
+/// and nonzero weight.
+pub fn calibrate_native_speedup(samples: &[(f64, u64)]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut weight = 0.0;
+    for &(speedup, entries) in samples {
+        if speedup > 0.0 && entries > 0 {
+            log_sum += entries as f64 * speedup.ln();
+            weight += entries as f64;
+        }
+    }
+    if weight == 0.0 {
+        return None;
+    }
+    Some((log_sum / weight).exp().clamp(1.0, 32.0))
 }
 
 /// Which OpenMP loop schedule the advisor recommends.
@@ -219,7 +265,9 @@ impl CostAdvisor {
         let body = self.body_cycles(nest);
         let factor = match plan.class {
             LoopClass::ZeroInit => self.params.memset_speedup,
-            _ if plan.vectorizable => self.params.simd_speedup,
+            // A vectorizable body runs on whichever serial tier wins:
+            // compiler SIMD or (when the target has one) the native JIT.
+            _ if plan.vectorizable => self.params.simd_speedup.max(self.params.native_speedup),
             _ => 1.0,
         };
         trip * body / factor
@@ -647,6 +695,65 @@ mod tests {
         assert_eq!(p.simd_speedup, 2.0);
         assert_eq!(p.threads, CostParams::default().threads);
         assert_eq!(CostParams::calibrated_simd(&[]).simd_speedup, 4.0);
+    }
+
+    #[test]
+    fn native_calibration_mirrors_simd_with_wider_clamp() {
+        // Same estimator: equal weights -> plain geometric mean.
+        let g = calibrate_native_speedup(&[(2.0, 10), (8.0, 10)]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12, "{g}");
+        // The clamp admits the deep-reduction regime SIMD cannot reach...
+        assert_eq!(calibrate_native_speedup(&[(100.0, 1)]).unwrap(), 32.0);
+        assert!(calibrate_simd_speedup(&[(20.0, 1)]).unwrap() < calibrate_native_speedup(&[(20.0, 1)]).unwrap());
+        // ...but still floors at parity with the scalar tier.
+        assert_eq!(calibrate_native_speedup(&[(0.25, 1)]).unwrap(), 1.0);
+        assert_eq!(calibrate_native_speedup(&[]), None);
+        // CostParams plumbing: calibrated value lands in native_speedup,
+        // everything else (incl. simd_speedup) stays default; no evidence
+        // keeps the no-native-tier prior of 1.0.
+        let p = CostParams::calibrated_native(&[(6.0, 1)]);
+        assert_eq!(p.native_speedup, 6.0);
+        assert_eq!(p.simd_speedup, CostParams::default().simd_speedup);
+        assert_eq!(CostParams::calibrated_native(&[]).native_speedup, 1.0);
+    }
+
+    #[test]
+    fn native_speedup_prices_the_better_serial_tier() {
+        // A wide vectorizable map: parallelizable, so `decide` compares
+        // serial (tiered) vs threaded cost. In the measured-SIMD regime
+        // (PR 7 calibrated ~1.7x, far below the 4.0 prior) threading
+        // wins; a measured native tier fast enough flips the verdict
+        // back to the serial path.
+        let a = Grid::build("a").typed(DataType::Real8).dim1(4096).finish().unwrap();
+        let b = Grid::build("b").typed(DataType::Real8).dim1(4096).finish().unwrap();
+        let p = ProgramBuilder::new()
+            .module("m")
+            .subroutine("saxpyish")
+            .param(a)
+            .param(b)
+            .loop_step("map")
+            .foreach("i", Expr::int(1), Expr::int(4096))
+            .formula(
+                LValue::at("a", vec![Expr::idx("i")]),
+                Expr::at("a", vec![Expr::idx("i")]) + Expr::at("b", vec![Expr::idx("i")]),
+            )
+            .done()
+            .done()
+            .done()
+            .finish();
+        let plan = analyze_program(&p);
+        let lplan = plan.for_function("saxpyish").unwrap().loops[0].clone();
+        assert!(lplan.vectorizable && lplan.parallelizable);
+        let (_, f) = p.find_function("saxpyish").unwrap();
+        let nest = match &f.steps[0].body {
+            StepBody::Loop(n) => n.clone(),
+            _ => unreachable!(),
+        };
+
+        let mut measured = CostParams { simd_speedup: 1.7, ..Default::default() };
+        assert_eq!(CostAdvisor::new(measured.clone()).decide(&nest, &lplan), Decision::Threads);
+        measured.native_speedup = 12.0;
+        assert_eq!(CostAdvisor::new(measured).decide(&nest, &lplan), Decision::Simd);
     }
 
     #[test]

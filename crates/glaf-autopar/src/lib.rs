@@ -47,7 +47,8 @@ pub use access::{collect_accesses, Access, AccessKind};
 pub use affine::{Affine, SubscriptForm};
 pub use classify::{classify_loop, LoopClass};
 pub use costmodel::{
-    calibrate_simd_speedup, CostAdvisor, CostParams, Decision, SchedKind, ScheduleChoice,
+    calibrate_native_speedup, calibrate_simd_speedup, CostAdvisor, CostParams, Decision, SchedKind,
+    ScheduleChoice,
 };
 pub use decision::{
     analyze_function_with_log, analyze_function_with_log_using, analyze_program_with_log,
